@@ -1,0 +1,70 @@
+//! Ablation: the encryption-counter design space of Figure 3 /
+//! Algorithm 1 — how the Global, Monolithic and Split schemes trade
+//! overflow frequency against re-encryption volume under the same
+//! write workload.
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin ablation_counters`
+
+use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::enc_counter::{CounterScheme, CounterWidths};
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::rng::SimRng;
+
+fn run(scheme: CounterScheme, writes: usize) -> (u64, u64, u64) {
+    let mut cfg = SecureConfig::sct(64);
+    cfg.sim = metaleak_sim::config::SimConfig::small();
+    cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
+    cfg.scheme = scheme;
+    // Narrow counters so the design-space differences show within the
+    // write budget (4-bit shared/per-block, 3-bit minors).
+    cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits: 6 };
+    let mut mem = SecureMemory::new(cfg);
+    let core = CoreId(0);
+    let mut rng = SimRng::seed_from(42);
+    for i in 0..writes {
+        // A skewed workload: 80% of writes hit an 8-block hot set.
+        let block = if rng.chance(0.8) { rng.below(8) } else { rng.below(64 * 64) };
+        mem.write_back(core, block, [i as u8; 64]).unwrap();
+        mem.fence();
+    }
+    (
+        mem.stats.get("enc_overflows"),
+        mem.stats.get("reencrypt_blocks"),
+        mem.stats.get("rekeys"),
+    )
+}
+
+fn main() {
+    let writes = scaled(400, 4000);
+    println!("== Ablation: encryption-counter schemes (Figure 3 / Algorithm 1) ==");
+    println!("workload: {writes} writes, 80% to an 8-block hot set; 6-bit shared / 3-bit minor counters\n");
+    let mut table = TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
+    let mut rows = Vec::new();
+    for (name, scheme) in [
+        ("Global (GC)", CounterScheme::Global),
+        ("Monolithic (MoC)", CounterScheme::Monolithic),
+        ("Split (SC)", CounterScheme::Split),
+    ] {
+        let (overflows, reencrypted, rekeys) = run(scheme, writes);
+        table.row(vec![
+            name.to_owned(),
+            overflows.to_string(),
+            reencrypted.to_string(),
+            rekeys.to_string(),
+        ]);
+        rows.push(format!("{name},{overflows},{reencrypted},{rekeys}"));
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape (§IV-A): every GC overflow is a key rotation + whole-memory\n\
+         re-encryption (the shared counter absorbs every write); MoC's per-block\n\
+         counters overflow rarely under the same budget but would also re-key; SC\n\
+         overflows more often (small minors) yet never rotates the key and re-encrypts\n\
+         only the 64-block page group — the design modern secure processors pick, and\n\
+         the one whose small, frequent, page-local overflows make VUL-1 observable."
+    );
+    let path = write_csv("ablation_counters.csv", "scheme,overflows,reencrypted,rekeys", &rows);
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,50 @@
+//! Ablation: attack robustness to timing noise.
+//!
+//! The paper measures 90–99% accuracies on real, noisy systems; our
+//! deterministic simulator decodes near-perfectly at its default
+//! noise. This sweep raises the injected Gaussian timing noise until
+//! the MetaLeak-T covert channel degrades, showing where the paper's
+//! operating points sit.
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin ablation_noise`
+
+use metaleak::configs;
+use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::rng::SimRng;
+
+fn main() {
+    let bits_n = scaled(100, 500);
+    println!("== Ablation: MetaLeak-T covert-channel accuracy vs timing noise ==");
+    println!("({bits_n}-bit transmissions; band gap between cached/evicted probes is ~200 cycles)\n");
+    let mut table = TextTable::new(vec!["noise sd (cycles)", "bit accuracy"]);
+    let mut rows = Vec::new();
+    for sd in [0.0f64, 2.0, 10.0, 30.0, 60.0, 100.0, 150.0] {
+        let mut cfg = configs::sct_experiment();
+        cfg.sim.noise_sd = sd;
+        let mut mem = SecureMemory::new(cfg);
+        let acc = match CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100) {
+            Ok(ch) => {
+                let mut rng = SimRng::seed_from(0xAB);
+                let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
+                ch.transmit(&mut mem, &bits).accuracy(&bits)
+            }
+            Err(e) => {
+                println!("noise sd {sd}: setup failed ({e})");
+                continue;
+            }
+        };
+        table.row(vec![format!("{sd:.0}"), format!("{:.1}%", acc * 100.0)]);
+        rows.push(format!("{sd},{acc:.4}"));
+    }
+    println!("{}", table.render());
+    println!(
+        "reading: the channel stays near-perfect while the noise sd is small against the\n\
+         ~200-cycle band gap and degrades toward coin-flipping as it swamps the gap —\n\
+         the paper's 94–99% hardware numbers correspond to the intermediate regime."
+    );
+    let path = write_csv("ablation_noise.csv", "noise_sd,bit_accuracy", &rows);
+    println!("CSV written to {}", path.display());
+}

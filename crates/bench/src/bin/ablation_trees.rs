@@ -1,0 +1,73 @@
+//! Ablation: the integrity-tree design space of Figure 4 — hash tree
+//! (HT/BMT), split-counter tree (SCT) and the SGX integrity tree (SIT)
+//! compared on verification-walk latency, metadata footprint and the
+//! leakage surface each exposes.
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin ablation_trees`
+
+use metaleak::configs;
+use metaleak_bench::{characterize_paths, scaled, write_csv, TextTable};
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+
+fn main() {
+    let samples = scaled(400, 4000);
+    println!("== Ablation: integrity-tree designs (Figure 4) ==\n");
+    let mut table = TextTable::new(vec![
+        "design",
+        "levels",
+        "node blocks",
+        "leaf-hit read (cy)",
+        "full-walk read (cy)",
+        "MetaLeak-C viable?",
+    ]);
+    let mut rows = Vec::new();
+    let configs: Vec<(&str, SecureConfig)> = vec![
+        ("SCT (split-counter, 32/16-ary)", configs::sct_experiment()),
+        ("HT (8-ary Bonsai Merkle Tree)", configs::ht_experiment()),
+        ("SIT (SGX, 8-ary monolithic)", configs::sgx_experiment()),
+    ];
+    for (name, cfg) in configs {
+        let mem = SecureMemory::new(cfg.clone());
+        let levels = mem.tree().geometry().levels();
+        let nodes = mem.tree().geometry().total_nodes();
+        let overflowable = matches!(cfg.tree_kind, metaleak_meta::tree::TreeKind::SplitCounter);
+        drop(mem);
+        let histograms = characterize_paths(cfg, samples);
+        let mean_of = |label: &str| {
+            histograms
+                .iter()
+                .find(|(l, _)| l == label)
+                .and_then(|(_, h)| h.mean())
+                .unwrap_or(0.0)
+        };
+        let leaf_hit = mean_of("path3-tree-leaf-hit");
+        let deepest = histograms
+            .iter()
+            .filter(|(l, _)| l.starts_with("path4"))
+            .filter_map(|(_, h)| h.mean())
+            .fold(0.0f64, f64::max);
+        table.row(vec![
+            name.to_owned(),
+            levels.to_string(),
+            nodes.to_string(),
+            format!("{leaf_hit:.0}"),
+            format!("{deepest:.0}"),
+            if overflowable { "yes (7-bit minors overflow)" } else { "no (wide/hash nodes)" }.to_owned(),
+        ]);
+        rows.push(format!("{name},{levels},{nodes},{leaf_hit:.0},{deepest:.0},{overflowable}"));
+    }
+    println!("{}", table.render());
+    println!(
+        "observations: all three designs expose the same MetaLeak-T surface (per-level\n\
+         latency bands + universal node sharing); only counter trees with narrow minors\n\
+         (SCT) additionally expose MetaLeak-C, and SGX's 56-bit monolithic counters make\n\
+         overflow impractical (§VIII-B). HT pays more node blocks for the same coverage."
+    );
+    let path = write_csv(
+        "ablation_trees.csv",
+        "design,levels,node_blocks,leaf_hit_cy,full_walk_cy,metaleak_c_viable",
+        &rows,
+    );
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! Figure 6: latency distribution across data-access paths in the
+//! simulated secure processor (SCT).
+//!
+//! Reproduces the §V microbenchmark: reads are steered down each of
+//! the Figure-5 paths (cache hit; counter hit; tree-leaf hit; misses
+//! at increasing tree depth) and their latencies are collected.
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin fig06_read_paths`
+
+use metaleak::configs;
+use metaleak_bench::{characterize_paths, histogram_rows, print_histogram, scaled, write_csv};
+
+fn main() {
+    let samples = scaled(1000, 10_000);
+    println!("== Figure 6: read-path latency distributions (SCT simulation) ==");
+    println!("samples per path: {samples}\n");
+    let histograms = characterize_paths(configs::sct_experiment(), samples);
+    let mut rows = Vec::new();
+    for (label, h) in &histograms {
+        print_histogram(label, h);
+        println!();
+        rows.extend(histogram_rows(label, h));
+    }
+    let path = write_csv("fig06_read_paths.csv", "path,latency_bucket,count", &rows);
+    println!("CSV written to {}", path.display());
+}

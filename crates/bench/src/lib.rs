@@ -1,0 +1,221 @@
+//! # metaleak-bench
+//!
+//! Experiment harness regenerating every table and figure of the
+//! MetaLeak paper's evaluation. Each `src/bin/figXX_*.rs` binary
+//! prints the rows/series the paper reports and writes CSV under
+//! `target/experiments/`. This library holds the shared plumbing:
+//! output paths, CSV writing, text tables and histogram rendering.
+
+#![warn(missing_docs)]
+
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::stats::LatencyHistogram;
+use std::fs;
+use std::path::PathBuf;
+
+/// Collects `samples` latencies for each access path under `config`.
+/// Returns labelled histograms, ordered fastest path first.
+pub fn characterize_paths(config: SecureConfig, samples: usize) -> Vec<(String, LatencyHistogram)> {
+    let mut mem = SecureMemory::new(config);
+    let core = CoreId(0);
+    let levels = mem.tree().geometry().levels();
+    let mut out = Vec::new();
+
+    // Path-1: data cache hit.
+    let mut h = LatencyHistogram::new(10);
+    mem.read(core, 0).unwrap();
+    for _ in 0..samples {
+        h.record(mem.read(core, 0).unwrap().latency);
+    }
+    out.push(("path1-cache-hit".to_owned(), h));
+
+    // Path-2: memory read, counter cached. Stride within one page so
+    // the counter block stays hot while the data misses.
+    let mut h = LatencyHistogram::new(10);
+    for i in 0..samples as u64 {
+        let block = 64 + (i % 63);
+        mem.flush_block(block);
+        let r = mem.read(core, block).unwrap();
+        h.record(r.latency);
+    }
+    out.push(("path2-counter-hit".to_owned(), h));
+
+    // Path-3: counter missed, tree leaf cached: evict only the counter.
+    let mut h = LatencyHistogram::new(10);
+    for i in 0..samples as u64 {
+        let block = 128 * 64 + (i % 32) * 64; // distinct pages, shared leaves
+        let cb = mem.counter_block_of(block);
+        // Warm the tree path once, then push the counter out.
+        mem.flush_block(block);
+        mem.read(core, block).unwrap();
+        mem.force_counter_writeback(cb);
+        mem.flush_block(block);
+        let r = mem.read(core, block).unwrap();
+        h.record(r.latency);
+    }
+    out.push(("path3-tree-leaf-hit".to_owned(), h));
+
+    // Path-4 with increasing depth: additionally evict tree levels
+    // 0..=d before the read, so the walk misses d+1 node levels.
+    for depth in 0..(levels - 1) {
+        let mut h = LatencyHistogram::new(10);
+        for i in 0..samples as u64 {
+            let block = (4096 + (i % 64) * 37) * 64;
+            let cb = mem.counter_block_of(block);
+            mem.flush_block(block);
+            mem.read(core, block).unwrap();
+            mem.force_counter_writeback(cb);
+            for l in 0..=depth {
+                // Evicts the node whether clean or dirty, so the walk
+                // must re-fetch levels 0..=depth from memory.
+                let node = mem.tree().geometry().ancestor_at(cb, l);
+                mem.force_tree_writeback(node);
+            }
+            mem.flush_block(block);
+            let r = mem.read(core, block).unwrap();
+            h.record(r.latency);
+        }
+        out.push((format!("path4-miss-to-L{}", depth + 1), h));
+    }
+    out
+}
+
+
+
+/// Directory experiment outputs are written to.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file under [`out_dir`]; returns the path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = out_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).expect("write csv");
+    path
+}
+
+/// Whether a quick (CI-sized) run was requested. Set
+/// `METALEAK_FULL=1` for paper-scale sample counts.
+pub fn quick_mode() -> bool {
+    std::env::var("METALEAK_FULL").map(|v| v != "1").unwrap_or(true)
+}
+
+/// Picks `quick` or `full` depending on [`quick_mode`].
+pub fn scaled(quick: usize, full: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// A minimal aligned text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a labelled latency histogram with summary statistics.
+pub fn print_histogram(label: &str, h: &LatencyHistogram) {
+    println!(
+        "{label}: n={} mean={:.1} min={} max={} p50={}",
+        h.count(),
+        h.mean().unwrap_or(0.0),
+        h.min().map(|c| c.as_u64()).unwrap_or(0),
+        h.max().map(|c| c.as_u64()).unwrap_or(0),
+        h.percentile(0.5).map(|c| c.as_u64()).unwrap_or(0),
+    );
+    print!("{}", h.render(48));
+}
+
+/// Serializes a histogram into CSV rows `label,bucket,count`.
+pub fn histogram_rows(label: &str, h: &LatencyHistogram) -> Vec<String> {
+    h.iter().map(|(b, n)| format!("{label},{b},{n}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_sim::clock::Cycles;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["path", "latency"]);
+        t.row(vec!["P1", "40"]);
+        t.row(vec!["P4-deep", "450"]);
+        let s = t.render();
+        assert!(s.contains("path"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn histogram_rows_cover_buckets() {
+        let mut h = LatencyHistogram::new(10);
+        h.record(Cycles::new(5));
+        h.record(Cycles::new(25));
+        let rows = histogram_rows("x", &h);
+        assert_eq!(rows, vec!["x,0,1", "x,20,1"]);
+    }
+
+    #[test]
+    fn scaled_respects_quick_mode() {
+        // Default environment: quick.
+        if quick_mode() {
+            assert_eq!(scaled(5, 50), 5);
+        } else {
+            assert_eq!(scaled(5, 50), 50);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The MetaLeak-C covert channel (§VI-B, Figure 14): a trojan encodes a
+//! 7-bit symbol as the number of writes modulating a shared tree
+//! counter; the spy decodes it from the extra writes needed to overflow.
+
+use crate::error::AttackError;
+use crate::metaleak_c::{Bumper, MetaLeakC};
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::clock::Cycles;
+
+/// Per-symbol observation (the Figure 14 trace).
+#[derive(Debug, Clone)]
+pub struct SymbolRecord {
+    /// Decoded symbol value.
+    pub symbol: u64,
+    /// Spy bumps needed to trigger the overflow.
+    pub spy_writes: u64,
+    /// Probe latencies of the spy's bumps (last one is the spike).
+    pub latencies: Vec<Cycles>,
+}
+
+/// Result of a covert-C transmission.
+#[derive(Debug, Clone)]
+pub struct CovertOutcomeC {
+    /// Symbols as decoded by the spy.
+    pub decoded: Vec<u64>,
+    /// Per-symbol observations.
+    pub records: Vec<SymbolRecord>,
+    /// Total simulated cycles consumed.
+    pub cycles: Cycles,
+}
+
+impl CovertOutcomeC {
+    /// Symbol accuracy against the transmitted ground truth.
+    pub fn accuracy(&self, truth: &[u64]) -> f64 {
+        crate::timing::accuracy(&self.decoded, truth)
+    }
+}
+
+/// A configured MetaLeak-C covert channel. Trojan and spy both own
+/// write pools under the same child subtree; the shared counter is the
+/// child's version slot in its parent node.
+#[derive(Debug)]
+pub struct CovertChannelC {
+    spy: MetaLeakC,
+    trojan: Bumper,
+    spy_core: CoreId,
+    trojan_core: CoreId,
+}
+
+impl CovertChannelC {
+    /// Sets up the channel at tree `level` (>= 1) around `base_page`.
+    ///
+    /// # Errors
+    /// Propagates planning failures (level 0, SGX-wide counters, tiny
+    /// subtrees).
+    pub fn new(
+        mem: &SecureMemory,
+        spy_core: CoreId,
+        trojan_core: CoreId,
+        level: u8,
+        base_page: u64,
+    ) -> Result<Self, AttackError> {
+        let anchor_block = base_page * 64;
+        let spy = MetaLeakC::new(mem, anchor_block, level)?;
+        // The trojan writes through a disjoint pool under the same child.
+        let geometry = mem.tree().geometry();
+        let child = spy.child();
+        let exclude: Vec<u64> = geometry
+            .attached_under(child)
+            .take(geometry.attached_under(child).count() / 2)
+            .collect();
+        let trojan = Bumper::plan(mem, child, level, &exclude)?;
+        Ok(CovertChannelC { spy, trojan, spy_core, trojan_core })
+    }
+
+    /// Largest symbol value transmissible per counter modulation
+    /// (`counter_max - 1`; one spy bump is always needed for detection).
+    pub fn max_symbol(&self) -> u64 {
+        self.spy.counter_max() - 1
+    }
+
+    /// Transmits `symbols` (each `<= max_symbol()`); returns the spy's
+    /// decoding and per-symbol traces.
+    ///
+    /// # Errors
+    /// Propagates overflow-detection failures.
+    ///
+    /// # Panics
+    /// Panics if any symbol exceeds [`CovertChannelC::max_symbol`].
+    pub fn transmit(
+        &mut self,
+        mem: &mut SecureMemory,
+        symbols: &[u64],
+    ) -> Result<CovertOutcomeC, AttackError> {
+        let start = mem.now();
+        let max = self.spy.counter_max();
+        // Initial mPreset: force an overflow so the counter state is
+        // known (value = 1, the spy's triggering bump). Subsequent
+        // overflows re-arm the channel automatically (§VI-B).
+        self.spy.reset(mem, self.spy_core)?;
+        let mut decoded = Vec::with_capacity(symbols.len());
+        let mut records = Vec::with_capacity(symbols.len());
+        for &s in symbols {
+            assert!(s <= self.max_symbol(), "symbol {s} exceeds channel capacity");
+            // Trojan encodes the symbol as s writes.
+            for _ in 0..s {
+                self.trojan.bump(mem, self.trojan_core);
+            }
+            // Spy bumps until the overflow spike; m extra writes mean
+            // the trojan wrote (max + 1 - preset - m), preset = 1.
+            let mut latencies = Vec::new();
+            let mut m = 0;
+            loop {
+                m += 1;
+                if m > max + 2 {
+                    return Err(AttackError::OverflowImpractical { writes_attempted: m });
+                }
+                let p = self.spy.bump_and_probe(mem, self.spy_core);
+                latencies.push(p.latency);
+                if p.overflowed {
+                    break;
+                }
+            }
+            let symbol = self.spy.infer_victim_bumps(1, m);
+            decoded.push(symbol);
+            records.push(SymbolRecord { symbol, spy_writes: m, latencies });
+        }
+        Ok(CovertOutcomeC { decoded, records, cycles: mem.now() - start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+    use metaleak_meta::enc_counter::CounterWidths;
+    use metaleak_sim::rng::SimRng;
+
+    fn mem(minor_bits: u8) -> SecureMemory {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.tree_widths = CounterWidths { minor_bits, mono_bits: 56 };
+        SecureMemory::new(cfg)
+    }
+
+    #[test]
+    fn covert_c_round_trips_symbols() {
+        let mut m = mem(3); // symbols 0..=6
+        let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let symbols = vec![3, 0, 6, 1, 5, 2, 4, 6, 0, 3];
+        let out = ch.transmit(&mut m, &symbols).unwrap();
+        assert_eq!(out.decoded, symbols, "records: {:?}", out.records);
+    }
+
+    #[test]
+    fn covert_c_accuracy_on_random_symbols() {
+        let mut m = mem(3);
+        let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let mut rng = SimRng::seed_from(9);
+        let cap = ch.max_symbol() + 1;
+        let symbols: Vec<u64> = (0..24).map(|_| rng.below(cap)).collect();
+        let out = ch.transmit(&mut m, &symbols).unwrap();
+        let acc = out.accuracy(&symbols);
+        assert!(acc >= 0.95, "covert-C accuracy {acc} < 0.95");
+    }
+
+    #[test]
+    fn wider_counters_give_wider_symbols() {
+        let m4 = mem(4);
+        let ch = CovertChannelC::new(&m4, CoreId(0), CoreId(1), 1, 100).unwrap();
+        assert_eq!(ch.max_symbol(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel capacity")]
+    fn oversized_symbol_panics() {
+        let mut m = mem(3);
+        let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let _ = ch.transmit(&mut m, &[7]);
+    }
+}

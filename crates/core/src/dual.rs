@@ -1,0 +1,200 @@
+//! Dual-page monitoring: two interleaved MetaLeak-T monitors watching
+//! two victim pages (the shape of every case study in §VIII — `r` vs
+//! `nbits`, square vs multiply, shift vs sub).
+
+use crate::error::AttackError;
+use crate::metaleak_t::MetaLeakT;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::geometry::NodeId;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::clock::Cycles;
+
+/// One dual-monitor observation window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSample {
+    /// Did the victim touch page A?
+    pub a_seen: bool,
+    /// Did the victim touch page B?
+    pub b_seen: bool,
+    /// Probe latency for page A's monitor.
+    pub a_latency: Cycles,
+    /// Probe latency for page B's monitor.
+    pub b_latency: Cycles,
+}
+
+/// Finds a victim-partner block whose monitored tree node (at `level`)
+/// lives in a different tree-cache set than `base_block`'s — required
+/// so two monitors do not thrash each other.
+pub fn find_partner_block(mem: &SecureMemory, base_block: u64, level: u8) -> Option<u64> {
+    let geometry = mem.tree().geometry();
+    let base_cb = mem.counter_block_of(base_block);
+    let base_node = geometry.ancestor_at(base_cb, level);
+    let base_set = mem.mcaches().tree_set_index(mem.node_key(base_node));
+    let blocks_per_page = 64u64;
+    let base_page = base_block / blocks_per_page;
+    for page in (base_page + 512)..(base_page + 16384) {
+        let block = page * blocks_per_page;
+        if block >= mem.layout().data_blocks() {
+            return None;
+        }
+        let cb = mem.counter_block_of(block);
+        let node = geometry.ancestor_at(cb, level);
+        if node != base_node && mem.mcaches().tree_set_index(mem.node_key(node)) != base_set {
+            return Some(block);
+        }
+    }
+    None
+}
+
+/// Two mutually-avoiding MetaLeak-T monitors over two victim pages.
+#[derive(Debug, Clone)]
+pub struct DualPageMonitor {
+    a: MetaLeakT,
+    b: MetaLeakT,
+}
+
+impl DualPageMonitor {
+    /// Plans monitors for `block_a` and `block_b` at tree `level`.
+    /// The two monitored nodes must land in different tree-cache sets
+    /// (use [`find_partner_block`] to place the second page).
+    ///
+    /// # Errors
+    /// [`AttackError::NoProbeBlock`] when the nodes collide, plus any
+    /// monitor-planning failure.
+    pub fn new(
+        mem: &mut SecureMemory,
+        core: CoreId,
+        block_a: u64,
+        block_b: u64,
+        level: u8,
+    ) -> Result<Self, AttackError> {
+        let geometry = mem.tree().geometry().clone();
+        let nodes_of = |mem: &SecureMemory, block: u64| -> Vec<NodeId> {
+            let cb = mem.counter_block_of(block);
+            let node = geometry.ancestor_at(cb, level);
+            let mut v = vec![node];
+            if let Some(p) = geometry.parent(node) {
+                if !geometry.is_root(p) {
+                    v.push(p);
+                }
+            }
+            v
+        };
+        let a_nodes = nodes_of(mem, block_a);
+        let b_nodes = nodes_of(mem, block_b);
+        if a_nodes[0] == b_nodes[0] {
+            return Err(AttackError::NoProbeBlock);
+        }
+        let set_of = |mem: &SecureMemory, n: NodeId| mem.mcaches().tree_set_index(mem.node_key(n));
+        if set_of(mem, a_nodes[0]) == set_of(mem, b_nodes[0]) {
+            return Err(AttackError::NoProbeBlock);
+        }
+        let a = MetaLeakT::with_avoid(mem, core, block_a, level, 6, &b_nodes)?;
+        let b = MetaLeakT::with_avoid(mem, core, block_b, level, 6, &a_nodes)?;
+        Ok(DualPageMonitor { a, b })
+    }
+
+    /// Monitor over page A.
+    pub fn monitor_a(&self) -> &MetaLeakT {
+        &self.a
+    }
+
+    /// Monitor over page B.
+    pub fn monitor_b(&self) -> &MetaLeakT {
+        &self.b
+    }
+
+    /// Runs one observation window: mEvict both pages, let the victim
+    /// act, mReload both pages.
+    pub fn window(
+        &self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        victim_action: impl FnOnce(&mut SecureMemory),
+    ) -> WindowSample {
+        self.a.evict(mem, core);
+        self.b.evict(mem, core);
+        victim_action(mem);
+        let pa = self.a.probe(mem, core);
+        let pb = self.b.probe(mem, core);
+        WindowSample {
+            a_seen: self.a.classifier().is_fast(pa.latency),
+            b_seen: self.b.classifier().is_fast(pb.latency),
+            a_latency: pa.latency,
+            b_latency: pb.latency,
+        }
+    }
+}
+
+/// Reads a victim block in a way that reaches the LLC/memory
+/// controller (the threat-model assumption of §III: cache cleansing /
+/// enclave exits push victim state out of the private caches).
+pub fn victim_touch(mem: &mut SecureMemory, core: CoreId, block: u64) {
+    mem.flush_block(block);
+    mem.read(core, block).expect("victim block in range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+
+    fn mem() -> SecureMemory {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
+            counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+            tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+        };
+        SecureMemory::new(cfg)
+    }
+
+    #[test]
+    fn partner_block_is_in_a_different_set() {
+        let m = mem();
+        let a = 100 * 64;
+        let b = find_partner_block(&m, a, 0).expect("partner exists");
+        let geometry = m.tree().geometry();
+        let na = geometry.ancestor_at(m.counter_block_of(a), 0);
+        let nb = geometry.ancestor_at(m.counter_block_of(b), 0);
+        assert_ne!(na, nb);
+        assert_ne!(
+            m.mcaches().tree_set_index(m.node_key(na)),
+            m.mcaches().tree_set_index(m.node_key(nb))
+        );
+    }
+
+    #[test]
+    fn dual_monitor_distinguishes_four_cases() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let a = 100 * 64;
+        let b = find_partner_block(&m, a, 0).unwrap();
+        let dual = DualPageMonitor::new(&mut m, core, a, b, 0).unwrap();
+        let vc = CoreId(1);
+        // Neither touched.
+        let s = dual.window(&mut m, core, |_| {});
+        assert!(!s.a_seen && !s.b_seen, "{s:?}");
+        // Only A.
+        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, a));
+        assert!(s.a_seen && !s.b_seen, "{s:?}");
+        // Only B.
+        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, b));
+        assert!(!s.a_seen && s.b_seen, "{s:?}");
+        // Both.
+        let s = dual.window(&mut m, core, |mm| {
+            victim_touch(mm, vc, a);
+            victim_touch(mm, vc, b);
+        });
+        assert!(s.a_seen && s.b_seen, "{s:?}");
+    }
+
+    #[test]
+    fn colliding_pages_are_rejected() {
+        let mut m = mem();
+        let a = 100 * 64;
+        assert!(matches!(
+            DualPageMonitor::new(&mut m, CoreId(0), a, a + 1, 0),
+            Err(AttackError::NoProbeBlock)
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Attack-framework error types.
+
+use core::fmt;
+
+/// Errors raised while planning or running MetaLeak attacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The protected region cannot supply enough conflicting metadata
+    /// blocks for an eviction set.
+    InsufficientEvictionCandidates {
+        /// How many candidates the plan required.
+        needed: usize,
+        /// How many were available.
+        found: usize,
+    },
+    /// The requested tree level cannot be shared across domains (e.g.
+    /// SGX L0, where one leaf node block maps to exactly one EPC page,
+    /// §VIII-B).
+    LevelNotShareable {
+        /// The rejected level.
+        level: u8,
+    },
+    /// No probe block co-located with the victim could be found.
+    NoProbeBlock,
+    /// Counter overflow could not be observed within the write budget
+    /// (e.g. 56-bit monolithic counters under SGX, §VIII-B).
+    OverflowImpractical {
+        /// Writes attempted before giving up.
+        writes_attempted: u64,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InsufficientEvictionCandidates { needed, found } => write!(
+                f,
+                "eviction set needs {needed} conflicting blocks but only {found} exist"
+            ),
+            AttackError::LevelNotShareable { level } => {
+                write!(f, "tree level {level} is not shared across domains in this design")
+            }
+            AttackError::NoProbeBlock => write!(f, "no co-located probe block available"),
+            AttackError::OverflowImpractical { writes_attempted } => write!(
+                f,
+                "counter overflow not observed after {writes_attempted} writes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AttackError::InsufficientEvictionCandidates { needed: 16, found: 3 };
+        assert!(e.to_string().contains("16"));
+        assert!(AttackError::LevelNotShareable { level: 0 }.to_string().contains("level 0"));
+        assert!(AttackError::OverflowImpractical { writes_attempted: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,479 @@
+//! MetaLeak-C: observing victim writes by modulating shared integrity
+//! tree counters with mPreset+mOverflow (§VI-B, Figure 13).
+//!
+//! The monitored counter is a minor counter in a node at `level`: it
+//! versions one child node whose subtree covers both attacker and
+//! victim pages. Every writeback of that child — triggered by any write
+//! activity underneath it — increments the counter. The attacker
+//! presets it to a known state by driving writes through its own
+//! blocks, and later detects the overflow's subtree reset + re-MAC
+//! storm through a timed read (the 2000-cycle-scale bands of Figure 8).
+//!
+//! Overflow spikes are classified by *magnitude*: an overflow at the
+//! target level resets a subtree one arity-factor larger than spurious
+//! overflows of lower-level counters, so a threshold between the two
+//! durations separates them.
+
+use crate::error::AttackError;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::geometry::NodeId;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::clock::Cycles;
+
+/// A rotating pool of attacker write blocks under a chosen subtree.
+/// Rotation spreads tree-counter increments across lower-level slots so
+/// counters *below* the target level overflow rarely (§VIII-A2:
+/// "attacker writes ... are distributed across different data blocks").
+#[derive(Debug, Clone)]
+pub struct Bumper {
+    blocks: Vec<u64>,
+    chain_levels: u8,
+    next: usize,
+}
+
+impl Bumper {
+    /// Plans a bumper whose writes bump the version slot of `child`
+    /// (i.e. writes land under `child`'s subtree), excluding
+    /// `exclude_cbs`. `chain_levels` is how far the lazy-update chain
+    /// must be driven (the target node's level).
+    ///
+    /// # Errors
+    /// Fails if the subtree has no usable counter blocks.
+    pub fn plan(
+        mem: &SecureMemory,
+        child: NodeId,
+        chain_levels: u8,
+        exclude_cbs: &[u64],
+    ) -> Result<Self, AttackError> {
+        let geometry = mem.tree().geometry();
+        let per_cb = crate::sharing::blocks_per_counter_block(mem);
+        let blocks: Vec<u64> = geometry
+            .attached_under(child)
+            .filter(|cb| !exclude_cbs.contains(cb))
+            .map(|cb| cb * per_cb)
+            .collect();
+        if blocks.is_empty() {
+            return Err(AttackError::InsufficientEvictionCandidates { needed: 1, found: 0 });
+        }
+        Ok(Bumper { blocks, chain_levels, next: 0 })
+    }
+
+    /// Number of distinct write blocks in the rotation.
+    pub fn pool_size(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Performs one counter bump: a write that reaches the memory
+    /// controller, followed by eviction pressure that drives the lazy
+    /// update chain up to (but not including) the target node.
+    pub fn bump(&mut self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+        let block = self.blocks[self.next];
+        self.next = (self.next + 1) % self.blocks.len();
+        let t0 = mem.now();
+        let payload = [self.next as u8; 64];
+        mem.write_back(core, block, payload).expect("attacker-owned block");
+        mem.fence();
+        // Eviction pressure: counter block first, then each tree level
+        // below the target.
+        let cb = mem.counter_block_of(block);
+        mem.force_counter_writeback(cb);
+        for level in 0..self.chain_levels {
+            let node = mem.tree().geometry().ancestor_at(cb, level);
+            mem.force_tree_writeback(node);
+        }
+        mem.now() - t0
+    }
+}
+
+/// One mPreset+mOverflow observation.
+#[derive(Debug, Clone, Copy)]
+pub struct OverflowProbe {
+    /// Timed-read latency after the bump.
+    pub latency: Cycles,
+    /// Verdict: did a target-level overflow occur?
+    pub overflowed: bool,
+}
+
+/// A planned MetaLeak-C monitor: one shared tree counter (the version
+/// slot of `child` inside `target`).
+#[derive(Debug, Clone)]
+pub struct MetaLeakC {
+    target: NodeId,
+    slot: usize,
+    child: NodeId,
+    bumper: Bumper,
+    probe_block: u64,
+    threshold: Cycles,
+    counter_max: u64,
+}
+
+impl MetaLeakC {
+    /// Plans a monitor at tree `level` (>= 1) for writes under the
+    /// subtree containing `victim_block`.
+    ///
+    /// # Errors
+    /// - [`AttackError::LevelNotShareable`] for `level == 0` (leaf
+    ///   slots version single counter blocks — no cross-domain writes
+    ///   can reach them);
+    /// - [`AttackError::OverflowImpractical`] when the tree counter is
+    ///   too wide to overflow in a bounded number of writes (e.g. the
+    ///   56-bit monolithic counters of SGX, §VIII-B);
+    /// - planning errors when the subtree has no attacker blocks.
+    pub fn new(
+        mem: &SecureMemory,
+        victim_block: u64,
+        level: u8,
+    ) -> Result<Self, AttackError> {
+        if level == 0 {
+            return Err(AttackError::LevelNotShareable { level });
+        }
+        let counter_max = mem.tree().widths().minor_max().min(mem.tree().widths().mono_max());
+        // Beyond ~2^16 writes per preset the attack is impractical
+        // (SGX's 56-bit counters).
+        if counter_max > (1 << 16) || mem.tree().kind() == metaleak_meta::tree::TreeKind::Sgx {
+            return Err(AttackError::OverflowImpractical { writes_attempted: 0 });
+        }
+        let victim_cb = mem.counter_block_of(victim_block);
+        let geometry = mem.tree().geometry();
+        let child = geometry.ancestor_at(victim_cb, level - 1);
+        let target = geometry.parent(child).expect("below-root child");
+        let slot = geometry.child_slot(child).expect("below-root child");
+        let bumper = Bumper::plan(mem, child, level, &[victim_cb])?;
+        let probe_block = bumper.blocks[0] + 1; // same page as an attacker block
+        let threshold = Self::overflow_threshold(mem, target, child);
+        Ok(MetaLeakC { target, slot, child, bumper, probe_block, threshold, counter_max })
+    }
+
+    /// Computes the detection threshold from public architecture
+    /// parameters: halfway between the busy window of a `child`-level
+    /// overflow (spurious) and a `target`-level overflow.
+    fn overflow_threshold(mem: &SecureMemory, target: NodeId, child: NodeId) -> Cycles {
+        let duration = |node: NodeId| {
+            let geometry = mem.tree().geometry();
+            let dram = mem.config().sim.dram;
+            let crypto_lat = 20u64;
+            let nodes = geometry.subtree_nodes(node).len() as u64;
+            let r = geometry.attached_under(node);
+            let attached = r.end - r.start;
+            nodes * (dram.row_closed.as_u64() * 2 + crypto_lat)
+                + attached * (dram.row_closed.as_u64() * 2 + crypto_lat)
+        };
+        Cycles::new((duration(child) + duration(target)) / 2)
+    }
+
+    /// The node containing the monitored counter.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The monitored slot within the target node.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The child node whose writebacks increment the counter.
+    pub fn child(&self) -> NodeId {
+        self.child
+    }
+
+    /// Maximum value of the monitored counter.
+    pub fn counter_max(&self) -> u64 {
+        self.counter_max
+    }
+
+    /// The spike-detection threshold.
+    pub fn threshold(&self) -> Cycles {
+        self.threshold
+    }
+
+    /// Timed read probing for an ongoing subtree reset (mOverflow's
+    /// observation step). The overflow storm occupies the DRAM banks,
+    /// so the read's wait time reveals it.
+    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+        mem.flush_block(self.probe_block);
+        mem.read(core, self.probe_block).expect("attacker-owned probe").latency
+    }
+
+    /// One bump followed by a probe: returns the probe observation.
+    pub fn bump_and_probe(&mut self, mem: &mut SecureMemory, core: CoreId) -> OverflowProbe {
+        self.bumper.bump(mem, core);
+        let latency = self.probe(mem, core);
+        OverflowProbe { latency, overflowed: latency >= self.threshold }
+    }
+
+    /// Drives the counter to a known state by forcing an overflow
+    /// (mPreset phase 1). After this the counter value is exactly 1
+    /// (the attacker's triggering bump). Returns the writes used.
+    ///
+    /// # Errors
+    /// [`AttackError::OverflowImpractical`] if no overflow is observed
+    /// within `2 * counter_max + 4` writes.
+    pub fn reset(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<u64, AttackError> {
+        let cap = 2 * self.counter_max + 4;
+        for i in 1..=cap {
+            if self.bump_and_probe(mem, core).overflowed {
+                return Ok(i);
+            }
+        }
+        Err(AttackError::OverflowImpractical { writes_attempted: cap })
+    }
+
+    /// Presets the counter to `value` (mPreset phase 2): reset, then
+    /// `value - 1` additional bumps.
+    ///
+    /// # Errors
+    /// Propagates [`MetaLeakC::reset`] failures.
+    ///
+    /// # Panics
+    /// Panics if `value` is 0 or exceeds the counter maximum.
+    pub fn preset(&mut self, mem: &mut SecureMemory, core: CoreId, value: u64) -> Result<(), AttackError> {
+        assert!(value >= 1 && value <= self.counter_max, "preset value out of range");
+        self.reset(mem, core)?;
+        for _ in 1..value {
+            self.bumper.bump(mem, core);
+        }
+        Ok(())
+    }
+
+    /// mOverflow: counts the attacker bumps needed to trigger the
+    /// overflow. Combined with a known preset `P` and the counter
+    /// maximum `M`, the victim's bump count is `M + 1 - P - m`.
+    ///
+    /// # Errors
+    /// [`AttackError::OverflowImpractical`] if the cap is exhausted.
+    pub fn writes_until_overflow(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<u64, AttackError> {
+        let cap = self.counter_max + 2;
+        for m in 1..=cap {
+            if self.bump_and_probe(mem, core).overflowed {
+                return Ok(m);
+            }
+        }
+        Err(AttackError::OverflowImpractical { writes_attempted: cap })
+    }
+
+    /// Full binary write detection (Figure 13): presets the counter one
+    /// bump short of saturation, runs `victim_action`, then checks
+    /// whether a single attacker bump overflows. Returns true iff the
+    /// victim performed (at least) one write under the shared subtree.
+    ///
+    /// # Errors
+    /// Propagates preset/overflow failures.
+    pub fn detect_write(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        victim_action: impl FnOnce(&mut SecureMemory),
+    ) -> Result<bool, AttackError> {
+        // Preset to M - 1: one victim bump saturates (M), then one
+        // attacker bump overflows.
+        self.preset(mem, core, self.counter_max - 1)?;
+        victim_action(mem);
+        let first = self.bump_and_probe(mem, core);
+        if first.overflowed {
+            return Ok(true);
+        }
+        // No overflow: leave the counter freshly reset for the next
+        // round by forcing the overflow now.
+        self.reset(mem, core)?;
+        Ok(false)
+    }
+
+    /// The number of victim bumps, inferred after a preset of `preset`
+    /// and an observed `m` attacker bumps to overflow.
+    pub fn infer_victim_bumps(&self, preset: u64, m: u64) -> u64 {
+        (self.counter_max + 1).saturating_sub(preset + m)
+    }
+
+    /// Generalized write counting (§VI-B): presets the counter to
+    /// `2^n - x_max + 1` so up to `x_max` victim writes fit before
+    /// saturation, runs `victim_action`, then counts the attacker
+    /// bumps to overflow and returns the inferred victim write count.
+    ///
+    /// # Errors
+    /// Propagates preset/overflow failures.
+    ///
+    /// # Panics
+    /// Panics if `x_max` is 0 or does not fit the counter.
+    pub fn count_victim_writes(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        x_max: u64,
+        victim_action: impl FnOnce(&mut SecureMemory),
+    ) -> Result<u64, AttackError> {
+        assert!(x_max >= 1 && x_max < self.counter_max, "x_max out of range");
+        let preset = self.counter_max + 1 - x_max;
+        self.preset(mem, core, preset)?;
+        victim_action(mem);
+        let m = self.writes_until_overflow(mem, core)?;
+        Ok(self.infer_victim_bumps(preset, m))
+    }
+}
+
+/// Drives one victim write that reaches the memory controller plus the
+/// lazy-update pressure of a realistically busy workload (the victim's
+/// own memory traffic evicts its metadata; modelled with the same
+/// forced-writeback primitive the attacker uses).
+pub fn victim_write(mem: &mut SecureMemory, core: CoreId, block: u64, chain_levels: u8, value: u8) {
+    mem.write_back(core, block, [value; 64]).expect("victim block in range");
+    mem.fence();
+    let cb = mem.counter_block_of(block);
+    mem.force_counter_writeback(cb);
+    for level in 0..chain_levels {
+        let node = mem.tree().geometry().ancestor_at(cb, level);
+        mem.force_tree_writeback(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+    use metaleak_meta::enc_counter::CounterWidths;
+
+    /// SCT with 3-bit tree minors so overflow needs only 8 bumps.
+    fn mem() -> SecureMemory {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.tree_widths = CounterWidths { minor_bits: 3, mono_bits: 56 };
+        SecureMemory::new(cfg)
+    }
+
+    const VICTIM: u64 = 100 * 64;
+
+    #[test]
+    fn bump_increments_the_target_slot() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        let before = m.tree().node_minor(atk.target(), atk.slot());
+        atk.bumper.bump(&mut m, core);
+        let after = m.tree().node_minor(atk.target(), atk.slot());
+        assert_eq!(after, before + 1, "one bump = one slot increment");
+    }
+
+    #[test]
+    fn victim_write_increments_the_same_slot() {
+        let mut m = mem();
+        let mut_atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        let before = m.tree().node_minor(mut_atk.target(), mut_atk.slot());
+        victim_write(&mut m, CoreId(1), VICTIM, 1, 9);
+        let after = m.tree().node_minor(mut_atk.target(), mut_atk.slot());
+        assert_eq!(after, before + 1, "victim write shares the counter");
+    }
+
+    #[test]
+    fn overflow_probe_sees_the_spike() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        let mut spikes = 0;
+        let mut quiet = 0;
+        for _ in 0..10 {
+            let p = atk.bump_and_probe(&mut m, core);
+            if p.overflowed {
+                spikes += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert_eq!(spikes, 1, "exactly one overflow in 10 bumps of a 3-bit counter");
+        assert_eq!(quiet, 9);
+    }
+
+    #[test]
+    fn reset_finds_overflow_within_budget() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        let writes = atk.reset(&mut m, core).unwrap();
+        assert!(writes <= 8, "3-bit counter resets within 8 bumps, took {writes}");
+        assert_eq!(m.tree().node_minor(atk.target(), atk.slot()), 1, "post-reset state");
+    }
+
+    #[test]
+    fn detect_write_distinguishes_victim_activity() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        let wrote = atk
+            .detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 1, 1))
+            .unwrap();
+        assert!(wrote, "victim write must be detected");
+        let idle = atk.detect_write(&mut m, core, |_| {}).unwrap();
+        assert!(!idle, "idle victim must not be detected");
+        // Sequence of mixed rounds.
+        for (i, &bit) in [true, false, true, true, false].iter().enumerate() {
+            let got = atk
+                .detect_write(&mut m, core, |mm| {
+                    if bit {
+                        victim_write(mm, CoreId(1), VICTIM, 1, i as u8);
+                    }
+                })
+                .unwrap();
+            assert_eq!(got, bit, "round {i}");
+        }
+    }
+
+    #[test]
+    fn symbol_decoding_via_writes_until_overflow() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        atk.reset(&mut m, core).unwrap(); // counter = 1
+        // "Trojan" sends symbol s = 4 via 4 victim bumps.
+        for i in 0..4 {
+            victim_write(&mut m, CoreId(1), VICTIM, 1, i);
+        }
+        let mth = atk.writes_until_overflow(&mut m, core).unwrap();
+        assert_eq!(atk.infer_victim_bumps(1, mth), 4);
+    }
+
+    #[test]
+    fn count_victim_writes_recovers_exact_counts() {
+        let mut m = mem(); // 3-bit minors: max 7
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        for expected in [0u64, 1, 3, 5, 0, 2] {
+            let counted = atk
+                .count_victim_writes(&mut m, core, 6, |mm| {
+                    for i in 0..expected {
+                        victim_write(mm, CoreId(1), VICTIM, 1, i as u8);
+                    }
+                })
+                .unwrap();
+            assert_eq!(counted, expected, "x = {expected}");
+        }
+    }
+
+    #[test]
+    fn level2_monitoring_works() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 2).unwrap();
+        // Victim page and attacker pool are in different leaves but the
+        // same L1 subtree.
+        let wrote = atk
+            .detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 2, 1))
+            .unwrap();
+        assert!(wrote);
+        assert!(!atk.detect_write(&mut m, core, |_| {}).unwrap());
+    }
+
+    #[test]
+    fn sgx_counters_are_impractical() {
+        let m = SecureMemory::new(SecureConfig::sgx(4096));
+        assert!(matches!(
+            MetaLeakC::new(&m, 0, 1),
+            Err(AttackError::OverflowImpractical { .. })
+        ));
+    }
+
+    #[test]
+    fn level0_is_rejected() {
+        let m = mem();
+        assert_eq!(
+            MetaLeakC::new(&m, VICTIM, 0).unwrap_err(),
+            AttackError::LevelNotShareable { level: 0 }
+        );
+    }
+}

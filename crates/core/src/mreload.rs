@@ -1,0 +1,88 @@
+//! mReload: inferring the caching state of a shared tree node from the
+//! timed reload of a co-located probe data block (§VI-A, step 3).
+
+use metaleak_engine::secmem::{AccessPath, SecureMemory};
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::clock::Cycles;
+
+/// One probe observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Observed reload latency of the probe block.
+    pub latency: Cycles,
+    /// Ground-truth path (visible to the simulator, not to a real
+    /// attacker; used for oracle comparisons and debugging).
+    pub oracle_path: AccessPath,
+}
+
+impl ProbeSample {
+    /// Oracle: did the walk stop at or below `level` loaded node blocks
+    /// (i.e. was the monitored ancestor cached)?
+    pub fn oracle_walk_depth(&self) -> Option<u8> {
+        match self.oracle_path {
+            AccessPath::TreeWalk { loaded_levels, .. } => Some(loaded_levels),
+            _ => None,
+        }
+    }
+}
+
+/// The mReload primitive for a fixed probe block.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    block: u64,
+}
+
+impl Probe {
+    /// Creates a probe over attacker data block `block`.
+    pub fn new(block: u64) -> Self {
+        Probe { block }
+    }
+
+    /// The probe's data block index.
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Flushes the probe's data block and times its reload. The
+    /// reload's verification walk stops at the first cached ancestor,
+    /// so the latency encodes the monitored node's caching state.
+    pub fn reload(&self, mem: &mut SecureMemory, core: CoreId) -> ProbeSample {
+        mem.flush_block(self.block);
+        let r = mem.read(core, self.block).expect("attacker-owned probe block");
+        ProbeSample { latency: r.latency, oracle_path: r.path }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+
+    fn mem() -> SecureMemory {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.sim.noise_sd = 0.0;
+        SecureMemory::new(cfg)
+    }
+
+    #[test]
+    fn reload_latency_reflects_tree_state() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let probe = Probe::new(100 * 64);
+        // Cold: full walk.
+        let cold = probe.reload(&mut m, core);
+        assert!(cold.oracle_path.walked_tree());
+        // Warm metadata (counter now cached): faster path.
+        let warm = probe.reload(&mut m, core);
+        assert_eq!(warm.oracle_path, AccessPath::CounterHit);
+        assert!(warm.latency < cold.latency);
+    }
+
+    #[test]
+    fn oracle_depth_reports_loaded_levels() {
+        let mut m = mem();
+        let s = Probe::new(0).reload(&mut m, CoreId(0));
+        let depth = s.oracle_walk_depth().expect("cold probe walks");
+        assert!(depth >= 1);
+    }
+}

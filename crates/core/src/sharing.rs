@@ -1,0 +1,141 @@
+//! Implicit-sharing arithmetic: which data blocks share an integrity
+//! tree node with a target (§VI-A, Figure 9), and SGX's page-group
+//! formula (§VIII-B).
+
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::geometry::NodeId;
+use metaleak_sim::addr::BLOCKS_PER_PAGE;
+
+/// The ancestor tree node of data block `index` at `level`.
+pub fn tree_node_of(mem: &SecureMemory, index: u64, level: u8) -> NodeId {
+    let cb = mem.counter_block_of(index);
+    mem.tree().geometry().ancestor_at(cb, level)
+}
+
+/// Data blocks (one per counter block) whose verification path passes
+/// through `node`, excluding those in `exclude_cbs` — the pool from
+/// which an attacker picks co-located probe blocks.
+pub fn blocks_under_node(mem: &SecureMemory, node: NodeId, count: usize, exclude_cbs: &[u64]) -> Vec<u64> {
+    let geometry = mem.tree().geometry();
+    let cbs = geometry.attached_under(node);
+    let blocks_per_cb = blocks_per_counter_block(mem);
+    cbs.filter(|cb| !exclude_cbs.contains(cb))
+        .take(count)
+        .map(|cb| cb * blocks_per_cb)
+        .collect()
+}
+
+/// How many data blocks one counter block covers under the configured
+/// scheme (a page for split counters, 8 blocks for monolithic/SGX).
+pub fn blocks_per_counter_block(mem: &SecureMemory) -> u64 {
+    use metaleak_meta::enc_counter::CounterScheme;
+    match mem.counters().scheme() {
+        CounterScheme::Split => BLOCKS_PER_PAGE as u64,
+        CounterScheme::Global | CounterScheme::Monolithic => 8,
+    }
+}
+
+/// §VIII-B: the EPC pages sharing a tree block with page `p` at level
+/// `l` in the 8-ary SGX tree: `{ floor((p-1)/A^l)*A^l + x | x in 1..=A^l }`
+/// with A = 8 and 1-based page indices. Returned as 0-based page
+/// numbers.
+pub fn sgx_sharing_pages(p: u64, level: u8) -> core::ops::Range<u64> {
+    let a_l = 8u64.pow(level as u32);
+    let base = (p / a_l) * a_l;
+    base..base + a_l
+}
+
+/// Picks a probe data block `D_A` whose counter block shares the tree
+/// node of `victim_index` at `level` but lives in a *different* counter
+/// block (no data/counter sharing, only tree sharing — the MetaLeak-T
+/// requirement). Returns `None` if the sharing set has no other member
+/// (e.g. SGX L0, where one leaf maps to one page, §VIII-B).
+pub fn pick_probe_block(mem: &SecureMemory, victim_index: u64, level: u8) -> Option<u64> {
+    let victim_cb = mem.counter_block_of(victim_index);
+    let node = tree_node_of(mem, victim_index, level);
+    let geometry = mem.tree().geometry();
+    let blocks_per_cb = blocks_per_counter_block(mem);
+    // Prefer a counter block under a *different* leaf when the level
+    // allows it, so the probe's path and the victim's path only join at
+    // the target node.
+    let candidates: Vec<u64> = geometry
+        .attached_under(node)
+        .filter(|&cb| cb != victim_cb)
+        .collect();
+    let victim_leaf = geometry.leaf_of(victim_cb);
+    candidates
+        .iter()
+        .copied()
+        .find(|&cb| level > 0 && geometry.leaf_of(cb) != victim_leaf)
+        .or_else(|| candidates.first().copied())
+        .map(|cb| cb * blocks_per_cb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+
+    fn mem() -> SecureMemory {
+        SecureMemory::new(SecureConfig::sct(2048))
+    }
+
+    #[test]
+    fn probe_shares_node_but_not_counter_block() {
+        let m = mem();
+        let victim = 40 * 64; // page 40
+        for level in 0..2u8 {
+            let probe = pick_probe_block(&m, victim, level).expect("sharing set nonempty");
+            assert_ne!(m.counter_block_of(probe), m.counter_block_of(victim), "level {level}");
+            assert_eq!(
+                tree_node_of(&m, probe, level),
+                tree_node_of(&m, victim, level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn level1_probe_avoids_the_victims_leaf() {
+        let m = mem();
+        let victim = 40 * 64;
+        let probe = pick_probe_block(&m, victim, 1).unwrap();
+        assert_ne!(tree_node_of(&m, probe, 0), tree_node_of(&m, victim, 0));
+    }
+
+    #[test]
+    fn blocks_under_node_excludes_requested_cbs() {
+        let m = mem();
+        let node = tree_node_of(&m, 0, 1);
+        let victim_cb = m.counter_block_of(0);
+        let picks = blocks_under_node(&m, node, 5, &[victim_cb]);
+        assert_eq!(picks.len(), 5);
+        for b in picks {
+            assert_ne!(m.counter_block_of(b), victim_cb);
+            assert_eq!(tree_node_of(&m, b, 1), node);
+        }
+    }
+
+    #[test]
+    fn sgx_page_groups_match_section_viii() {
+        assert_eq!(sgx_sharing_pages(10, 0), 10..11);
+        assert_eq!(sgx_sharing_pages(10, 1), 8..16);
+        assert_eq!(sgx_sharing_pages(10, 2), 0..64);
+        assert_eq!(sgx_sharing_pages(100, 2), 64..128);
+    }
+
+    #[test]
+    fn sgx_l0_has_no_cross_page_probe() {
+        // In the SGX config one leaf covers one page, so a different
+        // counter block under the same leaf exists (8 cbs per page) but
+        // they all belong to the same page — tree co-location at L0 is
+        // useless across domains. The helper still returns a block; the
+        // attack layer rejects L0 for SGX (see metaleak_t).
+        let m = SecureMemory::new(SecureConfig::sgx(512));
+        let probe = pick_probe_block(&m, 0, 0);
+        assert!(probe.is_some());
+        // At L1 the probe lands in a different page, as the attack needs.
+        let p1 = pick_probe_block(&m, 0, 1).unwrap();
+        assert_ne!(p1 / 64, 0, "L1 probe must be in another page");
+    }
+}

@@ -1,0 +1,96 @@
+//! Write-queue flushing through redundant writes (§VI-B, mPreset):
+//! pending writes buffered at the memory controller hide counter
+//! updates from the attacker (they merge, and they delay the timed
+//! read). The attacker flushes the queue *from software* by issuing
+//! redundant writes to blocks outside the monitored sub-tree until the
+//! drain watermark forces the controller to service everything ahead
+//! of them.
+
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::geometry::NodeId;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::clock::Cycles;
+
+/// A pool of attacker blocks used to pressure the write queue.
+#[derive(Debug, Clone)]
+pub struct WriteQueueFlusher {
+    blocks: Vec<u64>,
+    next: usize,
+}
+
+impl WriteQueueFlusher {
+    /// Plans a flusher whose blocks avoid `avoid_subtree` (so the
+    /// redundant writes never touch the monitored counters). `pool`
+    /// blocks are rotated to keep their own counters far from overflow.
+    pub fn plan(mem: &SecureMemory, avoid_subtree: Option<NodeId>, pool: usize) -> Self {
+        let geometry = mem.tree().geometry();
+        let forbidden = avoid_subtree.map(|n| geometry.attached_under(n));
+        let per_cb = crate::sharing::blocks_per_counter_block(mem);
+        let blocks = (0..geometry.covered())
+            .filter(|cb| !forbidden.as_ref().is_some_and(|r| r.contains(cb)))
+            .take(pool.max(1))
+            .map(|cb| cb * per_cb + 1)
+            .collect();
+        WriteQueueFlusher { blocks, next: 0 }
+    }
+
+    /// Issues redundant writes until the memory controller's write
+    /// queue is empty (every previously pending write has been
+    /// serviced). Returns `(redundant_writes_issued, cycles)`.
+    pub fn flush(&mut self, mem: &mut SecureMemory, core: CoreId) -> (usize, Cycles) {
+        let t0 = mem.now();
+        let mut issued = 0;
+        // Each write_back enqueues one entry; reaching the watermark
+        // drains the head of the queue — keep going until the queue has
+        // cycled through everything that was pending before us.
+        let target_rounds = mem.config().sim.memctl.write_queue + 4;
+        while issued < target_rounds {
+            let block = self.blocks[self.next];
+            self.next = (self.next + 1) % self.blocks.len();
+            mem.write_back(core, block, [issued as u8; 64]).expect("attacker block");
+            issued += 1;
+        }
+        (issued, mem.now() - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+
+    #[test]
+    fn redundant_writes_force_pending_writes_to_service() {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.sim.noise_sd = 0.0;
+        let mut mem = SecureMemory::new(cfg);
+        let core = CoreId(0);
+        // A victim write sits in the write queue (no fence!).
+        let victim_block = 100 * 64;
+        mem.write(core, victim_block, [9u8; 64]).unwrap();
+        mem.flush_block(victim_block);
+        assert_eq!(mem.stats.get("writes_serviced"), 0, "write still buffered");
+        // The attacker flushes the queue purely with its own writes.
+        let mut flusher = WriteQueueFlusher::plan(&mem, None, 128);
+        let (issued, _) = flusher.flush(&mut mem, core);
+        assert!(issued > 0);
+        assert!(
+            mem.stats.get("writes_serviced") >= 1,
+            "victim write must have been forced to service"
+        );
+        // And the counter increment became visible.
+        assert_eq!(mem.counters().minor_value(victim_block), 1);
+    }
+
+    #[test]
+    fn flusher_avoids_the_monitored_subtree() {
+        let mem = SecureMemory::new(SecureConfig::sct(16384));
+        let cb = mem.counter_block_of(100 * 64);
+        let target = mem.tree().geometry().ancestor_at(cb, 1);
+        let flusher = WriteQueueFlusher::plan(&mem, Some(target), 64);
+        let forbidden = mem.tree().geometry().attached_under(target);
+        for &b in &flusher.blocks {
+            assert!(!forbidden.contains(&mem.counter_block_of(b)));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Systematic attack-applicability sweep: MetaLeak-T across every
+//! tree design and usable level, and MetaLeak-C across counter widths
+//! — the design-space exploration of §IV condensed into assertions.
+
+use metaleak_attacks::dual::{find_partner_block, victim_touch, DualPageMonitor};
+use metaleak_attacks::error::AttackError;
+use metaleak_attacks::metaleak_c::{victim_write, MetaLeakC};
+use metaleak_attacks::metaleak_t::MetaLeakT;
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_meta::enc_counter::CounterWidths;
+use metaleak_meta::mcache::MetaCacheConfig;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::config::CacheConfig;
+
+fn experiment(mut cfg: SecureConfig) -> SecureConfig {
+    cfg.mcache = MetaCacheConfig {
+        counter: CacheConfig::new(8 * 1024, 4, 2),
+        tree: CacheConfig::new(8 * 1024, 4, 2),
+    };
+    cfg
+}
+
+const VICTIM: u64 = 100 * 64;
+
+#[test]
+fn metaleak_t_works_on_every_design_at_its_usable_levels() {
+    let cases: Vec<(&str, SecureConfig, Vec<u8>)> = vec![
+        ("SCT", experiment(SecureConfig::sct(16384)), vec![0, 1]),
+        ("HT", experiment(SecureConfig::ht(16384)), vec![0, 1]),
+        ("SGX", experiment(SecureConfig::sgx(16384)), vec![1]),
+    ];
+    for (name, cfg, levels) in cases {
+        for level in levels {
+            let mut mem = SecureMemory::new(cfg.clone());
+            let core = CoreId(0);
+            let atk = MetaLeakT::new(&mut mem, core, VICTIM, level, 4)
+                .unwrap_or_else(|e| panic!("{name} L{level}: {e}"));
+            let hit = atk.monitor(&mut mem, core, |m| victim_touch(m, CoreId(1), VICTIM));
+            let idle = atk.monitor(&mut mem, core, |_| {});
+            assert!(hit.accessed, "{name} L{level}: access missed ({:?})", hit.probe);
+            assert!(!idle.accessed, "{name} L{level}: false positive ({:?})", idle.probe);
+        }
+    }
+}
+
+#[test]
+fn dual_monitoring_works_on_every_design() {
+    for (name, cfg, level) in [
+        ("SCT", experiment(SecureConfig::sct(16384)), 0u8),
+        ("HT", experiment(SecureConfig::ht(16384)), 0),
+        ("SGX", experiment(SecureConfig::sgx(16384)), 1),
+    ] {
+        let mut mem = SecureMemory::new(cfg);
+        let core = CoreId(0);
+        let partner = find_partner_block(&mem, VICTIM, level)
+            .unwrap_or_else(|| panic!("{name}: no partner"));
+        let dual = DualPageMonitor::new(&mut mem, core, VICTIM, partner, level)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), partner));
+        assert!(!s.a_seen && s.b_seen, "{name}: {s:?}");
+    }
+}
+
+#[test]
+fn metaleak_c_viability_tracks_counter_width() {
+    // Narrow minors: practical.
+    for bits in [3u8, 4, 5] {
+        let mut cfg = experiment(SecureConfig::sct(16384));
+        cfg.tree_widths = CounterWidths { minor_bits: bits, mono_bits: 56 };
+        let mut mem = SecureMemory::new(cfg);
+        let mut atk = MetaLeakC::new(&mem, VICTIM, 1).unwrap_or_else(|e| panic!("{bits}-bit: {e}"));
+        let wrote = atk
+            .detect_write(&mut mem, CoreId(0), |m| victim_write(m, CoreId(1), VICTIM, 1, 1))
+            .unwrap();
+        assert!(wrote, "{bits}-bit minors: victim write missed");
+    }
+    // Wide counters: rejected as impractical (§VIII-B: SGX's 56-bit).
+    let mut cfg = experiment(SecureConfig::sct(16384));
+    cfg.tree_widths = CounterWidths { minor_bits: 32, mono_bits: 56 };
+    let mem = SecureMemory::new(cfg);
+    assert!(matches!(
+        MetaLeakC::new(&mem, VICTIM, 1),
+        Err(AttackError::OverflowImpractical { .. })
+    ));
+}
+
+#[test]
+fn metaleak_t_round_cost_grows_with_level() {
+    // The Figure-12 trend as an assertion: monitoring a higher level
+    // costs at least as much per round (more path sets to evict).
+    let mut mem = SecureMemory::new(experiment(SecureConfig::sct(16384)));
+    let core = CoreId(0);
+    let atk0 = MetaLeakT::new(&mut mem, core, VICTIM, 0, 2).unwrap();
+    let i0 = atk0.measure_interval(&mut mem, core, 10);
+    let atk1 = MetaLeakT::new(&mut mem, core, VICTIM, 1, 2).unwrap();
+    let i1 = atk1.measure_interval(&mut mem, core, 10);
+    assert!(i1 >= i0 * 0.9, "L1 interval {i1} should not beat L0 {i0} significantly");
+    assert!(atk1.coverage_bytes(&mem) > atk0.coverage_bytes(&mem));
+}

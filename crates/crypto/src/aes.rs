@@ -1,0 +1,282 @@
+//! AES-128 block cipher (FIPS-197), implemented from scratch.
+//!
+//! Used functionally by the secure-memory engine for counter-mode
+//! one-time-pad generation. This is a straightforward table-free
+//! software implementation; it is *not* constant-time and must not be
+//! used outside the simulator.
+
+/// AES block size in bytes.
+pub const AES_BLOCK: usize = 16;
+/// AES-128 key size in bytes.
+pub const AES_KEY: usize = 16;
+const ROUNDS: usize = 10;
+
+/// An expanded AES-128 key.
+///
+/// ```
+/// use metaleak_crypto::aes::Aes128;
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(&key);
+/// let pt = *b"sixteen byte msg";
+/// let ct = aes.encrypt_block(&pt);
+/// assert_eq!(aes.decrypt_block(&ct), pt);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (((x >> 7) & 1) * 0x1b)
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Computes the AES S-box entry for `x` by inversion in GF(2^8) plus the
+/// affine transform. Slow but table-free; we memoise in `SBOX`.
+fn sbox_entry(x: u8) -> u8 {
+    // Multiplicative inverse via exponentiation: x^254 = x^-1 in GF(2^8).
+    let inv = if x == 0 {
+        0
+    } else {
+        let mut acc = 1u8;
+        let mut base = x;
+        let mut e = 254u32;
+        while e > 0 {
+            if e & 1 != 0 {
+                acc = gmul(acc, base);
+            }
+            base = gmul(base, base);
+            e >>= 1;
+        }
+        acc
+    };
+    // Affine transform.
+    inv ^ inv.rotate_left(1) ^ inv.rotate_left(2) ^ inv.rotate_left(3) ^ inv.rotate_left(4) ^ 0x63
+}
+
+fn build_sbox() -> ([u8; 256], [u8; 256]) {
+    let mut s = [0u8; 256];
+    let mut inv = [0u8; 256];
+    for (i, slot) in s.iter_mut().enumerate() {
+        *slot = sbox_entry(i as u8);
+    }
+    for (i, &v) in s.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    (s, inv)
+}
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    SBOX.get_or_init(build_sbox)
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; AES_KEY]) -> Self {
+        let (sbox, _) = sboxes();
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp = [
+                    sbox[temp[1] as usize] ^ rcon,
+                    sbox[temp[2] as usize],
+                    sbox[temp[3] as usize],
+                    sbox[temp[0] as usize],
+                ];
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        let (sbox, _) = sboxes();
+        for b in state.iter_mut() {
+            *b = sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let (_, inv) = sboxes();
+        for b in state.iter_mut() {
+            *b = inv[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // state is column-major: state[4*c + r].
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, pt: &[u8; 16]) -> [u8; 16] {
+        let mut s = *pt;
+        Self::add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            Self::sub_bytes(&mut s);
+            Self::shift_rows(&mut s);
+            Self::mix_columns(&mut s);
+            Self::add_round_key(&mut s, &self.round_keys[r]);
+        }
+        Self::sub_bytes(&mut s);
+        Self::shift_rows(&mut s);
+        Self::add_round_key(&mut s, &self.round_keys[ROUNDS]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ct: &[u8; 16]) -> [u8; 16] {
+        let mut s = *ct;
+        Self::add_round_key(&mut s, &self.round_keys[ROUNDS]);
+        for r in (1..ROUNDS).rev() {
+            Self::inv_shift_rows(&mut s);
+            Self::inv_sub_bytes(&mut s);
+            Self::add_round_key(&mut s, &self.round_keys[r]);
+            Self::inv_mix_columns(&mut s);
+        }
+        Self::inv_shift_rows(&mut s);
+        Self::inv_sub_bytes(&mut s);
+        Self::add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B example.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+        assert_eq!(aes.decrypt_block(&expect), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1 (AES-128).
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let mut block = [0u8; 16];
+        for i in 0..64u8 {
+            block.iter_mut().for_each(|b| *b = b.wrapping_add(i).wrapping_mul(31).wrapping_add(7));
+            let ct = aes.encrypt_block(&block);
+            assert_ne!(ct, block, "ciphertext must differ from plaintext");
+            assert_eq!(aes.decrypt_block(&ct), block);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation_with_known_points() {
+        let (sbox, inv) = sboxes();
+        let mut seen = [false; 256];
+        for &v in sbox.iter() {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "S-box must be a bijection");
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x53], 0xed);
+        for i in 0..256 {
+            assert_eq!(inv[sbox[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let a = Aes128::new(b"0000000000000000");
+        let b = Aes128::new(b"0000000000000001");
+        let pt = [0u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+}

@@ -1,0 +1,383 @@
+//! Integrity-tree geometry: level/arity math, parent/child navigation,
+//! subtree sizes and the cross-page sharing sets exploited by MetaLeak.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a logical tree node: `(level, index)`. Level 0 is the
+/// leaf level (L0); the highest level holds the single root, which is
+/// stored on-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId {
+    /// Tree level, 0 = leaf.
+    pub level: u8,
+    /// Node index within the level.
+    pub index: u64,
+}
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(level: u8, index: u64) -> Self {
+        NodeId { level, index }
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "L{}[{}]", self.level, self.index)
+    }
+}
+
+/// Static shape of an integrity tree covering `covered` attached blocks.
+///
+/// `arities[l]` is the fan-in of a level-`l` node (how many children it
+/// has); levels beyond the provided list reuse the last entry. The tree
+/// is grown until a single root node remains.
+///
+/// ```
+/// use metaleak_meta::geometry::TreeGeometry;
+/// // The paper's SCT: 32-ary L0, 16-ary above (Table I).
+/// let g = TreeGeometry::new(&[32, 16], 512);
+/// assert_eq!(g.nodes_at(0), 16); // 512 / 32
+/// assert_eq!(g.nodes_at(1), 1);  // root
+/// assert_eq!(g.levels(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeGeometry {
+    arities: Vec<usize>,
+    level_counts: Vec<u64>,
+    covered: u64,
+}
+
+impl TreeGeometry {
+    /// Builds the geometry for `covered` attached blocks.
+    ///
+    /// # Panics
+    /// Panics if `arities` is empty, any arity is < 2, or `covered` is 0.
+    pub fn new(arities: &[usize], covered: u64) -> Self {
+        assert!(!arities.is_empty(), "need at least one arity");
+        assert!(arities.iter().all(|&a| a >= 2), "arity must be >= 2");
+        assert!(covered > 0, "tree must cover at least one block");
+        let mut level_counts = Vec::new();
+        let mut n = covered;
+        let mut l = 0usize;
+        loop {
+            let arity = arities[l.min(arities.len() - 1)] as u64;
+            n = n.div_ceil(arity);
+            level_counts.push(n);
+            if n == 1 {
+                break;
+            }
+            l += 1;
+        }
+        TreeGeometry { arities: arities.to_vec(), level_counts, covered }
+    }
+
+    /// The paper's SCT shape: 32-ary L0, 16-ary L1+ (Table I).
+    pub fn sct(covered: u64) -> Self {
+        TreeGeometry::new(&[32, 16], covered)
+    }
+
+    /// The paper's HT shape: 8-ary Bonsai Merkle Tree (Table I).
+    pub fn ht(covered: u64) -> Self {
+        TreeGeometry::new(&[8], covered)
+    }
+
+    /// The SGX integrity tree shape: 8-ary (Table I / \[67\], \[87\]).
+    pub fn sit(covered: u64) -> Self {
+        TreeGeometry::new(&[8], covered)
+    }
+
+    /// Number of attached (covered) blocks.
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Number of levels, including the root level.
+    pub fn levels(&self) -> u8 {
+        self.level_counts.len() as u8
+    }
+
+    /// Fan-in of a node at `level`.
+    pub fn arity(&self, level: u8) -> usize {
+        self.arities[(level as usize).min(self.arities.len() - 1)]
+    }
+
+    /// Number of nodes at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn nodes_at(&self, level: u8) -> u64 {
+        self.level_counts[level as usize]
+    }
+
+    /// Total node count across all levels (root included).
+    pub fn total_nodes(&self) -> u64 {
+        self.level_counts.iter().sum()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        NodeId::new(self.levels() - 1, 0)
+    }
+
+    /// Whether `node` is the root.
+    pub fn is_root(&self, node: NodeId) -> bool {
+        node == self.root()
+    }
+
+    /// The leaf node covering attached block `attached`.
+    ///
+    /// # Panics
+    /// Panics if `attached >= covered`.
+    pub fn leaf_of(&self, attached: u64) -> NodeId {
+        assert!(attached < self.covered, "attached block {attached} out of range");
+        NodeId::new(0, attached / self.arity(0) as u64)
+    }
+
+    /// Child slot of attached block `attached` within its leaf.
+    pub fn leaf_slot_of(&self, attached: u64) -> usize {
+        (attached % self.arity(0) as u64) as usize
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if self.is_root(node) {
+            return None;
+        }
+        let parent_level = node.level + 1;
+        Some(NodeId::new(parent_level, node.index / self.arity(parent_level) as u64))
+    }
+
+    /// Slot of `node` within its parent, or `None` for the root.
+    pub fn child_slot(&self, node: NodeId) -> Option<usize> {
+        if self.is_root(node) {
+            return None;
+        }
+        let parent_level = node.level + 1;
+        Some((node.index % self.arity(parent_level) as u64) as usize)
+    }
+
+    /// Path from the leaf of `attached` up to and including the root.
+    pub fn path_to_root(&self, attached: u64) -> Vec<NodeId> {
+        let mut path = vec![self.leaf_of(attached)];
+        while let Some(p) = self.parent(*path.last().expect("nonempty")) {
+            path.push(p);
+        }
+        path
+    }
+
+    /// The ancestor of `attached` at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    pub fn ancestor_at(&self, attached: u64, level: u8) -> NodeId {
+        assert!(level < self.levels(), "level {level} out of range");
+        let mut n = self.leaf_of(attached);
+        while n.level < level {
+            n = self.parent(n).expect("non-root has parent");
+        }
+        n
+    }
+
+    /// Children of `node` at the level below (leaf children are attached
+    /// blocks, reported as indices).
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        assert!(node.level > 0, "leaf children are attached blocks; use attached_under");
+        let arity = self.arity(node.level) as u64;
+        let child_level = node.level - 1;
+        let first = node.index * arity;
+        let count = self.nodes_at(child_level).saturating_sub(first).min(arity);
+        (first..first + count).map(|i| NodeId::new(child_level, i)).collect()
+    }
+
+    /// All node ids in the subtree rooted at `node` (inclusive).
+    pub fn subtree_nodes(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = vec![node];
+        let mut frontier = vec![node];
+        while let Some(n) = frontier.pop() {
+            if n.level == 0 {
+                continue;
+            }
+            for c in self.children(n) {
+                out.push(c);
+                frontier.push(c);
+            }
+        }
+        out
+    }
+
+    /// Range of attached block indices covered by the subtree of `node`.
+    pub fn attached_under(&self, node: NodeId) -> core::ops::Range<u64> {
+        // Multiply arities from the node's level down to the leaves.
+        let mut span = self.arity(0) as u64;
+        for l in 1..=node.level {
+            span *= self.arity(l) as u64;
+        }
+        let start = node.index * span;
+        start.min(self.covered)..(start + span).min(self.covered)
+    }
+
+    /// Attached blocks that share the ancestor node of `attached` at
+    /// `level` — the implicit-sharing set MetaLeak-T exploits (§VI-A,
+    /// and the SGX page-group formula of §VIII-B).
+    pub fn sharing_set(&self, attached: u64, level: u8) -> core::ops::Range<u64> {
+        self.attached_under(self.ancestor_at(attached, level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sct_geometry_matches_table1_shape() {
+        // 16384 counter blocks (a 64 MiB protected region).
+        let g = TreeGeometry::sct(16384);
+        assert_eq!(g.arity(0), 32);
+        assert_eq!(g.arity(1), 16);
+        assert_eq!(g.nodes_at(0), 512);
+        assert_eq!(g.nodes_at(1), 32);
+        assert_eq!(g.nodes_at(2), 2);
+        assert_eq!(g.nodes_at(3), 1);
+        assert_eq!(g.levels(), 4);
+        assert_eq!(g.root(), NodeId::new(3, 0));
+    }
+
+    #[test]
+    fn sit_is_8ary_4_level_for_epc_scale() {
+        // SGX: 8 counter blocks per page; 93.5 MB EPC ≈ 23936 pages.
+        // Use 4096 pages => 32768 counter blocks? SIT L0 covers 8 enc
+        // counter blocks = 1 page. For a 4-level tree (root at L3):
+        // covered = 8^4 = 4096 L0-groups.
+        let g = TreeGeometry::sit(4096);
+        assert_eq!(g.levels(), 4);
+        assert_eq!(g.nodes_at(0), 512);
+        assert_eq!(g.nodes_at(3), 1);
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let g = TreeGeometry::sct(16384);
+        let leaf = g.leaf_of(1000);
+        let parent = g.parent(leaf).unwrap();
+        assert!(g.children(parent).contains(&leaf));
+        let slot = g.child_slot(leaf).unwrap();
+        assert_eq!(g.children(parent)[slot], leaf);
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let g = TreeGeometry::sct(512);
+        assert_eq!(g.parent(g.root()), None);
+        assert_eq!(g.child_slot(g.root()), None);
+        assert!(g.is_root(g.root()));
+    }
+
+    #[test]
+    fn path_to_root_is_strictly_ascending() {
+        let g = TreeGeometry::sct(16384);
+        let path = g.path_to_root(12345);
+        assert_eq!(path.first().unwrap().level, 0);
+        assert_eq!(*path.last().unwrap(), g.root());
+        for w in path.windows(2) {
+            assert_eq!(w[1].level, w[0].level + 1);
+            assert_eq!(g.parent(w[0]), Some(w[1]));
+        }
+    }
+
+    #[test]
+    fn attached_under_leaf_is_arity0_wide() {
+        let g = TreeGeometry::sct(16384);
+        let r = g.attached_under(NodeId::new(0, 3));
+        assert_eq!(r, 96..128);
+    }
+
+    #[test]
+    fn sharing_set_grows_with_level() {
+        let g = TreeGeometry::sct(16384);
+        let l0 = g.sharing_set(100, 0);
+        let l1 = g.sharing_set(100, 1);
+        let l2 = g.sharing_set(100, 2);
+        assert_eq!(l0.end - l0.start, 32);
+        assert_eq!(l1.end - l1.start, 32 * 16);
+        assert_eq!(l2.end - l2.start, 32 * 16 * 16);
+        assert!(l0.contains(&100) && l1.contains(&100) && l2.contains(&100));
+    }
+
+    #[test]
+    fn sgx_page_group_formula() {
+        // §VIII-B: a group of 1, 8 and 64 consecutive EPC pages share the
+        // same tree block at L0, L1 and L2. The attached units are
+        // encryption counter blocks (8 per EPC page), so a level-l tree
+        // block covers 8^(l+1) counter blocks = 8^l pages.
+        let g = TreeGeometry::sit(32768); // 4096 pages x 8 counter blocks
+        for (level, pages) in [(0u8, 1u64), (1, 8), (2, 64)] {
+            let s = g.sharing_set(777, level);
+            assert_eq!((s.end - s.start) / 8, pages, "level {level}");
+        }
+    }
+
+    #[test]
+    fn subtree_nodes_count_matches_geometric_sum() {
+        let g = TreeGeometry::sct(16384);
+        // L1 node subtree: itself + 16 L0 children.
+        let n = NodeId::new(1, 0);
+        assert_eq!(g.subtree_nodes(n).len(), 17);
+        // L2 node subtree: itself + 16 L1 + 256 L0.
+        let n2 = NodeId::new(2, 0);
+        assert_eq!(g.subtree_nodes(n2).len(), 1 + 16 + 256);
+    }
+
+    #[test]
+    fn ragged_tail_is_handled() {
+        // covered not a multiple of arities.
+        let g = TreeGeometry::new(&[4], 10);
+        assert_eq!(g.nodes_at(0), 3);
+        assert_eq!(g.nodes_at(1), 1);
+        let last_leaf = NodeId::new(0, 2);
+        assert_eq!(g.attached_under(last_leaf), 8..10);
+        // children() of root must not invent nodes beyond the level count.
+        assert_eq!(g.children(g.root()).len(), 3);
+    }
+
+    #[test]
+    fn leaf_slot_is_position_within_leaf() {
+        let g = TreeGeometry::sct(512);
+        assert_eq!(g.leaf_slot_of(0), 0);
+        assert_eq!(g.leaf_slot_of(33), 1);
+        assert_eq!(g.leaf_of(33), NodeId::new(0, 1));
+    }
+
+    #[test]
+    fn table1_scale_geometries() {
+        // The paper's 64 GB protected memory: 16M pages => 16M counter
+        // blocks under SC. SCT: 32-ary L0, 16-ary above => 6 in-memory
+        // levels + root region, matching Table I's L0-L5.
+        let pages = 64u64 * 1024 * 1024 * 1024 / 4096;
+        let sct = TreeGeometry::sct(pages);
+        assert_eq!(sct.levels(), 6);
+        assert_eq!(sct.nodes_at(0), pages / 32);
+        // HT: 8-ary over the same counter blocks => deeper.
+        let ht = TreeGeometry::ht(pages);
+        assert_eq!(ht.levels(), 8);
+        // Table I says "8-ary BMT, 6-level tree" for HT over a smaller
+        // effective region; the arity math is what matters here.
+        assert_eq!(ht.arity(0), 8);
+        // Paths are consistent even at this scale.
+        let cb = pages - 1;
+        let path = sct.path_to_root(cb);
+        assert_eq!(path.len() as u8, sct.levels());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_of_out_of_range_panics() {
+        TreeGeometry::sct(32).leaf_of(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be >= 2")]
+    fn bad_arity_panics() {
+        TreeGeometry::new(&[1], 10);
+    }
+}

@@ -1,0 +1,185 @@
+//! Physical layout of the protected region and its metadata.
+//!
+//! ```text
+//! | data blocks | counter blocks | tree L0 | tree L1 | ... |
+//! ^ data_base   ^ counter_base   ^ tree_base
+//! ```
+//!
+//! Data blocks are indexed `0..data_blocks` relative to `data_base`;
+//! counter blocks and tree node blocks get real [`BlockAddr`]esses so
+//! they contend in DRAM banks and metadata-cache sets exactly like the
+//! paper's designs.
+
+use crate::geometry::{NodeId, TreeGeometry};
+use metaleak_sim::addr::{BlockAddr, PageId, BLOCKS_PER_PAGE};
+use serde::{Deserialize, Serialize};
+
+/// The physical memory map of a secure region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecureLayout {
+    data_base: BlockAddr,
+    data_blocks: u64,
+    counter_base: BlockAddr,
+    counter_blocks: u64,
+    tree_base: BlockAddr,
+    /// Cumulative node-block offsets per tree level.
+    level_offsets: Vec<u64>,
+    total_tree_blocks: u64,
+}
+
+impl SecureLayout {
+    /// Lays out a protected region of `data_blocks` starting at
+    /// `data_base`, followed by `counter_blocks` counter blocks and the
+    /// node blocks of a tree with `geometry`.
+    pub fn new(data_base: BlockAddr, data_blocks: u64, counter_blocks: u64, geometry: &TreeGeometry) -> Self {
+        let counter_base = data_base.add(data_blocks);
+        let tree_base = counter_base.add(counter_blocks);
+        let mut level_offsets = Vec::with_capacity(geometry.levels() as usize);
+        let mut off = 0u64;
+        for l in 0..geometry.levels() {
+            level_offsets.push(off);
+            off += geometry.nodes_at(l);
+        }
+        SecureLayout {
+            data_base,
+            data_blocks,
+            counter_base,
+            counter_blocks,
+            tree_base,
+            level_offsets,
+            total_tree_blocks: off,
+        }
+    }
+
+    /// First data block.
+    pub fn data_base(&self) -> BlockAddr {
+        self.data_base
+    }
+
+    /// Number of protected data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_blocks
+    }
+
+    /// Number of protected data pages.
+    pub fn data_pages(&self) -> u64 {
+        self.data_blocks / BLOCKS_PER_PAGE as u64
+    }
+
+    /// Physical address of protected data block index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn data_addr(&self, i: u64) -> BlockAddr {
+        assert!(i < self.data_blocks, "data block {i} out of range");
+        self.data_base.add(i)
+    }
+
+    /// The protected index of a physical data block address, if inside
+    /// the region.
+    pub fn data_index(&self, addr: BlockAddr) -> Option<u64> {
+        let i = addr.index().checked_sub(self.data_base.index())?;
+        (i < self.data_blocks).then_some(i)
+    }
+
+    /// Physical address of counter block `cb`.
+    ///
+    /// # Panics
+    /// Panics if `cb` is out of range.
+    pub fn counter_addr(&self, cb: u64) -> BlockAddr {
+        assert!(cb < self.counter_blocks, "counter block {cb} out of range");
+        self.counter_base.add(cb)
+    }
+
+    /// Physical address of tree node `node`.
+    pub fn node_addr(&self, node: NodeId) -> BlockAddr {
+        self.tree_base.add(self.level_offsets[node.level as usize] + node.index)
+    }
+
+    /// Total blocks occupied by tree nodes.
+    pub fn tree_blocks(&self) -> u64 {
+        self.total_tree_blocks
+    }
+
+    /// The tree node whose node block lives at `addr`, if any.
+    pub fn node_of_addr(&self, addr: BlockAddr) -> Option<NodeId> {
+        let off = addr.index().checked_sub(self.tree_base.index())?;
+        if off >= self.total_tree_blocks {
+            return None;
+        }
+        // level_offsets is ascending; find the level containing `off`.
+        let level = match self.level_offsets.binary_search(&off) {
+            Ok(l) => l,
+            Err(ins) => ins - 1,
+        };
+        Some(NodeId::new(level as u8, off - self.level_offsets[level]))
+    }
+
+    /// First block past the whole secure region (data + metadata).
+    pub fn end(&self) -> BlockAddr {
+        self.tree_base.add(self.total_tree_blocks)
+    }
+
+    /// The protected data page containing data block index `i`.
+    pub fn page_of_index(&self, i: u64) -> PageId {
+        self.data_addr(i).page()
+    }
+
+    /// Data block index range of protected page number `p` (0-based
+    /// within the region).
+    pub fn page_blocks(&self, p: u64) -> core::ops::Range<u64> {
+        let start = p * BLOCKS_PER_PAGE as u64;
+        start..(start + BLOCKS_PER_PAGE as u64).min(self.data_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> (SecureLayout, TreeGeometry) {
+        // 256 pages of data = 16384 blocks; SC counters: 256 counter blocks.
+        let g = TreeGeometry::sct(256);
+        (SecureLayout::new(BlockAddr::new(0x1000), 16384, 256, &g), g)
+    }
+
+    #[test]
+    fn regions_are_contiguous_and_disjoint() {
+        let (l, g) = layout();
+        assert_eq!(l.counter_addr(0).index(), 0x1000 + 16384);
+        assert_eq!(l.node_addr(NodeId::new(0, 0)).index(), 0x1000 + 16384 + 256);
+        assert_eq!(l.end().index(), l.node_addr(g.root()).index() + 1);
+    }
+
+    #[test]
+    fn node_addresses_are_level_major() {
+        let (l, g) = layout();
+        let l0_last = l.node_addr(NodeId::new(0, g.nodes_at(0) - 1));
+        let l1_first = l.node_addr(NodeId::new(1, 0));
+        assert_eq!(l1_first.index(), l0_last.index() + 1);
+    }
+
+    #[test]
+    fn data_index_round_trip() {
+        let (l, _) = layout();
+        let a = l.data_addr(777);
+        assert_eq!(l.data_index(a), Some(777));
+        assert_eq!(l.data_index(BlockAddr::new(0x0fff)), None);
+        assert_eq!(l.data_index(l.counter_addr(0)), None);
+    }
+
+    #[test]
+    fn page_block_ranges() {
+        let (l, _) = layout();
+        assert_eq!(l.page_blocks(0), 0..64);
+        assert_eq!(l.page_blocks(3), 192..256);
+        assert_eq!(l.data_pages(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_data_index_panics() {
+        let (l, _) = layout();
+        l.data_addr(16384);
+    }
+}

@@ -1,0 +1,38 @@
+//! # metaleak-meta
+//!
+//! Security-metadata substrates for the MetaLeak reproduction:
+//!
+//! - [`enc_counter`] — encryption-counter schemes (Global / Monolithic /
+//!   Split) with the overflow and counter-sharing-group semantics of
+//!   Algorithm 1 and Figure 3;
+//! - [`geometry`] — integrity-tree shape math, including the implicit
+//!   cross-page sharing sets MetaLeak-T exploits;
+//! - [`tree`] — the hash tree (HT), split-counter tree (SCT) and SGX
+//!   integrity tree (SIT) with genuine tamper/replay detection, lazy
+//!   update and subtree-reset overflow handling;
+//! - [`mcache`] — the memory controller's counter and tree caches;
+//! - [`layout`] — the physical memory map of data, counter and node
+//!   blocks.
+//!
+//! ```
+//! use metaleak_meta::tree::IntegrityTree;
+//!
+//! let mut tree = IntegrityTree::sct(4096);
+//! tree.record_counter_writeback(7, &[1u8; 64]);
+//! let walk = tree.verify_counter_block(7, &[1u8; 64], |_| false);
+//! assert!(walk.ok);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enc_counter;
+pub mod geometry;
+pub mod layout;
+pub mod mcache;
+pub mod tree;
+
+pub use enc_counter::{CounterScheme, CounterWidths, EncCounters};
+pub use geometry::{NodeId, TreeGeometry};
+pub use layout::SecureLayout;
+pub use mcache::{MetaCacheConfig, MetadataCaches};
+pub use tree::{IntegrityTree, TreeKind};

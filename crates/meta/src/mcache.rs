@@ -1,0 +1,238 @@
+//! On-chip metadata caches at the memory controller.
+//!
+//! Table I: an 8-way, 256 KB counter cache and an 8-way, 256 KB
+//! integrity-tree cache. Cached tree nodes are trusted (they act as
+//! temporary roots for Algorithm 2), and *lazy update* means dirty
+//! counter blocks update their tree leaf only upon eviction, and dirty
+//! tree nodes update their parents upon eviction (§V).
+
+use metaleak_sim::cache::{Evicted, SetAssocCache};
+use metaleak_sim::config::CacheConfig;
+use metaleak_sim::stats::Counters;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the two metadata caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaCacheConfig {
+    /// Counter cache geometry.
+    pub counter: CacheConfig,
+    /// Tree-node cache geometry.
+    pub tree: CacheConfig,
+}
+
+impl Default for MetaCacheConfig {
+    fn default() -> Self {
+        MetaCacheConfig {
+            counter: CacheConfig::new(256 * 1024, 8, 2),
+            tree: CacheConfig::new(256 * 1024, 8, 2),
+        }
+    }
+}
+
+impl MetaCacheConfig {
+    /// A small configuration for fast tests (high eviction pressure).
+    pub fn small() -> Self {
+        MetaCacheConfig {
+            counter: CacheConfig::new(4 * 1024, 4, 2),
+            tree: CacheConfig::new(4 * 1024, 4, 2),
+        }
+    }
+}
+
+/// The pair of metadata caches. Keys are metadata *block indices*
+/// (counter-block index for the counter cache, node-block address index
+/// for the tree cache); the engine owns the index spaces.
+#[derive(Debug, Clone)]
+pub struct MetadataCaches {
+    counter: SetAssocCache<u64>,
+    tree: SetAssocCache<u64>,
+    /// Hit/miss/eviction counters.
+    pub stats: Counters,
+}
+
+impl MetadataCaches {
+    /// Builds caches from `config`.
+    pub fn new(config: MetaCacheConfig) -> Self {
+        MetadataCaches {
+            counter: SetAssocCache::new(config.counter),
+            tree: SetAssocCache::new(config.tree),
+            stats: Counters::new(),
+        }
+    }
+
+    /// Accesses the counter cache; fills on miss. Returns hit status and
+    /// any dirty victim (which triggers a lazy tree-leaf update).
+    pub fn access_counter(&mut self, cb: u64, write: bool) -> (bool, Option<Evicted<u64>>) {
+        let r = self.counter.access(cb, write);
+        self.stats.bump(if r.hit { "ctr_hit" } else { "ctr_miss" });
+        if let Some(ev) = r.evicted {
+            self.stats.bump(if ev.dirty { "ctr_evict_dirty" } else { "ctr_evict_clean" });
+        }
+        (r.hit, r.evicted.filter(|e| e.dirty))
+    }
+
+    /// Accesses the tree cache; fills on miss. Returns hit status and
+    /// any dirty victim (which triggers a lazy parent update).
+    pub fn access_tree(&mut self, node: u64, write: bool) -> (bool, Option<Evicted<u64>>) {
+        let r = self.tree.access(node, write);
+        self.stats.bump(if r.hit { "tree_hit" } else { "tree_miss" });
+        if let Some(ev) = r.evicted {
+            self.stats.bump(if ev.dirty { "tree_evict_dirty" } else { "tree_evict_clean" });
+        }
+        (r.hit, r.evicted.filter(|e| e.dirty))
+    }
+
+    /// Whether a counter block is cached (no LRU update).
+    pub fn counter_cached(&self, cb: u64) -> bool {
+        self.counter.contains(cb)
+    }
+
+    /// Whether a tree node block is cached (no LRU update).
+    pub fn tree_cached(&self, node: u64) -> bool {
+        self.tree.contains(node)
+    }
+
+    /// Marks a cached counter block dirty.
+    pub fn dirty_counter(&mut self, cb: u64) -> bool {
+        self.counter.mark_dirty(cb)
+    }
+
+    /// Marks a cached tree node dirty.
+    pub fn dirty_tree(&mut self, node: u64) -> bool {
+        self.tree.mark_dirty(node)
+    }
+
+    /// Invalidates a tree node; returns its dirty flag if present.
+    pub fn invalidate_tree(&mut self, node: u64) -> Option<bool> {
+        self.tree.invalidate(node)
+    }
+
+    /// Invalidates a counter block; returns its dirty flag if present.
+    pub fn invalidate_counter(&mut self, cb: u64) -> Option<bool> {
+        self.counter.invalidate(cb)
+    }
+
+    /// Drains both caches, returning `(dirty_counters, dirty_tree_nodes)`
+    /// for lazy-update processing.
+    pub fn flush_all(&mut self) -> (Vec<u64>, Vec<u64>) {
+        (self.counter.flush_all(), self.tree.flush_all())
+    }
+
+    /// Set index a tree node block maps to (eviction-set construction).
+    pub fn tree_set_index(&self, node: u64) -> usize {
+        self.tree.set_index(node)
+    }
+
+    /// Tree-cache associativity (eviction-set sizing).
+    pub fn tree_ways(&self) -> usize {
+        self.tree.ways()
+    }
+
+    /// Number of tree-cache sets.
+    pub fn tree_sets(&self) -> usize {
+        self.tree.num_sets()
+    }
+
+    /// Set index a counter block maps to.
+    pub fn counter_set_index(&self, cb: u64) -> usize {
+        self.counter.set_index(cb)
+    }
+
+    /// Counter-cache associativity.
+    pub fn counter_ways(&self) -> usize {
+        self.counter.ways()
+    }
+}
+
+impl Default for MetadataCaches {
+    fn default() -> Self {
+        MetadataCaches::new(MetaCacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caches() -> MetadataCaches {
+        MetadataCaches::new(MetaCacheConfig::small())
+    }
+
+    #[test]
+    fn default_geometry_matches_table1() {
+        let m = MetadataCaches::default();
+        assert_eq!(m.tree_ways(), 8);
+        assert_eq!(m.tree_sets(), 256 * 1024 / (8 * 64));
+        assert_eq!(m.counter_ways(), 8);
+    }
+
+    #[test]
+    fn counter_miss_then_hit() {
+        let mut m = caches();
+        let (hit, _) = m.access_counter(1, false);
+        assert!(!hit);
+        let (hit, _) = m.access_counter(1, false);
+        assert!(hit);
+        assert_eq!(m.stats.get("ctr_hit"), 1);
+        assert_eq!(m.stats.get("ctr_miss"), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_is_reported_for_lazy_update() {
+        let mut m = caches();
+        // 4 KiB, 4-way, 64 B lines => 16 sets; same-set stride = 16.
+        m.access_counter(0, true);
+        for i in 1..=4u64 {
+            let (_, ev) = m.access_counter(i * 16, false);
+            if let Some(e) = ev {
+                assert_eq!(e.key, 0);
+                assert!(e.dirty);
+                return;
+            }
+        }
+        panic!("filling the set must evict the dirty block");
+    }
+
+    #[test]
+    fn clean_evictions_are_not_reported() {
+        let mut m = caches();
+        m.access_tree(0, false);
+        let mut got_dirty = false;
+        for i in 1..=4u64 {
+            let (_, ev) = m.access_tree(i * 16, false);
+            got_dirty |= ev.is_some();
+        }
+        assert!(!got_dirty, "clean victims need no lazy update");
+        assert_eq!(m.stats.get("tree_evict_clean"), 1);
+    }
+
+    #[test]
+    fn caches_are_independent() {
+        let mut m = caches();
+        m.access_counter(5, false);
+        assert!(m.counter_cached(5));
+        assert!(!m.tree_cached(5));
+    }
+
+    #[test]
+    fn flush_reports_dirty_entries_per_cache() {
+        let mut m = caches();
+        m.access_counter(1, true);
+        m.access_counter(2, false);
+        m.access_tree(3, true);
+        let (ctrs, nodes) = m.flush_all();
+        assert_eq!(ctrs, vec![1]);
+        assert_eq!(nodes, vec![3]);
+        assert!(!m.counter_cached(1));
+    }
+
+    #[test]
+    fn mark_dirty_requires_residency() {
+        let mut m = caches();
+        assert!(!m.dirty_tree(9));
+        m.access_tree(9, false);
+        assert!(m.dirty_tree(9));
+        let (_, _) = m.access_tree(9, false);
+        assert_eq!(m.invalidate_tree(9), Some(true));
+    }
+}

@@ -1,0 +1,148 @@
+//! Lazy-update interplay tests: the metadata caches and the integrity
+//! tree driven together, the way the engine drives them (§V: leaf
+//! updated on counter writeback, parents on dirty-node eviction), but
+//! at the meta level where every intermediate state can be inspected.
+
+use metaleak_meta::enc_counter::CounterWidths;
+use metaleak_meta::geometry::{NodeId, TreeGeometry};
+use metaleak_meta::mcache::{MetaCacheConfig, MetadataCaches};
+use metaleak_meta::tree::{IntegrityTree, TreeKind};
+
+fn setup() -> (MetadataCaches, IntegrityTree) {
+    let caches = MetadataCaches::new(MetaCacheConfig::small());
+    let tree = IntegrityTree::new(
+        TreeKind::SplitCounter,
+        TreeGeometry::sct(1024),
+        CounterWidths { minor_bits: 5, mono_bits: 56 },
+    );
+    (caches, tree)
+}
+
+/// Drives the full lazy protocol for one counter-block writeback:
+/// eviction of the dirty counter bumps the leaf; a dirty leaf eviction
+/// bumps its parent; and so on.
+fn writeback_chain(caches: &mut MetadataCaches, tree: &mut IntegrityTree, cb: u64) {
+    let up = tree.record_counter_writeback(cb, &[cb as u8; 64]);
+    let mut dirty = up.dirty;
+    // Emulate cache pressure: the dirty node is evicted immediately.
+    loop {
+        let key = dirty.index + ((dirty.level as u64) << 32);
+        caches.access_tree(key, true);
+        caches.invalidate_tree(key);
+        if tree.geometry().is_root(dirty) {
+            break;
+        }
+        let next = tree.propagate_writeback(dirty).dirty;
+        if tree.geometry().is_root(next) {
+            break;
+        }
+        dirty = next;
+    }
+}
+
+#[test]
+fn leaf_version_advances_only_on_writeback_not_on_cache_residency() {
+    let (mut caches, mut tree) = setup();
+    let cb = 7u64;
+    let v0 = tree.leaf_version(cb);
+    // Caching the counter (reads) does not advance anything.
+    caches.access_counter(cb, false);
+    caches.access_counter(cb, true);
+    assert_eq!(tree.leaf_version(cb), v0);
+    // Only the writeback advances the leaf version.
+    writeback_chain(&mut caches, &mut tree, cb);
+    assert_eq!(tree.leaf_version(cb), v0 + 1);
+}
+
+#[test]
+fn eviction_order_does_not_break_verification() {
+    let (_caches, mut tree) = setup();
+    // Interleave writebacks of counter blocks under different leaves,
+    // draining their dirty chains in different orders.
+    let cbs = [0u64, 33, 900, 1, 34, 901];
+    for (i, &cb) in cbs.iter().enumerate() {
+        let up = tree.record_counter_writeback(cb, &[cb as u8; 64]);
+        if i % 2 == 0 {
+            // Immediate full drain.
+            tree.propagate_to_root(up.dirty);
+        }
+    }
+    // Drain the remaining dirty leaves afterwards (reverse order).
+    for &cb in cbs.iter().rev() {
+        let leaf = tree.geometry().leaf_of(cb);
+        tree.propagate_to_root(leaf);
+    }
+    for &cb in &cbs {
+        assert!(
+            tree.verify_counter_block(cb, &[cb as u8; 64], |_| false).ok,
+            "cb {cb} failed after out-of-order drains"
+        );
+    }
+}
+
+#[test]
+fn cached_nodes_act_as_temporary_roots() {
+    let (_caches, tree) = setup();
+    // With the L1 ancestor "cached", the walk must stop there: fewer
+    // loads, same verdict (Algorithm 2's security argument: cached
+    // nodes are inside the trust boundary).
+    let cb = 100u64;
+    let l1 = tree.geometry().ancestor_at(cb, 1);
+    let full = tree.verify_counter_block(cb, &[0u8; 64], |_| false);
+    let short = tree.verify_counter_block(cb, &[0u8; 64], |n| n == l1);
+    assert!(full.ok && short.ok);
+    assert!(short.loaded.len() < full.loaded.len());
+    assert!(short.hash_ops < full.hash_ops, "fewer loads, fewer hash checks");
+    assert_eq!(short.loaded, vec![tree.geometry().leaf_of(cb)]);
+}
+
+#[test]
+fn dirty_counter_eviction_reports_exactly_once() {
+    let mut caches = MetadataCaches::new(MetaCacheConfig::small());
+    // 4 KiB 4-way = 16 sets: same-set stride 16.
+    caches.access_counter(0, true);
+    let mut dirty_reports = 0;
+    for i in 1..=8u64 {
+        let (_, ev) = caches.access_counter(i * 16, false);
+        dirty_reports += ev.is_some() as usize;
+    }
+    assert_eq!(dirty_reports, 1, "one dirty block, one lazy-update trigger");
+}
+
+#[test]
+fn overflow_during_propagation_keeps_the_whole_subtree_verifiable() {
+    let (_caches, mut tree) = setup();
+    let geometry = tree.geometry().clone();
+    let leaf = geometry.leaf_of(0);
+    let l1 = geometry.parent(leaf).unwrap();
+    let slot = geometry.child_slot(leaf).unwrap();
+    // Saturate the L1 slot (5-bit => 31), then one more propagation.
+    tree.set_node_counter(l1, slot, 31);
+    let up = tree.propagate_writeback(leaf);
+    let ev = up.overflow.expect("overflow at L1");
+    // Everything under the reset subtree verifies, and so does a
+    // neighbouring subtree that was not touched.
+    for cb in ev.attached.clone().step_by(61) {
+        assert!(tree.verify_counter_block(cb, &[0u8; 64], |_| false).ok);
+    }
+    let outside = ev.attached.end; // first cb outside the subtree
+    if outside < geometry.covered() {
+        assert!(tree.verify_counter_block(outside, &[0u8; 64], |_| false).ok);
+    }
+}
+
+#[test]
+fn node_id_keys_are_unique_per_node() {
+    // The engine keys tree-cache entries by node block address; verify
+    // the meta-level substitute used in this file cannot collide for
+    // the geometry at hand.
+    let (_, tree) = setup();
+    let g = tree.geometry();
+    let mut seen = std::collections::HashSet::new();
+    for level in 0..g.levels() {
+        for idx in 0..g.nodes_at(level) {
+            let key = idx + ((level as u64) << 32);
+            assert!(seen.insert(key), "collision at {}", NodeId::new(level, idx));
+        }
+    }
+}

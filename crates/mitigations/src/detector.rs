@@ -1,0 +1,161 @@
+//! Timing-channel detection by auditing metadata-cache contention
+//! (§II-A's third defense category: detection mechanisms that watch
+//! shared resources for periodic, attack-like access patterns, in the
+//! spirit of CC-Hunter \[51\] / COTSknight \[52\]).
+//!
+//! The MetaLeak-T covert channel drives the tree cache with a strongly
+//! periodic miss pattern (one eviction burst + reload per bit window).
+//! A defender sampling per-window miss counts can flag that
+//! periodicity even without decoding the channel.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalized lag-autocorrelation peak of a sample series: 1.0 means
+/// perfectly periodic at some lag, ~0 means uncorrelated. Returns 0
+/// for constant or too-short series.
+pub fn periodicity_score(samples: &[u64]) -> f64 {
+    if samples.len() < 8 {
+        return 0.0;
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+    let centered: Vec<f64> = samples.iter().map(|&s| s as f64 - mean).collect();
+    let var: f64 = centered.iter().map(|c| c * c).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let mut best: f64 = 0.0;
+    for lag in 1..=(n / 2) {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += centered[i] * centered[i + lag];
+        }
+        // Normalize by the overlapping-window variance.
+        let score = acc / var * n as f64 / (n - lag) as f64;
+        best = best.max(score);
+    }
+    best.clamp(0.0, 1.0)
+}
+
+/// Burstiness (coefficient of variation) of a sample series: covert
+/// traffic shows high regular bursts; background traffic is smoother
+/// or irregular.
+pub fn burstiness(samples: &[u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Verdict of the metadata-contention auditor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionVerdict {
+    /// Periodicity of the miss series.
+    pub periodicity: f64,
+    /// Burstiness of the miss series.
+    pub burstiness: f64,
+    /// Whether the series is flagged as a potential covert channel.
+    pub flagged: bool,
+}
+
+/// A sliding auditor over per-window metadata-cache miss counts.
+///
+/// Two signatures are flagged (both seen in MetaLeak covert traffic,
+/// depending on the sampling granularity relative to the bit window):
+///
+/// 1. **periodic** bursts — the eviction/probe alternation shows up as
+///    a strong autocorrelation peak when windows are finer than a bit;
+/// 2. **metronomic saturation** — when windows align with bit
+///    boundaries, every window carries the same heavy eviction load
+///    (near-zero coefficient of variation at high mean), which no
+///    natural workload sustains.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionDetector {
+    /// Periodicity threshold above which traffic is flagged.
+    pub periodicity_threshold: f64,
+    /// Burstiness (CV) below which sustained traffic counts as
+    /// metronomic.
+    pub max_constancy: f64,
+    /// Minimum mean misses/window for the alarm to arm (quiet traffic
+    /// cannot carry a channel).
+    pub min_activity: f64,
+}
+
+impl Default for ContentionDetector {
+    fn default() -> Self {
+        ContentionDetector {
+            periodicity_threshold: 0.6,
+            max_constancy: 0.1,
+            min_activity: 4.0,
+        }
+    }
+}
+
+impl ContentionDetector {
+    /// Audits a series of per-window miss counts.
+    pub fn audit(&self, samples: &[u64]) -> DetectionVerdict {
+        let periodicity = periodicity_score(samples);
+        let b = burstiness(samples);
+        let mean =
+            if samples.is_empty() { 0.0 } else { samples.iter().sum::<u64>() as f64 / samples.len() as f64 };
+        let suspicious = periodicity >= self.periodicity_threshold
+            || (samples.len() >= 8 && b <= self.max_constancy);
+        DetectionVerdict {
+            periodicity,
+            burstiness: b,
+            flagged: mean >= self.min_activity && suspicious,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_sim::rng::SimRng;
+
+    #[test]
+    fn periodic_series_scores_high() {
+        // A clean two-phase pattern (evict burst, quiet probe).
+        let samples: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 40 } else { 2 }).collect();
+        assert!(periodicity_score(&samples) > 0.8);
+    }
+
+    #[test]
+    fn random_series_scores_low() {
+        let mut rng = SimRng::seed_from(5);
+        let samples: Vec<u64> = (0..64).map(|_| rng.below(40)).collect();
+        assert!(periodicity_score(&samples) < 0.5, "{}", periodicity_score(&samples));
+    }
+
+    #[test]
+    fn constant_and_short_series_scores() {
+        assert_eq!(periodicity_score(&[5; 32]), 0.0);
+        assert_eq!(periodicity_score(&[1, 2, 3]), 0.0);
+        assert_eq!(burstiness(&[]), 0.0);
+        // Sustained metronomic load IS flagged (signature 2)...
+        let d = ContentionDetector::default();
+        assert!(d.audit(&[30; 32]).flagged);
+        // ...but a short constant burst is not enough evidence.
+        assert!(!d.audit(&[30; 4]).flagged);
+    }
+
+    #[test]
+    fn detector_flags_only_active_periodic_traffic() {
+        let d = ContentionDetector::default();
+        let covert: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 30 } else { 1 }).collect();
+        assert!(d.audit(&covert).flagged);
+        // Periodic but almost idle: not flagged.
+        let quiet: Vec<u64> = (0..64).map(|i| (i % 2) as u64).collect();
+        assert!(!d.audit(&quiet).flagged);
+        // Active but aperiodic: not flagged.
+        let mut rng = SimRng::seed_from(9);
+        let noisy: Vec<u64> = (0..64).map(|_| 20 + rng.below(30)).collect();
+        assert!(!d.audit(&noisy).flagged);
+    }
+}

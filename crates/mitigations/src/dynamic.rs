@@ -1,0 +1,283 @@
+//! Dynamic per-domain integrity trees (§IX-C): the mitigation the
+//! paper proposes as future work — each security domain gets an
+//! isolated tree whose coverage *grows on demand*, with counter
+//! clearing on reassignment, at the price of runtime re-hash and
+//! repositioning overhead.
+
+use metaleak_meta::geometry::TreeGeometry;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a security domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub u32);
+
+/// Errors from the dynamic forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestError {
+    /// No free leaves remain.
+    OutOfLeaves {
+        /// Leaves requested.
+        requested: u64,
+        /// Leaves free.
+        free: u64,
+    },
+    /// Unknown domain.
+    NoSuchDomain(DomainId),
+}
+
+impl core::fmt::Display for ForestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ForestError::OutOfLeaves { requested, free } => {
+                write!(f, "requested {requested} leaves but only {free} are free")
+            }
+            ForestError::NoSuchDomain(d) => write!(f, "unknown domain {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// Report of a growth operation: the §IX-C overhead the paper warns
+/// about (chained re-hashing and node re-positioning on the critical
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthReport {
+    /// Leaves newly assigned to the domain.
+    pub leaves_added: u64,
+    /// Node-hash operations to splice the new leaves into the domain's
+    /// private tree (new leaves + re-hash of the path to the domain
+    /// root, which may deepen).
+    pub rehash_ops: u64,
+    /// Whether the domain's private tree gained a level (repositioning
+    /// every existing node's parent links).
+    pub tree_deepened: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DomainState {
+    leaves: Vec<u64>,
+    /// Depth of the domain's private tree over its leaves.
+    depth: u32,
+}
+
+/// A forest of per-domain dynamic integrity trees over a shared pool
+/// of leaf groups. No leaf is ever shared between two live domains,
+/// and leaves reassigned from a destroyed domain have their counters
+/// cleared first (the §IX-C requirement for encryption counters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicDomainForest {
+    /// Leaf capacity (one "leaf group" = one physical tree leaf's worth
+    /// of counter blocks).
+    total_leaves: u64,
+    /// Attached counter blocks per leaf.
+    leaf_span: u64,
+    /// Private-tree arity for depth accounting.
+    arity: u64,
+    free: Vec<u64>,
+    domains: HashMap<DomainId, DomainState>,
+    next_id: u32,
+    /// Leaves whose counters were cleared on reclaim (audit trail).
+    cleared: Vec<u64>,
+}
+
+impl DynamicDomainForest {
+    /// Builds a forest over the leaf space of `geometry`.
+    pub fn new(geometry: &TreeGeometry) -> Self {
+        DynamicDomainForest {
+            total_leaves: geometry.nodes_at(0),
+            leaf_span: geometry.arity(0) as u64,
+            arity: geometry.arity(1.min(geometry.levels() - 1)) as u64,
+            free: (0..geometry.nodes_at(0)).rev().collect(),
+            domains: HashMap::new(),
+            next_id: 0,
+            cleared: Vec::new(),
+        }
+    }
+
+    /// Creates an empty domain.
+    pub fn create_domain(&mut self) -> DomainId {
+        let id = DomainId(self.next_id);
+        self.next_id += 1;
+        self.domains.insert(id, DomainState { leaves: Vec::new(), depth: 0 });
+        id
+    }
+
+    /// Number of free leaves.
+    pub fn free_leaves(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    fn depth_for(&self, leaves: u64) -> u32 {
+        if leaves <= 1 {
+            return 1;
+        }
+        let mut depth = 1;
+        let mut cap = 1u64;
+        while cap < leaves {
+            cap *= self.arity;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Grows `domain` by enough leaves to cover `extra_cbs` more
+    /// counter blocks, returning the overhead report.
+    ///
+    /// # Errors
+    /// [`ForestError::OutOfLeaves`] / [`ForestError::NoSuchDomain`].
+    pub fn grow(&mut self, domain: DomainId, extra_cbs: u64) -> Result<GrowthReport, ForestError> {
+        let need = extra_cbs.div_ceil(self.leaf_span).max(1);
+        if (self.free.len() as u64) < need {
+            return Err(ForestError::OutOfLeaves { requested: need, free: self.free.len() as u64 });
+        }
+        let arity = self.arity;
+        let new_depth_of = |leaves: u64, me: &Self| me.depth_for(leaves);
+        let state = self.domains.get_mut(&domain).ok_or(ForestError::NoSuchDomain(domain))?;
+        let old_depth = state.depth;
+        let mut added = 0;
+        for _ in 0..need {
+            let leaf = self.free.pop().expect("checked above");
+            state.leaves.push(leaf);
+            added += 1;
+        }
+        let total = state.leaves.len() as u64;
+        // Depth accounting without double-borrowing self:
+        let mut depth = 1;
+        let mut cap = 1u64;
+        while cap < total {
+            cap *= arity;
+            depth += 1;
+        }
+        let _ = new_depth_of;
+        state.depth = depth;
+        let tree_deepened = depth > old_depth;
+        // Overheads: hash each new leaf, re-hash its path (depth), and
+        // on deepening, re-position + re-hash the whole existing tree.
+        let rehash_ops = added * depth as u64
+            + if tree_deepened { total.saturating_sub(added) } else { 0 };
+        Ok(GrowthReport { leaves_added: added, rehash_ops, tree_deepened })
+    }
+
+    /// Destroys a domain, clearing the counters of its leaves before
+    /// returning them to the free pool (§IX-C: stale counter state must
+    /// never be visible to the next owner).
+    ///
+    /// # Errors
+    /// [`ForestError::NoSuchDomain`].
+    pub fn destroy_domain(&mut self, domain: DomainId) -> Result<u64, ForestError> {
+        let state = self.domains.remove(&domain).ok_or(ForestError::NoSuchDomain(domain))?;
+        let reclaimed = state.leaves.len() as u64;
+        for leaf in state.leaves {
+            self.cleared.push(leaf);
+            self.free.push(leaf);
+        }
+        Ok(reclaimed)
+    }
+
+    /// The domain owning the leaf that covers counter block `cb`, if
+    /// any.
+    pub fn owner_of(&self, cb: u64) -> Option<DomainId> {
+        let leaf = cb / self.leaf_span;
+        self.domains
+            .iter()
+            .find(|(_, s)| s.leaves.contains(&leaf))
+            .map(|(id, _)| *id)
+    }
+
+    /// Isolation invariant: no leaf owned by two domains.
+    pub fn is_isolated(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for s in self.domains.values() {
+            for &l in &s.leaves {
+                if !seen.insert(l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `leaf` went through counter clearing since the start.
+    pub fn was_cleared(&self, leaf: u64) -> bool {
+        self.cleared.contains(&leaf)
+    }
+
+    /// Fraction of leaves currently assigned (anti-stranding metric:
+    /// dynamic growth keeps this near demand, unlike static partitions).
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free.len() as f64 / self.total_leaves.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_meta::geometry::TreeGeometry;
+
+    fn forest() -> DynamicDomainForest {
+        DynamicDomainForest::new(&TreeGeometry::sct(16384))
+    }
+
+    #[test]
+    fn domains_grow_on_demand_and_stay_isolated() {
+        let mut f = forest();
+        let a = f.create_domain();
+        let b = f.create_domain();
+        f.grow(a, 100).unwrap();
+        f.grow(b, 300).unwrap();
+        f.grow(a, 1000).unwrap();
+        assert!(f.is_isolated());
+        assert_ne!(f.owner_of(0), None);
+    }
+
+    #[test]
+    fn growth_reports_rehash_overhead() {
+        let mut f = forest();
+        let d = f.create_domain();
+        let r1 = f.grow(d, 32).unwrap();
+        assert_eq!(r1.leaves_added, 1);
+        assert!(r1.rehash_ops >= 1);
+        // A large growth deepens the tree and re-hashes the old nodes.
+        let r2 = f.grow(d, 32 * 300).unwrap();
+        assert!(r2.tree_deepened);
+        assert!(r2.rehash_ops > r2.leaves_added, "deepening repositions existing nodes");
+    }
+
+    #[test]
+    fn destroy_clears_and_recycles_leaves() {
+        let mut f = forest();
+        let a = f.create_domain();
+        f.grow(a, 64).unwrap();
+        let first_leaf_cb = 0u64; // leaf 0 covers cbs 0..32
+        assert_eq!(f.owner_of(first_leaf_cb), Some(a));
+        let reclaimed = f.destroy_domain(a).unwrap();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(f.owner_of(first_leaf_cb), None);
+        // Reassignment: a new domain gets the cleared leaves.
+        let b = f.create_domain();
+        f.grow(b, 64).unwrap();
+        let leaf = 0;
+        assert!(f.was_cleared(leaf), "recycled leaf must have been cleared");
+        assert_eq!(f.owner_of(first_leaf_cb), Some(b));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut f = DynamicDomainForest::new(&TreeGeometry::sct(64));
+        let d = f.create_domain();
+        assert!(f.grow(d, 64 * 32).is_err());
+        assert!(matches!(f.grow(DomainId(99), 1), Err(ForestError::NoSuchDomain(_))));
+    }
+
+    #[test]
+    fn utilization_tracks_demand() {
+        let mut f = forest();
+        assert_eq!(f.utilization(), 0.0);
+        let d = f.create_domain();
+        // The sct(16384) geometry has 512 leaves x 32 cbs; claim half.
+        f.grow(d, 16384 / 2).unwrap();
+        assert!((f.utilization() - 0.5).abs() < 0.01, "{}", f.utilization());
+    }
+}

@@ -1,0 +1,29 @@
+//! # metaleak-mitigations
+//!
+//! Defense models for the MetaLeak study (§IX):
+//!
+//! - [`mirage`] — a MIRAGE-style randomized cache, used to show that
+//!   state-of-the-art cache randomization does not stop mEvict
+//!   (Figure 18);
+//! - [`partition`] — static per-domain integrity-tree partitioning with
+//!   its stranding and re-hash cost model;
+//! - [`dynamic`] — the paper's §IX-C proposal: per-domain *dynamic*
+//!   trees that grow on demand, with counter clearing on reassignment
+//!   and the runtime re-hash overhead it warns about;
+//! - [`detector`] — a CC-Hunter-style auditor flagging periodic
+//!   metadata-cache contention (covert-channel detection);
+//! - [`analysis`] — the defense-vs-attack effectiveness matrix.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod detector;
+pub mod dynamic;
+pub mod mirage;
+pub mod partition;
+
+pub use analysis::{evaluate, Attack, Defense, Effectiveness};
+pub use detector::{ContentionDetector, DetectionVerdict};
+pub use dynamic::{DomainId, DynamicDomainForest, ForestError, GrowthReport};
+pub use mirage::{eviction_probability, MirageCache, MirageConfig};
+pub use partition::{TreePartition, PartitionError};

@@ -1,0 +1,196 @@
+//! Per-domain integrity-tree partitioning (§IX-C): the mitigation the
+//! paper sketches for MetaLeak — mutually distrusting domains must not
+//! share any non-root tree node — together with its cost model
+//! (stranding, re-hash overhead on growth).
+
+use metaleak_meta::geometry::{NodeId, TreeGeometry};
+use serde::{Deserialize, Serialize};
+
+/// Error raised by the partition planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The requested domains exceed the tree's capacity.
+    OutOfCapacity {
+        /// Counter blocks requested in total.
+        requested: u64,
+        /// Counter blocks available.
+        available: u64,
+    },
+}
+
+impl core::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PartitionError::OutOfCapacity { requested, available } => {
+                write!(f, "domains need {requested} counter blocks, tree covers {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// One security domain's slice of the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainSlice {
+    /// Domain identifier.
+    pub domain: usize,
+    /// The subtree root that is private to this domain (its "domain
+    /// root", verified directly against on-chip state).
+    pub subtree_root: NodeId,
+    /// Counter blocks covered.
+    pub attached: core::ops::Range<u64>,
+    /// Counter blocks requested (<= covered; the rest is stranded).
+    pub requested: u64,
+}
+
+impl DomainSlice {
+    /// Counter blocks allocated but unused by the domain (stranding,
+    /// the §IX-C efficiency concern).
+    pub fn stranded(&self) -> u64 {
+        (self.attached.end - self.attached.start) - self.requested
+    }
+}
+
+/// A static partition of the integrity tree: each domain receives one
+/// or more whole subtrees at a fixed level, so no two domains share
+/// any node below the root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreePartition {
+    /// The level whose subtrees are the allocation granule.
+    pub granule_level: u8,
+    /// Per-domain slices.
+    pub slices: Vec<DomainSlice>,
+}
+
+impl TreePartition {
+    /// Plans a static partition over `geometry` for domains needing
+    /// `demands[i]` counter blocks each. Each domain gets whole
+    /// subtrees rooted at the smallest level whose subtree covers its
+    /// demand (rounding up — the source of stranding).
+    ///
+    /// # Errors
+    /// [`PartitionError::OutOfCapacity`] when the demands exceed the
+    /// tree.
+    pub fn plan(geometry: &TreeGeometry, demands: &[u64]) -> Result<Self, PartitionError> {
+        let total: u64 = demands.iter().sum();
+        if total > geometry.covered() {
+            return Err(PartitionError::OutOfCapacity {
+                requested: total,
+                available: geometry.covered(),
+            });
+        }
+        // Use the leaf level as the granule: fine-grained, worst-case
+        // sharing still zero because subtrees are disjoint.
+        let granule_level = 0u8;
+        let leaf_span = geometry.arity(0) as u64;
+        let mut next_leaf = 0u64;
+        let mut slices = Vec::with_capacity(demands.len());
+        for (domain, &demand) in demands.iter().enumerate() {
+            let leaves_needed = demand.div_ceil(leaf_span).max(1);
+            if (next_leaf + leaves_needed) > geometry.nodes_at(0) {
+                return Err(PartitionError::OutOfCapacity {
+                    requested: total,
+                    available: geometry.covered(),
+                });
+            }
+            let first = next_leaf;
+            next_leaf += leaves_needed;
+            // Represent multi-leaf domains by their first subtree root;
+            // all leaves in [first, next_leaf) belong to the domain.
+            slices.push(DomainSlice {
+                domain,
+                subtree_root: NodeId::new(granule_level, first),
+                attached: first * leaf_span..next_leaf * leaf_span,
+                requested: demand,
+            });
+        }
+        Ok(TreePartition { granule_level, slices })
+    }
+
+    /// Verifies the isolation invariant: no counter block belongs to
+    /// two domains (hence no non-root node is shared).
+    pub fn is_isolated(&self) -> bool {
+        for (i, a) in self.slices.iter().enumerate() {
+            for b in &self.slices[i + 1..] {
+                if a.attached.start < b.attached.end && b.attached.start < a.attached.end {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total stranded counter blocks across domains.
+    pub fn total_stranded(&self) -> u64 {
+        self.slices.iter().map(DomainSlice::stranded).sum()
+    }
+
+    /// The node blocks that must be re-hashed when `domain` grows by
+    /// `extra` counter blocks (the chained-rehash overhead of §IX-C:
+    /// new leaves plus the path to the domain root).
+    pub fn growth_rehash_cost(&self, geometry: &TreeGeometry, domain: usize, extra: u64) -> u64 {
+        let slice = &self.slices[domain];
+        let leaf_span = geometry.arity(0) as u64;
+        let new_leaves = extra.div_ceil(leaf_span);
+        // Each new leaf re-hashes itself plus its ancestors up to the
+        // root (repositioning can touch the whole path).
+        new_leaves * (1 + geometry.levels() as u64 - 1) + slice.requested.div_ceil(leaf_span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> TreeGeometry {
+        TreeGeometry::sct(16384)
+    }
+
+    #[test]
+    fn plan_isolates_domains() {
+        let g = geometry();
+        let p = TreePartition::plan(&g, &[1000, 2000, 500]).unwrap();
+        assert_eq!(p.slices.len(), 3);
+        assert!(p.is_isolated());
+    }
+
+    #[test]
+    fn stranding_reflects_rounding() {
+        let g = geometry();
+        // 33 counter blocks need 2 leaves (32 each) => 31 stranded.
+        let p = TreePartition::plan(&g, &[33]).unwrap();
+        assert_eq!(p.slices[0].stranded(), 31);
+        assert_eq!(p.total_stranded(), 31);
+        // Exact multiples strand nothing.
+        let q = TreePartition::plan(&g, &[64]).unwrap();
+        assert_eq!(q.total_stranded(), 0);
+    }
+
+    #[test]
+    fn over_capacity_fails() {
+        let g = geometry();
+        let err = TreePartition::plan(&g, &[20000]).unwrap_err();
+        assert!(matches!(err, PartitionError::OutOfCapacity { .. }));
+    }
+
+    #[test]
+    fn growth_cost_scales_with_extra_coverage() {
+        let g = geometry();
+        let p = TreePartition::plan(&g, &[1000, 1000]).unwrap();
+        let small = p.growth_rehash_cost(&g, 0, 32);
+        let large = p.growth_rehash_cost(&g, 0, 3200);
+        assert!(large > small * 10);
+    }
+
+    #[test]
+    fn disjoint_ranges_never_share_leaves() {
+        let g = geometry();
+        let p = TreePartition::plan(&g, &[100, 100, 100, 100]).unwrap();
+        for w in p.slices.windows(2) {
+            assert!(w[0].attached.end <= w[1].attached.start);
+            // Leaf-aligned boundaries: no leaf straddles two domains.
+            assert_eq!(w[0].attached.end % g.arity(0) as u64, 0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Physical address types and geometry constants.
+//!
+//! The simulator works on a flat physical address space divided into
+//! 64-byte blocks (cache lines) and 4-KiB pages, matching the
+//! configuration in Table I of the paper. Newtypes keep block-, page-
+//! and byte-granular quantities statically distinct (C-NEWTYPE).
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Size of one memory block / cache line in bytes.
+pub const BLOCK_SIZE: usize = 64;
+/// log2 of [`BLOCK_SIZE`].
+pub const BLOCK_SHIFT: u32 = 6;
+/// Size of one physical page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Number of blocks per page (64 for 64 B blocks / 4 KiB pages).
+pub const BLOCKS_PER_PAGE: usize = PAGE_SIZE / BLOCK_SIZE;
+
+/// A byte-granular physical address.
+///
+/// ```
+/// use metaleak_sim::addr::{PhysAddr, BLOCK_SIZE};
+/// let a = PhysAddr::new(0x1234);
+/// assert_eq!(a.block().byte_addr().as_u64(), 0x1200);
+/// assert_eq!(a.offset_in_block(), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The block (cache line) containing this address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// The page containing this address.
+    pub const fn page(self) -> PageId {
+        PageId(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the containing block.
+    pub const fn offset_in_block(self) -> usize {
+        (self.0 as usize) & (BLOCK_SIZE - 1)
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn offset_in_page(self) -> usize {
+        (self.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A block-granular (cache-line-granular) address: byte address divided
+/// by [`BLOCK_SIZE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index (not a byte address).
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of this block.
+    pub const fn byte_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageId {
+        PageId(self.0 >> (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+
+    /// Index of this block within its page (0..=63).
+    pub const fn index_in_page(self) -> usize {
+        (self.0 as usize) % BLOCKS_PER_PAGE
+    }
+
+    /// Returns the block `n` blocks after this one.
+    pub const fn add(self, n: u64) -> Self {
+        BlockAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for BlockAddr {
+    fn from(a: PhysAddr) -> Self {
+        a.block()
+    }
+}
+
+/// A physical page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a page frame number.
+    pub const fn new(pfn: u64) -> Self {
+        PageId(pfn)
+    }
+
+    /// The page frame number.
+    pub const fn pfn(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of this page.
+    pub const fn byte_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// First block of this page.
+    pub const fn first_block(self) -> BlockAddr {
+        BlockAddr(self.0 << (PAGE_SHIFT - BLOCK_SHIFT))
+    }
+
+    /// The `i`-th block of this page.
+    ///
+    /// # Panics
+    /// Panics if `i >= BLOCKS_PER_PAGE`.
+    pub fn block(self, i: usize) -> BlockAddr {
+        assert!(i < BLOCKS_PER_PAGE, "block index {i} out of page range");
+        BlockAddr((self.0 << (PAGE_SHIFT - BLOCK_SHIFT)) + i as u64)
+    }
+
+    /// Returns the page `n` pages after this one.
+    pub const fn add(self, n: u64) -> Self {
+        PageId(self.0 + n)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+/// Identifier of a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_extraction() {
+        let a = PhysAddr::new(0x12345);
+        assert_eq!(a.block().index(), 0x12345 >> 6);
+        assert_eq!(a.page().pfn(), 0x12);
+        assert_eq!(a.offset_in_block(), 0x05);
+        assert_eq!(a.offset_in_page(), 0x345);
+    }
+
+    #[test]
+    fn block_round_trips_through_bytes() {
+        let b = BlockAddr::new(1234);
+        assert_eq!(b.byte_addr().block(), b);
+    }
+
+    #[test]
+    fn page_block_indexing() {
+        let p = PageId::new(7);
+        assert_eq!(p.first_block(), p.block(0));
+        assert_eq!(p.block(63).index_in_page(), 63);
+        assert_eq!(p.block(63).page(), p);
+        assert_eq!(p.add(1).first_block().index(), p.block(63).index() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page range")]
+    fn page_block_out_of_range_panics() {
+        let _ = PageId::new(0).block(BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    fn blocks_per_page_is_consistent() {
+        assert_eq!(BLOCKS_PER_PAGE, 64);
+        assert_eq!(1usize << BLOCK_SHIFT, BLOCK_SIZE);
+        assert_eq!(1usize << PAGE_SHIFT, PAGE_SIZE);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr::new(0x40).to_string(), "0x000000000040");
+        assert_eq!(BlockAddr::new(0x40).to_string(), "blk:0x40");
+        assert_eq!(PageId::new(2).to_string(), "page:0x2");
+        assert_eq!(CoreId(3).to_string(), "core3");
+    }
+}

@@ -1,0 +1,144 @@
+//! Cycle counting primitives.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A duration or timestamp measured in CPU cycles.
+///
+/// All latencies in the simulator are expressed in [`Cycles`] so that
+/// byte counts, cycle counts and indices cannot be confused.
+///
+/// ```
+/// use metaleak_sim::clock::Cycles;
+/// let total = Cycles::new(40) + Cycles::new(2);
+/// assert_eq!(total.as_u64(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the count by an integer factor.
+    pub const fn times(self, k: u64) -> Cycles {
+        Cycles(self.0 * k)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cy", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(n: u64) -> Self {
+        Cycles(n)
+    }
+}
+
+/// A monotonically advancing global clock.
+///
+/// The simulator is cycle-accounting rather than event-driven: components
+/// return latencies, and drivers advance a shared [`Clock`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Clock {
+    now: Cycles,
+}
+
+impl Clock {
+    /// Creates a clock at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current timestamp.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new timestamp.
+    pub fn advance(&mut self, d: Cycles) -> Cycles {
+        self.now += d;
+        self.now
+    }
+
+    /// Advances the clock to at least `t` (no-op if already past).
+    pub fn advance_to(&mut self, t: Cycles) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!((a + b).as_u64(), 13);
+        assert_eq!((a - b).as_u64(), 7);
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.times(4).as_u64(), 40);
+        let s: Cycles = [a, b, b].into_iter().sum();
+        assert_eq!(s.as_u64(), 16);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Cycles::ZERO);
+        c.advance(Cycles::new(5));
+        c.advance_to(Cycles::new(3)); // no-op
+        assert_eq!(c.now().as_u64(), 5);
+        c.advance_to(Cycles::new(9));
+        assert_eq!(c.now().as_u64(), 9);
+    }
+}

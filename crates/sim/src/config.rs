@@ -1,0 +1,164 @@
+//! Simulator configuration (Table I of the paper).
+
+use crate::clock::Cycles;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and hit latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency.
+    pub hit_latency: Cycles,
+}
+
+impl CacheConfig {
+    /// Creates a config; `capacity_bytes` must be a multiple of
+    /// `ways * 64` so sets divide evenly.
+    pub const fn new(capacity_bytes: usize, ways: usize, hit_latency: u64) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            hit_latency: Cycles::new(hit_latency),
+        }
+    }
+
+    /// Number of sets for 64-byte blocks.
+    pub const fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * crate::addr::BLOCK_SIZE)
+    }
+}
+
+/// DRAM timing and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Latency of a row-buffer hit (CAS + bus), in cycles.
+    pub row_hit: Cycles,
+    /// Latency when the bank row buffer is closed (ACT + CAS + bus).
+    pub row_closed: Cycles,
+    /// Latency when a different row is open (PRE + ACT + CAS + bus).
+    pub row_conflict: Cycles,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // 64 GB, dual channel, 2 ranks/channel (Table I), 8 banks/rank,
+        // open-row policy. Latencies in CPU cycles.
+        DramConfig {
+            channels: 2,
+            ranks: 2,
+            banks: 8,
+            row_hit: Cycles::new(40),
+            row_closed: Cycles::new(75),
+            row_conflict: Cycles::new(110),
+        }
+    }
+}
+
+/// Memory-controller queueing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCtlConfig {
+    /// Read queue depth (entries).
+    pub read_queue: usize,
+    /// Write queue depth (entries).
+    pub write_queue: usize,
+    /// High watermark at which the write queue starts draining.
+    pub write_drain_watermark: usize,
+    /// Per-queued-request scheduling penalty applied to reads.
+    pub queue_penalty: Cycles,
+}
+
+impl Default for MemCtlConfig {
+    fn default() -> Self {
+        MemCtlConfig {
+            read_queue: 64,
+            write_queue: 64,
+            write_drain_watermark: 48,
+            queue_penalty: Cycles::new(4),
+        }
+    }
+}
+
+/// Full memory-hierarchy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Private L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2 cache.
+    pub l2: CacheConfig,
+    /// Shared L3 (LLC).
+    pub l3: CacheConfig,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Memory controller queues.
+    pub memctl: MemCtlConfig,
+    /// Standard deviation of injected Gaussian timing noise, in cycles
+    /// (0 disables noise).
+    pub noise_sd: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        // Table I, "Simulated architecture configuration".
+        SimConfig {
+            cores: 4,
+            l1: CacheConfig::new(32 * 1024, 8, 1),
+            l2: CacheConfig::new(1024 * 1024, 4, 10),
+            l3: CacheConfig::new(8 * 1024 * 1024, 16, 40),
+            dram: DramConfig::default(),
+            memctl: MemCtlConfig::default(),
+            noise_sd: 2.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A smaller configuration for fast unit tests.
+    pub fn small() -> Self {
+        SimConfig {
+            cores: 2,
+            l1: CacheConfig::new(4 * 1024, 4, 1),
+            l2: CacheConfig::new(16 * 1024, 4, 10),
+            l3: CacheConfig::new(64 * 1024, 8, 40),
+            dram: DramConfig::default(),
+            memctl: MemCtlConfig::default(),
+            noise_sd: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.capacity_bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 8);
+        assert_eq!(c.l2.ways, 4);
+        assert_eq!(c.l3.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.l3.ways, 16);
+        assert_eq!(c.dram.channels, 2);
+        assert_eq!(c.memctl.read_queue, 64);
+        assert_eq!(c.memctl.write_queue, 64);
+    }
+
+    #[test]
+    fn set_counts() {
+        let c = SimConfig::default();
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l3.sets(), 8192);
+    }
+}

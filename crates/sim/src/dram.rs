@@ -1,0 +1,201 @@
+//! Open-row DRAM bank model.
+
+use crate::addr::BlockAddr;
+use crate::clock::Cycles;
+use crate::config::DramConfig;
+use crate::stats::Counters;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a (channel, rank, bank) tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within channel.
+    pub rank: usize,
+    /// Bank within rank.
+    pub bank: usize,
+}
+
+/// Row-buffer outcome of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The requested row was already open.
+    Hit,
+    /// The bank had no open row.
+    Closed,
+    /// A different row was open and had to be precharged.
+    Conflict,
+}
+
+/// Open-row DRAM model: per-bank open-row tracking with hit / closed /
+/// conflict latencies, using a block-interleaved address mapping
+/// (low bits → channel, then bank, then rank; remainder → row).
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    /// Open row per bank, linear index = ((channel*ranks)+rank)*banks+bank.
+    open_rows: Vec<Option<u64>>,
+    /// Event counters (row hits/misses/conflicts).
+    pub stats: Counters,
+}
+
+impl Dram {
+    /// Creates a DRAM model with all banks closed.
+    pub fn new(config: DramConfig) -> Self {
+        let n = config.channels * config.ranks * config.banks;
+        Dram { config, open_rows: vec![None; n], stats: Counters::new() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Maps a block to its bank.
+    pub fn bank_of(&self, block: BlockAddr) -> BankId {
+        let idx = block.index();
+        let channel = (idx % self.config.channels as u64) as usize;
+        let rest = idx / self.config.channels as u64;
+        let bank = (rest % self.config.banks as u64) as usize;
+        let rest = rest / self.config.banks as u64;
+        let rank = (rest % self.config.ranks as u64) as usize;
+        BankId { channel, rank, bank }
+    }
+
+    /// Maps a block to its DRAM row within its bank.
+    pub fn row_of(&self, block: BlockAddr) -> u64 {
+        let idx = block.index();
+        let per_row_blocks = 128; // 8 KiB row / 64 B blocks
+        idx / (self.config.channels * self.config.banks * self.config.ranks) as u64 / per_row_blocks
+    }
+
+    fn linear_bank(&self, b: BankId) -> usize {
+        ((b.channel * self.config.ranks) + b.rank) * self.config.banks + b.bank
+    }
+
+    /// Services one block access, updating the bank's row buffer.
+    /// Returns the access latency and the row outcome.
+    pub fn access(&mut self, block: BlockAddr) -> (Cycles, RowOutcome) {
+        let bank = self.bank_of(block);
+        let row = self.row_of(block);
+        let slot = self.linear_bank(bank);
+        let outcome = match self.open_rows[slot] {
+            Some(open) if open == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Closed,
+        };
+        self.open_rows[slot] = Some(row);
+        let latency = match outcome {
+            RowOutcome::Hit => {
+                self.stats.bump("row_hit");
+                self.config.row_hit
+            }
+            RowOutcome::Closed => {
+                self.stats.bump("row_closed");
+                self.config.row_closed
+            }
+            RowOutcome::Conflict => {
+                self.stats.bump("row_conflict");
+                self.config.row_conflict
+            }
+        };
+        (latency, outcome)
+    }
+
+    /// Closes every row buffer (e.g. refresh boundary).
+    pub fn precharge_all(&mut self) {
+        for r in &mut self.open_rows {
+            *r = None;
+        }
+    }
+
+    /// Whether two blocks share a bank (used by attacks that time reads
+    /// against same-bank victim traffic, Figure 8).
+    pub fn same_bank(&self, a: BlockAddr, b: BlockAddr) -> bool {
+        self.bank_of(a) == self.bank_of(b)
+    }
+
+    /// Finds a block in the same bank as `target`, starting the search at
+    /// `start` and advancing block-by-block.
+    pub fn find_same_bank_block(&self, target: BlockAddr, start: BlockAddr) -> BlockAddr {
+        let mut b = start;
+        loop {
+            if self.same_bank(b, target) && b != target {
+                return b;
+            }
+            b = b.add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    #[test]
+    fn first_access_is_closed_then_hit() {
+        let mut d = dram();
+        let b = BlockAddr::new(0);
+        let (l1, o1) = d.access(b);
+        assert_eq!(o1, RowOutcome::Closed);
+        assert_eq!(l1.as_u64(), 75);
+        let (l2, o2) = d.access(b);
+        assert_eq!(o2, RowOutcome::Hit);
+        assert_eq!(l2.as_u64(), 40);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut d = dram();
+        let a = BlockAddr::new(0);
+        // Same bank, different row: stride = channels*ranks*banks*blocks_per_row.
+        let stride = (2 * 2 * 8 * 128) as u64;
+        let b = BlockAddr::new(stride);
+        assert!(d.same_bank(a, b));
+        assert_ne!(d.row_of(a), d.row_of(b));
+        d.access(a);
+        let (lat, o) = d.access(b);
+        assert_eq!(o, RowOutcome::Conflict);
+        assert_eq!(lat.as_u64(), 110);
+    }
+
+    #[test]
+    fn adjacent_blocks_spread_over_channels() {
+        let d = dram();
+        assert_ne!(d.bank_of(BlockAddr::new(0)).channel, d.bank_of(BlockAddr::new(1)).channel);
+    }
+
+    #[test]
+    fn precharge_closes_rows() {
+        let mut d = dram();
+        let b = BlockAddr::new(0);
+        d.access(b);
+        d.precharge_all();
+        let (_, o) = d.access(b);
+        assert_eq!(o, RowOutcome::Closed);
+    }
+
+    #[test]
+    fn find_same_bank_block_finds_a_distinct_block() {
+        let d = dram();
+        let t = BlockAddr::new(5);
+        let found = d.find_same_bank_block(t, BlockAddr::new(6));
+        assert!(d.same_bank(found, t));
+        assert_ne!(found, t);
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut d = dram();
+        let b = BlockAddr::new(0);
+        d.access(b);
+        d.access(b);
+        assert_eq!(d.stats.get("row_closed"), 1);
+        assert_eq!(d.stats.get("row_hit"), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Three-level data cache hierarchy (private L1/L2, shared L3).
+
+use crate::addr::{BlockAddr, CoreId};
+use crate::cache::SetAssocCache;
+use crate::clock::Cycles;
+use crate::config::SimConfig;
+use crate::stats::Counters;
+use serde::{Deserialize, Serialize};
+
+/// The cache level at which a data access hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Private level-1 data cache.
+    L1,
+    /// Private level-2 cache.
+    L2,
+    /// Shared last-level cache.
+    L3,
+}
+
+/// Result of a hierarchy access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Where the access hit; `None` means it missed everywhere and must
+    /// be serviced by the memory controller.
+    pub hit: Option<HitLevel>,
+    /// Latency accumulated walking the hierarchy (lookup costs only; the
+    /// memory latency on a full miss is added by the caller).
+    pub latency: Cycles,
+    /// Dirty blocks evicted from the LLC by fills performed during this
+    /// access; these become memory writebacks.
+    pub writebacks: Vec<BlockAddr>,
+}
+
+/// Private L1/L2 per core plus a shared L3, with inclusive fills.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Vec<SetAssocCache<BlockAddr>>,
+    l2: Vec<SetAssocCache<BlockAddr>>,
+    l3: SetAssocCache<BlockAddr>,
+    l1_lat: Cycles,
+    l2_lat: Cycles,
+    l3_lat: Cycles,
+    /// Event counters (hits/misses per level).
+    pub stats: Counters,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        CacheHierarchy {
+            l1: (0..config.cores).map(|_| SetAssocCache::new(config.l1)).collect(),
+            l2: (0..config.cores).map(|_| SetAssocCache::new(config.l2)).collect(),
+            l3: SetAssocCache::new(config.l3),
+            l1_lat: config.l1.hit_latency,
+            l2_lat: config.l2.hit_latency,
+            l3_lat: config.l3.hit_latency,
+            stats: Counters::new(),
+        }
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Performs a load/store lookup from `core`. On a miss at all levels
+    /// the caller must fetch the block from memory and then call
+    /// [`CacheHierarchy::fill`].
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: CoreId, block: BlockAddr, write: bool) -> HierarchyAccess {
+        let c = core.0;
+        assert!(c < self.l1.len(), "core {c} out of range");
+        let mut latency = self.l1_lat;
+        if self.l1[c].access(block, write).hit {
+            self.stats.bump("l1_hit");
+            return HierarchyAccess { hit: Some(HitLevel::L1), latency, writebacks: Vec::new() };
+        }
+        self.stats.bump("l1_miss");
+        latency += self.l2_lat;
+        if self.l2[c].touch(block) {
+            self.stats.bump("l2_hit");
+            // Fill into L1 on an L2 hit.
+            self.l1[c].access(block, write);
+            if write {
+                self.l2[c].mark_dirty(block);
+            }
+            return HierarchyAccess { hit: Some(HitLevel::L2), latency, writebacks: Vec::new() };
+        }
+        self.stats.bump("l2_miss");
+        latency += self.l3_lat;
+        if self.l3.touch(block) {
+            self.stats.bump("l3_hit");
+            self.l1[c].access(block, write);
+            self.l2[c].access(block, write);
+            if write {
+                self.l3.mark_dirty(block);
+            }
+            return HierarchyAccess { hit: Some(HitLevel::L3), latency, writebacks: Vec::new() };
+        }
+        self.stats.bump("l3_miss");
+        HierarchyAccess { hit: None, latency, writebacks: Vec::new() }
+    }
+
+    /// Installs a block fetched from memory into all levels for `core`,
+    /// returning any dirty LLC victims that must be written back.
+    pub fn fill(&mut self, core: CoreId, block: BlockAddr, write: bool) -> Vec<BlockAddr> {
+        let c = core.0;
+        let mut writebacks = Vec::new();
+        if let Some(ev) = self.l3.access(block, write).evicted {
+            if ev.dirty {
+                writebacks.push(ev.key);
+            }
+            // Inclusive LLC: back-invalidate private copies of the victim.
+            for l1 in &mut self.l1 {
+                l1.invalidate(ev.key);
+            }
+            for l2 in &mut self.l2 {
+                if let Some(true) = l2.invalidate(ev.key) {
+                    if !writebacks.contains(&ev.key) {
+                        writebacks.push(ev.key);
+                    }
+                }
+            }
+        }
+        self.l2[c].access(block, write);
+        self.l1[c].access(block, write);
+        writebacks
+    }
+
+    /// Evicts `block` from every level (like `clflush`); returns true if
+    /// any copy was dirty.
+    pub fn flush_block(&mut self, block: BlockAddr) -> bool {
+        let mut dirty = false;
+        for l1 in &mut self.l1 {
+            dirty |= l1.invalidate(block).unwrap_or(false);
+        }
+        for l2 in &mut self.l2 {
+            dirty |= l2.invalidate(block).unwrap_or(false);
+        }
+        dirty |= self.l3.invalidate(block).unwrap_or(false);
+        dirty
+    }
+
+    /// Whether `block` is resident anywhere in the hierarchy.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.l3.contains(block)
+            || self.l1.iter().any(|c| c.contains(block))
+            || self.l2.iter().any(|c| c.contains(block))
+    }
+
+    /// Shared-LLC set occupants of the set `block` maps to (test helper
+    /// and attack primitive for occupancy probing).
+    pub fn llc_set_occupants(&self, block: BlockAddr) -> Vec<BlockAddr> {
+        self.l3.set_occupants(block)
+    }
+
+    /// Hit latency of the named level.
+    pub fn level_latency(&self, level: HitLevel) -> Cycles {
+        match level {
+            HitLevel::L1 => self.l1_lat,
+            HitLevel::L2 => self.l1_lat + self.l2_lat,
+            HitLevel::L3 => self.l1_lat + self.l2_lat + self.l3_lat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::CoreId;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&SimConfig::small())
+    }
+
+    #[test]
+    fn cold_access_misses_everywhere() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(100);
+        let r = h.access(CoreId(0), b, false);
+        assert_eq!(r.hit, None);
+        assert_eq!(r.latency.as_u64(), 1 + 10 + 40);
+    }
+
+    #[test]
+    fn fill_then_l1_hit() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(100);
+        assert!(h.access(CoreId(0), b, false).hit.is_none());
+        h.fill(CoreId(0), b, false);
+        let r = h.access(CoreId(0), b, false);
+        assert_eq!(r.hit, Some(HitLevel::L1));
+        assert_eq!(r.latency.as_u64(), 1);
+    }
+
+    #[test]
+    fn cross_core_hit_comes_from_l3() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(7);
+        h.access(CoreId(0), b, false);
+        h.fill(CoreId(0), b, false);
+        let r = h.access(CoreId(1), b, false);
+        assert_eq!(r.hit, Some(HitLevel::L3));
+    }
+
+    #[test]
+    fn flush_removes_all_copies() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(9);
+        h.access(CoreId(0), b, true);
+        h.fill(CoreId(0), b, true);
+        assert!(h.contains(b));
+        assert!(h.flush_block(b), "dirty flush must report dirty");
+        assert!(!h.contains(b));
+        assert_eq!(h.access(CoreId(0), b, false).hit, None);
+    }
+
+    #[test]
+    fn llc_eviction_produces_writeback_and_back_invalidate() {
+        let mut h = hierarchy();
+        // Fill the small LLC (64 KiB / 64 B = 1024 blocks, 8 ways x 128 sets).
+        // Use blocks all mapping to the same LLC set: stride = 128 blocks.
+        let victim = BlockAddr::new(0);
+        h.access(CoreId(0), victim, true);
+        h.fill(CoreId(0), victim, true);
+        let mut wbs = Vec::new();
+        for i in 1..=8u64 {
+            let b = BlockAddr::new(i * 128);
+            h.access(CoreId(0), b, false);
+            wbs.extend(h.fill(CoreId(0), b, false));
+        }
+        assert!(wbs.contains(&victim), "dirty victim must be written back");
+        assert!(!h.contains(victim), "inclusive LLC must back-invalidate");
+    }
+
+    #[test]
+    fn write_marks_dirty_through_levels() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(3);
+        h.access(CoreId(0), b, false);
+        h.fill(CoreId(0), b, false);
+        // L1 hit write.
+        h.access(CoreId(0), b, true);
+        assert!(h.flush_block(b), "written block must flush dirty");
+    }
+
+    #[test]
+    fn level_latencies_are_cumulative() {
+        let h = hierarchy();
+        assert_eq!(h.level_latency(HitLevel::L1).as_u64(), 1);
+        assert_eq!(h.level_latency(HitLevel::L2).as_u64(), 11);
+        assert_eq!(h.level_latency(HitLevel::L3).as_u64(), 51);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut h = hierarchy();
+        let b = BlockAddr::new(5);
+        h.access(CoreId(0), b, false);
+        h.fill(CoreId(0), b, false);
+        h.access(CoreId(0), b, false);
+        assert_eq!(h.stats.get("l3_miss"), 1);
+        assert_eq!(h.stats.get("l1_hit"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = hierarchy();
+        h.access(CoreId(99), BlockAddr::new(0), false);
+    }
+}

@@ -1,0 +1,53 @@
+//! # metaleak-sim
+//!
+//! Cycle-accounting memory-hierarchy substrate for the MetaLeak
+//! reproduction: physical address types, set-associative caches, a
+//! three-level cache hierarchy, an open-row DRAM model, a memory
+//! controller with write buffering/merging/drains, a deterministic RNG
+//! and a page-frame allocator model.
+//!
+//! The paper evaluates on gem5 full-system simulation; this crate is the
+//! Rust substitute. It models the *memory-side* state that produces the
+//! MetaLeak timing signals — cache residency, metadata-cache residency,
+//! DRAM bank/row state and memory-controller queueing — with
+//! deterministic, seedable noise (see `DESIGN.md` for the substitution
+//! argument).
+//!
+//! ```
+//! use metaleak_sim::prelude::*;
+//!
+//! let config = SimConfig::default();
+//! let mut hier = CacheHierarchy::new(&config);
+//! let block = BlockAddr::new(42);
+//! let miss = hier.access(CoreId(0), block, false);
+//! assert!(miss.hit.is_none());
+//! hier.fill(CoreId(0), block, false);
+//! assert_eq!(hier.access(CoreId(0), block, false).hit, Some(HitLevel::L1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod clock;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod memctl;
+pub mod pages;
+pub mod rng;
+pub mod stats;
+
+/// Convenient glob import of the common types.
+pub mod prelude {
+    pub use crate::addr::{BlockAddr, CoreId, PageId, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
+    pub use crate::cache::{AccessResult, CacheKey, Evicted, Replacement, SetAssocCache};
+    pub use crate::clock::{Clock, Cycles};
+    pub use crate::config::{CacheConfig, DramConfig, MemCtlConfig, SimConfig};
+    pub use crate::dram::{BankId, Dram, RowOutcome};
+    pub use crate::hierarchy::{CacheHierarchy, HierarchyAccess, HitLevel};
+    pub use crate::memctl::{DrainReport, MemoryController, ReadOutcome};
+    pub use crate::pages::{AllocError, PageAllocator};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Counters, LatencyHistogram};
+}

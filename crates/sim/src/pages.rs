@@ -1,0 +1,199 @@
+//! Physical page-frame allocation model.
+//!
+//! MetaLeak's case studies (§VIII-A1) exploit the per-core free-page
+//! management of the OS to steer victim pages onto attacker-chosen
+//! frames, achieving integrity-tree co-location. This module models the
+//! allocator's observable behaviour: a per-core LIFO free list that an
+//! attacker can seed (by freeing chosen frames) so the next victim
+//! allocation lands on a chosen frame. Under SGX, the (malicious) OS
+//! controls EPC frame assignment directly; [`PageAllocator::allocate_at`]
+//! models that privileged capability.
+
+use crate::addr::PageId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The pool of frames is exhausted.
+    OutOfFrames,
+    /// A specifically requested frame is already in use.
+    FrameBusy(PageId),
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfFrames => write!(f, "no free page frames remain"),
+            AllocError::FrameBusy(p) => write!(f, "requested frame {p} is already allocated"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A simple physical-frame allocator with per-core LIFO free lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageAllocator {
+    /// Next never-used frame.
+    next_fresh: u64,
+    /// Exclusive upper bound on frames.
+    limit: u64,
+    /// Per-core LIFO free lists (freed frames are reused first).
+    free_lists: Vec<Vec<PageId>>,
+    /// Currently allocated frames.
+    live: HashSet<PageId>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator managing frames `[first, first + count)` with
+    /// one free list per core.
+    pub fn new(first: PageId, count: u64, cores: usize) -> Self {
+        PageAllocator {
+            next_fresh: first.pfn(),
+            limit: first.pfn() + count,
+            free_lists: vec![Vec::new(); cores.max(1)],
+            live: HashSet::new(),
+        }
+    }
+
+    /// Allocates one frame for `core`, preferring the core's free list
+    /// (LIFO) — the property the attacker exploits to steer placement.
+    ///
+    /// # Errors
+    /// Returns [`AllocError::OutOfFrames`] when exhausted.
+    pub fn allocate(&mut self, core: usize) -> Result<PageId, AllocError> {
+        let idx = core % self.free_lists.len();
+        if let Some(p) = self.free_lists[idx].pop() {
+            self.live.insert(p);
+            return Ok(p);
+        }
+        while self.next_fresh < self.limit {
+            let p = PageId::new(self.next_fresh);
+            self.next_fresh += 1;
+            if !self.live.contains(&p) {
+                self.live.insert(p);
+                return Ok(p);
+            }
+        }
+        Err(AllocError::OutOfFrames)
+    }
+
+    /// Allocates a *specific* frame (privileged/OS capability used in the
+    /// SGX threat model where the OS chooses EPC frames).
+    ///
+    /// # Errors
+    /// Returns [`AllocError::FrameBusy`] if the frame is live or
+    /// [`AllocError::OutOfFrames`] if outside the managed range.
+    pub fn allocate_at(&mut self, frame: PageId) -> Result<PageId, AllocError> {
+        if frame.pfn() >= self.limit {
+            return Err(AllocError::OutOfFrames);
+        }
+        if self.live.contains(&frame) {
+            return Err(AllocError::FrameBusy(frame));
+        }
+        for list in &mut self.free_lists {
+            list.retain(|p| *p != frame);
+        }
+        // Frames below next_fresh that are neither live nor free-listed
+        // were never handed out; claiming them is fine.
+        self.live.insert(frame);
+        if frame.pfn() >= self.next_fresh {
+            // Mark intermediate frames as still fresh; allocate() skips
+            // live ones, so only bump past this frame if it is the next.
+            if frame.pfn() == self.next_fresh {
+                self.next_fresh += 1;
+            }
+        }
+        Ok(frame)
+    }
+
+    /// Frees a frame back to `core`'s free list.
+    ///
+    /// # Panics
+    /// Panics if the frame was not allocated (double free).
+    pub fn free(&mut self, frame: PageId, core: usize) {
+        assert!(self.live.remove(&frame), "double free of {frame}");
+        let idx = core % self.free_lists.len();
+        self.free_lists[idx].push(frame);
+    }
+
+    /// Whether `frame` is currently allocated.
+    pub fn is_live(&self, frame: PageId) -> bool {
+        self.live.contains(&frame)
+    }
+
+    /// Number of live frames.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> PageAllocator {
+        PageAllocator::new(PageId::new(0x100), 64, 2)
+    }
+
+    #[test]
+    fn fresh_allocations_are_sequential() {
+        let mut a = alloc();
+        assert_eq!(a.allocate(0).unwrap().pfn(), 0x100);
+        assert_eq!(a.allocate(0).unwrap().pfn(), 0x101);
+    }
+
+    #[test]
+    fn lifo_reuse_enables_placement_steering() {
+        let mut a = alloc();
+        let p1 = a.allocate(0).unwrap();
+        let _p2 = a.allocate(0).unwrap();
+        a.free(p1, 0);
+        // Victim allocating on the same core gets the attacker-freed frame.
+        assert_eq!(a.allocate(0).unwrap(), p1);
+    }
+
+    #[test]
+    fn free_lists_are_per_core() {
+        let mut a = alloc();
+        let p1 = a.allocate(0).unwrap();
+        a.free(p1, 0);
+        // Core 1 does not see core 0's freed frame first.
+        assert_ne!(a.allocate(1).unwrap(), p1);
+    }
+
+    #[test]
+    fn allocate_at_claims_specific_frame() {
+        let mut a = alloc();
+        let target = PageId::new(0x120);
+        assert_eq!(a.allocate_at(target).unwrap(), target);
+        assert_eq!(a.allocate_at(target), Err(AllocError::FrameBusy(target)));
+    }
+
+    #[test]
+    fn allocate_skips_frames_claimed_specifically() {
+        let mut a = alloc();
+        a.allocate_at(PageId::new(0x100)).unwrap();
+        assert_eq!(a.allocate(0).unwrap().pfn(), 0x101);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = PageAllocator::new(PageId::new(0), 2, 1);
+        a.allocate(0).unwrap();
+        a.allocate(0).unwrap();
+        assert_eq!(a.allocate(0), Err(AllocError::OutOfFrames));
+        assert!(a.allocate_at(PageId::new(5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = alloc();
+        let p = a.allocate(0).unwrap();
+        a.free(p, 0);
+        a.free(p, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Counters and latency histograms for experiment reporting.
+
+use crate::clock::Cycles;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named event counter set.
+///
+/// ```
+/// use metaleak_sim::stats::Counters;
+/// let mut c = Counters::new();
+/// c.bump("read_hits");
+/// c.add("read_hits", 2);
+/// assert_eq!(c.get("read_hits"), 3);
+/// assert_eq!(c.get("missing"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `key` by one.
+    pub fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increments `key` by `n`.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.map.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// Current value of `key` (0 if never bumped).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, count)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.map {
+            writeln!(f, "{k:32} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A latency histogram with fixed-width buckets, used to render the
+/// latency-distribution figures (Figures 6–8 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    bucket_width: u64,
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the given bucket width in cycles.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        LatencyHistogram {
+            bucket_width,
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, lat: Cycles) {
+        let v = lat.as_u64();
+        let b = v / self.bucket_width * self.bucket_width;
+        *self.buckets.entry(b).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Minimum recorded latency, or `None` if empty.
+    pub fn min(&self) -> Option<Cycles> {
+        (self.count > 0).then(|| Cycles::new(self.min))
+    }
+
+    /// Maximum recorded latency, or `None` if empty.
+    pub fn max(&self) -> Option<Cycles> {
+        (self.count > 0).then(|| Cycles::new(self.max))
+    }
+
+    /// Approximate p-th percentile (0.0..=1.0) from the bucketed data.
+    pub fn percentile(&self, p: f64) -> Option<Cycles> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (&start, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return Some(Cycles::new(start));
+            }
+        }
+        self.buckets.keys().next_back().map(|&b| Cycles::new(b))
+    }
+
+    /// Iterates over `(bucket_start_cycles, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &n)| (b, n))
+    }
+
+    /// Fraction of samples in `[lo, hi)` cycles (bucket-granular).
+    pub fn mass_between(&self, lo: u64, hi: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let in_range: u64 = self
+            .buckets
+            .iter()
+            .filter(|(&b, _)| b >= lo && b < hi)
+            .map(|(_, &n)| n)
+            .sum();
+        in_range as f64 / self.count as f64
+    }
+
+    /// Renders a textual histogram (one row per non-empty bucket).
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.buckets.values().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (&b, &n) in &self.buckets {
+            let bar = "#".repeat(((n as usize) * max_width / peak as usize).max(1));
+            out.push_str(&format!("{:>6}-{:<6} {:>7} {}\n", b, b + self.bucket_width, n, bar));
+        }
+        out
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.bump("x");
+        c.add("x", 4);
+        c.bump("y");
+        assert_eq!(c.get("x"), 5);
+        assert_eq!(c.get("y"), 1);
+        assert_eq!(c.iter().count(), 2);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = LatencyHistogram::new(10);
+        for v in [5u64, 15, 15, 25, 95] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min().unwrap().as_u64(), 5);
+        assert_eq!(h.max().unwrap().as_u64(), 95);
+        assert!((h.mean().unwrap() - 31.0).abs() < 1e-9);
+        // bucket [10,20) holds 2/5 of the mass
+        assert!((h.mass_between(10, 20) - 0.4).abs() < 1e-9);
+        assert_eq!(h.percentile(0.5).unwrap().as_u64(), 10);
+        assert!(h.render(20).contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = LatencyHistogram::new(10);
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_none());
+        assert!(h.min().is_none());
+        assert!(h.percentile(0.5).is_none());
+        assert_eq!(h.mass_between(0, 100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bucket_width_panics() {
+        let _ = LatencyHistogram::new(0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cache-hierarchy scenario tests: multi-core interactions, inclusion
+//! and writeback ordering at the scale the attacks rely on.
+
+use metaleak_sim::addr::{BlockAddr, CoreId};
+use metaleak_sim::config::SimConfig;
+use metaleak_sim::hierarchy::{CacheHierarchy, HitLevel};
+
+fn hierarchy() -> CacheHierarchy {
+    CacheHierarchy::new(&SimConfig::small())
+}
+
+#[test]
+fn four_sharers_escalate_through_the_llc() {
+    let mut h = CacheHierarchy::new(&SimConfig::default());
+    let b = BlockAddr::new(42);
+    h.access(CoreId(0), b, false);
+    h.fill(CoreId(0), b, false);
+    for core in 1..4 {
+        let r = h.access(CoreId(core), b, false);
+        assert_eq!(r.hit, Some(HitLevel::L3), "core {core} first touch");
+        let r = h.access(CoreId(core), b, false);
+        assert_eq!(r.hit, Some(HitLevel::L1), "core {core} second touch");
+    }
+}
+
+#[test]
+fn writer_then_reader_preserves_dirtiness() {
+    let mut h = hierarchy();
+    let b = BlockAddr::new(5);
+    h.access(CoreId(0), b, true);
+    h.fill(CoreId(0), b, true);
+    // Reader on another core pulls from L3; the dirty bit must survive
+    // somewhere so a flush still reports dirty.
+    h.access(CoreId(1), b, false);
+    assert!(h.flush_block(b), "dirtiness lost across sharers");
+}
+
+#[test]
+fn private_caches_do_not_leak_across_cores() {
+    let mut h = hierarchy();
+    // Core 0 fills enough same-set blocks to keep them only in its L1/L2.
+    let a = BlockAddr::new(10);
+    h.access(CoreId(0), a, false);
+    h.fill(CoreId(0), a, false);
+    // Core 1's L1/L2 are empty: its first access must at best hit L3.
+    let r = h.access(CoreId(1), a, false);
+    assert_eq!(r.hit, Some(HitLevel::L3));
+}
+
+#[test]
+fn back_invalidation_hits_all_private_copies() {
+    let mut h = hierarchy();
+    let victim = BlockAddr::new(0);
+    // Both cores cache the victim privately.
+    for core in [CoreId(0), CoreId(1)] {
+        h.access(core, victim, false);
+        h.fill(core, victim, false);
+        h.access(core, victim, false);
+    }
+    // Evict it from the (8-way, 128-set) LLC with same-set fills.
+    for i in 1..=8u64 {
+        let b = BlockAddr::new(i * 128);
+        h.access(CoreId(0), b, false);
+        h.fill(CoreId(0), b, false);
+    }
+    assert!(!h.contains(victim), "inclusive LLC must back-invalidate everywhere");
+    for core in [CoreId(0), CoreId(1)] {
+        assert_eq!(h.access(core, victim, false).hit, None, "{core:?} stale copy");
+    }
+}
+
+#[test]
+fn llc_set_occupants_reflect_fills() {
+    let mut h = hierarchy();
+    for i in 0..4u64 {
+        let b = BlockAddr::new(i * 128); // same LLC set
+        h.access(CoreId(0), b, false);
+        h.fill(CoreId(0), b, false);
+    }
+    let occ = h.llc_set_occupants(BlockAddr::new(0));
+    assert_eq!(occ.len(), 4);
+}
+
+#[test]
+fn stats_partition_hits_by_level() {
+    let mut h = hierarchy();
+    let b = BlockAddr::new(77);
+    h.access(CoreId(0), b, false); // l1 miss, l2 miss, l3 miss
+    h.fill(CoreId(0), b, false);
+    h.access(CoreId(0), b, false); // l1 hit
+    h.access(CoreId(1), b, false); // l3 hit
+    h.access(CoreId(1), b, false); // l1 hit
+    assert_eq!(h.stats.get("l1_hit"), 2);
+    assert_eq!(h.stats.get("l3_hit"), 1);
+    assert_eq!(h.stats.get("l3_miss"), 1);
+}

@@ -1,0 +1,119 @@
+//! Memory-controller scenario tests: the queueing behaviours that
+//! MetaLeak-C's mPreset step depends on (§VI-B), exercised end to end
+//! against the raw controller.
+
+use metaleak_sim::addr::BlockAddr;
+use metaleak_sim::clock::Cycles;
+use metaleak_sim::config::{DramConfig, MemCtlConfig};
+use metaleak_sim::dram::Dram;
+use metaleak_sim::memctl::MemoryController;
+
+fn mc() -> MemoryController {
+    MemoryController::new(MemCtlConfig::default(), Dram::new(DramConfig::default()))
+}
+
+#[test]
+fn merged_writes_are_serviced_once() {
+    // The paper's concern: merging hides counter increments. Ten writes
+    // to the same block must drain as a single service.
+    let mut m = mc();
+    for _ in 0..10 {
+        m.enqueue_write(BlockAddr::new(7), Cycles::ZERO);
+    }
+    let report = m.flush_writes(Cycles::ZERO);
+    assert_eq!(report.serviced, vec![BlockAddr::new(7)]);
+    assert_eq!(m.stats.get("write_merged"), 9);
+    assert_eq!(m.stats.get("write_serviced"), 1);
+}
+
+#[test]
+fn redundant_writes_push_out_pending_ones() {
+    // The attacker's flush trick: filling the queue with redundant
+    // writes forces the earlier (victim) writes to service first.
+    let mut m = mc();
+    let victim = BlockAddr::new(1);
+    m.enqueue_write(victim, Cycles::ZERO);
+    let mut serviced_victim = false;
+    for i in 0..64u64 {
+        let r = m.enqueue_write(BlockAddr::new(1000 + i), Cycles::ZERO);
+        if r.serviced.contains(&victim) {
+            serviced_victim = true;
+            // FIFO: the victim must be the first serviced write.
+            assert_eq!(r.serviced[0], victim);
+            break;
+        }
+    }
+    assert!(serviced_victim, "watermark drain must reach the victim write");
+}
+
+#[test]
+fn forwarding_disappears_after_drain() {
+    let mut m = mc();
+    let b = BlockAddr::new(9);
+    m.enqueue_write(b, Cycles::ZERO);
+    assert!(m.read(b, Cycles::ZERO).forwarded);
+    m.flush_writes(Cycles::ZERO);
+    assert!(!m.read(b, Cycles::ZERO).forwarded);
+}
+
+#[test]
+fn drain_timestamps_are_cumulative_and_ordered() {
+    let mut m = mc();
+    for i in 0..8u64 {
+        m.enqueue_write(BlockAddr::new(i * 97), Cycles::ZERO);
+    }
+    let t0 = Cycles::new(1000);
+    let report = m.flush_writes(t0);
+    assert_eq!(report.serviced.len(), 8);
+    assert!(report.finished_at > t0, "drain takes time");
+    // Banks written during the drain stay busy past the drain window's
+    // internal completion points.
+    let last = *report.serviced.last().unwrap();
+    assert!(m.bank_free_at(last) > t0);
+}
+
+#[test]
+fn bank_occupancy_delays_only_that_bank() {
+    let mut m = mc();
+    let a = BlockAddr::new(0);
+    let dram_cfg = DramConfig::default();
+    // Find a block in a different bank.
+    let mut other = BlockAddr::new(1);
+    {
+        let d = Dram::new(dram_cfg);
+        while d.same_bank(a, other) {
+            other = other.add(1);
+        }
+    }
+    m.occupy_bank_of(a, Cycles::new(10_000));
+    let blocked = m.read(a, Cycles::new(0));
+    let free = m.read(other, Cycles::new(0));
+    assert!(blocked.waited.as_u64() >= 9_000);
+    assert_eq!(free.waited, Cycles::ZERO);
+}
+
+#[test]
+fn row_locality_shows_through_the_controller() {
+    let mut m = mc();
+    let b = BlockAddr::new(4);
+    let first = m.read(b, Cycles::ZERO);
+    // Wait out the bank-busy window left by the first read.
+    let later = m.bank_free_at(b) + Cycles::new(1);
+    let second = m.read(b, later);
+    assert!(
+        second.latency < first.latency,
+        "row hit ({:?}) must beat row open ({:?})",
+        second.latency,
+        first.latency
+    );
+}
+
+#[test]
+fn watermark_drain_leaves_low_water_level() {
+    let cfg = MemCtlConfig::default();
+    let mut m = mc();
+    for i in 0..(cfg.write_drain_watermark as u64) {
+        m.enqueue_write(BlockAddr::new(i), Cycles::ZERO);
+    }
+    assert_eq!(m.write_queue_len(), cfg.write_drain_watermark / 2);
+}

@@ -1,0 +1,101 @@
+//! Property tests for the cache model: the set-associative cache must
+//! agree with a naive reference model under arbitrary access traces.
+
+use metaleak_sim::cache::SetAssocCache;
+use metaleak_sim::config::CacheConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per-set vectors with explicit LRU timestamps.
+#[derive(Default)]
+struct RefCache {
+    sets: HashMap<usize, Vec<(u64, bool, u64)>>, // (key, dirty, stamp)
+    tick: u64,
+    num_sets: usize,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(num_sets: usize, ways: usize) -> Self {
+        RefCache { num_sets, ways, ..Default::default() }
+    }
+
+    fn access(&mut self, key: u64, write: bool) -> (bool, Option<(u64, bool)>) {
+        self.tick += 1;
+        let set = self.sets.entry((key % self.num_sets as u64) as usize).or_default();
+        if let Some(line) = set.iter_mut().find(|l| l.0 == key) {
+            line.1 |= write;
+            line.2 = self.tick;
+            return (true, None);
+        }
+        let mut evicted = None;
+        if set.len() >= self.ways {
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.2)
+                .expect("nonempty");
+            let victim = set.remove(idx);
+            evicted = Some((victim.0, victim.1));
+        }
+        set.push((key, write, self.tick));
+        (false, evicted)
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.sets
+            .get(&((key % self.num_sets as u64) as usize))
+            .is_some_and(|s| s.iter().any(|l| l.0 == key))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        // 4 sets x 2 ways.
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(4 * 2 * 64, 2, 1));
+        let mut reference = RefCache::new(4, 2);
+        for (key, write) in accesses {
+            let got = cache.access(key, write);
+            let (hit, evicted) = reference.access(key, write);
+            prop_assert_eq!(got.hit, hit, "hit mismatch on {}", key);
+            prop_assert_eq!(
+                got.evicted.map(|e| (e.key, e.dirty)),
+                evicted,
+                "eviction mismatch on {}", key
+            );
+            prop_assert_eq!(cache.contains(key), reference.contains(key));
+        }
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity(accesses in prop::collection::vec(0u64..1000, 1..500)) {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(8 * 4 * 64, 4, 1));
+        for key in accesses {
+            cache.access(key, false);
+            prop_assert!(cache.len() <= 32);
+        }
+    }
+
+    #[test]
+    fn flush_returns_exactly_the_dirty_set(ops in prop::collection::vec((0u64..32, any::<bool>()), 1..100)) {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(64 * 64, 64, 1));
+        // Fully associative-ish (one set would need cap = ways): use
+        // enough ways that nothing evicts, then flush.
+        let mut dirty = std::collections::HashSet::new();
+        for (key, write) in ops {
+            cache.access(key, write);
+            if write {
+                dirty.insert(key);
+            }
+        }
+        let mut flushed = cache.flush_all();
+        flushed.sort_unstable();
+        let mut expect: Vec<u64> = dirty.into_iter().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(flushed, expect);
+        prop_assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! Arbitrary-precision unsigned integers, from scratch.
+//!
+//! This is the substrate for the two cryptographic victims: the
+//! libgcrypt-style square-and-multiply modular exponentiation (§VIII-B1)
+//! and the mbedTLS-style modular inversion (§VIII-B2). Only the
+//! operations those algorithms need are implemented: comparison,
+//! add/sub, shifts, schoolbook and Karatsuba multiplication, division
+//! with remainder, modular exponentiation and modular inverse.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian u64 limbs,
+/// normalized: no trailing zero limbs).
+///
+/// ```
+/// use metaleak_victims::bignum::BigUint;
+/// let a = BigUint::from_u64(12) * BigUint::from_u64(10);
+/// assert_eq!(a, BigUint::from_u64(120));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// The little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the lowest bit is clear (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i` (false beyond the top).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// The bits from most-significant downwards (square-and-multiply
+    /// iteration order).
+    pub fn bits_msb_first(&self) -> Vec<bool> {
+        (0..self.bits()).rev().map(|i| self.bit(i)).collect()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (unsigned underflow).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(*self >= *other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::from_limbs(out)
+    }
+
+    /// `self << k`.
+    pub fn shl(&self, k: usize) -> BigUint {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = k / 64;
+        let bit_shift = k % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// `self >> k` (the `mbedtls_mpi_shift_r` victim operation).
+    pub fn shr(&self, k: usize) -> BigUint {
+        let limb_shift = k / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = k % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            for i in limb_shift..self.limbs.len() {
+                let lo = self.limbs[i] >> bit_shift;
+                let hi = self
+                    .limbs
+                    .get(i + 1)
+                    .map_or(0, |l| l << (64 - bit_shift));
+                out.push(lo | hi);
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Schoolbook multiplication (the `mul_basecase` of libgcrypt).
+    pub fn mul_basecase(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Self::from_limbs(out)
+    }
+
+    /// Karatsuba multiplication above a limb threshold (mirrors
+    /// `_gcry_mpih_mul_karatsuba_case`).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        const KARATSUBA_THRESHOLD: usize = 16;
+        if self.limbs.len() < KARATSUBA_THRESHOLD || other.limbs.len() < KARATSUBA_THRESHOLD {
+            return self.mul_basecase(other);
+        }
+        let split = self.limbs.len().max(other.limbs.len()) / 2;
+        let (a0, a1) = self.split_at(split);
+        let (b0, b1) = other.split_at(split);
+        let z0 = a0.mul(&b0);
+        let z2 = a1.mul(&b1);
+        let z1 = a0.add(&a1).mul(&b0.add(&b1)).sub(&z0).sub(&z2);
+        z2.shl(split * 128).add(&z1.shl(split * 64)).add(&z0)
+    }
+
+    fn split_at(&self, limb: usize) -> (BigUint, BigUint) {
+        if limb >= self.limbs.len() {
+            (self.clone(), Self::zero())
+        } else {
+            (
+                Self::from_limbs(self.limbs[..limb].to_vec()),
+                Self::from_limbs(self.limbs[limb..].to_vec()),
+            )
+        }
+    }
+
+    /// Squaring (the `sqr_basecase` of libgcrypt; dispatches to `mul`).
+    pub fn sqr(&self) -> BigUint {
+        self.mul(self)
+    }
+
+    /// Division with remainder: `(self / d, self % d)` by binary long
+    /// division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, d: &BigUint) -> (BigUint, BigUint) {
+        assert!(!d.is_zero(), "division by zero");
+        if self < d {
+            return (Self::zero(), self.clone());
+        }
+        let mut q = Self::zero();
+        let mut r = Self::zero();
+        for i in (0..self.bits()).rev() {
+            r = r.shl(1);
+            if self.bit(i) {
+                r = r.add(&Self::one());
+            }
+            if r >= *d {
+                r = r.sub(d);
+                q = q.add(&Self::one().shl(i));
+            }
+        }
+        (q, r)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Modular exponentiation by left-to-right square-and-multiply
+    /// (the libgcrypt 1.5.2 victim algorithm, Listing 2). The optional
+    /// `observer` is called with `"square"` / `"multiply"` before each
+    /// operation, which is exactly the instruction-fetch trace MetaLeak
+    /// observes.
+    pub fn modpow_observed(
+        &self,
+        exp: &BigUint,
+        modulus: &BigUint,
+        mut observer: impl FnMut(&str),
+    ) -> BigUint {
+        assert!(!modulus.is_zero(), "zero modulus");
+        let mut acc = Self::one().rem(modulus);
+        for bit in exp.bits_msb_first() {
+            observer("square");
+            acc = acc.sqr().rem(modulus);
+            if bit {
+                observer("multiply");
+                acc = acc.mul(self).rem(modulus);
+            }
+        }
+        acc
+    }
+
+    /// Modular exponentiation without observation.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        self.modpow_observed(exp, modulus, |_| {})
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while !a.is_zero() {
+            while a.is_even() {
+                a = a.shr(1);
+            }
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a >= b {
+                a = a.sub(&b);
+            } else {
+                b = b.sub(&a);
+            }
+        }
+        b.shl(shift)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl core::ops::Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        BigUint::add(&self, &rhs)
+    }
+}
+
+impl core::ops::Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        BigUint::sub(&self, &rhs)
+    }
+}
+
+impl core::ops::Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        BigUint::mul(&self, &rhs)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(big(5).add(&big(7)), big(12));
+        assert_eq!(big(12).sub(&big(7)), big(5));
+        assert_eq!(big(6).mul(&big(7)), big(42));
+        assert_eq!(big(100).div_rem(&big(7)), (big(14), big(2)));
+    }
+
+    #[test]
+    fn carry_propagation() {
+        let max = big(u64::MAX);
+        let sum = max.add(&big(1));
+        assert_eq!(sum.limbs(), &[0, 1]);
+        assert_eq!(sum.sub(&big(1)), max);
+        let sq = max.mul(&max);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(sq.limbs(), &[1, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = big(0b1011);
+        assert_eq!(v.shl(3), big(0b1011000));
+        assert_eq!(v.shr(2), big(0b10));
+        assert_eq!(v.shl(64).limbs(), &[0, 0b1011]);
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shr(100), BigUint::zero());
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let v = big(0b1010);
+        assert_eq!(v.bits(), 4);
+        assert!(!v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3));
+        assert_eq!(v.bits_msb_first(), vec![true, false, true, false]);
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn karatsuba_matches_basecase() {
+        // Build ~20-limb operands to cross the threshold.
+        let a = BigUint::from_limbs((1..=20u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+        let b = BigUint::from_limbs((1..=21u64).map(|i| i.wrapping_mul(0xD1B54A32D192ED03)).collect());
+        assert_eq!(a.mul(&b), a.mul_basecase(&b));
+        assert_eq!(a.sqr(), a.mul_basecase(&a));
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let a = BigUint::from_limbs(vec![0xdeadbeef, 0x12345678, 0x42]);
+        let d = BigUint::from_limbs(vec![0xffff1234, 0x9]);
+        let (q, r) = a.div_rem(&d);
+        assert!(r < d);
+        assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn modpow_small_values() {
+        // 4^13 mod 497 = 445 (classic test vector).
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        // Fermat: a^(p-1) = 1 mod p for prime p.
+        assert_eq!(big(7).modpow(&big(1008), &big(1009)), big(1));
+    }
+
+    #[test]
+    fn modpow_observer_trace_matches_exponent() {
+        let mut trace = Vec::new();
+        big(3).modpow_observed(&big(0b10110), &big(1_000_003), |op| trace.push(op.to_owned()));
+        // bits msb-first: 1 0 1 1 0 -> S M | S | S M | S M | S
+        let expect = ["square", "multiply", "square", "square", "multiply", "square", "multiply", "square"];
+        assert_eq!(trace, expect);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(12).gcd(&big(0)), big(12));
+    }
+
+    #[test]
+    fn byte_parsing_and_display() {
+        let v = BigUint::from_be_bytes(&[0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]);
+        assert_eq!(v.limbs(), &[0, 1]);
+        assert_eq!(big(0xdead).to_string(), "0xdead");
+        assert_eq!(BigUint::zero().to_string(), "0x0");
+    }
+
+    #[test]
+    fn comparison_orders_by_magnitude() {
+        assert!(big(5) < big(9));
+        assert!(BigUint::from_limbs(vec![0, 1]) > big(u64::MAX));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        big(3).sub(&big(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        big(3).div_rem(&BigUint::zero());
+    }
+}

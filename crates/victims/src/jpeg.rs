@@ -1,0 +1,528 @@
+//! The libjpeg-style image-processing victim (§VIII-A): grayscale
+//! images are transformed with an 8x8 DCT, quantized, and entropy-coded
+//! by `encode_one_block`, whose per-coefficient zero/non-zero branch
+//! (Listing 1: the `r++` vs `nbits` paths, on two different pages)
+//! leaks the structure of the input image.
+
+use metaleak_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// DCT block edge length.
+pub const DCT_SIZE: usize = 8;
+/// Coefficients per block (`DCTSIZE2` in libjpeg).
+pub const DCT_SIZE2: usize = 64;
+/// libjpeg's out-of-range guard (Listing 1 line 10).
+pub const MAX_COEF_BITS: u32 = 10;
+
+/// The zigzag scan order (`jpeg_natural_order`): zigzag index ->
+/// row-major coefficient position.
+pub const JPEG_NATURAL_ORDER: [usize; DCT_SIZE2] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// The standard JPEG luminance quantization table (Annex K).
+pub const QUANT_TABLE: [u16; DCT_SIZE2] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// A grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayImage {
+    /// Width in pixels (multiple of 8 for encoding).
+    pub width: usize,
+    /// Height in pixels (multiple of 8 for encoding).
+    pub height: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// A black image.
+    pub fn blank(width: usize, height: usize) -> Self {
+        GrayImage { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// A horizontal gradient test image.
+    pub fn gradient(width: usize, height: usize) -> Self {
+        let mut img = Self::blank(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, ((x * 255) / width.max(1)) as u8);
+            }
+        }
+        img
+    }
+
+    /// A filled-circle test image (sharp edges leak strongly).
+    pub fn circle(width: usize, height: usize) -> Self {
+        let mut img = Self::blank(width, height);
+        let (cx, cy) = (width as f64 / 2.0, height as f64 / 2.0);
+        let r = width.min(height) as f64 / 3.0;
+        for y in 0..height {
+            for x in 0..width {
+                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                img.set(x, y, if d < r { 220 } else { 30 });
+            }
+        }
+        img
+    }
+
+    /// A checkerboard (high-frequency content in every block).
+    pub fn checkerboard(width: usize, height: usize, cell: usize) -> Self {
+        let mut img = Self::blank(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let on = ((x / cell.max(1)) + (y / cell.max(1))).is_multiple_of(2);
+                img.set(x, y, if on { 230 } else { 25 });
+            }
+        }
+        img
+    }
+
+    /// Blocky pseudo-text glyphs (structured content like the paper's
+    /// Figure 15 inputs).
+    pub fn glyphs(width: usize, height: usize, seed: u64) -> Self {
+        let mut img = Self::blank(width, height);
+        let mut rng = SimRng::seed_from(seed);
+        let mut y = 4;
+        while y + 10 < height {
+            let mut x = 4;
+            while x + 8 < width {
+                // Each "glyph" is a random arrangement of strokes.
+                if rng.chance(0.8) {
+                    let strokes = 2 + rng.index(3);
+                    for _ in 0..strokes {
+                        let horizontal = rng.chance(0.5);
+                        let off = rng.index(6);
+                        for t in 0..6 {
+                            let (px, py) = if horizontal { (x + t, y + off) } else { (x + off, y + t) };
+                            img.set(px, py, 235);
+                        }
+                    }
+                }
+                x += 10;
+            }
+            y += 12;
+        }
+        img
+    }
+
+    /// Blocks across, blocks down.
+    pub fn block_dims(&self) -> (usize, usize) {
+        (self.width / DCT_SIZE, self.height / DCT_SIZE)
+    }
+
+    /// Extracts the 8x8 block at block coordinates `(bx, by)` as
+    /// centered samples (-128..=127).
+    pub fn block(&self, bx: usize, by: usize) -> [f64; DCT_SIZE2] {
+        let mut out = [0.0; DCT_SIZE2];
+        for y in 0..DCT_SIZE {
+            for x in 0..DCT_SIZE {
+                out[y * DCT_SIZE + x] =
+                    self.get(bx * DCT_SIZE + x, by * DCT_SIZE + y) as f64 - 128.0;
+            }
+        }
+        out
+    }
+
+    /// Writes the 8x8 block at `(bx, by)` from centered samples.
+    pub fn set_block(&mut self, bx: usize, by: usize, samples: &[f64; DCT_SIZE2]) {
+        for y in 0..DCT_SIZE {
+            for x in 0..DCT_SIZE {
+                let v = (samples[y * DCT_SIZE + x] + 128.0).round().clamp(0.0, 255.0);
+                self.set(bx * DCT_SIZE + x, by * DCT_SIZE + y, v as u8);
+            }
+        }
+    }
+
+    /// Renders as a binary PGM (P5) byte stream.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Coarse ASCII rendering (for terminal figures).
+    pub fn to_ascii(&self, cols: usize) -> String {
+        let ramp = b" .:-=+*#%@";
+        let step_x = (self.width / cols.max(1)).max(1);
+        let step_y = step_x * 2;
+        let mut out = String::new();
+        let mut y = 0;
+        while y < self.height {
+            let mut x = 0;
+            while x < self.width {
+                let v = self.get(x, y) as usize;
+                out.push(ramp[v * (ramp.len() - 1) / 255] as char);
+                x += step_x;
+            }
+            out.push('\n');
+            y += step_y;
+        }
+        out
+    }
+
+    /// Mean squared error against another image of the same size.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mse(&self, other: &GrayImage) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "size mismatch");
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(&a, &b)| {
+                let d = a as f64 - b as f64;
+                d * d
+            })
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio in dB (infinite for identical images).
+    pub fn psnr(&self, other: &GrayImage) -> f64 {
+        let mse = self.mse(other);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+/// Forward 8x8 DCT-II (separable, orthonormal scaling as in JPEG).
+pub fn dct2d(samples: &[f64; DCT_SIZE2]) -> [f64; DCT_SIZE2] {
+    let mut out = [0.0; DCT_SIZE2];
+    for v in 0..DCT_SIZE {
+        for u in 0..DCT_SIZE {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let mut acc = 0.0;
+            for y in 0..DCT_SIZE {
+                for x in 0..DCT_SIZE {
+                    acc += samples[y * DCT_SIZE + x]
+                        * (((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI) / 16.0).cos()
+                        * (((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI) / 16.0).cos();
+                }
+            }
+            out[v * DCT_SIZE + u] = 0.25 * cu * cv * acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8x8 DCT.
+pub fn idct2d(coefs: &[f64; DCT_SIZE2]) -> [f64; DCT_SIZE2] {
+    let mut out = [0.0; DCT_SIZE2];
+    for y in 0..DCT_SIZE {
+        for x in 0..DCT_SIZE {
+            let mut acc = 0.0;
+            for v in 0..DCT_SIZE {
+                for u in 0..DCT_SIZE {
+                    let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    acc += cu
+                        * cv
+                        * coefs[v * DCT_SIZE + u]
+                        * (((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI) / 16.0).cos()
+                        * (((2 * y + 1) as f64 * v as f64 * std::f64::consts::PI) / 16.0).cos();
+                }
+            }
+            out[y * DCT_SIZE + x] = 0.25 * acc;
+        }
+    }
+    out
+}
+
+/// Quantizes a DCT block with [`QUANT_TABLE`].
+pub fn quantize(coefs: &[f64; DCT_SIZE2]) -> [i32; DCT_SIZE2] {
+    let mut out = [0i32; DCT_SIZE2];
+    for i in 0..DCT_SIZE2 {
+        out[i] = (coefs[i] / QUANT_TABLE[i] as f64).round() as i32;
+    }
+    out
+}
+
+/// Dequantizes back to DCT-coefficient scale.
+pub fn dequantize(q: &[i32; DCT_SIZE2]) -> [f64; DCT_SIZE2] {
+    let mut out = [0.0; DCT_SIZE2];
+    for i in 0..DCT_SIZE2 {
+        out[i] = q[i] as f64 * QUANT_TABLE[i] as f64;
+    }
+    out
+}
+
+/// One access event inside `encode_one_block` (Listing 1):
+/// per zigzag index `k`, either the `r++` path (zero coefficient,
+/// line 6, touching variable `r`'s page) or the `nbits` path (non-zero,
+/// line 10, touching `nbits`'s page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoefEvent {
+    /// Zigzag index (1..64, AC coefficients only).
+    pub k: usize,
+    /// True when the coefficient was non-zero (the `nbits` path).
+    pub nonzero: bool,
+}
+
+/// The per-block entropy-coding artifacts: the run-length pairs the
+/// real encoder would emit, plus the access trace the attacker sees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockEncoding {
+    /// `(run_of_zeros, coefficient)` pairs (simplified Huffman input).
+    pub runs: Vec<(u32, i32)>,
+    /// The access-event trace of Listing 1.
+    pub events: Vec<CoefEvent>,
+    /// Coefficients flagged out-of-range (nbits > MAX_COEF_BITS).
+    pub out_of_range: u32,
+}
+
+/// `encode_one_block` (Listing 1): scans the quantized AC coefficients
+/// in zigzag order; zero coefficients increment `r`, non-zero ones
+/// compute `nbits` and emit a run-length pair.
+pub fn encode_one_block(block: &[i32; DCT_SIZE2]) -> BlockEncoding {
+    let mut runs = Vec::new();
+    let mut events = Vec::with_capacity(DCT_SIZE2 - 1);
+    let mut out_of_range = 0;
+    let mut r = 0u32;
+    for k in 1..DCT_SIZE2 {
+        let coef = block[JPEG_NATURAL_ORDER[k]];
+        if coef == 0 {
+            // Listing 1 line 6: the `r++` path (write to r's page).
+            events.push(CoefEvent { k, nonzero: false });
+            r += 1;
+        } else {
+            // Listing 1 lines 8-10: the `nbits` path.
+            events.push(CoefEvent { k, nonzero: true });
+            let nbits = 32 - coef.unsigned_abs().leading_zeros();
+            if nbits > MAX_COEF_BITS {
+                out_of_range += 1;
+            }
+            runs.push((r, coef));
+            r = 0;
+        }
+    }
+    BlockEncoding { runs, events, out_of_range }
+}
+
+/// Full-image encoding: DCT + quantization + `encode_one_block` per
+/// 8x8 block. Returns per-block encodings (ground truth for the
+/// attack).
+pub fn encode_image(img: &GrayImage) -> Vec<BlockEncoding> {
+    let (bw, bh) = img.block_dims();
+    let mut out = Vec::with_capacity(bw * bh);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let q = quantize(&dct2d(&img.block(bx, by)));
+            out.push(encode_one_block(&q));
+        }
+    }
+    out
+}
+
+/// The per-block non-zero masks (what MetaLeak infers: which zigzag
+/// positions took the `nbits` path).
+pub fn nonzero_masks(encodings: &[BlockEncoding]) -> Vec<[bool; DCT_SIZE2]> {
+    encodings
+        .iter()
+        .map(|e| {
+            let mut mask = [false; DCT_SIZE2];
+            for ev in &e.events {
+                mask[ev.k] = ev.nonzero;
+            }
+            mask
+        })
+        .collect()
+}
+
+/// Reconstructs an image from inferred non-zero masks: the attacker
+/// starts from a blank image and synthesizes coefficients at the
+/// positions it observed as non-zero (§VIII-A: the "local image
+/// conversion pipeline"). Magnitudes are unknown, so a nominal
+/// magnitude with alternating sign is used; the DC term is set to a
+/// mid gray.
+pub fn reconstruct_from_masks(
+    masks: &[[bool; DCT_SIZE2]],
+    width: usize,
+    height: usize,
+) -> GrayImage {
+    let bw = width / DCT_SIZE;
+    let mut img = GrayImage::blank(width, height);
+    for (bi, mask) in masks.iter().enumerate() {
+        let (bx, by) = (bi % bw, bi / bw);
+        let mut q = [0i32; DCT_SIZE2];
+        for k in 1..DCT_SIZE2 {
+            if mask[k] {
+                // Nominal magnitude: one quantization step, sign
+                // alternating with k to avoid constructive bias.
+                q[JPEG_NATURAL_ORDER[k]] = if k % 2 == 0 { -2 } else { 2 };
+            }
+        }
+        let samples = idct2d(&dequantize(&q));
+        img.set_block(bx, by, &samples);
+    }
+    img
+}
+
+/// Fraction of zero/non-zero flags inferred correctly (the paper's
+/// "stealing accuracy": 94.3% with MetaLeak-T, 97.2% zero-element
+/// recovery with MetaLeak-C).
+pub fn mask_accuracy(inferred: &[[bool; DCT_SIZE2]], truth: &[[bool; DCT_SIZE2]]) -> f64 {
+    assert_eq!(inferred.len(), truth.len(), "block count mismatch");
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (a, b) in inferred.iter().zip(truth) {
+        for k in 1..DCT_SIZE2 {
+            hits += (a[k] == b[k]) as usize;
+            total += 1;
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+/// Per-block "detail energy" (count of non-zero AC flags) — the
+/// feature the reconstruction preserves; used as a structural
+/// similarity measure between original and stolen images.
+pub fn energy_map(masks: &[[bool; DCT_SIZE2]]) -> Vec<u32> {
+    masks
+        .iter()
+        .map(|m| m[1..].iter().map(|&b| b as u32).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; DCT_SIZE2];
+        for &i in &JPEG_NATURAL_ORDER {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(JPEG_NATURAL_ORDER[0], 0, "DC first");
+        assert_eq!(JPEG_NATURAL_ORDER[1], 1);
+        assert_eq!(JPEG_NATURAL_ORDER[2], 8);
+    }
+
+    #[test]
+    fn dct_round_trips() {
+        let img = GrayImage::circle(16, 16);
+        let block = img.block(0, 0);
+        let back = idct2d(&dct2d(&block));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flat_block_has_only_dc() {
+        let img = GrayImage::blank(8, 8);
+        let q = quantize(&dct2d(&img.block(0, 0)));
+        assert!(q[1..].iter().all(|&c| c == 0));
+        let enc = encode_one_block(&q);
+        assert!(enc.runs.is_empty());
+        assert!(enc.events.iter().all(|e| !e.nonzero));
+        assert_eq!(enc.events.len(), 63);
+    }
+
+    #[test]
+    fn checkerboard_block_has_ac_energy() {
+        let img = GrayImage::checkerboard(8, 8, 1);
+        let q = quantize(&dct2d(&img.block(0, 0)));
+        let enc = encode_one_block(&q);
+        assert!(!enc.runs.is_empty(), "high-frequency block must have AC coefficients");
+        assert!(enc.events.iter().any(|e| e.nonzero));
+    }
+
+    #[test]
+    fn runs_reconstruct_the_coefficients() {
+        let mut q = [0i32; DCT_SIZE2];
+        q[JPEG_NATURAL_ORDER[3]] = 5;
+        q[JPEG_NATURAL_ORDER[10]] = -2;
+        let enc = encode_one_block(&q);
+        assert_eq!(enc.runs, vec![(2, 5), (6, -2)]);
+    }
+
+    #[test]
+    fn masks_match_events() {
+        let img = GrayImage::circle(32, 32);
+        let encs = encode_image(&img);
+        assert_eq!(encs.len(), 16);
+        let masks = nonzero_masks(&encs);
+        for (enc, mask) in encs.iter().zip(&masks) {
+            for ev in &enc.events {
+                assert_eq!(mask[ev.k], ev.nonzero);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_masks_give_perfect_accuracy() {
+        let img = GrayImage::glyphs(32, 32, 3);
+        let masks = nonzero_masks(&encode_image(&img));
+        assert_eq!(mask_accuracy(&masks, &masks), 1.0);
+    }
+
+    #[test]
+    fn reconstruction_tracks_detail_structure() {
+        let img = GrayImage::circle(64, 64);
+        let truth_masks = nonzero_masks(&encode_image(&img));
+        let stolen = reconstruct_from_masks(&truth_masks, 64, 64);
+        // The reconstruction must put detail where the original has
+        // edges: block energy maps correlate.
+        let stolen_masks = nonzero_masks(&encode_image(&stolen));
+        let e1 = energy_map(&truth_masks);
+        let e2 = energy_map(&stolen_masks);
+        let busy1: Vec<bool> = e1.iter().map(|&e| e > 0).collect();
+        let busy2: Vec<bool> = e2.iter().map(|&e| e > 0).collect();
+        let agree = busy1.iter().zip(&busy2).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f64 / busy1.len() as f64 > 0.85,
+            "edge blocks must survive reconstruction ({agree}/{})",
+            busy1.len()
+        );
+    }
+
+    #[test]
+    fn out_of_range_guard_counts() {
+        let mut q = [0i32; DCT_SIZE2];
+        q[JPEG_NATURAL_ORDER[1]] = 5000; // nbits = 13 > 10
+        let enc = encode_one_block(&q);
+        assert_eq!(enc.out_of_range, 1);
+    }
+
+    #[test]
+    fn pgm_and_ascii_render() {
+        let img = GrayImage::gradient(16, 16);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n16 16\n255\n"));
+        assert_eq!(pgm.len(), 13 + 256);
+        let ascii = img.to_ascii(16);
+        assert!(ascii.lines().count() >= 4);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = GrayImage::glyphs(32, 32, 1);
+        assert!(img.psnr(&img).is_infinite());
+        let other = GrayImage::blank(32, 32);
+        assert!(img.psnr(&other).is_finite());
+    }
+}

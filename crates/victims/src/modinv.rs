@@ -1,0 +1,215 @@
+//! The mbedTLS-style modular-inversion victim (§VIII-B2): private-key
+//! loading computes `d = e^{-1} mod (p-1)(q-1)` with the binary
+//! extended Euclidean algorithm, whose *right-shift* and *subtract*
+//! sequence (`mbedtls_mpi_shift_r` / `mbedtls_mpi_sub_mpi`) depends on
+//! the secret operands and leaks through page-access monitoring.
+
+use crate::bignum::BigUint;
+use serde::{Deserialize, Serialize};
+
+/// One observable operation of the inversion (each lives on its own
+/// code page in mbedTLS 3.4.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvOp {
+    /// `mbedtls_mpi_shift_r` — a halving step.
+    ShiftR,
+    /// `mbedtls_mpi_sub_mpi` — a subtraction step.
+    Sub,
+}
+
+/// Signed big integer for the extended-GCD bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Signed {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl Signed {
+    fn from(mag: BigUint) -> Self {
+        Signed { neg: false, mag }
+    }
+
+    fn is_even(&self) -> bool {
+        self.mag.is_even()
+    }
+
+    fn shr1(&self) -> Signed {
+        Signed { neg: self.neg && !self.mag.is_zero(), mag: self.mag.shr(1) }
+    }
+
+    fn add(&self, other: &Signed) -> Signed {
+        if self.neg == other.neg {
+            Signed { neg: self.neg, mag: self.mag.add(&other.mag) }
+        } else if self.mag >= other.mag {
+            Signed { neg: self.neg && self.mag != other.mag, mag: self.mag.sub(&other.mag) }
+        } else {
+            Signed { neg: other.neg, mag: other.mag.sub(&self.mag) }
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        self.add(&Signed { neg: !other.neg && !other.mag.is_zero(), mag: other.mag.clone() })
+    }
+
+    fn rem_floor(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem(m);
+        if self.neg && !r.is_zero() {
+            m.sub(&r)
+        } else {
+            r
+        }
+    }
+}
+
+/// Computes `a^{-1} mod m` with the binary extended Euclidean
+/// algorithm (HAC 14.61, the structure of `mbedtls_mpi_inv_mod`),
+/// reporting every halving and subtraction to `observer`. Returns
+/// `None` when `gcd(a, m) != 1`.
+///
+/// # Panics
+/// Panics if `m` is zero or one.
+pub fn mod_inverse_observed(
+    a: &BigUint,
+    m: &BigUint,
+    mut observer: impl FnMut(InvOp),
+) -> Option<BigUint> {
+    assert!(*m > BigUint::one(), "modulus must exceed 1");
+    let a = a.rem(m);
+    if a.is_zero() {
+        return None;
+    }
+    // Both even => gcd >= 2 (and the halving bookkeeping below assumes
+    // at least one operand is odd, as in HAC 14.61).
+    if a.is_even() && m.is_even() {
+        return None;
+    }
+    let mut u = a.clone();
+    let mut v = m.clone();
+    let m_signed = Signed::from(m.clone());
+    let a_signed = Signed::from(a.clone());
+    // u = A*a + B*m ; v = C*a + D*m
+    let mut big_a = Signed::from(BigUint::one());
+    let mut big_b = Signed::from(BigUint::zero());
+    let mut big_c = Signed::from(BigUint::zero());
+    let mut big_d = Signed::from(BigUint::one());
+    while !u.is_zero() {
+        while u.is_even() {
+            observer(InvOp::ShiftR);
+            u = u.shr(1);
+            if big_a.is_even() && big_b.is_even() {
+                big_a = big_a.shr1();
+                big_b = big_b.shr1();
+            } else {
+                big_a = big_a.add(&m_signed).shr1();
+                big_b = big_b.sub(&a_signed).shr1();
+            }
+        }
+        while v.is_even() {
+            observer(InvOp::ShiftR);
+            v = v.shr(1);
+            if big_c.is_even() && big_d.is_even() {
+                big_c = big_c.shr1();
+                big_d = big_d.shr1();
+            } else {
+                big_c = big_c.add(&m_signed).shr1();
+                big_d = big_d.sub(&a_signed).shr1();
+            }
+        }
+        observer(InvOp::Sub);
+        if u >= v {
+            u = u.sub(&v);
+            big_a = big_a.sub(&big_c);
+            big_b = big_b.sub(&big_d);
+        } else {
+            v = v.sub(&u);
+            big_c = big_c.sub(&big_a);
+            big_d = big_d.sub(&big_b);
+        }
+    }
+    if v != BigUint::one() {
+        return None; // not coprime
+    }
+    Some(big_c.rem_floor(m))
+}
+
+/// Unobserved modular inverse.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    mod_inverse_observed(a, m, |_| {})
+}
+
+/// The ground-truth operation trace of one inversion.
+pub fn inversion_trace(a: &BigUint, m: &BigUint) -> Vec<InvOp> {
+    let mut trace = Vec::new();
+    let _ = mod_inverse_observed(a, m, |op| trace.push(op));
+    trace
+}
+
+/// Fraction of operations classified correctly by a detector, given
+/// per-operation observations `(shift_seen, sub_seen)` against the
+/// ground-truth trace (the §VIII-B2 accuracy metric: 90.7% in SGX).
+pub fn op_detection_accuracy(observed: &[InvOp], truth: &[InvOp]) -> f64 {
+    crate::accuracy_of(observed, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn small_inverses() {
+        assert_eq!(mod_inverse(&big(3), &big(11)), Some(big(4)));
+        assert_eq!(mod_inverse(&big(7), &big(40)), Some(big(23)));
+        // 65537^{-1} mod an even phi (the RSA case).
+        let phi = big(1048560); // e.g. (p-1)(q-1) style even modulus
+        let e = big(65537);
+        let d = mod_inverse(&e, &phi).unwrap();
+        assert_eq!(e.mul(&d).rem(&phi), BigUint::one());
+    }
+
+    #[test]
+    fn non_coprime_returns_none() {
+        assert_eq!(mod_inverse(&big(6), &big(9)), None);
+        assert_eq!(mod_inverse(&big(0), &big(9)), None);
+    }
+
+    #[test]
+    fn inverse_verifies_for_many_pairs() {
+        for a in 2u64..60 {
+            for m in [61u64, 64, 97, 100] {
+                let (ba, bm) = (big(a), big(m));
+                match mod_inverse(&ba, &bm) {
+                    Some(inv) => {
+                        assert_eq!(ba.mul(&inv).rem(&bm), BigUint::one(), "a={a} m={m}");
+                        assert!(inv < bm);
+                    }
+                    None => assert_ne!(ba.gcd(&bm), BigUint::one(), "a={a} m={m}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_contains_both_op_kinds_and_is_secret_dependent() {
+        let t1 = inversion_trace(&big(65537), &big(1048560));
+        let t2 = inversion_trace(&big(65537), &big(1048572));
+        assert!(t1.contains(&InvOp::ShiftR) && t1.contains(&InvOp::Sub));
+        assert_ne!(t1, t2, "different secrets must yield different traces");
+    }
+
+    #[test]
+    fn detection_accuracy_metric() {
+        let truth = vec![InvOp::ShiftR, InvOp::Sub, InvOp::ShiftR];
+        let observed = vec![InvOp::ShiftR, InvOp::ShiftR, InvOp::ShiftR];
+        assert!((op_detection_accuracy(&observed, &truth) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must exceed 1")]
+    fn tiny_modulus_panics() {
+        mod_inverse(&big(3), &big(1));
+    }
+}

@@ -1,0 +1,267 @@
+//! The libgcrypt-style RSA victim (§VIII-B1): key generation with
+//! Miller–Rabin primes, and left-to-right square-and-multiply modular
+//! exponentiation whose square/multiply instruction-fetch sequence
+//! leaks the private exponent (Listing 2 of the paper).
+
+use crate::bignum::BigUint;
+use crate::modinv::mod_inverse;
+use metaleak_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One modular-exponentiation operation, as fetched from its own code
+/// page in libgcrypt 1.5.2 (`_gcry_mpih_sqr_n_basecase` vs
+/// `_gcry_mpih_mul_karatsuba_case`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModExpOp {
+    /// Squaring (every exponent bit).
+    Square,
+    /// Multiplication (only for '1' bits).
+    Multiply,
+}
+
+/// Miller–Rabin primality test with deterministic pseudo-random bases.
+pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut SimRng) -> bool {
+    if n < &BigUint::from_u64(2) {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+        let p = BigUint::from_u64(p);
+        if *n == p {
+            return true;
+        }
+        if n.rem(&p).is_zero() {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        r += 1;
+    }
+    'witness: for _ in 0..rounds {
+        let a = BigUint::from_u64(2 + rng.below(1 << 30));
+        let mut x = a.modpow(&d, n);
+        if x == BigUint::one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = x.sqr().rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a `bits`-bit probable prime.
+pub fn gen_prime(bits: usize, rng: &mut SimRng) -> BigUint {
+    assert!(bits >= 8, "prime too small");
+    loop {
+        let mut bytes = vec![0u8; bits.div_ceil(8)];
+        rng.fill_bytes(&mut bytes);
+        let mut candidate = BigUint::from_be_bytes(&bytes);
+        // Force the top and bottom bits: value in [2^(bits-1), 2^bits).
+        candidate = candidate
+            .rem(&BigUint::one().shl(bits - 1))
+            .add(&BigUint::one().shl(bits - 1));
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probable_prime(&candidate, 12, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// An RSA key pair (small moduli; simulation victim only).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RsaKey {
+    /// Modulus `n = p * q`.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+    /// Private exponent `d = e^{-1} mod (p-1)(q-1)`.
+    pub d: BigUint,
+    /// First prime.
+    pub p: BigUint,
+    /// Second prime.
+    pub q: BigUint,
+}
+
+impl RsaKey {
+    /// Generates a key with `prime_bits`-bit primes, deterministically
+    /// from `seed`.
+    pub fn generate(prime_bits: usize, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = gen_prime(prime_bits, &mut rng);
+            let q = gen_prime(prime_bits, &mut rng);
+            if p == q {
+                continue;
+            }
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if let Some(d) = mod_inverse(&e, &phi) {
+                let n = p.mul(&q);
+                return RsaKey { n, e, d, p, q };
+            }
+        }
+    }
+
+    /// Encrypts (public operation).
+    pub fn encrypt(&self, m: &BigUint) -> BigUint {
+        m.modpow(&self.e, &self.n)
+    }
+
+    /// Decrypts with the observable square-and-multiply victim routine.
+    /// `observer` sees each [`ModExpOp`] — exactly the page-fetch
+    /// sequence MetaLeak-T monitors.
+    pub fn decrypt_observed(&self, c: &BigUint, mut observer: impl FnMut(ModExpOp)) -> BigUint {
+        c.modpow_observed(&self.d, &self.n, |op| {
+            observer(match op {
+                "square" => ModExpOp::Square,
+                _ => ModExpOp::Multiply,
+            })
+        })
+    }
+
+    /// The ground-truth operation trace of one decryption.
+    pub fn decrypt_trace(&self, c: &BigUint) -> Vec<ModExpOp> {
+        let mut trace = Vec::new();
+        self.decrypt_observed(c, |op| trace.push(op));
+        trace
+    }
+}
+
+/// Recovers exponent bits from an operation trace: every `Square`
+/// starts a bit; a following `Multiply` makes it '1' (msb first).
+pub fn recover_exponent_from_trace(ops: &[ModExpOp]) -> BigUint {
+    let mut bits = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        match ops[i] {
+            ModExpOp::Square => {
+                let one = matches!(ops.get(i + 1), Some(ModExpOp::Multiply));
+                bits.push(one);
+                i += if one { 2 } else { 1 };
+            }
+            ModExpOp::Multiply => {
+                // Desynchronized trace: treat as a '1' continuation.
+                i += 1;
+            }
+        }
+    }
+    bits_to_uint(&bits)
+}
+
+/// Recovers exponent bits from per-iteration observations
+/// `(square_seen, multiply_seen)` — the side-channel decoder used when
+/// each iteration is monitored with mEvict+mReload (one window per
+/// victim step, §VIII-B1).
+pub fn recover_exponent_from_windows(windows: &[(bool, bool)]) -> BigUint {
+    let bits: Vec<bool> = windows.iter().map(|&(_, m)| m).collect();
+    bits_to_uint(&bits)
+}
+
+fn bits_to_uint(bits: &[bool]) -> BigUint {
+    let mut v = BigUint::zero();
+    for &b in bits {
+        v = v.shl(1);
+        if b {
+            v = v.add(&BigUint::one());
+        }
+    }
+    v
+}
+
+/// Fraction of exponent bits recovered correctly (msb-aligned).
+pub fn exponent_bit_accuracy(recovered: &BigUint, truth: &BigUint) -> f64 {
+    let n = truth.bits().max(1);
+    let mut hits = 0;
+    for i in 0..n {
+        if recovered.bit(i) == truth.bit(i) {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        let mut rng = SimRng::seed_from(1);
+        for p in [2u64, 3, 5, 17, 101, 65537, 1_000_003] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), 10, &mut rng), "{p}");
+        }
+        for c in [1u64, 4, 100, 65535, 1_000_001] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 10, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = SimRng::seed_from(7);
+        let p = gen_prime(48, &mut rng);
+        assert_eq!(p.bits(), 48);
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn rsa_round_trip() {
+        let key = RsaKey::generate(48, 99);
+        let m = BigUint::from_u64(0xC0FFEE);
+        let c = key.encrypt(&m);
+        assert_ne!(c, m);
+        assert_eq!(key.decrypt_observed(&c, |_| {}), m);
+    }
+
+    #[test]
+    fn d_is_inverse_of_e() {
+        let key = RsaKey::generate(40, 3);
+        let phi = key.p.sub(&BigUint::one()).mul(&key.q.sub(&BigUint::one()));
+        assert_eq!(key.e.mul(&key.d).rem(&phi), BigUint::one());
+    }
+
+    #[test]
+    fn trace_recovers_exponent_exactly() {
+        let key = RsaKey::generate(40, 5);
+        let c = key.encrypt(&BigUint::from_u64(42));
+        let trace = key.decrypt_trace(&c);
+        let recovered = recover_exponent_from_trace(&trace);
+        assert_eq!(recovered, key.d, "perfect trace must recover d exactly");
+        assert_eq!(exponent_bit_accuracy(&recovered, &key.d), 1.0);
+    }
+
+    #[test]
+    fn window_decoder_matches_bit_pattern() {
+        let d = BigUint::from_u64(0b101101);
+        let windows: Vec<(bool, bool)> =
+            d.bits_msb_first().iter().map(|&b| (true, b)).collect();
+        assert_eq!(recover_exponent_from_windows(&windows), d);
+    }
+
+    #[test]
+    fn accuracy_metric_counts_flipped_bits() {
+        let truth = BigUint::from_u64(0b1111);
+        let off_by_one = BigUint::from_u64(0b1110);
+        assert_eq!(exponent_bit_accuracy(&off_by_one, &truth), 0.75);
+    }
+
+    #[test]
+    fn trace_shape_matches_hamming_weight() {
+        let key = RsaKey::generate(40, 11);
+        let trace = key.decrypt_trace(&key.encrypt(&BigUint::from_u64(7)));
+        let squares = trace.iter().filter(|o| **o == ModExpOp::Square).count();
+        let mults = trace.iter().filter(|o| **o == ModExpOp::Multiply).count();
+        assert_eq!(squares, key.d.bits());
+        assert_eq!(mults, key.d.bits_msb_first().iter().filter(|&&b| b).count());
+    }
+}

@@ -1,0 +1,208 @@
+//! Victim access traces: a serializable record of the secret-dependent
+//! memory events a victim emits, with mapping onto simulated pages.
+//!
+//! This is the gem5-full-system substitute's glue layer: victims are
+//! pure algorithms that emit [`TraceEvent`]s through observers; a
+//! [`PageMap`] pins each event kind to a (simulated) page, and the
+//! case studies replay the mapped trace against the secure memory
+//! while an attack monitors it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One victim memory event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Which logical location was touched (e.g. "square", "r",
+    /// "shift_r"). Tags map to pages through a [`PageMap`].
+    pub tag: String,
+    /// Whether the event is a store (MetaLeak-C-visible) or a load /
+    /// instruction fetch (MetaLeak-T-visible).
+    pub is_write: bool,
+}
+
+impl TraceEvent {
+    /// A load / ifetch event.
+    pub fn load(tag: &str) -> Self {
+        TraceEvent { tag: tag.to_owned(), is_write: false }
+    }
+
+    /// A store event.
+    pub fn store(tag: &str) -> Self {
+        TraceEvent { tag: tag.to_owned(), is_write: true }
+    }
+}
+
+/// An ordered victim trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    /// The events, in program order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl AccessTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a load.
+    pub fn load(&mut self, tag: &str) {
+        self.events.push(TraceEvent::load(tag));
+    }
+
+    /// Records a store.
+    pub fn store(&mut self, tag: &str) {
+        self.events.push(TraceEvent::store(tag));
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Event counts per tag (workload characterization).
+    pub fn histogram(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.tag.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Serializes to a line-oriented text format (`L tag` / `S tag`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 8);
+        for e in &self.events {
+            out.push(if e.is_write { 'S' } else { 'L' });
+            out.push(' ');
+            out.push_str(&e.tag);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`AccessTrace::to_text`] format; unknown lines are
+    /// rejected.
+    ///
+    /// # Errors
+    /// Returns the offending line on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut trace = AccessTrace::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            match line.split_once(' ') {
+                Some(("L", tag)) => trace.load(tag),
+                Some(("S", tag)) => trace.store(tag),
+                _ => return Err(format!("malformed trace line: {line:?}")),
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Maps event tags onto simulated data-block indices (one block per
+/// tag, standing for the page holding that variable / routine).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageMap {
+    map: BTreeMap<String, u64>,
+}
+
+impl PageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins `tag` to data block `block`.
+    pub fn pin(&mut self, tag: &str, block: u64) -> &mut Self {
+        self.map.insert(tag.to_owned(), block);
+        self
+    }
+
+    /// The block for `tag`, if pinned.
+    pub fn block_of(&self, tag: &str) -> Option<u64> {
+        self.map.get(tag).copied()
+    }
+
+    /// Resolves a trace into block-level events, dropping events whose
+    /// tag is unpinned (they are invisible to the attack).
+    pub fn resolve(&self, trace: &AccessTrace) -> Vec<(u64, bool)> {
+        trace
+            .events
+            .iter()
+            .filter_map(|e| self.block_of(&e.tag).map(|b| (b, e.is_write)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccessTrace {
+        let mut t = AccessTrace::new();
+        t.load("square");
+        t.load("multiply");
+        t.store("r");
+        t.load("square");
+        t
+    }
+
+    #[test]
+    fn histogram_counts_tags() {
+        let h = sample().histogram();
+        assert_eq!(h["square"], 2);
+        assert_eq!(h["multiply"], 1);
+        assert_eq!(h["r"], 1);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample();
+        let text = t.to_text();
+        assert_eq!(AccessTrace::from_text(&text).unwrap(), t);
+        assert!(text.starts_with("L square\n"));
+        assert!(text.contains("S r\n"));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(AccessTrace::from_text("X nope").is_err());
+        assert!(AccessTrace::from_text("L ok\ngarbage").is_err());
+        assert_eq!(AccessTrace::from_text("").unwrap(), AccessTrace::new());
+    }
+
+    #[test]
+    fn page_map_resolves_and_filters() {
+        let mut map = PageMap::new();
+        map.pin("square", 100 * 64).pin("r", 200 * 64);
+        let resolved = map.resolve(&sample());
+        // "multiply" is unpinned -> dropped.
+        assert_eq!(resolved, vec![(6400, false), (12800, true), (6400, false)]);
+        assert_eq!(map.block_of("multiply"), None);
+    }
+
+    #[test]
+    fn victims_emit_into_traces() {
+        use crate::bignum::BigUint;
+        let mut trace = AccessTrace::new();
+        BigUint::from_u64(3).modpow_observed(
+            &BigUint::from_u64(0b101),
+            &BigUint::from_u64(97),
+            |op| trace.load(op),
+        );
+        // bits 1,0,1 -> S M | S | S M
+        assert_eq!(
+            trace.to_text(),
+            "L square\nL multiply\nL square\nL square\nL multiply\n"
+        );
+    }
+}

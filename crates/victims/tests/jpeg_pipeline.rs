@@ -1,0 +1,123 @@
+//! JPEG-victim pipeline tests: the full encode → leak-mask →
+//! reconstruct loop, plus numeric properties of the DCT stage.
+
+use metaleak_victims::jpeg::{
+    dct2d, dequantize, encode_image, encode_one_block, idct2d, mask_accuracy, nonzero_masks,
+    quantize, reconstruct_from_masks, GrayImage, DCT_SIZE2, JPEG_NATURAL_ORDER,
+};
+use proptest::prelude::*;
+
+#[test]
+fn full_pipeline_on_every_generator() {
+    for (name, img) in [
+        ("gradient", GrayImage::gradient(32, 32)),
+        ("circle", GrayImage::circle(32, 32)),
+        ("checkerboard", GrayImage::checkerboard(32, 32, 2)),
+        ("glyphs", GrayImage::glyphs(32, 32, 7)),
+        ("blank", GrayImage::blank(32, 32)),
+    ] {
+        let encodings = encode_image(&img);
+        assert_eq!(encodings.len(), 16, "{name}");
+        let masks = nonzero_masks(&encodings);
+        let rebuilt = reconstruct_from_masks(&masks, 32, 32);
+        assert_eq!((rebuilt.width, rebuilt.height), (32, 32), "{name}");
+        assert_eq!(mask_accuracy(&masks, &masks), 1.0, "{name}");
+        // Every block emits exactly 63 AC events.
+        for e in &encodings {
+            assert_eq!(e.events.len(), DCT_SIZE2 - 1, "{name}");
+        }
+    }
+}
+
+#[test]
+fn busier_images_leak_more_events() {
+    let flat = encode_image(&GrayImage::blank(32, 32));
+    let busy = encode_image(&GrayImage::checkerboard(32, 32, 1));
+    let count = |encs: &[metaleak_victims::jpeg::BlockEncoding]| -> usize {
+        encs.iter().flat_map(|e| &e.events).filter(|ev| ev.nonzero).count()
+    };
+    assert_eq!(count(&flat), 0);
+    assert!(count(&busy) > 16, "checkerboard must exercise the nbits path");
+}
+
+#[test]
+fn corrupted_masks_degrade_accuracy_proportionally() {
+    let img = GrayImage::glyphs(32, 32, 3);
+    let truth = nonzero_masks(&encode_image(&img));
+    let mut noisy = truth.clone();
+    // Flip 10% of flags.
+    let mut flipped = 0;
+    let total = noisy.len() * 63;
+    for (bi, mask) in noisy.iter_mut().enumerate() {
+        for (k, flag) in mask.iter_mut().enumerate().skip(1) {
+            if (bi * 63 + k) % 10 == 0 {
+                *flag = !*flag;
+                flipped += 1;
+            }
+        }
+    }
+    let acc = mask_accuracy(&noisy, &truth);
+    let expect = 1.0 - flipped as f64 / total as f64;
+    assert!((acc - expect).abs() < 1e-9, "acc {acc} expect {expect}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The 8x8 DCT is orthonormal: round trip within float tolerance,
+    /// and Parseval's energy identity holds.
+    #[test]
+    fn dct_is_orthonormal(pixels in prop::collection::vec(0u8..=255, 64)) {
+        let mut samples = [0.0; DCT_SIZE2];
+        for (i, &p) in pixels.iter().enumerate() {
+            samples[i] = p as f64 - 128.0;
+        }
+        let coefs = dct2d(&samples);
+        let back = idct2d(&coefs);
+        for (a, b) in samples.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        let e_space: f64 = samples.iter().map(|s| s * s).sum();
+        let e_freq: f64 = coefs.iter().map(|c| c * c).sum();
+        prop_assert!((e_space - e_freq).abs() < 1e-6 * e_space.max(1.0));
+    }
+
+    /// encode_one_block events are complete and consistent with the
+    /// run-length output for arbitrary coefficient blocks.
+    #[test]
+    fn encode_events_match_runs(coefs in prop::collection::vec(-40i32..40, 64)) {
+        let mut q = [0i32; DCT_SIZE2];
+        q.copy_from_slice(&coefs);
+        let enc = encode_one_block(&q);
+        // One event per AC index, in zigzag order.
+        prop_assert_eq!(enc.events.len(), 63);
+        for (i, ev) in enc.events.iter().enumerate() {
+            prop_assert_eq!(ev.k, i + 1);
+            prop_assert_eq!(ev.nonzero, q[JPEG_NATURAL_ORDER[i + 1]] != 0);
+        }
+        // Runs reproduce the nonzero coefficients in order.
+        let nonzeros: Vec<i32> = (1..DCT_SIZE2)
+            .map(|k| q[JPEG_NATURAL_ORDER[k]])
+            .filter(|&c| c != 0)
+            .collect();
+        let from_runs: Vec<i32> = enc.runs.iter().map(|&(_, c)| c).collect();
+        prop_assert_eq!(from_runs, nonzeros);
+        // Run lengths + nonzeros account for all 63 positions up to the
+        // last nonzero.
+        let covered: u32 = enc.runs.iter().map(|&(r, _)| r + 1).sum();
+        prop_assert!(covered as usize <= 63);
+    }
+
+    /// Quantize/dequantize is idempotent-ish: re-quantizing the
+    /// dequantized block returns the same quantized coefficients.
+    #[test]
+    fn quantization_is_stable(pixels in prop::collection::vec(0u8..=255, 64)) {
+        let mut samples = [0.0; DCT_SIZE2];
+        for (i, &p) in pixels.iter().enumerate() {
+            samples[i] = p as f64 - 128.0;
+        }
+        let q1 = quantize(&dct2d(&samples));
+        let q2 = quantize(&dequantize(&q1));
+        prop_assert_eq!(q1, q2);
+    }
+}

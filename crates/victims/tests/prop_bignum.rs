@@ -1,0 +1,114 @@
+//! Property tests for the bignum substrate: algebra checked against
+//! u128 reference arithmetic and structural identities on large
+//! operands.
+
+use metaleak_victims::bignum::BigUint;
+use metaleak_victims::modinv::mod_inverse;
+use proptest::prelude::*;
+
+fn from_u128(v: u128) -> BigUint {
+    BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn add_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 100) {
+        prop_assert_eq!(from_u128(a).add(&from_u128(b)), from_u128(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 100) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(from_u128(hi).sub(&from_u128(lo)), from_u128(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..1 << 60, b in 0u128..1 << 60) {
+        prop_assert_eq!(from_u128(a).mul(&from_u128(b)), from_u128(a * b));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in 0u128..1 << 100, b in 1u128..1 << 60) {
+        let (q, r) = from_u128(a).div_rem(&from_u128(b));
+        prop_assert_eq!(q, from_u128(a / b));
+        prop_assert_eq!(r, from_u128(a % b));
+    }
+
+    #[test]
+    fn shifts_invert(a in 0u128..1 << 90, k in 0usize..70) {
+        let v = from_u128(a);
+        prop_assert_eq!(v.shl(k).shr(k), v);
+    }
+
+    #[test]
+    fn karatsuba_equals_basecase(limbs_a in prop::collection::vec(any::<u64>(), 16..24),
+                                  limbs_b in prop::collection::vec(any::<u64>(), 16..24)) {
+        let a = BigUint::from_limbs(limbs_a);
+        let b = BigUint::from_limbs(limbs_b);
+        prop_assert_eq!(a.mul(&b), a.mul_basecase(&b));
+    }
+
+    #[test]
+    fn distributivity(a in 0u128..1 << 50, b in 0u128..1 << 50, c in 0u128..1 << 50) {
+        let (ba, bb, bc) = (from_u128(a), from_u128(b), from_u128(c));
+        prop_assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
+    }
+
+    #[test]
+    fn modpow_matches_reference(base in 1u64..1000, exp in 0u64..64, modulus in 2u64..10_000) {
+        let expect = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * base as u128 % modulus as u128;
+            }
+            acc as u64
+        };
+        prop_assert_eq!(
+            BigUint::from_u64(base).modpow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus)),
+            BigUint::from_u64(expect)
+        );
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal(a in 1u64..100_000, b in 1u64..100_000) {
+        let g = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
+        let g64 = g.limbs().first().copied().unwrap_or(0);
+        prop_assert!(g64 > 0);
+        prop_assert_eq!(a % g64, 0);
+        prop_assert_eq!(b % g64, 0);
+        // Euclid reference.
+        let (mut x, mut y) = (a, b);
+        while y != 0 {
+            let t = x % y;
+            x = y;
+            y = t;
+        }
+        prop_assert_eq!(g64, x);
+    }
+
+    #[test]
+    fn mod_inverse_verifies_or_shares_a_factor(a in 2u64..10_000, m in 3u64..10_000) {
+        let (ba, bm) = (BigUint::from_u64(a), BigUint::from_u64(m));
+        match mod_inverse(&ba, &bm) {
+            Some(inv) => {
+                prop_assert!(inv < bm);
+                prop_assert_eq!(ba.mul(&inv).rem(&bm), BigUint::one());
+            }
+            None => prop_assert_ne!(ba.gcd(&bm), BigUint::one()),
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip_msb_first(v in 1u64..u64::MAX) {
+        let b = BigUint::from_u64(v);
+        let bits = b.bits_msb_first();
+        prop_assert_eq!(bits.len(), 64 - v.leading_zeros() as usize);
+        let mut acc = 0u64;
+        for bit in bits {
+            acc = (acc << 1) | bit as u64;
+        }
+        prop_assert_eq!(acc, v);
+    }
+}

@@ -1,0 +1,36 @@
+//! Image exfiltration from a libjpeg-style encoder (§VIII-A, Figure
+//! 15): the attacker watches the `r`/`nbits` pages of
+//! `encode_one_block` through shared integrity-tree nodes and rebuilds
+//! the input image.
+//!
+//! Run with: `cargo run --release --example image_exfiltration`
+
+use metaleak::casestudy::run_jpeg_t;
+use metaleak::configs;
+use metaleak_victims::jpeg::GrayImage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = GrayImage::circle(48, 48);
+    println!("victim input image (48x48):\n{}", image.to_ascii(48));
+
+    println!("running MetaLeak-T against encode_one_block ...");
+    let out = run_jpeg_t(configs::sct_experiment(), &image, 100, 0)?;
+
+    println!(
+        "stealing accuracy: {:.1}% over {} observation windows",
+        out.mask_accuracy * 100.0,
+        out.windows
+    );
+    println!("stolen reconstruction (PSNR vs oracle: {:.1} dB):", out.psnr_vs_oracle);
+    println!("{}", out.stolen.to_ascii(48));
+    println!("oracle reconstruction (instrumentation-level access info):");
+    println!("{}", out.oracle.to_ascii(48));
+
+    // Write PGMs for inspection.
+    std::fs::create_dir_all("target/experiments")?;
+    std::fs::write("target/experiments/fig15_original.pgm", image.to_pgm())?;
+    std::fs::write("target/experiments/fig15_stolen.pgm", out.stolen.to_pgm())?;
+    std::fs::write("target/experiments/fig15_oracle.pgm", out.oracle.to_pgm())?;
+    println!("PGM files written under target/experiments/");
+    Ok(())
+}

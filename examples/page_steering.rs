@@ -1,0 +1,57 @@
+//! Physical-page co-location: the attacker steers a victim page onto a
+//! chosen frame so that it shares an integrity-tree node with
+//! attacker-controlled pages (§VIII-A1: the per-core free-list
+//! technique \[58\], \[90\]; under SGX the malicious OS places EPC frames
+//! directly).
+//!
+//! Run with: `cargo run --example page_steering`
+
+use metaleak_meta::geometry::TreeGeometry;
+use metaleak_sim::addr::PageId;
+use metaleak_sim::pages::PageAllocator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The machine's frame allocator: per-core LIFO free lists.
+    let mut alloc = PageAllocator::new(PageId::new(0x1000), 4096, 4);
+    let geometry = TreeGeometry::sct(4096);
+    let attacker_core = 0;
+
+    // 1. The attacker grabs a batch of frames and picks one whose
+    //    counter block shares an SCT leaf with its own pages.
+    let mut owned = Vec::new();
+    for _ in 0..64 {
+        owned.push(alloc.allocate(attacker_core)?);
+    }
+    let bait = owned[37];
+    let bait_cb = bait.pfn() - 0x1000; // one counter block per page (SC)
+    let shared_leaf = geometry.leaf_of(bait_cb);
+    println!("attacker bait frame : {bait} (counter block {bait_cb})");
+    println!("shared SCT leaf     : {shared_leaf}");
+    println!(
+        "leaf sharing set    : counter blocks {:?} ({} pages)",
+        geometry.attached_under(shared_leaf),
+        geometry.arity(0),
+    );
+
+    // 2. The attacker frees the bait last, so the core's LIFO free
+    //    list hands it to the next allocation on that core...
+    alloc.free(bait, attacker_core);
+
+    // 3. ...which is the victim's page, steered into co-location.
+    let victim_page = alloc.allocate(attacker_core)?;
+    assert_eq!(victim_page, bait);
+    let victim_cb = victim_page.pfn() - 0x1000;
+    println!("victim landed on    : {victim_page}");
+    assert_eq!(geometry.leaf_of(victim_cb), shared_leaf);
+    println!(
+        "co-location achieved: victim counter block {victim_cb} verifies through {shared_leaf}, \
+         which the attacker's remaining pages share"
+    );
+
+    // 4. Under SGX, the malicious OS simply assigns the frame.
+    let mut sgx_alloc = PageAllocator::new(PageId::new(0x8000), 1024, 1);
+    let chosen = PageId::new(0x8042);
+    let epc_frame = sgx_alloc.allocate_at(chosen)?;
+    println!("\nSGX path: OS assigned EPC frame {epc_frame} directly (privileged placement)");
+    Ok(())
+}

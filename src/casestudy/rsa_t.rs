@@ -1,0 +1,119 @@
+//! Case study §VIII-B1: recovering the RSA private exponent from the
+//! square-and-multiply page-fetch sequence of a libgcrypt-style
+//! decryption (Figure 16).
+//!
+//! `_gcry_mpih_sqr_n_basecase` and `_gcry_mpih_mul_karatsuba_case`
+//! live on separate code pages; the attacker shares integrity-tree
+//! nodes with both, steps the victim one exponent bit at a time
+//! (SGX-Step model), and decodes each bit from whether the multiply
+//! page was fetched.
+
+use metaleak_attacks::dual::{find_partner_block, victim_touch, DualPageMonitor};
+use metaleak_attacks::error::AttackError;
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_victims::bignum::BigUint;
+use metaleak_victims::rsa::{
+    exponent_bit_accuracy, recover_exponent_from_windows, ModExpOp, RsaKey,
+};
+
+/// Result of the exponent-recovery case study.
+#[derive(Debug, Clone)]
+pub struct RsaTOutcome {
+    /// The victim's private exponent (ground truth).
+    pub true_exponent: BigUint,
+    /// The exponent as recovered by the spy.
+    pub recovered_exponent: BigUint,
+    /// Bit accuracy (91.2% SGX / 95.1% SCT in the paper).
+    pub bit_accuracy: f64,
+    /// Observation windows (one per exponent bit).
+    pub windows: usize,
+    /// Per-window raw observations `(square_seen, multiply_seen)`.
+    pub observations: Vec<(bool, bool)>,
+}
+
+/// Runs the attack. `square_page` positions the victim's square
+/// routine; the multiply page is co-located automatically. `level` is
+/// the shared tree level (0 for SCT; 1 for SGX where L0 is unusable).
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_rsa_t(
+    config: SecureConfig,
+    key: &RsaKey,
+    square_page: u64,
+    level: u8,
+) -> Result<RsaTOutcome, AttackError> {
+    let mut mem = SecureMemory::new(config);
+    let spy = CoreId(0);
+    let victim = CoreId(1);
+    let square_block = square_page * 64;
+    let multiply_block =
+        find_partner_block(&mem, square_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(&mut mem, spy, square_block, multiply_block, level)?;
+
+    // The victim decrypts; its real op trace drives the simulated
+    // instruction fetches, one exponent-bit iteration per window
+    // (SGX-Step interrupts every iteration, §VIII attack setup).
+    let ciphertext = key.encrypt(&BigUint::from_u64(0x5EC2E7));
+    let trace = key.decrypt_trace(&ciphertext);
+    let mut iterations: Vec<bool> = Vec::new(); // bit value per iteration
+    let mut i = 0;
+    while i < trace.len() {
+        debug_assert_eq!(trace[i], ModExpOp::Square);
+        let one = matches!(trace.get(i + 1), Some(ModExpOp::Multiply));
+        iterations.push(one);
+        i += if one { 2 } else { 1 };
+    }
+
+    let mut observations = Vec::with_capacity(iterations.len());
+    for &bit in &iterations {
+        let sample = dual.window(&mut mem, spy, |m| {
+            victim_touch(m, victim, square_block); // square always runs
+            if bit {
+                victim_touch(m, victim, multiply_block);
+            }
+        });
+        observations.push((sample.a_seen, sample.b_seen));
+    }
+
+    let recovered = recover_exponent_from_windows(&observations);
+    let bit_accuracy = exponent_bit_accuracy(&recovered, &key.d);
+    Ok(RsaTOutcome {
+        true_exponent: key.d.clone(),
+        recovered_exponent: recovered,
+        bit_accuracy,
+        windows: iterations.len(),
+        observations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn recovers_exponent_bits_under_sct() {
+        let key = RsaKey::generate(32, 2024);
+        let out = run_rsa_t(configs::sct_experiment(), &key, 100, 0).unwrap();
+        assert_eq!(out.windows, key.d.bits());
+        assert!(
+            out.bit_accuracy >= 0.9,
+            "bit accuracy {} below 0.9",
+            out.bit_accuracy
+        );
+    }
+
+    #[test]
+    fn works_under_sgx_at_level_1() {
+        let key = RsaKey::generate(24, 7);
+        let out = run_rsa_t(configs::sgx_experiment(), &key, 100, 1).unwrap();
+        assert!(
+            out.bit_accuracy >= 0.85,
+            "SGX bit accuracy {} below 0.85",
+            out.bit_accuracy
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # metaleak
+//!
+//! End-to-end reproduction of *MetaLeak: Uncovering Side Channels in
+//! Secure Processor Architectures Exploiting Metadata* (ISCA 2024).
+//!
+//! This facade crate re-exports the whole workspace and adds the
+//! end-to-end case studies of the paper's evaluation:
+//!
+//! - [`metaleak_sim`] — the memory-hierarchy substrate;
+//! - [`metaleak_crypto`] — AES-128 / GHASH / SHA-256 and the crypto
+//!   engine;
+//! - [`metaleak_meta`] — encryption counters, integrity trees and
+//!   metadata caches;
+//! - [`metaleak_engine`] — the secure memory engine (Figure 5 paths,
+//!   Algorithms 1 & 2);
+//! - [`metaleak_attacks`] — MetaLeak-T and MetaLeak-C (the paper's
+//!   contribution);
+//! - [`metaleak_victims`] — the libjpeg / libgcrypt / mbedTLS-style
+//!   victims;
+//! - [`metaleak_mitigations`] — MIRAGE and tree-partitioning models;
+//! - [`casestudy`] — the §VIII experiments;
+//! - [`configs`] — ready-made experiment configurations.
+//!
+//! ```no_run
+//! use metaleak::casestudy::run_jpeg_t;
+//! use metaleak::configs;
+//! use metaleak_victims::jpeg::GrayImage;
+//!
+//! let image = GrayImage::circle(32, 32);
+//! let outcome = run_jpeg_t(configs::sct_experiment(), &image, 100, 0)?;
+//! println!("stealing accuracy: {:.1}%", outcome.mask_accuracy * 100.0);
+//! # Ok::<(), metaleak_attacks::AttackError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod configs;
+
+pub use metaleak_attacks as attacks;
+pub use metaleak_crypto as crypto;
+pub use metaleak_engine as engine;
+pub use metaleak_meta as meta;
+pub use metaleak_mitigations as mitigations;
+pub use metaleak_sim as sim;
+pub use metaleak_victims as victims;
+
+/// Convenient glob import for examples and experiments.
+pub mod prelude {
+    pub use crate::casestudy::*;
+    pub use crate::configs;
+    pub use metaleak_attacks::{
+        CovertChannelC, CovertChannelT, DualPageMonitor, MetaLeakC, MetaLeakT,
+    };
+    pub use metaleak_engine::prelude::*;
+    pub use metaleak_victims::bignum::BigUint;
+    pub use metaleak_victims::jpeg::GrayImage;
+    pub use metaleak_victims::rsa::RsaKey;
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration tests: the full attack pipelines from
+//! victim workload through the secure-memory engine to secret
+//! recovery, spanning every crate in the workspace.
+
+use metaleak::casestudy::{run_jpeg_t, run_modinv_t, run_rsa_t};
+use metaleak::configs;
+use metaleak_attacks::covert_c::CovertChannelC;
+use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::rng::SimRng;
+use metaleak_victims::bignum::BigUint;
+use metaleak_victims::jpeg::GrayImage;
+use metaleak_victims::rsa::RsaKey;
+
+#[test]
+fn covert_t_channel_end_to_end() {
+    let mut mem = SecureMemory::new(configs::sct_experiment());
+    let channel = CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100).unwrap();
+    let mut rng = SimRng::seed_from(0xE2E);
+    let bits: Vec<bool> = (0..48).map(|_| rng.chance(0.5)).collect();
+    let out = channel.transmit(&mut mem, &bits);
+    assert!(out.accuracy(&bits) >= 0.95, "accuracy {}", out.accuracy(&bits));
+    assert!(out.records.iter().all(|r| r.boundary_ok), "boundary sync must hold");
+}
+
+#[test]
+fn covert_c_channel_end_to_end() {
+    let cfg = configs::sct_experiment_with_tree_bits(3);
+    let mut mem = SecureMemory::new(cfg);
+    let mut channel = CovertChannelC::new(&mem, CoreId(0), CoreId(1), 1, 100).unwrap();
+    let mut rng = SimRng::seed_from(0xC2C);
+    let symbols: Vec<u64> = (0..16).map(|_| rng.below(channel.max_symbol() + 1)).collect();
+    let out = channel.transmit(&mut mem, &symbols).unwrap();
+    assert!(out.accuracy(&symbols) >= 0.9, "accuracy {}", out.accuracy(&symbols));
+}
+
+#[test]
+fn image_exfiltration_end_to_end() {
+    let image = GrayImage::glyphs(16, 16, 11);
+    let out = run_jpeg_t(configs::sct_experiment(), &image, 100, 0).unwrap();
+    assert!(out.mask_accuracy >= 0.9, "stealing accuracy {}", out.mask_accuracy);
+}
+
+#[test]
+fn rsa_exponent_recovery_end_to_end_sct_and_sgx() {
+    let key = RsaKey::generate(32, 77);
+    let sct = run_rsa_t(configs::sct_experiment(), &key, 100, 0).unwrap();
+    assert!(sct.bit_accuracy >= 0.9, "SCT accuracy {}", sct.bit_accuracy);
+    let sgx = run_rsa_t(configs::sgx_experiment(), &key, 100, 1).unwrap();
+    assert!(sgx.bit_accuracy >= 0.85, "SGX accuracy {}", sgx.bit_accuracy);
+}
+
+#[test]
+fn modinv_trace_recovery_end_to_end() {
+    let e = BigUint::from_u64(65537);
+    let phi = BigUint::from_u64(10_403_290); // even, RSA-style
+    let out = run_modinv_t(configs::sct_experiment(), &e, &phi, 100, 0).unwrap();
+    assert!(out.detection_accuracy >= 0.9, "detection {}", out.detection_accuracy);
+}
+
+#[test]
+fn sgx_leaf_level_is_rejected_but_l1_works() {
+    use metaleak_attacks::error::AttackError;
+    use metaleak_attacks::metaleak_t::MetaLeakT;
+    let mut mem = SecureMemory::new(configs::sgx_experiment());
+    assert_eq!(
+        MetaLeakT::new(&mut mem, CoreId(0), 100 * 64, 0, 2).unwrap_err(),
+        AttackError::LevelNotShareable { level: 0 }
+    );
+    assert!(MetaLeakT::new(&mut mem, CoreId(0), 100 * 64, 1, 2).is_ok());
+}
+
+#[test]
+fn sgx_counter_overflow_is_impractical() {
+    use metaleak_attacks::error::AttackError;
+    use metaleak_attacks::metaleak_c::MetaLeakC;
+    let mem = SecureMemory::new(configs::sgx_experiment());
+    assert!(matches!(
+        MetaLeakC::new(&mem, 100 * 64, 1),
+        Err(AttackError::OverflowImpractical { .. })
+    ));
+}
+
+#[test]
+fn attack_works_against_hash_tree_design_too() {
+    // MetaLeak-T is tree-design agnostic (HT node sharing is the same
+    // structural property).
+    use metaleak_attacks::dual::{victim_touch, DualPageMonitor};
+    use metaleak_attacks::dual::find_partner_block;
+    let mut mem = SecureMemory::new(configs::ht_experiment());
+    let core = CoreId(0);
+    let a = 100 * 64;
+    let b = find_partner_block(&mem, a, 0).unwrap();
+    let dual = DualPageMonitor::new(&mut mem, core, a, b, 0).unwrap();
+    let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), a));
+    assert!(s.a_seen && !s.b_seen, "{s:?}");
+    let s = dual.window(&mut mem, core, |_| {});
+    assert!(!s.a_seen && !s.b_seen, "{s:?}");
+}
+
+#[test]
+fn covert_t_signal_survives_without_any_data_cache_sharing() {
+    // The paper's cross-socket claim: the channel lives in the
+    // *metadata* caches at the memory controller, not in the shared
+    // LLC. Wiping every data-cache copy of the probe and trojan blocks
+    // between the trojan's access and the spy's reload must not break
+    // decoding.
+    use metaleak_attacks::metaleak_t::MetaLeakT;
+    let mut mem = SecureMemory::new(configs::sct_experiment());
+    let spy = CoreId(0);
+    let trojan_core = CoreId(1);
+    let trojan_block = 100 * 64;
+    let atk = MetaLeakT::new(&mut mem, spy, trojan_block, 0, 6).unwrap();
+    let probe_block = atk.probe_block();
+    let mut rng = SimRng::seed_from(0x50C);
+    let bits: Vec<bool> = (0..24).map(|_| rng.chance(0.5)).collect();
+    let mut decoded = Vec::new();
+    for &bit in &bits {
+        atk.evict(&mut mem, spy);
+        if bit {
+            mem.flush_block(trojan_block);
+            mem.read(trojan_core, trojan_block).unwrap();
+        }
+        // Scrub the data caches completely: no data-cache channel can
+        // survive this, only the metadata state.
+        mem.flush_block(trojan_block);
+        mem.flush_block(probe_block);
+        let probe = atk.probe(&mut mem, spy);
+        decoded.push(atk.classifier().is_fast(probe.latency));
+    }
+    let acc = metaleak_attacks::timing::accuracy(&decoded, &bits);
+    assert!(acc >= 0.95, "metadata-only channel accuracy {acc}");
+}
