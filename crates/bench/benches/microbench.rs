@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks of the substrates: crypto primitives,
-//! cache model, secure-memory access paths and attack primitives.
+//! Microbenchmarks of the substrates: crypto primitives, cache model,
+//! secure-memory access paths and attack primitives.
+//!
+//! Self-contained timing harness (no external bench framework): each
+//! benchmark warms up, then reports the mean ns/iter over a fixed
+//! number of timed iterations.
 //!
 //! Run: `cargo bench -p metaleak-bench`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use metaleak::configs;
 use metaleak_attacks::metaleak_t::MetaLeakT;
 use metaleak_crypto::aes::Aes128;
@@ -17,113 +20,120 @@ use metaleak_sim::addr::{BlockAddr, CoreId};
 use metaleak_sim::cache::SetAssocCache;
 use metaleak_sim::config::CacheConfig;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+/// Times `f` over `iters` iterations after a small warmup and prints
+/// mean ns/iter.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<28} {per_iter:>12.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_crypto() {
+    println!("-- crypto --");
     let aes = Aes128::new(b"0123456789abcdef");
     let block = [7u8; 16];
-    g.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(black_box(&block)))
+    bench("aes128_encrypt_block", 10_000, || {
+        black_box(aes.encrypt_block(black_box(&block)));
     });
     let data = [42u8; 64];
-    g.bench_function("sha256_64B", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    bench("sha256_64B", 10_000, || {
+        black_box(Sha256::digest(black_box(&data)));
+    });
     let ghash = Ghash::new(b"0123456789abcdef");
-    g.bench_function("ghash_mac_64B", |b| b.iter(|| ghash.mac(black_box(&data), 0x40)));
+    bench("ghash_mac_64B", 10_000, || {
+        black_box(ghash.mac(black_box(&data), 0x40));
+    });
     let engine = CryptoEngine::new(*b"0123456789abcdef");
-    g.bench_function("ctr_mode_encrypt_block", |b| {
-        b.iter(|| engine.encrypt_block(black_box(&data), 0x40, 7))
+    bench("ctr_mode_encrypt_block", 10_000, || {
+        black_box(engine.encrypt_block(black_box(&data), 0x40, 7));
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.bench_function("set_assoc_hit", |b| {
-        let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(32 * 1024, 8, 1));
-        cache.access(1, false);
-        b.iter(|| cache.access(black_box(1), false))
+fn bench_cache() {
+    println!("-- cache --");
+    let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(32 * 1024, 8, 1));
+    cache.access(1, false);
+    bench("set_assoc_hit", 100_000, || {
+        black_box(cache.access(black_box(1), false));
     });
-    g.bench_function("set_assoc_miss_evict", |b| {
-        let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(32 * 1024, 8, 1));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            cache.access(black_box(i), false)
-        })
+    let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(32 * 1024, 8, 1));
+    let mut i = 0u64;
+    bench("set_assoc_miss_evict", 100_000, || {
+        i += 1;
+        black_box(cache.access(black_box(i), false));
     });
-    g.finish();
 }
 
-fn bench_tree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tree");
+fn bench_tree() {
+    println!("-- tree --");
     let tree = IntegrityTree::sct(16384);
-    g.bench_function("sct_verify_walk_cold", |b| {
-        b.iter(|| tree.verify_counter_block(black_box(1000), &[0u8; 64], |_| false))
+    bench("sct_verify_walk_cold", 5_000, || {
+        black_box(tree.verify_counter_block(black_box(1000), &[0u8; 64], |_| false));
     });
-    g.bench_function("sct_counter_writeback", |b| {
-        b.iter_batched(
-            || IntegrityTree::sct(4096),
-            |mut t| t.record_counter_writeback(black_box(7), &[0u8; 64]),
-            BatchSize::SmallInput,
-        )
+    // Writeback mutates tree state; rebuild periodically so minors
+    // don't saturate mid-measurement.
+    let mut t = IntegrityTree::sct(4096);
+    let mut n = 0u32;
+    bench("sct_counter_writeback", 5_000, || {
+        if n.is_multiple_of(16) {
+            t = IntegrityTree::sct(4096);
+        }
+        n += 1;
+        black_box(t.record_counter_writeback(black_box(7), &[0u8; 64]));
     });
-    g.finish();
 }
 
-fn bench_secure_memory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("secure_memory");
-    g.sample_size(20);
-    g.bench_function("read_cache_hit", |b| {
-        let mut mem = SecureMemory::new(SecureConfig::sct(1024));
-        mem.read(CoreId(0), 0).unwrap();
-        b.iter(|| mem.read(CoreId(0), black_box(0)).unwrap())
+fn bench_secure_memory() {
+    println!("-- secure_memory --");
+    let mut mem = SecureMemory::new(SecureConfig::sct(1024));
+    mem.read(CoreId(0), 0).unwrap();
+    bench("read_cache_hit", 20_000, || {
+        black_box(mem.read(CoreId(0), black_box(0)).unwrap());
     });
-    g.bench_function("read_full_walk", |b| {
-        let mut mem = SecureMemory::new(SecureConfig::sct(16384));
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 64) % (16384 * 64);
-            mem.flush_block(i);
-            let cb = mem.counter_block_of(i);
-            mem.force_counter_writeback(cb);
-            mem.read(CoreId(0), black_box(i)).unwrap()
-        })
+    let mut mem = SecureMemory::new(SecureConfig::sct(16384));
+    let mut i = 0u64;
+    bench("read_full_walk", 2_000, || {
+        i = (i + 64) % (16384 * 64);
+        mem.flush_block(i);
+        let cb = mem.counter_block_of(i);
+        mem.force_counter_writeback(cb);
+        black_box(mem.read(CoreId(0), black_box(i)).unwrap());
     });
-    g.bench_function("write_back_fence", |b| {
-        let mut mem = SecureMemory::new(SecureConfig::sct(1024));
-        b.iter(|| {
-            mem.write_back(CoreId(0), black_box(5), [1u8; 64]).unwrap();
-            mem.fence()
-        })
+    let mut mem = SecureMemory::new(SecureConfig::sct(1024));
+    bench("write_back_fence", 10_000, || {
+        mem.write_back(CoreId(0), black_box(5), [1u8; 64]).unwrap();
+        mem.fence();
     });
-    g.finish();
 }
 
-fn bench_attack_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("attack");
-    g.sample_size(10);
-    g.bench_function("metaleak_t_round", |b| {
-        let mut mem = SecureMemory::new(configs::sct_experiment());
-        let atk = MetaLeakT::new(&mut mem, CoreId(0), 100 * 64, 0, 2).unwrap();
-        b.iter(|| atk.monitor(&mut mem, CoreId(0), |_| {}))
+fn bench_attack_primitives() {
+    println!("-- attack --");
+    let mut mem = SecureMemory::new(configs::sct_experiment());
+    let atk = MetaLeakT::new(&mut mem, CoreId(0), 100 * 64, 0, 2).unwrap();
+    bench("metaleak_t_round", 500, || {
+        black_box(atk.monitor(&mut mem, CoreId(0), |_| {}).unwrap());
     });
-    g.bench_function("dram_access", |b| {
-        let mut dram = metaleak_sim::dram::Dram::new(Default::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 13;
-            dram.access(BlockAddr::new(black_box(i)))
-        })
+    let mut dram = metaleak_sim::dram::Dram::new(Default::default());
+    let mut i = 0u64;
+    bench("dram_access", 100_000, || {
+        i += 13;
+        black_box(dram.access(BlockAddr::new(black_box(i))));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crypto,
-    bench_cache,
-    bench_tree,
-    bench_secure_memory,
-    bench_attack_primitives
-);
-criterion_main!(benches);
+fn main() {
+    bench_crypto();
+    bench_cache();
+    bench_tree();
+    bench_secure_memory();
+    bench_attack_primitives();
+}

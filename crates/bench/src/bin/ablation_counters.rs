@@ -29,18 +29,15 @@ fn run(scheme: CounterScheme, writes: usize) -> (u64, u64, u64) {
         mem.write_back(core, block, [i as u8; 64]).unwrap();
         mem.fence();
     }
-    (
-        mem.stats.get("enc_overflows"),
-        mem.stats.get("reencrypt_blocks"),
-        mem.stats.get("rekeys"),
-    )
+    (mem.stats.get("enc_overflows"), mem.stats.get("reencrypt_blocks"), mem.stats.get("rekeys"))
 }
 
 fn main() {
     let writes = scaled(400, 4000);
     println!("== Ablation: encryption-counter schemes (Figure 3 / Algorithm 1) ==");
     println!("workload: {writes} writes, 80% to an 8-block hot set; 6-bit shared / 3-bit minor counters\n");
-    let mut table = TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
+    let mut table =
+        TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
     let mut rows = Vec::new();
     for (name, scheme) in [
         ("Global (GC)", CounterScheme::Global),

@@ -1,0 +1,134 @@
+//! Ablation: raw vs ECC-framed covert-channel error rate under the
+//! composite adversarial fault mix.
+//!
+//! The spy calibrates its classifier during a quiet window (a clean
+//! memory), then transmits over a memory running the full
+//! [`FaultPlan::at_intensity`] mix — co-runner eviction bursts, DVFS
+//! drift, preemption gaps, dropped and duplicated samples, Gaussian
+//! jitter — at increasing intensities. The raw channel sends each
+//! payload bit through one window and loses the bit outright when the
+//! window is invalidated; the framed channel wraps the payload in
+//! (7,4)-Hamming codewords with per-bit repetition, turning invalidated
+//! windows into erasures that abstain from the majority vote.
+//!
+//! Everything is seeded (`SimRng` + the plan's interference RNG), so
+//! repeated runs produce identical tables.
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin ablation_faults`
+
+use metaleak::configs;
+use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_attacks::resilience::FrameCodec;
+use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::interference::FaultPlan;
+use metaleak_sim::rng::SimRng;
+
+const SEED: u64 = 0xFA017;
+
+fn main() {
+    let payload_n = scaled(64, 160);
+    let repeats = 5;
+    println!("== Ablation: MetaLeak-T channel error rate vs fault intensity ==");
+    println!(
+        "({payload_n}-bit payloads; framed = (7,4)-Hamming x {repeats}-repetition majority vote)\n"
+    );
+
+    // Calibrate once on a quiet memory: the classifier, probe and
+    // eviction sets depend only on the geometry, which is identical
+    // across the sweep's memories.
+    let mut quiet = SecureMemory::new(clean_config());
+    let channel = CovertChannelT::new(&mut quiet, CoreId(0), CoreId(1), 0, 100)
+        .expect("channel setup on a quiet memory");
+
+    let mut rng = SimRng::seed_from(SEED);
+    let payload: Vec<bool> = (0..payload_n).map(|_| rng.chance(0.5)).collect();
+    let codec = FrameCodec::new(repeats);
+
+    let mut table =
+        TextTable::new(vec!["intensity", "raw BER", "ECC BER", "erasures", "corrected", "lost"]);
+    let mut rows = Vec::new();
+    for intensity in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let raw_ber = raw_error_rate(&channel, &payload, intensity);
+        let (ecc_ber, erasures, corrected, lost) =
+            framed_error_rate(&channel, &payload, &codec, intensity);
+        if intensity > 0.0 {
+            assert!(
+                ecc_ber < raw_ber,
+                "ECC framing must strictly beat the raw channel at intensity {intensity} \
+                 (raw {raw_ber:.4}, ecc {ecc_ber:.4})"
+            );
+        }
+        table.row(vec![
+            format!("{intensity:.2}"),
+            format!("{:.1}%", raw_ber * 100.0),
+            format!("{:.1}%", ecc_ber * 100.0),
+            format!("{erasures}"),
+            format!("{corrected}"),
+            format!("{lost}"),
+        ]);
+        rows.push(format!("{intensity},{raw_ber:.4},{ecc_ber:.4},{erasures},{corrected},{lost}"));
+    }
+    println!("{}", table.render());
+    println!(
+        "reading: the raw channel loses every invalidated window and misclassifies\n\
+         jittered ones; the framed channel pays ~{}x wire overhead to vote the same\n\
+         faults away, keeping its payload error rate strictly below raw at every\n\
+         nonzero intensity.",
+        7 * repeats / 4
+    );
+    let path = write_csv(
+        "ablation_faults.csv",
+        "intensity,raw_ber,ecc_ber,erasures,corrected_codewords,lost_codewords",
+        &rows,
+    );
+    println!("CSV written to {}", path.display());
+}
+
+fn clean_config() -> metaleak_engine::config::SecureConfig {
+    let mut cfg = configs::sct_experiment();
+    cfg.sim.noise_sd = 0.0;
+    cfg
+}
+
+/// A fresh memory running the composite fault mix at `intensity`.
+fn faulty_memory(intensity: f64) -> SecureMemory {
+    let mut cfg = clean_config();
+    cfg.faults = FaultPlan::at_intensity(intensity, SEED);
+    SecureMemory::new(cfg)
+}
+
+/// Raw path: one window per payload bit, no redundancy. An invalidated
+/// window loses the bit; a misclassified window flips it. Either way
+/// the payload bit is wrong.
+fn raw_error_rate(channel: &CovertChannelT, payload: &[bool], intensity: f64) -> f64 {
+    let mut mem = faulty_memory(intensity);
+    let mut errors = 0usize;
+    for &bit in payload {
+        match channel.transmit(&mut mem, &[bit]) {
+            Ok(out) if out.decoded[0] == bit => {}
+            _ => errors += 1,
+        }
+    }
+    errors as f64 / payload.len() as f64
+}
+
+/// Framed path: the same payload through the ECC framing.
+fn framed_error_rate(
+    channel: &CovertChannelT,
+    payload: &[bool],
+    codec: &FrameCodec,
+    intensity: f64,
+) -> (f64, usize, usize, usize) {
+    let mut mem = faulty_memory(intensity);
+    let out = channel
+        .transmit_framed(&mut mem, payload, codec)
+        .expect("framed transfer only fails on permanent errors");
+    (
+        1.0 - out.accuracy(payload),
+        out.erasures,
+        out.report.corrected_codewords,
+        out.report.lost_codewords,
+    )
+}

@@ -18,7 +18,9 @@ use metaleak_sim::rng::SimRng;
 fn main() {
     let bits_n = scaled(100, 500);
     println!("== Ablation: MetaLeak-T covert-channel accuracy vs timing noise ==");
-    println!("({bits_n}-bit transmissions; band gap between cached/evicted probes is ~200 cycles)\n");
+    println!(
+        "({bits_n}-bit transmissions; band gap between cached/evicted probes is ~200 cycles)\n"
+    );
     let mut table = TextTable::new(vec!["noise sd (cycles)", "bit accuracy"]);
     let mut rows = Vec::new();
     for sd in [0.0f64, 2.0, 10.0, 30.0, 60.0, 100.0, 150.0] {
@@ -29,7 +31,13 @@ fn main() {
             Ok(ch) => {
                 let mut rng = SimRng::seed_from(0xAB);
                 let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
-                ch.transmit(&mut mem, &bits).accuracy(&bits)
+                match ch.transmit(&mut mem, &bits) {
+                    Ok(out) => out.accuracy(&bits),
+                    Err(e) => {
+                        println!("noise sd {sd}: transmission failed ({e})");
+                        continue;
+                    }
+                }
             }
             Err(e) => {
                 println!("noise sd {sd}: setup failed ({e})");

@@ -35,11 +35,7 @@ fn main() {
         drop(mem);
         let histograms = characterize_paths(cfg, samples);
         let mean_of = |label: &str| {
-            histograms
-                .iter()
-                .find(|(l, _)| l == label)
-                .and_then(|(_, h)| h.mean())
-                .unwrap_or(0.0)
+            histograms.iter().find(|(l, _)| l == label).and_then(|(_, h)| h.mean()).unwrap_or(0.0)
         };
         let leaf_hit = mean_of("path3-tree-leaf-hit");
         let deepest = histograms
@@ -53,7 +49,8 @@ fn main() {
             nodes.to_string(),
             format!("{leaf_hit:.0}"),
             format!("{deepest:.0}"),
-            if overflowable { "yes (7-bit minors overflow)" } else { "no (wide/hash nodes)" }.to_owned(),
+            if overflowable { "yes (7-bit minors overflow)" } else { "no (wide/hash nodes)" }
+                .to_owned(),
         ]);
         rows.push(format!("{name},{levels},{nodes},{leaf_hit:.0},{deepest:.0},{overflowable}"));
     }

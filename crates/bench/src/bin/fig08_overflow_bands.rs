@@ -64,11 +64,19 @@ fn main() {
         // the far counters never overflow themselves), then timed read.
         let far_block = (2000 + (s % 4096)) * 64;
         write_through_counter(&mut mem, core, far_block, s as u8);
-        without_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(&mut mem, core, probe_block)));
+        without_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
+            &mut mem,
+            core,
+            probe_block,
+        )));
         // Case (a): the write that overflows the saturated counter,
         // then the same timed read.
         write_through_counter(&mut mem, core, hot_block, 0xAA);
-        with_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(&mut mem, core, probe_block)));
+        with_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
+            &mut mem,
+            core,
+            probe_block,
+        )));
     }
 
     print_histogram("no-overflow  (write elsewhere)", &without_overflow);

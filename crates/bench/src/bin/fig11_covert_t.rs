@@ -13,13 +13,19 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
 
-fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rows: &mut Vec<String>) -> (f64, f64, f64) {
+fn run(
+    name: &str,
+    cfg: SecureConfig,
+    level: u8,
+    bits_n: usize,
+    rows: &mut Vec<String>,
+) -> (f64, f64, f64) {
     let mut mem = SecureMemory::new(cfg);
     let channel =
         CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), level, 100).expect("channel setup");
     let mut rng = SimRng::seed_from(0x11);
     let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
-    let out = channel.transmit(&mut mem, &bits);
+    let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
     for (i, r) in out.records.iter().enumerate() {
         rows.push(format!(
             "{name},{i},{},{},{},{}",

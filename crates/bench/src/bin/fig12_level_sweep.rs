@@ -23,7 +23,8 @@ fn main() {
         let mut mem = SecureMemory::new(configs::sct_experiment());
         match MetaLeakT::new(&mut mem, core, victim_block, level, 4) {
             Ok(atk) => {
-                let interval = atk.measure_interval(&mut mem, core, rounds);
+                let interval =
+                    atk.measure_interval(&mut mem, core, rounds).expect("clean-plan interval");
                 let coverage_kb = atk.coverage_bytes(&mem) / 1024;
                 table.row(vec![
                     format!("L{level}"),

@@ -18,7 +18,8 @@ fn main() {
         ("checkerboard", GrayImage::checkerboard(size, size, 4)),
     ];
 
-    let mut table = TextTable::new(vec!["image", "stealing accuracy", "PSNR vs oracle (dB)", "windows"]);
+    let mut table =
+        TextTable::new(vec!["image", "stealing accuracy", "PSNR vs oracle (dB)", "windows"]);
     let mut rows = Vec::new();
     for (name, image) in &images {
         let out = run_jpeg_t(configs::sct_experiment(), image, 100, 0).expect("attack");
@@ -32,10 +33,15 @@ fn main() {
             format!("{:.1}", out.psnr_vs_oracle),
             out.windows.to_string(),
         ]);
-        rows.push(format!("{name},{:.4},{:.2},{}", out.mask_accuracy, out.psnr_vs_oracle, out.windows));
+        rows.push(format!(
+            "{name},{:.4},{:.2},{}",
+            out.mask_accuracy, out.psnr_vs_oracle, out.windows
+        ));
         std::fs::write(out_dir().join(format!("fig15_{name}_original.pgm")), image.to_pgm()).ok();
-        std::fs::write(out_dir().join(format!("fig15_{name}_stolen.pgm")), out.stolen.to_pgm()).ok();
-        std::fs::write(out_dir().join(format!("fig15_{name}_oracle.pgm")), out.oracle.to_pgm()).ok();
+        std::fs::write(out_dir().join(format!("fig15_{name}_stolen.pgm")), out.stolen.to_pgm())
+            .ok();
+        std::fs::write(out_dir().join(format!("fig15_{name}_oracle.pgm")), out.oracle.to_pgm())
+            .ok();
     }
     println!("{}", table.render());
     println!("paper reference: up to 97% stealing accuracy; reconstructions close to the oracle (Fig. 15).");

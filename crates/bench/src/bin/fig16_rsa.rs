@@ -24,12 +24,8 @@ fn main() {
     ] {
         let out = run_rsa_t(cfg, &key, 100, level).expect("attack");
         // Render the Figure 16-style trace for the first iterations.
-        let trace: String = out
-            .observations
-            .iter()
-            .take(32)
-            .map(|&(_, m)| if m { 'M' } else { 'S' })
-            .collect();
+        let trace: String =
+            out.observations.iter().take(32).map(|&(_, m)| if m { 'M' } else { 'S' }).collect();
         println!("[{name}] observed trace (first 32 iters): {trace}");
         table.row(vec![
             name.to_owned(),

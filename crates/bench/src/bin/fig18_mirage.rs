@@ -15,20 +15,29 @@ use metaleak_mitigations::mirage::{eviction_probability, MirageConfig};
 fn main() {
     let trials = scaled(40, 200);
     println!("== Figure 18: eviction accuracy under MIRAGE cache randomization ==");
-    println!("config: two skews, 8+6 ways/skew, 4096-line (256 KB) data store; {trials} trials/point\n");
+    println!(
+        "config: two skews, 8+6 ways/skew, 4096-line (256 KB) data store; {trials} trials/point\n"
+    );
 
     let cfg = MirageConfig::default();
     let sweep = [0usize, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10000, 12000];
-    let mut table = TextTable::new(vec!["random accesses", "eviction accuracy", "analytic 1-(1-1/N)^k"]);
+    let mut table =
+        TextTable::new(vec!["random accesses", "eviction accuracy", "analytic 1-(1-1/N)^k"]);
     let mut rows = Vec::new();
     for &k in &sweep {
         let p = eviction_probability(cfg, k, trials, 0x18);
         let model = 1.0 - (1.0 - 1.0 / cfg.data_lines as f64).powi(k as i32);
-        table.row(vec![k.to_string(), format!("{:.1}%", p * 100.0), format!("{:.1}%", model * 100.0)]);
+        table.row(vec![
+            k.to_string(),
+            format!("{:.1}%", p * 100.0),
+            format!("{:.1}%", model * 100.0),
+        ]);
         rows.push(format!("{k},{p:.4},{model:.4}"));
     }
     println!("{}", table.render());
-    println!("paper reference: ~7000 random accesses evict the target with >90% accuracy (Fig. 18).");
+    println!(
+        "paper reference: ~7000 random accesses evict the target with >90% accuracy (Fig. 18)."
+    );
     let path = write_csv("fig18_mirage.csv", "accesses,eviction_probability,analytic", &rows);
     println!("CSV written to {}", path.display());
 }

@@ -71,9 +71,17 @@ fn describe(name: &str, cfg: &SecureConfig) {
         "protected region".to_owned(),
         format!("{} MB ({} pages)", cfg.data_pages * 4 / 1024, cfg.data_pages),
     ]);
-    t.row(vec!["encryption".to_owned(), format!("counter-mode, {:?} counters ({} / {}-bit)",
-        cfg.scheme, cfg.enc_widths.minor_bits, cfg.enc_widths.mono_bits)]);
-    t.row(vec!["integrity tree".to_owned(), format!("{:?} ({}-bit tree minors)", cfg.tree_kind, cfg.tree_widths.minor_bits)]);
+    t.row(vec![
+        "encryption".to_owned(),
+        format!(
+            "counter-mode, {:?} counters ({} / {}-bit)",
+            cfg.scheme, cfg.enc_widths.minor_bits, cfg.enc_widths.mono_bits
+        ),
+    ]);
+    t.row(vec![
+        "integrity tree".to_owned(),
+        format!("{:?} ({}-bit tree minors)", cfg.tree_kind, cfg.tree_widths.minor_bits),
+    ]);
     t.row(vec!["MEE extra latency".to_owned(), format!("{} cycles/metadata fetch", cfg.mee_extra)]);
     println!("{}", t.render());
 }

@@ -25,19 +25,12 @@ fn main() {
         format!("{:.1}%", out.zero_recovery_accuracy * 100.0),
         "97.2%".to_owned(),
     ]);
-    table.row(vec![
-        "windows".to_owned(),
-        out.windows.to_string(),
-        String::new(),
-    ]);
-    table.row(vec![
-        "true zero events".to_owned(),
-        out.true_zeros.to_string(),
-        String::new(),
-    ]);
+    table.row(vec!["windows".to_owned(), out.windows.to_string(), String::new()]);
+    table.row(vec!["true zero events".to_owned(), out.true_zeros.to_string(), String::new()]);
     println!("{}", table.render());
 
-    let rows = vec![format!("{:.4},{},{}", out.zero_recovery_accuracy, out.windows, out.true_zeros)];
+    let rows =
+        vec![format!("{:.4},{},{}", out.zero_recovery_accuracy, out.windows, out.true_zeros)];
     let path = write_csv("tab_jpeg_c.csv", "zero_recovery_accuracy,windows,true_zeros", &rows);
     println!("CSV written to {}", path.display());
 }

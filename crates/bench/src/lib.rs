@@ -82,8 +82,6 @@ pub fn characterize_paths(config: SecureConfig, samples: usize) -> Vec<(String, 
     out
 }
 
-
-
 /// Directory experiment outputs are written to.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");

@@ -4,6 +4,7 @@
 
 use crate::error::AttackError;
 use crate::metaleak_c::{Bumper, MetaLeakC};
+use crate::resilience::{DecodeReport, FrameCodec, RetryPolicy};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
@@ -34,6 +35,26 @@ impl CovertOutcomeC {
     /// Symbol accuracy against the transmitted ground truth.
     pub fn accuracy(&self, truth: &[u64]) -> f64 {
         crate::timing::accuracy(&self.decoded, truth)
+    }
+}
+
+/// Result of an ECC-framed covert-C transmission.
+#[derive(Debug, Clone)]
+pub struct FramedOutcomeC {
+    /// The receiver-side decode report (payload, corrections, losses).
+    pub report: DecodeReport,
+    /// Wire bits pushed through the channel (one binary symbol each).
+    pub wire_bits: usize,
+    /// Wire bits lost to interference (erasure slots in the vote).
+    pub erasures: usize,
+    /// Total simulated cycles consumed.
+    pub cycles: Cycles,
+}
+
+impl FramedOutcomeC {
+    /// Payload-bit accuracy against the transmitted ground truth.
+    pub fn accuracy(&self, truth: &[bool]) -> f64 {
+        crate::timing::accuracy(&self.report.payload, truth)
     }
 }
 
@@ -80,21 +101,52 @@ impl CovertChannelC {
         self.spy.counter_max() - 1
     }
 
+    /// One symbol window: the trojan encodes `s` as `s` writes, then
+    /// the spy bumps until the overflow spike re-arms the channel.
+    /// Assumes the counter is in the post-overflow state (value 1).
+    fn send_symbol(&mut self, mem: &mut SecureMemory, s: u64) -> Result<SymbolRecord, AttackError> {
+        let max = self.spy.counter_max();
+        // Trojan encodes the symbol as s writes.
+        for _ in 0..s {
+            self.trojan.bump(mem, self.trojan_core)?;
+        }
+        // Spy bumps until the overflow spike; m extra writes mean
+        // the trojan wrote (max + 1 - preset - m), preset = 1.
+        let mut latencies = Vec::new();
+        let mut m = 0;
+        loop {
+            m += 1;
+            if m > max + 2 {
+                return Err(AttackError::OverflowImpractical { writes_attempted: m });
+            }
+            let p = self.spy.bump_and_probe(mem, self.spy_core)?;
+            latencies.push(p.latency);
+            if p.overflowed {
+                break;
+            }
+        }
+        let symbol = self.spy.infer_victim_bumps(1, m);
+        Ok(SymbolRecord { symbol, spy_writes: m, latencies })
+    }
+
     /// Transmits `symbols` (each `<= max_symbol()`); returns the spy's
     /// decoding and per-symbol traces.
     ///
     /// # Errors
-    /// Propagates overflow-detection failures.
-    ///
-    /// # Panics
-    /// Panics if any symbol exceeds [`CovertChannelC::max_symbol`].
+    /// [`AttackError::InvalidParameter`] for symbols exceeding
+    /// [`CovertChannelC::max_symbol`]; propagates overflow-detection
+    /// failures. The raw channel has no redundancy — the first
+    /// disturbed window aborts; see
+    /// [`CovertChannelC::transmit_framed`].
     pub fn transmit(
         &mut self,
         mem: &mut SecureMemory,
         symbols: &[u64],
     ) -> Result<CovertOutcomeC, AttackError> {
         let start = mem.now();
-        let max = self.spy.counter_max();
+        if symbols.iter().any(|&s| s > self.max_symbol()) {
+            return Err(AttackError::InvalidParameter { what: "symbol exceeds channel capacity" });
+        }
         // Initial mPreset: force an overflow so the counter state is
         // known (value = 1, the spy's triggering bump). Subsequent
         // overflows re-arm the channel automatically (§VI-B).
@@ -102,31 +154,48 @@ impl CovertChannelC {
         let mut decoded = Vec::with_capacity(symbols.len());
         let mut records = Vec::with_capacity(symbols.len());
         for &s in symbols {
-            assert!(s <= self.max_symbol(), "symbol {s} exceeds channel capacity");
-            // Trojan encodes the symbol as s writes.
-            for _ in 0..s {
-                self.trojan.bump(mem, self.trojan_core);
-            }
-            // Spy bumps until the overflow spike; m extra writes mean
-            // the trojan wrote (max + 1 - preset - m), preset = 1.
-            let mut latencies = Vec::new();
-            let mut m = 0;
-            loop {
-                m += 1;
-                if m > max + 2 {
-                    return Err(AttackError::OverflowImpractical { writes_attempted: m });
-                }
-                let p = self.spy.bump_and_probe(mem, self.spy_core);
-                latencies.push(p.latency);
-                if p.overflowed {
-                    break;
-                }
-            }
-            let symbol = self.spy.infer_victim_bumps(1, m);
-            decoded.push(symbol);
-            records.push(SymbolRecord { symbol, spy_writes: m, latencies });
+            let record = self.send_symbol(mem, s)?;
+            decoded.push(record.symbol);
+            records.push(record);
         }
         Ok(CovertOutcomeC { decoded, records, cycles: mem.now() - start })
+    }
+
+    /// Transmits `payload` bits inside ECC frames, one binary symbol
+    /// per wire bit. A window lost to interference becomes an erasure
+    /// that abstains from the majority vote; afterwards the counter
+    /// state is unknown, so the channel re-arms itself with a retried
+    /// mPreset before continuing.
+    ///
+    /// # Errors
+    /// Only permanent errors abort (planning, parameters, exhausted
+    /// re-arm retries); transient window failures are absorbed.
+    pub fn transmit_framed(
+        &mut self,
+        mem: &mut SecureMemory,
+        payload: &[bool],
+        codec: &FrameCodec,
+        policy: &RetryPolicy,
+    ) -> Result<FramedOutcomeC, AttackError> {
+        let start = mem.now();
+        let wire = codec.encode(payload);
+        policy.run(mem, |m| self.spy.reset(m, self.spy_core).map(|_| ()))?;
+        let mut received: Vec<Option<bool>> = Vec::with_capacity(wire.len());
+        let mut erasures = 0;
+        for &bit in &wire {
+            match self.send_symbol(mem, bit as u64) {
+                Ok(record) => received.push(Some(record.symbol == 1)),
+                Err(e) if e.is_transient() => {
+                    erasures += 1;
+                    received.push(None);
+                    // Re-arm: the shared counter is in an unknown state.
+                    policy.run(mem, |m| self.spy.reset(m, self.spy_core).map(|_| ()))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let report = codec.decode(&received, payload.len())?;
+        Ok(FramedOutcomeC { report, wire_bits: wire.len(), erasures, cycles: mem.now() - start })
     }
 }
 
@@ -172,10 +241,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds channel capacity")]
-    fn oversized_symbol_panics() {
+    fn oversized_symbols_are_an_error_not_a_panic() {
         let mut m = mem(3);
         let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
-        let _ = ch.transmit(&mut m, &[7]);
+        assert_eq!(
+            ch.transmit(&mut m, &[7]).unwrap_err(),
+            AttackError::InvalidParameter { what: "symbol exceeds channel capacity" }
+        );
+    }
+
+    #[test]
+    fn framed_transfer_round_trips_under_clean_conditions() {
+        let mut m = mem(3);
+        let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let payload: Vec<bool> = [1u8, 1, 0, 1, 0, 0, 0, 1].iter().map(|&b| b == 1).collect();
+        let out = ch
+            .transmit_framed(&mut m, &payload, &FrameCodec::new(3), &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(out.report.payload, payload, "report: {:?}", out.report);
+        assert_eq!(out.erasures, 0);
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::error::AttackError;
 use crate::metaleak_t::MetaLeakT;
+use crate::resilience::{DecodeReport, FrameCodec};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
@@ -20,6 +21,27 @@ pub struct BitRecord {
     pub boundary_latency: Cycles,
     /// Whether the boundary access was detected (window validity).
     pub boundary_ok: bool,
+}
+
+/// Result of an ECC-framed covert transmission.
+#[derive(Debug, Clone)]
+pub struct FramedOutcome {
+    /// The receiver-side decode report (payload, corrections, losses).
+    pub report: DecodeReport,
+    /// Wire bits actually pushed through the channel.
+    pub wire_bits: usize,
+    /// Wire bits the spy failed to observe (erasures after per-bit
+    /// failure — these abstain from the majority vote).
+    pub erasures: usize,
+    /// Total simulated cycles consumed.
+    pub cycles: Cycles,
+}
+
+impl FramedOutcome {
+    /// Payload-bit accuracy against the transmitted ground truth.
+    pub fn accuracy(&self, truth: &[bool]) -> f64 {
+        crate::timing::accuracy(&self.report.payload, truth)
+    }
 }
 
 /// Result of a covert transmission.
@@ -127,39 +149,88 @@ impl CovertChannelT {
         &self.tx
     }
 
-    fn trojan_access(mem: &mut SecureMemory, core: CoreId, block: u64) {
+    fn trojan_access(mem: &mut SecureMemory, core: CoreId, block: u64) -> Result<(), AttackError> {
         mem.flush_block(block);
-        mem.read(core, block).expect("trojan-owned block");
+        mem.read(core, block)?;
+        Ok(())
+    }
+
+    /// One bit window: spy evicts both shared nodes, the trojan encodes
+    /// the bit and marks the boundary, the spy reloads both.
+    fn transmit_one(&self, mem: &mut SecureMemory, bit: bool) -> Result<BitRecord, AttackError> {
+        // Spy: mEvict both shared nodes.
+        self.tx.evict(mem, self.spy_core)?;
+        self.boundary.evict(mem, self.spy_core)?;
+        // Trojan: encode the bit, then mark the window boundary.
+        if bit {
+            Self::trojan_access(mem, self.trojan_core, self.trojan_tx_block)?;
+        }
+        Self::trojan_access(mem, self.trojan_core, self.trojan_boundary_block)?;
+        // Spy: mReload both.
+        let tx_probe = self.tx.probe(mem, self.spy_core)?;
+        let boundary_probe = self.boundary.probe(mem, self.spy_core)?;
+        Ok(BitRecord {
+            bit: self.tx.classifier().is_fast(tx_probe.latency),
+            tx_latency: tx_probe.latency,
+            boundary_latency: boundary_probe.latency,
+            boundary_ok: self.boundary.classifier().is_fast(boundary_probe.latency),
+        })
     }
 
     /// Transmits `bits` from the trojan to the spy; returns the spy's
     /// decoding and the per-bit latency trace.
-    pub fn transmit(&self, mem: &mut SecureMemory, bits: &[bool]) -> CovertOutcome {
+    ///
+    /// # Errors
+    /// The raw channel has no redundancy: the first invalidated window
+    /// aborts the transmission with a transient error. See
+    /// [`CovertChannelT::transmit_framed`] for the fault-tolerant
+    /// variant.
+    pub fn transmit(
+        &self,
+        mem: &mut SecureMemory,
+        bits: &[bool],
+    ) -> Result<CovertOutcome, AttackError> {
         let start = mem.now();
         let mut decoded = Vec::with_capacity(bits.len());
         let mut records = Vec::with_capacity(bits.len());
         for &bit in bits {
-            // Spy: mEvict both shared nodes.
-            self.tx.evict(mem, self.spy_core);
-            self.boundary.evict(mem, self.spy_core);
-            // Trojan: encode the bit, then mark the window boundary.
-            if bit {
-                Self::trojan_access(mem, self.trojan_core, self.trojan_tx_block);
-            }
-            Self::trojan_access(mem, self.trojan_core, self.trojan_boundary_block);
-            // Spy: mReload both.
-            let tx_probe = self.tx.probe(mem, self.spy_core);
-            let boundary_probe = self.boundary.probe(mem, self.spy_core);
-            let decoded_bit = self.tx.classifier().is_fast(tx_probe.latency);
-            decoded.push(decoded_bit);
-            records.push(BitRecord {
-                bit: decoded_bit,
-                tx_latency: tx_probe.latency,
-                boundary_latency: boundary_probe.latency,
-                boundary_ok: self.boundary.classifier().is_fast(boundary_probe.latency),
-            });
+            let record = self.transmit_one(mem, bit)?;
+            decoded.push(record.bit);
+            records.push(record);
         }
-        CovertOutcome { decoded, records, cycles: mem.now() - start }
+        Ok(CovertOutcome { decoded, records, cycles: mem.now() - start })
+    }
+
+    /// Transmits `payload` inside ECC frames: each wire bit of the
+    /// Hamming-coded, repeated frame goes through one channel window;
+    /// windows invalidated by interference become erasures that abstain
+    /// from the majority vote instead of aborting the transfer.
+    ///
+    /// # Errors
+    /// Only permanent errors abort (planning, parameters); transient
+    /// window failures are absorbed by the framing.
+    pub fn transmit_framed(
+        &self,
+        mem: &mut SecureMemory,
+        payload: &[bool],
+        codec: &FrameCodec,
+    ) -> Result<FramedOutcome, AttackError> {
+        let start = mem.now();
+        let wire = codec.encode(payload);
+        let mut received: Vec<Option<bool>> = Vec::with_capacity(wire.len());
+        let mut erasures = 0;
+        for &bit in &wire {
+            match self.transmit_one(mem, bit) {
+                Ok(record) => received.push(Some(record.bit)),
+                Err(e) if e.is_transient() => {
+                    erasures += 1;
+                    received.push(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let report = codec.decode(&received, payload.len())?;
+        Ok(FramedOutcome { report, wire_bits: wire.len(), erasures, cycles: mem.now() - start })
     }
 }
 
@@ -184,9 +255,26 @@ mod tests {
         let ch = CovertChannelT::new(&mut m, CoreId(0), CoreId(1), 0, 100).unwrap();
         // The paper's Figure 11 pattern.
         let bits: Vec<bool> = [0u8, 1, 1, 0, 1, 0, 0, 1].iter().map(|&b| b == 1).collect();
-        let out = ch.transmit(&mut m, &bits);
+        let out = ch.transmit(&mut m, &bits).unwrap();
         assert_eq!(out.decoded, bits, "records: {:?}", out.records);
         assert!(out.records.iter().all(|r| r.boundary_ok), "boundary sync lost");
+    }
+
+    #[test]
+    fn framed_transfer_survives_sample_drops() {
+        use metaleak_sim::interference::{FaultKind, FaultPlan};
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
+            counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+            tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+        };
+        cfg.faults = FaultPlan::clean().seeded(91).with(FaultKind::SampleDrop { rate: 0.15 });
+        let mut m = SecureMemory::new(cfg);
+        let ch = CovertChannelT::new(&mut m, CoreId(0), CoreId(1), 0, 100).unwrap();
+        let payload: Vec<bool> = [1u8, 0, 1, 1, 0, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        let out = ch.transmit_framed(&mut m, &payload, &FrameCodec::new(3)).unwrap();
+        assert_eq!(out.report.payload, payload, "report: {:?}", out.report);
+        assert!(out.erasures > 0, "drops at 15% must have erased some windows");
     }
 
     #[test]
@@ -195,7 +283,7 @@ mod tests {
         let ch = CovertChannelT::new(&mut m, CoreId(0), CoreId(1), 0, 100).unwrap();
         let mut rng = SimRng::seed_from(42);
         let bits: Vec<bool> = (0..64).map(|_| rng.chance(0.5)).collect();
-        let out = ch.transmit(&mut m, &bits);
+        let out = ch.transmit(&mut m, &bits).unwrap();
         let acc = out.accuracy(&bits);
         assert!(acc >= 0.95, "covert-T accuracy {acc} < 0.95");
         assert!(out.bits_per_mcycle() > 0.0);

@@ -106,32 +106,38 @@ impl DualPageMonitor {
 
     /// Runs one observation window: mEvict both pages, let the victim
     /// act, mReload both pages.
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when either
+    /// monitor's round was disturbed by interference.
     pub fn window(
         &self,
         mem: &mut SecureMemory,
         core: CoreId,
         victim_action: impl FnOnce(&mut SecureMemory),
-    ) -> WindowSample {
-        self.a.evict(mem, core);
-        self.b.evict(mem, core);
+    ) -> Result<WindowSample, AttackError> {
+        self.a.evict(mem, core)?;
+        self.b.evict(mem, core)?;
         victim_action(mem);
-        let pa = self.a.probe(mem, core);
-        let pb = self.b.probe(mem, core);
-        WindowSample {
+        let pa = self.a.probe(mem, core)?;
+        let pb = self.b.probe(mem, core)?;
+        Ok(WindowSample {
             a_seen: self.a.classifier().is_fast(pa.latency),
             b_seen: self.b.classifier().is_fast(pb.latency),
             a_latency: pa.latency,
             b_latency: pb.latency,
-        }
+        })
     }
 }
 
 /// Reads a victim block in a way that reaches the LLC/memory
 /// controller (the threat-model assumption of §III: cache cleansing /
-/// enclave exits push victim state out of the private caches).
+/// enclave exits push victim state out of the private caches). This is
+/// victim-side code, not the attack runtime: an integrity abort here
+/// crashes the victim, so the panic models the right failure domain.
 pub fn victim_touch(mem: &mut SecureMemory, core: CoreId, block: u64) {
     mem.flush_block(block);
-    mem.read(core, block).expect("victim block in range");
+    mem.read(core, block).expect("victim aborts on integrity violation");
 }
 
 #[cfg(test)]
@@ -172,19 +178,21 @@ mod tests {
         let dual = DualPageMonitor::new(&mut m, core, a, b, 0).unwrap();
         let vc = CoreId(1);
         // Neither touched.
-        let s = dual.window(&mut m, core, |_| {});
+        let s = dual.window(&mut m, core, |_| {}).unwrap();
         assert!(!s.a_seen && !s.b_seen, "{s:?}");
         // Only A.
-        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, a));
+        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, a)).unwrap();
         assert!(s.a_seen && !s.b_seen, "{s:?}");
         // Only B.
-        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, b));
+        let s = dual.window(&mut m, core, |mm| victim_touch(mm, vc, b)).unwrap();
         assert!(!s.a_seen && s.b_seen, "{s:?}");
         // Both.
-        let s = dual.window(&mut m, core, |mm| {
-            victim_touch(mm, vc, a);
-            victim_touch(mm, vc, b);
-        });
+        let s = dual
+            .window(&mut m, core, |mm| {
+                victim_touch(mm, vc, a);
+                victim_touch(mm, vc, b);
+            })
+            .unwrap();
         assert!(s.a_seen && s.b_seen, "{s:?}");
     }
 

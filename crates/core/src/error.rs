@@ -28,28 +28,73 @@ pub enum AttackError {
         /// Writes attempted before giving up.
         writes_attempted: u64,
     },
+    /// Latency calibration could not separate the two bands (empty
+    /// sample sets, or no gap between the clusters).
+    CalibrationFailed,
+    /// A timing measurement cannot be trusted: the measuring context
+    /// was preempted mid-access, the probe sample was lost, or the
+    /// engine flagged the access. Transient — retry-able.
+    MeasurementInvalidated,
+    /// A bounded retry loop gave up without a valid measurement.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A caller-supplied parameter is outside the attack's operating
+    /// range (e.g. a covert symbol wider than the shared counter).
+    InvalidParameter {
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl AttackError {
+    /// True for errors a retry might cure (invalid measurements).
+    /// Planning and parameter errors are permanent: retrying the same
+    /// call can only fail the same way.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AttackError::MeasurementInvalidated)
+    }
 }
 
 impl fmt::Display for AttackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AttackError::InsufficientEvictionCandidates { needed, found } => write!(
-                f,
-                "eviction set needs {needed} conflicting blocks but only {found} exist"
-            ),
+            AttackError::InsufficientEvictionCandidates { needed, found } => {
+                write!(f, "eviction set needs {needed} conflicting blocks but only {found} exist")
+            }
             AttackError::LevelNotShareable { level } => {
                 write!(f, "tree level {level} is not shared across domains in this design")
             }
             AttackError::NoProbeBlock => write!(f, "no co-located probe block available"),
-            AttackError::OverflowImpractical { writes_attempted } => write!(
-                f,
-                "counter overflow not observed after {writes_attempted} writes"
-            ),
+            AttackError::OverflowImpractical { writes_attempted } => {
+                write!(f, "counter overflow not observed after {writes_attempted} writes")
+            }
+            AttackError::CalibrationFailed => {
+                write!(f, "latency calibration could not separate the two bands")
+            }
+            AttackError::MeasurementInvalidated => {
+                write!(f, "timing measurement invalidated by interference")
+            }
+            AttackError::RetriesExhausted { attempts } => {
+                write!(f, "no valid measurement after {attempts} attempts")
+            }
+            AttackError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
         }
     }
 }
 
 impl std::error::Error for AttackError {}
+
+/// An integrity violation surfacing mid-attack voids the measurement:
+/// the engine rejected the access, so no timing was observed. (Attacks
+/// only touch attacker-owned blocks; a tamper error here means the
+/// interference layer or a mitigation disturbed the walk.)
+impl From<metaleak_engine::secmem::SecureMemError> for AttackError {
+    fn from(_: metaleak_engine::secmem::SecureMemError) -> Self {
+        AttackError::MeasurementInvalidated
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -61,5 +106,27 @@ mod tests {
         assert!(e.to_string().contains("16"));
         assert!(AttackError::LevelNotShareable { level: 0 }.to_string().contains("level 0"));
         assert!(AttackError::OverflowImpractical { writes_attempted: 9 }.to_string().contains('9'));
+        assert!(AttackError::RetriesExhausted { attempts: 4 }.to_string().contains('4'));
+        assert!(AttackError::InvalidParameter { what: "symbol too wide" }
+            .to_string()
+            .contains("symbol too wide"));
+        assert!(!AttackError::CalibrationFailed.to_string().is_empty());
+        assert!(!AttackError::MeasurementInvalidated.to_string().is_empty());
+    }
+
+    #[test]
+    fn only_invalid_measurements_are_transient() {
+        assert!(AttackError::MeasurementInvalidated.is_transient());
+        assert!(!AttackError::CalibrationFailed.is_transient());
+        assert!(!AttackError::NoProbeBlock.is_transient());
+        assert!(!AttackError::RetriesExhausted { attempts: 1 }.is_transient());
+        assert!(!AttackError::InvalidParameter { what: "x" }.is_transient());
+    }
+
+    #[test]
+    fn engine_errors_convert_to_invalidated_measurements() {
+        use metaleak_engine::secmem::{SecureMemError, TamperKind};
+        let e: AttackError = SecureMemError::TamperDetected(TamperKind::DataMac).into();
+        assert_eq!(e, AttackError::MeasurementInvalidated);
     }
 }

@@ -11,8 +11,10 @@
 //!   latency storm of counter-overflow handling (§VI-B);
 //! - supporting primitives: latency classification ([`timing`]),
 //!   implicit-sharing arithmetic ([`sharing`]), indirect metadata
-//!   eviction ([`mevict`]), timed reloads ([`mreload`]) and
-//!   SGX-Step-style victim stepping ([`step`]).
+//!   eviction ([`mevict`]), timed reloads ([`mreload`]),
+//!   SGX-Step-style victim stepping ([`step`]) and the self-healing
+//!   runtime ([`resilience`]: bounded retries, drift-aware
+//!   recalibration, ECC framing).
 //!
 //! ```
 //! use metaleak_attacks::MetaLeakT;
@@ -31,7 +33,7 @@
 //! let sample = monitor.monitor(&mut mem, CoreId(0), |m| {
 //!     m.flush_block(victim_block);
 //!     m.read(CoreId(1), victim_block).unwrap();
-//! });
+//! })?;
 //! assert!(sample.accessed);
 //! # Ok::<(), metaleak_attacks::AttackError>(())
 //! ```
@@ -39,23 +41,25 @@
 #![warn(missing_docs)]
 
 pub mod covert_c;
-pub mod dual;
 pub mod covert_t;
+pub mod dual;
 pub mod error;
 pub mod metaleak_c;
 pub mod metaleak_t;
 pub mod mevict;
 pub mod mreload;
+pub mod resilience;
 pub mod sharing;
 pub mod step;
 pub mod timing;
 pub mod wqflush;
 
 pub use covert_c::{CovertChannelC, CovertOutcomeC};
-pub use dual::{find_partner_block, victim_touch, DualPageMonitor, WindowSample};
 pub use covert_t::{CovertChannelT, CovertOutcome};
+pub use dual::{find_partner_block, victim_touch, DualPageMonitor, WindowSample};
 pub use error::AttackError;
 pub use metaleak_c::{Bumper, MetaLeakC, OverflowProbe};
 pub use metaleak_t::{MetaLeakT, MonitorSample};
 pub use mevict::{CounterEvictor, MetaEvictor, TreeSetEvictor, VolumeEvictor};
+pub use resilience::{DecodeReport, DriftGuard, FrameCodec, RetryPolicy};
 pub use wqflush::WriteQueueFlusher;

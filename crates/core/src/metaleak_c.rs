@@ -66,12 +66,16 @@ impl Bumper {
     /// Performs one counter bump: a write that reaches the memory
     /// controller, followed by eviction pressure that drives the lazy
     /// update chain up to (but not including) the target node.
-    pub fn bump(&mut self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when the
+    /// engine rejects the write.
+    pub fn bump(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         let block = self.blocks[self.next];
         self.next = (self.next + 1) % self.blocks.len();
         let t0 = mem.now();
         let payload = [self.next as u8; 64];
-        mem.write_back(core, block, payload).expect("attacker-owned block");
+        mem.write_back(core, block, payload)?;
         mem.fence();
         // Eviction pressure: counter block first, then each tree level
         // below the target.
@@ -81,7 +85,7 @@ impl Bumper {
             let node = mem.tree().geometry().ancestor_at(cb, level);
             mem.force_tree_writeback(node);
         }
-        mem.now() - t0
+        Ok(mem.now() - t0)
     }
 }
 
@@ -119,11 +123,7 @@ impl MetaLeakC {
     ///   too wide to overflow in a bounded number of writes (e.g. the
     ///   56-bit monolithic counters of SGX, §VIII-B);
     /// - planning errors when the subtree has no attacker blocks.
-    pub fn new(
-        mem: &SecureMemory,
-        victim_block: u64,
-        level: u8,
-    ) -> Result<Self, AttackError> {
+    pub fn new(mem: &SecureMemory, victim_block: u64, level: u8) -> Result<Self, AttackError> {
         if level == 0 {
             return Err(AttackError::LevelNotShareable { level });
         }
@@ -189,16 +189,32 @@ impl MetaLeakC {
     /// Timed read probing for an ongoing subtree reset (mOverflow's
     /// observation step). The overflow storm occupies the DRAM banks,
     /// so the read's wait time reveals it.
-    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when the probe
+    /// read is rejected or its timing was invalidated by a preemption
+    /// gap (the wait-time signal is meaningless across a gap).
+    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         mem.flush_block(self.probe_block);
-        mem.read(core, self.probe_block).expect("attacker-owned probe").latency
+        let r = mem.read(core, self.probe_block)?;
+        if r.invalidated {
+            return Err(AttackError::MeasurementInvalidated);
+        }
+        Ok(r.latency)
     }
 
     /// One bump followed by a probe: returns the probe observation.
-    pub fn bump_and_probe(&mut self, mem: &mut SecureMemory, core: CoreId) -> OverflowProbe {
-        self.bumper.bump(mem, core);
-        let latency = self.probe(mem, core);
-        OverflowProbe { latency, overflowed: latency >= self.threshold }
+    ///
+    /// # Errors
+    /// Propagates bump/probe failures (transient).
+    pub fn bump_and_probe(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+    ) -> Result<OverflowProbe, AttackError> {
+        self.bumper.bump(mem, core)?;
+        let latency = self.probe(mem, core)?;
+        Ok(OverflowProbe { latency, overflowed: latency >= self.threshold })
     }
 
     /// Drives the counter to a known state by forcing an overflow
@@ -211,7 +227,7 @@ impl MetaLeakC {
     pub fn reset(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<u64, AttackError> {
         let cap = 2 * self.counter_max + 4;
         for i in 1..=cap {
-            if self.bump_and_probe(mem, core).overflowed {
+            if self.bump_and_probe(mem, core)?.overflowed {
                 return Ok(i);
             }
         }
@@ -222,15 +238,20 @@ impl MetaLeakC {
     /// `value - 1` additional bumps.
     ///
     /// # Errors
-    /// Propagates [`MetaLeakC::reset`] failures.
-    ///
-    /// # Panics
-    /// Panics if `value` is 0 or exceeds the counter maximum.
-    pub fn preset(&mut self, mem: &mut SecureMemory, core: CoreId, value: u64) -> Result<(), AttackError> {
-        assert!(value >= 1 && value <= self.counter_max, "preset value out of range");
+    /// [`AttackError::InvalidParameter`] if `value` is 0 or exceeds the
+    /// counter maximum; propagates [`MetaLeakC::reset`] failures.
+    pub fn preset(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        value: u64,
+    ) -> Result<(), AttackError> {
+        if value < 1 || value > self.counter_max {
+            return Err(AttackError::InvalidParameter { what: "preset value out of range" });
+        }
         self.reset(mem, core)?;
         for _ in 1..value {
-            self.bumper.bump(mem, core);
+            self.bumper.bump(mem, core)?;
         }
         Ok(())
     }
@@ -241,10 +262,14 @@ impl MetaLeakC {
     ///
     /// # Errors
     /// [`AttackError::OverflowImpractical`] if the cap is exhausted.
-    pub fn writes_until_overflow(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<u64, AttackError> {
+    pub fn writes_until_overflow(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+    ) -> Result<u64, AttackError> {
         let cap = self.counter_max + 2;
         for m in 1..=cap {
-            if self.bump_and_probe(mem, core).overflowed {
+            if self.bump_and_probe(mem, core)?.overflowed {
                 return Ok(m);
             }
         }
@@ -268,7 +293,7 @@ impl MetaLeakC {
         // attacker bump overflows.
         self.preset(mem, core, self.counter_max - 1)?;
         victim_action(mem);
-        let first = self.bump_and_probe(mem, core);
+        let first = self.bump_and_probe(mem, core)?;
         if first.overflowed {
             return Ok(true);
         }
@@ -290,10 +315,8 @@ impl MetaLeakC {
     /// bumps to overflow and returns the inferred victim write count.
     ///
     /// # Errors
-    /// Propagates preset/overflow failures.
-    ///
-    /// # Panics
-    /// Panics if `x_max` is 0 or does not fit the counter.
+    /// [`AttackError::InvalidParameter`] if `x_max` is 0 or does not
+    /// fit the counter; propagates preset/overflow failures.
     pub fn count_victim_writes(
         &mut self,
         mem: &mut SecureMemory,
@@ -301,7 +324,9 @@ impl MetaLeakC {
         x_max: u64,
         victim_action: impl FnOnce(&mut SecureMemory),
     ) -> Result<u64, AttackError> {
-        assert!(x_max >= 1 && x_max < self.counter_max, "x_max out of range");
+        if x_max < 1 || x_max >= self.counter_max {
+            return Err(AttackError::InvalidParameter { what: "x_max out of range" });
+        }
         let preset = self.counter_max + 1 - x_max;
         self.preset(mem, core, preset)?;
         victim_action(mem);
@@ -313,9 +338,11 @@ impl MetaLeakC {
 /// Drives one victim write that reaches the memory controller plus the
 /// lazy-update pressure of a realistically busy workload (the victim's
 /// own memory traffic evicts its metadata; modelled with the same
-/// forced-writeback primitive the attacker uses).
+/// forced-writeback primitive the attacker uses). Victim-side code: an
+/// integrity abort crashes the victim, so the panic models the right
+/// failure domain.
 pub fn victim_write(mem: &mut SecureMemory, core: CoreId, block: u64, chain_levels: u8, value: u8) {
-    mem.write_back(core, block, [value; 64]).expect("victim block in range");
+    mem.write_back(core, block, [value; 64]).expect("victim aborts on integrity violation");
     mem.fence();
     let cb = mem.counter_block_of(block);
     mem.force_counter_writeback(cb);
@@ -345,9 +372,9 @@ mod tests {
         let mut m = mem();
         let core = CoreId(0);
         let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
-        let before = m.tree().node_minor(atk.target(), atk.slot());
-        atk.bumper.bump(&mut m, core);
-        let after = m.tree().node_minor(atk.target(), atk.slot());
+        let before = m.tree().node_minor(atk.target(), atk.slot()).unwrap();
+        atk.bumper.bump(&mut m, core).unwrap();
+        let after = m.tree().node_minor(atk.target(), atk.slot()).unwrap();
         assert_eq!(after, before + 1, "one bump = one slot increment");
     }
 
@@ -355,9 +382,9 @@ mod tests {
     fn victim_write_increments_the_same_slot() {
         let mut m = mem();
         let mut_atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
-        let before = m.tree().node_minor(mut_atk.target(), mut_atk.slot());
+        let before = m.tree().node_minor(mut_atk.target(), mut_atk.slot()).unwrap();
         victim_write(&mut m, CoreId(1), VICTIM, 1, 9);
-        let after = m.tree().node_minor(mut_atk.target(), mut_atk.slot());
+        let after = m.tree().node_minor(mut_atk.target(), mut_atk.slot()).unwrap();
         assert_eq!(after, before + 1, "victim write shares the counter");
     }
 
@@ -369,7 +396,7 @@ mod tests {
         let mut spikes = 0;
         let mut quiet = 0;
         for _ in 0..10 {
-            let p = atk.bump_and_probe(&mut m, core);
+            let p = atk.bump_and_probe(&mut m, core).unwrap();
             if p.overflowed {
                 spikes += 1;
             } else {
@@ -387,7 +414,7 @@ mod tests {
         let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
         let writes = atk.reset(&mut m, core).unwrap();
         assert!(writes <= 8, "3-bit counter resets within 8 bumps, took {writes}");
-        assert_eq!(m.tree().node_minor(atk.target(), atk.slot()), 1, "post-reset state");
+        assert_eq!(m.tree().node_minor(atk.target(), atk.slot()), Some(1), "post-reset state");
     }
 
     #[test]
@@ -395,9 +422,8 @@ mod tests {
         let mut m = mem();
         let core = CoreId(0);
         let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
-        let wrote = atk
-            .detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 1, 1))
-            .unwrap();
+        let wrote =
+            atk.detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 1, 1)).unwrap();
         assert!(wrote, "victim write must be detected");
         let idle = atk.detect_write(&mut m, core, |_| {}).unwrap();
         assert!(!idle, "idle victim must not be detected");
@@ -420,7 +446,7 @@ mod tests {
         let core = CoreId(0);
         let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
         atk.reset(&mut m, core).unwrap(); // counter = 1
-        // "Trojan" sends symbol s = 4 via 4 victim bumps.
+                                          // "Trojan" sends symbol s = 4 via 4 victim bumps.
         for i in 0..4 {
             victim_write(&mut m, CoreId(1), VICTIM, 1, i);
         }
@@ -452,9 +478,8 @@ mod tests {
         let mut atk = MetaLeakC::new(&m, VICTIM, 2).unwrap();
         // Victim page and attacker pool are in different leaves but the
         // same L1 subtree.
-        let wrote = atk
-            .detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 2, 1))
-            .unwrap();
+        let wrote =
+            atk.detect_write(&mut m, core, |mm| victim_write(mm, CoreId(1), VICTIM, 2, 1)).unwrap();
         assert!(wrote);
         assert!(!atk.detect_write(&mut m, core, |_| {}).unwrap());
     }
@@ -462,10 +487,26 @@ mod tests {
     #[test]
     fn sgx_counters_are_impractical() {
         let m = SecureMemory::new(SecureConfig::sgx(4096));
-        assert!(matches!(
-            MetaLeakC::new(&m, 0, 1),
-            Err(AttackError::OverflowImpractical { .. })
-        ));
+        assert!(matches!(MetaLeakC::new(&m, 0, 1), Err(AttackError::OverflowImpractical { .. })));
+    }
+
+    #[test]
+    fn out_of_range_parameters_are_errors_not_panics() {
+        let mut m = mem();
+        let core = CoreId(0);
+        let mut atk = MetaLeakC::new(&m, VICTIM, 1).unwrap();
+        assert_eq!(
+            atk.preset(&mut m, core, 0).unwrap_err(),
+            AttackError::InvalidParameter { what: "preset value out of range" }
+        );
+        assert_eq!(
+            atk.preset(&mut m, core, atk.counter_max() + 1).unwrap_err(),
+            AttackError::InvalidParameter { what: "preset value out of range" }
+        );
+        assert_eq!(
+            atk.count_victim_writes(&mut m, core, 0, |_| {}).unwrap_err(),
+            AttackError::InvalidParameter { what: "x_max out of range" }
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::error::AttackError;
 use crate::mevict::MetaEvictor;
 use crate::mreload::{Probe, ProbeSample};
+use crate::resilience::{DriftGuard, RetryPolicy};
 use crate::sharing;
 use crate::timing::ThresholdClassifier;
 use metaleak_engine::secmem::SecureMemory;
@@ -88,7 +89,8 @@ impl MetaLeakT {
                 cb != probe_cb
                     && cb != victim_cb
                     && (level == 0
-                        || (geometry.leaf_of(cb) != probe_leaf && geometry.leaf_of(cb) != victim_leaf))
+                        || (geometry.leaf_of(cb) != probe_leaf
+                            && geometry.leaf_of(cb) != victim_leaf))
             })
             .ok_or(AttackError::NoProbeBlock)?;
         let helper_block = helper_cb * sharing::blocks_per_counter_block(mem);
@@ -101,7 +103,7 @@ impl MetaLeakT {
             evictor,
             classifier: ThresholdClassifier::with_threshold(Cycles::new(u64::MAX)),
         };
-        attack.calibrate(mem, core, calibration_rounds.max(1));
+        attack.calibrate(mem, core, calibration_rounds.max(1))?;
         Ok(attack)
     }
 
@@ -140,64 +142,152 @@ impl MetaLeakT {
 
     /// Re-calibrates the threshold: `rounds` probes with the target
     /// forced cached (via the attacker's own helper access) and
-    /// `rounds` with it evicted.
-    pub fn calibrate(&mut self, mem: &mut SecureMemory, core: CoreId, rounds: usize) {
+    /// `rounds` with it evicted. Individual rounds disturbed by
+    /// interference are retried with the default [`RetryPolicy`].
+    ///
+    /// # Errors
+    /// [`AttackError::CalibrationFailed`] when the two bands do not
+    /// separate; [`AttackError::RetriesExhausted`] when interference
+    /// never let a round complete.
+    pub fn calibrate(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        rounds: usize,
+    ) -> Result<(), AttackError> {
+        let policy = RetryPolicy::default();
         let mut fast = Vec::with_capacity(rounds);
         let mut slow = Vec::with_capacity(rounds);
+        // The retry unit is the whole evict->(helper)->probe sequence:
+        // a dropped probe sample leaves the probe's own metadata warm,
+        // so re-reading without re-evicting would always look fast.
         for _ in 0..rounds {
-            self.evictor.evict(mem, core);
             // "Victim accessed": the helper loads the target node.
-            mem.flush_block(self.helper_block);
-            mem.read(core, self.helper_block).expect("attacker-owned helper");
-            fast.push(self.probe.reload(mem, core).latency);
+            let f = policy.run(mem, |m| {
+                self.evictor.evict(m, core)?;
+                m.flush_block(self.helper_block);
+                m.read(core, self.helper_block)?;
+                self.probe.reload(m, core)
+            })?;
+            fast.push(f.latency);
 
-            self.evictor.evict(mem, core);
             // "Victim idle": nothing reloads the target.
-            slow.push(self.probe.reload(mem, core).latency);
+            let sl = policy.run(mem, |m| {
+                self.evictor.evict(m, core)?;
+                self.probe.reload(m, core)
+            })?;
+            slow.push(sl.latency);
         }
-        self.classifier = ThresholdClassifier::calibrate(&fast, &slow);
+        self.classifier = ThresholdClassifier::calibrate(&fast, &slow)?;
+        Ok(())
     }
 
     /// Runs the mEvict step alone (used by protocols that interleave
     /// several monitors, e.g. the covert channel's two sets).
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when a drive
+    /// access is rejected.
+    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         self.evictor.evict(mem, core)
     }
 
     /// Runs the mReload step alone.
-    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> ProbeSample {
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when the
+    /// sample was invalidated or dropped.
+    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Result<ProbeSample, AttackError> {
         self.probe.reload(mem, core)
     }
 
     /// Runs one monitoring round: mEvict, let the victim act, mReload.
     /// `victim_action` receives the shared memory (the victim may or
     /// may not touch the monitored page inside it).
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when the round
+    /// was disturbed; see [`MetaLeakT::monitor_resilient`] for the
+    /// self-healing variant.
     pub fn monitor(
         &self,
         mem: &mut SecureMemory,
         core: CoreId,
         victim_action: impl FnOnce(&mut SecureMemory),
-    ) -> MonitorSample {
-        let mut round = self.evictor.evict(mem, core);
+    ) -> Result<MonitorSample, AttackError> {
+        let mut round = self.evictor.evict(mem, core)?;
         victim_action(mem);
-        let probe = self.probe.reload(mem, core);
+        let probe = self.probe.reload(mem, core)?;
         round += probe.latency;
-        MonitorSample {
+        Ok(MonitorSample {
             accessed: self.classifier.is_fast(probe.latency),
             probe,
             round_cycles: round,
+        })
+    }
+
+    /// The self-healing monitoring round: the mEvict and mReload steps
+    /// are retried under `policy` (the victim action runs exactly once,
+    /// between them), every observed latency feeds `guard`, and when
+    /// the guard reports classifier drift the threshold is re-learned —
+    /// first by re-splitting the guard's sample window, falling back to
+    /// a full [`MetaLeakT::calibrate`] when the window will not split.
+    ///
+    /// # Errors
+    /// [`AttackError::RetriesExhausted`] when interference never let a
+    /// step complete; recalibration errors propagate.
+    pub fn monitor_resilient(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        guard: &mut DriftGuard,
+        policy: &RetryPolicy,
+        victim_action: impl FnOnce(&mut SecureMemory),
+    ) -> Result<MonitorSample, AttackError> {
+        let mut round = self.evictor.evict_with_retry(mem, core, policy)?;
+        victim_action(mem);
+        let probe = match self.probe.reload(mem, core) {
+            Ok(p) => p,
+            Err(e) if e.is_transient() => {
+                // The in-flight measurement is lost and the dropped
+                // read warmed the probe's own metadata. Re-establish
+                // the evicted precondition and measure again; the
+                // victim evidence from this window may be lost with it.
+                policy.run(mem, |m| {
+                    self.evictor.evict(m, core)?;
+                    self.probe.reload(m, core)
+                })?
+            }
+            Err(e) => return Err(e),
+        };
+        round += probe.latency;
+        let accessed = self.classifier.is_fast(probe.latency);
+        if guard.observe(probe.latency, &self.classifier) {
+            match guard.recalibrate() {
+                Ok(c) => self.classifier = c,
+                Err(_) => self.calibrate(mem, core, 4)?,
+            }
         }
+        Ok(MonitorSample { accessed, probe, round_cycles: round })
     }
 
     /// Average mEvict+mReload interval in cycles over `rounds` idle
     /// rounds (the temporal-resolution metric of Figure 12).
-    pub fn measure_interval(&self, mem: &mut SecureMemory, core: CoreId, rounds: usize) -> f64 {
+    ///
+    /// # Errors
+    /// Propagates disturbed rounds; see [`MetaLeakT::monitor`].
+    pub fn measure_interval(
+        &self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        rounds: usize,
+    ) -> Result<f64, AttackError> {
         let mut total = 0u64;
         for _ in 0..rounds.max(1) {
-            let s = self.monitor(mem, core, |_| {});
+            let s = self.monitor(mem, core, |_| {})?;
             total += s.round_cycles.as_u64();
         }
-        total as f64 / rounds.max(1) as f64
+        Ok(total as f64 / rounds.max(1) as f64)
     }
 
     /// Bytes of victim data covered by the monitored node (the spatial
@@ -241,10 +331,10 @@ mod tests {
         let victim_block = 100 * 64;
         let atk = MetaLeakT::new(&mut m, core, victim_block, 0, 6).unwrap();
         // Victim accesses: detected.
-        let hit = atk.monitor(&mut m, core, victim_read(victim_block));
+        let hit = atk.monitor(&mut m, core, victim_read(victim_block)).unwrap();
         assert!(hit.accessed, "access must be detected ({:?})", hit.probe);
         // Victim idle: not detected.
-        let idle = atk.monitor(&mut m, core, |_| {});
+        let idle = atk.monitor(&mut m, core, |_| {}).unwrap();
         assert!(!idle.accessed, "idle must not be detected ({:?})", idle.probe);
     }
 
@@ -259,11 +349,13 @@ mod tests {
         let decoded: Vec<bool> = truth
             .iter()
             .map(|&bit| {
-                let s = atk.monitor(&mut m, core, |mm| {
-                    if bit {
-                        victim_read(victim_block)(mm);
-                    }
-                });
+                let s = atk
+                    .monitor(&mut m, core, |mm| {
+                        if bit {
+                            victim_read(victim_block)(mm);
+                        }
+                    })
+                    .unwrap();
                 s.accessed
             })
             .collect();
@@ -279,7 +371,7 @@ mod tests {
         let atk0 = MetaLeakT::new(&mut m, core, victim_block, 0, 4).unwrap();
         let atk1 = MetaLeakT::new(&mut m, core, victim_block, 1, 4).unwrap();
         assert!(atk1.coverage_bytes(&m) > atk0.coverage_bytes(&m));
-        let s = atk1.monitor(&mut m, core, victim_read(victim_block));
+        let s = atk1.monitor(&mut m, core, victim_read(victim_block)).unwrap();
         assert!(s.accessed, "L1 monitor must see the access");
     }
 
@@ -302,11 +394,41 @@ mod tests {
     }
 
     #[test]
+    fn resilient_monitor_survives_sample_drops() {
+        use metaleak_sim::interference::{FaultKind, FaultPlan};
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
+            counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+            tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+        };
+        cfg.faults = FaultPlan::clean().seeded(23).with(FaultKind::SampleDrop { rate: 0.15 });
+        let mut m = SecureMemory::new(cfg);
+        let core = CoreId(0);
+        let victim_block = 100 * 64;
+        let mut atk = MetaLeakT::new(&mut m, core, victim_block, 0, 6).unwrap();
+        let mut guard = DriftGuard::new(32);
+        let policy = RetryPolicy::new(16, Cycles::new(64));
+        let mut hits = 0;
+        for i in 0..20 {
+            let want = i % 2 == 0;
+            let s = atk
+                .monitor_resilient(&mut m, core, &mut guard, &policy, |mm| {
+                    if want {
+                        victim_read(victim_block)(mm);
+                    }
+                })
+                .unwrap();
+            hits += (s.accessed == want) as u32;
+        }
+        assert!(hits >= 16, "only {hits}/20 rounds decoded under drops");
+    }
+
+    #[test]
     fn interval_grows_available() {
         let mut m = mem();
         let core = CoreId(0);
         let atk = MetaLeakT::new(&mut m, core, 100 * 64, 0, 2).unwrap();
-        let interval = atk.measure_interval(&mut m, core, 5);
+        let interval = atk.measure_interval(&mut m, core, 5).unwrap();
         assert!(interval > 0.0);
     }
 }

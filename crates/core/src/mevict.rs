@@ -33,11 +33,7 @@ impl CounterEvictor {
     /// # Errors
     /// Fails when the protected region is too small to supply enough
     /// conflicting counter blocks.
-    pub fn plan(
-        mem: &SecureMemory,
-        target_cb: u64,
-        avoid: &[NodeId],
-    ) -> Result<Self, AttackError> {
+    pub fn plan(mem: &SecureMemory, target_cb: u64, avoid: &[NodeId]) -> Result<Self, AttackError> {
         let sets = {
             // Derive the set count from two congruent indices.
             mem_counter_sets(mem)
@@ -72,13 +68,17 @@ impl CounterEvictor {
     }
 
     /// Runs the eviction accesses. Returns the cycles spent.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// [`AttackError::MeasurementInvalidated`] when the engine rejects
+    /// a drive access (interference disturbed the walk); transient.
+    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.blocks {
             spent += mem.flush_block(b);
-            spent += mem.read(core, b).expect("attacker-owned block").latency;
+            spent += mem.read(core, b)?.latency;
         }
-        spent
+        Ok(spent)
     }
 }
 
@@ -157,13 +157,17 @@ impl TreeSetEvictor {
     }
 
     /// Runs one eviction round. Returns the cycles spent.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// [`AttackError::MeasurementInvalidated`] when the engine rejects
+    /// a drive access (interference disturbed the walk); transient.
+    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.driver_blocks {
             spent += mem.flush_block(b);
-            spent += mem.read(core, b).expect("attacker-owned block").latency;
+            spent += mem.read(core, b)?.latency;
         }
-        spent
+        Ok(spent)
     }
 }
 
@@ -208,9 +212,7 @@ impl MetaEvictor {
         // Nodes whose caching state must never be refreshed by drivers:
         // the target, its parent (kept evicted for band separation) and
         // any cooperating monitors' nodes.
-        let parent = geometry
-            .parent(target)
-            .filter(|p| !geometry.is_root(*p));
+        let parent = geometry.parent(target).filter(|p| !geometry.is_root(*p));
         let mut guard: Vec<NodeId> = vec![target];
         guard.extend(parent);
         guard.extend_from_slice(extra_avoid);
@@ -244,15 +246,35 @@ impl MetaEvictor {
     /// Runs one full mEvict round. After this, the target node, the
     /// below-target path nodes and the watched counter blocks are
     /// (with high probability) absent from the metadata caches.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// Propagates transient drive-access failures of the component
+    /// evictors; see [`MetaEvictor::evict_with_retry`].
+    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for c in &self.counters {
-            spent += c.evict(mem, core);
+            spent += c.evict(mem, core)?;
         }
         for t in &self.tree {
-            spent += t.evict(mem, core);
+            spent += t.evict(mem, core)?;
         }
-        spent
+        Ok(spent)
+    }
+
+    /// [`MetaEvictor::evict`] wrapped in a bounded retry loop: if a
+    /// round is disturbed mid-way it is re-driven from the top (a
+    /// partial round leaves a strictly more-evicted cache, so repeats
+    /// are safe).
+    ///
+    /// # Errors
+    /// [`AttackError::RetriesExhausted`] when every attempt failed.
+    pub fn evict_with_retry(
+        &self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        policy: &crate::resilience::RetryPolicy,
+    ) -> Result<Cycles, AttackError> {
+        policy.run(mem, |m| self.evict(m, core))
     }
 }
 
@@ -307,13 +329,17 @@ impl VolumeEvictor {
     }
 
     /// Runs the flood. Returns the cycles spent.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Cycles {
+    ///
+    /// # Errors
+    /// [`AttackError::MeasurementInvalidated`] when the engine rejects
+    /// a flood access (interference disturbed the walk); transient.
+    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.blocks {
             spent += mem.flush_block(b);
-            spent += mem.read(core, b).expect("attacker-owned block").latency;
+            spent += mem.read(core, b)?.latency;
         }
-        spent
+        Ok(spent)
     }
 }
 
@@ -358,7 +384,7 @@ mod tests {
         m.read(core, victim_block).unwrap();
         assert!(m.tree_node_cached(target), "victim access caches its leaf");
         let ev = TreeSetEvictor::plan(&m, target).unwrap();
-        ev.evict(&mut m, core);
+        ev.evict(&mut m, core).unwrap();
         assert!(!m.tree_node_cached(target), "mEvict must displace the leaf");
     }
 
@@ -399,7 +425,7 @@ mod tests {
         m.read(core, victim_block).unwrap();
         assert!(m.counter_cached(victim_block));
         let ev = CounterEvictor::plan(&m, cb, &[]).unwrap();
-        ev.evict(&mut m, core);
+        ev.evict(&mut m, core).unwrap();
         assert!(!m.counter_cached(victim_block), "counter must be evicted");
     }
 
@@ -417,7 +443,7 @@ mod tests {
             m.read(core, victim_block).unwrap();
             assert!(m.tree_node_cached(target), "round {round}: victim loads leaf");
             // ...and every round the evictor displaces it again.
-            ev.evict(&mut m, core);
+            ev.evict(&mut m, core).unwrap();
             assert!(!m.tree_node_cached(target), "round {round}: eviction failed");
             assert!(!m.counter_cached(victim_block), "round {round}: victim cb cached");
         }
@@ -436,7 +462,7 @@ mod tests {
         m.read(core, victim_block).unwrap();
         assert!(m.tree_node_cached(target));
         let ev = VolumeEvictor::plan(&m, 400, &[target]).unwrap();
-        ev.evict(&mut m, core);
+        ev.evict(&mut m, core).unwrap();
         assert!(!m.tree_node_cached(target), "volume eviction failed");
         // And the victim's counter went with it.
         assert!(!m.counter_cached(victim_block));

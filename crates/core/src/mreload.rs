@@ -1,9 +1,12 @@
 //! mReload: inferring the caching state of a shared tree node from the
 //! timed reload of a co-located probe data block (§VI-A, step 3).
 
+use crate::error::AttackError;
+use crate::resilience::RetryPolicy;
 use metaleak_engine::secmem::{AccessPath, SecureMemory};
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::interference::SampleFate;
 
 /// One probe observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +16,9 @@ pub struct ProbeSample {
     /// Ground-truth path (visible to the simulator, not to a real
     /// attacker; used for oracle comparisons and debugging).
     pub oracle_path: AccessPath,
+    /// True when this sample is a duplicated (stale) re-read injected
+    /// by the interference layer rather than a fresh measurement.
+    pub stale: bool,
 }
 
 impl ProbeSample {
@@ -46,10 +52,47 @@ impl Probe {
     /// Flushes the probe's data block and times its reload. The
     /// reload's verification walk stops at the first cached ancestor,
     /// so the latency encodes the monitored node's caching state.
-    pub fn reload(&self, mem: &mut SecureMemory, core: CoreId) -> ProbeSample {
+    ///
+    /// # Errors
+    /// [`AttackError::MeasurementInvalidated`] when the measurement
+    /// cannot be trusted: a preemption gap overlapped the access, or
+    /// the interference layer dropped the sample before the attacker
+    /// could record it. Both are transient — see
+    /// [`Probe::reload_with_retry`].
+    pub fn reload(&self, mem: &mut SecureMemory, core: CoreId) -> Result<ProbeSample, AttackError> {
         mem.flush_block(self.block);
-        let r = mem.read(core, self.block).expect("attacker-owned probe block");
-        ProbeSample { latency: r.latency, oracle_path: r.path }
+        let r = mem.read(core, self.block)?;
+        if r.invalidated {
+            return Err(AttackError::MeasurementInvalidated);
+        }
+        match mem.interference_mut().sample_fate() {
+            SampleFate::Drop => Err(AttackError::MeasurementInvalidated),
+            SampleFate::Duplicate => {
+                // The sampling pipeline latched the slot twice: the
+                // attacker observes a second, now-warm read instead of
+                // the timing it wanted.
+                let stale = mem.read(core, self.block)?;
+                Ok(ProbeSample { latency: stale.latency, oracle_path: stale.path, stale: true })
+            }
+            SampleFate::Keep => {
+                Ok(ProbeSample { latency: r.latency, oracle_path: r.path, stale: false })
+            }
+        }
+    }
+
+    /// [`Probe::reload`] wrapped in a bounded retry loop: transient
+    /// invalidations are retried with backoff.
+    ///
+    /// # Errors
+    /// [`AttackError::RetriesExhausted`] when every attempt was
+    /// invalidated; permanent errors propagate unchanged.
+    pub fn reload_with_retry(
+        &self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+        policy: &RetryPolicy,
+    ) -> Result<ProbeSample, AttackError> {
+        policy.run(mem, |m| self.reload(m, core))
     }
 }
 
@@ -57,6 +100,7 @@ impl Probe {
 mod tests {
     use super::*;
     use metaleak_engine::config::SecureConfig;
+    use metaleak_sim::interference::{FaultKind, FaultPlan};
 
     fn mem() -> SecureMemory {
         let mut cfg = SecureConfig::sct(16384);
@@ -70,10 +114,11 @@ mod tests {
         let core = CoreId(0);
         let probe = Probe::new(100 * 64);
         // Cold: full walk.
-        let cold = probe.reload(&mut m, core);
+        let cold = probe.reload(&mut m, core).unwrap();
         assert!(cold.oracle_path.walked_tree());
+        assert!(!cold.stale);
         // Warm metadata (counter now cached): faster path.
-        let warm = probe.reload(&mut m, core);
+        let warm = probe.reload(&mut m, core).unwrap();
         assert_eq!(warm.oracle_path, AccessPath::CounterHit);
         assert!(warm.latency < cold.latency);
     }
@@ -81,8 +126,42 @@ mod tests {
     #[test]
     fn oracle_depth_reports_loaded_levels() {
         let mut m = mem();
-        let s = Probe::new(0).reload(&mut m, CoreId(0));
+        let s = Probe::new(0).reload(&mut m, CoreId(0)).unwrap();
         let depth = s.oracle_walk_depth().expect("cold probe walks");
         assert!(depth >= 1);
+    }
+
+    #[test]
+    fn dropped_samples_surface_as_transient_errors() {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.sim.noise_sd = 0.0;
+        cfg.faults = FaultPlan::clean().seeded(7).with(FaultKind::SampleDrop { rate: 1.0 });
+        let mut m = SecureMemory::new(cfg);
+        let err = Probe::new(0).reload(&mut m, CoreId(0)).unwrap_err();
+        assert_eq!(err, AttackError::MeasurementInvalidated);
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn duplicated_samples_are_marked_stale() {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.sim.noise_sd = 0.0;
+        cfg.faults = FaultPlan::clean().seeded(7).with(FaultKind::SampleDuplicate { rate: 1.0 });
+        let mut m = SecureMemory::new(cfg);
+        let s = Probe::new(0).reload(&mut m, CoreId(0)).unwrap();
+        assert!(s.stale);
+    }
+
+    #[test]
+    fn retry_outlasts_intermittent_preemption() {
+        let mut cfg = SecureConfig::sct(16384);
+        cfg.sim.noise_sd = 0.0;
+        cfg.faults = FaultPlan::clean().seeded(11).with(FaultKind::SampleDrop { rate: 0.5 });
+        let mut m = SecureMemory::new(cfg);
+        let policy = RetryPolicy::new(16, Cycles::new(64));
+        let probe = Probe::new(0);
+        for _ in 0..20 {
+            probe.reload_with_retry(&mut m, CoreId(0), &policy).unwrap();
+        }
     }
 }

@@ -1,0 +1,462 @@
+//! Self-healing attack runtime: bounded retry with backoff, drift-aware
+//! threshold recalibration, and ECC framing (majority vote over
+//! (7,4)-Hamming codewords) for the covert channels.
+//!
+//! Under the adversarial interference of
+//! [`metaleak_sim::interference`], individual measurements get
+//! invalidated (preemption), lost (sample drops) or pushed across the
+//! decision threshold (jitter, co-runner bursts, DVFS drift). The
+//! pieces here let the attacks degrade gracefully instead of failing:
+//! transient errors are retried with backoff, classifier drift is
+//! detected and cured by re-splitting recent samples, and covert
+//! payloads ride inside redundant frames whose bit-error rate shrinks
+//! combinatorially with the repeat count.
+
+use crate::error::AttackError;
+use crate::timing::{split_two_clusters, ThresholdClassifier};
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::clock::Cycles;
+
+// ---------------------------------------------------------------------
+// Bounded retry with backoff.
+// ---------------------------------------------------------------------
+
+/// A bounded retry loop with exponential backoff in simulated time.
+/// Only transient errors ([`AttackError::is_transient`]) are retried;
+/// permanent errors propagate immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (>= 1) before giving up.
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt; doubles per retry. The
+    /// wait is spent via [`SecureMemory::advance_time`], modelling the
+    /// attacker yielding until the disturbance passes.
+    pub backoff: Cycles,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff: Cycles::new(256) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with explicit bounds. `max_attempts` is clamped to at
+    /// least 1.
+    pub fn new(max_attempts: u32, backoff: Cycles) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), backoff }
+    }
+
+    /// Runs `op` until it succeeds, a permanent error occurs, or the
+    /// attempt budget is spent.
+    ///
+    /// # Errors
+    /// The first permanent error, or
+    /// [`AttackError::RetriesExhausted`] after `max_attempts` transient
+    /// failures.
+    pub fn run<T>(
+        &self,
+        mem: &mut SecureMemory,
+        mut op: impl FnMut(&mut SecureMemory) -> Result<T, AttackError>,
+    ) -> Result<T, AttackError> {
+        let attempts = self.max_attempts.max(1);
+        let mut wait = self.backoff;
+        for attempt in 1..=attempts {
+            match op(mem) {
+                Ok(v) => return Ok(v),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(_) if attempt < attempts => {
+                    mem.advance_time(wait);
+                    wait = Cycles::new(wait.as_u64().saturating_mul(2));
+                }
+                Err(_) => {}
+            }
+        }
+        Err(AttackError::RetriesExhausted { attempts })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Classifier drift detection and recalibration.
+// ---------------------------------------------------------------------
+
+/// Tracks running classification confidence and detects threshold
+/// drift. Each observed probe latency contributes a confidence score —
+/// its distance from the threshold relative to the spread of recent
+/// samples. When the exponentially-weighted confidence decays below the
+/// floor (latencies crowding the threshold: the calibrated gap has
+/// drifted shut), the tracker re-splits its sample window into two
+/// clusters and yields a fresh threshold.
+#[derive(Debug, Clone)]
+pub struct DriftGuard {
+    window: Vec<Cycles>,
+    capacity: usize,
+    next: usize,
+    confidence: f64,
+    alpha: f64,
+    floor: f64,
+}
+
+impl DriftGuard {
+    /// A guard remembering the last `capacity` samples (clamped to at
+    /// least 8). The confidence EWMA starts at 1.0 (fully trusted
+    /// post-calibration) with smoothing 0.1 and recalibration floor 0.4.
+    pub fn new(capacity: usize) -> Self {
+        DriftGuard {
+            window: Vec::new(),
+            capacity: capacity.max(8),
+            next: 0,
+            confidence: 1.0,
+            alpha: 0.1,
+            floor: 0.4,
+        }
+    }
+
+    /// Current confidence in `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The retained sample window (insertion order not preserved).
+    pub fn samples(&self) -> &[Cycles] {
+        &self.window
+    }
+
+    /// Records one probe latency classified by `classifier`. Returns
+    /// true when confidence has decayed enough that the caller should
+    /// [`DriftGuard::recalibrate`].
+    pub fn observe(&mut self, latency: Cycles, classifier: &ThresholdClassifier) -> bool {
+        if self.window.len() < self.capacity {
+            self.window.push(latency);
+        } else {
+            self.window[self.next] = latency;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        let spread = {
+            let min = self.window.iter().min().copied().unwrap_or(Cycles::ZERO);
+            let max = self.window.iter().max().copied().unwrap_or(Cycles::ZERO);
+            (max.as_u64() - min.as_u64()).max(1)
+        };
+        let margin = latency.as_u64().abs_diff(classifier.threshold().as_u64());
+        let score = ((2.0 * margin as f64) / spread as f64).clamp(0.0, 1.0);
+        self.confidence = (1.0 - self.alpha) * self.confidence + self.alpha * score;
+        self.window.len() >= self.capacity.min(16) && self.confidence < self.floor
+    }
+
+    /// Re-splits the sample window into two clusters and returns the
+    /// fresh classifier, restoring full confidence.
+    ///
+    /// # Errors
+    /// [`AttackError::CalibrationFailed`] when the window holds fewer
+    /// than two samples (nothing to split).
+    pub fn recalibrate(&mut self) -> Result<ThresholdClassifier, AttackError> {
+        let classifier = split_two_clusters(&self.window).ok_or(AttackError::CalibrationFailed)?;
+        self.confidence = 1.0;
+        Ok(classifier)
+    }
+}
+
+// ---------------------------------------------------------------------
+// (7,4)-Hamming ECC + majority-vote framing.
+// ---------------------------------------------------------------------
+
+/// Encodes a 4-bit nibble into a 7-bit Hamming codeword
+/// `[p1 p2 d1 p3 d2 d3 d4]` (parity positions 1, 2, 4).
+pub fn hamming_encode_nibble(nibble: u8) -> u8 {
+    let d = [nibble >> 3 & 1, nibble >> 2 & 1, nibble >> 1 & 1, nibble & 1];
+    let p1 = d[0] ^ d[1] ^ d[3];
+    let p2 = d[0] ^ d[2] ^ d[3];
+    let p3 = d[1] ^ d[2] ^ d[3];
+    p1 << 6 | p2 << 5 | d[0] << 4 | p3 << 3 | d[1] << 2 | d[2] << 1 | d[3]
+}
+
+/// Decodes a 7-bit Hamming codeword, correcting up to one flipped bit.
+/// Returns `(nibble, corrected)`.
+pub fn hamming_decode_nibble(codeword: u8) -> (u8, bool) {
+    let bit = |pos: u32| codeword >> (7 - pos) & 1; // 1-indexed positions
+    let s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+    let s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+    let s3 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+    let syndrome = (s3 << 2 | s2 << 1 | s1) as u32;
+    let fixed = if syndrome == 0 { codeword } else { codeword ^ (1 << (7 - syndrome)) };
+    let b = |pos: u32| fixed >> (7 - pos) & 1;
+    (b(3) << 3 | b(5) << 2 | b(6) << 1 | b(7), syndrome != 0)
+}
+
+/// What the receiver recovered from one framed transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Recovered payload bits (exactly the requested length; lost
+    /// positions decode as `false`).
+    pub payload: Vec<bool>,
+    /// Codewords where the Hamming stage corrected a bit flip.
+    pub corrected_codewords: usize,
+    /// Codewords containing at least one erased slot (every repeat of
+    /// that wire bit was dropped) — their nibbles are best-effort.
+    pub lost_codewords: usize,
+    /// Total codewords in the frame.
+    pub total_codewords: usize,
+}
+
+impl DecodeReport {
+    /// True when nothing was erased (all losses were recoverable).
+    pub fn complete(&self) -> bool {
+        self.lost_codewords == 0
+    }
+}
+
+/// Majority-vote + (7,4)-Hamming framing for covert payloads.
+///
+/// Encoding: the payload is chunked into nibbles, each Hamming-encoded
+/// to 7 wire bits, and every wire bit is repeated `repeats` times
+/// back-to-back. Decoding majority-votes each group of repeats (erased
+/// slots abstain), then Hamming-corrects each codeword. A single
+/// surviving repeat still yields the bit; a single flipped codeword bit
+/// is corrected — so the framed bit-error rate falls combinatorially
+/// while the raw channel's stays linear in the fault intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCodec {
+    repeats: usize,
+}
+
+impl FrameCodec {
+    /// A codec repeating each wire bit `repeats` times (forced odd and
+    /// at least 1 so votes cannot tie).
+    pub fn new(repeats: usize) -> Self {
+        FrameCodec { repeats: repeats.max(1) | 1 }
+    }
+
+    /// The per-bit repeat count.
+    pub fn repeats(&self) -> usize {
+        self.repeats
+    }
+
+    /// Wire bits needed for a `payload_len`-bit payload.
+    pub fn wire_len(&self, payload_len: usize) -> usize {
+        payload_len.div_ceil(4) * 7 * self.repeats
+    }
+
+    /// Encodes payload bits into wire bits.
+    pub fn encode(&self, payload: &[bool]) -> Vec<bool> {
+        let mut wire = Vec::with_capacity(self.wire_len(payload.len()));
+        for chunk in payload.chunks(4) {
+            let mut nibble = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                nibble |= (b as u8) << (3 - i);
+            }
+            let cw = hamming_encode_nibble(nibble);
+            for pos in (0..7).rev() {
+                let bit = cw >> pos & 1 == 1;
+                for _ in 0..self.repeats {
+                    wire.push(bit);
+                }
+            }
+        }
+        wire
+    }
+
+    /// Decodes received wire slots back into `payload_len` bits.
+    /// `None` slots are erasures (dropped samples that retries could
+    /// not recover); they abstain from the vote and are reported — not
+    /// panicked on — when a whole vote group is erased.
+    ///
+    /// # Errors
+    /// [`AttackError::InvalidParameter`] when `received` is shorter
+    /// than the frame needs (the transmission was truncated).
+    pub fn decode(
+        &self,
+        received: &[Option<bool>],
+        payload_len: usize,
+    ) -> Result<DecodeReport, AttackError> {
+        let need = self.wire_len(payload_len);
+        if received.len() < need {
+            return Err(AttackError::InvalidParameter {
+                what: "received frame shorter than the encoded payload",
+            });
+        }
+        let total_codewords = payload_len.div_ceil(4);
+        let mut payload = Vec::with_capacity(payload_len);
+        let mut corrected_codewords = 0;
+        let mut lost_codewords = 0;
+        for cw_idx in 0..total_codewords {
+            let mut codeword = 0u8;
+            let mut erased = false;
+            for bit_idx in 0..7 {
+                let base = (cw_idx * 7 + bit_idx) * self.repeats;
+                let group = &received[base..base + self.repeats];
+                let ones = group.iter().flatten().filter(|&&b| b).count();
+                let valid = group.iter().flatten().count();
+                if valid == 0 {
+                    erased = true; // abstention everywhere: bit unknown
+                }
+                let bit = valid > 0 && ones * 2 > valid;
+                codeword = codeword << 1 | bit as u8;
+            }
+            let (nibble, corrected) = hamming_decode_nibble(codeword);
+            if corrected {
+                corrected_codewords += 1;
+            }
+            if erased {
+                lost_codewords += 1;
+            }
+            for i in 0..4 {
+                if payload.len() < payload_len {
+                    payload.push(nibble >> (3 - i) & 1 == 1);
+                }
+            }
+        }
+        Ok(DecodeReport { payload, corrected_codewords, lost_codewords, total_codewords })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_engine::config::SecureConfig;
+    use metaleak_sim::rng::SimRng;
+
+    #[test]
+    fn hamming_round_trips_all_nibbles() {
+        for n in 0..16u8 {
+            let cw = hamming_encode_nibble(n);
+            assert_eq!(hamming_decode_nibble(cw), (n, false), "nibble {n}");
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_every_single_bit_flip() {
+        for n in 0..16u8 {
+            let cw = hamming_encode_nibble(n);
+            for flip in 0..7 {
+                let (decoded, corrected) = hamming_decode_nibble(cw ^ (1 << flip));
+                assert_eq!(decoded, n, "nibble {n} flip {flip}");
+                assert!(corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_arbitrary_payloads() {
+        let mut rng = SimRng::seed_from(0xECC_0001);
+        for repeats in [1, 3, 5] {
+            let codec = FrameCodec::new(repeats);
+            for len in [1usize, 4, 7, 32, 61] {
+                let payload: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
+                let wire = codec.encode(&payload);
+                assert_eq!(wire.len(), codec.wire_len(len));
+                let received: Vec<Option<bool>> = wire.iter().map(|&b| Some(b)).collect();
+                let report = codec.decode(&received, len).unwrap();
+                assert_eq!(report.payload, payload, "repeats {repeats} len {len}");
+                assert!(report.complete());
+                assert_eq!(report.corrected_codewords, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_vote_outlasts_minority_flips_and_drops() {
+        let codec = FrameCodec::new(3);
+        let payload = vec![true, false, true, true, false, true, false, false];
+        let wire = codec.encode(&payload);
+        let mut received: Vec<Option<bool>> = wire.iter().map(|&b| Some(b)).collect();
+        // Flip one repeat of every third wire bit and drop another.
+        for (i, slot) in received.iter_mut().enumerate() {
+            match i % 9 {
+                0 => *slot = slot.map(|b| !b),
+                4 => *slot = None,
+                _ => {}
+            }
+        }
+        let report = codec.decode(&received, payload.len()).unwrap();
+        assert_eq!(report.payload, payload);
+        assert!(report.complete());
+    }
+
+    #[test]
+    fn total_erasure_reports_losses_without_panicking() {
+        let codec = FrameCodec::new(3);
+        let payload = vec![true; 8];
+        let wire = codec.encode(&payload);
+        // Erase every slot of the first codeword.
+        let received: Vec<Option<bool>> =
+            wire.iter().enumerate().map(|(i, &b)| if i < 21 { None } else { Some(b) }).collect();
+        let report = codec.decode(&received, payload.len()).unwrap();
+        assert!(!report.complete());
+        assert_eq!(report.lost_codewords, 1);
+        assert_eq!(report.total_codewords, 2);
+        // The second codeword still decodes.
+        assert_eq!(&report.payload[4..], &payload[4..]);
+    }
+
+    #[test]
+    fn truncated_frames_are_an_error() {
+        let codec = FrameCodec::new(1);
+        assert_eq!(
+            codec.decode(&[Some(true); 6], 4),
+            Err(AttackError::InvalidParameter {
+                what: "received frame shorter than the encoded payload"
+            })
+        );
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_and_stops_on_permanent() {
+        let mut mem = SecureMemory::new(SecureConfig::test_tiny());
+        let policy = RetryPolicy::new(3, Cycles::new(100));
+        // Succeeds on the third attempt; time must have passed waiting.
+        let mut calls = 0;
+        let t0 = mem.now();
+        let out = policy.run(&mut mem, |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(AttackError::MeasurementInvalidated)
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert!(mem.now() - t0 >= Cycles::new(300), "backoff 100 + 200");
+        // Permanent errors abort immediately.
+        let mut calls = 0;
+        let out: Result<(), _> = policy.run(&mut mem, |_| {
+            calls += 1;
+            Err(AttackError::NoProbeBlock)
+        });
+        assert_eq!(out, Err(AttackError::NoProbeBlock));
+        assert_eq!(calls, 1);
+        // Exhaustion is reported with the attempt count.
+        let out: Result<(), _> = policy.run(&mut mem, |_| Err(AttackError::MeasurementInvalidated));
+        assert_eq!(out, Err(AttackError::RetriesExhausted { attempts: 3 }));
+    }
+
+    #[test]
+    fn drift_guard_detects_a_collapsing_gap_and_recalibrates() {
+        let classifier = ThresholdClassifier::with_threshold(Cycles::new(300));
+        let mut guard = DriftGuard::new(32);
+        // Well-separated bands: confidence stays high.
+        let mut rng = SimRng::seed_from(0xD21F7);
+        for _ in 0..32 {
+            let lat = if rng.chance(0.5) { 100 + rng.below(20) } else { 500 + rng.below(20) };
+            assert!(!guard.observe(Cycles::new(lat), &classifier));
+        }
+        assert!(guard.confidence() > 0.6, "confidence {}", guard.confidence());
+        // The slow band drifts down onto the stale threshold.
+        let mut fired = false;
+        for _ in 0..64 {
+            let lat = if rng.chance(0.5) { 290 + rng.below(8) } else { 306 + rng.below(8) };
+            fired |= guard.observe(Cycles::new(lat), &classifier);
+        }
+        assert!(fired, "crowded threshold must trigger recalibration");
+        let fresh = guard.recalibrate().unwrap();
+        assert!(guard.confidence() == 1.0);
+        // The re-split threshold separates the *new* clusters.
+        assert!(fresh.is_fast(Cycles::new(295)));
+        assert!(!fresh.is_fast(Cycles::new(310)));
+    }
+
+    #[test]
+    fn drift_guard_recalibration_needs_samples() {
+        let mut guard = DriftGuard::new(8);
+        assert_eq!(guard.recalibrate(), Err(AttackError::CalibrationFailed));
+    }
+}

@@ -15,14 +15,16 @@ pub fn tree_node_of(mem: &SecureMemory, index: u64, level: u8) -> NodeId {
 /// Data blocks (one per counter block) whose verification path passes
 /// through `node`, excluding those in `exclude_cbs` — the pool from
 /// which an attacker picks co-located probe blocks.
-pub fn blocks_under_node(mem: &SecureMemory, node: NodeId, count: usize, exclude_cbs: &[u64]) -> Vec<u64> {
+pub fn blocks_under_node(
+    mem: &SecureMemory,
+    node: NodeId,
+    count: usize,
+    exclude_cbs: &[u64],
+) -> Vec<u64> {
     let geometry = mem.tree().geometry();
     let cbs = geometry.attached_under(node);
     let blocks_per_cb = blocks_per_counter_block(mem);
-    cbs.filter(|cb| !exclude_cbs.contains(cb))
-        .take(count)
-        .map(|cb| cb * blocks_per_cb)
-        .collect()
+    cbs.filter(|cb| !exclude_cbs.contains(cb)).take(count).map(|cb| cb * blocks_per_cb).collect()
 }
 
 /// How many data blocks one counter block covers under the configured
@@ -58,10 +60,8 @@ pub fn pick_probe_block(mem: &SecureMemory, victim_index: u64, level: u8) -> Opt
     // Prefer a counter block under a *different* leaf when the level
     // allows it, so the probe's path and the victim's path only join at
     // the target node.
-    let candidates: Vec<u64> = geometry
-        .attached_under(node)
-        .filter(|&cb| cb != victim_cb)
-        .collect();
+    let candidates: Vec<u64> =
+        geometry.attached_under(node).filter(|&cb| cb != victim_cb).collect();
     let victim_leaf = geometry.leaf_of(victim_cb);
     candidates
         .iter()

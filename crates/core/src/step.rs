@@ -80,10 +80,7 @@ mod tests {
             |_, i| order.borrow_mut().push(format!("post{i}")),
         );
         assert_eq!(n, 3);
-        assert_eq!(
-            order.into_inner(),
-            vec!["pre0", "post0", "pre1", "post1", "pre2", "post2"]
-        );
+        assert_eq!(order.into_inner(), vec!["pre0", "post0", "pre1", "post1", "pre2", "post2"]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! sets; [`split_two_clusters`] finds a cut unsupervised (largest-gap
 //! heuristic over sorted samples).
 
+use crate::error::AttackError;
 use metaleak_sim::clock::Cycles;
 
 /// A binary latency classifier: `fast` (below threshold) vs `slow`.
@@ -25,13 +26,22 @@ impl ThresholdClassifier {
     /// metadata cached) and `slow` distributions. The threshold is the
     /// midpoint between the fast mean and the slow mean.
     ///
-    /// # Panics
-    /// Panics if either sample set is empty.
-    pub fn calibrate(fast: &[Cycles], slow: &[Cycles]) -> Self {
-        assert!(!fast.is_empty() && !slow.is_empty(), "need calibration samples");
-        let mean = |xs: &[Cycles]| xs.iter().map(|c| c.as_u64()).sum::<u64>() as f64 / xs.len() as f64;
-        let t = (mean(fast) + mean(slow)) / 2.0;
-        ThresholdClassifier { threshold: Cycles::new(t as u64) }
+    /// # Errors
+    /// [`AttackError::CalibrationFailed`] if either sample set is empty
+    /// or the bands overlap completely (fast mean at or above the slow
+    /// mean — no threshold can separate them).
+    pub fn calibrate(fast: &[Cycles], slow: &[Cycles]) -> Result<Self, AttackError> {
+        if fast.is_empty() || slow.is_empty() {
+            return Err(AttackError::CalibrationFailed);
+        }
+        let mean =
+            |xs: &[Cycles]| xs.iter().map(|c| c.as_u64()).sum::<u64>() as f64 / xs.len() as f64;
+        let (mf, ms) = (mean(fast), mean(slow));
+        if mf >= ms {
+            return Err(AttackError::CalibrationFailed);
+        }
+        let t = (mf + ms) / 2.0;
+        Ok(ThresholdClassifier { threshold: Cycles::new(t as u64) })
     }
 
     /// The decision threshold.
@@ -118,7 +128,7 @@ mod tests {
     fn calibrated_threshold_separates_bands() {
         let fast = cy(&[100, 110, 105]);
         let slow = cy(&[300, 290, 310]);
-        let c = ThresholdClassifier::calibrate(&fast, &slow);
+        let c = ThresholdClassifier::calibrate(&fast, &slow).unwrap();
         assert!(c.is_fast(Cycles::new(150)));
         assert!(!c.is_fast(Cycles::new(250)));
         assert!(c.threshold().as_u64() > 100 && c.threshold().as_u64() < 300);
@@ -169,8 +179,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "calibration samples")]
-    fn empty_calibration_panics() {
-        ThresholdClassifier::calibrate(&[], &[Cycles::new(1)]);
+    fn degenerate_calibration_is_an_error_not_a_panic() {
+        // Empty sample sets.
+        assert_eq!(
+            ThresholdClassifier::calibrate(&[], &[Cycles::new(1)]),
+            Err(AttackError::CalibrationFailed)
+        );
+        assert_eq!(
+            ThresholdClassifier::calibrate(&[Cycles::new(1)], &[]),
+            Err(AttackError::CalibrationFailed)
+        );
+        // Inverted bands: the "fast" samples are slower than the "slow"
+        // ones, so no threshold separates them in the right direction.
+        assert_eq!(
+            ThresholdClassifier::calibrate(&cy(&[500, 510]), &cy(&[100, 110])),
+            Err(AttackError::CalibrationFailed)
+        );
     }
 }

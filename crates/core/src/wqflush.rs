@@ -6,6 +6,7 @@
 //! drain watermark forces the controller to service everything ahead
 //! of them.
 
+use crate::error::AttackError;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::CoreId;
@@ -37,7 +38,15 @@ impl WriteQueueFlusher {
     /// Issues redundant writes until the memory controller's write
     /// queue is empty (every previously pending write has been
     /// serviced). Returns `(redundant_writes_issued, cycles)`.
-    pub fn flush(&mut self, mem: &mut SecureMemory, core: CoreId) -> (usize, Cycles) {
+    ///
+    /// # Errors
+    /// Transient [`AttackError::MeasurementInvalidated`] when the
+    /// engine rejects a redundant write.
+    pub fn flush(
+        &mut self,
+        mem: &mut SecureMemory,
+        core: CoreId,
+    ) -> Result<(usize, Cycles), AttackError> {
         let t0 = mem.now();
         let mut issued = 0;
         // Each write_back enqueues one entry; reaching the watermark
@@ -47,10 +56,10 @@ impl WriteQueueFlusher {
         while issued < target_rounds {
             let block = self.blocks[self.next];
             self.next = (self.next + 1) % self.blocks.len();
-            mem.write_back(core, block, [issued as u8; 64]).expect("attacker block");
+            mem.write_back(core, block, [issued as u8; 64])?;
             issued += 1;
         }
-        (issued, mem.now() - t0)
+        Ok((issued, mem.now() - t0))
     }
 }
 
@@ -72,7 +81,7 @@ mod tests {
         assert_eq!(mem.stats.get("writes_serviced"), 0, "write still buffered");
         // The attacker flushes the queue purely with its own writes.
         let mut flusher = WriteQueueFlusher::plan(&mem, None, 128);
-        let (issued, _) = flusher.flush(&mut mem, core);
+        let (issued, _) = flusher.flush(&mut mem, core).unwrap();
         assert!(issued > 0);
         assert!(
             mem.stats.get("writes_serviced") >= 1,

@@ -36,8 +36,8 @@ fn metaleak_t_works_on_every_design_at_its_usable_levels() {
             let core = CoreId(0);
             let atk = MetaLeakT::new(&mut mem, core, VICTIM, level, 4)
                 .unwrap_or_else(|e| panic!("{name} L{level}: {e}"));
-            let hit = atk.monitor(&mut mem, core, |m| victim_touch(m, CoreId(1), VICTIM));
-            let idle = atk.monitor(&mut mem, core, |_| {});
+            let hit = atk.monitor(&mut mem, core, |m| victim_touch(m, CoreId(1), VICTIM)).unwrap();
+            let idle = atk.monitor(&mut mem, core, |_| {}).unwrap();
             assert!(hit.accessed, "{name} L{level}: access missed ({:?})", hit.probe);
             assert!(!idle.accessed, "{name} L{level}: false positive ({:?})", idle.probe);
         }
@@ -53,11 +53,11 @@ fn dual_monitoring_works_on_every_design() {
     ] {
         let mut mem = SecureMemory::new(cfg);
         let core = CoreId(0);
-        let partner = find_partner_block(&mem, VICTIM, level)
-            .unwrap_or_else(|| panic!("{name}: no partner"));
+        let partner =
+            find_partner_block(&mem, VICTIM, level).unwrap_or_else(|| panic!("{name}: no partner"));
         let dual = DualPageMonitor::new(&mut mem, core, VICTIM, partner, level)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), partner));
+        let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), partner)).unwrap();
         assert!(!s.a_seen && s.b_seen, "{name}: {s:?}");
     }
 }
@@ -92,9 +92,9 @@ fn metaleak_t_round_cost_grows_with_level() {
     let mut mem = SecureMemory::new(experiment(SecureConfig::sct(16384)));
     let core = CoreId(0);
     let atk0 = MetaLeakT::new(&mut mem, core, VICTIM, 0, 2).unwrap();
-    let i0 = atk0.measure_interval(&mut mem, core, 10);
+    let i0 = atk0.measure_interval(&mut mem, core, 10).unwrap();
     let atk1 = MetaLeakT::new(&mut mem, core, VICTIM, 1, 2).unwrap();
-    let i1 = atk1.measure_interval(&mut mem, core, 10);
+    let i1 = atk1.measure_interval(&mut mem, core, 10).unwrap();
     assert!(i1 >= i0 * 0.9, "L1 interval {i1} should not beat L0 {i0} significantly");
     assert!(atk1.coverage_bytes(&mem) > atk0.coverage_bytes(&mem));
 }

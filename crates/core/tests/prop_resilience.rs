@@ -1,0 +1,142 @@
+//! Property-style tests for the ECC framing: hand-rolled seeded case
+//! generation (the container has no property-testing crate), but the
+//! shape is the same — each test sweeps hundreds of random payloads
+//! and fault draws and asserts an invariant on every one.
+
+use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_attacks::error::AttackError;
+use metaleak_attacks::resilience::FrameCodec;
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::interference::{FaultKind, FaultPlan};
+use metaleak_sim::rng::SimRng;
+
+fn random_payload(rng: &mut SimRng, max_len: u64) -> Vec<bool> {
+    let len = 1 + rng.below(max_len) as usize;
+    (0..len).map(|_| rng.chance(0.5)).collect()
+}
+
+/// Within the codec's guaranteed correction budget — at most
+/// `repeats/2` corrupted repeats per vote group — decode is exact for
+/// every payload, and the report never claims losses.
+#[test]
+fn decode_is_exact_within_the_correction_budget() {
+    let mut rng = SimRng::seed_from(0xECC0);
+    for case in 0..300 {
+        let repeats = [3usize, 5, 7][case % 3];
+        let codec = FrameCodec::new(repeats);
+        let payload = random_payload(&mut rng, 48);
+        let wire = codec.encode(&payload);
+        // Corrupt at most floor(repeats / 2) slots of each vote group:
+        // flips and erasures both stay below the majority.
+        let mut received: Vec<Option<bool>> = wire.iter().copied().map(Some).collect();
+        for group in 0..wire.len() / repeats {
+            for k in 0..repeats / 2 {
+                if rng.chance(0.7) {
+                    let slot = group * repeats + (k + rng.below(repeats as u64) as usize) % repeats;
+                    received[slot] = if rng.chance(0.5) { None } else { Some(!wire[slot]) };
+                }
+            }
+        }
+        let report = codec.decode(&received, payload.len()).expect("well-formed frame");
+        assert_eq!(report.payload, payload, "case {case} (repeats {repeats})");
+        assert!(report.complete(), "case {case}: no group lost its majority");
+    }
+}
+
+/// Arbitrarily heavy corruption — erasing and flipping most of the wire
+/// — never panics: decode still returns a full-length payload and a
+/// self-consistent loss report.
+#[test]
+fn decode_reports_losses_under_heavy_corruption() {
+    let mut rng = SimRng::seed_from(0xECC1);
+    let mut saw_losses = false;
+    for case in 0..300 {
+        let repeats = [1usize, 3, 5][case % 3];
+        let codec = FrameCodec::new(repeats);
+        let payload = random_payload(&mut rng, 48);
+        let wire = codec.encode(&payload);
+        let received: Vec<Option<bool>> = wire
+            .iter()
+            .map(|&b| {
+                if rng.chance(0.6) {
+                    None
+                } else if rng.chance(0.5) {
+                    Some(!b)
+                } else {
+                    Some(b)
+                }
+            })
+            .collect();
+        let report =
+            codec.decode(&received, payload.len()).expect("losses are reported, not errors");
+        assert_eq!(report.payload.len(), payload.len(), "case {case}");
+        assert!(report.lost_codewords <= report.total_codewords, "case {case}");
+        assert_eq!(report.total_codewords, payload.len().div_ceil(4), "case {case}");
+        saw_losses |= !report.complete();
+    }
+    assert!(saw_losses, "60% erasure must lose at least one vote group somewhere");
+}
+
+/// A frame truncated below the encoded length is a parameter error,
+/// never a panic or a silent short decode.
+#[test]
+fn truncated_frames_are_an_error_for_every_length() {
+    let codec = FrameCodec::new(3);
+    for len in 1..=16usize {
+        let payload = vec![true; len];
+        let wire = codec.encode(&payload);
+        let short: Vec<Option<bool>> = wire[..wire.len() - 1].iter().copied().map(Some).collect();
+        let err = codec.decode(&short, len).unwrap_err();
+        assert!(matches!(err, AttackError::InvalidParameter { .. }), "len {len}: {err}");
+    }
+}
+
+fn channel_memory(plan: FaultPlan) -> SecureMemory {
+    let mut cfg = SecureConfig::sct(16384);
+    cfg.sim.noise_sd = 0.0;
+    cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
+        counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+        tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+    };
+    cfg.faults = plan;
+    SecureMemory::new(cfg)
+}
+
+/// A channel calibrated during a quiet window (a clean memory); the
+/// geometry matches every memory built by [`channel_memory`].
+fn quiet_channel() -> CovertChannelT {
+    let mut quiet = channel_memory(FaultPlan::clean());
+    CovertChannelT::new(&mut quiet, CoreId(0), CoreId(1), 0, 100).unwrap()
+}
+
+/// End to end at low fault intensity: every framed transfer recovers
+/// its payload completely.
+#[test]
+fn framed_channel_recovers_all_frames_at_low_intensity() {
+    let ch = quiet_channel();
+    for seed in [3u64, 17, 29] {
+        let mut mem = channel_memory(FaultPlan::at_intensity(0.15, seed));
+        let mut rng = SimRng::seed_from(seed);
+        let payload = random_payload(&mut rng, 12);
+        let out = ch.transmit_framed(&mut mem, &payload, &FrameCodec::new(5)).unwrap();
+        assert!(out.report.complete(), "seed {seed}: report {:?}", out.report);
+        assert_eq!(out.report.payload, payload, "seed {seed}");
+    }
+}
+
+/// End to end under near-total sample loss: the transfer still returns
+/// a report (no panic, no abort) and the report admits the losses.
+#[test]
+fn framed_channel_reports_losses_at_high_intensity() {
+    let ch = quiet_channel();
+    let plan = FaultPlan::clean().seeded(41).with(FaultKind::SampleDrop { rate: 0.9 });
+    let mut mem = channel_memory(plan);
+    let payload = vec![true, false, true, true, false, true, false, false];
+    let out = ch.transmit_framed(&mut mem, &payload, &FrameCodec::new(3)).unwrap();
+    assert!(out.erasures > 0, "90% drops must erase windows");
+    assert!(!out.report.complete(), "report must admit the lost codewords");
+    assert!(out.report.lost_codewords > 0);
+    assert_eq!(out.report.payload.len(), payload.len());
+}

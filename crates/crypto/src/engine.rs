@@ -91,7 +91,8 @@ impl CryptoEngine {
             // Chunk address = block address * 4 + chunk offset; wrapping
             // keeps uniqueness for any physically meaningful address
             // (< 2^62) while tolerating adversarial inputs in tests.
-            seed[..8].copy_from_slice(&block_addr.wrapping_mul(4).wrapping_add(chunk).to_le_bytes());
+            seed[..8]
+                .copy_from_slice(&block_addr.wrapping_mul(4).wrapping_add(chunk).to_le_bytes());
             seed[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
             seed[15] = self.epoch as u8;
             let ks = self.aes.encrypt_block(&seed);

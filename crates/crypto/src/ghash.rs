@@ -124,10 +124,7 @@ mod tests {
     fn counter_binding_detects_replay() {
         let k = Ghash::new(b"0123456789abcdef");
         let data = [3u8; 64];
-        assert_ne!(
-            k.mac_with_counter(&data, 1, 0x40),
-            k.mac_with_counter(&data, 2, 0x40)
-        );
+        assert_ne!(k.mac_with_counter(&data, 1, 0x40), k.mac_with_counter(&data, 2, 0x40));
     }
 
     #[test]

@@ -1,78 +1,121 @@
 //! Property tests for the crypto substrates: round trips, avalanche
 //! behaviour and binding properties over random inputs.
+//!
+//! Random inputs come from seeded [`SimRng`] loops so runs are
+//! deterministic and reproducible.
 
 use metaleak_crypto::aes::Aes128;
 use metaleak_crypto::engine::CryptoEngine;
 use metaleak_crypto::ghash::Ghash;
 use metaleak_crypto::sha256::Sha256;
-use proptest::prelude::*;
+use metaleak_sim::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn rand_array<const N: usize>(rng: &mut SimRng) -> [u8; N] {
+    let mut buf = [0u8; N];
+    rng.fill_bytes(&mut buf);
+    buf
+}
 
-    #[test]
-    fn aes_round_trips(key in any::<[u8; 16]>(), pt in any::<[u8; 16]>()) {
+#[test]
+fn aes_round_trips() {
+    let mut rng = SimRng::seed_from(0xC0DE_0001);
+    for _ in 0..128 {
+        let key: [u8; 16] = rand_array(&mut rng);
+        let pt: [u8; 16] = rand_array(&mut rng);
         let aes = Aes128::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
     }
+}
 
-    #[test]
-    fn aes_is_a_permutation(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
-        prop_assume!(a != b);
+#[test]
+fn aes_is_a_permutation() {
+    let mut rng = SimRng::seed_from(0xC0DE_0002);
+    for _ in 0..128 {
+        let key: [u8; 16] = rand_array(&mut rng);
+        let a: [u8; 16] = rand_array(&mut rng);
+        let b: [u8; 16] = rand_array(&mut rng);
+        if a == b {
+            continue;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
+        assert_ne!(aes.encrypt_block(&a), aes.encrypt_block(&b));
     }
+}
 
-    #[test]
-    fn sha256_is_deterministic_and_length_sensitive(data in prop::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn sha256_is_deterministic_and_length_sensitive() {
+    let mut rng = SimRng::seed_from(0xC0DE_0003);
+    for _ in 0..128 {
+        let mut data = vec![0u8; rng.index(300)];
+        rng.fill_bytes(&mut data);
         let d1 = Sha256::digest(&data);
         let d2 = Sha256::digest(&data);
-        prop_assert_eq!(d1, d2);
+        assert_eq!(d1, d2);
         let mut extended = data.clone();
         extended.push(0);
-        prop_assert_ne!(Sha256::digest(&extended), d1);
+        assert_ne!(Sha256::digest(&extended), d1);
     }
+}
 
-    #[test]
-    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..500), split in 1usize..64) {
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    let mut rng = SimRng::seed_from(0xC0DE_0004);
+    for _ in 0..128 {
+        let mut data = vec![0u8; rng.index(500)];
+        rng.fill_bytes(&mut data);
+        let split = 1 + rng.index(63);
         let mut h = Sha256::new();
         for chunk in data.chunks(split) {
             h.update(chunk);
         }
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        assert_eq!(h.finalize(), Sha256::digest(&data));
     }
+}
 
-    #[test]
-    fn ghash_binds_data_and_address(key in any::<[u8; 16]>(), data in any::<[u8; 32]>(), addr in any::<u64>(), flip in 0usize..32) {
+#[test]
+fn ghash_binds_data_and_address() {
+    let mut rng = SimRng::seed_from(0xC0DE_0005);
+    for _ in 0..128 {
+        let key: [u8; 16] = rand_array(&mut rng);
+        let data: [u8; 32] = rand_array(&mut rng);
+        let addr = rng.next_u64();
+        let flip = rng.index(32);
         let mac = Ghash::new(&key);
         let tag = mac.mac(&data, addr);
         let mut tampered = data;
         tampered[flip] ^= 1;
-        prop_assert_ne!(mac.mac(&tampered, addr), tag, "data binding");
-        prop_assert_ne!(mac.mac(&data, addr ^ 1), tag, "address binding");
+        assert_ne!(mac.mac(&tampered, addr), tag, "data binding");
+        assert_ne!(mac.mac(&data, addr ^ 1), tag, "address binding");
     }
+}
 
-    #[test]
-    fn counter_mode_round_trips_and_counters_matter(
-        key in any::<[u8; 16]>(),
-        pt in any::<[u8; 64]>(),
-        addr in any::<u64>(),
-        ctr in any::<u64>(),
-    ) {
+#[test]
+fn counter_mode_round_trips_and_counters_matter() {
+    let mut rng = SimRng::seed_from(0xC0DE_0006);
+    for _ in 0..128 {
+        let key: [u8; 16] = rand_array(&mut rng);
+        let pt: [u8; 64] = rand_array(&mut rng);
+        let addr = rng.next_u64();
+        let ctr = rng.next_u64();
         let engine = CryptoEngine::new(key);
         let ct = engine.encrypt_block(&pt, addr, ctr);
-        prop_assert_eq!(engine.decrypt_block(&ct, addr, ctr), pt);
+        assert_eq!(engine.decrypt_block(&ct, addr, ctr), pt);
         // A different counter yields a different ciphertext (temporal
         // uniqueness of the OTP).
-        prop_assert_ne!(engine.encrypt_block(&pt, addr, ctr.wrapping_add(1)), ct);
+        assert_ne!(engine.encrypt_block(&pt, addr, ctr.wrapping_add(1)), ct);
     }
+}
 
-    #[test]
-    fn rekeying_invalidates_old_pads(pt in any::<[u8; 64]>(), addr in any::<u64>()) {
+#[test]
+fn rekeying_invalidates_old_pads() {
+    let mut rng = SimRng::seed_from(0xC0DE_0007);
+    for _ in 0..64 {
+        let pt: [u8; 64] = rand_array(&mut rng);
+        let addr = rng.next_u64();
         let mut engine = CryptoEngine::new(*b"prop-test-key-00");
         let before = engine.encrypt_block(&pt, addr, 5);
         engine.rotate_key();
-        prop_assert_ne!(engine.encrypt_block(&pt, addr, 5), before);
-        prop_assert_ne!(engine.decrypt_block(&before, addr, 5), pt);
+        assert_ne!(engine.encrypt_block(&pt, addr, 5), before);
+        assert_ne!(engine.decrypt_block(&before, addr, 5), pt);
     }
 }

@@ -5,10 +5,10 @@ use metaleak_meta::mcache::MetaCacheConfig;
 use metaleak_meta::tree::TreeKind;
 use metaleak_sim::addr::BlockAddr;
 use metaleak_sim::config::SimConfig;
-use serde::{Deserialize, Serialize};
+use metaleak_sim::interference::FaultPlan;
 
 /// Full configuration of a [`crate::secmem::SecureMemory`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SecureConfig {
     /// Cache hierarchy / DRAM / memory-controller parameters.
     pub sim: SimConfig,
@@ -31,6 +31,11 @@ pub struct SecureConfig {
     pub mee_extra: u64,
     /// AES key for the crypto engine.
     pub key: [u8; 16],
+    /// Adversarial-interference fault plan. The engine merges the
+    /// legacy `sim.noise_sd` Gaussian jitter into this plan at
+    /// construction, so `clean()` plus a nonzero `noise_sd` reproduces
+    /// the historical noise model exactly.
+    pub faults: FaultPlan,
 }
 
 impl SecureConfig {
@@ -48,6 +53,7 @@ impl SecureConfig {
             data_base: BlockAddr::new(0x10000),
             mee_extra: 0,
             key: *b"metaleak-sct-key",
+            faults: FaultPlan::clean(),
         }
     }
 
@@ -82,6 +88,7 @@ impl SecureConfig {
             data_base: BlockAddr::new(0x10000),
             mee_extra: 40,
             key: *b"metaleak-sgx-key",
+            faults: FaultPlan::clean(),
         }
     }
 

@@ -40,4 +40,5 @@ pub mod prelude {
     };
     pub use metaleak_sim::addr::CoreId;
     pub use metaleak_sim::clock::Cycles;
+    pub use metaleak_sim::interference::{FaultKind, FaultPlan, SampleFate};
 }

@@ -14,11 +14,11 @@ use metaleak_meta::mcache::MetadataCaches;
 use metaleak_meta::tree::{IntegrityTree, TreeKind, TreeOverflowEvent};
 use metaleak_sim::addr::{BlockAddr, CoreId};
 use metaleak_sim::clock::{Clock, Cycles};
-use metaleak_sim::hierarchy::{CacheHierarchy, HitLevel};
-use metaleak_sim::memctl::{DrainReport, MemoryController};
-use metaleak_sim::rng::SimRng;
-use metaleak_sim::stats::Counters;
 use metaleak_sim::dram::Dram;
+use metaleak_sim::hierarchy::{CacheHierarchy, HitLevel};
+use metaleak_sim::interference::{FaultKind, InterferenceEngine, Perturbation};
+use metaleak_sim::memctl::{DrainReport, MemoryController};
+use metaleak_sim::stats::Counters;
 use std::collections::HashMap;
 
 /// Which of the Figure-5 access paths a memory operation took.
@@ -59,6 +59,10 @@ pub struct ReadResult {
     pub path: AccessPath,
     /// Decrypted block contents.
     pub data: Block,
+    /// True when an injected preemption gap overlapped the access: the
+    /// reported latency spans the deschedule and cannot be trusted as a
+    /// timing measurement.
+    pub invalidated: bool,
 }
 
 /// Result of a data write (cache write; memory effects happen at
@@ -69,6 +73,9 @@ pub struct WriteResult {
     pub latency: Cycles,
     /// Access path of the write-allocate fill.
     pub path: AccessPath,
+    /// True when an injected preemption gap overlapped the store (see
+    /// [`ReadResult::invalidated`]).
+    pub invalidated: bool,
 }
 
 /// Integrity violation detected by the engine.
@@ -131,7 +138,7 @@ pub struct SecureMemory {
     macs: HashMap<u64, Tag>,
     /// Per-counter-block MACs (bound to the tree leaf version).
     cb_macs: HashMap<u64, Tag>,
-    rng: SimRng,
+    interference: InterferenceEngine,
     /// Engine event counters.
     pub stats: Counters,
 }
@@ -154,7 +161,15 @@ impl SecureMemory {
             tree.init_leaf_hashes(|cb| enc_ref.counter_block_bytes(cb));
         }
         let layout = SecureLayout::new(config.data_base, data_blocks, counter_blocks, &geometry);
+        // The legacy `noise_sd` knob folds into the fault plan as one
+        // more Gaussian process, making it a special case of the
+        // general interference model.
+        let mut plan = config.faults.clone();
+        if config.sim.noise_sd > 0.0 {
+            plan = plan.with(FaultKind::GaussianNoise { sd: config.sim.noise_sd });
+        }
         SecureMemory {
+            interference: InterferenceEngine::new(plan),
             hier: CacheHierarchy::new(&config.sim),
             mc: MemoryController::new(config.sim.memctl, Dram::new(config.sim.dram)),
             mcaches: MetadataCaches::new(config.mcache),
@@ -166,7 +181,6 @@ impl SecureMemory {
             plain: HashMap::new(),
             macs: HashMap::new(),
             cb_macs: HashMap::new(),
-            rng: SimRng::seed_from(0x4d65_7461_4c65_616b),
             stats: Counters::new(),
             clock: Clock::new(),
             config,
@@ -205,6 +219,17 @@ impl SecureMemory {
     /// Metadata caches (read-only; for set-index math in mEvict).
     pub fn mcaches(&self) -> &MetadataCaches {
         &self.mcaches
+    }
+
+    /// The interference engine (fault-injection state and counters).
+    pub fn interference(&self) -> &InterferenceEngine {
+        &self.interference
+    }
+
+    /// Mutable interference engine — the attack runtime draws probe
+    /// sample fates from it.
+    pub fn interference_mut(&mut self) -> &mut InterferenceEngine {
+        &mut self.interference
     }
 
     /// The DRAM model (bank math for same-bank probes).
@@ -341,8 +366,7 @@ impl SecureMemory {
         let per_node = dram.row_closed.as_u64() * 2 + self.crypto.hash_latency();
         let per_cb = dram.row_closed.as_u64() * 2 + self.crypto.mac_latency();
         let attached_count = ev.attached.end - ev.attached.start;
-        let duration =
-            Cycles::new(ev.nodes_reset * per_node + attached_count * per_cb);
+        let duration = Cycles::new(ev.nodes_reset * per_node + attached_count * per_cb);
         let until = now + duration;
         // Re-MAC the covered counter blocks against their reset leaf
         // versions, and occupy the touched banks.
@@ -536,13 +560,36 @@ impl SecureMemory {
         Ok((latency, path))
     }
 
-    fn noise(&mut self) -> Cycles {
-        let sd = self.config.sim.noise_sd;
-        if sd <= 0.0 {
-            return Cycles::ZERO;
+    /// Applies co-runner eviction bursts to the metadata caches ahead
+    /// of an access. Dirty victims go through the normal lazy-update
+    /// cascades, exactly as a real co-runner's conflict misses would.
+    fn inject_co_runner_pressure(&mut self) {
+        let bursts = self.interference.co_runner_evictions();
+        for _ in 0..bursts {
+            if let Some(ev) = self.mcaches.evict_random_counter(self.interference.rng_mut()) {
+                self.stats.bump("corunner_evictions");
+                if ev.dirty {
+                    self.counter_writeback(ev.key);
+                }
+            }
+            if let Some(ev) = self.mcaches.evict_random_tree(self.interference.rng_mut()) {
+                self.stats.bump("corunner_evictions");
+                if ev.dirty {
+                    self.tree_writeback(ev.key);
+                }
+            }
         }
-        let n = (self.rng.gaussian() * sd).abs();
-        Cycles::new(n as u64)
+    }
+
+    /// Draws the latency perturbation for an access of base latency
+    /// `latency`, charging any preemption gap to the clock.
+    fn perturb_latency(&mut self, latency: Cycles) -> Perturbation {
+        let p = self.interference.perturb(self.clock.now(), latency);
+        if let Some(gap) = p.gap {
+            self.stats.bump("preemption_gaps");
+            self.clock.advance(gap);
+        }
+        p
     }
 
     // ------------------------------------------------------------------
@@ -559,6 +606,7 @@ impl SecureMemory {
     /// # Panics
     /// Panics if `index` is outside the protected region.
     pub fn read(&mut self, core: CoreId, index: u64) -> Result<ReadResult, SecureMemError> {
+        self.inject_co_runner_pressure();
         let addr = self.layout.data_addr(index);
         let h = self.hier.access(core, addr, false);
         let mut latency = h.latency;
@@ -576,11 +624,12 @@ impl SecureMemory {
             }
             path
         };
-        latency += self.noise();
+        let p = self.perturb_latency(latency);
+        latency += p.extra_latency;
         self.clock.advance(latency);
         self.materialize_data(index);
         let data = self.plain[&index];
-        Ok(ReadResult { latency, path, data })
+        Ok(ReadResult { latency, path, data, invalidated: p.gap.is_some() })
     }
 
     /// Writes `data` to block `index` from `core`. The write allocates
@@ -591,7 +640,13 @@ impl SecureMemory {
     /// # Errors
     /// Returns [`SecureMemError::TamperDetected`] if the write-allocate
     /// fill fails verification.
-    pub fn write(&mut self, core: CoreId, index: u64, data: Block) -> Result<WriteResult, SecureMemError> {
+    pub fn write(
+        &mut self,
+        core: CoreId,
+        index: u64,
+        data: Block,
+    ) -> Result<WriteResult, SecureMemError> {
+        self.inject_co_runner_pressure();
         let addr = self.layout.data_addr(index);
         let h = self.hier.access(core, addr, true);
         let mut latency = h.latency;
@@ -609,9 +664,10 @@ impl SecureMemory {
         };
         self.materialize_data(index);
         self.plain.insert(index, data);
-        latency += self.noise();
+        let p = self.perturb_latency(latency);
+        latency += p.extra_latency;
         self.clock.advance(latency);
-        Ok(WriteResult { latency, path })
+        Ok(WriteResult { latency, path, invalidated: p.gap.is_some() })
     }
 
     /// Flushes block `index` out of the cache hierarchy (clflush-like).
@@ -638,7 +694,12 @@ impl SecureMemory {
     ///
     /// # Errors
     /// Propagates verification failures from the write-allocate fill.
-    pub fn write_back(&mut self, core: CoreId, index: u64, data: Block) -> Result<Cycles, SecureMemError> {
+    pub fn write_back(
+        &mut self,
+        core: CoreId,
+        index: u64,
+        data: Block,
+    ) -> Result<Cycles, SecureMemError> {
         let w = self.write(core, index, data)?;
         let f = self.flush_block(index);
         Ok(w.latency + f)
@@ -1002,5 +1063,72 @@ mod tests {
         let leaf = m.tree().geometry().leaf_of(cb);
         m.tamper_tree_node(leaf);
         assert!(m.read(CoreId(0), victim).is_err());
+    }
+
+    #[test]
+    fn clean_plan_without_noise_is_deterministic() {
+        let run = || {
+            let mut m = SecureMemory::new(SecureConfig::test_tiny());
+            (0..32u64)
+                .map(|b| {
+                    let r = m.read(CoreId(0), b % 8).unwrap();
+                    assert!(!r.invalidated);
+                    r.latency
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn legacy_noise_sd_becomes_a_gaussian_fault() {
+        let mut cfg = SecureConfig::test_tiny();
+        cfg.sim.noise_sd = 25.0;
+        let m = SecureMemory::new(cfg);
+        assert!(m.interference().is_active(), "noise_sd must activate the plan");
+        assert!(m
+            .interference()
+            .plan()
+            .faults
+            .iter()
+            .any(|f| matches!(f, metaleak_sim::interference::FaultKind::GaussianNoise { sd } if *sd == 25.0)));
+    }
+
+    #[test]
+    fn preemption_gaps_invalidate_reads_and_advance_time() {
+        let mut cfg = SecureConfig::test_tiny();
+        cfg.faults = metaleak_sim::interference::FaultPlan::clean().with(
+            metaleak_sim::interference::FaultKind::PreemptionGap {
+                rate: 1.0,
+                min_cycles: 5_000,
+                max_cycles: 5_000,
+            },
+        );
+        let mut m = SecureMemory::new(cfg);
+        let t0 = m.now();
+        let r = m.read(CoreId(0), 0).unwrap();
+        assert!(r.invalidated, "gap must invalidate the measurement");
+        assert!(m.now() - t0 >= Cycles::new(5_000), "gap time must pass");
+        assert_eq!(m.stats.get("preemption_gaps"), 1);
+    }
+
+    #[test]
+    fn eviction_bursts_displace_cached_metadata() {
+        let mut cfg = SecureConfig::test_tiny();
+        cfg.faults = metaleak_sim::interference::FaultPlan::clean()
+            .with(metaleak_sim::interference::FaultKind::EvictionBurst { rate: 1.0, burst_len: 4 });
+        let mut m = SecureMemory::new(cfg);
+        for b in 0..16u64 {
+            m.read(CoreId(0), b).unwrap();
+        }
+        assert!(
+            m.stats.get("corunner_evictions") > 0,
+            "bursts at rate 1.0 must displace metadata lines"
+        );
+        // Data still round-trips under the interference.
+        m.write_back(CoreId(0), 3, [7u8; 64]).unwrap();
+        m.fence();
+        m.flush_block(3);
+        assert_eq!(m.read(CoreId(0), 3).unwrap().data, [7u8; 64]);
     }
 }

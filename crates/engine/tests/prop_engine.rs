@@ -1,5 +1,8 @@
 //! Engine-level property tests across all three tree designs: random
 //! operation interleavings must preserve data and detectability.
+//!
+//! Randomized op soups come from seeded [`SimRng`] loops so failures
+//! reproduce deterministically.
 
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
@@ -8,7 +11,7 @@ use metaleak_meta::mcache::MetaCacheConfig;
 use metaleak_meta::tree::TreeKind;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::config::SimConfig;
-use proptest::prelude::*;
+use metaleak_sim::rng::SimRng;
 
 fn tiny(kind: TreeKind) -> SecureConfig {
     let mut cfg = match kind {
@@ -23,24 +26,23 @@ fn tiny(kind: TreeKind) -> SecureConfig {
     cfg
 }
 
-fn kind_strategy() -> impl Strategy<Value = TreeKind> {
-    prop::sample::select(vec![TreeKind::SplitCounter, TreeKind::Hash, TreeKind::Sgx])
-}
+const KINDS: [TreeKind; 3] = [TreeKind::SplitCounter, TreeKind::Hash, TreeKind::Sgx];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(18))]
-
-    /// Random op soup on every tree design: last-written values always
-    /// read back; no spurious tamper detections ever fire.
-    #[test]
-    fn all_designs_round_trip_under_random_ops(
-        kind in kind_strategy(),
-        ops in prop::collection::vec((0u8..5, 0u64..4096, any::<u8>()), 1..80),
-    ) {
+/// Random op soup on every tree design: last-written values always
+/// read back; no spurious tamper detections ever fire.
+#[test]
+fn all_designs_round_trip_under_random_ops() {
+    for seed in 0..18u64 {
+        let mut rng = SimRng::seed_from(0xE4614E00 + seed);
+        let kind = KINDS[rng.index(3)];
         let mut mem = SecureMemory::new(tiny(kind));
         let core = CoreId(0);
         let mut shadow = std::collections::HashMap::new();
-        for (op, block, val) in ops {
+        let n = 1 + rng.index(80);
+        for _ in 0..n {
+            let op = rng.below(5) as u8;
+            let block = rng.below(4096);
+            let val = rng.next_u64() as u8;
             match op {
                 0 => {
                     mem.write_back(core, block, [val; 64]).unwrap();
@@ -48,30 +50,38 @@ proptest! {
                 }
                 1 => {
                     let expect = shadow.get(&block).copied().unwrap_or(0);
-                    prop_assert_eq!(mem.read(core, block).unwrap().data, [expect; 64]);
+                    assert_eq!(mem.read(core, block).unwrap().data, [expect; 64]);
                 }
-                2 => { mem.flush_block(block); }
-                3 => { mem.fence(); }
-                _ => { mem.drain_metadata(); }
+                2 => {
+                    mem.flush_block(block);
+                }
+                3 => {
+                    mem.fence();
+                }
+                _ => {
+                    mem.drain_metadata();
+                }
             }
         }
         mem.fence();
         mem.drain_metadata();
         for (block, val) in shadow {
             mem.flush_block(block);
-            prop_assert_eq!(mem.read(core, block).unwrap().data, [val; 64]);
+            assert_eq!(mem.read(core, block).unwrap().data, [val; 64], "seed {seed}");
         }
     }
+}
 
-    /// After arbitrary writes, replaying any earlier (ct, mac) snapshot
-    /// of a block that was subsequently rewritten is detected, on every
-    /// design.
-    #[test]
-    fn replay_is_always_detected(
-        kind in kind_strategy(),
-        block in 0u64..4096,
-        writes in 1usize..6,
-    ) {
+/// After arbitrary writes, replaying any earlier (ct, mac) snapshot
+/// of a block that was subsequently rewritten is detected, on every
+/// design.
+#[test]
+fn replay_is_always_detected() {
+    for seed in 0..18u64 {
+        let mut rng = SimRng::seed_from(0xE4614E10 + seed);
+        let kind = KINDS[rng.index(3)];
+        let block = rng.below(4096);
+        let writes = 1 + rng.index(5);
         let mut mem = SecureMemory::new(tiny(kind));
         let core = CoreId(0);
         mem.write_back(core, block, [1u8; 64]).unwrap();
@@ -82,41 +92,59 @@ proptest! {
             mem.fence();
         }
         mem.replay_data(block, snapshot);
-        prop_assert!(mem.read(core, block).is_err(), "{kind:?}: replay accepted");
+        assert!(mem.read(core, block).is_err(), "{kind:?}: replay accepted");
     }
+}
 
-    /// The clock is strictly monotone across any operation mix.
-    #[test]
-    fn clock_is_monotone(ops in prop::collection::vec((0u8..4, 0u64..4096), 1..60)) {
+/// The clock is strictly monotone across any operation mix.
+#[test]
+fn clock_is_monotone() {
+    for seed in 0..18u64 {
+        let mut rng = SimRng::seed_from(0xE4614E20 + seed);
         let mut mem = SecureMemory::new(tiny(TreeKind::SplitCounter));
         let core = CoreId(0);
         let mut last = mem.now();
-        for (op, block) in ops {
+        let n = 1 + rng.index(60);
+        for _ in 0..n {
+            let op = rng.below(4) as u8;
+            let block = rng.below(4096);
             match op {
-                0 => { mem.write_back(core, block, [1u8; 64]).unwrap(); }
-                1 => { let _ = mem.read(core, block).unwrap(); }
-                2 => { mem.flush_block(block); }
-                _ => { mem.fence(); }
+                0 => {
+                    mem.write_back(core, block, [1u8; 64]).unwrap();
+                }
+                1 => {
+                    let _ = mem.read(core, block).unwrap();
+                }
+                2 => {
+                    mem.flush_block(block);
+                }
+                _ => {
+                    mem.fence();
+                }
             }
             let now = mem.now();
-            prop_assert!(now >= last);
+            assert!(now >= last);
             last = now;
         }
     }
+}
 
-    /// Access paths partition correctly: a read immediately after a
-    /// read of the same block is always a cache hit; after a flush it
-    /// never is.
-    #[test]
-    fn path_classification_is_consistent(block in 0u64..4096) {
-        use metaleak_engine::secmem::AccessPath;
+/// Access paths partition correctly: a read immediately after a
+/// read of the same block is always a cache hit; after a flush it
+/// never is.
+#[test]
+fn path_classification_is_consistent() {
+    use metaleak_engine::secmem::AccessPath;
+    let mut rng = SimRng::seed_from(0xE4614E30);
+    for _ in 0..18 {
+        let block = rng.below(4096);
         let mut mem = SecureMemory::new(tiny(TreeKind::SplitCounter));
         let core = CoreId(0);
         mem.read(core, block).unwrap();
         let warm = mem.read(core, block).unwrap();
-        prop_assert!(matches!(warm.path, AccessPath::CacheHit(_)));
+        assert!(matches!(warm.path, AccessPath::CacheHit(_)));
         mem.flush_block(block);
         let refetch = mem.read(core, block).unwrap();
-        prop_assert!(!matches!(refetch.path, AccessPath::CacheHit(_)));
+        assert!(!matches!(refetch.path, AccessPath::CacheHit(_)));
     }
 }

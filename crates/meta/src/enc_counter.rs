@@ -6,11 +6,10 @@
 //! the engine maps indices to physical addresses.
 
 use metaleak_sim::addr::BLOCKS_PER_PAGE;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which counter organization the engine uses (Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterScheme {
     /// One counter shared by all memory blocks; snapshots stored per
     /// block. Overflow forces re-keying and whole-memory re-encryption.
@@ -25,7 +24,7 @@ pub enum CounterScheme {
 }
 
 /// Width parameters, configurable so tests can trigger overflow cheaply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterWidths {
     /// Bits of a minor counter (Split) — paper default 7.
     pub minor_bits: u8,
@@ -89,7 +88,7 @@ pub struct IncrementOutcome {
 /// Per-page split-counter block: one major plus per-block minors
 /// (64-bit major + 64 x 7-bit minors = exactly one 64-byte counter
 /// block per data page, §IV-A).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitCounterBlock {
     /// Shared major counter.
     pub major: u64,
@@ -113,7 +112,7 @@ impl SplitCounterBlock {
 /// assert_eq!(out.counter, 1); // major 0, minor 1
 /// assert!(out.overflow.is_none());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EncCounters {
     scheme: CounterScheme,
     widths: CounterWidths,
@@ -185,16 +184,14 @@ impl EncCounters {
             CounterScheme::Global | CounterScheme::Monolithic => {
                 self.per_block.get(&block).copied().unwrap_or(0)
             }
-            CounterScheme::Split => {
-                match self.pages.get(&(block / BLOCKS_PER_PAGE as u64)) {
-                    Some(page) => Self::fuse(
-                        page.major,
-                        page.minors[block as usize % BLOCKS_PER_PAGE],
-                        self.widths,
-                    ),
-                    None => 0,
-                }
-            }
+            CounterScheme::Split => match self.pages.get(&(block / BLOCKS_PER_PAGE as u64)) {
+                Some(page) => Self::fuse(
+                    page.major,
+                    page.minors[block as usize % BLOCKS_PER_PAGE],
+                    self.widths,
+                ),
+                None => 0,
+            },
         }
     }
 
@@ -225,9 +222,7 @@ impl EncCounters {
     pub fn sharing_group_without(&self, block: u64) -> Vec<u64> {
         let page = block / BLOCKS_PER_PAGE as u64;
         let start = page * BLOCKS_PER_PAGE as u64;
-        (start..(start + BLOCKS_PER_PAGE as u64).min(self.blocks))
-            .filter(|&b| b != block)
-            .collect()
+        (start..(start + BLOCKS_PER_PAGE as u64).min(self.blocks)).filter(|&b| b != block).collect()
     }
 
     /// Increments `block`'s counter for a write (Algorithm 1). Returns
@@ -245,7 +240,10 @@ impl EncCounters {
                     self.per_block.insert(block, 1);
                     return IncrementOutcome {
                         counter: 1,
-                        overflow: Some(OverflowEvent { scope: ReencryptScope::AllMemory, rekey: true }),
+                        overflow: Some(OverflowEvent {
+                            scope: ReencryptScope::AllMemory,
+                            rekey: true,
+                        }),
                     };
                 }
                 self.global += 1;
@@ -259,7 +257,10 @@ impl EncCounters {
                     self.per_block.insert(block, 1);
                     return IncrementOutcome {
                         counter: 1,
-                        overflow: Some(OverflowEvent { scope: ReencryptScope::AllMemory, rekey: true }),
+                        overflow: Some(OverflowEvent {
+                            scope: ReencryptScope::AllMemory,
+                            rekey: true,
+                        }),
                     };
                 }
                 *c += 1;
@@ -282,11 +283,17 @@ impl EncCounters {
                     let group = self.sharing_group_without(block);
                     return IncrementOutcome {
                         counter,
-                        overflow: Some(OverflowEvent { scope: ReencryptScope::Group(group), rekey: false }),
+                        overflow: Some(OverflowEvent {
+                            scope: ReencryptScope::Group(group),
+                            rekey: false,
+                        }),
                     };
                 }
                 page.minors[slot] += 1;
-                IncrementOutcome { counter: Self::fuse(page.major, page.minors[slot], widths), overflow: None }
+                IncrementOutcome {
+                    counter: Self::fuse(page.major, page.minors[slot], widths),
+                    overflow: None,
+                }
             }
         }
     }
@@ -300,10 +307,8 @@ impl EncCounters {
         assert_eq!(self.scheme, CounterScheme::Split, "minor counters exist only in SC");
         assert!(value as u64 <= self.widths.minor_max(), "value exceeds minor width");
         self.check(block);
-        let page = self
-            .pages
-            .entry(block / BLOCKS_PER_PAGE as u64)
-            .or_insert_with(SplitCounterBlock::new);
+        let page =
+            self.pages.entry(block / BLOCKS_PER_PAGE as u64).or_insert_with(SplitCounterBlock::new);
         page.minors[block as usize % BLOCKS_PER_PAGE] = value;
     }
 

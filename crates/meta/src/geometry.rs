@@ -1,12 +1,10 @@
 //! Integrity-tree geometry: level/arity math, parent/child navigation,
 //! subtree sizes and the cross-page sharing sets exploited by MetaLeak.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a logical tree node: `(level, index)`. Level 0 is the
 /// leaf level (L0); the highest level holds the single root, which is
 /// stored on-chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId {
     /// Tree level, 0 = leaf.
     pub level: u8,
@@ -41,7 +39,7 @@ impl core::fmt::Display for NodeId {
 /// assert_eq!(g.nodes_at(1), 1);  // root
 /// assert_eq!(g.levels(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeGeometry {
     arities: Vec<usize>,
     level_counts: Vec<u64>,

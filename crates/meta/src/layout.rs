@@ -12,10 +12,9 @@
 
 use crate::geometry::{NodeId, TreeGeometry};
 use metaleak_sim::addr::{BlockAddr, PageId, BLOCKS_PER_PAGE};
-use serde::{Deserialize, Serialize};
 
 /// The physical memory map of a secure region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecureLayout {
     data_base: BlockAddr,
     data_blocks: u64,
@@ -31,7 +30,12 @@ impl SecureLayout {
     /// Lays out a protected region of `data_blocks` starting at
     /// `data_base`, followed by `counter_blocks` counter blocks and the
     /// node blocks of a tree with `geometry`.
-    pub fn new(data_base: BlockAddr, data_blocks: u64, counter_blocks: u64, geometry: &TreeGeometry) -> Self {
+    pub fn new(
+        data_base: BlockAddr,
+        data_blocks: u64,
+        counter_blocks: u64,
+        geometry: &TreeGeometry,
+    ) -> Self {
         let counter_base = data_base.add(data_blocks);
         let tree_base = counter_base.add(counter_blocks);
         let mut level_offsets = Vec::with_capacity(geometry.levels() as usize);

@@ -9,10 +9,9 @@
 use metaleak_sim::cache::{Evicted, SetAssocCache};
 use metaleak_sim::config::CacheConfig;
 use metaleak_sim::stats::Counters;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the two metadata caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaCacheConfig {
     /// Counter cache geometry.
     pub counter: CacheConfig,
@@ -110,6 +109,28 @@ impl MetadataCaches {
     /// Invalidates a counter block; returns its dirty flag if present.
     pub fn invalidate_counter(&mut self, cb: u64) -> Option<bool> {
         self.counter.invalidate(cb)
+    }
+
+    /// Evicts one random counter-cache line (co-runner interference).
+    /// Returns the victim so the engine can run its lazy update if it
+    /// was dirty.
+    pub fn evict_random_counter(
+        &mut self,
+        rng: &mut metaleak_sim::rng::SimRng,
+    ) -> Option<Evicted<u64>> {
+        let ev = self.counter.evict_random(rng)?;
+        self.stats.bump("ctr_evict_corunner");
+        Some(ev)
+    }
+
+    /// Evicts one random tree-cache line (co-runner interference).
+    pub fn evict_random_tree(
+        &mut self,
+        rng: &mut metaleak_sim::rng::SimRng,
+    ) -> Option<Evicted<u64>> {
+        let ev = self.tree.evict_random(rng)?;
+        self.stats.bump("tree_evict_corunner");
+        Some(ev)
     }
 
     /// Drains both caches, returning `(dirty_counters, dirty_tree_nodes)`
@@ -224,6 +245,21 @@ mod tests {
         assert_eq!(ctrs, vec![1]);
         assert_eq!(nodes, vec![3]);
         assert!(!m.counter_cached(1));
+    }
+
+    #[test]
+    fn corunner_eviction_displaces_one_line_per_cache() {
+        let mut m = caches();
+        let mut rng = metaleak_sim::rng::SimRng::seed_from(11);
+        assert!(m.evict_random_counter(&mut rng).is_none());
+        m.access_counter(1, true);
+        m.access_tree(2, false);
+        let c = m.evict_random_counter(&mut rng).expect("one counter line");
+        assert_eq!((c.key, c.dirty), (1, true));
+        let t = m.evict_random_tree(&mut rng).expect("one tree line");
+        assert_eq!((t.key, t.dirty), (2, false));
+        assert_eq!(m.stats.get("ctr_evict_corunner"), 1);
+        assert_eq!(m.stats.get("tree_evict_corunner"), 1);
     }
 
     #[test]

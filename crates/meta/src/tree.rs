@@ -10,10 +10,9 @@
 use crate::enc_counter::CounterWidths;
 use crate::geometry::{NodeId, TreeGeometry};
 use metaleak_crypto::sha256::digest64;
-use serde::{Deserialize, Serialize};
 
 /// Which integrity-tree design is in use (Figure 4 / Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeKind {
     /// Hash tree: every node holds hashes of its children (8-ary BMT).
     Hash,
@@ -26,7 +25,7 @@ pub enum TreeKind {
 }
 
 /// Content of one tree node block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodePayload {
     /// HT: truncated (64-bit) hashes of each child.
     Hashes(Vec<u64>),
@@ -61,6 +60,37 @@ pub struct TreeOverflowEvent {
     pub attached: core::ops::Range<u64>,
 }
 
+/// Error from [`IntegrityTree::set_node_counter`]: the operation is
+/// undefined for the tree design, or the value does not fit the
+/// configured counter width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresetError {
+    /// The tree design has no counters to preset (hash trees).
+    NoCounters(TreeKind),
+    /// The value exceeds the counter width.
+    ValueTooWide {
+        /// The rejected value.
+        value: u64,
+        /// Maximum representable counter value.
+        max: u64,
+    },
+}
+
+impl core::fmt::Display for PresetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PresetError::NoCounters(kind) => {
+                write!(f, "{kind:?} trees have no counters to preset")
+            }
+            PresetError::ValueTooWide { value, max } => {
+                write!(f, "counter value {value} exceeds width (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PresetError {}
+
 /// Result of a tree update (leaf bump or lazy propagation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeUpdate {
@@ -85,7 +115,7 @@ pub struct VerifyWalk {
 }
 
 /// The in-memory integrity tree over the encryption-counter blocks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntegrityTree {
     kind: TreeKind,
     geometry: TreeGeometry,
@@ -210,49 +240,57 @@ impl IntegrityTree {
         self.parent_slot_version(leaf, slot)
     }
 
-    /// Current minor value for attached block `cb` in the leaf (SCT).
+    /// Current minor value for attached block `cb` in the leaf.
     ///
-    /// # Panics
-    /// Panics for non-SCT trees.
-    pub fn leaf_minor(&self, cb: u64) -> u16 {
+    /// Returns `None` for tree designs without split counters (only the
+    /// SCT keeps per-child minors).
+    pub fn leaf_minor(&self, cb: u64) -> Option<u16> {
         let leaf = self.geometry.leaf_of(cb);
         let slot = self.geometry.leaf_slot_of(cb);
-        match self.node(leaf) {
-            NodePayload::Split { minors, .. } => minors[slot],
-            _ => panic!("leaf_minor is only defined for the split-counter tree"),
-        }
+        self.node_minor(leaf, slot)
     }
 
-    /// The minor value of child slot `slot` of `node` (SCT).
+    /// The minor value of child slot `slot` of `node`.
     ///
-    /// # Panics
-    /// Panics for non-SCT trees or bad slots.
-    pub fn node_minor(&self, node: NodeId, slot: usize) -> u16 {
+    /// Returns `None` for tree designs without split counters or for
+    /// out-of-range slots.
+    pub fn node_minor(&self, node: NodeId, slot: usize) -> Option<u16> {
         match self.node(node) {
-            NodePayload::Split { minors, .. } => minors[slot],
-            _ => panic!("node_minor is only defined for the split-counter tree"),
+            NodePayload::Split { minors, .. } => minors.get(slot).copied(),
+            _ => None,
         }
     }
 
     /// Test/experiment hook: force a node's counter slot to `value`
     /// (models attacker-known preset state for MetaLeak-C).
     ///
-    /// # Panics
-    /// Panics for HT or values beyond the counter width.
-    pub fn set_node_counter(&mut self, node: NodeId, slot: usize, value: u64) {
+    /// Fails for hash trees (which keep no counters) and for values
+    /// beyond the configured counter width.
+    pub fn set_node_counter(
+        &mut self,
+        node: NodeId,
+        slot: usize,
+        value: u64,
+    ) -> Result<(), PresetError> {
         let widths = self.widths;
+        let kind = self.kind;
         match self.node_mut(node) {
             NodePayload::Split { minors, .. } => {
-                assert!(value <= widths.minor_max(), "value exceeds minor width");
+                if value > widths.minor_max() {
+                    return Err(PresetError::ValueTooWide { value, max: widths.minor_max() });
+                }
                 minors[slot] = value as u16;
             }
             NodePayload::Mono { counters, .. } => {
-                assert!(value <= widths.mono_max(), "value exceeds counter width");
+                if value > widths.mono_max() {
+                    return Err(PresetError::ValueTooWide { value, max: widths.mono_max() });
+                }
                 counters[slot] = value;
             }
-            NodePayload::Hashes(_) => panic!("hash trees have no counters to preset"),
+            NodePayload::Hashes(_) => return Err(PresetError::NoCounters(kind)),
         }
         self.reseal(node);
+        Ok(())
     }
 
     /// Embedded-hash input: payload counters plus the parent's version
@@ -435,8 +473,7 @@ impl IntegrityTree {
     pub fn record_counter_writeback(&mut self, cb: u64, cb_bytes: &[u8]) -> TreeUpdate {
         let leaf = self.geometry.leaf_of(cb);
         let slot = self.geometry.leaf_slot_of(cb);
-        let child_hash =
-            matches!(self.kind, TreeKind::Hash).then(|| digest64(cb_bytes));
+        let child_hash = matches!(self.kind, TreeKind::Hash).then(|| digest64(cb_bytes));
         let overflowed = self.bump_slot(leaf, slot, child_hash);
         if overflowed {
             let ev = self.overflow_reset(leaf, slot);
@@ -508,7 +545,8 @@ impl IntegrityTree {
                     let parent = self.geometry.parent(cur).expect("non-root");
                     let pslot = self.geometry.child_slot(cur).expect("non-root");
                     hash_ops += 1;
-                    ok &= digest64(&self.node_bytes(cur)) == self.parent_slot_version(parent, pslot);
+                    ok &=
+                        digest64(&self.node_bytes(cur)) == self.parent_slot_version(parent, pslot);
                 }
                 TreeKind::SplitCounter | TreeKind::Sgx => {
                     hash_ops += 1;
@@ -624,7 +662,9 @@ mod tests {
 
     #[test]
     fn node_tamper_is_detected() {
-        for mut tree in [IntegrityTree::sct(4096), IntegrityTree::ht(4096), IntegrityTree::sit(4096)] {
+        for mut tree in
+            [IntegrityTree::sct(4096), IntegrityTree::ht(4096), IntegrityTree::sit(4096)]
+        {
             let leaf = tree.geometry().leaf_of(42);
             // A tampered leaf must fail verification of blocks under it.
             tree.tamper_node(leaf);
@@ -662,7 +702,7 @@ mod tests {
     #[test]
     fn leaf_minor_overflow_resets_and_reencrypt_scope_is_leaf_subtree() {
         let mut tree = sct(); // 3-bit minors
-        // Saturate the leaf slot for cb 0 (max = 7).
+                              // Saturate the leaf slot for cb 0 (max = 7).
         for _ in 0..7 {
             assert!(tree.record_counter_writeback(0, &[0u8; 64]).overflow.is_none());
         }
@@ -673,8 +713,8 @@ mod tests {
         assert_eq!(ev.nodes_reset, 1, "leaf subtree is itself");
         assert_eq!(ev.attached, tree.geometry().attached_under(leaf));
         // Post-reset: triggering slot is 1, neighbors are 0, still verifies.
-        assert_eq!(tree.leaf_minor(0), 1);
-        assert_eq!(tree.leaf_minor(1), 0);
+        assert_eq!(tree.leaf_minor(0), Some(1));
+        assert_eq!(tree.leaf_minor(1), Some(0));
         assert!(tree.verify_counter_block(0, &[0u8; 64], not_cached).ok);
     }
 
@@ -685,14 +725,14 @@ mod tests {
         let l1 = tree.geometry().parent(leaf).unwrap();
         let slot = tree.geometry().child_slot(leaf).unwrap();
         // Preset the L1 slot to the max so one propagation overflows.
-        tree.set_node_counter(l1, slot, 7);
+        tree.set_node_counter(l1, slot, 7).unwrap();
         let up = tree.propagate_writeback(leaf);
         let ev = up.overflow.expect("propagation overflows L1 slot");
         assert_eq!(ev.node, l1);
         assert_eq!(ev.nodes_reset, 17, "L1 node + 16 leaf children");
         assert_eq!(ev.attached.end - ev.attached.start, 32 * 16);
         // All leaves under l1 got reset; everything verifies afterwards.
-        assert_eq!(tree.node_minor(l1, slot), 1);
+        assert_eq!(tree.node_minor(l1, slot), Some(1));
         for cb in [0u64, 31, 511] {
             assert!(tree.verify_counter_block(cb, &[0u8; 64], not_cached).ok, "cb {cb}");
         }
@@ -706,7 +746,7 @@ mod tests {
         let leaf = tree.geometry().leaf_of(0);
         let l1 = tree.geometry().parent(leaf).unwrap();
         let slot = tree.geometry().child_slot(leaf).unwrap();
-        tree.set_node_counter(l1, slot, 6); // 2^3 - 2
+        tree.set_node_counter(l1, slot, 6).unwrap(); // 2^3 - 2
         assert!(tree.propagate_writeback(leaf).overflow.is_none(), "victim write saturates");
         assert!(tree.propagate_writeback(leaf).overflow.is_some(), "attacker write overflows");
     }
@@ -727,9 +767,24 @@ mod tests {
         let small = tree.record_counter_writeback(100, &[0u8; 64]).hash_ops;
         let leaf = tree.geometry().leaf_of(0);
         let l1 = tree.geometry().parent(leaf).unwrap();
-        tree.set_node_counter(l1, 0, 7);
+        tree.set_node_counter(l1, 0, 7).unwrap();
         let big = tree.propagate_writeback(leaf).hash_ops;
         assert!(big > small * 5, "overflow rehash ({big}) must dwarf a bump ({small})");
+    }
+
+    #[test]
+    fn preset_rejects_wrong_kind_and_wide_values() {
+        let mut ht = IntegrityTree::ht(4096);
+        let leaf = ht.geometry().leaf_of(0);
+        assert_eq!(ht.set_node_counter(leaf, 0, 1), Err(PresetError::NoCounters(TreeKind::Hash)));
+        assert_eq!(ht.leaf_minor(0), None, "HT has no minors");
+        let mut sct = sct(); // 3-bit minors
+        let leaf = sct.geometry().leaf_of(0);
+        assert_eq!(
+            sct.set_node_counter(leaf, 0, 8),
+            Err(PresetError::ValueTooWide { value: 8, max: 7 })
+        );
+        assert_eq!(sct.node_minor(leaf, usize::MAX), None, "bad slot is None, not a panic");
     }
 
     #[test]

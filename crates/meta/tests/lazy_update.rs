@@ -117,7 +117,7 @@ fn overflow_during_propagation_keeps_the_whole_subtree_verifiable() {
     let l1 = geometry.parent(leaf).unwrap();
     let slot = geometry.child_slot(leaf).unwrap();
     // Saturate the L1 slot (5-bit => 31), then one more propagation.
-    tree.set_node_counter(l1, slot, 31);
+    tree.set_node_counter(l1, slot, 31).unwrap();
     let up = tree.propagate_writeback(leaf);
     let ev = up.overflow.expect("overflow at L1");
     // Everything under the reset subtree verifies, and so does a

@@ -1,49 +1,52 @@
 //! Property tests on tree geometry and integrity-tree state: the
 //! structural invariants of DESIGN.md over random shapes and update
-//! sequences.
+//! sequences, driven by seeded [`SimRng`] loops for reproducibility.
 
 use metaleak_meta::enc_counter::CounterWidths;
 use metaleak_meta::geometry::{NodeId, TreeGeometry};
 use metaleak_meta::tree::{IntegrityTree, TreeKind};
-use proptest::prelude::*;
+use metaleak_sim::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every attached block has a unique path to the root, and the
-    /// sharing sets grow monotonically with level while always
-    /// containing the block.
-    #[test]
-    fn paths_and_sharing_sets_are_consistent(
-        covered in 2u64..5000,
-        attached_seed in any::<u64>(),
-    ) {
+/// Every attached block has a unique path to the root, and the
+/// sharing sets grow monotonically with level while always
+/// containing the block.
+#[test]
+fn paths_and_sharing_sets_are_consistent() {
+    let mut rng = SimRng::seed_from(0x7EE0_0001);
+    for _ in 0..64 {
+        let covered = 2 + rng.below(4998);
+        let attached = rng.next_u64() % covered;
         let g = TreeGeometry::sct(covered);
-        let attached = attached_seed % covered;
         let path = g.path_to_root(attached);
-        prop_assert_eq!(path.last().copied(), Some(g.root()));
+        assert_eq!(path.last().copied(), Some(g.root()));
         let mut prev_len = 0u64;
         for level in 0..g.levels() {
             let s = g.sharing_set(attached, level);
-            prop_assert!(s.contains(&attached));
+            assert!(s.contains(&attached));
             let len = s.end - s.start;
-            prop_assert!(len >= prev_len.max(1));
+            assert!(len >= prev_len.max(1));
             prev_len = len;
         }
         // Top-level sharing covers everything (tree nodes are shared
         // universally, §IV-C).
         let top = g.sharing_set(attached, g.levels() - 1);
-        prop_assert_eq!(top, 0..covered);
+        assert_eq!(top, 0..covered);
     }
+}
 
-    /// subtree_nodes and attached_under agree: the union of leaf
-    /// subtree attachments equals the node's attachment range.
-    #[test]
-    fn subtree_attachment_consistency(covered in 64u64..4096, idx_seed in any::<u64>()) {
+/// subtree_nodes and attached_under agree: the union of leaf
+/// subtree attachments equals the node's attachment range.
+#[test]
+fn subtree_attachment_consistency() {
+    let mut rng = SimRng::seed_from(0x7EE0_0002);
+    for _ in 0..64 {
+        let covered = 64 + rng.below(4032);
         let g = TreeGeometry::sct(covered);
-        if g.levels() < 2 { return Ok(()); }
+        if g.levels() < 2 {
+            continue;
+        }
         let level = 1u8;
-        let node = NodeId::new(level, idx_seed % g.nodes_at(level));
+        let node = NodeId::new(level, rng.next_u64() % g.nodes_at(level));
         let range = g.attached_under(node);
         let mut from_leaves = Vec::new();
         for n in g.subtree_nodes(node) {
@@ -53,79 +56,83 @@ proptest! {
         }
         from_leaves.sort_unstable();
         let expect: Vec<u64> = range.collect();
-        prop_assert_eq!(from_leaves, expect);
+        assert_eq!(from_leaves, expect);
     }
+}
 
-    /// Tree soundness under random interleavings of leaf updates and
-    /// partial lazy propagation: any counter block whose dirty chain
-    /// has been fully drained verifies.
-    #[test]
-    fn tree_verifies_after_any_drained_update_sequence(
-        updates in prop::collection::vec((0u64..256, any::<bool>()), 1..50),
-    ) {
+/// Tree soundness under random interleavings of leaf updates and
+/// partial lazy propagation: any counter block whose dirty chain
+/// has been fully drained verifies.
+#[test]
+fn tree_verifies_after_any_drained_update_sequence() {
+    let mut rng = SimRng::seed_from(0x7EE0_0003);
+    for _ in 0..64 {
         let widths = CounterWidths { minor_bits: 5, mono_bits: 56 };
         let mut tree = IntegrityTree::new(TreeKind::SplitCounter, TreeGeometry::sct(256), widths);
-        for (cb, drain_now) in updates {
+        let n = 1 + rng.index(50);
+        for _ in 0..n {
+            let cb = rng.below(256);
             let up = tree.record_counter_writeback(cb, &[cb as u8; 64]);
-            if drain_now {
-                tree.propagate_to_root(up.dirty);
-            } else {
-                // Leave the leaf dirty (conceptually cached); it is
-                // trusted while cached, so only drained paths need to
-                // verify. Drain it anyway before the final check.
-                tree.propagate_to_root(up.dirty);
-            }
+            // Drain the dirty chain (as the metadata cache eventually
+            // would) — cached leaves are trusted, so only drained paths
+            // need to verify; drain everything before the final check.
+            tree.propagate_to_root(up.dirty);
         }
         for cb in [0u64, 100, 255] {
             // Only verify untouched blocks against their original
             // bytes; touched ones against the last written bytes.
             let walk = tree.verify_counter_block(cb, &[cb as u8; 64], |_| false);
-            // Untouched blocks were never recorded, so HT-style checks
-            // don't apply to counter trees: embedded hashes must hold.
-            prop_assert!(walk.ok, "cb {} failed", cb);
+            assert!(walk.ok, "cb {cb} failed");
         }
     }
+}
 
-    /// Overflow resets: after an overflow at any level, every counter
-    /// in the subtree is freshly consistent and the triggering slot
-    /// reads 1.
-    #[test]
-    fn overflow_reset_is_consistent(slot_seed in any::<u64>()) {
+/// Overflow resets: after an overflow at any level, every counter
+/// in the subtree is freshly consistent and the triggering slot
+/// reads 1.
+#[test]
+fn overflow_reset_is_consistent() {
+    let mut rng = SimRng::seed_from(0x7EE0_0004);
+    for _ in 0..64 {
         let widths = CounterWidths { minor_bits: 3, mono_bits: 56 };
         let mut tree = IntegrityTree::new(TreeKind::SplitCounter, TreeGeometry::sct(1024), widths);
         let g = tree.geometry().clone();
-        let leaf = NodeId::new(0, slot_seed % g.nodes_at(0));
+        let leaf = NodeId::new(0, rng.next_u64() % g.nodes_at(0));
         let parent = g.parent(leaf).unwrap();
         let slot = g.child_slot(leaf).unwrap();
-        tree.set_node_counter(parent, slot, 7);
+        tree.set_node_counter(parent, slot, 7).expect("SCT preset");
         let up = tree.propagate_writeback(leaf);
         let ev = up.overflow.expect("saturated slot overflows");
-        prop_assert_eq!(ev.node, parent);
-        prop_assert_eq!(tree.node_minor(parent, slot), 1);
+        assert_eq!(ev.node, parent);
+        assert_eq!(tree.node_minor(parent, slot), Some(1));
         // All attached blocks under the reset subtree verify.
         for cb in ev.attached.clone().step_by(37) {
             let walk = tree.verify_counter_block(cb, &[0u8; 64], |_| false);
-            prop_assert!(walk.ok);
+            assert!(walk.ok);
         }
     }
+}
 
-    /// Node addressing: layout round-trips node ids through block
-    /// addresses for arbitrary geometry.
-    #[test]
-    fn layout_node_addressing_roundtrips(covered in 64u64..4096) {
-        use metaleak_meta::layout::SecureLayout;
-        use metaleak_sim::addr::BlockAddr;
+/// Node addressing: layout round-trips node ids through block
+/// addresses for arbitrary geometry.
+#[test]
+fn layout_node_addressing_roundtrips() {
+    use metaleak_meta::layout::SecureLayout;
+    use metaleak_sim::addr::BlockAddr;
+    let mut rng = SimRng::seed_from(0x7EE0_0005);
+    for _ in 0..64 {
+        let covered = 64 + rng.below(4032);
         let g = TreeGeometry::sct(covered);
         let layout = SecureLayout::new(BlockAddr::new(0x1000), covered * 64, covered, &g);
         for level in 0..g.levels() {
             for idx in [0, g.nodes_at(level) - 1] {
                 let node = NodeId::new(level, idx);
                 let addr = layout.node_addr(node);
-                prop_assert_eq!(layout.node_of_addr(addr), Some(node));
+                assert_eq!(layout.node_of_addr(addr), Some(node));
             }
         }
         // Addresses outside the tree region resolve to None.
-        prop_assert_eq!(layout.node_of_addr(layout.end()), None);
-        prop_assert_eq!(layout.node_of_addr(BlockAddr::new(0)), None);
+        assert_eq!(layout.node_of_addr(layout.end()), None);
+        assert_eq!(layout.node_of_addr(BlockAddr::new(0)), None);
     }
 }

@@ -2,10 +2,8 @@
 //! microarchitectural mitigations stop which attacks, and why MetaLeak
 //! survives them.
 
-use serde::{Deserialize, Serialize};
-
 /// Attack families discussed in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Attack {
     /// Conflict-based cache attacks (Prime+Probe \[2\]).
     PrimeProbe,
@@ -18,7 +16,7 @@ pub enum Attack {
 }
 
 /// Defense families discussed in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Defense {
     /// Randomized set mapping (CEASER \[43\], MIRAGE \[28\],
     /// ScatterCache \[98\]).
@@ -37,7 +35,7 @@ pub enum Defense {
 }
 
 /// Whether a defense stops an attack, per the paper's analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effectiveness {
     /// The attack is defeated.
     Stops,
@@ -111,12 +109,7 @@ pub fn full_matrix() -> Vec<(Defense, Attack, Effectiveness, &'static str)> {
         Defense::TreePartitioning,
         Defense::CounterIsolation,
     ];
-    let attacks = [
-        Attack::PrimeProbe,
-        Attack::FlushReload,
-        Attack::MetaLeakT,
-        Attack::MetaLeakC,
-    ];
+    let attacks = [Attack::PrimeProbe, Attack::FlushReload, Attack::MetaLeakT, Attack::MetaLeakC];
     let mut out = Vec::new();
     for d in defenses {
         for a in attacks {
@@ -133,11 +126,7 @@ mod tests {
 
     #[test]
     fn metaleak_survives_mainstream_defenses() {
-        for d in [
-            Defense::CacheRandomization,
-            Defense::CachePartitioning,
-            Defense::NoSharedData,
-        ] {
+        for d in [Defense::CacheRandomization, Defense::CachePartitioning, Defense::NoSharedData] {
             for a in [Attack::MetaLeakT, Attack::MetaLeakC] {
                 let (e, _) = evaluate(d, a);
                 assert_eq!(e, Effectiveness::Ineffective, "{d:?} vs {a:?}");
@@ -153,7 +142,10 @@ mod tests {
 
     #[test]
     fn classic_defenses_still_stop_classic_attacks() {
-        assert_eq!(evaluate(Defense::CacheRandomization, Attack::PrimeProbe).0, Effectiveness::Stops);
+        assert_eq!(
+            evaluate(Defense::CacheRandomization, Attack::PrimeProbe).0,
+            Effectiveness::Stops
+        );
         assert_eq!(evaluate(Defense::NoSharedData, Attack::FlushReload).0, Effectiveness::Stops);
     }
 

@@ -8,8 +8,6 @@
 //! A defender sampling per-window miss counts can flag that
 //! periodicity even without decoding the channel.
 
-use serde::{Deserialize, Serialize};
-
 /// Normalized lag-autocorrelation peak of a sample series: 1.0 means
 /// perfectly periodic at some lag, ~0 means uncorrelated. Returns 0
 /// for constant or too-short series.
@@ -54,7 +52,7 @@ pub fn burstiness(samples: &[u64]) -> f64 {
 }
 
 /// Verdict of the metadata-contention auditor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionVerdict {
     /// Periodicity of the miss series.
     pub periodicity: f64,
@@ -75,7 +73,7 @@ pub struct DetectionVerdict {
 ///    boundaries, every window carries the same heavy eviction load
 ///    (near-zero coefficient of variation at high mean), which no
 ///    natural workload sustains.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ContentionDetector {
     /// Periodicity threshold above which traffic is flagged.
     pub periodicity_threshold: f64,
@@ -89,11 +87,7 @@ pub struct ContentionDetector {
 
 impl Default for ContentionDetector {
     fn default() -> Self {
-        ContentionDetector {
-            periodicity_threshold: 0.6,
-            max_constancy: 0.1,
-            min_activity: 4.0,
-        }
+        ContentionDetector { periodicity_threshold: 0.6, max_constancy: 0.1, min_activity: 4.0 }
     }
 }
 
@@ -102,8 +96,11 @@ impl ContentionDetector {
     pub fn audit(&self, samples: &[u64]) -> DetectionVerdict {
         let periodicity = periodicity_score(samples);
         let b = burstiness(samples);
-        let mean =
-            if samples.is_empty() { 0.0 } else { samples.iter().sum::<u64>() as f64 / samples.len() as f64 };
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
         let suspicious = periodicity >= self.periodicity_threshold
             || (samples.len() >= 8 && b <= self.max_constancy);
         DetectionVerdict {

@@ -5,11 +5,10 @@
 //! repositioning overhead.
 
 use metaleak_meta::geometry::TreeGeometry;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a security domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DomainId(pub u32);
 
 /// Errors from the dynamic forest.
@@ -55,7 +54,7 @@ pub struct GrowthReport {
     pub tree_deepened: bool,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct DomainState {
     leaves: Vec<u64>,
     /// Depth of the domain's private tree over its leaves.
@@ -66,7 +65,7 @@ struct DomainState {
 /// of leaf groups. No leaf is ever shared between two live domains,
 /// and leaves reassigned from a destroyed domain have their counters
 /// cleared first (the §IX-C requirement for encryption counters).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DynamicDomainForest {
     /// Leaf capacity (one "leaf group" = one physical tree leaf's worth
     /// of counter blocks).
@@ -155,8 +154,8 @@ impl DynamicDomainForest {
         let tree_deepened = depth > old_depth;
         // Overheads: hash each new leaf, re-hash its path (depth), and
         // on deepening, re-position + re-hash the whole existing tree.
-        let rehash_ops = added * depth as u64
-            + if tree_deepened { total.saturating_sub(added) } else { 0 };
+        let rehash_ops =
+            added * depth as u64 + if tree_deepened { total.saturating_sub(added) } else { 0 };
         Ok(GrowthReport { leaves_added: added, rehash_ops, tree_deepened })
     }
 
@@ -180,10 +179,7 @@ impl DynamicDomainForest {
     /// any.
     pub fn owner_of(&self, cb: u64) -> Option<DomainId> {
         let leaf = cb / self.leaf_span;
-        self.domains
-            .iter()
-            .find(|(_, s)| s.leaves.contains(&leaf))
-            .map(|(id, _)| *id)
+        self.domains.iter().find(|(_, s)| s.leaves.contains(&leaf)).map(|(id, _)| *id)
     }
 
     /// Isolation invariant: no leaf owned by two domains.

@@ -26,4 +26,4 @@ pub use analysis::{evaluate, Attack, Defense, Effectiveness};
 pub use detector::{ContentionDetector, DetectionVerdict};
 pub use dynamic::{DomainId, DynamicDomainForest, ForestError, GrowthReport};
 pub use mirage::{eviction_probability, MirageCache, MirageConfig};
-pub use partition::{TreePartition, PartitionError};
+pub use partition::{PartitionError, TreePartition};

@@ -116,11 +116,8 @@ impl MirageCache {
         // Power-of-two-choices placement into the less-loaded skewed set.
         let s0 = self.set_of(0, block);
         let s1 = self.set_of(1, block);
-        let (skew, set) = if self.tags[0][s0].len() <= self.tags[1][s1].len() {
-            (0, s0)
-        } else {
-            (1, s1)
-        };
+        let (skew, set) =
+            if self.tags[0][s0].len() <= self.tags[1][s1].len() { (0, s0) } else { (1, s1) };
         // A full tag set despite the extra ways is a "set associativity
         // eviction" — vanishingly rare in MIRAGE; fall back to evicting
         // within the set to stay well-defined.
@@ -215,9 +212,7 @@ mod tests {
         let c = MirageCache::new(small(), 3);
         assert_eq!(c.set_of(0, 99), c.set_of(0, 99));
         // Different keys per skew: mapping generally differs.
-        let collisions = (0..64u64)
-            .filter(|&b| c.set_of(0, b) == c.set_of(1, b))
-            .count();
+        let collisions = (0..64u64).filter(|&b| c.set_of(0, b) == c.set_of(1, b)).count();
         assert!(collisions < 32, "skews must hash independently");
     }
 

@@ -4,7 +4,6 @@
 //! (stranding, re-hash overhead on growth).
 
 use metaleak_meta::geometry::{NodeId, TreeGeometry};
-use serde::{Deserialize, Serialize};
 
 /// Error raised by the partition planner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +30,7 @@ impl core::fmt::Display for PartitionError {
 impl std::error::Error for PartitionError {}
 
 /// One security domain's slice of the tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainSlice {
     /// Domain identifier.
     pub domain: usize,
@@ -55,7 +54,7 @@ impl DomainSlice {
 /// A static partition of the integrity tree: each domain receives one
 /// or more whole subtrees at a fixed level, so no two domains share
 /// any node below the root.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreePartition {
     /// The level whose subtrees are the allocation granule.
     pub granule_level: u8,

@@ -6,7 +6,6 @@
 //! and byte-granular quantities statically distinct (C-NEWTYPE).
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Size of one memory block / cache line in bytes.
 pub const BLOCK_SIZE: usize = 64;
@@ -27,7 +26,7 @@ pub const BLOCKS_PER_PAGE: usize = PAGE_SIZE / BLOCK_SIZE;
 /// assert_eq!(a.block().byte_addr().as_u64(), 0x1200);
 /// assert_eq!(a.offset_in_block(), 0x34);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -87,7 +86,7 @@ impl From<u64> for PhysAddr {
 
 /// A block-granular (cache-line-granular) address: byte address divided
 /// by [`BLOCK_SIZE`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockAddr(u64);
 
 impl BlockAddr {
@@ -135,7 +134,7 @@ impl From<PhysAddr> for BlockAddr {
 }
 
 /// A physical page number.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(u64);
 
 impl PageId {
@@ -181,7 +180,7 @@ impl fmt::Display for PageId {
 }
 
 /// Identifier of a simulated core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl fmt::Display for CoreId {

@@ -6,7 +6,6 @@
 
 use crate::config::CacheConfig;
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -32,7 +31,7 @@ impl CacheKey for crate::addr::BlockAddr {
 }
 
 /// Replacement policy for a [`SetAssocCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Replacement {
     /// Least-recently-used (the default for all modelled caches).
     Lru,
@@ -188,11 +187,7 @@ impl<K: CacheKey> SetAssocCache<K> {
     /// Whether a resident `key` is dirty (false if absent).
     pub fn is_dirty(&self, key: K) -> bool {
         let set_idx = self.set_index(key);
-        self.sets[set_idx]
-            .iter()
-            .find(|l| l.key == key)
-            .map(|l| l.dirty)
-            .unwrap_or(false)
+        self.sets[set_idx].iter().find(|l| l.key == key).map(|l| l.dirty).unwrap_or(false)
     }
 
     /// Removes `key`; returns its dirty flag if it was resident.
@@ -217,6 +212,27 @@ impl<K: CacheKey> SetAssocCache<K> {
         }
         self.resident.clear();
         dirty
+    }
+
+    /// Evicts one uniformly random resident line (co-runner pressure
+    /// injected by the interference layer). Victim choice is driven by
+    /// the caller's `rng` so fault schedules stay reproducible. Returns
+    /// the displaced line, or `None` if the cache is empty.
+    pub fn evict_random(&mut self, rng: &mut SimRng) -> Option<Evicted<K>> {
+        let total = self.resident.len();
+        if total == 0 {
+            return None;
+        }
+        let mut nth = rng.index(total);
+        for set in &mut self.sets {
+            if nth < set.len() {
+                let line = set.swap_remove(nth);
+                self.resident.remove(&line.key);
+                return Some(Evicted { key: line.key, dirty: line.dirty });
+            }
+            nth -= set.len();
+        }
+        unreachable!("residency count is consistent with set contents")
     }
 
     /// Keys currently resident in the same set as `key`.
@@ -333,7 +349,8 @@ mod tests {
         let cfg = CacheConfig::new(2 * 2 * 64, 2, 1);
         let mut seen_victims = std::collections::HashSet::new();
         for seed in 0..32 {
-            let mut c: SetAssocCache<u64> = SetAssocCache::with_policy(cfg, Replacement::Random, seed);
+            let mut c: SetAssocCache<u64> =
+                SetAssocCache::with_policy(cfg, Replacement::Random, seed);
             c.access(0, false);
             c.access(2, false);
             if let Some(ev) = c.access(4, false).evicted {
@@ -341,6 +358,21 @@ mod tests {
             }
         }
         assert_eq!(seen_victims.len(), 2, "random policy should pick both ways across seeds");
+    }
+
+    #[test]
+    fn evict_random_displaces_exactly_one_resident_line() {
+        let mut c = tiny();
+        let mut rng = crate::rng::SimRng::seed_from(3);
+        assert!(c.evict_random(&mut rng).is_none(), "empty cache has no victim");
+        c.access(0, true);
+        c.access(1, false);
+        c.access(2, false);
+        let before = c.len();
+        let ev = c.evict_random(&mut rng).expect("victim among residents");
+        assert_eq!(c.len(), before - 1);
+        assert!(!c.contains(ev.key));
+        assert_eq!(ev.dirty, ev.key == 0, "only key 0 was written dirty");
     }
 
     #[test]

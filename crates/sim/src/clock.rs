@@ -3,7 +3,6 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Sub};
-use serde::{Deserialize, Serialize};
 
 /// A duration or timestamp measured in CPU cycles.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let total = Cycles::new(40) + Cycles::new(2);
 /// assert_eq!(total.as_u64(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(u64);
 
 impl Cycles {
@@ -85,7 +84,7 @@ impl From<u64> for Cycles {
 ///
 /// The simulator is cycle-accounting rather than event-driven: components
 /// return latencies, and drivers advance a shared [`Clock`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Clock {
     now: Cycles,
 }

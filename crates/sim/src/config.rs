@@ -1,10 +1,9 @@
 //! Simulator configuration (Table I of the paper).
 
 use crate::clock::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and hit latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: usize,
@@ -18,11 +17,7 @@ impl CacheConfig {
     /// Creates a config; `capacity_bytes` must be a multiple of
     /// `ways * 64` so sets divide evenly.
     pub const fn new(capacity_bytes: usize, ways: usize, hit_latency: u64) -> Self {
-        CacheConfig {
-            capacity_bytes,
-            ways,
-            hit_latency: Cycles::new(hit_latency),
-        }
+        CacheConfig { capacity_bytes, ways, hit_latency: Cycles::new(hit_latency) }
     }
 
     /// Number of sets for 64-byte blocks.
@@ -32,7 +27,7 @@ impl CacheConfig {
 }
 
 /// DRAM timing and geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of channels.
     pub channels: usize,
@@ -64,7 +59,7 @@ impl Default for DramConfig {
 }
 
 /// Memory-controller queueing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemCtlConfig {
     /// Read queue depth (entries).
     pub read_queue: usize,
@@ -88,7 +83,7 @@ impl Default for MemCtlConfig {
 }
 
 /// Full memory-hierarchy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Number of cores.
     pub cores: usize,

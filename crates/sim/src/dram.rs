@@ -4,10 +4,9 @@ use crate::addr::BlockAddr;
 use crate::clock::Cycles;
 use crate::config::DramConfig;
 use crate::stats::Counters;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a (channel, rank, bank) tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BankId {
     /// Channel index.
     pub channel: usize,
@@ -18,7 +17,7 @@ pub struct BankId {
 }
 
 /// Row-buffer outcome of an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowOutcome {
     /// The requested row was already open.
     Hit,

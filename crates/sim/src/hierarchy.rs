@@ -5,10 +5,9 @@ use crate::cache::SetAssocCache;
 use crate::clock::Cycles;
 use crate::config::SimConfig;
 use crate::stats::Counters;
-use serde::{Deserialize, Serialize};
 
 /// The cache level at which a data access hit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HitLevel {
     /// Private level-1 data cache.
     L1,

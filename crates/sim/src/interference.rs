@@ -1,0 +1,411 @@
+//! Adversarial-interference fault injection.
+//!
+//! Real MetaLeak measurements fight co-runners thrashing the LLC and
+//! metadata caches, DVFS frequency drift, OS preemptions that invalidate
+//! in-flight timings, and lost or duplicated probe samples. This module
+//! models those disturbances as composable, *seeded* fault processes so
+//! the attack runtime's recovery machinery can be exercised
+//! deterministically. The engine's legacy `noise_sd` Gaussian jitter is
+//! just one [`FaultKind`] here.
+
+use crate::clock::Cycles;
+use crate::rng::SimRng;
+
+/// One fault process. All probabilities are per affected event (memory
+/// access for latency faults, probe sample for sample faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Zero-mean Gaussian latency jitter, folded positive (the legacy
+    /// `noise_sd` model): `|N(0, sd)|` extra cycles per access.
+    GaussianNoise {
+        /// Standard deviation in cycles.
+        sd: f64,
+    },
+    /// DVFS-style slow drift: a sinusoidal multiplicative latency
+    /// factor. At phase peak an access takes `(1 + amplitude) * base`.
+    LatencyDrift {
+        /// Peak fractional slowdown (e.g. 0.2 = up to 20% slower).
+        amplitude: f64,
+        /// Drift period in cycles.
+        period: u64,
+    },
+    /// A co-runner bursting through the shared LLC/metadata caches:
+    /// with probability `rate` per access, `burst_len` random metadata
+    /// lines are evicted before the access proceeds.
+    EvictionBurst {
+        /// Probability a given access coincides with a burst.
+        rate: f64,
+        /// Random metadata lines displaced per burst.
+        burst_len: u32,
+    },
+    /// OS preemption: with probability `rate`, the measuring context is
+    /// descheduled for a uniform `min_cycles..=max_cycles` gap. Any
+    /// measurement in flight across the gap is invalidated.
+    PreemptionGap {
+        /// Probability a given access is preempted.
+        rate: f64,
+        /// Shortest gap in cycles.
+        min_cycles: u64,
+        /// Longest gap in cycles.
+        max_cycles: u64,
+    },
+    /// A probe sample is lost (e.g. the timer read was serviced late
+    /// and discarded) with probability `rate`.
+    SampleDrop {
+        /// Per-sample drop probability.
+        rate: f64,
+    },
+    /// A stale probe sample is delivered twice with probability `rate`.
+    SampleDuplicate {
+        /// Per-sample duplication probability.
+        rate: f64,
+    },
+}
+
+/// A composable, seeded fault-injection plan. The default plan is
+/// clean: no faults, no perturbation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the dedicated interference RNG (separate from the
+    /// engine's own RNG so fault schedules reproduce independently).
+    pub seed: u64,
+    /// Active fault processes, applied in order.
+    pub faults: Vec<FaultKind>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn clean() -> Self {
+        FaultPlan { seed: 0x1A7E_12F3_12EA_CE00, faults: Vec::new() }
+    }
+
+    /// Gaussian jitter only — the legacy `noise_sd` behaviour.
+    pub fn gaussian(sd: f64) -> Self {
+        Self::clean().with(FaultKind::GaussianNoise { sd })
+    }
+
+    /// Adds a fault process to the plan.
+    #[must_use]
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Re-seeds the plan.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when no fault process is active.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A full adversarial mix scaled by `intensity` in `[0, 1]`:
+    /// every fault kind active at once, each growing linearly with the
+    /// intensity. `0.0` returns the clean plan.
+    pub fn at_intensity(intensity: f64, seed: u64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        if i == 0.0 {
+            return Self::clean().seeded(seed);
+        }
+        FaultPlan {
+            seed,
+            faults: vec![
+                FaultKind::GaussianNoise { sd: 80.0 * i },
+                FaultKind::LatencyDrift { amplitude: 0.10 * i, period: 40_000 },
+                FaultKind::EvictionBurst { rate: 0.04 * i, burst_len: 1 + (7.0 * i) as u32 },
+                FaultKind::PreemptionGap { rate: 0.01 * i, min_cycles: 2_000, max_cycles: 30_000 },
+                FaultKind::SampleDrop { rate: 0.03 * i },
+                FaultKind::SampleDuplicate { rate: 0.02 * i },
+            ],
+        }
+    }
+}
+
+/// Latency-side outcome of one access under interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Extra cycles added to the observed latency (jitter + drift).
+    pub extra_latency: Cycles,
+    /// A preemption gap the measuring context slept through, if any.
+    /// The measurement spanning it cannot be trusted.
+    pub gap: Option<Cycles>,
+}
+
+impl Perturbation {
+    /// The identity perturbation.
+    pub const NONE: Perturbation = Perturbation { extra_latency: Cycles::ZERO, gap: None };
+}
+
+/// What becomes of one probe sample under interference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFate {
+    /// Delivered normally.
+    Keep,
+    /// Lost; the measurement slot yields nothing.
+    Drop,
+    /// Delivered, but a stale duplicate replaces the fresh value.
+    Duplicate,
+}
+
+/// The seeded runtime evaluating a [`FaultPlan`]. Owned by the secure
+/// memory engine; attacks consult it (through the engine) for sample
+/// fates.
+#[derive(Debug, Clone)]
+pub struct InterferenceEngine {
+    plan: FaultPlan,
+    rng: SimRng,
+    gaps_injected: u64,
+    bursts_injected: u64,
+    samples_dropped: u64,
+    samples_duplicated: u64,
+}
+
+impl InterferenceEngine {
+    /// Builds the engine for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::seed_from(plan.seed);
+        InterferenceEngine {
+            plan,
+            rng,
+            gaps_injected: 0,
+            bursts_injected: 0,
+            samples_dropped: 0,
+            samples_duplicated: 0,
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True when at least one fault process is active.
+    pub fn is_active(&self) -> bool {
+        !self.plan.is_clean()
+    }
+
+    /// Preemption gaps injected so far.
+    pub fn gaps_injected(&self) -> u64 {
+        self.gaps_injected
+    }
+
+    /// Co-runner eviction bursts injected so far.
+    pub fn bursts_injected(&self) -> u64 {
+        self.bursts_injected
+    }
+
+    /// Probe samples dropped so far.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped
+    }
+
+    /// Probe samples duplicated so far.
+    pub fn samples_duplicated(&self) -> u64 {
+        self.samples_duplicated
+    }
+
+    /// The interference RNG (used by the engine to pick burst victims).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Latency perturbation for one access of base latency `base`
+    /// issued at time `now`.
+    pub fn perturb(&mut self, now: Cycles, base: Cycles) -> Perturbation {
+        if self.plan.faults.is_empty() {
+            return Perturbation::NONE;
+        }
+        let mut extra = 0.0f64;
+        let mut gap = None;
+        for fault in &self.plan.faults {
+            match *fault {
+                FaultKind::GaussianNoise { sd } => {
+                    if sd > 0.0 {
+                        extra += (self.rng.gaussian() * sd).abs();
+                    }
+                }
+                FaultKind::LatencyDrift { amplitude, period } => {
+                    if amplitude > 0.0 && period > 0 {
+                        let phase = now.as_u64() % period;
+                        let theta = phase as f64 / period as f64 * core::f64::consts::TAU;
+                        let factor = amplitude * 0.5 * (1.0 + theta.sin());
+                        extra += base.as_u64() as f64 * factor;
+                    }
+                }
+                FaultKind::PreemptionGap { rate, min_cycles, max_cycles } => {
+                    if gap.is_none() && self.rng.chance(rate) {
+                        let hi = max_cycles.max(min_cycles);
+                        let span = hi - min_cycles + 1;
+                        let g = min_cycles + self.rng.below(span);
+                        gap = Some(Cycles::new(g));
+                        self.gaps_injected += 1;
+                    }
+                }
+                // Handled by co_runner_evictions() / sample_fate().
+                FaultKind::EvictionBurst { .. }
+                | FaultKind::SampleDrop { .. }
+                | FaultKind::SampleDuplicate { .. } => {}
+            }
+        }
+        Perturbation { extra_latency: Cycles::new(extra as u64), gap }
+    }
+
+    /// Number of random metadata-cache lines a co-runner displaces
+    /// coincident with the current access (0 almost always).
+    pub fn co_runner_evictions(&mut self) -> u32 {
+        let mut total = 0u32;
+        for i in 0..self.plan.faults.len() {
+            if let FaultKind::EvictionBurst { rate, burst_len } = self.plan.faults[i] {
+                if burst_len > 0 && self.rng.chance(rate) {
+                    total += burst_len;
+                    self.bursts_injected += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Draws the fate of one probe sample.
+    pub fn sample_fate(&mut self) -> SampleFate {
+        for i in 0..self.plan.faults.len() {
+            match self.plan.faults[i] {
+                FaultKind::SampleDrop { rate } if self.rng.chance(rate) => {
+                    self.samples_dropped += 1;
+                    return SampleFate::Drop;
+                }
+                FaultKind::SampleDuplicate { rate } if self.rng.chance(rate) => {
+                    self.samples_duplicated += 1;
+                    return SampleFate::Duplicate;
+                }
+                _ => {}
+            }
+        }
+        SampleFate::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_is_inert() {
+        let mut engine = InterferenceEngine::new(FaultPlan::clean());
+        assert!(!engine.is_active());
+        for t in 0..100u64 {
+            let p = engine.perturb(Cycles::new(t * 17), Cycles::new(200));
+            assert_eq!(p, Perturbation::NONE);
+            assert_eq!(engine.co_runner_evictions(), 0);
+            assert_eq!(engine.sample_fate(), SampleFate::Keep);
+        }
+    }
+
+    #[test]
+    fn gaussian_plan_matches_legacy_noise_shape() {
+        let mut engine = InterferenceEngine::new(FaultPlan::gaussian(30.0).seeded(7));
+        let mut nonzero = 0;
+        for _ in 0..200 {
+            let p = engine.perturb(Cycles::ZERO, Cycles::new(100));
+            assert!(p.gap.is_none());
+            if p.extra_latency > Cycles::ZERO {
+                nonzero += 1;
+            }
+            // |N(0,30)| beyond 6 sigma is absurd.
+            assert!(p.extra_latency < Cycles::new(300));
+        }
+        assert!(nonzero > 100, "jitter should usually be nonzero, got {nonzero}");
+    }
+
+    #[test]
+    fn drift_is_periodic_and_bounded() {
+        let plan =
+            FaultPlan::clean().with(FaultKind::LatencyDrift { amplitude: 0.5, period: 1000 });
+        let mut engine = InterferenceEngine::new(plan);
+        let base = Cycles::new(1000);
+        for t in (0..5000u64).step_by(50) {
+            let p = engine.perturb(Cycles::new(t), base);
+            assert!(p.extra_latency <= Cycles::new(500), "at t={t}: {:?}", p);
+            let p2 = engine.perturb(Cycles::new(t + 1000), base);
+            assert_eq!(p.extra_latency, p2.extra_latency, "drift must be periodic");
+        }
+    }
+
+    #[test]
+    fn preemption_gaps_occur_at_the_configured_rate() {
+        let plan = FaultPlan::clean().with(FaultKind::PreemptionGap {
+            rate: 0.25,
+            min_cycles: 10,
+            max_cycles: 20,
+        });
+        let mut engine = InterferenceEngine::new(plan);
+        let mut gaps = 0;
+        for _ in 0..1000 {
+            if let Some(g) = engine.perturb(Cycles::ZERO, Cycles::new(100)).gap {
+                assert!(g >= Cycles::new(10) && g <= Cycles::new(20));
+                gaps += 1;
+            }
+        }
+        assert!((150..350).contains(&gaps), "rate 0.25 -> ~250 gaps, got {gaps}");
+        assert_eq!(engine.gaps_injected(), gaps);
+    }
+
+    #[test]
+    fn bursts_and_sample_faults_are_counted() {
+        let plan = FaultPlan::clean()
+            .with(FaultKind::EvictionBurst { rate: 0.5, burst_len: 3 })
+            .with(FaultKind::SampleDrop { rate: 0.3 })
+            .with(FaultKind::SampleDuplicate { rate: 0.3 });
+        let mut engine = InterferenceEngine::new(plan);
+        let mut evictions = 0u32;
+        let (mut drops, mut dups) = (0, 0);
+        for _ in 0..1000 {
+            evictions += engine.co_runner_evictions();
+            match engine.sample_fate() {
+                SampleFate::Drop => drops += 1,
+                SampleFate::Duplicate => dups += 1,
+                SampleFate::Keep => {}
+            }
+        }
+        assert!(evictions > 0 && evictions.is_multiple_of(3));
+        assert!(drops > 100, "drop rate 0.3 -> ~300, got {drops}");
+        assert!(dups > 50, "duplicates after surviving drops, got {dups}");
+        assert_eq!(engine.samples_dropped(), drops);
+        assert_eq!(engine.samples_duplicated(), dups);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_fault_schedule() {
+        let plan = FaultPlan::at_intensity(0.5, 0xFA17);
+        let run = |plan: FaultPlan| {
+            let mut engine = InterferenceEngine::new(plan);
+            (0..200u64)
+                .map(|t| {
+                    let p = engine.perturb(Cycles::new(t * 31), Cycles::new(150));
+                    let e = engine.co_runner_evictions();
+                    let f = engine.sample_fate();
+                    (p, e, f)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn intensity_zero_is_clean_and_one_is_everything() {
+        assert!(FaultPlan::at_intensity(0.0, 1).is_clean());
+        let full = FaultPlan::at_intensity(1.0, 1);
+        assert_eq!(full.faults.len(), 6);
+        // Out-of-range intensities clamp instead of exploding.
+        assert_eq!(FaultPlan::at_intensity(7.0, 1), full);
+    }
+}

@@ -33,6 +33,7 @@ pub mod clock;
 pub mod config;
 pub mod dram;
 pub mod hierarchy;
+pub mod interference;
 pub mod memctl;
 pub mod pages;
 pub mod rng;
@@ -40,12 +41,17 @@ pub mod stats;
 
 /// Convenient glob import of the common types.
 pub mod prelude {
-    pub use crate::addr::{BlockAddr, CoreId, PageId, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};
+    pub use crate::addr::{
+        BlockAddr, CoreId, PageId, PhysAddr, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
+    };
     pub use crate::cache::{AccessResult, CacheKey, Evicted, Replacement, SetAssocCache};
     pub use crate::clock::{Clock, Cycles};
     pub use crate::config::{CacheConfig, DramConfig, MemCtlConfig, SimConfig};
     pub use crate::dram::{BankId, Dram, RowOutcome};
     pub use crate::hierarchy::{CacheHierarchy, HierarchyAccess, HitLevel};
+    pub use crate::interference::{
+        FaultKind, FaultPlan, InterferenceEngine, Perturbation, SampleFate,
+    };
     pub use crate::memctl::{DrainReport, MemoryController, ReadOutcome};
     pub use crate::pages::{AllocError, PageAllocator};
     pub use crate::rng::SimRng;

@@ -150,10 +150,7 @@ impl MemoryController {
         let (dram_lat, row) = self.dram.access(block);
         // FR-FCFS approximation: pending buffered writes contend for the
         // command bus; charge a small per-8-entries penalty.
-        let contention = self
-            .config
-            .queue_penalty
-            .times((self.write_queue.len() / 8) as u64);
+        let contention = self.config.queue_penalty.times((self.write_queue.len() / 8) as u64);
         let latency = waited + dram_lat + contention + self.config.queue_penalty;
         self.bank_busy.insert(bank, now + latency);
         self.stats.bump("read_serviced");

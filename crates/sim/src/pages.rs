@@ -10,7 +10,6 @@
 //! models that privileged capability.
 
 use crate::addr::PageId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Error returned when an allocation cannot be satisfied.
@@ -34,7 +33,7 @@ impl core::fmt::Display for AllocError {
 impl std::error::Error for AllocError {}
 
 /// A simple physical-frame allocator with per-core LIFO free lists.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageAllocator {
     /// Next never-used frame.
     next_fresh: u64,

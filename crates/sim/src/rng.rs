@@ -4,8 +4,6 @@
 //! replacement, workload generation) draws from a [`SimRng`] seeded
 //! explicitly, so experiment binaries are bit-reproducible.
 
-use serde::{Deserialize, Serialize};
-
 /// A small, fast, deterministic generator (xoshiro256** seeded via
 /// SplitMix64). Not cryptographically secure — simulation use only.
 ///
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SimRng::seed_from(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
     s: [u64; 4],
 }
@@ -32,21 +30,14 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         SimRng { s }
     }
 
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

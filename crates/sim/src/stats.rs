@@ -1,7 +1,6 @@
 //! Counters and latency histograms for experiment reporting.
 
 use crate::clock::Cycles;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert_eq!(c.get("read_hits"), 3);
 /// assert_eq!(c.get("missing"), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Counters {
     map: BTreeMap<String, u64>,
 }
@@ -63,7 +62,7 @@ impl fmt::Display for Counters {
 
 /// A latency histogram with fixed-width buckets, used to render the
 /// latency-distribution figures (Figures 6–8 of the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     bucket_width: u64,
     buckets: BTreeMap<u64, u64>,
@@ -147,12 +146,8 @@ impl LatencyHistogram {
         if self.count == 0 {
             return 0.0;
         }
-        let in_range: u64 = self
-            .buckets
-            .iter()
-            .filter(|(&b, _)| b >= lo && b < hi)
-            .map(|(_, &n)| n)
-            .sum();
+        let in_range: u64 =
+            self.buckets.iter().filter(|(&b, _)| b >= lo && b < hi).map(|(_, &n)| n).sum();
         in_range as f64 / self.count as f64
     }
 

@@ -1,9 +1,12 @@
 //! Property tests for the cache model: the set-associative cache must
 //! agree with a naive reference model under arbitrary access traces.
+//!
+//! Randomized inputs come from seeded [`SimRng`] loops so every run is
+//! deterministic and failures are reproducible from the printed seed.
 
 use metaleak_sim::cache::SetAssocCache;
 use metaleak_sim::config::CacheConfig;
-use proptest::prelude::*;
+use metaleak_sim::rng::SimRng;
 use std::collections::HashMap;
 
 /// Reference model: per-set vectors with explicit LRU timestamps.
@@ -30,11 +33,7 @@ impl RefCache {
         }
         let mut evicted = None;
         if set.len() >= self.ways {
-            let (idx, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.2)
-                .expect("nonempty");
+            let (idx, _) = set.iter().enumerate().min_by_key(|(_, l)| l.2).expect("nonempty");
             let victim = set.remove(idx);
             evicted = Some((victim.0, victim.1));
         }
@@ -49,43 +48,55 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cache_matches_reference_model(accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xCAC4E000 + seed);
         // 4 sets x 2 ways.
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(4 * 2 * 64, 2, 1));
         let mut reference = RefCache::new(4, 2);
-        for (key, write) in accesses {
+        let n = 1 + rng.index(300);
+        for _ in 0..n {
+            let key = rng.below(64);
+            let write = rng.chance(0.5);
             let got = cache.access(key, write);
             let (hit, evicted) = reference.access(key, write);
-            prop_assert_eq!(got.hit, hit, "hit mismatch on {}", key);
-            prop_assert_eq!(
+            assert_eq!(got.hit, hit, "seed {seed}: hit mismatch on {key}");
+            assert_eq!(
                 got.evicted.map(|e| (e.key, e.dirty)),
                 evicted,
-                "eviction mismatch on {}", key
+                "seed {seed}: eviction mismatch on {key}"
             );
-            prop_assert_eq!(cache.contains(key), reference.contains(key));
+            assert_eq!(cache.contains(key), reference.contains(key), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn residency_never_exceeds_capacity(accesses in prop::collection::vec(0u64..1000, 1..500)) {
+#[test]
+fn residency_never_exceeds_capacity() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from(0xCAC4E100 + seed);
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(8 * 4 * 64, 4, 1));
-        for key in accesses {
-            cache.access(key, false);
-            prop_assert!(cache.len() <= 32);
+        let n = 1 + rng.index(500);
+        for _ in 0..n {
+            cache.access(rng.below(1000), false);
+            assert!(cache.len() <= 32, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn flush_returns_exactly_the_dirty_set(ops in prop::collection::vec((0u64..32, any::<bool>()), 1..100)) {
+#[test]
+fn flush_returns_exactly_the_dirty_set() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from(0xCAC4E200 + seed);
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(CacheConfig::new(64 * 64, 64, 1));
         // Fully associative-ish (one set would need cap = ways): use
         // enough ways that nothing evicts, then flush.
         let mut dirty = std::collections::HashSet::new();
-        for (key, write) in ops {
+        let n = 1 + rng.index(100);
+        for _ in 0..n {
+            let key = rng.below(32);
+            let write = rng.chance(0.5);
             cache.access(key, write);
             if write {
                 dirty.insert(key);
@@ -95,7 +106,7 @@ proptest! {
         flushed.sort_unstable();
         let mut expect: Vec<u64> = dirty.into_iter().collect();
         expect.sort_unstable();
-        prop_assert_eq!(flushed, expect);
-        prop_assert!(cache.is_empty());
+        assert_eq!(flushed, expect, "seed {seed}");
+        assert!(cache.is_empty(), "seed {seed}");
     }
 }

@@ -7,7 +7,6 @@
 //! add/sub, shifts, schoolbook and Karatsuba multiplication, division
 //! with remainder, modular exponentiation and modular inverse.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -19,7 +18,7 @@ use std::fmt;
 /// let a = BigUint::from_u64(12) * BigUint::from_u64(10);
 /// assert_eq!(a, BigUint::from_u64(120));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct BigUint {
     limbs: Vec<u64>,
 }
@@ -90,9 +89,7 @@ impl BigUint {
 
     /// Value of bit `i` (false beyond the top).
     pub fn bit(&self, i: usize) -> bool {
-        self.limbs
-            .get(i / 64)
-            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+        self.limbs.get(i / 64).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
     }
 
     /// The bits from most-significant downwards (square-and-multiply
@@ -176,10 +173,7 @@ impl BigUint {
         } else {
             for i in limb_shift..self.limbs.len() {
                 let lo = self.limbs[i] >> bit_shift;
-                let hi = self
-                    .limbs
-                    .get(i + 1)
-                    .map_or(0, |l| l << (64 - bit_shift));
+                let hi = self.limbs.get(i + 1).map_or(0, |l| l << (64 - bit_shift));
                 out.push(lo | hi);
             }
         }
@@ -449,8 +443,10 @@ mod tests {
     #[test]
     fn karatsuba_matches_basecase() {
         // Build ~20-limb operands to cross the threshold.
-        let a = BigUint::from_limbs((1..=20u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
-        let b = BigUint::from_limbs((1..=21u64).map(|i| i.wrapping_mul(0xD1B54A32D192ED03)).collect());
+        let a =
+            BigUint::from_limbs((1..=20u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+        let b =
+            BigUint::from_limbs((1..=21u64).map(|i| i.wrapping_mul(0xD1B54A32D192ED03)).collect());
         assert_eq!(a.mul(&b), a.mul_basecase(&b));
         assert_eq!(a.sqr(), a.mul_basecase(&a));
     }
@@ -477,7 +473,8 @@ mod tests {
         let mut trace = Vec::new();
         big(3).modpow_observed(&big(0b10110), &big(1_000_003), |op| trace.push(op.to_owned()));
         // bits msb-first: 1 0 1 1 0 -> S M | S | S M | S M | S
-        let expect = ["square", "multiply", "square", "square", "multiply", "square", "multiply", "square"];
+        let expect =
+            ["square", "multiply", "square", "square", "multiply", "square", "multiply", "square"];
         assert_eq!(trace, expect);
     }
 

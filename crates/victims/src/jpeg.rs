@@ -5,7 +5,6 @@
 //! leaks the structure of the input image.
 
 use metaleak_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// DCT block edge length.
 pub const DCT_SIZE: usize = 8;
@@ -17,20 +16,20 @@ pub const MAX_COEF_BITS: u32 = 10;
 /// The zigzag scan order (`jpeg_natural_order`): zigzag index ->
 /// row-major coefficient position.
 pub const JPEG_NATURAL_ORDER: [usize; DCT_SIZE2] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// The standard JPEG luminance quantization table (Annex K).
 pub const QUANT_TABLE: [u16; DCT_SIZE2] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// A grayscale image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrayImage {
     /// Width in pixels (multiple of 8 for encoding).
     pub width: usize,
@@ -109,7 +108,8 @@ impl GrayImage {
                         let horizontal = rng.chance(0.5);
                         let off = rng.index(6);
                         for t in 0..6 {
-                            let (px, py) = if horizontal { (x + t, y + off) } else { (x + off, y + t) };
+                            let (px, py) =
+                                if horizontal { (x + t, y + off) } else { (x + off, y + t) };
                             img.set(px, py, 235);
                         }
                     }
@@ -271,7 +271,7 @@ pub fn dequantize(q: &[i32; DCT_SIZE2]) -> [f64; DCT_SIZE2] {
 /// per zigzag index `k`, either the `r++` path (zero coefficient,
 /// line 6, touching variable `r`'s page) or the `nbits` path (non-zero,
 /// line 10, touching `nbits`'s page).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoefEvent {
     /// Zigzag index (1..64, AC coefficients only).
     pub k: usize,
@@ -281,7 +281,7 @@ pub struct CoefEvent {
 
 /// The per-block entropy-coding artifacts: the run-length pairs the
 /// real encoder would emit, plus the access trace the attacker sees.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockEncoding {
     /// `(run_of_zeros, coefficient)` pairs (simplified Huffman input).
     pub runs: Vec<(u32, i32)>,
@@ -398,10 +398,7 @@ pub fn mask_accuracy(inferred: &[[bool; DCT_SIZE2]], truth: &[[bool; DCT_SIZE2]]
 /// feature the reconstruction preserves; used as a structural
 /// similarity measure between original and stolen images.
 pub fn energy_map(masks: &[[bool; DCT_SIZE2]]) -> Vec<u32> {
-    masks
-        .iter()
-        .map(|m| m[1..].iter().map(|&b| b as u32).sum())
-        .collect()
+    masks.iter().map(|m| m[1..].iter().map(|&b| b as u32).sum()).collect()
 }
 
 #[cfg(test)]

@@ -5,11 +5,10 @@
 //! the secret operands and leaks through page-access monitoring.
 
 use crate::bignum::BigUint;
-use serde::{Deserialize, Serialize};
 
 /// One observable operation of the inversion (each lives on its own
 /// code page in mbedTLS 3.4.0).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvOp {
     /// `mbedtls_mpi_shift_r` — a halving step.
     ShiftR,

@@ -6,12 +6,11 @@
 use crate::bignum::BigUint;
 use crate::modinv::mod_inverse;
 use metaleak_sim::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// One modular-exponentiation operation, as fetched from its own code
 /// page in libgcrypt 1.5.2 (`_gcry_mpih_sqr_n_basecase` vs
 /// `_gcry_mpih_mul_karatsuba_case`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModExpOp {
     /// Squaring (every exponent bit).
     Square,
@@ -66,9 +65,7 @@ pub fn gen_prime(bits: usize, rng: &mut SimRng) -> BigUint {
         rng.fill_bytes(&mut bytes);
         let mut candidate = BigUint::from_be_bytes(&bytes);
         // Force the top and bottom bits: value in [2^(bits-1), 2^bits).
-        candidate = candidate
-            .rem(&BigUint::one().shl(bits - 1))
-            .add(&BigUint::one().shl(bits - 1));
+        candidate = candidate.rem(&BigUint::one().shl(bits - 1)).add(&BigUint::one().shl(bits - 1));
         if candidate.is_even() {
             candidate = candidate.add(&BigUint::one());
         }
@@ -79,7 +76,7 @@ pub fn gen_prime(bits: usize, rng: &mut SimRng) -> BigUint {
 }
 
 /// An RSA key pair (small moduli; simulation victim only).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RsaKey {
     /// Modulus `n = p * q`.
     pub n: BigUint,
@@ -243,8 +240,7 @@ mod tests {
     #[test]
     fn window_decoder_matches_bit_pattern() {
         let d = BigUint::from_u64(0b101101);
-        let windows: Vec<(bool, bool)> =
-            d.bits_msb_first().iter().map(|&b| (true, b)).collect();
+        let windows: Vec<(bool, bool)> = d.bits_msb_first().iter().map(|&b| (true, b)).collect();
         assert_eq!(recover_exponent_from_windows(&windows), d);
     }
 

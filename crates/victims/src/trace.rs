@@ -7,11 +7,10 @@
 //! case studies replay the mapped trace against the secure memory
 //! while an attack monitors it.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One victim memory event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Which logical location was touched (e.g. "square", "r",
     /// "shift_r"). Tags map to pages through a [`PageMap`].
@@ -34,7 +33,7 @@ impl TraceEvent {
 }
 
 /// An ordered victim trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessTrace {
     /// The events, in program order.
     pub events: Vec<TraceEvent>,
@@ -110,7 +109,7 @@ impl AccessTrace {
 
 /// Maps event tags onto simulated data-block indices (one block per
 /// tag, standing for the page holding that variable / routine).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PageMap {
     map: BTreeMap<String, u64>,
 }
@@ -135,11 +134,7 @@ impl PageMap {
     /// Resolves a trace into block-level events, dropping events whose
     /// tag is unpinned (they are invisible to the attack).
     pub fn resolve(&self, trace: &AccessTrace) -> Vec<(u64, bool)> {
-        trace
-            .events
-            .iter()
-            .filter_map(|e| self.block_of(&e.tag).map(|b| (b, e.is_write)))
-            .collect()
+        trace.events.iter().filter_map(|e| self.block_of(&e.tag).map(|b| (b, e.is_write))).collect()
     }
 }
 
@@ -200,9 +195,6 @@ mod tests {
             |op| trace.load(op),
         );
         // bits 1,0,1 -> S M | S | S M
-        assert_eq!(
-            trace.to_text(),
-            "L square\nL multiply\nL square\nL square\nL multiply\n"
-        );
+        assert_eq!(trace.to_text(), "L square\nL multiply\nL square\nL square\nL multiply\n");
     }
 }

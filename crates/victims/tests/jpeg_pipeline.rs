@@ -1,11 +1,12 @@
 //! JPEG-victim pipeline tests: the full encode → leak-mask →
-//! reconstruct loop, plus numeric properties of the DCT stage.
+//! reconstruct loop, plus numeric properties of the DCT stage over
+//! seeded [`SimRng`] input loops.
 
+use metaleak_sim::rng::SimRng;
 use metaleak_victims::jpeg::{
     dct2d, dequantize, encode_image, encode_one_block, idct2d, mask_accuracy, nonzero_masks,
     quantize, reconstruct_from_masks, GrayImage, DCT_SIZE2, JPEG_NATURAL_ORDER,
 };
-use proptest::prelude::*;
 
 #[test]
 fn full_pipeline_on_every_generator() {
@@ -61,63 +62,68 @@ fn corrupted_masks_degrade_accuracy_proportionally() {
     assert!((acc - expect).abs() < 1e-9, "acc {acc} expect {expect}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The 8x8 DCT is orthonormal: round trip within float tolerance,
-    /// and Parseval's energy identity holds.
-    #[test]
-    fn dct_is_orthonormal(pixels in prop::collection::vec(0u8..=255, 64)) {
+/// The 8x8 DCT is orthonormal: round trip within float tolerance,
+/// and Parseval's energy identity holds.
+#[test]
+fn dct_is_orthonormal() {
+    let mut rng = SimRng::seed_from(0xD7C_0001);
+    for _ in 0..48 {
         let mut samples = [0.0; DCT_SIZE2];
-        for (i, &p) in pixels.iter().enumerate() {
-            samples[i] = p as f64 - 128.0;
+        for s in samples.iter_mut() {
+            *s = rng.below(256) as f64 - 128.0;
         }
         let coefs = dct2d(&samples);
         let back = idct2d(&coefs);
         for (a, b) in samples.iter().zip(&back) {
-            prop_assert!((a - b).abs() < 1e-6);
+            assert!((a - b).abs() < 1e-6);
         }
         let e_space: f64 = samples.iter().map(|s| s * s).sum();
         let e_freq: f64 = coefs.iter().map(|c| c * c).sum();
-        prop_assert!((e_space - e_freq).abs() < 1e-6 * e_space.max(1.0));
+        assert!((e_space - e_freq).abs() < 1e-6 * e_space.max(1.0));
     }
+}
 
-    /// encode_one_block events are complete and consistent with the
-    /// run-length output for arbitrary coefficient blocks.
-    #[test]
-    fn encode_events_match_runs(coefs in prop::collection::vec(-40i32..40, 64)) {
+/// encode_one_block events are complete and consistent with the
+/// run-length output for arbitrary coefficient blocks.
+#[test]
+fn encode_events_match_runs() {
+    let mut rng = SimRng::seed_from(0xD7C_0002);
+    for _ in 0..48 {
         let mut q = [0i32; DCT_SIZE2];
-        q.copy_from_slice(&coefs);
+        for c in q.iter_mut() {
+            *c = rng.below(80) as i32 - 40;
+        }
         let enc = encode_one_block(&q);
         // One event per AC index, in zigzag order.
-        prop_assert_eq!(enc.events.len(), 63);
+        assert_eq!(enc.events.len(), 63);
         for (i, ev) in enc.events.iter().enumerate() {
-            prop_assert_eq!(ev.k, i + 1);
-            prop_assert_eq!(ev.nonzero, q[JPEG_NATURAL_ORDER[i + 1]] != 0);
+            assert_eq!(ev.k, i + 1);
+            assert_eq!(ev.nonzero, q[JPEG_NATURAL_ORDER[i + 1]] != 0);
         }
         // Runs reproduce the nonzero coefficients in order.
-        let nonzeros: Vec<i32> = (1..DCT_SIZE2)
-            .map(|k| q[JPEG_NATURAL_ORDER[k]])
-            .filter(|&c| c != 0)
-            .collect();
+        let nonzeros: Vec<i32> =
+            (1..DCT_SIZE2).map(|k| q[JPEG_NATURAL_ORDER[k]]).filter(|&c| c != 0).collect();
         let from_runs: Vec<i32> = enc.runs.iter().map(|&(_, c)| c).collect();
-        prop_assert_eq!(from_runs, nonzeros);
+        assert_eq!(from_runs, nonzeros);
         // Run lengths + nonzeros account for all 63 positions up to the
         // last nonzero.
         let covered: u32 = enc.runs.iter().map(|&(r, _)| r + 1).sum();
-        prop_assert!(covered as usize <= 63);
+        assert!(covered as usize <= 63);
     }
+}
 
-    /// Quantize/dequantize is idempotent-ish: re-quantizing the
-    /// dequantized block returns the same quantized coefficients.
-    #[test]
-    fn quantization_is_stable(pixels in prop::collection::vec(0u8..=255, 64)) {
+/// Quantize/dequantize is idempotent-ish: re-quantizing the
+/// dequantized block returns the same quantized coefficients.
+#[test]
+fn quantization_is_stable() {
+    let mut rng = SimRng::seed_from(0xD7C_0003);
+    for _ in 0..48 {
         let mut samples = [0.0; DCT_SIZE2];
-        for (i, &p) in pixels.iter().enumerate() {
-            samples[i] = p as f64 - 128.0;
+        for s in samples.iter_mut() {
+            *s = rng.below(256) as f64 - 128.0;
         }
         let q1 = quantize(&dct2d(&samples));
         let q2 = quantize(&dequantize(&q1));
-        prop_assert_eq!(q1, q2);
+        assert_eq!(q1, q2);
     }
 }

@@ -1,63 +1,104 @@
 //! Property tests for the bignum substrate: algebra checked against
 //! u128 reference arithmetic and structural identities on large
-//! operands.
+//! operands, over seeded [`SimRng`] input loops.
 
+use metaleak_sim::rng::SimRng;
 use metaleak_victims::bignum::BigUint;
 use metaleak_victims::modinv::mod_inverse;
-use proptest::prelude::*;
 
 fn from_u128(v: u128) -> BigUint {
     BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn u128_below(rng: &mut SimRng, bits: u32) -> u128 {
+    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    v & ((1u128 << bits) - 1)
+}
 
-    #[test]
-    fn add_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 100) {
-        prop_assert_eq!(from_u128(a).add(&from_u128(b)), from_u128(a + b));
+#[test]
+fn add_matches_u128() {
+    let mut rng = SimRng::seed_from(0xB16_0001);
+    for _ in 0..192 {
+        let a = u128_below(&mut rng, 100);
+        let b = u128_below(&mut rng, 100);
+        assert_eq!(from_u128(a).add(&from_u128(b)), from_u128(a + b));
     }
+}
 
-    #[test]
-    fn sub_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 100) {
+#[test]
+fn sub_matches_u128() {
+    let mut rng = SimRng::seed_from(0xB16_0002);
+    for _ in 0..192 {
+        let a = u128_below(&mut rng, 100);
+        let b = u128_below(&mut rng, 100);
         let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
-        prop_assert_eq!(from_u128(hi).sub(&from_u128(lo)), from_u128(hi - lo));
+        assert_eq!(from_u128(hi).sub(&from_u128(lo)), from_u128(hi - lo));
     }
+}
 
-    #[test]
-    fn mul_matches_u128(a in 0u128..1 << 60, b in 0u128..1 << 60) {
-        prop_assert_eq!(from_u128(a).mul(&from_u128(b)), from_u128(a * b));
+#[test]
+fn mul_matches_u128() {
+    let mut rng = SimRng::seed_from(0xB16_0003);
+    for _ in 0..192 {
+        let a = u128_below(&mut rng, 60);
+        let b = u128_below(&mut rng, 60);
+        assert_eq!(from_u128(a).mul(&from_u128(b)), from_u128(a * b));
     }
+}
 
-    #[test]
-    fn div_rem_matches_u128(a in 0u128..1 << 100, b in 1u128..1 << 60) {
+#[test]
+fn div_rem_matches_u128() {
+    let mut rng = SimRng::seed_from(0xB16_0004);
+    for _ in 0..192 {
+        let a = u128_below(&mut rng, 100);
+        let b = 1 + u128_below(&mut rng, 60);
         let (q, r) = from_u128(a).div_rem(&from_u128(b));
-        prop_assert_eq!(q, from_u128(a / b));
-        prop_assert_eq!(r, from_u128(a % b));
+        assert_eq!(q, from_u128(a / b));
+        assert_eq!(r, from_u128(a % b));
     }
+}
 
-    #[test]
-    fn shifts_invert(a in 0u128..1 << 90, k in 0usize..70) {
+#[test]
+fn shifts_invert() {
+    let mut rng = SimRng::seed_from(0xB16_0005);
+    for _ in 0..192 {
+        let a = u128_below(&mut rng, 90);
+        let k = rng.index(70);
         let v = from_u128(a);
-        prop_assert_eq!(v.shl(k).shr(k), v);
+        assert_eq!(v.shl(k).shr(k), v);
     }
+}
 
-    #[test]
-    fn karatsuba_equals_basecase(limbs_a in prop::collection::vec(any::<u64>(), 16..24),
-                                  limbs_b in prop::collection::vec(any::<u64>(), 16..24)) {
+#[test]
+fn karatsuba_equals_basecase() {
+    let mut rng = SimRng::seed_from(0xB16_0006);
+    for _ in 0..48 {
+        let limbs_a: Vec<u64> = (0..16 + rng.index(8)).map(|_| rng.next_u64()).collect();
+        let limbs_b: Vec<u64> = (0..16 + rng.index(8)).map(|_| rng.next_u64()).collect();
         let a = BigUint::from_limbs(limbs_a);
         let b = BigUint::from_limbs(limbs_b);
-        prop_assert_eq!(a.mul(&b), a.mul_basecase(&b));
+        assert_eq!(a.mul(&b), a.mul_basecase(&b));
     }
+}
 
-    #[test]
-    fn distributivity(a in 0u128..1 << 50, b in 0u128..1 << 50, c in 0u128..1 << 50) {
+#[test]
+fn distributivity() {
+    let mut rng = SimRng::seed_from(0xB16_0007);
+    for _ in 0..192 {
+        let (a, b, c) =
+            (u128_below(&mut rng, 50), u128_below(&mut rng, 50), u128_below(&mut rng, 50));
         let (ba, bb, bc) = (from_u128(a), from_u128(b), from_u128(c));
-        prop_assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
+        assert_eq!(ba.mul(&bb.add(&bc)), ba.mul(&bb).add(&ba.mul(&bc)));
     }
+}
 
-    #[test]
-    fn modpow_matches_reference(base in 1u64..1000, exp in 0u64..64, modulus in 2u64..10_000) {
+#[test]
+fn modpow_matches_reference() {
+    let mut rng = SimRng::seed_from(0xB16_0008);
+    for _ in 0..192 {
+        let base = 1 + rng.below(999);
+        let exp = rng.below(64);
+        let modulus = 2 + rng.below(9998);
         let expect = {
             let mut acc: u128 = 1;
             for _ in 0..exp {
@@ -65,19 +106,24 @@ proptest! {
             }
             acc as u64
         };
-        prop_assert_eq!(
+        assert_eq!(
             BigUint::from_u64(base).modpow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus)),
             BigUint::from_u64(expect)
         );
     }
+}
 
-    #[test]
-    fn gcd_divides_both_and_is_maximal(a in 1u64..100_000, b in 1u64..100_000) {
+#[test]
+fn gcd_divides_both_and_is_maximal() {
+    let mut rng = SimRng::seed_from(0xB16_0009);
+    for _ in 0..192 {
+        let a = 1 + rng.below(99_999);
+        let b = 1 + rng.below(99_999);
         let g = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
         let g64 = g.limbs().first().copied().unwrap_or(0);
-        prop_assert!(g64 > 0);
-        prop_assert_eq!(a % g64, 0);
-        prop_assert_eq!(b % g64, 0);
+        assert!(g64 > 0);
+        assert_eq!(a % g64, 0);
+        assert_eq!(b % g64, 0);
         // Euclid reference.
         let (mut x, mut y) = (a, b);
         while y != 0 {
@@ -85,30 +131,39 @@ proptest! {
             x = y;
             y = t;
         }
-        prop_assert_eq!(g64, x);
+        assert_eq!(g64, x);
     }
+}
 
-    #[test]
-    fn mod_inverse_verifies_or_shares_a_factor(a in 2u64..10_000, m in 3u64..10_000) {
+#[test]
+fn mod_inverse_verifies_or_shares_a_factor() {
+    let mut rng = SimRng::seed_from(0xB16_000A);
+    for _ in 0..192 {
+        let a = 2 + rng.below(9998);
+        let m = 3 + rng.below(9997);
         let (ba, bm) = (BigUint::from_u64(a), BigUint::from_u64(m));
         match mod_inverse(&ba, &bm) {
             Some(inv) => {
-                prop_assert!(inv < bm);
-                prop_assert_eq!(ba.mul(&inv).rem(&bm), BigUint::one());
+                assert!(inv < bm);
+                assert_eq!(ba.mul(&inv).rem(&bm), BigUint::one());
             }
-            None => prop_assert_ne!(ba.gcd(&bm), BigUint::one()),
+            None => assert_ne!(ba.gcd(&bm), BigUint::one()),
         }
     }
+}
 
-    #[test]
-    fn bits_roundtrip_msb_first(v in 1u64..u64::MAX) {
+#[test]
+fn bits_roundtrip_msb_first() {
+    let mut rng = SimRng::seed_from(0xB16_000B);
+    for _ in 0..192 {
+        let v = 1 + rng.below(u64::MAX - 1);
         let b = BigUint::from_u64(v);
         let bits = b.bits_msb_first();
-        prop_assert_eq!(bits.len(), 64 - v.leading_zeros() as usize);
+        assert_eq!(bits.len(), 64 - v.leading_zeros() as usize);
         let mut acc = 0u64;
         for bit in bits {
             acc = (acc << 1) | bit as u64;
         }
-        prop_assert_eq!(acc, v);
+        assert_eq!(acc, v);
     }
 }

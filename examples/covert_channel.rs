@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The Figure 11 payload.
     let payload: Vec<bool> = [0u8, 1, 1, 0, 1, 0, 0, 1].iter().map(|&b| b == 1).collect();
-    let out = channel.transmit(&mut mem, &payload);
+    let out = channel.transmit(&mut mem, &payload)?;
     println!("sent    : {}", render_bits(&payload));
     println!("decoded : {}", render_bits(&out.decoded));
     for (i, r) in out.records.iter().enumerate() {
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A longer random payload for the accuracy number.
     let mut rng = SimRng::seed_from(2024);
     let bits: Vec<bool> = (0..200).map(|_| rng.chance(0.5)).collect();
-    let out = channel.transmit(&mut mem, &bits);
+    let out = channel.transmit(&mut mem, &bits)?;
     println!(
         "\n200-bit transmission: {:.1}% accuracy, {:.1} bits/Mcycle",
         out.accuracy(&bits) * 100.0,

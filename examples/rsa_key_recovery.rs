@@ -29,7 +29,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Render the first iterations like the Figure 16 trace.
         print!("trace (first 24 iterations): ");
         for &(sq, mul) in out.observations.iter().take(24) {
-            print!("{}", if mul { 'M' } else if sq { 'S' } else { '?' });
+            print!(
+                "{}",
+                if mul {
+                    'M'
+                } else if sq {
+                    'S'
+                } else {
+                    '?'
+                }
+            );
         }
         println!("\n");
     }

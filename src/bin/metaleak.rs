@@ -47,10 +47,7 @@ impl Args {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.items
-            .windows(2)
-            .find(|w| w[0] == format!("--{name}"))
-            .map(|w| w[1].as_str())
+        self.items.windows(2).find(|w| w[0] == format!("--{name}")).map(|w| w[1].as_str())
     }
 
     fn number(&self, name: &str, default: usize) -> usize {
@@ -74,7 +71,7 @@ fn cmd_covert_t(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let channel = CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), level, 100)?;
     let mut rng = SimRng::seed_from(1);
     let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
-    let out = channel.transmit(&mut mem, &bits);
+    let out = channel.transmit(&mut mem, &bits)?;
     println!(
         "accuracy {:.1}%  ({:.1} bits/Mcycle)",
         out.accuracy(&bits) * 100.0,
@@ -92,7 +89,11 @@ fn cmd_covert_c(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let cap = channel.max_symbol() + 1;
     let symbols: Vec<u64> = (0..symbols_n).map(|_| rng.below(cap)).collect();
     let out = channel.transmit(&mut mem, &symbols)?;
-    println!("accuracy {:.1}%  ({} symbols decoded)", out.accuracy(&symbols) * 100.0, out.decoded.len());
+    println!(
+        "accuracy {:.1}%  ({} symbols decoded)",
+        out.accuracy(&symbols) * 100.0,
+        out.decoded.len()
+    );
     Ok(())
 }
 

@@ -47,10 +47,8 @@ pub fn run_jpeg_c(
     let mut attack = MetaLeakC::new(&mem, r_block, level)?;
 
     let encodings = encode_image(image);
-    let events: Vec<bool> = encodings
-        .iter()
-        .flat_map(|e| e.events.iter().map(|ev| !ev.nonzero))
-        .collect();
+    let events: Vec<bool> =
+        encodings.iter().flat_map(|e| e.events.iter().map(|ev| !ev.nonzero)).collect();
     let events = if max_events > 0 && events.len() > max_events {
         events[..max_events].to_vec()
     } else {

@@ -72,7 +72,7 @@ pub fn run_jpeg_t(
                 } else {
                     victim_touch(m, victim, r_block); // Listing 1 line 6
                 }
-            });
+            })?;
             // Decode: the `nbits` monitor firing means non-zero.
             inferred_masks[bi][ev.k] = sample.b_seen && !sample.a_seen;
             windows += 1;
@@ -103,11 +103,7 @@ mod tests {
         let image = GrayImage::circle(16, 16);
         let out = run_jpeg_t(configs::sct_experiment(), &image, 100, 0).unwrap();
         assert_eq!(out.windows, 4 * 63);
-        assert!(
-            out.mask_accuracy >= 0.9,
-            "stealing accuracy {} below 0.9",
-            out.mask_accuracy
-        );
+        assert!(out.mask_accuracy >= 0.9, "stealing accuracy {} below 0.9", out.mask_accuracy);
         // The stolen reconstruction must closely track the oracle.
         assert!(out.psnr_vs_oracle > 20.0, "psnr {}", out.psnr_vs_oracle);
     }

@@ -55,7 +55,7 @@ pub fn run_modinv_t(
         let sample = dual.window(&mut mem, spy, |m| match op {
             InvOp::ShiftR => victim_touch(m, victim, shift_block),
             InvOp::Sub => victim_touch(m, victim, sub_block),
-        });
+        })?;
         // Classify by which page fired; tie-break on raw latency.
         let decoded = match (sample.a_seen, sample.b_seen) {
             (true, false) => InvOp::ShiftR,

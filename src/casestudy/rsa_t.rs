@@ -74,7 +74,7 @@ pub fn run_rsa_t(
             if bit {
                 victim_touch(m, victim, multiply_block);
             }
-        });
+        })?;
         observations.push((sample.a_seen, sample.b_seen));
     }
 
@@ -99,21 +99,13 @@ mod tests {
         let key = RsaKey::generate(32, 2024);
         let out = run_rsa_t(configs::sct_experiment(), &key, 100, 0).unwrap();
         assert_eq!(out.windows, key.d.bits());
-        assert!(
-            out.bit_accuracy >= 0.9,
-            "bit accuracy {} below 0.9",
-            out.bit_accuracy
-        );
+        assert!(out.bit_accuracy >= 0.9, "bit accuracy {} below 0.9", out.bit_accuracy);
     }
 
     #[test]
     fn works_under_sgx_at_level_1() {
         let key = RsaKey::generate(24, 7);
         let out = run_rsa_t(configs::sgx_experiment(), &key, 100, 1).unwrap();
-        assert!(
-            out.bit_accuracy >= 0.85,
-            "SGX bit accuracy {} below 0.85",
-            out.bit_accuracy
-        );
+        assert!(out.bit_accuracy >= 0.85, "SGX bit accuracy {} below 0.85", out.bit_accuracy);
     }
 }

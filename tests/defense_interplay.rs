@@ -68,10 +68,7 @@ fn analysis_matrix_is_consistent_with_models() {
     );
     // And that tree partitioning stops it — consistent with the
     // no-shared-probe structural test above.
-    assert_eq!(
-        evaluate(Defense::TreePartitioning, Attack::MetaLeakT).0,
-        Effectiveness::Stops
-    );
+    assert_eq!(evaluate(Defense::TreePartitioning, Attack::MetaLeakT).0, Effectiveness::Stops);
 }
 
 #[test]
@@ -90,7 +87,7 @@ fn contention_auditor_flags_the_real_covert_channel() {
     let mut last = mem.mcaches().stats.get("tree_miss");
     for _ in 0..48 {
         let bit = rng.chance(0.5);
-        channel.transmit(&mut mem, &[bit]);
+        channel.transmit(&mut mem, &[bit]).unwrap();
         let now = mem.mcaches().stats.get("tree_miss");
         covert_samples.push(now - last);
         last = now;
@@ -117,10 +114,7 @@ fn contention_auditor_flags_the_real_covert_channel() {
     // At bit-window sampling granularity the channel's signature is
     // metronomic saturation: every window carries the same heavy
     // eviction load, unlike the irregular benign traffic.
-    assert!(
-        covert.burstiness < benign.burstiness,
-        "covert {covert:?} vs benign {benign:?}"
-    );
+    assert!(covert.burstiness < benign.burstiness, "covert {covert:?} vs benign {benign:?}");
     assert!(covert.flagged, "the covert channel's miss pattern must be flagged: {covert:?}");
     assert!(!benign.flagged, "benign traffic must not be flagged: {benign:?}");
 }

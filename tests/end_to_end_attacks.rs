@@ -19,7 +19,7 @@ fn covert_t_channel_end_to_end() {
     let channel = CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100).unwrap();
     let mut rng = SimRng::seed_from(0xE2E);
     let bits: Vec<bool> = (0..48).map(|_| rng.chance(0.5)).collect();
-    let out = channel.transmit(&mut mem, &bits);
+    let out = channel.transmit(&mut mem, &bits).unwrap();
     assert!(out.accuracy(&bits) >= 0.95, "accuracy {}", out.accuracy(&bits));
     assert!(out.records.iter().all(|r| r.boundary_ok), "boundary sync must hold");
 }
@@ -86,16 +86,16 @@ fn sgx_counter_overflow_is_impractical() {
 fn attack_works_against_hash_tree_design_too() {
     // MetaLeak-T is tree-design agnostic (HT node sharing is the same
     // structural property).
-    use metaleak_attacks::dual::{victim_touch, DualPageMonitor};
     use metaleak_attacks::dual::find_partner_block;
+    use metaleak_attacks::dual::{victim_touch, DualPageMonitor};
     let mut mem = SecureMemory::new(configs::ht_experiment());
     let core = CoreId(0);
     let a = 100 * 64;
     let b = find_partner_block(&mem, a, 0).unwrap();
     let dual = DualPageMonitor::new(&mut mem, core, a, b, 0).unwrap();
-    let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), a));
+    let s = dual.window(&mut mem, core, |m| victim_touch(m, CoreId(1), a)).unwrap();
     assert!(s.a_seen && !s.b_seen, "{s:?}");
-    let s = dual.window(&mut mem, core, |_| {});
+    let s = dual.window(&mut mem, core, |_| {}).unwrap();
     assert!(!s.a_seen && !s.b_seen, "{s:?}");
 }
 
@@ -117,7 +117,7 @@ fn covert_t_signal_survives_without_any_data_cache_sharing() {
     let bits: Vec<bool> = (0..24).map(|_| rng.chance(0.5)).collect();
     let mut decoded = Vec::new();
     for &bit in &bits {
-        atk.evict(&mut mem, spy);
+        atk.evict(&mut mem, spy).unwrap();
         if bit {
             mem.flush_block(trojan_block);
             mem.read(trojan_core, trojan_block).unwrap();
@@ -126,7 +126,7 @@ fn covert_t_signal_survives_without_any_data_cache_sharing() {
         // survive this, only the metadata state.
         mem.flush_block(trojan_block);
         mem.flush_block(probe_block);
-        let probe = atk.probe(&mut mem, spy);
+        let probe = atk.probe(&mut mem, spy).unwrap();
         decoded.push(atk.classifier().is_fast(probe.latency));
     }
     let acc = metaleak_attacks::timing::accuracy(&decoded, &bits);

@@ -1,6 +1,7 @@
 //! Property-based tests over the whole stack: the DESIGN.md invariants
 //! (seed uniqueness, tree consistency, overflow semantics, functional
-//! round trips) checked against randomized operation sequences.
+//! round trips) checked against randomized operation sequences drawn
+//! from seeded [`SimRng`] loops.
 
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
@@ -8,20 +9,23 @@ use metaleak_meta::enc_counter::{CounterScheme, CounterWidths, EncCounters, Reen
 use metaleak_meta::geometry::TreeGeometry;
 use metaleak_meta::tree::{IntegrityTree, TreeKind};
 use metaleak_sim::addr::CoreId;
-use proptest::prelude::*;
+use metaleak_sim::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any interleaving of writes, reads, flushes, fences and metadata
-    /// drains preserves data (reads return the last written value) in
-    /// the tiny overflow-heavy configuration.
-    #[test]
-    fn engine_round_trip_under_random_ops(ops in prop::collection::vec((0u8..5, 0u64..64, any::<u8>()), 1..120)) {
+/// Any interleaving of writes, reads, flushes, fences and metadata
+/// drains preserves data (reads return the last written value) in
+/// the tiny overflow-heavy configuration.
+#[test]
+fn engine_round_trip_under_random_ops() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from(0x14BA_0000 + seed);
         let mut mem = SecureMemory::new(SecureConfig::test_tiny());
         let core = CoreId(0);
         let mut shadow = std::collections::HashMap::new();
-        for (op, block, val) in ops {
+        let n = 1 + rng.index(120);
+        for _ in 0..n {
+            let op = rng.below(5) as u8;
+            let block = rng.below(64);
+            let val = rng.next_u64() as u8;
             match op {
                 0 => {
                     mem.write_back(core, block, [val; 64]).unwrap();
@@ -30,43 +34,59 @@ proptest! {
                 1 => {
                     let r = mem.read(core, block).unwrap();
                     let expect = shadow.get(&block).copied().unwrap_or(0);
-                    prop_assert_eq!(r.data, [expect; 64]);
+                    assert_eq!(r.data, [expect; 64], "seed {seed}");
                 }
-                2 => { mem.flush_block(block); }
-                3 => { mem.fence(); }
-                _ => { mem.drain_metadata(); }
+                2 => {
+                    mem.flush_block(block);
+                }
+                3 => {
+                    mem.fence();
+                }
+                _ => {
+                    mem.drain_metadata();
+                }
             }
         }
         mem.fence();
         mem.drain_metadata();
         for (block, val) in shadow {
             mem.flush_block(block);
-            prop_assert_eq!(mem.read(core, block).unwrap().data, [val; 64]);
+            assert_eq!(mem.read(core, block).unwrap().data, [val; 64], "seed {seed}");
         }
     }
+}
 
-    /// Seed uniqueness (VUL-1's root requirement): across any write
-    /// sequence, the (address, counter) pair used for encryption never
-    /// repeats for the same block unless a group re-encryption (which
-    /// re-keys the pads via the bumped major) intervened.
-    #[test]
-    fn split_counters_never_reuse_a_seed(writes in prop::collection::vec(0u64..128, 1..300)) {
+/// Seed uniqueness (VUL-1's root requirement): across any write
+/// sequence, the (address, counter) pair used for encryption never
+/// repeats for the same block unless a group re-encryption (which
+/// re-keys the pads via the bumped major) intervened.
+#[test]
+fn split_counters_never_reuse_a_seed() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from(0x14BA_0100 + seed);
         let widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
         let mut counters = EncCounters::new(CounterScheme::Split, widths, 128);
         let mut seen: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
-        for b in writes {
+        let n = 1 + rng.index(300);
+        for _ in 0..n {
+            let b = rng.below(128);
             let out = counters.increment(b);
-            prop_assert!(
+            assert!(
                 seen.insert((b, out.counter)),
-                "seed reuse for block {} counter {}", b, out.counter
+                "seed reuse for block {b} counter {}",
+                out.counter
             );
         }
     }
+}
 
-    /// Overflow scope: an SC overflow re-encrypts exactly the page
-    /// sharing group (every other block of the page, nothing else).
-    #[test]
-    fn sc_overflow_scope_is_the_page(block in 0u64..256) {
+/// Overflow scope: an SC overflow re-encrypts exactly the page
+/// sharing group (every other block of the page, nothing else).
+#[test]
+fn sc_overflow_scope_is_the_page() {
+    let mut rng = SimRng::seed_from(0x14BA_0200);
+    for _ in 0..24 {
+        let block = rng.below(256);
         let widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
         let mut counters = EncCounters::new(CounterScheme::Split, widths, 256);
         let mut overflow = None;
@@ -77,21 +97,23 @@ proptest! {
         match ev.scope {
             ReencryptScope::Group(g) => {
                 let page = block / 64;
-                prop_assert_eq!(g.len(), 63);
-                prop_assert!(g.iter().all(|&b| b / 64 == page && b != block));
+                assert_eq!(g.len(), 63);
+                assert!(g.iter().all(|&b| b / 64 == page && b != block));
             }
-            ReencryptScope::AllMemory => prop_assert!(false, "SC must not rekey"),
+            ReencryptScope::AllMemory => panic!("SC must not rekey"),
         }
     }
+}
 
-    /// Tree soundness: after an arbitrary sequence of counter
-    /// writebacks and lazy propagations, every counter block still
-    /// verifies, and a replayed (stale) node never does.
-    #[test]
-    fn tree_stays_sound_and_detects_replay(
-        cbs in prop::collection::vec(0u64..512, 1..60),
-        kind in prop::sample::select(vec![TreeKind::SplitCounter, TreeKind::Sgx]),
-    ) {
+/// Tree soundness: after an arbitrary sequence of counter
+/// writebacks and lazy propagations, every counter block still
+/// verifies, and a replayed (stale) node never does.
+#[test]
+fn tree_stays_sound_and_detects_replay() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from(0x14BA_0300 + seed);
+        let kind = if rng.chance(0.5) { TreeKind::SplitCounter } else { TreeKind::Sgx };
+        let cbs: Vec<u64> = (0..1 + rng.index(59)).map(|_| rng.below(512)).collect();
         let widths = CounterWidths { minor_bits: 4, mono_bits: 56 };
         let mut tree = IntegrityTree::new(kind, TreeGeometry::sct(512), widths);
         for &cb in &cbs {
@@ -101,7 +123,7 @@ proptest! {
         }
         for &cb in &cbs {
             let walk = tree.verify_counter_block(cb, &[cb as u8; 64], |_| false);
-            prop_assert!(walk.ok, "cb {} must verify", cb);
+            assert!(walk.ok, "seed {seed}: cb {cb} must verify");
         }
         // Replay: snapshot a touched leaf, advance it, restore it.
         let cb = cbs[0];
@@ -111,19 +133,23 @@ proptest! {
         tree.propagate_to_root(up.dirty);
         tree.restore_node(leaf, snapshot);
         let walk = tree.verify_counter_block(cb, &[0xEE; 64], |_| false);
-        prop_assert!(!walk.ok, "stale node must be rejected");
+        assert!(!walk.ok, "seed {seed}: stale node must be rejected");
     }
+}
 
-    /// Latency monotonicity: for any block, the cold (walked) read is
-    /// strictly slower than the warm (cached) one.
-    #[test]
-    fn cold_reads_are_slower_than_warm(block in 0u64..4096) {
+/// Latency monotonicity: for any block, the cold (walked) read is
+/// strictly slower than the warm (cached) one.
+#[test]
+fn cold_reads_are_slower_than_warm() {
+    let mut rng = SimRng::seed_from(0x14BA_0400);
+    for _ in 0..24 {
+        let block = rng.below(4096);
         let mut cfg = SecureConfig::sct(64);
         cfg.sim.noise_sd = 0.0;
         let mut mem = SecureMemory::new(cfg);
         let core = CoreId(0);
         let cold = mem.read(core, block % (64 * 64)).unwrap();
         let warm = mem.read(core, block % (64 * 64)).unwrap();
-        prop_assert!(warm.latency < cold.latency);
+        assert!(warm.latency < cold.latency);
     }
 }
