@@ -3,8 +3,15 @@
 //! overflow frequency against re-encryption volume under the same
 //! write workload.
 //!
+//! The three schemes run as parallel harness trials. Because this is a
+//! controlled comparison, they deliberately replay the *same* workload
+//! stream — drawn once from the experiment's auxiliary stream (see the
+//! seeding convention in `metaleak-bench`'s crate docs) rather than
+//! from a bare literal seed.
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_counters`
 
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
@@ -12,7 +19,7 @@ use metaleak_meta::enc_counter::{CounterScheme, CounterWidths};
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
 
-fn run(scheme: CounterScheme, writes: usize) -> (u64, u64, u64) {
+fn run(scheme: CounterScheme, writes: usize, rng: &mut SimRng) -> (u64, u64, u64) {
     let mut cfg = SecureConfig::sct(64);
     cfg.sim = metaleak_sim::config::SimConfig::small();
     cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
@@ -22,7 +29,6 @@ fn run(scheme: CounterScheme, writes: usize) -> (u64, u64, u64) {
     cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits: 6 };
     let mut mem = SecureMemory::new(cfg);
     let core = CoreId(0);
-    let mut rng = SimRng::seed_from(42);
     for i in 0..writes {
         // A skewed workload: 80% of writes hit an 8-block hot set.
         let block = if rng.chance(0.8) { rng.below(8) } else { rng.below(64 * 64) };
@@ -36,15 +42,25 @@ fn main() {
     let writes = scaled(400, 4000);
     println!("== Ablation: encryption-counter schemes (Figure 3 / Algorithm 1) ==");
     println!("workload: {writes} writes, 80% to an 8-block hot set; 6-bit shared / 3-bit minor counters\n");
-    let mut table =
-        TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
-    let mut rows = Vec::new();
-    for (name, scheme) in [
+    let schemes = [
         ("Global (GC)", CounterScheme::Global),
         ("Monolithic (MoC)", CounterScheme::Monolithic),
         ("Split (SC)", CounterScheme::Split),
-    ] {
-        let (overflows, reencrypted, rekeys) = run(scheme, writes);
+    ];
+    let exp = Experiment::new("ablation_counters", 0xAC).config("writes", writes);
+    let results = exp.run_trials(schemes.len(), |_rng, i| {
+        // Controlled comparison: every scheme replays the identical
+        // workload from aux stream 0.
+        let mut workload = exp.aux_stream(0);
+        run(schemes[i].1, writes, &mut workload)
+    });
+
+    let mut table =
+        TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, &(overflows, reencrypted, rekeys)) in results.iter().enumerate() {
+        let (name, _) = schemes[i];
         table.row(vec![
             name.to_owned(),
             overflows.to_string(),
@@ -52,6 +68,13 @@ fn main() {
             rekeys.to_string(),
         ]);
         rows.push(format!("{name},{overflows},{reencrypted},{rekeys}"));
+        trials.push(
+            Trial::new(i)
+                .field("scheme", name)
+                .field("overflows", overflows)
+                .field("reencrypted_blocks", reencrypted)
+                .field("rekeys", rekeys),
+        );
     }
     println!("{}", table.render());
     println!(
@@ -64,4 +87,5 @@ fn main() {
     );
     let path = write_csv("ablation_counters.csv", "scheme,overflows,reencrypted,rekeys", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

@@ -11,21 +11,22 @@
 //! (7,4)-Hamming codewords with per-bit repetition, turning invalidated
 //! windows into erasures that abstain from the majority vote.
 //!
-//! Everything is seeded (`SimRng` + the plan's interference RNG), so
-//! repeated runs produce identical tables.
+//! Each intensity is one harness trial; its payload and fault-plan
+//! seed derive from the trial's split RNG stream (previously every
+//! intensity shared one literal seed, correlating the sweep's fault
+//! streams), while raw and framed paths within a trial share the same
+//! plan seed so the two compare against identical faults.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_faults`
 
 use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
 use metaleak_attacks::resilience::FrameCodec;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::interference::FaultPlan;
-use metaleak_sim::rng::SimRng;
-
-const SEED: u64 = 0xFA017;
 
 fn main() {
     let payload_n = scaled(64, 160);
@@ -41,18 +42,22 @@ fn main() {
     let mut quiet = SecureMemory::new(clean_config());
     let channel = CovertChannelT::new(&mut quiet, CoreId(0), CoreId(1), 0, 100)
         .expect("channel setup on a quiet memory");
-
-    let mut rng = SimRng::seed_from(SEED);
-    let payload: Vec<bool> = (0..payload_n).map(|_| rng.chance(0.5)).collect();
     let codec = FrameCodec::new(repeats);
 
-    let mut table =
-        TextTable::new(vec!["intensity", "raw BER", "ECC BER", "erasures", "corrected", "lost"]);
-    let mut rows = Vec::new();
-    for intensity in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
-        let raw_ber = raw_error_rate(&channel, &payload, intensity);
+    let sweep = [0.0f64, 0.25, 0.5, 0.75, 1.0];
+    let exp = Experiment::new("ablation_faults", 0xFA)
+        .config("payload_bits", payload_n)
+        .config("hamming_repeats", repeats as u64);
+
+    let results = exp.run_trials(sweep.len(), |rng, i| {
+        let intensity = sweep[i];
+        // Sub-streams of the trial stream: payload bits and plan seed.
+        let mut payload_rng = rng.split(0);
+        let payload: Vec<bool> = (0..payload_n).map(|_| payload_rng.chance(0.5)).collect();
+        let plan_seed = rng.split(1).next_u64();
+        let raw_ber = raw_error_rate(&channel, &payload, intensity, plan_seed);
         let (ecc_ber, erasures, corrected, lost) =
-            framed_error_rate(&channel, &payload, &codec, intensity);
+            framed_error_rate(&channel, &payload, &codec, intensity, plan_seed);
         if intensity > 0.0 {
             assert!(
                 ecc_ber < raw_ber,
@@ -60,6 +65,15 @@ fn main() {
                  (raw {raw_ber:.4}, ecc {ecc_ber:.4})"
             );
         }
+        (intensity, raw_ber, ecc_ber, erasures, corrected, lost)
+    });
+
+    let mut table =
+        TextTable::new(vec!["intensity", "raw BER", "ECC BER", "erasures", "corrected", "lost"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, &(intensity, raw_ber, ecc_ber, erasures, corrected, lost)) in results.iter().enumerate()
+    {
         table.row(vec![
             format!("{intensity:.2}"),
             format!("{:.1}%", raw_ber * 100.0),
@@ -69,6 +83,15 @@ fn main() {
             format!("{lost}"),
         ]);
         rows.push(format!("{intensity},{raw_ber:.4},{ecc_ber:.4},{erasures},{corrected},{lost}"));
+        trials.push(
+            Trial::new(i)
+                .field("intensity", intensity)
+                .field("raw_ber", raw_ber)
+                .field("ecc_ber", ecc_ber)
+                .field("erasures", erasures)
+                .field("corrected_codewords", corrected)
+                .field("lost_codewords", lost),
+        );
     }
     println!("{}", table.render());
     println!(
@@ -84,6 +107,7 @@ fn main() {
         &rows,
     );
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }
 
 fn clean_config() -> metaleak_engine::config::SecureConfig {
@@ -92,18 +116,24 @@ fn clean_config() -> metaleak_engine::config::SecureConfig {
     cfg
 }
 
-/// A fresh memory running the composite fault mix at `intensity`.
-fn faulty_memory(intensity: f64) -> SecureMemory {
+/// A fresh memory running the composite fault mix at `intensity`,
+/// seeded with `plan_seed`.
+fn faulty_memory(intensity: f64, plan_seed: u64) -> SecureMemory {
     let mut cfg = clean_config();
-    cfg.faults = FaultPlan::at_intensity(intensity, SEED);
+    cfg.faults = FaultPlan::at_intensity(intensity, plan_seed);
     SecureMemory::new(cfg)
 }
 
 /// Raw path: one window per payload bit, no redundancy. An invalidated
 /// window loses the bit; a misclassified window flips it. Either way
 /// the payload bit is wrong.
-fn raw_error_rate(channel: &CovertChannelT, payload: &[bool], intensity: f64) -> f64 {
-    let mut mem = faulty_memory(intensity);
+fn raw_error_rate(
+    channel: &CovertChannelT,
+    payload: &[bool],
+    intensity: f64,
+    plan_seed: u64,
+) -> f64 {
+    let mut mem = faulty_memory(intensity, plan_seed);
     let mut errors = 0usize;
     for &bit in payload {
         match channel.transmit(&mut mem, &[bit]) {
@@ -120,8 +150,9 @@ fn framed_error_rate(
     payload: &[bool],
     codec: &FrameCodec,
     intensity: f64,
+    plan_seed: u64,
 ) -> (f64, usize, usize, usize) {
-    let mut mem = faulty_memory(intensity);
+    let mut mem = faulty_memory(intensity, plan_seed);
     let out = channel
         .transmit_framed(&mut mem, payload, codec)
         .expect("framed transfer only fails on permanent errors");

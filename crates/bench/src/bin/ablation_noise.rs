@@ -6,14 +6,18 @@
 //! the MetaLeak-T covert channel degrades, showing where the paper's
 //! operating points sit.
 //!
+//! Each noise level is one harness trial whose payload bits come from
+//! its own split RNG stream (previously every level reused one literal
+//! seed and therefore transmitted the identical bit pattern).
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_noise`
 
 use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
-use metaleak_sim::rng::SimRng;
 
 fn main() {
     let bits_n = scaled(100, 500);
@@ -21,31 +25,40 @@ fn main() {
     println!(
         "({bits_n}-bit transmissions; band gap between cached/evicted probes is ~200 cycles)\n"
     );
-    let mut table = TextTable::new(vec!["noise sd (cycles)", "bit accuracy"]);
-    let mut rows = Vec::new();
-    for sd in [0.0f64, 2.0, 10.0, 30.0, 60.0, 100.0, 150.0] {
+    let sweep = [0.0f64, 2.0, 10.0, 30.0, 60.0, 100.0, 150.0];
+    let exp = Experiment::new("ablation_noise", 0xA0).config("bits_per_point", bits_n);
+
+    let results = exp.run_trials(sweep.len(), |rng, i| {
+        let sd = sweep[i];
         let mut cfg = configs::sct_experiment();
         cfg.sim.noise_sd = sd;
         let mut mem = SecureMemory::new(cfg);
-        let acc = match CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100) {
-            Ok(ch) => {
-                let mut rng = SimRng::seed_from(0xAB);
-                let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
-                match ch.transmit(&mut mem, &bits) {
-                    Ok(out) => out.accuracy(&bits),
-                    Err(e) => {
-                        println!("noise sd {sd}: transmission failed ({e})");
-                        continue;
-                    }
-                }
+        let ch = match CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100) {
+            Ok(ch) => ch,
+            Err(e) => return (sd, Err(format!("setup failed ({e})"))),
+        };
+        let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
+        match ch.transmit(&mut mem, &bits) {
+            Ok(out) => (sd, Ok(out.accuracy(&bits))),
+            Err(e) => (sd, Err(format!("transmission failed ({e})"))),
+        }
+    });
+
+    let mut table = TextTable::new(vec!["noise sd (cycles)", "bit accuracy"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, (sd, result)) in results.iter().enumerate() {
+        match result {
+            Ok(acc) => {
+                table.row(vec![format!("{sd:.0}"), format!("{:.1}%", acc * 100.0)]);
+                rows.push(format!("{sd},{acc:.4}"));
+                trials.push(Trial::new(i).field("noise_sd", *sd).field("bit_accuracy", *acc));
             }
             Err(e) => {
-                println!("noise sd {sd}: setup failed ({e})");
-                continue;
+                println!("noise sd {sd}: {e}");
+                trials.push(Trial::new(i).field("noise_sd", *sd).field("error", e.as_str()));
             }
-        };
-        table.row(vec![format!("{sd:.0}"), format!("{:.1}%", acc * 100.0)]);
-        rows.push(format!("{sd},{acc:.4}"));
+        }
     }
     println!("{}", table.render());
     println!(
@@ -55,4 +68,5 @@ fn main() {
     );
     let path = write_csv("ablation_noise.csv", "noise_sd,bit_accuracy", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

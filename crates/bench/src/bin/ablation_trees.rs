@@ -1,39 +1,43 @@
 //! Ablation: the integrity-tree design space of Figure 4 — hash tree
 //! (HT/BMT), split-counter tree (SCT) and the SGX integrity tree (SIT)
 //! compared on verification-walk latency, metadata footprint and the
-//! leakage surface each exposes.
+//! leakage surface each exposes. Each design characterizes as one
+//! harness trial, so the three run in parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_trees`
 
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{characterize_paths, scaled, write_csv, TextTable};
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
 
+struct DesignOutcome {
+    levels: u8,
+    nodes: u64,
+    overflowable: bool,
+    leaf_hit: f64,
+    deepest: f64,
+}
+
 fn main() {
     let samples = scaled(400, 4000);
     println!("== Ablation: integrity-tree designs (Figure 4) ==\n");
-    let mut table = TextTable::new(vec![
-        "design",
-        "levels",
-        "node blocks",
-        "leaf-hit read (cy)",
-        "full-walk read (cy)",
-        "MetaLeak-C viable?",
-    ]);
-    let mut rows = Vec::new();
-    let configs: Vec<(&str, SecureConfig)> = vec![
+    let designs: Vec<(&str, SecureConfig)> = vec![
         ("SCT (split-counter, 32/16-ary)", configs::sct_experiment()),
         ("HT (8-ary Bonsai Merkle Tree)", configs::ht_experiment()),
         ("SIT (SGX, 8-ary monolithic)", configs::sgx_experiment()),
     ];
-    for (name, cfg) in configs {
+    let exp = Experiment::new("ablation_trees", 0xA7).config("samples_per_path", samples);
+
+    let results = exp.run_trials(designs.len(), |_rng, i| {
+        let (_, cfg) = &designs[i];
         let mem = SecureMemory::new(cfg.clone());
         let levels = mem.tree().geometry().levels();
         let nodes = mem.tree().geometry().total_nodes();
         let overflowable = matches!(cfg.tree_kind, metaleak_meta::tree::TreeKind::SplitCounter);
         drop(mem);
-        let histograms = characterize_paths(cfg, samples);
+        let histograms = characterize_paths(cfg.clone(), samples);
         let mean_of = |label: &str| {
             histograms.iter().find(|(l, _)| l == label).and_then(|(_, h)| h.mean()).unwrap_or(0.0)
         };
@@ -43,16 +47,43 @@ fn main() {
             .filter(|(l, _)| l.starts_with("path4"))
             .filter_map(|(_, h)| h.mean())
             .fold(0.0f64, f64::max);
+        DesignOutcome { levels, nodes, overflowable, leaf_hit, deepest }
+    });
+
+    let mut table = TextTable::new(vec![
+        "design",
+        "levels",
+        "node blocks",
+        "leaf-hit read (cy)",
+        "full-walk read (cy)",
+        "MetaLeak-C viable?",
+    ]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, out) in results.iter().enumerate() {
+        let (name, _) = &designs[i];
         table.row(vec![
-            name.to_owned(),
-            levels.to_string(),
-            nodes.to_string(),
-            format!("{leaf_hit:.0}"),
-            format!("{deepest:.0}"),
-            if overflowable { "yes (7-bit minors overflow)" } else { "no (wide/hash nodes)" }
+            (*name).to_owned(),
+            out.levels.to_string(),
+            out.nodes.to_string(),
+            format!("{:.0}", out.leaf_hit),
+            format!("{:.0}", out.deepest),
+            if out.overflowable { "yes (7-bit minors overflow)" } else { "no (wide/hash nodes)" }
                 .to_owned(),
         ]);
-        rows.push(format!("{name},{levels},{nodes},{leaf_hit:.0},{deepest:.0},{overflowable}"));
+        rows.push(format!(
+            "{name},{},{},{:.0},{:.0},{}",
+            out.levels, out.nodes, out.leaf_hit, out.deepest, out.overflowable
+        ));
+        trials.push(
+            Trial::new(i)
+                .field("design", *name)
+                .field("levels", out.levels)
+                .field("node_blocks", out.nodes)
+                .field("leaf_hit_cycles", out.leaf_hit)
+                .field("full_walk_cycles", out.deepest)
+                .field("metaleak_c_viable", out.overflowable),
+        );
     }
     println!("{}", table.render());
     println!(
@@ -67,4 +98,5 @@ fn main() {
         &rows,
     );
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

@@ -3,24 +3,45 @@
 //!
 //! Reproduces the §V microbenchmark: reads are steered down each of
 //! the Figure-5 paths (cache hit; counter hit; tree-leaf hit; misses
-//! at increasing tree depth) and their latencies are collected.
+//! at increasing tree depth) and their latencies are collected. Each
+//! path runs as an independent harness trial on a fresh memory, so the
+//! paths characterize in parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig06_read_paths`
 
 use metaleak::configs;
-use metaleak_bench::{characterize_paths, histogram_rows, print_histogram, scaled, write_csv};
+use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_bench::{
+    characterize_path, histogram_rows, path_count, print_histogram, scaled, write_csv,
+};
 
 fn main() {
     let samples = scaled(1000, 10_000);
     println!("== Figure 6: read-path latency distributions (SCT simulation) ==");
     println!("samples per path: {samples}\n");
-    let histograms = characterize_paths(configs::sct_experiment(), samples);
+    let cfg = configs::sct_experiment();
+    let exp = Experiment::new("fig06_read_paths", 0x06)
+        .config("arch", "sct")
+        .config("samples_per_path", samples);
+    let histograms =
+        exp.run_trials(path_count(&cfg), |_rng, p| characterize_path(&cfg, p, samples));
+
     let mut rows = Vec::new();
-    for (label, h) in &histograms {
+    let mut trials = Vec::new();
+    for (i, (label, h)) in histograms.iter().enumerate() {
         print_histogram(label, h);
         println!();
         rows.extend(histogram_rows(label, h));
+        trials.push(
+            Trial::new(i)
+                .field("path", label.as_str())
+                .field("samples", h.count())
+                .field("mean_cycles", h.mean().unwrap_or(0.0))
+                .field("p50_cycles", h.percentile(0.5).map(|c| c.as_u64()).unwrap_or(0))
+                .field("max_cycles", h.max().map(|c| c.as_u64()).unwrap_or(0)),
+        );
     }
     let path = write_csv("fig06_read_paths.csv", "path,latency_bucket,count", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

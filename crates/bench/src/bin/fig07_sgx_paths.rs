@@ -4,23 +4,43 @@
 //! The paper measured this on an i7-9700K by striding over 80 MB of
 //! EPC data; here the same microbenchmark runs against the simulator's
 //! SGX configuration (monolithic 56-bit counters, 8-ary SIT, slower
-//! per-level fetches — 150–700 cycles end to end).
+//! per-level fetches — 150–700 cycles end to end). Each path is one
+//! harness trial on a fresh memory, so the paths characterize in
+//! parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig07_sgx_paths`
 
 use metaleak::configs;
-use metaleak_bench::{characterize_paths, histogram_rows, print_histogram, scaled, write_csv};
+use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_bench::{
+    characterize_path, histogram_rows, path_count, print_histogram, scaled, write_csv,
+};
 
 fn main() {
     let samples = scaled(1000, 10_000);
     println!("== Figure 7: read-path latency distributions (SGX / SIT) ==");
     println!("samples per path: {samples}\n");
-    let histograms = characterize_paths(configs::sgx_experiment(), samples);
+    let cfg = configs::sgx_experiment();
+    let exp = Experiment::new("fig07_sgx_paths", 0x07)
+        .config("arch", "sgx-sit")
+        .config("samples_per_path", samples);
+    let histograms =
+        exp.run_trials(path_count(&cfg), |_rng, p| characterize_path(&cfg, p, samples));
+
     let mut rows = Vec::new();
-    for (label, h) in &histograms {
+    let mut trials = Vec::new();
+    for (i, (label, h)) in histograms.iter().enumerate() {
         print_histogram(label, h);
         println!();
         rows.extend(histogram_rows(label, h));
+        trials.push(
+            Trial::new(i)
+                .field("path", label.as_str())
+                .field("samples", h.count())
+                .field("mean_cycles", h.mean().unwrap_or(0.0))
+                .field("p50_cycles", h.percentile(0.5).map(|c| c.as_u64()).unwrap_or(0))
+                .field("max_cycles", h.max().map(|c| c.as_u64()).unwrap_or(0)),
+        );
     }
     let path = write_csv("fig07_sgx_paths.csv", "path,latency_bucket,count", &rows);
     println!("CSV written to {}", path.display());
@@ -28,4 +48,5 @@ fn main() {
         "\npaper reference: ~150 cy counter-cached read, ~250 cy with tree leaf cached,\n\
          ~650 cy when node blocks miss at every level (Fig. 7)."
     );
+    exp.finish(&trials);
 }

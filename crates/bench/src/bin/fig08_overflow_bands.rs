@@ -8,13 +8,24 @@
 //! cases a concurrent timed read is measured. The two latency
 //! distributions form bands thousands of cycles apart.
 //!
+//! The sample budget is split across a fixed number of harness trials
+//! (independent memories that each establish their own saturated
+//! state), so the figure parallelizes while staying byte-identical for
+//! any thread count; per-trial histograms merge into the final bands.
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin fig08_overflow_bands`
 
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{histogram_rows, print_histogram, scaled, write_csv};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::stats::LatencyHistogram;
+
+/// Number of independent chunks the sample budget is split into. Fixed
+/// (not thread-count dependent) so the output never changes with the
+/// worker count.
+const CHUNKS: usize = 8;
 
 /// One write that reaches the memory controller and immediately drives
 /// the counter-block writeback (bumping the covering tree leaf minor).
@@ -38,45 +49,74 @@ fn main() {
     println!("== Figure 8: read latency under tree-counter overflow ==");
     println!("samples per case: {samples}\n");
 
-    let mut mem = SecureMemory::new(cfg);
-    let core = CoreId(0);
-    let max = mem.tree().widths().minor_max();
-    // The saturated counter: the leaf minor versioning page 100's
-    // counter block (every write to page 100 bumps it on writeback).
-    let hot_block = 100 * 64;
-    // The timed read's target: a block in the same bank neighbourhood
-    // (the reset storm occupies the banks of the covered counter
-    // blocks and node blocks).
-    let probe_block = 103 * 64 + 7;
-    let mut with_overflow = LatencyHistogram::new(200);
-    let mut without_overflow = LatencyHistogram::new(200);
+    let exp = Experiment::new("fig08_overflow_bands", 0x08)
+        .config("tree_minor_bits", 4u64)
+        .config("samples_per_case", samples)
+        .config("chunks", CHUNKS);
 
-    // Establish a known state: drive to the first overflow.
-    for i in 0..=max {
-        write_through_counter(&mut mem, core, hot_block, i as u8);
-    }
-    for s in 0..samples as u64 {
-        // Saturate: counter sits at 1 post-overflow; max - 1 writes.
-        for i in 0..(max - 1) {
+    // Each trial owns chunk `t` of the global sample index range and a
+    // fresh memory it saturates itself; global indices keep the far
+    // blocks rotating exactly as a serial run would.
+    let chunk_results = exp.run_trials(CHUNKS, |_rng, t| {
+        let start = t * samples / CHUNKS;
+        let end = (t + 1) * samples / CHUNKS;
+        let mut mem = SecureMemory::new(cfg.clone());
+        let core = CoreId(0);
+        let max = mem.tree().widths().minor_max();
+        // The saturated counter: the leaf minor versioning page 100's
+        // counter block (every write to page 100 bumps it on writeback).
+        let hot_block = 100 * 64;
+        // The timed read's target: a block in the same bank
+        // neighbourhood (the reset storm occupies the banks of the
+        // covered counter blocks and node blocks).
+        let probe_block = 103 * 64 + 7;
+        let mut with_overflow = LatencyHistogram::new(200);
+        let mut without_overflow = LatencyHistogram::new(200);
+
+        // Establish a known state: drive to the first overflow.
+        for i in 0..=max {
             write_through_counter(&mut mem, core, hot_block, i as u8);
         }
-        // Case (b): a write to an entirely different page (rotating so
-        // the far counters never overflow themselves), then timed read.
-        let far_block = (2000 + (s % 4096)) * 64;
-        write_through_counter(&mut mem, core, far_block, s as u8);
-        without_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
-            &mut mem,
-            core,
-            probe_block,
-        )));
-        // Case (a): the write that overflows the saturated counter,
-        // then the same timed read.
-        write_through_counter(&mut mem, core, hot_block, 0xAA);
-        with_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
-            &mut mem,
-            core,
-            probe_block,
-        )));
+        for s in start as u64..end as u64 {
+            // Saturate: counter sits at 1 post-overflow; max - 1 writes.
+            for i in 0..(max - 1) {
+                write_through_counter(&mut mem, core, hot_block, i as u8);
+            }
+            // Case (b): a write to an entirely different page (rotating
+            // so the far counters never overflow themselves), then a
+            // timed read.
+            let far_block = (2000 + (s % 4096)) * 64;
+            write_through_counter(&mut mem, core, far_block, s as u8);
+            without_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
+                &mut mem,
+                core,
+                probe_block,
+            )));
+            // Case (a): the write that overflows the saturated counter,
+            // then the same timed read.
+            write_through_counter(&mut mem, core, hot_block, 0xAA);
+            with_overflow.record(metaleak_sim::clock::Cycles::new(timed_read(
+                &mut mem,
+                core,
+                probe_block,
+            )));
+        }
+        (with_overflow, without_overflow)
+    });
+
+    let mut with_overflow = LatencyHistogram::new(200);
+    let mut without_overflow = LatencyHistogram::new(200);
+    let mut trials = Vec::new();
+    for (t, (w, wo)) in chunk_results.iter().enumerate() {
+        with_overflow.merge(w);
+        without_overflow.merge(wo);
+        trials.push(
+            Trial::new(t)
+                .field("samples", w.count())
+                .field("overflow_mean_cycles", w.mean().unwrap_or(0.0))
+                .field("no_overflow_mean_cycles", wo.mean().unwrap_or(0.0))
+                .field("gap_cycles", w.mean().unwrap_or(0.0) - wo.mean().unwrap_or(0.0)),
+        );
     }
 
     print_histogram("no-overflow  (write elsewhere)", &without_overflow);
@@ -90,4 +130,5 @@ fn main() {
     rows.extend(histogram_rows("overflow", &with_overflow));
     let path = write_csv("fig08_overflow_bands.csv", "case,latency_bucket,count", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

@@ -2,69 +2,95 @@
 //! accuracy over 1000-bit transmissions, on both the SCT (academic)
 //! and SIT (SGX) configurations.
 //!
+//! Each configuration is one harness trial; the transmitted bit
+//! pattern comes from the trial's own split RNG stream, so the two
+//! configurations no longer share one literal seed (and therefore no
+//! longer see identical payloads).
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin fig11_covert_t`
 
 use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
 use metaleak_attacks::timing::effective_bits_per_second;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
 
-fn run(
-    name: &str,
-    cfg: SecureConfig,
-    level: u8,
-    bits_n: usize,
-    rows: &mut Vec<String>,
-) -> (f64, f64, f64) {
+struct RunOutcome {
+    accuracy: f64,
+    bits_per_mcycle: f64,
+    kbps: f64,
+    rows: Vec<String>,
+}
+
+fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rng: &mut SimRng) -> RunOutcome {
     let mut mem = SecureMemory::new(cfg);
     let channel =
         CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), level, 100).expect("channel setup");
-    let mut rng = SimRng::seed_from(0x11);
     let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
     let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
-    for (i, r) in out.records.iter().enumerate() {
-        rows.push(format!(
-            "{name},{i},{},{},{},{}",
-            bits[i] as u8,
-            r.bit as u8,
-            r.tx_latency.as_u64(),
-            r.boundary_latency.as_u64()
-        ));
-    }
+    let rows = out
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            format!(
+                "{name},{i},{},{},{},{}",
+                bits[i] as u8,
+                r.bit as u8,
+                r.tx_latency.as_u64(),
+                r.boundary_latency.as_u64()
+            )
+        })
+        .collect();
     let accuracy = out.accuracy(&bits);
     let cycles_per_bit = out.cycles.as_u64() as f64 / bits_n as f64;
     // Shannon-corrected throughput at a 3 GHz clock.
     let kbps = effective_bits_per_second(cycles_per_bit, 1.0, accuracy, 3e9) / 1e3;
-    (accuracy, out.bits_per_mcycle(), kbps)
+    RunOutcome { accuracy, bits_per_mcycle: out.bits_per_mcycle(), kbps, rows }
 }
 
 fn main() {
     let bits_n = scaled(200, 1000);
     println!("== Figure 11: MetaLeak-T covert channel ({bits_n}-bit transmissions) ==\n");
-    let mut rows = Vec::new();
-    let (acc_sct, rate_sct, kbps_sct) = run("SCT", configs::sct_experiment(), 0, bits_n, &mut rows);
-    let (acc_sit, rate_sit, kbps_sit) = run("SIT", configs::sgx_experiment(), 1, bits_n, &mut rows);
+    let exp = Experiment::new("fig11_covert_t", 0x11).config("bits_per_config", bits_n);
+
+    let setups = [
+        ("SCT", configs::sct_experiment(), 0u8, "Fig. 11a", "99.3%"),
+        ("SIT", configs::sgx_experiment(), 1u8, "Fig. 11b", "94.3%"),
+    ];
+    let results = exp.run_trials(setups.len(), |rng, i| {
+        let (name, cfg, level, _, _) = &setups[i];
+        run(name, cfg.clone(), *level, bits_n, rng)
+    });
 
     let mut table =
         TextTable::new(vec!["config", "bit accuracy", "paper", "bits/Mcycle", "kbit/s @3GHz"]);
-    table.row(vec![
-        "SCT (Fig. 11a)".to_owned(),
-        format!("{:.1}%", acc_sct * 100.0),
-        "99.3%".to_owned(),
-        format!("{rate_sct:.1}"),
-        format!("{kbps_sct:.0}"),
-    ]);
-    table.row(vec![
-        "SIT / SGX (Fig. 11b)".to_owned(),
-        format!("{:.1}%", acc_sit * 100.0),
-        "94.3%".to_owned(),
-        format!("{rate_sit:.1}"),
-        format!("{kbps_sit:.0}"),
-    ]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, out) in results.iter().enumerate() {
+        let (name, _, level, figure, paper) = &setups[i];
+        table.row(vec![
+            format!("{name} ({figure})"),
+            format!("{:.1}%", out.accuracy * 100.0),
+            (*paper).to_owned(),
+            format!("{:.1}", out.bits_per_mcycle),
+            format!("{:.0}", out.kbps),
+        ]);
+        rows.extend(out.rows.iter().cloned());
+        trials.push(
+            Trial::new(i)
+                .field("config", *name)
+                .field("level", *level)
+                .field("bits", bits_n)
+                .field("bit_accuracy", out.accuracy)
+                .field("bits_per_mcycle", out.bits_per_mcycle)
+                .field("kbps_at_3ghz", out.kbps),
+        );
+    }
     println!("{}", table.render());
 
     let path = write_csv(
@@ -73,4 +99,5 @@ fn main() {
         &rows,
     );
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

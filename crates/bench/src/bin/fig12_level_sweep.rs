@@ -2,12 +2,15 @@
 //! exploited tree-node level rises from leaf to top.
 //!
 //! Temporal resolution degrades with level (bigger eviction work per
-//! round) while each node covers exponentially more victim data.
+//! round) while each node covers exponentially more victim data. Each
+//! level is one harness trial on its own memory, so the sweep runs in
+//! parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig12_level_sweep`
 
 use metaleak::configs;
 use metaleak_attacks::metaleak_t::MetaLeakT;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
@@ -17,24 +20,45 @@ fn main() {
     println!("== Figure 12: mEvict+mReload interval & coverage by tree level ==\n");
     let core = CoreId(0);
     let victim_block = 100 * 64;
-    let mut table = TextTable::new(vec!["level", "interval (cycles/round)", "coverage (KB)"]);
-    let mut rows = Vec::new();
-    for level in 0..3u8 {
+    let exp = Experiment::new("fig12_level_sweep", 0x12)
+        .config("rounds_per_level", rounds)
+        .config("victim_block", victim_block);
+
+    let results = exp.run_trials(3, |_rng, level| {
         let mut mem = SecureMemory::new(configs::sct_experiment());
-        match MetaLeakT::new(&mut mem, core, victim_block, level, 4) {
+        match MetaLeakT::new(&mut mem, core, victim_block, level as u8, 4) {
             Ok(atk) => {
                 let interval =
                     atk.measure_interval(&mut mem, core, rounds).expect("clean-plan interval");
                 let coverage_kb = atk.coverage_bytes(&mem) / 1024;
+                Ok((interval, coverage_kb))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    });
+
+    let mut table = TextTable::new(vec!["level", "interval (cycles/round)", "coverage (KB)"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (level, result) in results.iter().enumerate() {
+        match result {
+            Ok((interval, coverage_kb)) => {
                 table.row(vec![
                     format!("L{level}"),
                     format!("{interval:.0}"),
                     format!("{coverage_kb}"),
                 ]);
                 rows.push(format!("{level},{interval:.0},{coverage_kb}"));
+                trials.push(
+                    Trial::new(level)
+                        .field("level", level)
+                        .field("interval_cycles", *interval)
+                        .field("coverage_kb", *coverage_kb),
+                );
             }
             Err(e) => {
                 table.row(vec![format!("L{level}"), format!("unavailable: {e}"), String::new()]);
+                trials.push(Trial::new(level).field("level", level).field("error", e.as_str()));
             }
         }
     }
@@ -45,4 +69,5 @@ fn main() {
     );
     let path = write_csv("fig12_level_sweep.csv", "level,interval_cycles,coverage_kb", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

@@ -6,15 +6,23 @@
 //! extra writes it needs to trigger the overflow. The paper reports
 //! 99.7% average accuracy over 1000-symbol runs with 7-bit minors.
 //!
+//! The symbol budget is split across a fixed number of harness trials
+//! (each an independent memory + channel whose symbols come from its
+//! own split RNG stream), so the transmission parallelizes and stays
+//! byte-identical for any thread count.
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin fig14_covert_c`
 //! (set METALEAK_FULL=1 for 7-bit minors and more symbols)
 
 use metaleak::configs;
 use metaleak_attacks::covert_c::CovertChannelC;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{quick_mode, scaled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
-use metaleak_sim::rng::SimRng;
+
+/// Fixed number of transmission chunks (independent of thread count).
+const CHUNKS: usize = 4;
 
 fn main() {
     // Quick mode narrows the minors (same mechanism, fewer writes per
@@ -26,27 +34,61 @@ fn main() {
         "== Figure 14: MetaLeak-C covert channel ({symbols_n} symbols, {minor_bits}-bit minors) ==\n"
     );
 
-    let mut mem = SecureMemory::new(cfg);
-    let mut channel = CovertChannelC::new(&mem, CoreId(0), CoreId(1), 1, 100).expect("setup");
-    let mut rng = SimRng::seed_from(0x14);
-    let cap = channel.max_symbol() + 1;
-    let symbols: Vec<u64> = (0..symbols_n).map(|_| rng.below(cap)).collect();
-    let out = channel.transmit(&mut mem, &symbols).expect("transmit");
+    let exp = Experiment::new("fig14_covert_c", 0x14)
+        .config("minor_bits", minor_bits as u64)
+        .config("symbols", symbols_n)
+        .config("chunks", CHUNKS);
+
+    let chunk_results = exp.run_trials(CHUNKS, |rng, t| {
+        let start = t * symbols_n / CHUNKS;
+        let end = (t + 1) * symbols_n / CHUNKS;
+        let mut mem = SecureMemory::new(cfg.clone());
+        let mut channel = CovertChannelC::new(&mem, CoreId(0), CoreId(1), 1, 100).expect("setup");
+        let cap = channel.max_symbol() + 1;
+        let symbols: Vec<u64> = (start..end).map(|_| rng.below(cap)).collect();
+        let out = channel.transmit(&mut mem, &symbols).expect("transmit");
+        (symbols, out, cap)
+    });
 
     // Figure 14's snippet: four consecutive transmission windows.
     println!("trace snippet (4 transmission windows):");
-    for (i, rec) in out.records.iter().take(4).enumerate() {
+    let (first_symbols, first_out, cap) = &chunk_results[0];
+    for (i, rec) in first_out.records.iter().take(4).enumerate() {
         let lat: Vec<u64> = rec.latencies.iter().map(|c| c.as_u64()).collect();
         println!(
             "  window {i}: sent {:>3}  spy writes {:>3}  probe latencies {:?}",
-            symbols[i], rec.spy_writes, lat
+            first_symbols[i], rec.spy_writes, lat
         );
     }
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (t, (symbols, out, _)) in chunk_results.iter().enumerate() {
+        let chunk_acc = out.accuracy(symbols);
+        correct += (chunk_acc * symbols.len() as f64).round() as usize;
+        total += symbols.len();
+        let base = t * symbols_n / CHUNKS;
+        rows.extend(
+            out.records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| format!("{},{},{},{}", base + i, symbols[i], r.symbol, r.spy_writes)),
+        );
+        trials.push(
+            Trial::new(t)
+                .field("symbols", symbols.len())
+                .field("symbol_accuracy", chunk_acc)
+                .field("first_window", base),
+        );
+    }
+    let accuracy = correct as f64 / total.max(1) as f64;
 
     let mut table = TextTable::new(vec!["metric", "measured", "paper"]);
     table.row(vec![
         "symbol accuracy".to_owned(),
-        format!("{:.1}%", out.accuracy(&symbols) * 100.0),
+        format!("{:.1}%", accuracy * 100.0),
         "99.7%".to_owned(),
     ]);
     table.row(vec![
@@ -56,12 +98,7 @@ fn main() {
     ]);
     println!("\n{}", table.render());
 
-    let rows: Vec<String> = out
-        .records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| format!("{i},{},{},{}", symbols[i], r.symbol, r.spy_writes))
-        .collect();
     let path = write_csv("fig14_covert_c.csv", "window,sent,decoded,spy_writes", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

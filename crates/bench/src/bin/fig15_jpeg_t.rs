@@ -1,11 +1,13 @@
 //! Figure 15: image reconstruction from the libjpeg victim with
 //! MetaLeak-T — original / oracle / stolen images plus stealing
-//! accuracy per test image.
+//! accuracy per test image. Each image is one harness trial, so the
+//! three reconstructions run in parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig15_jpeg_t`
 
 use metaleak::casestudy::run_jpeg_t;
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{out_dir, scaled, write_csv, TextTable};
 use metaleak_victims::jpeg::GrayImage;
 
@@ -18,11 +20,18 @@ fn main() {
         ("checkerboard", GrayImage::checkerboard(size, size, 4)),
     ];
 
+    let exp = Experiment::new("fig15_jpeg_t", 0x15).config("image_size", size);
+    let results = exp.run_trials(images.len(), |_rng, i| {
+        let (_, image) = &images[i];
+        run_jpeg_t(configs::sct_experiment(), image, 100, 0).expect("attack")
+    });
+
     let mut table =
         TextTable::new(vec!["image", "stealing accuracy", "PSNR vs oracle (dB)", "windows"]);
     let mut rows = Vec::new();
-    for (name, image) in &images {
-        let out = run_jpeg_t(configs::sct_experiment(), image, 100, 0).expect("attack");
+    let mut trials = Vec::new();
+    for (i, out) in results.iter().enumerate() {
+        let (name, image) = &images[i];
         println!("[{name}] original:");
         println!("{}", image.to_ascii(size));
         println!("[{name}] stolen via MetaLeak-T:");
@@ -37,6 +46,13 @@ fn main() {
             "{name},{:.4},{:.2},{}",
             out.mask_accuracy, out.psnr_vs_oracle, out.windows
         ));
+        trials.push(
+            Trial::new(i)
+                .field("image", *name)
+                .field("mask_accuracy", out.mask_accuracy)
+                .field("psnr_vs_oracle_db", out.psnr_vs_oracle)
+                .field("windows", out.windows),
+        );
         std::fs::write(out_dir().join(format!("fig15_{name}_original.pgm")), image.to_pgm()).ok();
         std::fs::write(out_dir().join(format!("fig15_{name}_stolen.pgm")), out.stolen.to_pgm())
             .ok();
@@ -47,4 +63,5 @@ fn main() {
     println!("paper reference: up to 97% stealing accuracy; reconstructions close to the oracle (Fig. 15).");
     let path = write_csv("fig15_jpeg_t.csv", "image,mask_accuracy,psnr_vs_oracle,windows", &rows);
     println!("CSV + PGM files written under {}", path.parent().unwrap().display());
+    exp.finish(&trials);
 }

@@ -1,11 +1,13 @@
 //! Figure 16: recovering the RSA secret exponent from the libgcrypt
 //! square-and-multiply victim, under both the simulated SCT design and
-//! the SGX/SIT configuration.
+//! the SGX/SIT configuration. The two configurations attack the same
+//! key as independent harness trials, so they run in parallel.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig16_rsa`
 
 use metaleak::casestudy::run_rsa_t;
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_victims::rsa::RsaKey;
 
@@ -16,26 +18,42 @@ fn main() {
     let key = RsaKey::generate(prime_bits, 0x16);
     println!("true exponent d = {} ({} bits)\n", key.d, key.d.bits());
 
-    let mut table = TextTable::new(vec!["config", "bit accuracy", "paper", "iterations"]);
-    let mut rows = Vec::new();
-    for (name, cfg, level, paper) in [
+    let setups = [
         ("SCT (simulated)", configs::sct_experiment(), 0u8, "95.1%"),
         ("SGX / SIT (L1)", configs::sgx_experiment(), 1u8, "91.2%"),
-    ] {
-        let out = run_rsa_t(cfg, &key, 100, level).expect("attack");
+    ];
+    let exp = Experiment::new("fig16_rsa", 0x16).config("prime_bits", prime_bits);
+    let results = exp.run_trials(setups.len(), |_rng, i| {
+        let (_, cfg, level, _) = &setups[i];
+        run_rsa_t(cfg.clone(), &key, 100, *level).expect("attack")
+    });
+
+    let mut table = TextTable::new(vec!["config", "bit accuracy", "paper", "iterations"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, out) in results.iter().enumerate() {
+        let (name, _, level, paper) = &setups[i];
         // Render the Figure 16-style trace for the first iterations.
         let trace: String =
             out.observations.iter().take(32).map(|&(_, m)| if m { 'M' } else { 'S' }).collect();
         println!("[{name}] observed trace (first 32 iters): {trace}");
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             format!("{:.1}%", out.bit_accuracy * 100.0),
-            paper.to_owned(),
+            (*paper).to_owned(),
             out.windows.to_string(),
         ]);
         rows.push(format!("{name},{:.4},{}", out.bit_accuracy, out.windows));
+        trials.push(
+            Trial::new(i)
+                .field("config", *name)
+                .field("level", *level)
+                .field("bit_accuracy", out.bit_accuracy)
+                .field("windows", out.windows),
+        );
     }
     println!("\n{}", table.render());
     let path = write_csv("fig16_rsa.csv", "config,bit_accuracy,iterations", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

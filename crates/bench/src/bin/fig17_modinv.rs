@@ -1,10 +1,12 @@
 //! Figure 17: detecting the shift/sub operation sequence of the
-//! mbedTLS private-key-loading victim with mEvict+mReload.
+//! mbedTLS private-key-loading victim with mEvict+mReload. The two
+//! configurations run as independent harness trials.
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig17_modinv`
 
 use metaleak::casestudy::run_modinv_t;
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_victims::bignum::BigUint;
 use metaleak_victims::modinv::InvOp;
@@ -18,13 +20,21 @@ fn main() {
     let phi = key.p.sub(&BigUint::one()).mul(&key.q.sub(&BigUint::one()));
     let e = key.e.clone();
 
-    let mut table = TextTable::new(vec!["config", "op detection accuracy", "paper", "ops"]);
-    let mut rows = Vec::new();
-    for (name, cfg, level, paper) in [
+    let setups = [
         ("SCT (simulated)", configs::sct_experiment(), 0u8, "-"),
         ("SGX / SIT (L1, 600-cy threshold regime)", configs::sgx_experiment(), 1u8, "90.7%"),
-    ] {
-        let out = run_modinv_t(cfg, &e, &phi, 100, level).expect("attack");
+    ];
+    let exp = Experiment::new("fig17_modinv", 0x17).config("prime_bits", prime_bits);
+    let results = exp.run_trials(setups.len(), |_rng, i| {
+        let (_, cfg, level, _) = &setups[i];
+        run_modinv_t(cfg.clone(), &e, &phi, 100, *level).expect("attack")
+    });
+
+    let mut table = TextTable::new(vec!["config", "op detection accuracy", "paper", "ops"]);
+    let mut rows = Vec::new();
+    let mut trials = Vec::new();
+    for (i, out) in results.iter().enumerate() {
+        let (name, _, level, paper) = &setups[i];
         let shifts = out.truth.iter().filter(|o| **o == InvOp::ShiftR).count();
         let render: String = out
             .observed
@@ -36,14 +46,23 @@ fn main() {
         println!("  observed ops (first 48, R=shift S=sub): {render}");
         println!("  ground truth: {shifts} shifts / {} subs", out.truth.len() - shifts);
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             format!("{:.1}%", out.detection_accuracy * 100.0),
-            paper.to_owned(),
+            (*paper).to_owned(),
             out.windows.to_string(),
         ]);
         rows.push(format!("{name},{:.4},{}", out.detection_accuracy, out.windows));
+        trials.push(
+            Trial::new(i)
+                .field("config", *name)
+                .field("level", *level)
+                .field("detection_accuracy", out.detection_accuracy)
+                .field("windows", out.windows)
+                .field("true_shifts", shifts),
+        );
     }
     println!("\n{}", table.render());
     let path = write_csv("fig17_modinv.csv", "config,detection_accuracy,ops", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

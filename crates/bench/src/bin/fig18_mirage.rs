@@ -7,32 +7,53 @@
 //! replacement, ~7000 random accesses evict a 16-way 256 KB metadata
 //! cache's line with >90% probability (§IX-B).
 //!
+//! Each sweep point is one harness trial whose Monte-Carlo seed comes
+//! from its own split RNG stream (previously every point reused one
+//! literal seed, correlating the sweep's random-access patterns).
+//!
 //! Run: `cargo run --release -p metaleak-bench --bin fig18_mirage`
 
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_mitigations::mirage::{eviction_probability, MirageConfig};
 
 fn main() {
-    let trials = scaled(40, 200);
+    let trials_per_point = scaled(40, 200);
     println!("== Figure 18: eviction accuracy under MIRAGE cache randomization ==");
     println!(
-        "config: two skews, 8+6 ways/skew, 4096-line (256 KB) data store; {trials} trials/point\n"
+        "config: two skews, 8+6 ways/skew, 4096-line (256 KB) data store; {trials_per_point} trials/point\n"
     );
 
     let cfg = MirageConfig::default();
     let sweep = [0usize, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10000, 12000];
+    let exp = Experiment::new("fig18_mirage", 0x18)
+        .config("trials_per_point", trials_per_point)
+        .config("data_lines", cfg.data_lines);
+
+    let results = exp.run_trials(sweep.len(), |rng, i| {
+        let k = sweep[i];
+        let p = eviction_probability(cfg, k, trials_per_point, rng.next_u64());
+        let model = 1.0 - (1.0 - 1.0 / cfg.data_lines as f64).powi(k as i32);
+        (k, p, model)
+    });
+
     let mut table =
         TextTable::new(vec!["random accesses", "eviction accuracy", "analytic 1-(1-1/N)^k"]);
     let mut rows = Vec::new();
-    for &k in &sweep {
-        let p = eviction_probability(cfg, k, trials, 0x18);
-        let model = 1.0 - (1.0 - 1.0 / cfg.data_lines as f64).powi(k as i32);
+    let mut trials = Vec::new();
+    for (i, &(k, p, model)) in results.iter().enumerate() {
         table.row(vec![
             k.to_string(),
             format!("{:.1}%", p * 100.0),
             format!("{:.1}%", model * 100.0),
         ]);
         rows.push(format!("{k},{p:.4},{model:.4}"));
+        trials.push(
+            Trial::new(i)
+                .field("random_accesses", k)
+                .field("eviction_probability", p)
+                .field("analytic_probability", model),
+        );
     }
     println!("{}", table.render());
     println!(
@@ -40,4 +61,5 @@ fn main() {
     );
     let path = write_csv("fig18_mirage.csv", "accesses,eviction_probability,analytic", &rows);
     println!("CSV written to {}", path.display());
+    exp.finish(&trials);
 }

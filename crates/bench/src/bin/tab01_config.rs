@@ -1,99 +1,119 @@
 //! Table I: the simulated secure-processor and SGX configurations, as
 //! instantiated by this reproduction (plus the documented scaling of
-//! the protected-region / metadata-cache ratio).
+//! the protected-region / metadata-cache ratio). Ported onto the
+//! harness so the parameter dump also lands in the JSONL sink.
 //!
 //! Run: `cargo run -p metaleak-bench --bin tab01_config`
 
 use metaleak::configs;
+use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::TextTable;
 use metaleak_engine::config::SecureConfig;
 
-fn describe(name: &str, cfg: &SecureConfig) {
-    println!("== {name} ==");
-    let mut t = TextTable::new(vec!["parameter", "value"]);
-    t.row(vec!["cores".to_owned(), cfg.sim.cores.to_string()]);
-    t.row(vec![
-        "L1 D-cache".to_owned(),
-        format!(
-            "{} KB, {}-way, {}-cycle hit",
-            cfg.sim.l1.capacity_bytes / 1024,
-            cfg.sim.l1.ways,
-            cfg.sim.l1.hit_latency.as_u64()
+fn describe_rows(cfg: &SecureConfig) -> Vec<(&'static str, String)> {
+    vec![
+        ("cores", cfg.sim.cores.to_string()),
+        (
+            "L1 D-cache",
+            format!(
+                "{} KB, {}-way, {}-cycle hit",
+                cfg.sim.l1.capacity_bytes / 1024,
+                cfg.sim.l1.ways,
+                cfg.sim.l1.hit_latency.as_u64()
+            ),
         ),
-    ]);
-    t.row(vec![
-        "L2 cache".to_owned(),
-        format!(
-            "{} KB, {}-way, {}-cycle hit",
-            cfg.sim.l2.capacity_bytes / 1024,
-            cfg.sim.l2.ways,
-            cfg.sim.l2.hit_latency.as_u64()
+        (
+            "L2 cache",
+            format!(
+                "{} KB, {}-way, {}-cycle hit",
+                cfg.sim.l2.capacity_bytes / 1024,
+                cfg.sim.l2.ways,
+                cfg.sim.l2.hit_latency.as_u64()
+            ),
         ),
-    ]);
-    t.row(vec![
-        "L3 cache (shared)".to_owned(),
-        format!(
-            "{} MB, {}-way, {}-cycle hit",
-            cfg.sim.l3.capacity_bytes / (1024 * 1024),
-            cfg.sim.l3.ways,
-            cfg.sim.l3.hit_latency.as_u64()
+        (
+            "L3 cache (shared)",
+            format!(
+                "{} MB, {}-way, {}-cycle hit",
+                cfg.sim.l3.capacity_bytes / (1024 * 1024),
+                cfg.sim.l3.ways,
+                cfg.sim.l3.hit_latency.as_u64()
+            ),
         ),
-    ]);
-    t.row(vec![
-        "memory controller".to_owned(),
-        format!(
-            "{} RD & {} WR queue entries, FR-FCFS, open-row",
-            cfg.sim.memctl.read_queue, cfg.sim.memctl.write_queue
+        (
+            "memory controller",
+            format!(
+                "{} RD & {} WR queue entries, FR-FCFS, open-row",
+                cfg.sim.memctl.read_queue, cfg.sim.memctl.write_queue
+            ),
         ),
-    ]);
-    t.row(vec![
-        "DRAM".to_owned(),
-        format!(
-            "{} channels x {} ranks x {} banks; row hit/closed/conflict = {}/{}/{} cycles",
-            cfg.sim.dram.channels,
-            cfg.sim.dram.ranks,
-            cfg.sim.dram.banks,
-            cfg.sim.dram.row_hit.as_u64(),
-            cfg.sim.dram.row_closed.as_u64(),
-            cfg.sim.dram.row_conflict.as_u64()
+        (
+            "DRAM",
+            format!(
+                "{} channels x {} ranks x {} banks; row hit/closed/conflict = {}/{}/{} cycles",
+                cfg.sim.dram.channels,
+                cfg.sim.dram.ranks,
+                cfg.sim.dram.banks,
+                cfg.sim.dram.row_hit.as_u64(),
+                cfg.sim.dram.row_closed.as_u64(),
+                cfg.sim.dram.row_conflict.as_u64()
+            ),
         ),
-    ]);
-    t.row(vec![
-        "metadata caches".to_owned(),
-        format!(
-            "{} KB counter + {} KB tree, {}-way",
-            cfg.mcache.counter.capacity_bytes / 1024,
-            cfg.mcache.tree.capacity_bytes / 1024,
-            cfg.mcache.tree.ways
+        (
+            "metadata caches",
+            format!(
+                "{} KB counter + {} KB tree, {}-way",
+                cfg.mcache.counter.capacity_bytes / 1024,
+                cfg.mcache.tree.capacity_bytes / 1024,
+                cfg.mcache.tree.ways
+            ),
         ),
-    ]);
-    t.row(vec![
-        "protected region".to_owned(),
-        format!("{} MB ({} pages)", cfg.data_pages * 4 / 1024, cfg.data_pages),
-    ]);
-    t.row(vec![
-        "encryption".to_owned(),
-        format!(
-            "counter-mode, {:?} counters ({} / {}-bit)",
-            cfg.scheme, cfg.enc_widths.minor_bits, cfg.enc_widths.mono_bits
+        (
+            "protected region",
+            format!("{} MB ({} pages)", cfg.data_pages * 4 / 1024, cfg.data_pages),
         ),
-    ]);
-    t.row(vec![
-        "integrity tree".to_owned(),
-        format!("{:?} ({}-bit tree minors)", cfg.tree_kind, cfg.tree_widths.minor_bits),
-    ]);
-    t.row(vec!["MEE extra latency".to_owned(), format!("{} cycles/metadata fetch", cfg.mee_extra)]);
-    println!("{}", t.render());
+        (
+            "encryption",
+            format!(
+                "counter-mode, {:?} counters ({} / {}-bit)",
+                cfg.scheme, cfg.enc_widths.minor_bits, cfg.enc_widths.mono_bits
+            ),
+        ),
+        (
+            "integrity tree",
+            format!("{:?} ({}-bit tree minors)", cfg.tree_kind, cfg.tree_widths.minor_bits),
+        ),
+        ("MEE extra latency", format!("{} cycles/metadata fetch", cfg.mee_extra)),
+    ]
 }
 
 fn main() {
     println!("== Table I: architecture configurations (as reproduced) ==\n");
-    describe("Simulated secure processor — SCT (VAULT-style)", &configs::sct_experiment());
-    describe("Simulated secure processor — HT (Bonsai Merkle Tree)", &configs::ht_experiment());
-    describe("SGX-like — SIT integrity tree", &configs::sgx_experiment());
+    let setups: Vec<(&str, SecureConfig)> = vec![
+        ("Simulated secure processor — SCT (VAULT-style)", configs::sct_experiment()),
+        ("Simulated secure processor — HT (Bonsai Merkle Tree)", configs::ht_experiment()),
+        ("SGX-like — SIT integrity tree", configs::sgx_experiment()),
+    ];
+    let exp = Experiment::new("tab01_config", 0x01);
+    let results = exp.run_trials(setups.len(), |_rng, i| describe_rows(&setups[i].1));
+
+    let mut trials = Vec::new();
+    for (i, rows) in results.iter().enumerate() {
+        let (name, _) = &setups[i];
+        println!("== {name} ==");
+        let mut t = TextTable::new(vec!["parameter", "value"]);
+        let mut trial = Trial::new(i).field("config", *name);
+        for (param, value) in rows {
+            t.row(vec![(*param).to_owned(), value.clone()]);
+            trial = trial.field(param, value.as_str());
+        }
+        println!("{}", t.render());
+        trials.push(trial);
+    }
     println!(
         "note: the protected region and metadata caches are scaled down together\n\
          (8192:1 footprint-to-cache ratio) relative to the paper's 64 GB / 256 KB;\n\
          see DESIGN.md for the substitution argument."
     );
+    exp.finish(&trials);
 }

@@ -1,0 +1,277 @@
+//! The parallel, deterministic experiment harness.
+//!
+//! Every figure/table binary builds an [`Experiment`], fans its
+//! independent trials (sweep points, repetitions, configurations) out
+//! over scoped worker threads with [`Experiment::run_trials`], and
+//! finishes by emitting machine-readable results through the JSONL
+//! sink ([`Experiment::finish`]).
+//!
+//! # Determinism
+//!
+//! Trial `i` of an experiment seeded with `seed` always draws from the
+//! RNG stream `SimRng::seed_from(seed).split(i)`, no matter which
+//! worker thread executes it or how many workers exist. Results are
+//! collected by trial index, so the JSONL rows and any CSV built from
+//! them are **byte-identical across thread counts**. Only the side
+//! `<name>.meta.json` file records timing-dependent facts (thread
+//! count, wall-clock).
+//!
+//! # Seeding convention
+//!
+//! - each binary owns one literal experiment seed;
+//! - trial `i` uses stream id `i` (handed to the closure pre-split);
+//! - auxiliary streams shared by *all* trials (e.g. a common workload
+//!   for a controlled scheme comparison) use ids above
+//!   [`AUX_STREAM_BASE`] via [`Experiment::aux_stream`], so they can
+//!   never collide with a trial id.
+
+use crate::json::{Json, JsonObj};
+use crate::{out_dir, quick_mode};
+use metaleak_sim::rng::SimRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// First stream id reserved for auxiliary (non-trial) RNG streams.
+/// Trial ids occupy `0..n`, which in practice stays far below this.
+pub const AUX_STREAM_BASE: u64 = 1 << 32;
+
+/// Worker-thread count used by [`Experiment::new`]: the value of
+/// `METALEAK_THREADS` when set (minimum 1), otherwise the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    match std::env::var("METALEAK_THREADS") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Runs `n` independent trials on up to `threads` scoped workers and
+/// returns their results **in trial order**.
+///
+/// Trial `i` receives the RNG stream `SimRng::seed_from(seed).split(i)`
+/// and its index; the output vector is ordered by index regardless of
+/// completion order, so results are bit-identical for any `threads`.
+pub fn run_trials<T, F>(n: usize, seed: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut SimRng, usize) -> T + Sync,
+{
+    let root = SimRng::seed_from(seed);
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n)
+            .map(|i| {
+                let mut rng = root.split(i as u64);
+                f(&mut rng, i)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut rng = root.split(i as u64);
+                let out = f(&mut rng, i);
+                results.lock().expect("results lock")[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every trial completed"))
+        .collect()
+}
+
+/// One JSONL row of an experiment: a trial index plus named stats.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    idx: usize,
+    fields: Vec<(String, Json)>,
+}
+
+impl Trial {
+    /// Starts a row for trial `idx`.
+    pub fn new(idx: usize) -> Self {
+        Trial { idx, fields: Vec::new() }
+    }
+
+    /// Appends a named stat (field order is preserved in the output).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    fn render(&self) -> String {
+        let mut obj = JsonObj::new().field("trial", self.idx);
+        for (k, v) in &self.fields {
+            obj = obj.field(k, v.clone());
+        }
+        obj.build().render()
+    }
+}
+
+/// Where an experiment's outputs landed, plus its measured wall-clock.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The deterministic per-trial JSONL file.
+    pub jsonl: PathBuf,
+    /// The run-metadata JSON file (threads, wall-clock — not
+    /// deterministic across machines or thread counts).
+    pub meta: PathBuf,
+    /// Wall-clock from [`Experiment::new`] to [`Experiment::finish`].
+    pub wall_clock: Duration,
+}
+
+/// A named, seeded, parallel experiment.
+#[derive(Debug)]
+pub struct Experiment {
+    name: String,
+    seed: u64,
+    threads: usize,
+    config: Vec<(String, Json)>,
+    started: Instant,
+}
+
+impl Experiment {
+    /// Creates an experiment with [`default_threads`] workers.
+    pub fn new(name: &str, seed: u64) -> Self {
+        Experiment {
+            name: name.to_owned(),
+            seed,
+            threads: default_threads(),
+            config: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Records a configuration fact for the metadata sink.
+    pub fn config(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.config.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// The experiment's root seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count trials will fan out over.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// An auxiliary RNG stream shared by all trials (see the module
+    /// docs for the convention). `k` distinguishes multiple aux
+    /// streams within one experiment.
+    pub fn aux_stream(&self, k: u64) -> SimRng {
+        SimRng::seed_from(self.seed).split(AUX_STREAM_BASE + k)
+    }
+
+    /// Runs `n` trials of `f` in parallel; see the free [`run_trials`].
+    pub fn run_trials<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut SimRng, usize) -> T + Sync,
+    {
+        run_trials(n, self.seed, self.threads, f)
+    }
+
+    /// Writes the result sink: `<name>.jsonl` (one deterministic row
+    /// per trial) and `<name>.meta.json` (seed, config, thread count,
+    /// wall-clock in milliseconds), both under `target/experiments/`.
+    pub fn finish(self, trials: &[Trial]) -> ExperimentReport {
+        let wall_clock = self.started.elapsed();
+        let dir = out_dir();
+
+        let mut body = String::new();
+        for t in trials {
+            body.push_str(&t.render());
+            body.push('\n');
+        }
+        let jsonl = dir.join(format!("{}.jsonl", self.name));
+        std::fs::write(&jsonl, body).expect("write experiment jsonl");
+
+        let meta_json = JsonObj::new()
+            .field("experiment", self.name.as_str())
+            .field("seed", self.seed)
+            .field("threads", self.threads)
+            .field("trials", trials.len())
+            .field("quick_mode", quick_mode())
+            .field("wall_clock_ms", wall_clock.as_millis() as u64)
+            .field("config", Json::Obj(self.config.clone()))
+            .build();
+        let meta = dir.join(format!("{}.meta.json", self.name));
+        std::fs::write(&meta, meta_json.render() + "\n").expect("write experiment meta");
+
+        println!(
+            "experiment '{}': {} trials on {} thread(s) in {} ms; JSONL -> {}",
+            self.name,
+            trials.len(),
+            self.threads,
+            wall_clock.as_millis(),
+            jsonl.display()
+        );
+        ExperimentReport { jsonl, meta, wall_clock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_return_in_index_order() {
+        let out = run_trials(16, 7, 4, |_, i| i * 10);
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trial_streams_are_independent_of_thread_count() {
+        let serial = run_trials(12, 0xDEAD, 1, |rng, _| rng.next_u64());
+        let parallel = run_trials(12, 0xDEAD, 8, |rng, _| rng.next_u64());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn trial_streams_differ_across_trials_and_seeds() {
+        let a = run_trials(4, 1, 2, |rng, _| rng.next_u64());
+        assert_eq!(a.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+        let b = run_trials(4, 2, 2, |rng, _| rng.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_is_fine() {
+        let out: Vec<u64> = run_trials(0, 3, 4, |rng, _| rng.next_u64());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn trial_rows_render_deterministically() {
+        let row = Trial::new(2).field("accuracy", 0.5f64).field("windows", 10usize);
+        assert_eq!(row.render(), "{\"trial\":2,\"accuracy\":0.5,\"windows\":10}");
+    }
+
+    #[test]
+    fn aux_streams_avoid_trial_streams() {
+        let exp = Experiment::new("aux_test", 5).with_threads(1);
+        let mut aux = exp.aux_stream(0);
+        let trial0 = run_trials(1, 5, 1, |rng, _| rng.next_u64());
+        assert_ne!(aux.next_u64(), trial0[0]);
+    }
+}

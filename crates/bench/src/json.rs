@@ -1,0 +1,222 @@
+//! A hand-rolled JSON value type and serializer for the experiment
+//! sink (no external dependencies).
+//!
+//! Rendering is deterministic: object fields keep insertion order,
+//! integers render exactly, and floats use Rust's shortest round-trip
+//! `Display` (with non-finite values mapped to `null`), so the same
+//! experiment produces byte-identical JSON lines on every run.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept separate so `u64` counters round-trip).
+    UInt(u64),
+    /// A float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (field order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Keep a decimal point so the value parses back as
+                    // a float even when it is integral.
+                    let s = f.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Self {
+        Json::Int(v as i64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u8> for Json {
+    fn from(v: u8) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An ordered JSON object under construction (builder for one
+/// experiment row).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field (insertion order is preserved in the output).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        assert_eq!(Json::from(0.5f64).render(), "0.5");
+        assert_eq!(Json::from(2.0f64).render(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::from("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn renders_compound_values_in_order() {
+        let obj = JsonObj::new()
+            .field("name", "fig18")
+            .field("trial", 3usize)
+            .field("values", vec![1u64, 2, 3])
+            .build();
+        assert_eq!(obj.render(), "{\"name\":\"fig18\",\"trial\":3,\"values\":[1,2,3]}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+        assert_eq!(Json::from("\t\r").render(), "\"\\t\\r\"");
+    }
+}

@@ -2,11 +2,38 @@
 //!
 //! Experiment harness regenerating every table and figure of the
 //! MetaLeak paper's evaluation. Each `src/bin/figXX_*.rs` binary
-//! prints the rows/series the paper reports and writes CSV under
-//! `target/experiments/`. This library holds the shared plumbing:
-//! output paths, CSV writing, text tables and histogram rendering.
+//! prints the rows/series the paper reports, writes CSV under
+//! `target/experiments/`, and emits machine-readable JSONL through the
+//! [`harness`] sink. This library holds the shared plumbing: the
+//! parallel trial runner, output paths, CSV/JSONL writing, text tables
+//! and histogram rendering.
+//!
+//! # Seeding convention
+//!
+//! All randomness flows from one literal experiment seed per binary
+//! through `SimRng::split` child streams — never from reusing a literal
+//! seed across sweep points (which would correlate the noise/fault
+//! streams of supposedly independent points):
+//!
+//! - **experiment seed** — a literal owned by the binary, recorded in
+//!   the emitted metadata;
+//! - **trial streams** — trial/sweep-point `i` draws from
+//!   `SimRng::seed_from(seed).split(i)`, pre-split by
+//!   [`harness::run_trials`], so results are identical for any worker
+//!   thread count;
+//! - **sub-streams** — a trial needing several independent generators
+//!   (payload bits, fault plan, workload...) splits its trial stream
+//!   further: `trial_rng.split(0)`, `trial_rng.split(1)`, ...;
+//! - **auxiliary streams** — state shared by *all* trials (e.g. one
+//!   workload replayed against every scheme in a controlled
+//!   comparison) comes from [`harness::Experiment::aux_stream`], whose
+//!   ids live above [`harness::AUX_STREAM_BASE`] and cannot collide
+//!   with trial ids.
 
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod json;
 
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
@@ -15,71 +42,92 @@ use metaleak_sim::stats::LatencyHistogram;
 use std::fs;
 use std::path::PathBuf;
 
+/// Number of distinct access paths characterized for `config`: Path-1
+/// (cache hit), Path-2 (counter hit), Path-3 (tree-leaf hit), plus one
+/// Path-4 depth per evictable tree level.
+pub fn path_count(config: &SecureConfig) -> usize {
+    let mem = SecureMemory::new(config.clone());
+    let levels = mem.tree().geometry().levels() as usize;
+    2 + levels
+}
+
+/// Collects `samples` latencies for access path `path` (0-based index
+/// into the [`path_count`] paths) on a fresh memory under `config`.
+/// Returns the path label and its latency histogram. Each path is
+/// independent, so the paths of one figure can run as parallel trials.
+pub fn characterize_path(
+    config: &SecureConfig,
+    path: usize,
+    samples: usize,
+) -> (String, LatencyHistogram) {
+    let mut mem = SecureMemory::new(config.clone());
+    let core = CoreId(0);
+    let mut h = LatencyHistogram::new(10);
+    match path {
+        // Path-1: data cache hit.
+        0 => {
+            mem.read(core, 0).unwrap();
+            for _ in 0..samples {
+                h.record(mem.read(core, 0).unwrap().latency);
+            }
+            ("path1-cache-hit".to_owned(), h)
+        }
+        // Path-2: memory read, counter cached. Stride within one page
+        // so the counter block stays hot while the data misses.
+        1 => {
+            for i in 0..samples as u64 {
+                let block = 64 + (i % 63);
+                mem.flush_block(block);
+                let r = mem.read(core, block).unwrap();
+                h.record(r.latency);
+            }
+            ("path2-counter-hit".to_owned(), h)
+        }
+        // Path-3: counter missed, tree leaf cached: evict only the
+        // counter.
+        2 => {
+            for i in 0..samples as u64 {
+                let block = 128 * 64 + (i % 32) * 64; // distinct pages, shared leaves
+                let cb = mem.counter_block_of(block);
+                // Warm the tree path once, then push the counter out.
+                mem.flush_block(block);
+                mem.read(core, block).unwrap();
+                mem.force_counter_writeback(cb);
+                mem.flush_block(block);
+                let r = mem.read(core, block).unwrap();
+                h.record(r.latency);
+            }
+            ("path3-tree-leaf-hit".to_owned(), h)
+        }
+        // Path-4 at depth `path - 3`: additionally evict tree levels
+        // 0..=d before the read, so the walk misses d+1 node levels.
+        _ => {
+            let depth = path - 3;
+            for i in 0..samples as u64 {
+                let block = (4096 + (i % 64) * 37) * 64;
+                let cb = mem.counter_block_of(block);
+                mem.flush_block(block);
+                mem.read(core, block).unwrap();
+                mem.force_counter_writeback(cb);
+                for l in 0..=depth {
+                    // Evicts the node whether clean or dirty, so the
+                    // walk must re-fetch levels 0..=depth from memory.
+                    let node = mem.tree().geometry().ancestor_at(cb, l as u8);
+                    mem.force_tree_writeback(node);
+                }
+                mem.flush_block(block);
+                let r = mem.read(core, block).unwrap();
+                h.record(r.latency);
+            }
+            (format!("path4-miss-to-L{}", depth + 1), h)
+        }
+    }
+}
+
 /// Collects `samples` latencies for each access path under `config`.
 /// Returns labelled histograms, ordered fastest path first.
 pub fn characterize_paths(config: SecureConfig, samples: usize) -> Vec<(String, LatencyHistogram)> {
-    let mut mem = SecureMemory::new(config);
-    let core = CoreId(0);
-    let levels = mem.tree().geometry().levels();
-    let mut out = Vec::new();
-
-    // Path-1: data cache hit.
-    let mut h = LatencyHistogram::new(10);
-    mem.read(core, 0).unwrap();
-    for _ in 0..samples {
-        h.record(mem.read(core, 0).unwrap().latency);
-    }
-    out.push(("path1-cache-hit".to_owned(), h));
-
-    // Path-2: memory read, counter cached. Stride within one page so
-    // the counter block stays hot while the data misses.
-    let mut h = LatencyHistogram::new(10);
-    for i in 0..samples as u64 {
-        let block = 64 + (i % 63);
-        mem.flush_block(block);
-        let r = mem.read(core, block).unwrap();
-        h.record(r.latency);
-    }
-    out.push(("path2-counter-hit".to_owned(), h));
-
-    // Path-3: counter missed, tree leaf cached: evict only the counter.
-    let mut h = LatencyHistogram::new(10);
-    for i in 0..samples as u64 {
-        let block = 128 * 64 + (i % 32) * 64; // distinct pages, shared leaves
-        let cb = mem.counter_block_of(block);
-        // Warm the tree path once, then push the counter out.
-        mem.flush_block(block);
-        mem.read(core, block).unwrap();
-        mem.force_counter_writeback(cb);
-        mem.flush_block(block);
-        let r = mem.read(core, block).unwrap();
-        h.record(r.latency);
-    }
-    out.push(("path3-tree-leaf-hit".to_owned(), h));
-
-    // Path-4 with increasing depth: additionally evict tree levels
-    // 0..=d before the read, so the walk misses d+1 node levels.
-    for depth in 0..(levels - 1) {
-        let mut h = LatencyHistogram::new(10);
-        for i in 0..samples as u64 {
-            let block = (4096 + (i % 64) * 37) * 64;
-            let cb = mem.counter_block_of(block);
-            mem.flush_block(block);
-            mem.read(core, block).unwrap();
-            mem.force_counter_writeback(cb);
-            for l in 0..=depth {
-                // Evicts the node whether clean or dirty, so the walk
-                // must re-fetch levels 0..=depth from memory.
-                let node = mem.tree().geometry().ancestor_at(cb, l);
-                mem.force_tree_writeback(node);
-            }
-            mem.flush_block(block);
-            let r = mem.read(core, block).unwrap();
-            h.record(r.latency);
-        }
-        out.push((format!("path4-miss-to-L{}", depth + 1), h));
-    }
-    out
+    (0..path_count(&config)).map(|p| characterize_path(&config, p, samples)).collect()
 }
 
 /// Directory experiment outputs are written to.
@@ -103,10 +151,24 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
-/// Whether a quick (CI-sized) run was requested. Set
-/// `METALEAK_FULL=1` for paper-scale sample counts.
+/// Whether a quick (CI-sized) run was requested. Set `METALEAK_FULL`
+/// to `1`, `true` or `yes` (case-insensitive, surrounding whitespace
+/// ignored) for paper-scale sample counts; any other value — including
+/// unset — keeps the quick sizes.
 pub fn quick_mode() -> bool {
-    std::env::var("METALEAK_FULL").map(|v| v != "1").unwrap_or(true)
+    !full_requested(std::env::var("METALEAK_FULL").ok().as_deref())
+}
+
+/// Pure interpretation of the `METALEAK_FULL` environment value
+/// (separated from [`quick_mode`] so it can be tested without touching
+/// process-global environment state). The previous implementation
+/// treated everything but the literal `"1"` — including `"true"` — as
+/// quick mode.
+pub fn full_requested(value: Option<&str>) -> bool {
+    matches!(
+        value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
 }
 
 /// Picks `quick` or `full` depending on [`quick_mode`].
@@ -214,6 +276,20 @@ mod tests {
             assert_eq!(scaled(5, 50), 5);
         } else {
             assert_eq!(scaled(5, 50), 50);
+        }
+    }
+
+    #[test]
+    fn full_mode_accepts_common_truthy_spellings() {
+        for v in ["1", "true", "TRUE", "True", "yes", "YES", " yes ", "\t1\n"] {
+            assert!(full_requested(Some(v)), "{v:?} must request a full run");
+        }
+    }
+
+    #[test]
+    fn quick_mode_for_everything_else() {
+        for v in [None, Some(""), Some("0"), Some("false"), Some("no"), Some("2"), Some("full")] {
+            assert!(!full_requested(v), "{v:?} must stay quick");
         }
     }
 }

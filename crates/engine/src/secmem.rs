@@ -391,6 +391,15 @@ impl SecureMemory {
         if ev.rekey {
             self.crypto.rotate_key();
             self.stats.bump("rekeys");
+            // The rotation re-keys the MAC engine too, so every cached
+            // counter-block MAC sealed under the old key is now stale
+            // and would falsely trip tamper detection on its next
+            // verification; re-seal them all.
+            let cbs: Vec<u64> = self.cb_macs.keys().copied().collect();
+            for cb in cbs {
+                let mac = self.current_cb_mac(cb);
+                self.cb_macs.insert(cb, mac);
+            }
         }
         let group: Vec<u64> = match ev.scope {
             ReencryptScope::Group(g) => g,

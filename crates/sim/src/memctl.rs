@@ -54,6 +54,10 @@ pub struct MemoryController {
     config: MemCtlConfig,
     dram: Dram,
     write_queue: VecDeque<BlockAddr>,
+    /// Occupancy index over `write_queue`: how many queued entries
+    /// target each block. Keeps `write_pending` and store-to-load
+    /// forwarding O(1) instead of scanning the queue on every read.
+    write_occupancy: HashMap<BlockAddr, usize>,
     bank_busy: HashMap<BankId, Cycles>,
     /// Event counters (forwards, merges, drains...).
     pub stats: Counters,
@@ -66,6 +70,7 @@ impl MemoryController {
             config,
             dram,
             write_queue: VecDeque::new(),
+            write_occupancy: HashMap::new(),
             bank_busy: HashMap::new(),
             stats: Counters::new(),
         }
@@ -83,7 +88,18 @@ impl MemoryController {
 
     /// Whether a write to `block` is currently buffered.
     pub fn write_pending(&self, block: BlockAddr) -> bool {
-        self.write_queue.contains(&block)
+        self.write_occupancy.contains_key(&block)
+    }
+
+    /// Whether the occupancy index exactly mirrors the write queue
+    /// (every queued block counted once per entry, no stale keys).
+    /// Exposed so tests can assert the two structures never drift.
+    pub fn occupancy_consistent(&self) -> bool {
+        let mut counts: HashMap<BlockAddr, usize> = HashMap::new();
+        for &b in &self.write_queue {
+            *counts.entry(b).or_insert(0) += 1;
+        }
+        counts == self.write_occupancy
     }
 
     /// Buffers a write. If the block is already queued the write merges
@@ -91,11 +107,12 @@ impl MemoryController {
     /// drain whose serviced writes are returned so the caller (the
     /// secure-memory engine) can apply counter updates at service time.
     pub fn enqueue_write(&mut self, block: BlockAddr, now: Cycles) -> DrainReport {
-        if self.write_queue.contains(&block) {
+        if self.write_pending(block) {
             self.stats.bump("write_merged");
             return DrainReport::empty(now);
         }
         self.write_queue.push_back(block);
+        *self.write_occupancy.entry(block).or_insert(0) += 1;
         self.stats.bump("write_enqueued");
         if self.write_queue.len() >= self.config.write_drain_watermark {
             let target = self.config.write_drain_watermark / 2;
@@ -115,6 +132,12 @@ impl MemoryController {
         let mut serviced = Vec::new();
         while self.write_queue.len() > target {
             let block = self.write_queue.pop_front().expect("nonempty queue");
+            match self.write_occupancy.get_mut(&block) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    self.write_occupancy.remove(&block);
+                }
+            }
             let (lat, _row) = self.dram.access(block);
             t += lat;
             let bank = self.dram.bank_of(block);
@@ -131,7 +154,7 @@ impl MemoryController {
     /// Services a read at time `now`. Forwards from the write queue when
     /// possible; otherwise waits for the target bank and accesses DRAM.
     pub fn read(&mut self, block: BlockAddr, now: Cycles) -> ReadOutcome {
-        if self.write_queue.contains(&block) {
+        if self.write_pending(block) {
             self.stats.bump("read_forwarded");
             return ReadOutcome {
                 latency: self.config.queue_penalty.times(2),
@@ -204,6 +227,7 @@ mod tests {
         assert_eq!(m.write_queue_len(), 24, "drains to half the watermark");
         assert_eq!(r.serviced.len(), 24);
         assert!(r.finished_at > Cycles::ZERO);
+        assert!(m.occupancy_consistent(), "occupancy index must survive a partial drain");
     }
 
     #[test]
@@ -213,6 +237,7 @@ mod tests {
         m.enqueue_write(BlockAddr::new(1), Cycles::ZERO);
         assert_eq!(m.write_queue_len(), 1);
         assert_eq!(m.stats.get("write_merged"), 1);
+        assert!(m.occupancy_consistent(), "merge must not double-count the block");
     }
 
     #[test]
@@ -224,15 +249,42 @@ mod tests {
         let r = m.flush_writes(Cycles::ZERO);
         assert_eq!(r.serviced, (0..5).map(BlockAddr::new).collect::<Vec<_>>());
         assert_eq!(m.write_queue_len(), 0);
+        assert!(m.occupancy_consistent(), "flush must leave an empty occupancy index");
+        assert!(!m.write_pending(BlockAddr::new(0)), "no stale keys after flush");
     }
 
     #[test]
     fn read_forwards_from_write_queue() {
         let mut m = mc();
         m.enqueue_write(BlockAddr::new(9), Cycles::ZERO);
+        assert!(m.write_pending(BlockAddr::new(9)));
         let r = m.read(BlockAddr::new(9), Cycles::ZERO);
         assert!(r.forwarded);
         assert!(r.latency.as_u64() < 40, "forwarding must beat DRAM");
+    }
+
+    #[test]
+    fn occupancy_index_tracks_queue_through_mixed_traffic() {
+        let mut m = mc();
+        let mut rounds = 0u64;
+        // Interleave enqueues (with duplicates), reads and flushes and
+        // check the index mirrors the queue after every step.
+        for i in 0..200u64 {
+            m.enqueue_write(BlockAddr::new(i % 13), Cycles::new(i));
+            assert!(m.occupancy_consistent(), "after enqueue {i}");
+            if i % 7 == 0 {
+                m.read(BlockAddr::new(i % 13), Cycles::new(i));
+                assert!(m.occupancy_consistent(), "after read {i}");
+            }
+            if i % 31 == 0 {
+                m.flush_writes(Cycles::new(i));
+                assert!(m.occupancy_consistent(), "after flush {i}");
+                rounds += 1;
+            }
+        }
+        assert!(rounds > 0);
+        let queued = m.write_queue_len();
+        assert!((0..13).filter(|&b| m.write_pending(BlockAddr::new(b))).count() <= queued);
     }
 
     #[test]

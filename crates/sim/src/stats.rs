@@ -16,7 +16,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    map: BTreeMap<String, u64>,
+    map: BTreeMap<&'static str, u64>,
 }
 
 impl Counters {
@@ -26,13 +26,18 @@ impl Counters {
     }
 
     /// Increments `key` by one.
-    pub fn bump(&mut self, key: &str) {
+    pub fn bump(&mut self, key: &'static str) {
         self.add(key, 1);
     }
 
     /// Increments `key` by `n`.
-    pub fn add(&mut self, key: &str, n: u64) {
-        *self.map.entry(key.to_owned()).or_insert(0) += n;
+    ///
+    /// Keys are interned `&'static str` literals, so bumping a counter
+    /// never allocates — neither on first use nor on the per-access hot
+    /// path (the previous `String`-keyed map cloned the key on every
+    /// call).
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
     }
 
     /// Current value of `key` (0 if never bumped).
@@ -42,7 +47,7 @@ impl Counters {
 
     /// Iterates over `(name, count)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+        self.map.iter().map(|(&k, v)| (k, *v))
     }
 
     /// Clears all counters.
@@ -141,6 +146,26 @@ impl LatencyHistogram {
         self.buckets.iter().map(|(&b, &n)| (b, n))
     }
 
+    /// Merges another histogram's samples into this one. Used by the
+    /// parallel experiment harness to combine per-trial histograms into
+    /// the figure-level distribution; merge order does not affect the
+    /// result.
+    ///
+    /// # Panics
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bucket_width, other.bucket_width, "bucket widths must match to merge");
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Fraction of samples in `[lo, hi)` cycles (bucket-granular).
     pub fn mass_between(&self, lo: u64, hi: u64) -> f64 {
         if self.count == 0 {
@@ -200,6 +225,59 @@ mod tests {
         assert!((h.mass_between(10, 20) - 0.4).abs() < 1e-9);
         assert_eq!(h.percentile(0.5).unwrap().as_u64(), 10);
         assert!(h.render(20).contains('#'));
+    }
+
+    /// Micro-test for the allocation-free key change: the interned-key
+    /// API behaves exactly like the old `String`-keyed map — repeated
+    /// adds accumulate into one entry, unknown keys read 0, and `get`
+    /// still accepts dynamically built strings.
+    #[test]
+    fn counters_interned_keys_behave_like_owned_keys() {
+        let mut c = Counters::new();
+        for _ in 0..1000 {
+            c.bump("hot_path_key");
+        }
+        c.add("hot_path_key", 5);
+        assert_eq!(c.get("hot_path_key"), 1005);
+        assert_eq!(c.iter().count(), 1, "repeated bumps must not duplicate entries");
+        let dynamic = String::from("hot_") + "path_key";
+        assert_eq!(c.get(&dynamic), 1005, "lookup by non-static str must still work");
+        assert_eq!(c.iter().next(), Some(("hot_path_key", 1005)));
+        let rendered = format!("{c}");
+        assert!(rendered.starts_with("hot_path_key"));
+        assert!(rendered.trim_end().ends_with("1005"));
+    }
+
+    #[test]
+    fn histogram_merge_combines_summaries() {
+        let mut a = LatencyHistogram::new(10);
+        let mut b = LatencyHistogram::new(10);
+        let mut whole = LatencyHistogram::new(10);
+        for v in [5u64, 15, 15] {
+            a.record(Cycles::new(v));
+            whole.record(Cycles::new(v));
+        }
+        for v in [25u64, 95] {
+            b.record(Cycles::new(v));
+            whole.record(Cycles::new(v));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        assert_eq!(a.iter().collect::<Vec<_>>(), whole.iter().collect::<Vec<_>>());
+        // Merging an empty histogram is a no-op.
+        a.merge(&LatencyHistogram::new(10));
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min().unwrap().as_u64(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths")]
+    fn histogram_merge_rejects_mismatched_widths() {
+        let mut a = LatencyHistogram::new(10);
+        a.merge(&LatencyHistogram::new(20));
     }
 
     #[test]

@@ -20,10 +20,12 @@ fn merged_writes_are_serviced_once() {
     for _ in 0..10 {
         m.enqueue_write(BlockAddr::new(7), Cycles::ZERO);
     }
+    assert!(m.occupancy_consistent(), "merges must keep the occupancy index in sync");
     let report = m.flush_writes(Cycles::ZERO);
     assert_eq!(report.serviced, vec![BlockAddr::new(7)]);
     assert_eq!(m.stats.get("write_merged"), 9);
     assert_eq!(m.stats.get("write_serviced"), 1);
+    assert!(m.occupancy_consistent());
 }
 
 #[test]
@@ -36,10 +38,12 @@ fn redundant_writes_push_out_pending_ones() {
     let mut serviced_victim = false;
     for i in 0..64u64 {
         let r = m.enqueue_write(BlockAddr::new(1000 + i), Cycles::ZERO);
+        assert!(m.occupancy_consistent(), "index in sync after enqueue {i}");
         if r.serviced.contains(&victim) {
             serviced_victim = true;
             // FIFO: the victim must be the first serviced write.
             assert_eq!(r.serviced[0], victim);
+            assert!(!m.write_pending(victim), "serviced victim must leave the index");
             break;
         }
     }
@@ -54,6 +58,7 @@ fn forwarding_disappears_after_drain() {
     assert!(m.read(b, Cycles::ZERO).forwarded);
     m.flush_writes(Cycles::ZERO);
     assert!(!m.read(b, Cycles::ZERO).forwarded);
+    assert!(m.occupancy_consistent(), "forwarding path must not mutate the index");
 }
 
 #[test]
