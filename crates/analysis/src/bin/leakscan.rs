@@ -1,0 +1,144 @@
+//! `leakscan` — leakage assessment over harness experiment artifacts.
+//!
+//! ```text
+//! leakscan [DIR] [--out-json PATH] [--out-md PATH]
+//!          [--require-leak NAME]... [--require-clean NAME]... [--strict]
+//! ```
+//!
+//! Scans `DIR` (default `target/experiments`, honoring
+//! `METALEAK_OUT_DIR`) for `<name>.jsonl` + `<name>.meta.json` pairs,
+//! refuses incomplete or torn artifacts, and writes
+//! `leakscan_report.json` and `leakscan_report.md` next to them
+//! (unless redirected with `--out-json` / `--out-md`). The markdown
+//! summary is also printed to stdout.
+//!
+//! Exit codes: 0 success; 1 usage or I/O error; 2 a `--require-leak`
+//! experiment is missing, refused, or scored |t| <= 4.5; 3 a
+//! `--require-clean` experiment leaks; 4 `--strict` and at least one
+//! artifact was refused.
+
+use metaleak_analysis::report::LeakReport;
+use metaleak_analysis::{ingest, TVLA_THRESHOLD};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    dir: PathBuf,
+    out_json: Option<PathBuf>,
+    out_md: Option<PathBuf>,
+    require_leak: Vec<String>,
+    require_clean: Vec<String>,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: leakscan [DIR] [--out-json PATH] [--out-md PATH] \
+         [--require-leak NAME]... [--require-clean NAME]... [--strict]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        dir: metaleak_bench::out_dir(),
+        out_json: None,
+        out_md: None,
+        require_leak: Vec::new(),
+        require_clean: Vec::new(),
+        strict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut dir_set = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("leakscan: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--out-json" => cli.out_json = Some(PathBuf::from(value("--out-json"))),
+            "--out-md" => cli.out_md = Some(PathBuf::from(value("--out-md"))),
+            "--require-leak" => cli.require_leak.push(value("--require-leak")),
+            "--require-clean" => cli.require_clean.push(value("--require-clean")),
+            "--strict" => cli.strict = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && !dir_set => {
+                cli.dir = PathBuf::from(other);
+                dir_set = true;
+            }
+            other => {
+                eprintln!("leakscan: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let entries = match ingest::scan_dir(&cli.dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("leakscan: cannot scan {}: {e}", cli.dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("leakscan: no experiment artifacts in {}", cli.dir.display());
+        return ExitCode::from(1);
+    }
+    let report = LeakReport::from_entries(&entries);
+
+    let json_path = cli.out_json.unwrap_or_else(|| cli.dir.join("leakscan_report.json"));
+    let md_path = cli.out_md.unwrap_or_else(|| cli.dir.join("leakscan_report.md"));
+    let markdown = report.to_markdown();
+    for (path, body) in
+        [(&json_path, report.to_json().render() + "\n"), (&md_path, markdown.clone())]
+    {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("leakscan: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+    print!("{markdown}");
+    println!("\nreport: {}", json_path.display());
+
+    // CI gates.
+    for name in &cli.require_leak {
+        match report.assessment(name) {
+            Some(a) if a.leaks() == Some(true) => {}
+            Some(a) => {
+                eprintln!(
+                    "leakscan: FAIL: {name} expected to leak but |t| = {} (threshold {TVLA_THRESHOLD})",
+                    a.tvla.map(|t| t.t.abs()).unwrap_or(0.0)
+                );
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("leakscan: FAIL: required experiment {name} missing or refused");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for name in &cli.require_clean {
+        match report.assessment(name) {
+            Some(a) if a.leaks() != Some(true) => {}
+            Some(_) => {
+                eprintln!("leakscan: FAIL: {name} expected clean but leaks");
+                return ExitCode::from(3);
+            }
+            None => {
+                eprintln!("leakscan: FAIL: required experiment {name} missing or refused");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    if cli.strict && !report.refused.is_empty() {
+        eprintln!("leakscan: FAIL (--strict): {} artifact(s) refused", report.refused.len());
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,176 @@
+//! Seeded bootstrap confidence intervals.
+//!
+//! Every interval is resampled with a [`SimRng`] stream derived from
+//! the experiment's own seed, so `leakscan` reports are byte-identical
+//! across runs, machines, and thread counts — the same property the
+//! experiment harness guarantees for its JSONL rows.
+
+use metaleak_sim::rng::SimRng;
+
+/// A percentile-bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The statistic on the full sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+    /// Two-sided confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Default resample count used by the report layer: large enough for
+/// stable 95% percentile bounds, small enough to keep `leakscan`
+/// instant.
+pub const DEFAULT_RESAMPLES: usize = 1000;
+
+/// Percentile bootstrap CI for `stat` over `xs`.
+///
+/// Returns `None` for an empty sample, `resamples == 0`, or a level
+/// outside `(0, 1)`. Determinism: all randomness comes from `rng`, so
+/// callers seed it from the experiment seed (`SimRng::seed_from(seed)
+/// .split(stream)`).
+pub fn bootstrap_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut SimRng,
+    stat: impl Fn(&[f64]) -> f64,
+) -> Option<BootstrapCi> {
+    if xs.is_empty() || resamples == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return None;
+    }
+    let point = stat(xs);
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = xs[rng.index(xs.len())];
+        }
+        stats.push(stat(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite bootstrap statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| (((resamples as f64) * q).floor() as usize).min(resamples - 1);
+    Some(BootstrapCi {
+        point,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        resamples,
+        level,
+    })
+}
+
+/// Sample mean (the statistic used for per-class latency CIs).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// CI for the difference of means between two independent groups
+/// (resampled independently). This is the effect-size interval behind
+/// a TVLA verdict: a CI excluding 0 corroborates the t-test.
+pub fn mean_diff_ci(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut SimRng,
+) -> Option<BootstrapCi> {
+    if a.is_empty() || b.is_empty() || resamples == 0 || level <= 0.0 || level >= 1.0 {
+        return None;
+    }
+    let point = mean(a) - mean(b);
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut ra = vec![0.0; a.len()];
+    let mut rb = vec![0.0; b.len()];
+    for _ in 0..resamples {
+        for slot in ra.iter_mut() {
+            *slot = a[rng.index(a.len())];
+        }
+        for slot in rb.iter_mut() {
+            *slot = b[rng.index(b.len())];
+        }
+        stats.push(mean(&ra) - mean(&rb));
+    }
+    stats.sort_by(|x, y| x.partial_cmp(y).expect("finite bootstrap statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| (((resamples as f64) * q).floor() as usize).min(resamples - 1);
+    Some(BootstrapCi {
+        point,
+        lo: stats[idx(alpha)],
+        hi: stats[idx(1.0 - alpha)],
+        resamples,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_the_point_estimate() {
+        let mut rng = SimRng::seed_from(21);
+        let xs: Vec<f64> = (0..400).map(|_| 50.0 + rng.gaussian()).collect();
+        let mut boot_rng = SimRng::seed_from(1).split(0);
+        let ci = bootstrap_ci(&xs, 500, 0.95, &mut boot_rng, mean).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!((ci.point - 50.0).abs() < 0.3);
+        // A 95% CI on 400 near-unit-variance samples is tight.
+        assert!(ci.hi - ci.lo < 0.5, "width = {}", ci.hi - ci.lo);
+    }
+
+    #[test]
+    fn same_seed_same_interval() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let run = || {
+            let mut rng = SimRng::seed_from(77).split(3);
+            bootstrap_ci(&xs, 200, 0.9, &mut rng, mean).unwrap()
+        };
+        assert_eq!(run(), run());
+        // A different stream gives a (slightly) different interval.
+        let mut other = SimRng::seed_from(77).split(4);
+        let alt = bootstrap_ci(&xs, 200, 0.9, &mut other, mean).unwrap();
+        assert_ne!((alt.lo, alt.hi), (run().lo, run().hi));
+    }
+
+    #[test]
+    fn mean_diff_ci_excludes_zero_for_separated_groups() {
+        let a: Vec<f64> = (0..100).map(|i| 300.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 40.0 + (i % 5) as f64).collect();
+        let mut rng = SimRng::seed_from(5).split(0);
+        let ci = mean_diff_ci(&a, &b, 300, 0.95, &mut rng).unwrap();
+        assert!(ci.lo > 0.0, "separated groups: CI must exclude 0, got [{}, {}]", ci.lo, ci.hi);
+        // Same distribution: CI straddles 0.
+        let mut rng2 = SimRng::seed_from(6).split(0);
+        let c: Vec<f64> = (0..100).map(|i| 100.0 + (i % 9) as f64).collect();
+        let d: Vec<f64> = (0..100).map(|i| 100.0 + ((i + 4) % 9) as f64).collect();
+        let ci = mean_diff_ci(&c, &d, 300, 0.95, &mut rng2).unwrap();
+        assert!(ci.lo <= 0.0 && ci.hi >= 0.0, "[{}, {}]", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        let mut rng = SimRng::seed_from(0);
+        assert!(bootstrap_ci(&[], 100, 0.95, &mut rng, mean).is_none());
+        assert!(bootstrap_ci(&[1.0], 0, 0.95, &mut rng, mean).is_none());
+        assert!(bootstrap_ci(&[1.0], 100, 0.0, &mut rng, mean).is_none());
+        assert!(bootstrap_ci(&[1.0], 100, 1.0, &mut rng, mean).is_none());
+        assert!(mean_diff_ci(&[], &[1.0], 100, 0.95, &mut rng).is_none());
+        assert!(mean_diff_ci(&[1.0], &[], 100, 0.95, &mut rng).is_none());
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_sample_ci_degenerates_gracefully() {
+        let mut rng = SimRng::seed_from(9);
+        let ci = bootstrap_ci(&[42.0], 50, 0.95, &mut rng, mean).unwrap();
+        assert_eq!((ci.point, ci.lo, ci.hi), (42.0, 42.0, 42.0));
+    }
+}

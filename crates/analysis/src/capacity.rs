@@ -1,0 +1,155 @@
+//! Covert-channel capacity from measured error rates and timing.
+//!
+//! The covert channels are modelled as memoryless symmetric channels:
+//! the binary-symmetric-channel capacity `1 - H2(p)` for bit channels
+//! (MetaLeak-T), generalized to the `M`-ary symmetric channel for
+//! symbol channels (MetaLeak-C). Combined with the measured symbol
+//! period this turns a figure's (accuracy, cycles) pair into the
+//! bits-per-second number the paper reports.
+
+/// Binary entropy `H2(p)` in bits (0 at the endpoints).
+pub fn binary_entropy(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// Shannon capacity of a binary symmetric channel with crossover
+/// probability `p`, in bits per channel use: `1 - H2(p)`. Mirrors
+/// `metaleak_attacks::timing::bsc_capacity` (same formula; kept local
+/// so the assessment layer has no dependency on the attack crates).
+pub fn bsc_capacity(error_rate: f64) -> f64 {
+    let p = error_rate.clamp(0.0, 1.0);
+    if p == 0.0 || p == 1.0 {
+        return 1.0; // an always-inverted channel is perfect too
+    }
+    (1.0 - binary_entropy(p)).max(0.0)
+}
+
+/// Capacity of an `m`-ary symmetric channel with symbol-error rate
+/// `p` (errors uniform over the `m - 1` wrong symbols):
+/// `log2(m) - H2(p) - p·log2(m - 1)` bits per symbol, clamped at 0.
+/// For `m == 2` this reduces to [`bsc_capacity`].
+pub fn msc_capacity(m: u64, error_rate: f64) -> f64 {
+    assert!(m >= 2, "alphabet needs at least two symbols");
+    if m == 2 {
+        return bsc_capacity(error_rate);
+    }
+    let p = error_rate.clamp(0.0, 1.0);
+    ((m as f64).log2() - binary_entropy(p) - p * ((m - 1) as f64).log2()).max(0.0)
+}
+
+/// A channel-capacity estimate assembled from measured quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityEstimate {
+    /// Measured symbol/bit error rate.
+    pub error_rate: f64,
+    /// Alphabet size (2 for bit channels).
+    pub alphabet: u64,
+    /// Capacity in bits per channel use (symbol), after the symmetric-
+    /// channel correction.
+    pub bits_per_symbol: f64,
+    /// Measured symbol period in cycles (0 when unknown).
+    pub cycles_per_symbol: f64,
+    /// Raw (uncorrected) bandwidth in symbols per second at the given
+    /// clock, or 0 when the period is unknown.
+    pub raw_symbols_per_second: f64,
+    /// Error-corrected capacity in bits per second at the given clock,
+    /// or 0 when the period is unknown.
+    pub bits_per_second: f64,
+}
+
+/// The clock frequency reports assume when converting cycles to time
+/// (the paper's 3 GHz).
+pub const DEFAULT_CLOCK_HZ: f64 = 3e9;
+
+/// Builds a [`CapacityEstimate`] from a measured accuracy, alphabet
+/// size, and symbol period (pass `cycles_per_symbol <= 0` when timing
+/// was not recorded; the per-second figures then stay 0).
+pub fn estimate(
+    accuracy: f64,
+    alphabet: u64,
+    cycles_per_symbol: f64,
+    clock_hz: f64,
+) -> CapacityEstimate {
+    let error_rate = (1.0 - accuracy).clamp(0.0, 1.0);
+    let bits_per_symbol = msc_capacity(alphabet, error_rate);
+    let (raw_sps, bps) = if cycles_per_symbol > 0.0 && clock_hz > 0.0 {
+        let sps = clock_hz / cycles_per_symbol;
+        (sps, sps * bits_per_symbol)
+    } else {
+        (0.0, 0.0)
+    };
+    CapacityEstimate {
+        error_rate,
+        alphabet,
+        bits_per_symbol,
+        cycles_per_symbol: cycles_per_symbol.max(0.0),
+        raw_symbols_per_second: raw_sps,
+        bits_per_second: bps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsc_endpoints_and_midpoint() {
+        assert_eq!(bsc_capacity(0.0), 1.0);
+        assert_eq!(bsc_capacity(1.0), 1.0);
+        assert!(bsc_capacity(0.5) < 1e-12);
+        let c = bsc_capacity(0.1);
+        assert!(c > 0.5 && c < 0.6, "C(0.1) ~ 0.531, got {c}");
+    }
+
+    #[test]
+    fn bsc_matches_the_attack_layer_formula() {
+        // Same closed form as metaleak_attacks::timing::bsc_capacity;
+        // spot-check a few points so the duplication cannot drift.
+        for p in [0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1.0] {
+            let here = bsc_capacity(p);
+            let there = metaleak_attacks::timing::bsc_capacity(p);
+            assert!((here - there).abs() < 1e-12, "p = {p}: {here} vs {there}");
+        }
+    }
+
+    #[test]
+    fn msc_reduces_to_bsc_and_scales_with_alphabet() {
+        assert_eq!(msc_capacity(2, 0.1), bsc_capacity(0.1));
+        assert_eq!(msc_capacity(128, 0.0), 7.0);
+        // A noiseless 7-bit symbol channel carries log2(128) bits.
+        let degraded = msc_capacity(128, 0.003); // the paper's 99.7%
+        assert!(degraded > 6.9 && degraded < 7.0, "got {degraded}");
+        // Uniform-random decoding carries nothing.
+        let m = 8u64;
+        let p_chance = (m - 1) as f64 / m as f64;
+        assert!(msc_capacity(m, p_chance) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn msc_rejects_degenerate_alphabet() {
+        msc_capacity(1, 0.0);
+    }
+
+    #[test]
+    fn estimate_combines_accuracy_and_period() {
+        // 10k cycles/bit at 3 GHz, perfect accuracy: 300 kbit/s raw.
+        let e = estimate(1.0, 2, 10_000.0, DEFAULT_CLOCK_HZ);
+        assert_eq!(e.error_rate, 0.0);
+        assert_eq!(e.bits_per_symbol, 1.0);
+        assert!((e.bits_per_second - 300_000.0).abs() < 1e-6);
+        assert_eq!(e.raw_symbols_per_second, e.bits_per_second);
+        // Exact BSC consistency on a synthetic fixture: accuracy 0.9.
+        let e = estimate(0.9, 2, 10_000.0, DEFAULT_CLOCK_HZ);
+        assert!((e.bits_per_symbol - bsc_capacity(0.1)).abs() < 1e-12);
+        assert!((e.bits_per_second - 300_000.0 * bsc_capacity(0.1)).abs() < 1e-6);
+        // Unknown period: rate fields stay 0 but capacity remains.
+        let e = estimate(0.99, 2, 0.0, DEFAULT_CLOCK_HZ);
+        assert_eq!(e.bits_per_second, 0.0);
+        assert!(e.bits_per_symbol > 0.9);
+    }
+}

@@ -1,0 +1,334 @@
+//! Loading and validating experiment artifacts.
+//!
+//! The PR-2 harness writes `<name>.jsonl` (one row per trial) plus a
+//! `<name>.meta.json` commit record written strictly last. This module
+//! reads a whole experiment directory back, refusing anything whose
+//! sidecar is missing, not marked `complete`, or whose advertised row
+//! count disagrees with the JSONL — the on-disk signature of a run
+//! that died between the two writes.
+
+use metaleak_bench::json::Json;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why an experiment's artifacts were refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// I/O failure reading an artifact.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The rendered I/O error.
+        what: String,
+    },
+    /// The `.meta.json` sidecar next to the JSONL is missing.
+    MissingSidecar {
+        /// The experiment name.
+        experiment: String,
+    },
+    /// The sidecar exists but does not carry `complete: true` — the
+    /// producing run never committed.
+    Incomplete {
+        /// The experiment name.
+        experiment: String,
+    },
+    /// The sidecar's `rows` count disagrees with the JSONL line count
+    /// (truncated or stale output).
+    RowCountMismatch {
+        /// The experiment name.
+        experiment: String,
+        /// Rows the sidecar advertised.
+        expected: usize,
+        /// Rows the JSONL actually holds.
+        found: usize,
+    },
+    /// A JSONL row or the sidecar failed to parse.
+    Malformed {
+        /// The offending path.
+        path: PathBuf,
+        /// Parse failure description.
+        what: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, what } => write!(f, "{}: {what}", path.display()),
+            IngestError::MissingSidecar { experiment } => {
+                write!(f, "{experiment}: no .meta.json sidecar (uncommitted run?)")
+            }
+            IngestError::Incomplete { experiment } => {
+                write!(f, "{experiment}: sidecar lacks complete:true (partial output)")
+            }
+            IngestError::RowCountMismatch { experiment, expected, found } => write!(
+                f,
+                "{experiment}: sidecar advertises {expected} rows but JSONL holds {found}"
+            ),
+            IngestError::Malformed { path, what } => {
+                write!(f, "{}: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One validated experiment: its commit record plus parsed rows.
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// The experiment name (JSONL file stem).
+    pub name: String,
+    /// Root seed recorded by the harness.
+    pub seed: u64,
+    /// Parsed JSONL rows in trial order.
+    pub rows: Vec<Json>,
+    /// The full sidecar object (config, thread count, wall clock...).
+    pub meta: Json,
+}
+
+impl ExperimentData {
+    /// Pools the `sample_class`/`sample_value` arrays of every row into
+    /// one labelled-sample list (empty when no row carries them).
+    pub fn labelled_samples(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let (Some(classes), Some(values)) = (
+                row.get("sample_class").and_then(Json::as_arr),
+                row.get("sample_value").and_then(Json::as_arr),
+            ) else {
+                continue;
+            };
+            for (c, v) in classes.iter().zip(values) {
+                if let (Some(c), Some(v)) = (c.as_u64(), v.as_u64()) {
+                    out.push((c, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean of a numeric per-row field over the rows that carry it
+    /// (e.g. `bit_accuracy`), or `None` when absent everywhere.
+    pub fn mean_field(&self, key: &str) -> Option<f64> {
+        let vals: Vec<f64> =
+            self.rows.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// All finite values of a numeric per-row field.
+    pub fn field_values(&self, key: &str) -> Vec<f64> {
+        self.rows.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).collect()
+    }
+}
+
+/// Loads and validates one experiment given its `.jsonl` path.
+pub fn load_experiment(jsonl: &Path) -> Result<ExperimentData, IngestError> {
+    let name = jsonl.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_owned();
+    let read = |path: &Path| {
+        std::fs::read_to_string(path)
+            .map_err(|e| IngestError::Io { path: path.to_owned(), what: e.to_string() })
+    };
+    let meta_path = jsonl.with_extension("meta.json");
+    if !meta_path.exists() {
+        return Err(IngestError::MissingSidecar { experiment: name });
+    }
+    let meta = Json::parse(&read(&meta_path)?)
+        .map_err(|e| IngestError::Malformed { path: meta_path.clone(), what: e.to_string() })?;
+    if meta.get("complete").and_then(Json::as_bool) != Some(true) {
+        return Err(IngestError::Incomplete { experiment: name });
+    }
+
+    let body = read(jsonl)?;
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(Json::parse(line).map_err(|e| IngestError::Malformed {
+            path: jsonl.to_owned(),
+            what: format!("line {}: {e}", i + 1),
+        })?);
+    }
+    if let Some(expected) = meta.get("rows").and_then(Json::as_u64) {
+        if expected as usize != rows.len() {
+            return Err(IngestError::RowCountMismatch {
+                experiment: name,
+                expected: expected as usize,
+                found: rows.len(),
+            });
+        }
+    } else {
+        // A sidecar without a row count predates the commit-record
+        // protocol; treat it as uncommitted.
+        return Err(IngestError::Incomplete { experiment: name });
+    }
+    let seed = meta.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    Ok(ExperimentData { name, seed, rows, meta })
+}
+
+/// The outcome of scanning one `.jsonl` file in a directory.
+#[derive(Debug, Clone)]
+pub enum ScanEntry {
+    /// The experiment loaded and validated.
+    Loaded(ExperimentData),
+    /// The experiment was refused; the name and reason are kept so the
+    /// report can surface it instead of silently dropping data.
+    Refused {
+        /// The experiment name (file stem).
+        name: String,
+        /// Why it was refused.
+        error: IngestError,
+    },
+}
+
+/// Scans a directory for `*.jsonl` experiment artifacts, in
+/// deterministic (name-sorted) order. Corrupt experiments become
+/// [`ScanEntry::Refused`] entries rather than aborting the scan.
+///
+/// # Errors
+/// Only the directory listing itself failing is fatal.
+pub fn scan_dir(dir: &Path) -> Result<Vec<ScanEntry>, IngestError> {
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| IngestError::Io { path: dir.to_owned(), what: e.to_string() })?;
+    let mut jsonls: Vec<PathBuf> = listing
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+        .collect();
+    jsonls.sort();
+    Ok(jsonls
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_owned();
+            match load_experiment(&p) {
+                Ok(data) => ScanEntry::Loaded(data),
+                Err(error) => ScanEntry::Refused { name, error },
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_bench::json::JsonObj;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metaleak_ingest_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_experiment(dir: &Path, name: &str, rows: &[Json], meta: Json) {
+        let body: String = rows.iter().map(|r| r.render() + "\n").collect();
+        std::fs::write(dir.join(format!("{name}.jsonl")), body).unwrap();
+        std::fs::write(dir.join(format!("{name}.meta.json")), meta.render() + "\n").unwrap();
+    }
+
+    fn committed_meta(rows: usize, seed: u64) -> Json {
+        JsonObj::new()
+            .field("experiment", "x")
+            .field("seed", seed)
+            .field("rows", rows)
+            .field("complete", true)
+            .build()
+    }
+
+    #[test]
+    fn loads_valid_experiment_and_pools_samples() {
+        let dir = scratch("valid");
+        let rows = vec![
+            JsonObj::new()
+                .field("trial", 0usize)
+                .field("sample_class", vec![0u64, 1])
+                .field("sample_value", vec![40u64, 300])
+                .field("bit_accuracy", 0.9f64)
+                .build(),
+            JsonObj::new()
+                .field("trial", 1usize)
+                .field("sample_class", vec![1u64])
+                .field("sample_value", vec![310u64])
+                .field("bit_accuracy", 1.0f64)
+                .build(),
+        ];
+        write_experiment(&dir, "exp", &rows, committed_meta(2, 99));
+        let data = load_experiment(&dir.join("exp.jsonl")).unwrap();
+        assert_eq!(data.name, "exp");
+        assert_eq!(data.seed, 99);
+        assert_eq!(data.labelled_samples(), vec![(0, 40), (1, 300), (1, 310)]);
+        assert_eq!(data.mean_field("bit_accuracy"), Some(0.95));
+        assert_eq!(data.mean_field("missing"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_missing_sidecar() {
+        let dir = scratch("nosidecar");
+        std::fs::write(dir.join("orphan.jsonl"), "{\"trial\":0}\n").unwrap();
+        assert!(matches!(
+            load_experiment(&dir.join("orphan.jsonl")),
+            Err(IngestError::MissingSidecar { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_incomplete_and_mismatched_artifacts() {
+        let dir = scratch("corrupt");
+        let row = JsonObj::new().field("trial", 0usize).build();
+        // No complete flag.
+        write_experiment(
+            &dir,
+            "partial",
+            std::slice::from_ref(&row),
+            JsonObj::new().field("rows", 1usize).build(),
+        );
+        assert!(matches!(
+            load_experiment(&dir.join("partial.jsonl")),
+            Err(IngestError::Incomplete { .. })
+        ));
+        // Truncated JSONL: sidecar says 3 rows, file has 1.
+        write_experiment(&dir, "truncated", std::slice::from_ref(&row), committed_meta(3, 0));
+        assert!(matches!(
+            load_experiment(&dir.join("truncated.jsonl")),
+            Err(IngestError::RowCountMismatch { expected: 3, found: 1, .. })
+        ));
+        // Legacy sidecar without a rows field.
+        write_experiment(&dir, "legacy", &[row], JsonObj::new().field("complete", true).build());
+        assert!(matches!(
+            load_experiment(&dir.join("legacy.jsonl")),
+            Err(IngestError::Incomplete { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_keeps_going_past_corrupt_entries() {
+        let dir = scratch("scan");
+        let row = JsonObj::new().field("trial", 0usize).build();
+        write_experiment(&dir, "good", std::slice::from_ref(&row), committed_meta(1, 5));
+        std::fs::write(dir.join("bad.jsonl"), "not json\n").unwrap();
+        std::fs::write(dir.join("bad.meta.json"), committed_meta(1, 0).render()).unwrap();
+        std::fs::write(dir.join("ignored.csv"), "a,b\n").unwrap();
+        let entries = scan_dir(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        // Name-sorted: bad first, good second.
+        assert!(matches!(&entries[0], ScanEntry::Refused { name, .. } if name == "bad"));
+        assert!(matches!(&entries[1], ScanEntry::Loaded(d) if d.name == "good"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_rows_report_their_line() {
+        let dir = scratch("line");
+        std::fs::write(dir.join("x.jsonl"), "{\"trial\":0}\n{oops\n").unwrap();
+        std::fs::write(dir.join("x.meta.json"), committed_meta(2, 0).render()).unwrap();
+        match load_experiment(&dir.join("x.jsonl")) {
+            Err(IngestError::Malformed { what, .. }) => assert!(what.contains("line 2"), "{what}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistical leakage assessment for MetaLeak experiment artifacts.
+//!
+//! This crate closes the loop the experiment harness opened: the
+//! figure binaries in `metaleak-bench` emit deterministic JSONL rows
+//! plus a `.meta.json` commit record, and this crate turns those
+//! artifacts into a quantified leakage verdict. It answers, per
+//! experiment:
+//!
+//! - **Does it leak?** Welch's t-test in the TVLA fixed-vs-random
+//!   style ([`welch`], verdict at |t| > 4.5), corroborated by a
+//!   seeded-bootstrap effect-size interval ([`bootstrap`]).
+//! - **How much?** Mutual information between secret class and
+//!   observation via a bias-corrected histogram estimator ([`mi`]),
+//!   and symmetric-channel capacity from the measured error rate and
+//!   symbol period ([`capacity`]).
+//! - **Can a defender see it?** ROC/AUC over contention-detector
+//!   suspicion scores ([`roc`]).
+//!
+//! Artifact loading and validation live in [`ingest`] (which enforces
+//! the sidecar commit-record protocol and refuses torn writes), and
+//! [`report`] assembles the per-directory report the `leakscan` binary
+//! renders as machine JSON and human markdown.
+//!
+//! Everything is deterministic: no external dependencies, no system
+//! entropy, bootstrap streams derived from each experiment's own
+//! recorded seed. Running `leakscan` twice on the same artifacts —
+//! or on artifacts regenerated under a different `METALEAK_THREADS` —
+//! yields byte-identical reports.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod capacity;
+pub mod ingest;
+pub mod mi;
+pub mod report;
+pub mod roc;
+pub mod welch;
+
+pub use bootstrap::BootstrapCi;
+pub use capacity::CapacityEstimate;
+pub use ingest::{ExperimentData, IngestError, ScanEntry};
+pub use mi::MiEstimate;
+pub use report::{Assessment, LeakReport};
+pub use roc::RocCurve;
+pub use welch::{WelchResult, TVLA_THRESHOLD};

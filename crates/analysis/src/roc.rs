@@ -1,0 +1,164 @@
+//! ROC curves and AUC for detector evaluation.
+//!
+//! Two entry points: [`roc_from_scores`] builds the curve from raw
+//! per-trace suspicion scores (e.g.
+//! `metaleak_mitigations::ContentionDetector::score`), and
+//! [`auc_from_sweep`] integrates the operating points a
+//! `ContentionDetector::threshold_sweep` already produced. Both are
+//! fully deterministic: thresholds are the sorted distinct scores, and
+//! ties resolve by flagging at `score >= threshold`.
+
+use metaleak_mitigations::SweepPoint;
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold producing this point (`score >= threshold`
+    /// flags).
+    pub threshold: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+}
+
+/// A ROC curve with its area under the curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Operating points ordered from the strictest threshold (FPR 0)
+    /// to the laxest (FPR 1), endpoints included.
+    pub points: Vec<RocPoint>,
+    /// Trapezoidal area under the curve: 1.0 = perfect separation,
+    /// 0.5 = chance.
+    pub auc: f64,
+}
+
+/// Builds the ROC curve for labelled suspicion scores: `positives` are
+/// covert/leaky traces, `negatives` benign ones. Returns `None` when
+/// either side is empty. Non-finite scores are rejected by assertion —
+/// the detector layer never produces them.
+pub fn roc_from_scores(positives: &[f64], negatives: &[f64]) -> Option<RocCurve> {
+    if positives.is_empty() || negatives.is_empty() {
+        return None;
+    }
+    assert!(
+        positives.iter().chain(negatives).all(|s| s.is_finite()),
+        "suspicion scores must be finite"
+    );
+    // Thresholds: +inf sentinel (flag nothing), then every distinct
+    // score descending (flag score >= t), ending at the minimum (flag
+    // everything).
+    let mut thresholds: Vec<f64> = positives.iter().chain(negatives).copied().collect();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+    thresholds.dedup();
+
+    let rate_at = |scores: &[f64], t: f64| {
+        scores.iter().filter(|&&s| s >= t).count() as f64 / scores.len() as f64
+    };
+    let mut points = vec![RocPoint { threshold: f64::MAX, tpr: 0.0, fpr: 0.0 }];
+    for &t in &thresholds {
+        points.push(RocPoint {
+            threshold: t,
+            tpr: rate_at(positives, t),
+            fpr: rate_at(negatives, t),
+        });
+    }
+    let auc = trapezoid_auc(points.iter().map(|p| (p.fpr, p.tpr)));
+    Some(RocCurve { points, auc })
+}
+
+/// Integrates detector sweep operating points into an AUC. Points are
+/// re-sorted by (FPR, TPR) and anchored at (0,0) and (1,1), so any
+/// threshold grid — even one that never reaches the extremes — yields
+/// a well-defined area.
+pub fn auc_from_sweep(sweep: &[SweepPoint]) -> Option<f64> {
+    if sweep.is_empty() {
+        return None;
+    }
+    let mut pts: Vec<(f64, f64)> = sweep.iter().map(|p| (p.fpr, p.tpr)).collect();
+    pts.push((0.0, 0.0));
+    pts.push((1.0, 1.0));
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    pts.dedup();
+    Some(trapezoid_auc(pts.into_iter()))
+}
+
+/// Trapezoidal integration over (x, y) pairs sorted by ascending x
+/// (ties allowed: vertical segments contribute nothing).
+fn trapezoid_auc(points: impl Iterator<Item = (f64, f64)>) -> f64 {
+    let pts: Vec<(f64, f64)> = points.collect();
+    pts.windows(2)
+        .map(|w| {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            (x1 - x0) * (y0 + y1) / 2.0
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_mitigations::ContentionDetector;
+    use metaleak_sim::rng::SimRng;
+
+    #[test]
+    fn separated_scores_give_auc_one() {
+        let curve = roc_from_scores(&[0.9, 0.8, 0.95], &[0.1, 0.2, 0.05]).unwrap();
+        assert!((curve.auc - 1.0).abs() < 1e-12, "auc = {}", curve.auc);
+        assert_eq!(curve.points.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.points.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn identical_scores_give_chance_auc() {
+        let curve = roc_from_scores(&[0.5; 10], &[0.5; 10]).unwrap();
+        assert!((curve.auc - 0.5).abs() < 1e-12, "auc = {}", curve.auc);
+    }
+
+    #[test]
+    fn interleaved_scores_give_intermediate_auc() {
+        let mut rng = SimRng::seed_from(4);
+        let positives: Vec<f64> = (0..200).map(|_| 0.45 + 0.4 * rng.unit_f64()).collect();
+        let negatives: Vec<f64> = (0..200).map(|_| 0.25 + 0.4 * rng.unit_f64()).collect();
+        let curve = roc_from_scores(&positives, &negatives).unwrap();
+        assert!(curve.auc > 0.8 && curve.auc < 1.0, "auc = {}", curve.auc);
+        // Monotone in both coordinates.
+        for w in curve.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_sides_are_rejected() {
+        assert!(roc_from_scores(&[], &[0.1]).is_none());
+        assert!(roc_from_scores(&[0.1], &[]).is_none());
+        assert!(auc_from_sweep(&[]).is_none());
+    }
+
+    #[test]
+    fn detector_sweep_integrates_end_to_end() {
+        let mut rng = SimRng::seed_from(11);
+        let covert: Vec<Vec<u64>> = (0..12)
+            .map(|_| {
+                (0..64)
+                    .map(|i| if i % 2 == 0 { 28 + rng.below(5) } else { 1 + rng.below(2) })
+                    .collect()
+            })
+            .collect();
+        let benign: Vec<Vec<u64>> =
+            (0..12).map(|_| (0..64).map(|_| 10 + rng.below(30)).collect()).collect();
+        let d = ContentionDetector::default();
+        let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let sweep = d.threshold_sweep(&covert, &benign, &thresholds);
+        let auc = auc_from_sweep(&sweep).unwrap();
+        assert!(auc > 0.9, "detector must separate covert from benign, auc = {auc}");
+
+        // The raw-score path agrees on direction.
+        let pos: Vec<f64> = covert.iter().map(|t| d.score(t)).collect();
+        let neg: Vec<f64> = benign.iter().map(|t| d.score(t)).collect();
+        let curve = roc_from_scores(&pos, &neg).unwrap();
+        assert!(curve.auc > 0.9, "score-based auc = {}", curve.auc);
+    }
+}

@@ -23,6 +23,9 @@ struct RunOutcome {
     accuracy: f64,
     bits_per_mcycle: f64,
     kbps: f64,
+    cycles_per_bit: f64,
+    sample_classes: Vec<u64>,
+    sample_values: Vec<u64>,
     rows: Vec<String>,
 }
 
@@ -50,7 +53,17 @@ fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rng: &mut SimRng
     let cycles_per_bit = out.cycles.as_u64() as f64 / bits_n as f64;
     // Shannon-corrected throughput at a 3 GHz clock.
     let kbps = effective_bits_per_second(cycles_per_bit, 1.0, accuracy, 3e9) / 1e3;
-    RunOutcome { accuracy, bits_per_mcycle: out.bits_per_mcycle(), kbps, rows }
+    // Per-bit (secret class, tx latency) pairs for leakscan's TVLA/MI.
+    let samples = out.labelled_samples(&bits);
+    RunOutcome {
+        accuracy,
+        bits_per_mcycle: out.bits_per_mcycle(),
+        kbps,
+        cycles_per_bit,
+        sample_classes: samples.iter().map(|s| s.class).collect(),
+        sample_values: samples.iter().map(|s| s.value).collect(),
+        rows,
+    }
 }
 
 fn main() {
@@ -88,7 +101,10 @@ fn main() {
                 .field("bits", bits_n)
                 .field("bit_accuracy", out.accuracy)
                 .field("bits_per_mcycle", out.bits_per_mcycle)
-                .field("kbps_at_3ghz", out.kbps),
+                .field("kbps_at_3ghz", out.kbps)
+                .field("alphabet", 2u64)
+                .field("cycles_per_symbol", out.cycles_per_bit)
+                .labelled_samples(&out.sample_classes, &out.sample_values),
         );
     }
     println!("{}", table.render());

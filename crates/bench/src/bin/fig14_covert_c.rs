@@ -65,7 +65,7 @@ fn main() {
     let mut total = 0usize;
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (t, (symbols, out, _)) in chunk_results.iter().enumerate() {
+    for (t, (symbols, out, cap)) in chunk_results.iter().enumerate() {
         let chunk_acc = out.accuracy(symbols);
         correct += (chunk_acc * symbols.len() as f64).round() as usize;
         total += symbols.len();
@@ -76,11 +76,18 @@ fn main() {
                 .enumerate()
                 .map(|(i, r)| format!("{},{},{},{}", base + i, symbols[i], r.symbol, r.spy_writes)),
         );
+        // Per-window (sent symbol, spy writes) pairs for leakscan.
+        let samples = out.labelled_samples(symbols);
+        let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
+        let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
         trials.push(
             Trial::new(t)
                 .field("symbols", symbols.len())
                 .field("symbol_accuracy", chunk_acc)
-                .field("first_window", base),
+                .field("first_window", base)
+                .field("alphabet", *cap)
+                .field("cycles_per_symbol", out.cycles_per_symbol())
+                .labelled_samples(&classes, &values),
         );
     }
     let accuracy = correct as f64 / total.max(1) as f64;

@@ -110,6 +110,21 @@ impl Trial {
         self
     }
 
+    /// Attaches labelled per-sample observations to the row under the
+    /// standard `sample_class` / `sample_value` schema consumed by
+    /// `metaleak-analysis` (`leakscan`): `classes[i]` is the secret
+    /// class (transmitted bit, symbol, key bit...) behind observation
+    /// `values[i]` (latency in cycles, spy write count...). The two
+    /// parallel arrays are what turn a figure dump into a labelable
+    /// leakage-assessment input.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn labelled_samples(self, classes: &[u64], values: &[u64]) -> Self {
+        assert_eq!(classes.len(), values.len(), "sample_class/sample_value length mismatch");
+        self.field("sample_class", classes.to_vec()).field("sample_value", values.to_vec())
+    }
+
     fn render(&self) -> String {
         let mut obj = JsonObj::new().field("trial", self.idx);
         for (k, v) in &self.fields {
@@ -193,10 +208,28 @@ impl Experiment {
 
     /// Writes the result sink: `<name>.jsonl` (one deterministic row
     /// per trial) and `<name>.meta.json` (seed, config, thread count,
-    /// wall-clock in milliseconds), both under `target/experiments/`.
+    /// row count, wall-clock in milliseconds), both under
+    /// `target/experiments/`.
+    ///
+    /// The sidecar is the **commit record** and is written strictly
+    /// last: any stale `<name>.meta.json` from a previous run is
+    /// removed *before* the JSONL is (re)written, so a crash or panic
+    /// between the two writes can never leave a sidecar sitting next
+    /// to a truncated or mismatched `.jsonl`. `leakscan` refuses
+    /// experiments whose sidecar is missing, lacks `complete: true`,
+    /// or whose `rows` count disagrees with the JSONL line count.
     pub fn finish(self, trials: &[Trial]) -> ExperimentReport {
         let wall_clock = self.started.elapsed();
         let dir = out_dir();
+
+        // Invalidate first: from here until the final write, the
+        // experiment has no commit record.
+        let meta = dir.join(format!("{}.meta.json", self.name));
+        match std::fs::remove_file(&meta) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("remove stale experiment meta {}: {e}", meta.display()),
+        }
 
         let mut body = String::new();
         for t in trials {
@@ -211,11 +244,12 @@ impl Experiment {
             .field("seed", self.seed)
             .field("threads", self.threads)
             .field("trials", trials.len())
+            .field("rows", trials.len())
+            .field("complete", true)
             .field("quick_mode", quick_mode())
             .field("wall_clock_ms", wall_clock.as_millis() as u64)
             .field("config", Json::Obj(self.config.clone()))
             .build();
-        let meta = dir.join(format!("{}.meta.json", self.name));
         std::fs::write(&meta, meta_json.render() + "\n").expect("write experiment meta");
 
         println!(
@@ -265,6 +299,47 @@ mod tests {
     fn trial_rows_render_deterministically() {
         let row = Trial::new(2).field("accuracy", 0.5f64).field("windows", 10usize);
         assert_eq!(row.render(), "{\"trial\":2,\"accuracy\":0.5,\"windows\":10}");
+    }
+
+    #[test]
+    fn labelled_samples_render_parallel_arrays() {
+        let row = Trial::new(0).labelled_samples(&[0, 1, 1], &[40, 300, 310]);
+        assert_eq!(
+            row.render(),
+            "{\"trial\":0,\"sample_class\":[0,1,1],\"sample_value\":[40,300,310]}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn labelled_samples_reject_ragged_arrays() {
+        let _ = Trial::new(0).labelled_samples(&[0, 1], &[40]);
+    }
+
+    #[test]
+    fn finish_writes_sidecar_last_with_commit_record() {
+        // Run in a scratch sink so the shared target/experiments dir is
+        // untouched (out_dir re-reads the env var on every call, but
+        // set_var is process-global: restore it afterwards).
+        let dir = std::env::temp_dir().join(format!("metaleak_sidecar_{}", std::process::id()));
+        let old = std::env::var("METALEAK_OUT_DIR").ok();
+        std::env::set_var("METALEAK_OUT_DIR", &dir);
+        let exp = Experiment::new("sidecar_order", 3).with_threads(1);
+        let report = exp.finish(&[Trial::new(0).field("x", 1u64), Trial::new(1).field("x", 2u64)]);
+        let meta = std::fs::read_to_string(&report.meta).expect("meta");
+        assert!(meta.contains("\"rows\":2"), "{meta}");
+        assert!(meta.contains("\"complete\":true"), "{meta}");
+        // A second run replaces both files cleanly (stale sidecar is
+        // removed before the new JSONL lands).
+        let exp = Experiment::new("sidecar_order", 3).with_threads(1);
+        let report = exp.finish(&[Trial::new(0).field("x", 9u64)]);
+        assert!(std::fs::read_to_string(&report.meta).expect("meta").contains("\"rows\":1"));
+        assert_eq!(std::fs::read_to_string(&report.jsonl).expect("jsonl").lines().count(), 1);
+        match old {
+            Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
+            None => std::env::remove_var("METALEAK_OUT_DIR"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

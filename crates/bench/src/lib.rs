@@ -130,10 +130,17 @@ pub fn characterize_paths(config: SecureConfig, samples: usize) -> Vec<(String, 
     (0..path_count(&config)).map(|p| characterize_path(&config, p, samples)).collect()
 }
 
-/// Directory experiment outputs are written to.
+/// Directory experiment outputs are written to:
+/// `$METALEAK_OUT_DIR` when set (and non-empty), otherwise
+/// `target/experiments` relative to the working directory. The
+/// override lets tests and CI steps redirect the sink to a scratch
+/// directory without racing on the shared default.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from("target/experiments");
-    fs::create_dir_all(&dir).expect("create target/experiments");
+    let dir = match std::env::var("METALEAK_OUT_DIR") {
+        Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("target/experiments"),
+    };
+    fs::create_dir_all(&dir).expect("create experiment output dir");
     dir
 }
 

@@ -5,6 +5,7 @@
 use crate::error::AttackError;
 use crate::metaleak_c::{Bumper, MetaLeakC};
 use crate::resilience::{DecodeReport, FrameCodec, RetryPolicy};
+use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
@@ -36,6 +37,30 @@ impl CovertOutcomeC {
     pub fn accuracy(&self, truth: &[u64]) -> f64 {
         crate::timing::accuracy(&self.decoded, truth)
     }
+
+    /// Average cycles consumed per transmitted symbol.
+    pub fn cycles_per_symbol(&self) -> f64 {
+        if self.decoded.is_empty() {
+            return 0.0;
+        }
+        self.cycles.as_u64() as f64 / self.decoded.len() as f64
+    }
+
+    /// Per-window labelled samples for leakage assessment: the sent
+    /// symbol (`truth[i]`) as the secret class, the spy's write count
+    /// to the overflow spike as the measurement (the channel's actual
+    /// observable — `symbol = counter_max + 1 - preset - spy_writes`).
+    ///
+    /// # Panics
+    /// Panics if `truth.len()` differs from the number of windows.
+    pub fn labelled_samples(&self, truth: &[u64]) -> Vec<LabelledSample> {
+        assert_eq!(truth.len(), self.records.len(), "truth/record length mismatch");
+        truth
+            .iter()
+            .zip(&self.records)
+            .map(|(&symbol, r)| LabelledSample { class: symbol, value: r.spy_writes })
+            .collect()
+    }
 }
 
 /// Result of an ECC-framed covert-C transmission.
@@ -47,6 +72,10 @@ pub struct FramedOutcomeC {
     pub wire_bits: usize,
     /// Wire bits lost to interference (erasure slots in the vote).
     pub erasures: usize,
+    /// Labelled per-window observations (sent wire bit → spy writes to
+    /// the overflow spike) for the windows that survived; erased
+    /// windows are omitted. Feeds the leakage-assessment layer.
+    pub wire_samples: Vec<LabelledSample>,
     /// Total simulated cycles consumed.
     pub cycles: Cycles,
 }
@@ -182,9 +211,14 @@ impl CovertChannelC {
         policy.run(mem, |m| self.spy.reset(m, self.spy_core).map(|_| ()))?;
         let mut received: Vec<Option<bool>> = Vec::with_capacity(wire.len());
         let mut erasures = 0;
+        let mut wire_samples = Vec::with_capacity(wire.len());
         for &bit in &wire {
             match self.send_symbol(mem, bit as u64) {
-                Ok(record) => received.push(Some(record.symbol == 1)),
+                Ok(record) => {
+                    received.push(Some(record.symbol == 1));
+                    wire_samples
+                        .push(LabelledSample { class: bit as u64, value: record.spy_writes });
+                }
                 Err(e) if e.is_transient() => {
                     erasures += 1;
                     received.push(None);
@@ -195,7 +229,13 @@ impl CovertChannelC {
             }
         }
         let report = codec.decode(&received, payload.len())?;
-        Ok(FramedOutcomeC { report, wire_bits: wire.len(), erasures, cycles: mem.now() - start })
+        Ok(FramedOutcomeC {
+            report,
+            wire_bits: wire.len(),
+            erasures,
+            wire_samples,
+            cycles: mem.now() - start,
+        })
     }
 }
 
@@ -231,6 +271,27 @@ mod tests {
         let out = ch.transmit(&mut m, &symbols).unwrap();
         let acc = out.accuracy(&symbols);
         assert!(acc >= 0.95, "covert-C accuracy {acc} < 0.95");
+    }
+
+    #[test]
+    fn labelled_samples_pair_symbols_with_spy_writes() {
+        let mut m = mem(3);
+        let mut ch = CovertChannelC::new(&m, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let symbols = vec![3, 0, 6, 1];
+        let out = ch.transmit(&mut m, &symbols).unwrap();
+        let samples = out.labelled_samples(&symbols);
+        assert_eq!(samples.len(), symbols.len());
+        for (s, (&symbol, r)) in samples.iter().zip(symbols.iter().zip(&out.records)) {
+            assert_eq!(s.class, symbol);
+            assert_eq!(s.value, r.spy_writes);
+        }
+        // The observable is deterministic on a clean channel: the
+        // spy's write count decreases as the sent symbol grows.
+        let max = ch.max_symbol();
+        for s in &samples {
+            assert_eq!(s.value, max + 1 - s.class);
+        }
+        assert!(out.cycles_per_symbol() > 0.0);
     }
 
     #[test]

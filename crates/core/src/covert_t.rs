@@ -6,6 +6,7 @@
 use crate::error::AttackError;
 use crate::metaleak_t::MetaLeakT;
 use crate::resilience::{DecodeReport, FrameCodec};
+use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
@@ -33,6 +34,10 @@ pub struct FramedOutcome {
     /// Wire bits the spy failed to observe (erasures after per-bit
     /// failure — these abstain from the majority vote).
     pub erasures: usize,
+    /// Labelled per-window observations (sent wire bit → spy reload
+    /// latency) for the windows that survived; erased windows are
+    /// omitted. Feeds the leakage-assessment layer.
+    pub wire_samples: Vec<LabelledSample>,
     /// Total simulated cycles consumed.
     pub cycles: Cycles,
 }
@@ -64,6 +69,31 @@ impl CovertOutcome {
     /// Raw bit rate: transmitted bits per million cycles.
     pub fn bits_per_mcycle(&self) -> f64 {
         self.decoded.len() as f64 / (self.cycles.as_u64() as f64 / 1e6)
+    }
+
+    /// Average cycles consumed per transmitted bit.
+    pub fn cycles_per_bit(&self) -> f64 {
+        if self.decoded.is_empty() {
+            return 0.0;
+        }
+        self.cycles.as_u64() as f64 / self.decoded.len() as f64
+    }
+
+    /// Per-window labelled samples for leakage assessment: the sent
+    /// bit (`truth[i]`) as the secret class, the spy's
+    /// transmission-set reload latency as the measurement. This is the
+    /// raw material for TVLA / mutual-information estimates — the
+    /// aggregate [`CovertOutcome::accuracy`] alone cannot drive them.
+    ///
+    /// # Panics
+    /// Panics if `truth.len()` differs from the number of windows.
+    pub fn labelled_samples(&self, truth: &[bool]) -> Vec<LabelledSample> {
+        assert_eq!(truth.len(), self.records.len(), "truth/record length mismatch");
+        truth
+            .iter()
+            .zip(&self.records)
+            .map(|(&bit, r)| LabelledSample { class: bit as u64, value: r.tx_latency.as_u64() })
+            .collect()
     }
 }
 
@@ -219,9 +249,16 @@ impl CovertChannelT {
         let wire = codec.encode(payload);
         let mut received: Vec<Option<bool>> = Vec::with_capacity(wire.len());
         let mut erasures = 0;
+        let mut wire_samples = Vec::with_capacity(wire.len());
         for &bit in &wire {
             match self.transmit_one(mem, bit) {
-                Ok(record) => received.push(Some(record.bit)),
+                Ok(record) => {
+                    received.push(Some(record.bit));
+                    wire_samples.push(LabelledSample {
+                        class: bit as u64,
+                        value: record.tx_latency.as_u64(),
+                    });
+                }
                 Err(e) if e.is_transient() => {
                     erasures += 1;
                     received.push(None);
@@ -230,7 +267,13 @@ impl CovertChannelT {
             }
         }
         let report = codec.decode(&received, payload.len())?;
-        Ok(FramedOutcome { report, wire_bits: wire.len(), erasures, cycles: mem.now() - start })
+        Ok(FramedOutcome {
+            report,
+            wire_bits: wire.len(),
+            erasures,
+            wire_samples,
+            cycles: mem.now() - start,
+        })
     }
 }
 
@@ -275,6 +318,35 @@ mod tests {
         let out = ch.transmit_framed(&mut m, &payload, &FrameCodec::new(3)).unwrap();
         assert_eq!(out.report.payload, payload, "report: {:?}", out.report);
         assert!(out.erasures > 0, "drops at 15% must have erased some windows");
+    }
+
+    #[test]
+    fn labelled_samples_pair_sent_bits_with_latencies() {
+        let mut m = mem();
+        let ch = CovertChannelT::new(&mut m, CoreId(0), CoreId(1), 0, 100).unwrap();
+        let bits: Vec<bool> = [0u8, 1, 1, 0].iter().map(|&b| b == 1).collect();
+        let out = ch.transmit(&mut m, &bits).unwrap();
+        let samples = out.labelled_samples(&bits);
+        assert_eq!(samples.len(), bits.len());
+        for (s, (&bit, r)) in samples.iter().zip(bits.iter().zip(&out.records)) {
+            assert_eq!(s.class, bit as u64);
+            assert_eq!(s.value, r.tx_latency.as_u64());
+        }
+        // On a clean channel the two classes are separated in latency:
+        // a '1' window reloads a trojan-touched (cached) node.
+        let fast = samples.iter().filter(|s| s.class == 1).map(|s| s.value).max().unwrap();
+        let slow = samples.iter().filter(|s| s.class == 0).map(|s| s.value).min().unwrap();
+        assert!(fast < slow, "class-1 max {fast} must undercut class-0 min {slow}");
+        assert!(out.cycles_per_bit() > 0.0);
+    }
+
+    #[test]
+    fn framed_outcome_exposes_wire_samples() {
+        let mut m = mem();
+        let ch = CovertChannelT::new(&mut m, CoreId(0), CoreId(1), 0, 100).unwrap();
+        let payload: Vec<bool> = [1u8, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        let out = ch.transmit_framed(&mut m, &payload, &FrameCodec::new(3)).unwrap();
+        assert_eq!(out.wire_samples.len(), out.wire_bits - out.erasures);
     }
 
     #[test]

@@ -62,4 +62,5 @@ pub use metaleak_c::{Bumper, MetaLeakC, OverflowProbe};
 pub use metaleak_t::{MetaLeakT, MonitorSample};
 pub use mevict::{CounterEvictor, MetaEvictor, TreeSetEvictor, VolumeEvictor};
 pub use resilience::{DecodeReport, DriftGuard, FrameCodec, RetryPolicy};
+pub use timing::LabelledSample;
 pub use wqflush::WriteQueueFlusher;

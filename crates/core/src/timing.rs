@@ -9,6 +9,24 @@
 use crate::error::AttackError;
 use metaleak_sim::clock::Cycles;
 
+/// One class-labelled side-channel observation: the secret class the
+/// victim/trojan held during the window (transmitted bit, symbol,
+/// key-bit value...) paired with what the attacker measured (probe
+/// latency in cycles, spy write count...).
+///
+/// This is the unit the statistical leakage-assessment layer
+/// (`metaleak-analysis`) consumes: covert-channel outcomes expose
+/// their per-window traces as labelled samples instead of only an
+/// aggregate bit-error rate, so TVLA / mutual-information estimators
+/// can run on real attack traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelledSample {
+    /// The secret class behind the observation.
+    pub class: u64,
+    /// The attacker-side measurement for the window.
+    pub value: u64,
+}
+
 /// A binary latency classifier: `fast` (below threshold) vs `slow`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThresholdClassifier {

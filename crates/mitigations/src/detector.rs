@@ -91,7 +91,80 @@ impl Default for ContentionDetector {
     }
 }
 
+/// One operating point of a detector threshold sweep: the periodicity
+/// threshold tried, with the resulting true-positive and
+/// false-positive rates over the labelled trace sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Periodicity threshold the detector ran with.
+    pub threshold: f64,
+    /// Fraction of covert (positive) traces flagged.
+    pub tpr: f64,
+    /// Fraction of benign (negative) traces flagged.
+    pub fpr: f64,
+}
+
 impl ContentionDetector {
+    /// Returns a copy with a different periodicity threshold (the
+    /// sweep axis of the ROC analysis; the other knobs stay put).
+    pub fn with_periodicity_threshold(&self, threshold: f64) -> Self {
+        ContentionDetector { periodicity_threshold: threshold, ..self.clone() }
+    }
+
+    /// The detector's continuous suspicion score for a trace,
+    /// independent of any threshold: the periodicity peak, raised to
+    /// 1.0 when the metronomic-saturation signature fires (which the
+    /// boolean verdict treats as equally damning), and floored to 0.0
+    /// when the trace is too quiet to carry a channel. ROC analysis in
+    /// `metaleak-analysis` consumes these raw scores directly.
+    pub fn score(&self, samples: &[u64]) -> f64 {
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
+        if mean < self.min_activity {
+            return 0.0;
+        }
+        if samples.len() >= 8 && burstiness(samples) <= self.max_constancy {
+            return 1.0;
+        }
+        periodicity_score(samples)
+    }
+
+    /// Threshold-sweep hook for ROC analysis: audits every labelled
+    /// trace (`positives` = covert traffic, `negatives` = benign) at
+    /// each periodicity threshold and reports the operating points in
+    /// the order given. A threshold of `t` flags exactly the traces
+    /// the full [`ContentionDetector::audit`] verdict would flag with
+    /// `periodicity_threshold = t`, so the curve reflects the deployed
+    /// detector, not just the raw score distribution.
+    pub fn threshold_sweep(
+        &self,
+        positives: &[Vec<u64>],
+        negatives: &[Vec<u64>],
+        thresholds: &[f64],
+    ) -> Vec<SweepPoint> {
+        let flagged_rate = |traces: &[Vec<u64>], d: &ContentionDetector| {
+            if traces.is_empty() {
+                return 0.0;
+            }
+            let hits = traces.iter().filter(|t| d.audit(t).flagged).count();
+            hits as f64 / traces.len() as f64
+        };
+        thresholds
+            .iter()
+            .map(|&t| {
+                let d = self.with_periodicity_threshold(t);
+                SweepPoint {
+                    threshold: t,
+                    tpr: flagged_rate(positives, &d),
+                    fpr: flagged_rate(negatives, &d),
+                }
+            })
+            .collect()
+    }
+
     /// Audits a series of per-window miss counts.
     pub fn audit(&self, samples: &[u64]) -> DetectionVerdict {
         let periodicity = periodicity_score(samples);
@@ -140,6 +213,64 @@ mod tests {
         assert!(d.audit(&[30; 32]).flagged);
         // ...but a short constant burst is not enough evidence.
         assert!(!d.audit(&[30; 4]).flagged);
+    }
+
+    fn covert_trace(rng: &mut SimRng) -> Vec<u64> {
+        (0..64).map(|i| if i % 2 == 0 { 28 + rng.below(5) } else { 1 + rng.below(2) }).collect()
+    }
+
+    fn benign_trace(rng: &mut SimRng) -> Vec<u64> {
+        (0..64).map(|_| 10 + rng.below(30)).collect()
+    }
+
+    #[test]
+    fn sweep_trades_tpr_against_fpr_monotonically() {
+        let mut rng = SimRng::seed_from(31);
+        let positives: Vec<Vec<u64>> = (0..16).map(|_| covert_trace(&mut rng)).collect();
+        let negatives: Vec<Vec<u64>> = (0..16).map(|_| benign_trace(&mut rng)).collect();
+        let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+        let points =
+            ContentionDetector::default().threshold_sweep(&positives, &negatives, &thresholds);
+        assert_eq!(points.len(), thresholds.len());
+        // Raising the threshold can only lower both rates.
+        for w in points.windows(2) {
+            assert!(w[1].tpr <= w[0].tpr + 1e-12);
+            assert!(w[1].fpr <= w[0].fpr + 1e-12);
+        }
+        // At a threshold of 0 everything active is flagged; covert
+        // traces must dominate benign ones somewhere in the middle.
+        assert_eq!(points[0].tpr, 1.0);
+        let separated = points.iter().any(|p| p.tpr >= 0.9 && p.fpr <= 0.2);
+        assert!(separated, "no operating point separates covert from benign: {points:?}");
+    }
+
+    #[test]
+    fn sweep_handles_empty_trace_sets() {
+        let points = ContentionDetector::default().threshold_sweep(&[], &[], &[0.5]);
+        assert_eq!(points, vec![SweepPoint { threshold: 0.5, tpr: 0.0, fpr: 0.0 }]);
+    }
+
+    #[test]
+    fn score_matches_verdict_signatures() {
+        let d = ContentionDetector::default();
+        // Quiet traces score zero regardless of shape.
+        let quiet: Vec<u64> = (0..64).map(|i| (i % 2) as u64).collect();
+        assert_eq!(d.score(&quiet), 0.0);
+        // Metronomic saturation scores 1.0 (signature 2).
+        assert_eq!(d.score(&[30; 32]), 1.0);
+        // Periodic active traffic scores its periodicity peak.
+        let covert: Vec<u64> = (0..64).map(|i| if i % 2 == 0 { 30 } else { 1 }).collect();
+        assert!((d.score(&covert) - periodicity_score(&covert)).abs() < 1e-12);
+        assert!(d.score(&covert) > 0.8);
+        assert_eq!(d.score(&[]), 0.0);
+    }
+
+    #[test]
+    fn with_periodicity_threshold_keeps_other_knobs() {
+        let d = ContentionDetector::default().with_periodicity_threshold(0.3);
+        assert_eq!(d.periodicity_threshold, 0.3);
+        assert_eq!(d.max_constancy, ContentionDetector::default().max_constancy);
+        assert_eq!(d.min_activity, ContentionDetector::default().min_activity);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod mirage;
 pub mod partition;
 
 pub use analysis::{evaluate, Attack, Defense, Effectiveness};
-pub use detector::{ContentionDetector, DetectionVerdict};
+pub use detector::{ContentionDetector, DetectionVerdict, SweepPoint};
 pub use dynamic::{DomainId, DynamicDomainForest, ForestError, GrowthReport};
 pub use mirage::{eviction_probability, MirageCache, MirageConfig};
 pub use partition::{PartitionError, TreePartition};

@@ -146,6 +146,54 @@ impl LatencyHistogram {
         self.buckets.iter().map(|(&b, &n)| (b, n))
     }
 
+    /// Empirical CDF at bucket granularity: `(bucket_start, F)` pairs
+    /// where `F` is the fraction of samples in buckets starting at or
+    /// below `bucket_start`. The last pair always carries `F == 1.0`;
+    /// an empty histogram yields an empty vector.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        self.buckets
+            .iter()
+            .map(|(&b, &n)| {
+                acc += n;
+                (b, acc as f64 / self.count as f64)
+            })
+            .collect()
+    }
+
+    /// CDF value at `x` cycles: the fraction of samples whose bucket
+    /// starts at or below `x` (bucket-granular, right-continuous).
+    /// Returns 0.0 for an empty histogram.
+    pub fn cdf_at(&self, x: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.buckets.range(..=x).map(|(_, &n)| n).sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance `sup_x |F_a(x) - F_b(x)|`
+    /// between this histogram and `other`, evaluated bucket-granularly
+    /// at the union of both bucket boundaries (exact for the bucketed
+    /// distributions, an approximation of the raw-sample statistic).
+    /// Either histogram being empty yields 0.0 against another empty
+    /// one and 1.0 against a non-empty one.
+    pub fn ks_distance(&self, other: &LatencyHistogram) -> f64 {
+        match (self.count, other.count) {
+            (0, 0) => return 0.0,
+            (0, _) | (_, 0) => return 1.0,
+            _ => {}
+        }
+        let mut boundaries: Vec<u64> =
+            self.buckets.keys().chain(other.buckets.keys()).copied().collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        boundaries.into_iter().map(|x| (self.cdf_at(x) - other.cdf_at(x)).abs()).fold(0.0, f64::max)
+    }
+
     /// Merges another histogram's samples into this one. Used by the
     /// parallel experiment harness to combine per-trial histograms into
     /// the figure-level distribution; merge order does not affect the
@@ -294,5 +342,74 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_bucket_width_panics() {
         let _ = LatencyHistogram::new(0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = LatencyHistogram::new(10);
+        for v in [5u64, 15, 15, 25, 95] {
+            h.record(Cycles::new(v));
+        }
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 4); // buckets 0, 10, 20, 90
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert!((h.cdf_at(10) - 0.6).abs() < 1e-12); // 3 of 5 samples at or below bucket 10
+        assert_eq!(h.cdf_at(0), 0.2);
+        assert_eq!(h.cdf_at(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn cdf_edge_cases_empty_and_single_bucket() {
+        let empty = LatencyHistogram::new(10);
+        assert!(empty.cdf().is_empty());
+        assert_eq!(empty.cdf_at(50), 0.0);
+
+        let mut single = LatencyHistogram::new(10);
+        single.record(Cycles::new(42));
+        single.record(Cycles::new(44));
+        assert_eq!(single.cdf(), vec![(40, 1.0)]);
+        assert_eq!(single.cdf_at(39), 0.0);
+        assert_eq!(single.cdf_at(40), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_separates_shifted_distributions() {
+        let mut a = LatencyHistogram::new(10);
+        let mut b = LatencyHistogram::new(10);
+        for v in [5u64, 15, 25, 35] {
+            a.record(Cycles::new(v));
+            b.record(Cycles::new(v + 200)); // fully disjoint support
+        }
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(a.ks_distance(&a.clone()), 0.0);
+        // Symmetric.
+        assert_eq!(a.ks_distance(&b), b.ks_distance(&a));
+    }
+
+    #[test]
+    fn ks_distance_partial_overlap() {
+        let mut a = LatencyHistogram::new(10);
+        let mut b = LatencyHistogram::new(10);
+        // a: half at bucket 0, half at bucket 100; b: all at bucket 100.
+        a.record(Cycles::new(1));
+        a.record(Cycles::new(100));
+        b.record(Cycles::new(105));
+        b.record(Cycles::new(101));
+        assert!((a.ks_distance(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_edge_cases_empty_and_single_bucket() {
+        let empty = LatencyHistogram::new(10);
+        assert_eq!(empty.ks_distance(&LatencyHistogram::new(10)), 0.0);
+        let mut one = LatencyHistogram::new(10);
+        one.record(Cycles::new(7));
+        assert_eq!(empty.ks_distance(&one), 1.0);
+        assert_eq!(one.ks_distance(&empty), 1.0);
+        // Two single-bucket histograms over the same bucket: identical.
+        let mut same = LatencyHistogram::new(10);
+        same.record(Cycles::new(3));
+        assert_eq!(one.ks_distance(&same), 0.0);
     }
 }
