@@ -1,0 +1,620 @@
+//! Cycle attribution over `<name>.trace.jsonl` event sidecars.
+//!
+//! The traced simulator emits, for every completed access, a group of
+//! *component* events (cache lookups, DRAM reads split by region, MEE
+//! pipeline overhead, crypto ops, interference) whose cycles exactly
+//! partition the access's `read_done`/`write_done` latency. This
+//! module folds a trace stream back into that partition: per hardware
+//! category, the cycles it contributed and its share of total modeled
+//! victim latency. Background work the engine performs off the
+//! critical path (write-queue drains, write-through traffic, counter
+//! and tree overflow busy time) is accounted separately — it carries
+//! cycles but is not part of any single access latency, so folding it
+//! into the attribution would push coverage past 100%.
+//!
+//! Ingest follows the same commit-record protocol as experiment rows:
+//! the parent experiment's `<name>.meta.json` must be `complete: true`
+//! and advertise a `trace_rows` count matching the sidecar's line
+//! count, otherwise the trace is refused as torn or stale.
+
+use crate::ingest::IngestError;
+use metaleak_bench::json::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A validated trace sidecar: the parent experiment's name plus the
+/// parsed event rows in `(trial, seq)` order.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    /// The parent experiment name (`<name>.trace.jsonl` → `<name>`).
+    pub name: String,
+    /// Parsed event rows.
+    pub rows: Vec<Json>,
+}
+
+/// Loads and validates one trace sidecar given its `.trace.jsonl`
+/// path, enforcing the `trace_rows` commit record in the parent
+/// experiment's `.meta.json`.
+///
+/// # Errors
+/// [`IngestError`] when the sidecar or its commit record is missing,
+/// uncommitted, torn (row-count mismatch) or unparseable.
+pub fn load_trace(trace_jsonl: &Path) -> Result<TraceData, IngestError> {
+    let file_name = trace_jsonl.file_name().and_then(|s| s.to_str()).unwrap_or_default();
+    let name = file_name.strip_suffix(".trace.jsonl").unwrap_or(file_name).to_owned();
+    let dir = trace_jsonl.parent().unwrap_or_else(|| Path::new("."));
+    let read = |path: &Path| {
+        std::fs::read_to_string(path)
+            .map_err(|e| IngestError::Io { path: path.to_owned(), what: e.to_string() })
+    };
+
+    let meta_path = dir.join(format!("{name}.meta.json"));
+    if !meta_path.exists() {
+        return Err(IngestError::MissingSidecar { experiment: name });
+    }
+    let meta = Json::parse(&read(&meta_path)?)
+        .map_err(|e| IngestError::Malformed { path: meta_path.clone(), what: e.to_string() })?;
+    if meta.get("complete").and_then(Json::as_bool) != Some(true) {
+        return Err(IngestError::Incomplete { experiment: name });
+    }
+    let Some(expected) = meta.get("trace_rows").and_then(Json::as_u64) else {
+        return Err(IngestError::NotTraced { experiment: name });
+    };
+
+    let body = read(trace_jsonl)?;
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(Json::parse(line).map_err(|e| IngestError::Malformed {
+            path: trace_jsonl.to_owned(),
+            what: format!("line {}: {e}", i + 1),
+        })?);
+    }
+    if expected as usize != rows.len() {
+        return Err(IngestError::RowCountMismatch {
+            experiment: name,
+            expected: expected as usize,
+            found: rows.len(),
+        });
+    }
+    Ok(TraceData { name, rows })
+}
+
+/// Cycle attribution of one experiment's trace: which hardware
+/// component the modeled victim latency went to.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// The parent experiment name.
+    pub name: String,
+    /// Number of trials contributing events.
+    pub trials: usize,
+    /// Total events analyzed (after any truncation repair).
+    pub events: usize,
+    /// Whether any trial's ring dropped its oldest events; when true,
+    /// the partial leading access group of each affected trial was
+    /// discarded to keep the partition exact.
+    pub truncated: bool,
+    /// Completed accesses (`read_done` + `write_done`).
+    pub accesses: u64,
+    /// Total end-to-end latency of those accesses, in cycles.
+    pub total_latency: u64,
+    /// Attributed cycles per category, cycle-count descending (ties by
+    /// name). Categories: `cache_l1..l3`, `store_forward`, `dram_data`,
+    /// `dram_counter`, `dram_tree_l<k>`, `mee`,
+    /// `crypto_{pad,mac,hash}`, `interference`.
+    pub attributed: Vec<(String, u64)>,
+    /// Background (off-critical-path) busy cycles per category:
+    /// `wq_drain`, `write_through`, `counter_overflow`,
+    /// `tree_overflow`.
+    pub background: Vec<(String, u64)>,
+    /// Per-kind event counts over the analyzed events.
+    pub counts: Vec<(String, u64)>,
+}
+
+impl Attribution {
+    /// Total attributed cycles across all categories.
+    pub fn attributed_total(&self) -> u64 {
+        self.attributed.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Fraction of total victim latency explained by the attributed
+    /// categories (1.0 = the component events exactly partition every
+    /// access latency). `None` when the trace holds no completed
+    /// access.
+    pub fn coverage(&self) -> Option<f64> {
+        (self.total_latency > 0).then(|| self.attributed_total() as f64 / self.total_latency as f64)
+    }
+
+    /// The `n` hottest categories (attributed and background pooled),
+    /// by total cycles.
+    pub fn hottest(&self, n: usize) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> =
+            self.attributed.iter().chain(&self.background).cloned().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+}
+
+/// The attribution category of one event row, or how else it is
+/// accounted.
+enum Account {
+    Attributed(String, u64),
+    Background(&'static str, u64),
+    Done(u64),
+    Instant,
+}
+
+fn u64_field(row: &Json, key: &str) -> u64 {
+    row.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn account(row: &Json) -> Account {
+    let ev = row.get("ev").and_then(Json::as_str).unwrap_or_default();
+    let cycles = u64_field(row, "cycles");
+    match ev {
+        "cache_lookup" => {
+            Account::Attributed(format!("cache_l{}", u64_field(row, "level")), cycles)
+        }
+        "mem_read" => {
+            let category = if row.get("forwarded").and_then(Json::as_bool) == Some(true) {
+                "store_forward".to_owned()
+            } else {
+                match row.get("region").and_then(Json::as_str) {
+                    Some("counter") => "dram_counter".to_owned(),
+                    Some("tree") => format!("dram_tree_l{}", u64_field(row, "tree_level")),
+                    _ => "dram_data".to_owned(),
+                }
+            };
+            Account::Attributed(category, cycles)
+        }
+        "mee" => Account::Attributed("mee".to_owned(), cycles),
+        "crypto" => Account::Attributed(
+            format!("crypto_{}", row.get("kind").and_then(Json::as_str).unwrap_or("other")),
+            cycles,
+        ),
+        "interference" => {
+            Account::Attributed("interference".to_owned(), u64_field(row, "extra_cycles"))
+        }
+        "wq_drain" => Account::Background("wq_drain", cycles),
+        "write_through" => Account::Background("write_through", cycles),
+        "counter_overflow" => {
+            Account::Background("counter_overflow", u64_field(row, "busy_cycles"))
+        }
+        "tree_overflow" => Account::Background("tree_overflow", u64_field(row, "busy_cycles")),
+        "read_done" | "write_done" => Account::Done(cycles),
+        _ => Account::Instant,
+    }
+}
+
+/// Folds a validated trace into its cycle [`Attribution`].
+///
+/// When a trial's bounded ring dropped its oldest events (its first
+/// retained `seq` is nonzero), the leading partial access group — the
+/// retained events up to and including the first completion — is
+/// discarded so the remaining component events still exactly partition
+/// the remaining completions.
+pub fn attribute(data: &TraceData) -> Attribution {
+    // Group row indices by trial, preserving order.
+    let mut by_trial: BTreeMap<u64, Vec<&Json>> = BTreeMap::new();
+    for row in &data.rows {
+        by_trial.entry(u64_field(row, "trial")).or_default().push(row);
+    }
+
+    let mut attributed: BTreeMap<String, u64> = BTreeMap::new();
+    let mut background: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut accesses = 0u64;
+    let mut total_latency = 0u64;
+    let mut events = 0usize;
+    let mut truncated = false;
+
+    for rows in by_trial.values() {
+        let dropped = rows.first().map(|r| u64_field(r, "seq") > 0).unwrap_or(false);
+        let mut skipping = dropped;
+        truncated |= dropped;
+        for row in rows {
+            if skipping {
+                // Discard the partial leading group; its completion
+                // (if retained) closes the repair window.
+                if matches!(account(row), Account::Done(_)) {
+                    skipping = false;
+                }
+                continue;
+            }
+            events += 1;
+            let ev = row.get("ev").and_then(Json::as_str).unwrap_or("?").to_owned();
+            *counts.entry(ev).or_insert(0) += 1;
+            match account(row) {
+                Account::Attributed(category, cycles) => {
+                    *attributed.entry(category).or_insert(0) += cycles;
+                }
+                Account::Background(category, cycles) => {
+                    *background.entry(category).or_insert(0) += cycles;
+                }
+                Account::Done(cycles) => {
+                    accesses += 1;
+                    total_latency += cycles;
+                }
+                Account::Instant => {}
+            }
+        }
+    }
+
+    let mut attributed: Vec<(String, u64)> = attributed.into_iter().collect();
+    attributed.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Attribution {
+        name: data.name.clone(),
+        trials: by_trial.len(),
+        events,
+        truncated,
+        accesses,
+        total_latency,
+        attributed,
+        background: background.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        counts: counts.into_iter().collect(),
+    }
+}
+
+/// The outcome of scanning one `.trace.jsonl` file in a directory.
+#[derive(Debug, Clone)]
+pub enum TraceScanEntry {
+    /// The trace loaded, validated, and was attributed.
+    Analyzed(Attribution),
+    /// The trace was refused; kept so the report surfaces it.
+    Refused {
+        /// The parent experiment name.
+        name: String,
+        /// Why it was refused.
+        error: IngestError,
+    },
+}
+
+/// Scans a directory for `*.trace.jsonl` sidecars in deterministic
+/// (name-sorted) order, attributing each. Corrupt traces become
+/// [`TraceScanEntry::Refused`] entries rather than aborting the scan.
+///
+/// # Errors
+/// Only the directory listing itself failing is fatal.
+pub fn scan_traces(dir: &Path) -> Result<Vec<TraceScanEntry>, IngestError> {
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| IngestError::Io { path: dir.to_owned(), what: e.to_string() })?;
+    let mut traces: Vec<PathBuf> = listing
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".trace.jsonl"))
+        })
+        .collect();
+    traces.sort();
+    Ok(traces
+        .into_iter()
+        .map(|p| {
+            let file = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            let name = file.strip_suffix(".trace.jsonl").unwrap_or(file).to_owned();
+            match load_trace(&p) {
+                Ok(data) => TraceScanEntry::Analyzed(attribute(&data)),
+                Err(error) => TraceScanEntry::Refused { name, error },
+            }
+        })
+        .collect())
+}
+
+/// A full cycle-attribution report over an experiment directory's
+/// trace sidecars.
+#[derive(Debug, Clone, Default)]
+pub struct TraceScanReport {
+    /// Attributed traces, in name order.
+    pub attributions: Vec<Attribution>,
+    /// Traces refused at ingest, as `(name, reason)`.
+    pub refused: Vec<(String, String)>,
+}
+
+impl TraceScanReport {
+    /// Builds the report from a directory scan.
+    pub fn from_entries(entries: &[TraceScanEntry]) -> TraceScanReport {
+        let mut report = TraceScanReport::default();
+        for entry in entries {
+            match entry {
+                TraceScanEntry::Analyzed(a) => report.attributions.push(a.clone()),
+                TraceScanEntry::Refused { name, error } => {
+                    report.refused.push((name.clone(), error.to_string()));
+                }
+            }
+        }
+        report
+    }
+
+    /// Looks up an attribution by experiment name.
+    pub fn attribution(&self, name: &str) -> Option<&Attribution> {
+        self.attributions.iter().find(|a| a.name == name)
+    }
+
+    /// Renders the machine-readable JSON report. Deterministic: fixed
+    /// field order, name-sorted traces, no timing- or
+    /// machine-dependent fields.
+    pub fn to_json(&self) -> Json {
+        use metaleak_bench::json::JsonObj;
+        let traces: Vec<Json> = self
+            .attributions
+            .iter()
+            .map(|a| {
+                let pairs = |items: &[(String, u64)]| {
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|(k, v)| {
+                                JsonObj::new()
+                                    .field("category", k.as_str())
+                                    .field("cycles", *v)
+                                    .build()
+                            })
+                            .collect(),
+                    )
+                };
+                JsonObj::new()
+                    .field("name", a.name.as_str())
+                    .field("trials", a.trials)
+                    .field("events", a.events)
+                    .field("truncated", a.truncated)
+                    .field("accesses", a.accesses)
+                    .field("total_latency_cycles", a.total_latency)
+                    .field("attributed_cycles", a.attributed_total())
+                    .field("coverage", a.coverage().map(Json::from).unwrap_or(Json::Null))
+                    .field("attribution", pairs(&a.attributed))
+                    .field("background", pairs(&a.background))
+                    .field(
+                        "event_counts",
+                        Json::Obj(
+                            a.counts.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect(),
+                        ),
+                    )
+                    .build()
+            })
+            .collect();
+        let refused: Vec<Json> = self
+            .refused
+            .iter()
+            .map(|(name, reason)| {
+                JsonObj::new().field("name", name.as_str()).field("reason", reason.as_str()).build()
+            })
+            .collect();
+        JsonObj::new()
+            .field("tracescan_version", 1u64)
+            .field("traces", Json::Arr(traces))
+            .field("refused", Json::Arr(refused))
+            .field(
+                "summary",
+                JsonObj::new()
+                    .field("analyzed", self.attributions.len())
+                    .field("refused", self.refused.len())
+                    .build(),
+            )
+            .build()
+    }
+
+    /// Renders the human-readable markdown summary.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# tracescan report\n\n");
+        out.push_str(
+            "Per-experiment cycle attribution: the share of modeled victim latency \
+             each hardware component contributed. Background rows (write drains, \
+             overflow busy time) are off the critical path and excluded from coverage.\n",
+        );
+        for a in &self.attributions {
+            out.push_str(&format!(
+                "\n## {}\n\n{} trial(s), {} events, {} accesses, total latency {} cycles",
+                a.name, a.trials, a.events, a.accesses, a.total_latency
+            ));
+            match a.coverage() {
+                Some(c) => out.push_str(&format!(", coverage {:.2}%\n", c * 100.0)),
+                None => out.push_str(", no completed accesses\n"),
+            }
+            if a.truncated {
+                out.push_str(
+                    "\n> ring buffer dropped oldest events; partial leading groups \
+                     were discarded before attribution.\n",
+                );
+            }
+            out.push_str("\n| category | cycles | share of latency |\n|---|---|---|\n");
+            for (category, cycles) in &a.attributed {
+                let share = if a.total_latency > 0 {
+                    format!("{:.1}%", *cycles as f64 / a.total_latency as f64 * 100.0)
+                } else {
+                    "-".to_owned()
+                };
+                out.push_str(&format!("| {category} | {cycles} | {share} |\n"));
+            }
+            if !a.background.is_empty() {
+                out.push_str("\nBackground (not in coverage):\n\n");
+                for (category, cycles) in &a.background {
+                    out.push_str(&format!("- `{category}`: {cycles} cycles\n"));
+                }
+            }
+            out.push_str("\nHottest categories: ");
+            let hot: Vec<String> =
+                a.hottest(5).iter().map(|(k, v)| format!("`{k}` ({v})")).collect();
+            out.push_str(&hot.join(", "));
+            out.push('\n');
+        }
+        if !self.refused.is_empty() {
+            out.push_str("\n## Refused inputs\n\n");
+            for (name, reason) in &self.refused {
+                out.push_str(&format!("- `{name}`: {reason}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_bench::json::JsonObj;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaleak_attr_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn row(trial: u64, seq: u64, ev: &str, fields: &[(&str, Json)]) -> Json {
+        let mut obj =
+            JsonObj::new().field("trial", trial).field("seq", seq).field("ts", seq).field("ev", ev);
+        for (k, v) in fields {
+            obj = obj.field(k, v.clone());
+        }
+        obj.build()
+    }
+
+    fn write_trace(dir: &Path, name: &str, rows: &[Json], trace_rows: usize) {
+        let body: String = rows.iter().map(|r| r.render() + "\n").collect();
+        std::fs::write(dir.join(format!("{name}.trace.jsonl")), body).unwrap();
+        let meta = JsonObj::new()
+            .field("experiment", name)
+            .field("seed", 1u64)
+            .field("rows", 1usize)
+            .field("complete", true)
+            .field("trace_rows", trace_rows)
+            .build();
+        std::fs::write(dir.join(format!("{name}.meta.json")), meta.render() + "\n").unwrap();
+    }
+
+    /// One cold read: L1/L2/L3 misses, data + counter + tree DRAM
+    /// reads, MEE and crypto, closed by a read_done whose latency is
+    /// the exact component sum.
+    fn cold_read_rows(trial: u64, seq0: u64) -> Vec<Json> {
+        let c = |n: u64| ("cycles", Json::from(n));
+        vec![
+            row(trial, seq0, "cache_lookup", &[("level", 1u64.into()), c(1)]),
+            row(trial, seq0 + 1, "cache_lookup", &[("level", 2u64.into()), c(10)]),
+            row(trial, seq0 + 2, "cache_lookup", &[("level", 3u64.into()), c(40)]),
+            row(trial, seq0 + 3, "mem_read", &[("region", "data".into()), c(79)]),
+            row(trial, seq0 + 4, "mem_read", &[("region", "counter".into()), c(114)]),
+            row(
+                trial,
+                seq0 + 5,
+                "mem_read",
+                &[("region", "tree".into()), ("tree_level", 0u64.into()), c(100)],
+            ),
+            row(trial, seq0 + 6, "mee", &[("reads", 2u64.into()), c(6)]),
+            row(trial, seq0 + 7, "crypto", &[("kind", "hash".into()), c(40)]),
+            row(trial, seq0 + 8, "crypto", &[("kind", "pad".into()), c(10)]),
+            row(trial, seq0 + 9, "read_done", &[("path", "walk".into()), c(400)]),
+        ]
+    }
+
+    #[test]
+    fn attribution_partitions_latency_exactly() {
+        let dir = scratch("exact");
+        let rows = cold_read_rows(0, 0);
+        write_trace(&dir, "exp", &rows, rows.len());
+        let data = load_trace(&dir.join("exp.trace.jsonl")).unwrap();
+        let a = attribute(&data);
+        assert_eq!(a.accesses, 1);
+        assert_eq!(a.total_latency, 400);
+        assert_eq!(a.attributed_total(), 400);
+        assert_eq!(a.coverage(), Some(1.0));
+        assert!(!a.truncated);
+        let hot = a.hottest(2);
+        assert_eq!(hot[0].0, "dram_counter");
+        assert_eq!(hot[0].1, 114);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_trace_discards_partial_leading_group() {
+        let dir = scratch("trunc");
+        // Ring dropped the first 3 events: the partial group's tail
+        // (seq 3..=9) is retained, then one complete group follows.
+        let mut rows: Vec<Json> = cold_read_rows(0, 0).split_off(3);
+        rows.extend(cold_read_rows(0, 10));
+        write_trace(&dir, "exp", &rows, rows.len());
+        let a = attribute(&load_trace(&dir.join("exp.trace.jsonl")).unwrap());
+        assert!(a.truncated);
+        // Only the second, complete group is attributed — exactly.
+        assert_eq!(a.accesses, 1);
+        assert_eq!(a.total_latency, 400);
+        assert_eq!(a.coverage(), Some(1.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_cycles_stay_out_of_coverage() {
+        let dir = scratch("bg");
+        let mut rows = cold_read_rows(0, 0);
+        rows.push(row(0, 10, "wq_drain", &[("serviced", 4u64.into()), ("cycles", 500u64.into())]));
+        rows.push(row(
+            0,
+            11,
+            "counter_overflow",
+            &[("busy_cycles", 900u64.into()), ("rekey", false.into())],
+        ));
+        let n = rows.len();
+        write_trace(&dir, "exp", &rows, n);
+        let a = attribute(&load_trace(&dir.join("exp.trace.jsonl")).unwrap());
+        assert_eq!(a.coverage(), Some(1.0), "background must not inflate coverage");
+        let bg: BTreeMap<_, _> = a.background.iter().cloned().collect();
+        assert_eq!(bg.get("wq_drain"), Some(&500));
+        assert_eq!(bg.get("counter_overflow"), Some(&900));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_names_every_trace() {
+        let dir = scratch("report");
+        let rows = cold_read_rows(0, 0);
+        write_trace(&dir, "exp_a", &rows, rows.len());
+        std::fs::write(dir.join("orphan.trace.jsonl"), "{}\n").unwrap();
+        let render = || {
+            let entries = scan_traces(&dir).unwrap();
+            TraceScanReport::from_entries(&entries).to_json().render()
+        };
+        let first = render();
+        assert_eq!(first, render(), "report must be byte-identical across runs");
+        assert!(first.contains("\"name\":\"exp_a\""));
+        assert!(first.contains("\"coverage\":1.0"), "{first}");
+        assert!(first.contains("\"refused\":[{\"name\":\"orphan\""));
+        let entries = scan_traces(&dir).unwrap();
+        let report = TraceScanReport::from_entries(&entries);
+        let md = report.to_markdown();
+        assert!(md.contains("## exp_a"));
+        assert!(md.contains("coverage 100.00%"));
+        assert!(md.contains("orphan"));
+        assert!(report.attribution("exp_a").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_torn_stale_and_uncommitted_traces() {
+        let dir = scratch("refuse");
+        let rows = cold_read_rows(0, 0);
+        // Torn: commit record advertises more rows than the file holds.
+        write_trace(&dir, "torn", &rows, rows.len() + 5);
+        assert!(matches!(
+            load_trace(&dir.join("torn.trace.jsonl")),
+            Err(IngestError::RowCountMismatch { .. })
+        ));
+        // Stale: parent meta lacks trace_rows entirely.
+        write_trace(&dir, "stale", &rows, rows.len());
+        let meta = JsonObj::new().field("rows", 1usize).field("complete", true).build();
+        std::fs::write(dir.join("stale.meta.json"), meta.render()).unwrap();
+        assert!(matches!(
+            load_trace(&dir.join("stale.trace.jsonl")),
+            Err(IngestError::NotTraced { .. })
+        ));
+        // Orphan: no commit record at all.
+        std::fs::write(dir.join("orphan.trace.jsonl"), "{}\n").unwrap();
+        assert!(matches!(
+            load_trace(&dir.join("orphan.trace.jsonl")),
+            Err(IngestError::MissingSidecar { .. })
+        ));
+        // scan_traces surfaces all three without aborting.
+        let entries = scan_traces(&dir).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|e| matches!(e, TraceScanEntry::Refused { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,161 @@
+//! `tracescan` — cycle attribution over harness trace sidecars.
+//!
+//! ```text
+//! tracescan [DIR] [--out-json PATH] [--out-md PATH]
+//!           [--require-trace NAME]... [--min-coverage FRACTION]
+//!           [--top N] [--strict]
+//! ```
+//!
+//! Scans `DIR` (default `target/experiments`, honoring
+//! `METALEAK_OUT_DIR`) for `<name>.trace.jsonl` sidecars produced by
+//! `METALEAK_TRACE=1` runs, validates each against its parent
+//! experiment's `trace_rows` commit record (torn or stale traces are
+//! refused), and reports per-experiment cycle attribution: the
+//! fraction of modeled victim latency spent in each cache level, DRAM
+//! region, tree level, the MEE pipeline, the crypto engine and
+//! injected interference, plus the top-N hottest categories. Writes
+//! `tracescan_report.json` and `tracescan_report.md` next to the
+//! artifacts (unless redirected) and prints the markdown to stdout.
+//!
+//! Exit codes: 0 success; 1 usage or I/O error (including no trace
+//! sidecars found); 2 a `--require-trace` experiment is missing,
+//! refused, or its attribution coverage falls below `--min-coverage`
+//! (default 0.99); 4 `--strict` and at least one trace was refused.
+
+use metaleak_analysis::attribution::{self, TraceScanReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    dir: PathBuf,
+    out_json: Option<PathBuf>,
+    out_md: Option<PathBuf>,
+    require_trace: Vec<String>,
+    min_coverage: f64,
+    top: usize,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracescan [DIR] [--out-json PATH] [--out-md PATH] \
+         [--require-trace NAME]... [--min-coverage FRACTION] [--top N] [--strict]"
+    );
+    std::process::exit(1);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        dir: metaleak_bench::out_dir(),
+        out_json: None,
+        out_md: None,
+        require_trace: Vec::new(),
+        min_coverage: 0.99,
+        top: 10,
+        strict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut dir_set = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("tracescan: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--out-json" => cli.out_json = Some(PathBuf::from(value("--out-json"))),
+            "--out-md" => cli.out_md = Some(PathBuf::from(value("--out-md"))),
+            "--require-trace" => cli.require_trace.push(value("--require-trace")),
+            "--min-coverage" => {
+                cli.min_coverage = value("--min-coverage").parse().unwrap_or_else(|_| {
+                    eprintln!("tracescan: --min-coverage needs a number in [0, 1]");
+                    usage()
+                })
+            }
+            "--top" => {
+                cli.top = value("--top").parse().unwrap_or_else(|_| {
+                    eprintln!("tracescan: --top needs an integer");
+                    usage()
+                })
+            }
+            "--strict" => cli.strict = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && !dir_set => {
+                cli.dir = PathBuf::from(other);
+                dir_set = true;
+            }
+            other => {
+                eprintln!("tracescan: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let entries = match attribution::scan_traces(&cli.dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("tracescan: cannot scan {}: {e}", cli.dir.display());
+            return ExitCode::from(1);
+        }
+    };
+    if entries.is_empty() {
+        eprintln!(
+            "tracescan: no trace sidecars in {} (run an experiment with METALEAK_TRACE=1)",
+            cli.dir.display()
+        );
+        return ExitCode::from(1);
+    }
+    let report = TraceScanReport::from_entries(&entries);
+
+    let json_path = cli.out_json.unwrap_or_else(|| cli.dir.join("tracescan_report.json"));
+    let md_path = cli.out_md.unwrap_or_else(|| cli.dir.join("tracescan_report.md"));
+    let markdown = report.to_markdown();
+    for (path, body) in
+        [(&json_path, report.to_json().render() + "\n"), (&md_path, markdown.clone())]
+    {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("tracescan: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+    print!("{markdown}");
+    for a in &report.attributions {
+        let hot: Vec<String> = a.hottest(cli.top).iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("\n{}: top-{} hottest: {}", a.name, cli.top, hot.join(" "));
+    }
+    println!("\nreport: {}", json_path.display());
+
+    // CI gates.
+    for name in &cli.require_trace {
+        match report.attribution(name) {
+            Some(a) => match a.coverage() {
+                Some(c) if c >= cli.min_coverage => {}
+                Some(c) => {
+                    eprintln!(
+                        "tracescan: FAIL: {name} attribution coverage {:.4} below {:.4}",
+                        c, cli.min_coverage
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("tracescan: FAIL: {name} trace holds no completed accesses");
+                    return ExitCode::from(2);
+                }
+            },
+            None => {
+                eprintln!("tracescan: FAIL: required trace {name} missing or refused");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cli.strict && !report.refused.is_empty() {
+        eprintln!("tracescan: FAIL (--strict): {} trace(s) refused", report.refused.len());
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}

@@ -49,6 +49,13 @@ pub enum IngestError {
         /// Parse failure description.
         what: String,
     },
+    /// A trace sidecar exists but the experiment's commit record has
+    /// no `trace_rows` count — the producing run was not traced, so
+    /// the trace is stale (from an earlier `METALEAK_TRACE=1` run).
+    NotTraced {
+        /// The experiment name.
+        experiment: String,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -67,6 +74,9 @@ impl fmt::Display for IngestError {
             ),
             IngestError::Malformed { path, what } => {
                 write!(f, "{}: {what}", path.display())
+            }
+            IngestError::NotTraced { experiment } => {
+                write!(f, "{experiment}: commit record has no trace_rows (stale trace sidecar?)")
             }
         }
     }
@@ -185,6 +195,9 @@ pub enum ScanEntry {
 /// Scans a directory for `*.jsonl` experiment artifacts, in
 /// deterministic (name-sorted) order. Corrupt experiments become
 /// [`ScanEntry::Refused`] entries rather than aborting the scan.
+/// `*.trace.jsonl` event sidecars are not experiments (they share the
+/// parent experiment's commit record) and are skipped; `tracescan`
+/// ingests those.
 ///
 /// # Errors
 /// Only the directory listing itself failing is fatal.
@@ -194,6 +207,9 @@ pub fn scan_dir(dir: &Path) -> Result<Vec<ScanEntry>, IngestError> {
     let mut jsonls: Vec<PathBuf> = listing
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("jsonl"))
+        .filter(|p| {
+            !p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".trace.jsonl"))
+        })
         .collect();
     jsonls.sort();
     Ok(jsonls

@@ -27,8 +27,9 @@
 //! or on artifacts regenerated under a different `METALEAK_THREADS` —
 //! yields byte-identical reports.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod attribution;
 pub mod bootstrap;
 pub mod capacity;
 pub mod ingest;
@@ -37,6 +38,7 @@ pub mod report;
 pub mod roc;
 pub mod welch;
 
+pub use attribution::{Attribution, TraceScanReport};
 pub use bootstrap::BootstrapCi;
 pub use capacity::CapacityEstimate;
 pub use ingest::{ExperimentData, IngestError, ScanEntry};

@@ -51,6 +51,23 @@ impl WelchResult {
 /// deterministic simulator hits routinely, resolve to `t = 0` for
 /// identical constant populations and to `±T_SATURATED` for disjoint
 /// constant populations.
+///
+/// # Examples
+///
+/// ```
+/// use metaleak_analysis::welch::welch_t;
+///
+/// // Fast (cached) vs slow (tree-walk) latency populations.
+/// let fast = [40.0, 41.0, 42.0, 40.0, 41.0];
+/// let slow = [300.0, 310.0, 305.0, 299.0, 308.0];
+/// let result = welch_t(&fast, &slow).expect("both populations have >= 2 samples");
+/// assert!(result.leaks(), "|t| = {} clears the 4.5 TVLA threshold", result.t.abs());
+/// assert!(result.t < 0.0, "class A is faster, so t is negative");
+///
+/// // Indistinguishable populations stay below the threshold.
+/// let same = welch_t(&fast, &[40.0, 41.0, 42.0, 41.0, 40.0]).unwrap();
+/// assert!(!same.leaks());
+/// ```
 pub fn welch_t(a: &[f64], b: &[f64]) -> Option<WelchResult> {
     if a.len() < 2 || b.len() < 2 {
         return None;

@@ -13,11 +13,11 @@ use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
 use metaleak_attacks::timing::effective_bits_per_second;
 use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
-use metaleak_engine::config::SecureConfig;
+use metaleak_bench::{scaled, trace_enabled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
+use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog, Tracer};
 
 struct RunOutcome {
     accuracy: f64,
@@ -29,8 +29,13 @@ struct RunOutcome {
     rows: Vec<String>,
 }
 
-fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rng: &mut SimRng) -> RunOutcome {
-    let mut mem = SecureMemory::new(cfg);
+fn run<Tr: Tracer>(
+    name: &str,
+    mut mem: SecureMemory<Tr>,
+    level: u8,
+    bits_n: usize,
+    rng: &mut SimRng,
+) -> (RunOutcome, Tr) {
     let channel =
         CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), level, 100).expect("channel setup");
     let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
@@ -55,7 +60,7 @@ fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rng: &mut SimRng
     let kbps = effective_bits_per_second(cycles_per_bit, 1.0, accuracy, 3e9) / 1e3;
     // Per-bit (secret class, tx latency) pairs for leakscan's TVLA/MI.
     let samples = out.labelled_samples(&bits);
-    RunOutcome {
+    let outcome = RunOutcome {
         accuracy,
         bits_per_mcycle: out.bits_per_mcycle(),
         kbps,
@@ -63,7 +68,8 @@ fn run(name: &str, cfg: SecureConfig, level: u8, bits_n: usize, rng: &mut SimRng
         sample_classes: samples.iter().map(|s| s.class).collect(),
         sample_values: samples.iter().map(|s| s.value).collect(),
         rows,
-    }
+    };
+    (outcome, mem.into_tracer())
 }
 
 fn main() {
@@ -75,16 +81,29 @@ fn main() {
         ("SCT", configs::sct_experiment(), 0u8, "Fig. 11a", "99.3%"),
         ("SIT", configs::sgx_experiment(), 1u8, "Fig. 11b", "94.3%"),
     ];
-    let results = exp.run_trials(setups.len(), |rng, i| {
+    // With METALEAK_TRACE set, each trial runs on its own RingTracer
+    // and its event log lands in the fig11_covert_t.trace.jsonl
+    // sidecar; otherwise the NullTracer build records nothing and the
+    // artifacts stay byte-identical to an untraced binary.
+    let traced = trace_enabled();
+    let ring_capacity = scaled(1 << 18, 1 << 20);
+    let results: Vec<(RunOutcome, Option<TraceLog>)> = exp.run_trials(setups.len(), |rng, i| {
         let (name, cfg, level, _, _) = &setups[i];
-        run(name, cfg.clone(), *level, bits_n, rng)
+        if traced {
+            let mem = SecureMemory::with_tracer(cfg.clone(), RingTracer::new(ring_capacity));
+            let (out, tracer) = run(name, mem, *level, bits_n, rng);
+            (out, Some(tracer.into_log()))
+        } else {
+            let (out, NullTracer) = run(name, SecureMemory::new(cfg.clone()), *level, bits_n, rng);
+            (out, None)
+        }
     });
 
     let mut table =
         TextTable::new(vec!["config", "bit accuracy", "paper", "bits/Mcycle", "kbit/s @3GHz"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
+    for (i, (out, log)) in results.into_iter().enumerate() {
         let (name, _, level, figure, paper) = &setups[i];
         table.row(vec![
             format!("{name} ({figure})"),
@@ -94,18 +113,20 @@ fn main() {
             format!("{:.0}", out.kbps),
         ]);
         rows.extend(out.rows.iter().cloned());
-        trials.push(
-            Trial::new(i)
-                .field("config", *name)
-                .field("level", *level)
-                .field("bits", bits_n)
-                .field("bit_accuracy", out.accuracy)
-                .field("bits_per_mcycle", out.bits_per_mcycle)
-                .field("kbps_at_3ghz", out.kbps)
-                .field("alphabet", 2u64)
-                .field("cycles_per_symbol", out.cycles_per_bit)
-                .labelled_samples(&out.sample_classes, &out.sample_values),
-        );
+        let mut trial = Trial::new(i)
+            .field("config", *name)
+            .field("level", *level)
+            .field("bits", bits_n)
+            .field("bit_accuracy", out.accuracy)
+            .field("bits_per_mcycle", out.bits_per_mcycle)
+            .field("kbps_at_3ghz", out.kbps)
+            .field("alphabet", 2u64)
+            .field("cycles_per_symbol", out.cycles_per_bit)
+            .labelled_samples(&out.sample_classes, &out.sample_values);
+        if let Some(log) = log {
+            trial = trial.with_trace(log);
+        }
+        trials.push(trial);
     }
     println!("{}", table.render());
 

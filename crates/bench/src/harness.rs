@@ -28,6 +28,7 @@
 use crate::json::{Json, JsonObj};
 use crate::{out_dir, quick_mode};
 use metaleak_sim::rng::SimRng;
+use metaleak_sim::trace::TraceLog;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -96,12 +97,13 @@ where
 pub struct Trial {
     idx: usize,
     fields: Vec<(String, Json)>,
+    trace: Option<TraceLog>,
 }
 
 impl Trial {
     /// Starts a row for trial `idx`.
     pub fn new(idx: usize) -> Self {
-        Trial { idx, fields: Vec::new() }
+        Trial { idx, fields: Vec::new(), trace: None }
     }
 
     /// Appends a named stat (field order is preserved in the output).
@@ -125,6 +127,19 @@ impl Trial {
         self.field("sample_class", classes.to_vec()).field("sample_value", values.to_vec())
     }
 
+    /// Attaches a trial's [`TraceLog`] (from a `RingTracer` the trial
+    /// ran on) and records its summary on the row: `trace_events`
+    /// (total events ever recorded) and `trace_dropped` (events lost
+    /// to the bounded ring). [`Experiment::finish`] then renders the
+    /// retained events into the `<name>.trace.jsonl` /
+    /// `<name>.trace.chrome.json` sidecars. Untraced trials leave the
+    /// row — and every emitted artifact — unchanged.
+    pub fn with_trace(mut self, log: TraceLog) -> Self {
+        self = self.field("trace_events", log.recorded()).field("trace_dropped", log.dropped);
+        self.trace = Some(log);
+        self
+    }
+
     fn render(&self) -> String {
         let mut obj = JsonObj::new().field("trial", self.idx);
         for (k, v) in &self.fields {
@@ -142,6 +157,9 @@ pub struct ExperimentReport {
     /// The run-metadata JSON file (threads, wall-clock — not
     /// deterministic across machines or thread counts).
     pub meta: PathBuf,
+    /// The deterministic per-event trace sidecar, when at least one
+    /// trial attached a [`TraceLog`] ([`Trial::with_trace`]).
+    pub trace_jsonl: Option<PathBuf>,
     /// Wall-clock from [`Experiment::new`] to [`Experiment::finish`].
     pub wall_clock: Duration,
 }
@@ -223,12 +241,18 @@ impl Experiment {
         let dir = out_dir();
 
         // Invalidate first: from here until the final write, the
-        // experiment has no commit record.
+        // experiment has no commit record. Stale trace sidecars from a
+        // previous (possibly traced) run go with it, so an untraced
+        // re-run never leaves an orphaned trace next to fresh rows.
         let meta = dir.join(format!("{}.meta.json", self.name));
-        match std::fs::remove_file(&meta) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => panic!("remove stale experiment meta {}: {e}", meta.display()),
+        let trace_path = dir.join(format!("{}.trace.jsonl", self.name));
+        let chrome_path = dir.join(format!("{}.trace.chrome.json", self.name));
+        for stale in [&meta, &trace_path, &chrome_path] {
+            match std::fs::remove_file(stale) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => panic!("remove stale experiment artifact {}: {e}", stale.display()),
+            }
         }
 
         let mut body = String::new();
@@ -239,14 +263,33 @@ impl Experiment {
         let jsonl = dir.join(format!("{}.jsonl", self.name));
         std::fs::write(&jsonl, body).expect("write experiment jsonl");
 
-        let meta_json = JsonObj::new()
+        let traces: Vec<(usize, &TraceLog)> =
+            trials.iter().filter_map(|t| t.trace.as_ref().map(|log| (t.idx, log))).collect();
+        let (trace_jsonl, trace_rows) = if traces.is_empty() {
+            (None, None)
+        } else {
+            let (trace_body, rows) = crate::trace::trace_jsonl(&traces);
+            std::fs::write(&trace_path, trace_body).expect("write experiment trace jsonl");
+            let chrome = crate::trace::chrome_trace(&traces);
+            std::fs::write(&chrome_path, chrome.render() + "\n")
+                .expect("write experiment chrome trace");
+            (Some(trace_path), Some(rows))
+        };
+
+        let mut meta_obj = JsonObj::new()
             .field("experiment", self.name.as_str())
             .field("seed", self.seed)
             .field("threads", self.threads)
             .field("trials", trials.len())
             .field("rows", trials.len())
             .field("complete", true)
-            .field("quick_mode", quick_mode())
+            .field("quick_mode", quick_mode());
+        if let Some(rows) = trace_rows {
+            // Commit record for the trace sidecar: `tracescan` refuses
+            // traces whose row count disagrees (a torn write).
+            meta_obj = meta_obj.field("trace_rows", rows);
+        }
+        let meta_json = meta_obj
             .field("wall_clock_ms", wall_clock.as_millis() as u64)
             .field("config", Json::Obj(self.config.clone()))
             .build();
@@ -260,7 +303,15 @@ impl Experiment {
             wall_clock.as_millis(),
             jsonl.display()
         );
-        ExperimentReport { jsonl, meta, wall_clock }
+        if let Some(tp) = &trace_jsonl {
+            println!(
+                "trace sidecar: {} rows -> {} (+ {})",
+                trace_rows.unwrap_or(0),
+                tp.display(),
+                chrome_path.display()
+            );
+        }
+        ExperimentReport { jsonl, meta, trace_jsonl, wall_clock }
     }
 }
 
@@ -335,6 +386,44 @@ mod tests {
         let report = exp.finish(&[Trial::new(0).field("x", 9u64)]);
         assert!(std::fs::read_to_string(&report.meta).expect("meta").contains("\"rows\":1"));
         assert_eq!(std::fs::read_to_string(&report.jsonl).expect("jsonl").lines().count(), 1);
+        match old {
+            Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
+            None => std::env::remove_var("METALEAK_OUT_DIR"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_finish_writes_sidecars_and_untraced_rerun_removes_them() {
+        use metaleak_sim::clock::Cycles;
+        use metaleak_sim::trace::{RingTracer, TraceEvent, Tracer};
+        let dir = std::env::temp_dir().join(format!("metaleak_tracerun_{}", std::process::id()));
+        let old = std::env::var("METALEAK_OUT_DIR").ok();
+        std::env::set_var("METALEAK_OUT_DIR", &dir);
+
+        let mut t = RingTracer::new(8);
+        t.record(Cycles::new(10), TraceEvent::WriteDone { cycles: 40 });
+        t.record(Cycles::new(20), TraceEvent::ProbeIssued { block: 7 });
+        let exp = Experiment::new("trace_run", 9).with_threads(1);
+        let report = exp.finish(&[Trial::new(0).field("x", 1u64).with_trace(t.into_log())]);
+        let trace_path = report.trace_jsonl.clone().expect("trace sidecar written");
+        assert_eq!(std::fs::read_to_string(&trace_path).expect("trace").lines().count(), 2);
+        let meta = std::fs::read_to_string(&report.meta).expect("meta");
+        assert!(meta.contains("\"trace_rows\":2"), "{meta}");
+        // Row summary fields landed on the main JSONL row.
+        let row = std::fs::read_to_string(&report.jsonl).expect("jsonl");
+        assert!(row.contains("\"trace_events\":2"), "{row}");
+        assert!(row.contains("\"trace_dropped\":0"), "{row}");
+
+        // An untraced re-run removes the stale trace sidecars and drops
+        // trace_rows from the commit record.
+        let exp = Experiment::new("trace_run", 9).with_threads(1);
+        let report = exp.finish(&[Trial::new(0).field("x", 1u64)]);
+        assert!(report.trace_jsonl.is_none());
+        assert!(!trace_path.exists(), "stale trace sidecar must be removed");
+        assert!(!dir.join("trace_run.trace.chrome.json").exists());
+        assert!(!std::fs::read_to_string(&report.meta).expect("meta").contains("trace_rows"));
+
         match old {
             Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
             None => std::env::remove_var("METALEAK_OUT_DIR"),

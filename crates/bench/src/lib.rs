@@ -34,6 +34,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod trace;
 
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
@@ -176,6 +177,24 @@ pub fn full_requested(value: Option<&str>) -> bool {
         value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
         Some("1") | Some("true") | Some("yes")
     )
+}
+
+/// Whether per-trial event tracing was requested. Set `METALEAK_TRACE`
+/// to `1`, `true` or `yes` (same spellings as `METALEAK_FULL`) to make
+/// the instrumented binaries run their trials on a `RingTracer` and
+/// emit `<name>.trace.jsonl` sidecars; any other value — including
+/// unset — keeps the zero-cost `NullTracer` build and leaves every
+/// existing artifact byte-identical.
+pub fn trace_enabled() -> bool {
+    trace_requested(std::env::var("METALEAK_TRACE").ok().as_deref())
+}
+
+/// Pure interpretation of the `METALEAK_TRACE` environment value
+/// (separated from [`trace_enabled`] so it can be tested without
+/// touching process-global environment state). Accepts exactly the
+/// truthy spellings of [`full_requested`].
+pub fn trace_requested(value: Option<&str>) -> bool {
+    full_requested(value)
 }
 
 /// Picks `quick` or `full` depending on [`quick_mode`].

@@ -1,0 +1,257 @@
+//! Trace-sidecar rendering: turns per-trial [`TraceLog`]s into the
+//! `<name>.trace.jsonl` event stream consumed by `tracescan` and a
+//! Chrome trace-event (`about:tracing` / Perfetto) JSON view.
+//!
+//! Both renderings are deterministic: events are emitted in `(trial,
+//! seq)` order with only simulated timestamps, so a traced experiment
+//! produces byte-identical sidecars for any worker-thread count.
+//!
+//! # JSONL row shape
+//!
+//! One object per retained event:
+//!
+//! ```text
+//! {"trial":0,"seq":17,"ts":1240,"ev":"mem_read","region":"tree",
+//!  "tree_level":2,"row":"hit","forwarded":false,"waited":0,"cycles":40}
+//! ```
+//!
+//! `trial` is the harness trial index, `seq` the tracer's monotonic
+//! sequence number (gaps mean ring drops), `ts` the simulated clock at
+//! recording time and `ev` the stable kind name from
+//! [`TraceEvent::name`]; the remaining fields are the variant payload.
+
+use crate::json::{Json, JsonObj};
+use metaleak_sim::dram::RowOutcome;
+use metaleak_sim::trace::{
+    CryptoKind, MacScope, MemRegion, PathClass, TraceEvent, TraceLog, TraceRecord,
+};
+
+fn row_outcome_json(row: Option<RowOutcome>) -> Json {
+    match row {
+        Some(RowOutcome::Hit) => Json::from("hit"),
+        Some(RowOutcome::Closed) => Json::from("closed"),
+        Some(RowOutcome::Conflict) => Json::from("conflict"),
+        None => Json::Null,
+    }
+}
+
+fn mac_scope_str(scope: MacScope) -> &'static str {
+    match scope {
+        MacScope::Data => "data",
+        MacScope::CounterBlock => "counter_block",
+    }
+}
+
+fn crypto_kind_str(kind: CryptoKind) -> &'static str {
+    match kind {
+        CryptoKind::Pad => "pad",
+        CryptoKind::Mac => "mac",
+        CryptoKind::Hash => "hash",
+    }
+}
+
+fn with_region(obj: JsonObj, region: MemRegion) -> JsonObj {
+    match region {
+        MemRegion::Data => obj.field("region", "data"),
+        MemRegion::Counter => obj.field("region", "counter"),
+        MemRegion::TreeNode { level } => obj.field("region", "tree").field("tree_level", level),
+    }
+}
+
+fn with_path(obj: JsonObj, path: PathClass) -> JsonObj {
+    match path {
+        PathClass::CacheHit(level) => obj.field("path", format!("l{level}")),
+        PathClass::StoreForward => obj.field("path", "fwd"),
+        PathClass::CounterHit => obj.field("path", "counter_hit"),
+        PathClass::TreeWalk { loaded, to_root } => {
+            obj.field("path", "walk").field("walk_loaded", loaded).field("walk_to_root", to_root)
+        }
+    }
+}
+
+/// Renders one retained event as its JSONL row object.
+pub fn event_row(trial: usize, rec: &TraceRecord) -> Json {
+    let obj = JsonObj::new()
+        .field("trial", trial)
+        .field("seq", rec.seq)
+        .field("ts", rec.at.as_u64())
+        .field("ev", rec.event.name());
+    match rec.event {
+        TraceEvent::CacheLookup { level, hit, set, cycles } => {
+            obj.field("level", level).field("hit", hit).field("set", set).field("cycles", cycles)
+        }
+        TraceEvent::MemRead { region, row, forwarded, waited, cycles } => with_region(obj, region)
+            .field("row", row_outcome_json(row))
+            .field("forwarded", forwarded)
+            .field("waited", waited)
+            .field("cycles", cycles),
+        TraceEvent::Mee { reads, cycles } => obj.field("reads", reads).field("cycles", cycles),
+        TraceEvent::WriteEnqueued { queue_len } => obj.field("queue_len", queue_len),
+        TraceEvent::WriteMerged => obj,
+        TraceEvent::WriteDrain { serviced, cycles } => {
+            obj.field("serviced", serviced).field("cycles", cycles)
+        }
+        TraceEvent::WriteThrough { cycles } => obj.field("cycles", cycles),
+        TraceEvent::TreeWalkLevel { level, loaded } => {
+            obj.field("level", level).field("loaded", loaded)
+        }
+        TraceEvent::MacCheck { scope, ok } => {
+            obj.field("scope", mac_scope_str(scope)).field("ok", ok)
+        }
+        TraceEvent::Crypto { kind, ops, cycles } => {
+            obj.field("kind", crypto_kind_str(kind)).field("ops", ops).field("cycles", cycles)
+        }
+        TraceEvent::CounterOverflow { rekey, group_blocks, busy_cycles } => obj
+            .field("rekey", rekey)
+            .field("group_blocks", group_blocks)
+            .field("busy_cycles", busy_cycles),
+        TraceEvent::TreeOverflow { nodes_reset, busy_cycles } => {
+            obj.field("nodes_reset", nodes_reset).field("busy_cycles", busy_cycles)
+        }
+        TraceEvent::Interference { extra_cycles, gap_cycles } => {
+            obj.field("extra_cycles", extra_cycles).field("gap_cycles", gap_cycles)
+        }
+        TraceEvent::ProbeIssued { block } => obj.field("block", block),
+        TraceEvent::SampleClassified { class, value } => {
+            obj.field("class", class).field("value", value)
+        }
+        TraceEvent::ReadDone { path, cycles } => with_path(obj, path).field("cycles", cycles),
+        TraceEvent::WriteDone { cycles } => obj.field("cycles", cycles),
+    }
+    .build()
+}
+
+/// Renders the trace JSONL body for a set of `(trial index, log)`
+/// pairs, plus the number of rows emitted. Events appear in `(trial,
+/// seq)` order; the caller is expected to pass the pairs sorted by
+/// trial index (the harness does).
+pub fn trace_jsonl(traces: &[(usize, &TraceLog)]) -> (String, usize) {
+    let mut body = String::new();
+    let mut rows = 0usize;
+    for (trial, log) in traces {
+        for rec in &log.events {
+            body.push_str(&event_row(*trial, rec).render());
+            body.push('\n');
+            rows += 1;
+        }
+    }
+    (body, rows)
+}
+
+/// Renders a Chrome trace-event JSON document (loadable in
+/// `about:tracing` or Perfetto) for a set of `(trial index, log)`
+/// pairs. Duration-bearing events become complete (`"ph":"X"`) slices
+/// whose `ts`/`dur` are simulated cycles (displayed as microseconds);
+/// instant events become `"ph":"i"` marks. Each trial maps to its own
+/// thread lane (`tid`).
+pub fn chrome_trace(traces: &[(usize, &TraceLog)]) -> Json {
+    let mut events = Vec::new();
+    for (trial, log) in traces {
+        for rec in &log.events {
+            let obj = JsonObj::new()
+                .field("name", rec.event.name())
+                .field("cat", "sim")
+                .field("pid", 1u64)
+                .field("tid", *trial);
+            let obj = match rec.event.cycles() {
+                // `at` is the completion timestamp: start the slice at
+                // `at - cycles` so slices nest the way they executed.
+                Some(dur) => obj
+                    .field("ph", "X")
+                    .field("ts", rec.at.as_u64().saturating_sub(dur))
+                    .field("dur", dur),
+                None => obj.field("ph", "i").field("ts", rec.at.as_u64()).field("s", "t"),
+            };
+            events.push(obj.build());
+        }
+    }
+    JsonObj::new().field("traceEvents", Json::Arr(events)).field("displayTimeUnit", "ns").build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_sim::clock::Cycles;
+    use metaleak_sim::trace::{RingTracer, Tracer};
+
+    fn log_with(events: &[(u64, TraceEvent)]) -> TraceLog {
+        let mut t = RingTracer::new(64);
+        for (at, ev) in events {
+            t.record(Cycles::new(*at), *ev);
+        }
+        t.into_log()
+    }
+
+    #[test]
+    fn event_rows_render_variant_payloads() {
+        let log = log_with(&[
+            (
+                10,
+                TraceEvent::MemRead {
+                    region: MemRegion::TreeNode { level: 2 },
+                    row: Some(RowOutcome::Conflict),
+                    forwarded: false,
+                    waited: 3,
+                    cycles: 60,
+                },
+            ),
+            (12, TraceEvent::WriteMerged),
+            (
+                20,
+                TraceEvent::ReadDone {
+                    path: PathClass::TreeWalk { loaded: 2, to_root: false },
+                    cycles: 400,
+                },
+            ),
+        ]);
+        let (body, rows) = trace_jsonl(&[(1, &log)]);
+        assert_eq!(rows, 3);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"trial\":1,\"seq\":0,\"ts\":10,\"ev\":\"mem_read\",\"region\":\"tree\",\
+             \"tree_level\":2,\"row\":\"conflict\",\"forwarded\":false,\"waited\":3,\"cycles\":60}"
+        );
+        assert_eq!(lines[1], "{\"trial\":1,\"seq\":1,\"ts\":12,\"ev\":\"wq_merge\"}");
+        assert_eq!(
+            lines[2],
+            "{\"trial\":1,\"seq\":2,\"ts\":20,\"ev\":\"read_done\",\"path\":\"walk\",\
+             \"walk_loaded\":2,\"walk_to_root\":false,\"cycles\":400}"
+        );
+    }
+
+    #[test]
+    fn every_row_parses_back_with_required_fields() {
+        let log = log_with(&[
+            (5, TraceEvent::CacheLookup { level: 1, hit: false, set: 9, cycles: 4 }),
+            (6, TraceEvent::Mee { reads: 3, cycles: 9 }),
+            (7, TraceEvent::MacCheck { scope: MacScope::CounterBlock, ok: true }),
+            (8, TraceEvent::Crypto { kind: CryptoKind::Hash, ops: 2, cycles: 80 }),
+            (9, TraceEvent::Interference { extra_cycles: 7, gap_cycles: 0 }),
+        ]);
+        let (body, _) = trace_jsonl(&[(0, &log)]);
+        for line in body.lines() {
+            let v = Json::parse(line).expect("row parses");
+            assert!(v.get("ev").and_then(Json::as_str).is_some(), "{line}");
+            assert!(v.get("seq").and_then(Json::as_u64).is_some(), "{line}");
+            assert!(v.get("ts").and_then(Json::as_u64).is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn chrome_export_marks_durations_and_instants() {
+        let log = log_with(&[
+            (100, TraceEvent::WriteDone { cycles: 40 }),
+            (101, TraceEvent::ProbeIssued { block: 3 }),
+        ]);
+        let doc = chrome_trace(&[(2, &log)]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        // Completion at 100 with dur 40 starts the slice at 60.
+        assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(60));
+        assert_eq!(events[0].get("dur").and_then(Json::as_u64), Some(40));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(events[1].get("tid").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end determinism of the tracing layer: a traced experiment
+//! must emit a byte-identical `.trace.jsonl` sidecar for any worker
+//! thread count, tracing must not perturb the simulation it observes,
+//! and an untraced run must leave no trace artifacts behind.
+
+use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_engine::config::SecureConfig;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::rng::SimRng;
+use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog, Tracer};
+
+const SEED: u64 = 0x7ACE_2026;
+const TRIALS: usize = 8;
+
+/// The shared per-trial workload, generic over the tracer so the
+/// traced and untraced runs execute the same monomorphized logic.
+fn trial_body<T: Tracer>(rng: &mut SimRng, mut mem: SecureMemory<T>) -> (u64, T) {
+    let core = CoreId(0);
+    let mut total_latency = 0u64;
+    for i in 0..40u8 {
+        let block = rng.below(256);
+        if rng.chance(0.4) {
+            mem.write_back(core, block, [i; 64]).unwrap();
+        } else {
+            total_latency += mem.read(core, block).unwrap().latency.as_u64();
+        }
+    }
+    mem.fence();
+    (total_latency, mem.into_tracer())
+}
+
+fn small_config() -> SecureConfig {
+    let mut cfg = SecureConfig::sct(64);
+    cfg.sim = metaleak_sim::config::SimConfig::small();
+    cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
+    cfg
+}
+
+fn run_traced(name: &str, threads: usize) -> (String, String, Vec<u64>) {
+    let exp = Experiment::new(name, SEED).with_threads(threads);
+    let results: Vec<(u64, TraceLog)> = exp.run_trials(TRIALS, |rng, _| {
+        let mem = SecureMemory::with_tracer(small_config(), RingTracer::new(4096));
+        let (latency, tracer) = trial_body(rng, mem);
+        (latency, tracer.into_log())
+    });
+    let latencies: Vec<u64> = results.iter().map(|(l, _)| *l).collect();
+    let trials: Vec<Trial> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (latency, log))| Trial::new(i).field("total_latency", latency).with_trace(log))
+        .collect();
+    let report = exp.finish(&trials);
+    let trace = std::fs::read_to_string(report.trace_jsonl.expect("trace sidecar"))
+        .expect("read trace jsonl");
+    let jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
+    (trace, jsonl, latencies)
+}
+
+fn run_untraced(name: &str) -> (Option<std::path::PathBuf>, Vec<u64>) {
+    let exp = Experiment::new(name, SEED).with_threads(4);
+    let results: Vec<u64> = exp.run_trials(TRIALS, |rng, _| {
+        let mem = SecureMemory::new(small_config());
+        let (latency, NullTracer) = trial_body(rng, mem);
+        latency
+    });
+    let trials: Vec<Trial> = results
+        .iter()
+        .enumerate()
+        .map(|(i, &latency)| Trial::new(i).field("total_latency", latency))
+        .collect();
+    let report = exp.finish(&trials);
+    (report.trace_jsonl, results)
+}
+
+#[test]
+fn trace_sidecar_is_byte_identical_across_thread_counts() {
+    let (trace_1, jsonl_1, _) = run_traced("trace_det_t1", 1);
+    let (trace_8, jsonl_8, _) = run_traced("trace_det_t8", 8);
+    assert!(!trace_1.is_empty());
+    assert_eq!(trace_1, trace_8, "trace sidecar must not depend on the worker count");
+    assert_eq!(jsonl_1, jsonl_8, "traced JSONL rows must not depend on the worker count");
+    // Every trace row belongs to a trial and carries the event schema.
+    for line in trace_1.lines().take(50) {
+        assert!(line.starts_with("{\"trial\":"), "row was: {line}");
+        assert!(line.contains("\"ev\":"), "row was: {line}");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let (_, _, traced_latencies) = run_traced("trace_det_obs", 4);
+    let (trace_path, untraced_latencies) = run_untraced("trace_det_null");
+    assert_eq!(
+        traced_latencies, untraced_latencies,
+        "RingTracer and NullTracer runs must observe identical simulated latencies"
+    );
+    assert!(trace_path.is_none(), "untraced run must not emit a trace sidecar");
+}
+
+#[test]
+fn untraced_rows_match_traced_rows_minus_trace_fields() {
+    let (_, traced_jsonl, _) = run_traced("trace_det_rows_t", 2);
+    let exp = Experiment::new("trace_det_rows_u", SEED).with_threads(2);
+    let results: Vec<u64> = exp.run_trials(TRIALS, |rng, _| {
+        let (latency, NullTracer) = trial_body(rng, SecureMemory::new(small_config()));
+        latency
+    });
+    let trials: Vec<Trial> = results
+        .iter()
+        .enumerate()
+        .map(|(i, &latency)| Trial::new(i).field("total_latency", latency))
+        .collect();
+    let report = exp.finish(&trials);
+    let untraced_jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
+    // Stripping the two trace summary fields from the traced rows must
+    // recover the untraced rows byte for byte: tracing adds, never
+    // alters.
+    let stripped: String = traced_jsonl
+        .lines()
+        .map(|line| {
+            let line = line.split(",\"trace_events\":").next().unwrap_or(line);
+            format!("{line}}}\n")
+        })
+        .collect();
+    assert_eq!(stripped, untraced_jsonl);
+}

@@ -9,6 +9,7 @@ use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// Per-symbol observation (the Figure 14 trace).
 #[derive(Debug, Clone)]
@@ -104,8 +105,8 @@ impl CovertChannelC {
     /// # Errors
     /// Propagates planning failures (level 0, SGX-wide counters, tiny
     /// subtrees).
-    pub fn new(
-        mem: &SecureMemory,
+    pub fn new<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
         spy_core: CoreId,
         trojan_core: CoreId,
         level: u8,
@@ -133,7 +134,11 @@ impl CovertChannelC {
     /// One symbol window: the trojan encodes `s` as `s` writes, then
     /// the spy bumps until the overflow spike re-arms the channel.
     /// Assumes the counter is in the post-overflow state (value 1).
-    fn send_symbol(&mut self, mem: &mut SecureMemory, s: u64) -> Result<SymbolRecord, AttackError> {
+    fn send_symbol<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        s: u64,
+    ) -> Result<SymbolRecord, AttackError> {
         let max = self.spy.counter_max();
         // Trojan encodes the symbol as s writes.
         for _ in 0..s {
@@ -167,9 +172,9 @@ impl CovertChannelC {
     /// failures. The raw channel has no redundancy — the first
     /// disturbed window aborts; see
     /// [`CovertChannelC::transmit_framed`].
-    pub fn transmit(
+    pub fn transmit<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         symbols: &[u64],
     ) -> Result<CovertOutcomeC, AttackError> {
         let start = mem.now();
@@ -199,9 +204,9 @@ impl CovertChannelC {
     /// # Errors
     /// Only permanent errors abort (planning, parameters, exhausted
     /// re-arm retries); transient window failures are absorbed.
-    pub fn transmit_framed(
+    pub fn transmit_framed<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         payload: &[bool],
         codec: &FrameCodec,
         policy: &RetryPolicy,

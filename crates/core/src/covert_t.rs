@@ -10,6 +10,7 @@ use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::{TraceEvent, Tracer};
 
 /// Per-bit observation for trace rendering (Figure 11).
 #[derive(Debug, Clone, Copy)]
@@ -116,8 +117,8 @@ impl CovertChannelT {
     /// # Errors
     /// Propagates monitor-planning failures, or fails if no page with a
     /// differing boundary set exists.
-    pub fn new(
-        mem: &mut SecureMemory,
+    pub fn new<Tr: Tracer>(
+        mem: &mut SecureMemory<Tr>,
         spy_core: CoreId,
         trojan_core: CoreId,
         level: u8,
@@ -129,7 +130,7 @@ impl CovertChannelT {
         // parents each monitor keeps evicted) must be mutually avoided
         // by the other monitor's eviction drivers.
         let geometry = mem.tree().geometry().clone();
-        let monitored_nodes = |mem: &SecureMemory, block: u64| {
+        let monitored_nodes = |mem: &SecureMemory<Tr>, block: u64| {
             let cb = mem.counter_block_of(block);
             let node = geometry.ancestor_at(cb, level);
             let mut v = vec![node];
@@ -179,7 +180,11 @@ impl CovertChannelT {
         &self.tx
     }
 
-    fn trojan_access(mem: &mut SecureMemory, core: CoreId, block: u64) -> Result<(), AttackError> {
+    fn trojan_access<Tr: Tracer>(
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+        block: u64,
+    ) -> Result<(), AttackError> {
         mem.flush_block(block);
         mem.read(core, block)?;
         Ok(())
@@ -187,7 +192,11 @@ impl CovertChannelT {
 
     /// One bit window: spy evicts both shared nodes, the trojan encodes
     /// the bit and marks the boundary, the spy reloads both.
-    fn transmit_one(&self, mem: &mut SecureMemory, bit: bool) -> Result<BitRecord, AttackError> {
+    fn transmit_one<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        bit: bool,
+    ) -> Result<BitRecord, AttackError> {
         // Spy: mEvict both shared nodes.
         self.tx.evict(mem, self.spy_core)?;
         self.boundary.evict(mem, self.spy_core)?;
@@ -199,8 +208,13 @@ impl CovertChannelT {
         // Spy: mReload both.
         let tx_probe = self.tx.probe(mem, self.spy_core)?;
         let boundary_probe = self.boundary.probe(mem, self.spy_core)?;
+        let decoded = self.tx.classifier().is_fast(tx_probe.latency);
+        mem.trace(TraceEvent::SampleClassified {
+            class: decoded as u64,
+            value: tx_probe.latency.as_u64(),
+        });
         Ok(BitRecord {
-            bit: self.tx.classifier().is_fast(tx_probe.latency),
+            bit: decoded,
             tx_latency: tx_probe.latency,
             boundary_latency: boundary_probe.latency,
             boundary_ok: self.boundary.classifier().is_fast(boundary_probe.latency),
@@ -215,9 +229,9 @@ impl CovertChannelT {
     /// aborts the transmission with a transient error. See
     /// [`CovertChannelT::transmit_framed`] for the fault-tolerant
     /// variant.
-    pub fn transmit(
+    pub fn transmit<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         bits: &[bool],
     ) -> Result<CovertOutcome, AttackError> {
         let start = mem.now();
@@ -239,9 +253,9 @@ impl CovertChannelT {
     /// # Errors
     /// Only permanent errors abort (planning, parameters); transient
     /// window failures are absorbed by the framing.
-    pub fn transmit_framed(
+    pub fn transmit_framed<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         payload: &[bool],
         codec: &FrameCodec,
     ) -> Result<FramedOutcome, AttackError> {

@@ -8,6 +8,7 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// One dual-monitor observation window.
 #[derive(Debug, Clone, Copy)]
@@ -25,7 +26,11 @@ pub struct WindowSample {
 /// Finds a victim-partner block whose monitored tree node (at `level`)
 /// lives in a different tree-cache set than `base_block`'s — required
 /// so two monitors do not thrash each other.
-pub fn find_partner_block(mem: &SecureMemory, base_block: u64, level: u8) -> Option<u64> {
+pub fn find_partner_block<Tr: Tracer>(
+    mem: &SecureMemory<Tr>,
+    base_block: u64,
+    level: u8,
+) -> Option<u64> {
     let geometry = mem.tree().geometry();
     let base_cb = mem.counter_block_of(base_block);
     let base_node = geometry.ancestor_at(base_cb, level);
@@ -61,15 +66,15 @@ impl DualPageMonitor {
     /// # Errors
     /// [`AttackError::NoProbeBlock`] when the nodes collide, plus any
     /// monitor-planning failure.
-    pub fn new(
-        mem: &mut SecureMemory,
+    pub fn new<Tr: Tracer>(
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         block_a: u64,
         block_b: u64,
         level: u8,
     ) -> Result<Self, AttackError> {
         let geometry = mem.tree().geometry().clone();
-        let nodes_of = |mem: &SecureMemory, block: u64| -> Vec<NodeId> {
+        let nodes_of = |mem: &SecureMemory<Tr>, block: u64| -> Vec<NodeId> {
             let cb = mem.counter_block_of(block);
             let node = geometry.ancestor_at(cb, level);
             let mut v = vec![node];
@@ -85,7 +90,8 @@ impl DualPageMonitor {
         if a_nodes[0] == b_nodes[0] {
             return Err(AttackError::NoProbeBlock);
         }
-        let set_of = |mem: &SecureMemory, n: NodeId| mem.mcaches().tree_set_index(mem.node_key(n));
+        let set_of =
+            |mem: &SecureMemory<Tr>, n: NodeId| mem.mcaches().tree_set_index(mem.node_key(n));
         if set_of(mem, a_nodes[0]) == set_of(mem, b_nodes[0]) {
             return Err(AttackError::NoProbeBlock);
         }
@@ -110,11 +116,11 @@ impl DualPageMonitor {
     /// # Errors
     /// Transient [`AttackError::MeasurementInvalidated`] when either
     /// monitor's round was disturbed by interference.
-    pub fn window(
+    pub fn window<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
-        victim_action: impl FnOnce(&mut SecureMemory),
+        victim_action: impl FnOnce(&mut SecureMemory<Tr>),
     ) -> Result<WindowSample, AttackError> {
         self.a.evict(mem, core)?;
         self.b.evict(mem, core)?;
@@ -135,7 +141,7 @@ impl DualPageMonitor {
 /// enclave exits push victim state out of the private caches). This is
 /// victim-side code, not the attack runtime: an integrity abort here
 /// crashes the victim, so the panic models the right failure domain.
-pub fn victim_touch(mem: &mut SecureMemory, core: CoreId, block: u64) {
+pub fn victim_touch<Tr: Tracer>(mem: &mut SecureMemory<Tr>, core: CoreId, block: u64) {
     mem.flush_block(block);
     mem.read(core, block).expect("victim aborts on integrity violation");
 }

@@ -19,6 +19,7 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// A rotating pool of attacker write blocks under a chosen subtree.
 /// Rotation spreads tree-counter increments across lower-level slots so
@@ -39,8 +40,8 @@ impl Bumper {
     ///
     /// # Errors
     /// Fails if the subtree has no usable counter blocks.
-    pub fn plan(
-        mem: &SecureMemory,
+    pub fn plan<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
         child: NodeId,
         chain_levels: u8,
         exclude_cbs: &[u64],
@@ -70,7 +71,11 @@ impl Bumper {
     /// # Errors
     /// Transient [`AttackError::MeasurementInvalidated`] when the
     /// engine rejects the write.
-    pub fn bump(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn bump<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         let block = self.blocks[self.next];
         self.next = (self.next + 1) % self.blocks.len();
         let t0 = mem.now();
@@ -123,7 +128,11 @@ impl MetaLeakC {
     ///   too wide to overflow in a bounded number of writes (e.g. the
     ///   56-bit monolithic counters of SGX, §VIII-B);
     /// - planning errors when the subtree has no attacker blocks.
-    pub fn new(mem: &SecureMemory, victim_block: u64, level: u8) -> Result<Self, AttackError> {
+    pub fn new<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
+        victim_block: u64,
+        level: u8,
+    ) -> Result<Self, AttackError> {
         if level == 0 {
             return Err(AttackError::LevelNotShareable { level });
         }
@@ -147,7 +156,11 @@ impl MetaLeakC {
     /// Computes the detection threshold from public architecture
     /// parameters: halfway between the busy window of a `child`-level
     /// overflow (spurious) and a `target`-level overflow.
-    fn overflow_threshold(mem: &SecureMemory, target: NodeId, child: NodeId) -> Cycles {
+    fn overflow_threshold<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
+        target: NodeId,
+        child: NodeId,
+    ) -> Cycles {
         let duration = |node: NodeId| {
             let geometry = mem.tree().geometry();
             let dram = mem.config().sim.dram;
@@ -194,7 +207,11 @@ impl MetaLeakC {
     /// Transient [`AttackError::MeasurementInvalidated`] when the probe
     /// read is rejected or its timing was invalidated by a preemption
     /// gap (the wait-time signal is meaningless across a gap).
-    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn probe<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         mem.flush_block(self.probe_block);
         let r = mem.read(core, self.probe_block)?;
         if r.invalidated {
@@ -207,9 +224,9 @@ impl MetaLeakC {
     ///
     /// # Errors
     /// Propagates bump/probe failures (transient).
-    pub fn bump_and_probe(
+    pub fn bump_and_probe<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
     ) -> Result<OverflowProbe, AttackError> {
         self.bumper.bump(mem, core)?;
@@ -224,7 +241,11 @@ impl MetaLeakC {
     /// # Errors
     /// [`AttackError::OverflowImpractical`] if no overflow is observed
     /// within `2 * counter_max + 4` writes.
-    pub fn reset(&mut self, mem: &mut SecureMemory, core: CoreId) -> Result<u64, AttackError> {
+    pub fn reset<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<u64, AttackError> {
         let cap = 2 * self.counter_max + 4;
         for i in 1..=cap {
             if self.bump_and_probe(mem, core)?.overflowed {
@@ -240,9 +261,9 @@ impl MetaLeakC {
     /// # Errors
     /// [`AttackError::InvalidParameter`] if `value` is 0 or exceeds the
     /// counter maximum; propagates [`MetaLeakC::reset`] failures.
-    pub fn preset(
+    pub fn preset<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         value: u64,
     ) -> Result<(), AttackError> {
@@ -262,9 +283,9 @@ impl MetaLeakC {
     ///
     /// # Errors
     /// [`AttackError::OverflowImpractical`] if the cap is exhausted.
-    pub fn writes_until_overflow(
+    pub fn writes_until_overflow<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
     ) -> Result<u64, AttackError> {
         let cap = self.counter_max + 2;
@@ -283,11 +304,11 @@ impl MetaLeakC {
     ///
     /// # Errors
     /// Propagates preset/overflow failures.
-    pub fn detect_write(
+    pub fn detect_write<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
-        victim_action: impl FnOnce(&mut SecureMemory),
+        victim_action: impl FnOnce(&mut SecureMemory<Tr>),
     ) -> Result<bool, AttackError> {
         // Preset to M - 1: one victim bump saturates (M), then one
         // attacker bump overflows.
@@ -317,12 +338,12 @@ impl MetaLeakC {
     /// # Errors
     /// [`AttackError::InvalidParameter`] if `x_max` is 0 or does not
     /// fit the counter; propagates preset/overflow failures.
-    pub fn count_victim_writes(
+    pub fn count_victim_writes<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         x_max: u64,
-        victim_action: impl FnOnce(&mut SecureMemory),
+        victim_action: impl FnOnce(&mut SecureMemory<Tr>),
     ) -> Result<u64, AttackError> {
         if x_max < 1 || x_max >= self.counter_max {
             return Err(AttackError::InvalidParameter { what: "x_max out of range" });
@@ -341,7 +362,13 @@ impl MetaLeakC {
 /// forced-writeback primitive the attacker uses). Victim-side code: an
 /// integrity abort crashes the victim, so the panic models the right
 /// failure domain.
-pub fn victim_write(mem: &mut SecureMemory, core: CoreId, block: u64, chain_levels: u8, value: u8) {
+pub fn victim_write<Tr: Tracer>(
+    mem: &mut SecureMemory<Tr>,
+    core: CoreId,
+    block: u64,
+    chain_levels: u8,
+    value: u8,
+) {
     mem.write_back(core, block, [value; 64]).expect("victim aborts on integrity violation");
     mem.fence();
     let cb = mem.counter_block_of(block);

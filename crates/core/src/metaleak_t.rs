@@ -12,6 +12,7 @@ use metaleak_meta::geometry::NodeId;
 use metaleak_meta::tree::TreeKind;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// One monitoring observation.
 #[derive(Debug, Clone, Copy)]
@@ -44,8 +45,8 @@ impl MetaLeakT {
     /// - [`AttackError::LevelNotShareable`] for SGX L0 (one leaf per
     ///   page — never shared across domains, §VIII-B);
     /// - planning errors when the region is too small.
-    pub fn new(
-        mem: &mut SecureMemory,
+    pub fn new<Tr: Tracer>(
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         victim_block: u64,
         level: u8,
@@ -60,8 +61,8 @@ impl MetaLeakT {
     ///
     /// # Errors
     /// Same as [`MetaLeakT::new`].
-    pub fn with_avoid(
-        mem: &mut SecureMemory,
+    pub fn with_avoid<Tr: Tracer>(
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         victim_block: u64,
         level: u8,
@@ -114,7 +115,7 @@ impl MetaLeakT {
 
     /// Nodes a cooperating attack must avoid reloading: the target and
     /// the parent this monitor keeps evicted for band separation.
-    pub fn avoid_nodes(&self, mem: &SecureMemory) -> Vec<NodeId> {
+    pub fn avoid_nodes<Tr: Tracer>(&self, mem: &SecureMemory<Tr>) -> Vec<NodeId> {
         let geometry = mem.tree().geometry();
         let mut v = vec![self.target];
         if let Some(p) = geometry.parent(self.target) {
@@ -149,9 +150,9 @@ impl MetaLeakT {
     /// [`AttackError::CalibrationFailed`] when the two bands do not
     /// separate; [`AttackError::RetriesExhausted`] when interference
     /// never let a round complete.
-    pub fn calibrate(
+    pub fn calibrate<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         rounds: usize,
     ) -> Result<(), AttackError> {
@@ -188,7 +189,11 @@ impl MetaLeakT {
     /// # Errors
     /// Transient [`AttackError::MeasurementInvalidated`] when a drive
     /// access is rejected.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn evict<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         self.evictor.evict(mem, core)
     }
 
@@ -197,7 +202,11 @@ impl MetaLeakT {
     /// # Errors
     /// Transient [`AttackError::MeasurementInvalidated`] when the
     /// sample was invalidated or dropped.
-    pub fn probe(&self, mem: &mut SecureMemory, core: CoreId) -> Result<ProbeSample, AttackError> {
+    pub fn probe<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<ProbeSample, AttackError> {
         self.probe.reload(mem, core)
     }
 
@@ -209,11 +218,11 @@ impl MetaLeakT {
     /// Transient [`AttackError::MeasurementInvalidated`] when the round
     /// was disturbed; see [`MetaLeakT::monitor_resilient`] for the
     /// self-healing variant.
-    pub fn monitor(
+    pub fn monitor<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
-        victim_action: impl FnOnce(&mut SecureMemory),
+        victim_action: impl FnOnce(&mut SecureMemory<Tr>),
     ) -> Result<MonitorSample, AttackError> {
         let mut round = self.evictor.evict(mem, core)?;
         victim_action(mem);
@@ -236,13 +245,13 @@ impl MetaLeakT {
     /// # Errors
     /// [`AttackError::RetriesExhausted`] when interference never let a
     /// step complete; recalibration errors propagate.
-    pub fn monitor_resilient(
+    pub fn monitor_resilient<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         guard: &mut DriftGuard,
         policy: &RetryPolicy,
-        victim_action: impl FnOnce(&mut SecureMemory),
+        victim_action: impl FnOnce(&mut SecureMemory<Tr>),
     ) -> Result<MonitorSample, AttackError> {
         let mut round = self.evictor.evict_with_retry(mem, core, policy)?;
         victim_action(mem);
@@ -276,9 +285,9 @@ impl MetaLeakT {
     ///
     /// # Errors
     /// Propagates disturbed rounds; see [`MetaLeakT::monitor`].
-    pub fn measure_interval(
+    pub fn measure_interval<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         rounds: usize,
     ) -> Result<f64, AttackError> {
@@ -293,7 +302,7 @@ impl MetaLeakT {
     /// Bytes of victim data covered by the monitored node (the spatial
     /// coverage of Figure 12: 32 KB at the SCT leaf, growing
     /// exponentially with level).
-    pub fn coverage_bytes(&self, mem: &SecureMemory) -> u64 {
+    pub fn coverage_bytes<Tr: Tracer>(&self, mem: &SecureMemory<Tr>) -> u64 {
         let r = mem.tree().geometry().attached_under(self.target);
         (r.end - r.start) * sharing::blocks_per_counter_block(mem) * 64
     }

@@ -13,6 +13,7 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// Evicts one counter block from the counter cache by accessing
 /// attacker-owned data blocks whose counter blocks map to the same
@@ -33,7 +34,11 @@ impl CounterEvictor {
     /// # Errors
     /// Fails when the protected region is too small to supply enough
     /// conflicting counter blocks.
-    pub fn plan(mem: &SecureMemory, target_cb: u64, avoid: &[NodeId]) -> Result<Self, AttackError> {
+    pub fn plan<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
+        target_cb: u64,
+        avoid: &[NodeId],
+    ) -> Result<Self, AttackError> {
         let sets = {
             // Derive the set count from two congruent indices.
             mem_counter_sets(mem)
@@ -72,7 +77,11 @@ impl CounterEvictor {
     /// # Errors
     /// [`AttackError::MeasurementInvalidated`] when the engine rejects
     /// a drive access (interference disturbed the walk); transient.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn evict<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.blocks {
             spent += mem.flush_block(b);
@@ -104,7 +113,7 @@ impl TreeSetEvictor {
     /// Fails when too few conflicting leaves exist outside the target's
     /// subtree (the protected region is too small relative to the tree
     /// cache).
-    pub fn plan(mem: &SecureMemory, target: NodeId) -> Result<Self, AttackError> {
+    pub fn plan<Tr: Tracer>(mem: &SecureMemory<Tr>, target: NodeId) -> Result<Self, AttackError> {
         Self::plan_avoiding(mem, target, &[])
     }
 
@@ -115,8 +124,8 @@ impl TreeSetEvictor {
     ///
     /// # Errors
     /// Same as [`TreeSetEvictor::plan`].
-    pub fn plan_avoiding(
-        mem: &SecureMemory,
+    pub fn plan_avoiding<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
         target: NodeId,
         avoid: &[NodeId],
     ) -> Result<Self, AttackError> {
@@ -161,7 +170,11 @@ impl TreeSetEvictor {
     /// # Errors
     /// [`AttackError::MeasurementInvalidated`] when the engine rejects
     /// a drive access (interference disturbed the walk); transient.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn evict<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.driver_blocks {
             spent += mem.flush_block(b);
@@ -201,8 +214,8 @@ impl MetaEvictor {
     ///
     /// # Errors
     /// Propagates planning failures of the component evictors.
-    pub fn plan(
-        mem: &SecureMemory,
+    pub fn plan<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
         target: NodeId,
         path_cbs: &[u64],
         extra_avoid: &[NodeId],
@@ -250,7 +263,11 @@ impl MetaEvictor {
     /// # Errors
     /// Propagates transient drive-access failures of the component
     /// evictors; see [`MetaEvictor::evict_with_retry`].
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn evict<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for c in &self.counters {
             spent += c.evict(mem, core)?;
@@ -268,9 +285,9 @@ impl MetaEvictor {
     ///
     /// # Errors
     /// [`AttackError::RetriesExhausted`] when every attempt failed.
-    pub fn evict_with_retry(
+    pub fn evict_with_retry<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         policy: &crate::resilience::RetryPolicy,
     ) -> Result<Cycles, AttackError> {
@@ -297,7 +314,11 @@ impl VolumeEvictor {
     ///
     /// # Errors
     /// Fails when the region cannot supply `volume` suitable leaves.
-    pub fn plan(mem: &SecureMemory, volume: usize, avoid: &[NodeId]) -> Result<Self, AttackError> {
+    pub fn plan<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
+        volume: usize,
+        avoid: &[NodeId],
+    ) -> Result<Self, AttackError> {
         let geometry = mem.tree().geometry();
         let forbidden: Vec<core::ops::Range<u64>> =
             avoid.iter().map(|&n| geometry.attached_under(n)).collect();
@@ -333,7 +354,11 @@ impl VolumeEvictor {
     /// # Errors
     /// [`AttackError::MeasurementInvalidated`] when the engine rejects
     /// a flood access (interference disturbed the walk); transient.
-    pub fn evict(&self, mem: &mut SecureMemory, core: CoreId) -> Result<Cycles, AttackError> {
+    pub fn evict<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<Cycles, AttackError> {
         let mut spent = Cycles::ZERO;
         for &b in &self.blocks {
             spent += mem.flush_block(b);
@@ -345,7 +370,7 @@ impl VolumeEvictor {
 
 /// Number of counter-cache sets (derived; the cache does not expose it
 /// directly for counters).
-fn mem_counter_sets(mem: &SecureMemory) -> u64 {
+fn mem_counter_sets<Tr: Tracer>(mem: &SecureMemory<Tr>) -> u64 {
     // Probe set indices of consecutive counter blocks until they wrap.
     let caches = mem.mcaches();
     let s0 = caches.counter_set_index(0);

@@ -7,6 +7,7 @@ use metaleak_engine::secmem::{AccessPath, SecureMemory};
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
 use metaleak_sim::interference::SampleFate;
+use metaleak_sim::trace::{TraceEvent, Tracer};
 
 /// One probe observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +60,13 @@ impl Probe {
     /// the interference layer dropped the sample before the attacker
     /// could record it. Both are transient — see
     /// [`Probe::reload_with_retry`].
-    pub fn reload(&self, mem: &mut SecureMemory, core: CoreId) -> Result<ProbeSample, AttackError> {
+    pub fn reload<Tr: Tracer>(
+        &self,
+        mem: &mut SecureMemory<Tr>,
+        core: CoreId,
+    ) -> Result<ProbeSample, AttackError> {
         mem.flush_block(self.block);
+        mem.trace(TraceEvent::ProbeIssued { block: self.block });
         let r = mem.read(core, self.block)?;
         if r.invalidated {
             return Err(AttackError::MeasurementInvalidated);
@@ -86,9 +92,9 @@ impl Probe {
     /// # Errors
     /// [`AttackError::RetriesExhausted`] when every attempt was
     /// invalidated; permanent errors propagate unchanged.
-    pub fn reload_with_retry(
+    pub fn reload_with_retry<Tr: Tracer>(
         &self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
         policy: &RetryPolicy,
     ) -> Result<ProbeSample, AttackError> {

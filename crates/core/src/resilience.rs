@@ -16,6 +16,7 @@ use crate::error::AttackError;
 use crate::timing::{split_two_clusters, ThresholdClassifier};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 // ---------------------------------------------------------------------
 // Bounded retry with backoff.
@@ -54,10 +55,10 @@ impl RetryPolicy {
     /// The first permanent error, or
     /// [`AttackError::RetriesExhausted`] after `max_attempts` transient
     /// failures.
-    pub fn run<T>(
+    pub fn run<Tr: Tracer, T>(
         &self,
-        mem: &mut SecureMemory,
-        mut op: impl FnMut(&mut SecureMemory) -> Result<T, AttackError>,
+        mem: &mut SecureMemory<Tr>,
+        mut op: impl FnMut(&mut SecureMemory<Tr>) -> Result<T, AttackError>,
     ) -> Result<T, AttackError> {
         let attempts = self.max_attempts.max(1);
         let mut wait = self.backoff;

@@ -5,9 +5,10 @@
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::BLOCKS_PER_PAGE;
+use metaleak_sim::trace::Tracer;
 
 /// The ancestor tree node of data block `index` at `level`.
-pub fn tree_node_of(mem: &SecureMemory, index: u64, level: u8) -> NodeId {
+pub fn tree_node_of<Tr: Tracer>(mem: &SecureMemory<Tr>, index: u64, level: u8) -> NodeId {
     let cb = mem.counter_block_of(index);
     mem.tree().geometry().ancestor_at(cb, level)
 }
@@ -15,8 +16,8 @@ pub fn tree_node_of(mem: &SecureMemory, index: u64, level: u8) -> NodeId {
 /// Data blocks (one per counter block) whose verification path passes
 /// through `node`, excluding those in `exclude_cbs` — the pool from
 /// which an attacker picks co-located probe blocks.
-pub fn blocks_under_node(
-    mem: &SecureMemory,
+pub fn blocks_under_node<Tr: Tracer>(
+    mem: &SecureMemory<Tr>,
     node: NodeId,
     count: usize,
     exclude_cbs: &[u64],
@@ -29,7 +30,7 @@ pub fn blocks_under_node(
 
 /// How many data blocks one counter block covers under the configured
 /// scheme (a page for split counters, 8 blocks for monolithic/SGX).
-pub fn blocks_per_counter_block(mem: &SecureMemory) -> u64 {
+pub fn blocks_per_counter_block<Tr: Tracer>(mem: &SecureMemory<Tr>) -> u64 {
     use metaleak_meta::enc_counter::CounterScheme;
     match mem.counters().scheme() {
         CounterScheme::Split => BLOCKS_PER_PAGE as u64,
@@ -52,7 +53,11 @@ pub fn sgx_sharing_pages(p: u64, level: u8) -> core::ops::Range<u64> {
 /// block (no data/counter sharing, only tree sharing — the MetaLeak-T
 /// requirement). Returns `None` if the sharing set has no other member
 /// (e.g. SGX L0, where one leaf maps to one page, §VIII-B).
-pub fn pick_probe_block(mem: &SecureMemory, victim_index: u64, level: u8) -> Option<u64> {
+pub fn pick_probe_block<Tr: Tracer>(
+    mem: &SecureMemory<Tr>,
+    victim_index: u64,
+    level: u8,
+) -> Option<u64> {
     let victim_cb = mem.counter_block_of(victim_index);
     let node = tree_node_of(mem, victim_index, level);
     let geometry = mem.tree().geometry();

@@ -7,20 +7,21 @@
 //! attacker's hook runs before/after every step.
 
 use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::trace::Tracer;
 
 /// Interleaves victim steps with attacker hooks.
 ///
 /// `pre` runs before each step (e.g. mEvict), `post` runs after it
 /// (e.g. mReload + decode). The index of the current step is passed to
 /// both hooks.
-pub fn run_stepped<S>(
-    mem: &mut SecureMemory,
+pub fn run_stepped<Tr: Tracer, S>(
+    mem: &mut SecureMemory<Tr>,
     steps: impl IntoIterator<Item = S>,
-    mut pre: impl FnMut(&mut SecureMemory, usize),
-    mut post: impl FnMut(&mut SecureMemory, usize),
+    mut pre: impl FnMut(&mut SecureMemory<Tr>, usize),
+    mut post: impl FnMut(&mut SecureMemory<Tr>, usize),
 ) -> usize
 where
-    S: FnOnce(&mut SecureMemory),
+    S: FnOnce(&mut SecureMemory<Tr>),
 {
     let mut n = 0;
     for (i, step) in steps.into_iter().enumerate() {

@@ -11,6 +11,7 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::geometry::NodeId;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
 
 /// A pool of attacker blocks used to pressure the write queue.
 #[derive(Debug, Clone)]
@@ -23,7 +24,11 @@ impl WriteQueueFlusher {
     /// Plans a flusher whose blocks avoid `avoid_subtree` (so the
     /// redundant writes never touch the monitored counters). `pool`
     /// blocks are rotated to keep their own counters far from overflow.
-    pub fn plan(mem: &SecureMemory, avoid_subtree: Option<NodeId>, pool: usize) -> Self {
+    pub fn plan<Tr: Tracer>(
+        mem: &SecureMemory<Tr>,
+        avoid_subtree: Option<NodeId>,
+        pool: usize,
+    ) -> Self {
         let geometry = mem.tree().geometry();
         let forbidden = avoid_subtree.map(|n| geometry.attached_under(n));
         let per_cb = crate::sharing::blocks_per_counter_block(mem);
@@ -42,9 +47,9 @@ impl WriteQueueFlusher {
     /// # Errors
     /// Transient [`AttackError::MeasurementInvalidated`] when the
     /// engine rejects a redundant write.
-    pub fn flush(
+    pub fn flush<Tr: Tracer>(
         &mut self,
-        mem: &mut SecureMemory,
+        mem: &mut SecureMemory<Tr>,
         core: CoreId,
     ) -> Result<(usize, Cycles), AttackError> {
         let t0 = mem.now();

@@ -19,7 +19,7 @@
 //! assert_eq!(engine.decrypt_block(&ciphertext, 0x40, 1), plaintext);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aes;
 pub mod engine;

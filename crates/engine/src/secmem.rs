@@ -19,6 +19,9 @@ use metaleak_sim::hierarchy::{CacheHierarchy, HitLevel};
 use metaleak_sim::interference::{FaultKind, InterferenceEngine, Perturbation};
 use metaleak_sim::memctl::{DrainReport, MemoryController};
 use metaleak_sim::stats::Counters;
+use metaleak_sim::trace::{
+    CryptoKind, MacScope, MemRegion, NullTracer, PathClass, TraceEvent, Tracer,
+};
 use std::collections::HashMap;
 
 /// Which of the Figure-5 access paths a memory operation took.
@@ -47,6 +50,20 @@ impl AccessPath {
     /// Convenience: true for any path that touched the integrity tree.
     pub fn walked_tree(&self) -> bool {
         matches!(self, AccessPath::TreeWalk { .. })
+    }
+
+    /// The engine-independent [`PathClass`] used in trace events.
+    pub fn class(&self) -> PathClass {
+        match *self {
+            AccessPath::CacheHit(HitLevel::L1) => PathClass::CacheHit(1),
+            AccessPath::CacheHit(HitLevel::L2) => PathClass::CacheHit(2),
+            AccessPath::CacheHit(HitLevel::L3) => PathClass::CacheHit(3),
+            AccessPath::StoreForward => PathClass::StoreForward,
+            AccessPath::CounterHit => PathClass::CounterHit,
+            AccessPath::TreeWalk { loaded_levels, to_root } => {
+                PathClass::TreeWalk { loaded: loaded_levels, to_root }
+            }
+        }
     }
 }
 
@@ -108,6 +125,11 @@ impl std::error::Error for SecureMemError {}
 
 /// The secure memory engine.
 ///
+/// Generic over a [`Tracer`]: the default [`NullTracer`] compiles every
+/// instrumentation site away, while
+/// [`SecureMemory::with_tracer`] + `metaleak_sim::trace::RingTracer`
+/// records a cycle-level event stream for `tracescan`.
+///
 /// ```
 /// use metaleak_engine::config::SecureConfig;
 /// use metaleak_engine::secmem::SecureMemory;
@@ -119,7 +141,8 @@ impl std::error::Error for SecureMemError {}
 /// assert_eq!(r.data, [9u8; 64]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct SecureMemory {
+pub struct SecureMemory<T: Tracer = NullTracer> {
+    tracer: T,
     config: SecureConfig,
     clock: Clock,
     hier: CacheHierarchy,
@@ -143,9 +166,17 @@ pub struct SecureMemory {
     pub stats: Counters,
 }
 
-impl SecureMemory {
-    /// Builds a secure memory from `config`.
+impl SecureMemory<NullTracer> {
+    /// Builds a secure memory from `config` with tracing compiled out.
     pub fn new(config: SecureConfig) -> Self {
+        Self::with_tracer(config, NullTracer)
+    }
+}
+
+impl<T: Tracer> SecureMemory<T> {
+    /// Builds a secure memory from `config` that records events into
+    /// `tracer` (recover it with [`SecureMemory::into_tracer`]).
+    pub fn with_tracer(config: SecureConfig, tracer: T) -> Self {
         let data_blocks = config.data_blocks();
         let enc = EncCounters::new(config.scheme, config.enc_widths, data_blocks);
         let counter_blocks = enc.counter_blocks();
@@ -169,6 +200,7 @@ impl SecureMemory {
             plan = plan.with(FaultKind::GaussianNoise { sd: config.sim.noise_sd });
         }
         SecureMemory {
+            tracer,
             interference: InterferenceEngine::new(plan),
             hier: CacheHierarchy::new(&config.sim),
             mc: MemoryController::new(config.sim.memctl, Dram::new(config.sim.dram)),
@@ -190,6 +222,27 @@ impl SecureMemory {
     // ------------------------------------------------------------------
     // Accessors used by attacks and experiments.
     // ------------------------------------------------------------------
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the engine, returning the tracer (to snapshot a
+    /// `RingTracer` into a `TraceLog` after a run).
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
+    /// Records `event` at the current simulated time. No-op (and fully
+    /// compiled out) under [`NullTracer`]; used by the attack layer to
+    /// mark probe issues and sample classifications.
+    #[inline]
+    pub fn trace(&mut self, event: TraceEvent) {
+        if T::ENABLED {
+            self.tracer.record(self.clock.now(), event);
+        }
+    }
 
     /// The configuration.
     pub fn config(&self) -> &SecureConfig {
@@ -300,7 +353,7 @@ impl SecureMemory {
         self.stats.bump("counter_writebacks");
         let now = self.clock.now();
         let addr = self.layout.counter_addr(cb);
-        self.mc.write_through(addr, now);
+        self.mc.write_through_traced(addr, now, &mut self.tracer);
         let bytes = self.enc.counter_block_bytes(cb);
         let update = self.tree.record_counter_writeback(cb, &bytes);
         let mac = self.current_cb_mac(cb);
@@ -346,7 +399,7 @@ impl SecureMemory {
             .expect("tree cache keys are node addresses");
         self.stats.bump("tree_writebacks");
         let now = self.clock.now();
-        self.mc.write_through(BlockAddr::new(node_key), now);
+        self.mc.write_through_traced(BlockAddr::new(node_key), now, &mut self.tracer);
         let update = self.tree.propagate_writeback(node);
         self.touch_tree_dirty(update.dirty);
         if let Some(ev) = update.overflow {
@@ -379,6 +432,15 @@ impl SecureMemory {
             self.mc.occupy_bank_of(self.layout.node_addr(node), until);
         }
         self.stats.add("tree_overflow_busy_cycles", duration.as_u64());
+        if T::ENABLED {
+            self.tracer.record(
+                now,
+                TraceEvent::TreeOverflow {
+                    nodes_reset: ev.nodes_reset,
+                    busy_cycles: duration.as_u64(),
+                },
+            );
+        }
     }
 
     /// Encryption-counter overflow (Algorithm 1 line 5): re-encrypt the
@@ -438,6 +500,16 @@ impl SecureMemory {
         }
         self.stats.add("reencrypt_blocks", group.len() as u64);
         self.stats.add("reencrypt_busy_cycles", duration.as_u64());
+        if T::ENABLED {
+            self.tracer.record(
+                now,
+                TraceEvent::CounterOverflow {
+                    rekey: ev.rekey,
+                    group_blocks: group.len() as u64,
+                    busy_cycles: duration.as_u64(),
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -490,7 +562,7 @@ impl SecureMemory {
         let mut latency = Cycles::ZERO;
 
         // 1. Data block from DRAM.
-        let data_read = self.mc.read(addr, now);
+        let data_read = self.mc.read_traced(addr, now, MemRegion::Data, &mut self.tracer);
         latency += data_read.latency;
         if data_read.forwarded {
             // Served from the write queue: the pending (plaintext-side)
@@ -511,12 +583,23 @@ impl SecureMemory {
             // Path-2: OTP generation overlapped with the data fetch;
             // only the MAC check is exposed.
             latency += Cycles::new(self.crypto.mac_latency());
+            if T::ENABLED {
+                self.tracer.record(
+                    now,
+                    TraceEvent::Crypto {
+                        kind: CryptoKind::Mac,
+                        ops: 1,
+                        cycles: self.crypto.mac_latency(),
+                    },
+                );
+            }
             AccessPath::CounterHit
         } else {
             // Path-3/4: fetch + verify the counter block.
             self.stats.bump("counter_fetches");
             let cb_addr = self.layout.counter_addr(cb);
-            let cb_read = self.mc.read(cb_addr, now + latency);
+            let cb_read =
+                self.mc.read_traced(cb_addr, now + latency, MemRegion::Counter, &mut self.tracer);
             latency += cb_read.latency + Cycles::new(self.config.mee_extra);
 
             // Verification walk (Algorithm 2) against cached tree state.
@@ -533,17 +616,65 @@ impl SecureMemory {
             let to_root = loaded_levels == self.tree.geometry().levels() - 1;
             for node in &walk.loaded {
                 let n_addr = self.layout.node_addr(*node);
-                let n_read = self.mc.read(n_addr, now + latency);
+                let n_read = self.mc.read_traced(
+                    n_addr,
+                    now + latency,
+                    MemRegion::TreeNode { level: node.level },
+                    &mut self.tracer,
+                );
                 latency += n_read.latency + Cycles::new(self.config.mee_extra);
+                if T::ENABLED {
+                    self.tracer.record(
+                        now + latency,
+                        TraceEvent::TreeWalkLevel { level: node.level, loaded: true },
+                    );
+                }
+            }
+            // MEE pipeline overhead: charged once per metadata read
+            // (counter block + each loaded node).
+            if T::ENABLED {
+                let mee_reads = 1 + loaded_levels as u32;
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::Mee {
+                        reads: mee_reads,
+                        cycles: self.config.mee_extra * mee_reads as u64,
+                    },
+                );
             }
             latency += Cycles::new(walk.hash_ops * self.crypto.hash_latency());
+            if T::ENABLED && walk.hash_ops > 0 {
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::Crypto {
+                        kind: CryptoKind::Hash,
+                        ops: walk.hash_ops as u32,
+                        cycles: walk.hash_ops * self.crypto.hash_latency(),
+                    },
+                );
+            }
             if !walk.ok {
                 return Err(SecureMemError::TamperDetected(TamperKind::TreeNode));
             }
             // Counter-block MAC check (freshness bound to leaf version).
             self.materialize_cb_mac(cb);
             latency += Cycles::new(self.crypto.mac_latency());
-            if self.cb_macs[&cb] != self.current_cb_mac(cb) {
+            let cb_mac_ok = self.cb_macs[&cb] == self.current_cb_mac(cb);
+            if T::ENABLED {
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::Crypto {
+                        kind: CryptoKind::Mac,
+                        ops: 1,
+                        cycles: self.crypto.mac_latency(),
+                    },
+                );
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::MacCheck { scope: MacScope::CounterBlock, ok: cb_mac_ok },
+                );
+            }
+            if !cb_mac_ok {
                 return Err(SecureMemError::TamperDetected(TamperKind::CounterMac));
             }
             // Fill loaded nodes into the tree cache (may cascade).
@@ -552,6 +683,24 @@ impl SecureMemory {
             }
             // OTP generation could not overlap the data fetch.
             latency += Cycles::new(self.crypto.pad_latency() + self.crypto.mac_latency());
+            if T::ENABLED {
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::Crypto {
+                        kind: CryptoKind::Pad,
+                        ops: 1,
+                        cycles: self.crypto.pad_latency(),
+                    },
+                );
+                self.tracer.record(
+                    now + latency,
+                    TraceEvent::Crypto {
+                        kind: CryptoKind::Mac,
+                        ops: 1,
+                        cycles: self.crypto.mac_latency(),
+                    },
+                );
+            }
             AccessPath::TreeWalk { loaded_levels, to_root }
         };
 
@@ -560,7 +709,14 @@ impl SecureMemory {
         let a = addr.index();
         let ct = self.cipher[&index];
         let expected_mac = self.crypto.mac_block(&ct, ctr, a);
-        if self.macs[&index] != expected_mac {
+        let data_mac_ok = self.macs[&index] == expected_mac;
+        if T::ENABLED {
+            self.tracer.record(
+                now + latency,
+                TraceEvent::MacCheck { scope: MacScope::Data, ok: data_mac_ok },
+            );
+        }
+        if !data_mac_ok {
             return Err(SecureMemError::TamperDetected(TamperKind::DataMac));
         }
         let pt = self.crypto.decrypt_block(&ct, a, ctr);
@@ -617,7 +773,7 @@ impl SecureMemory {
     pub fn read(&mut self, core: CoreId, index: u64) -> Result<ReadResult, SecureMemError> {
         self.inject_co_runner_pressure();
         let addr = self.layout.data_addr(index);
-        let h = self.hier.access(core, addr, false);
+        let h = self.hier.access_traced(core, addr, false, self.clock.now(), &mut self.tracer);
         let mut latency = h.latency;
         let path = if let Some(level) = h.hit {
             AccessPath::CacheHit(level)
@@ -628,7 +784,7 @@ impl SecureMemory {
             // memory writes.
             let wbs = self.hier.fill(core, addr, false);
             for wb in wbs {
-                let report = self.mc.enqueue_write(wb, self.clock.now());
+                let report = self.mc.enqueue_write_traced(wb, self.clock.now(), &mut self.tracer);
                 self.process_drain(report);
             }
             path
@@ -638,6 +794,21 @@ impl SecureMemory {
         self.clock.advance(latency);
         self.materialize_data(index);
         let data = self.plain[&index];
+        if T::ENABLED {
+            if p.extra_latency > Cycles::ZERO || p.gap.is_some() {
+                self.tracer.record(
+                    self.clock.now(),
+                    TraceEvent::Interference {
+                        extra_cycles: p.extra_latency.as_u64(),
+                        gap_cycles: p.gap.map(|g| g.as_u64()).unwrap_or(0),
+                    },
+                );
+            }
+            self.tracer.record(
+                self.clock.now(),
+                TraceEvent::ReadDone { path: path.class(), cycles: latency.as_u64() },
+            );
+        }
         Ok(ReadResult { latency, path, data, invalidated: p.gap.is_some() })
     }
 
@@ -657,7 +828,7 @@ impl SecureMemory {
     ) -> Result<WriteResult, SecureMemError> {
         self.inject_co_runner_pressure();
         let addr = self.layout.data_addr(index);
-        let h = self.hier.access(core, addr, true);
+        let h = self.hier.access_traced(core, addr, true, self.clock.now(), &mut self.tracer);
         let mut latency = h.latency;
         let path = if let Some(level) = h.hit {
             AccessPath::CacheHit(level)
@@ -666,7 +837,7 @@ impl SecureMemory {
             latency += mem_lat;
             let wbs = self.hier.fill(core, addr, true);
             for wb in wbs {
-                let report = self.mc.enqueue_write(wb, self.clock.now());
+                let report = self.mc.enqueue_write_traced(wb, self.clock.now(), &mut self.tracer);
                 self.process_drain(report);
             }
             path
@@ -676,6 +847,19 @@ impl SecureMemory {
         let p = self.perturb_latency(latency);
         latency += p.extra_latency;
         self.clock.advance(latency);
+        if T::ENABLED {
+            if p.extra_latency > Cycles::ZERO || p.gap.is_some() {
+                self.tracer.record(
+                    self.clock.now(),
+                    TraceEvent::Interference {
+                        extra_cycles: p.extra_latency.as_u64(),
+                        gap_cycles: p.gap.map(|g| g.as_u64()).unwrap_or(0),
+                    },
+                );
+            }
+            self.tracer
+                .record(self.clock.now(), TraceEvent::WriteDone { cycles: latency.as_u64() });
+        }
         Ok(WriteResult { latency, path, invalidated: p.gap.is_some() })
     }
 
@@ -687,7 +871,7 @@ impl SecureMemory {
         let dirty = self.hier.flush_block(addr);
         let mut latency = Cycles::new(4);
         if dirty {
-            let report = self.mc.enqueue_write(addr, self.clock.now());
+            let report = self.mc.enqueue_write_traced(addr, self.clock.now(), &mut self.tracer);
             if report.finished_at > self.clock.now() {
                 latency += report.finished_at - self.clock.now();
             }
@@ -717,7 +901,7 @@ impl SecureMemory {
     /// Drains the memory controller's write queue (sfence-like),
     /// servicing every pending write (counter increments happen here).
     pub fn fence(&mut self) -> Cycles {
-        let report = self.mc.flush_writes(self.clock.now());
+        let report = self.mc.flush_writes_traced(self.clock.now(), &mut self.tracer);
         let latency = report.finished_at.saturating_sub(self.clock.now());
         self.process_drain(report);
         self.clock.advance(latency);

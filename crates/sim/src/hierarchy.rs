@@ -5,6 +5,7 @@ use crate::cache::SetAssocCache;
 use crate::clock::Cycles;
 use crate::config::SimConfig;
 use crate::stats::Counters;
+use crate::trace::{NullTracer, TraceEvent, Tracer};
 
 /// The cache level at which a data access hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,16 +71,55 @@ impl CacheHierarchy {
     /// # Panics
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: CoreId, block: BlockAddr, write: bool) -> HierarchyAccess {
+        self.access_traced(core, block, write, Cycles::new(0), &mut NullTracer)
+    }
+
+    /// [`CacheHierarchy::access`] with instrumentation: emits one
+    /// [`TraceEvent::CacheLookup`] (with set index and per-level lookup
+    /// latency) for every level consulted, timestamped `now`. The
+    /// emitted lookup cycles sum exactly to the returned latency.
+    pub fn access_traced<T: Tracer>(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        write: bool,
+        now: Cycles,
+        tracer: &mut T,
+    ) -> HierarchyAccess {
         let c = core.0;
         assert!(c < self.l1.len(), "core {c} out of range");
         let mut latency = self.l1_lat;
-        if self.l1[c].access(block, write).hit {
+        let l1_hit = self.l1[c].access(block, write).hit;
+        if T::ENABLED {
+            tracer.record(
+                now,
+                TraceEvent::CacheLookup {
+                    level: 1,
+                    hit: l1_hit,
+                    set: self.l1[c].set_index(block) as u32,
+                    cycles: self.l1_lat.as_u64(),
+                },
+            );
+        }
+        if l1_hit {
             self.stats.bump("l1_hit");
             return HierarchyAccess { hit: Some(HitLevel::L1), latency, writebacks: Vec::new() };
         }
         self.stats.bump("l1_miss");
         latency += self.l2_lat;
-        if self.l2[c].touch(block) {
+        let l2_hit = self.l2[c].touch(block);
+        if T::ENABLED {
+            tracer.record(
+                now,
+                TraceEvent::CacheLookup {
+                    level: 2,
+                    hit: l2_hit,
+                    set: self.l2[c].set_index(block) as u32,
+                    cycles: self.l2_lat.as_u64(),
+                },
+            );
+        }
+        if l2_hit {
             self.stats.bump("l2_hit");
             // Fill into L1 on an L2 hit.
             self.l1[c].access(block, write);
@@ -90,7 +130,19 @@ impl CacheHierarchy {
         }
         self.stats.bump("l2_miss");
         latency += self.l3_lat;
-        if self.l3.touch(block) {
+        let l3_hit = self.l3.touch(block);
+        if T::ENABLED {
+            tracer.record(
+                now,
+                TraceEvent::CacheLookup {
+                    level: 3,
+                    hit: l3_hit,
+                    set: self.l3.set_index(block) as u32,
+                    cycles: self.l3_lat.as_u64(),
+                },
+            );
+        }
+        if l3_hit {
             self.stats.bump("l3_hit");
             self.l1[c].access(block, write);
             self.l2[c].access(block, write);
@@ -270,5 +322,29 @@ mod tests {
     fn bad_core_panics() {
         let mut h = hierarchy();
         h.access(CoreId(99), BlockAddr::new(0), false);
+    }
+
+    #[test]
+    fn traced_access_lookup_cycles_partition_latency() {
+        use crate::trace::{RingTracer, TraceEvent};
+        let mut h = hierarchy();
+        let mut t = RingTracer::new(64);
+        let b = BlockAddr::new(100);
+        let r = h.access_traced(CoreId(0), b, false, Cycles::new(0), &mut t);
+        assert_eq!(r.hit, None);
+        let log = t.into_log();
+        assert_eq!(log.events.len(), 3, "one lookup per level on a full miss");
+        let total: u64 = log
+            .events
+            .iter()
+            .map(|rec| match rec.event {
+                TraceEvent::CacheLookup { cycles, hit, .. } => {
+                    assert!(!hit);
+                    cycles
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, r.latency.as_u64());
     }
 }

@@ -25,7 +25,7 @@
 //! assert_eq!(hier.access(CoreId(0), block, false).hit, Some(HitLevel::L1));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod cache;
@@ -38,6 +38,7 @@ pub mod memctl;
 pub mod pages;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 /// Convenient glob import of the common types.
 pub mod prelude {
@@ -55,5 +56,9 @@ pub mod prelude {
     pub use crate::memctl::{DrainReport, MemoryController, ReadOutcome};
     pub use crate::pages::{AllocError, PageAllocator};
     pub use crate::rng::SimRng;
-    pub use crate::stats::{Counters, LatencyHistogram};
+    pub use crate::stats::{Counters, LatencyHistogram, MergeError};
+    pub use crate::trace::{
+        CryptoKind, MacScope, MemRegion, NullTracer, PathClass, RingTracer, TraceEvent, TraceLog,
+        TraceRecord, Tracer,
+    };
 }

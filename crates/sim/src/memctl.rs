@@ -16,6 +16,7 @@ use crate::clock::Cycles;
 use crate::config::MemCtlConfig;
 use crate::dram::{BankId, Dram, RowOutcome};
 use crate::stats::Counters;
+use crate::trace::{MemRegion, NullTracer, TraceEvent, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// Outcome of a memory-controller read.
@@ -107,16 +108,37 @@ impl MemoryController {
     /// drain whose serviced writes are returned so the caller (the
     /// secure-memory engine) can apply counter updates at service time.
     pub fn enqueue_write(&mut self, block: BlockAddr, now: Cycles) -> DrainReport {
+        self.enqueue_write_traced(block, now, &mut NullTracer)
+    }
+
+    /// [`MemoryController::enqueue_write`] with instrumentation: emits
+    /// [`TraceEvent::WriteMerged`] or [`TraceEvent::WriteEnqueued`], and
+    /// a [`TraceEvent::WriteDrain`] if the watermark drain fires.
+    pub fn enqueue_write_traced<T: Tracer>(
+        &mut self,
+        block: BlockAddr,
+        now: Cycles,
+        tracer: &mut T,
+    ) -> DrainReport {
         if self.write_pending(block) {
             self.stats.bump("write_merged");
+            if T::ENABLED {
+                tracer.record(now, TraceEvent::WriteMerged);
+            }
             return DrainReport::empty(now);
         }
         self.write_queue.push_back(block);
         *self.write_occupancy.entry(block).or_insert(0) += 1;
         self.stats.bump("write_enqueued");
+        if T::ENABLED {
+            tracer.record(
+                now,
+                TraceEvent::WriteEnqueued { queue_len: self.write_queue.len() as u32 },
+            );
+        }
         if self.write_queue.len() >= self.config.write_drain_watermark {
             let target = self.config.write_drain_watermark / 2;
-            self.drain_to(target, now)
+            self.drain_to_traced(target, now, tracer)
         } else {
             DrainReport::empty(now)
         }
@@ -124,10 +146,21 @@ impl MemoryController {
 
     /// Drains the entire write queue.
     pub fn flush_writes(&mut self, now: Cycles) -> DrainReport {
-        self.drain_to(0, now)
+        self.drain_to_traced(0, now, &mut NullTracer)
     }
 
-    fn drain_to(&mut self, target: usize, now: Cycles) -> DrainReport {
+    /// [`MemoryController::flush_writes`] with instrumentation: emits a
+    /// [`TraceEvent::WriteDrain`] covering the serviced writes.
+    pub fn flush_writes_traced<T: Tracer>(&mut self, now: Cycles, tracer: &mut T) -> DrainReport {
+        self.drain_to_traced(0, now, tracer)
+    }
+
+    fn drain_to_traced<T: Tracer>(
+        &mut self,
+        target: usize,
+        now: Cycles,
+        tracer: &mut T,
+    ) -> DrainReport {
         let mut t = now;
         let mut serviced = Vec::new();
         while self.write_queue.len() > target {
@@ -147,6 +180,15 @@ impl MemoryController {
         }
         if !serviced.is_empty() {
             self.stats.bump("write_drains");
+            if T::ENABLED {
+                tracer.record(
+                    now,
+                    TraceEvent::WriteDrain {
+                        serviced: serviced.len() as u32,
+                        cycles: (t - now).as_u64(),
+                    },
+                );
+            }
         }
         DrainReport { serviced, finished_at: t }
     }
@@ -154,14 +196,36 @@ impl MemoryController {
     /// Services a read at time `now`. Forwards from the write queue when
     /// possible; otherwise waits for the target bank and accesses DRAM.
     pub fn read(&mut self, block: BlockAddr, now: Cycles) -> ReadOutcome {
+        self.read_traced(block, now, MemRegion::Data, &mut NullTracer)
+    }
+
+    /// [`MemoryController::read`] with instrumentation: emits one
+    /// [`TraceEvent::MemRead`] tagged with the caller-supplied `region`
+    /// (data / counter / tree level), carrying the row outcome, wait
+    /// cycles and total latency.
+    pub fn read_traced<T: Tracer>(
+        &mut self,
+        block: BlockAddr,
+        now: Cycles,
+        region: MemRegion,
+        tracer: &mut T,
+    ) -> ReadOutcome {
         if self.write_pending(block) {
             self.stats.bump("read_forwarded");
-            return ReadOutcome {
-                latency: self.config.queue_penalty.times(2),
-                row: None,
-                forwarded: true,
-                waited: Cycles::ZERO,
-            };
+            let latency = self.config.queue_penalty.times(2);
+            if T::ENABLED {
+                tracer.record(
+                    now,
+                    TraceEvent::MemRead {
+                        region,
+                        row: None,
+                        forwarded: true,
+                        waited: 0,
+                        cycles: latency.as_u64(),
+                    },
+                );
+            }
+            return ReadOutcome { latency, row: None, forwarded: true, waited: Cycles::ZERO };
         }
         let bank = self.dram.bank_of(block);
         let waited = self
@@ -177,16 +241,42 @@ impl MemoryController {
         let latency = waited + dram_lat + contention + self.config.queue_penalty;
         self.bank_busy.insert(bank, now + latency);
         self.stats.bump("read_serviced");
+        if T::ENABLED {
+            tracer.record(
+                now,
+                TraceEvent::MemRead {
+                    region,
+                    row: Some(row),
+                    forwarded: false,
+                    waited: waited.as_u64(),
+                    cycles: latency.as_u64(),
+                },
+            );
+        }
         ReadOutcome { latency, row: Some(row), forwarded: false, waited }
     }
 
     /// Services a write immediately (bypassing the queue), e.g. during
     /// engine-driven re-encryption bursts. Returns the service latency.
     pub fn write_through(&mut self, block: BlockAddr, now: Cycles) -> Cycles {
+        self.write_through_traced(block, now, &mut NullTracer)
+    }
+
+    /// [`MemoryController::write_through`] with instrumentation: emits a
+    /// [`TraceEvent::WriteThrough`] with the service latency.
+    pub fn write_through_traced<T: Tracer>(
+        &mut self,
+        block: BlockAddr,
+        now: Cycles,
+        tracer: &mut T,
+    ) -> Cycles {
         let (lat, _row) = self.dram.access(block);
         let bank = self.dram.bank_of(block);
         self.bank_busy.insert(bank, now + lat);
         self.stats.bump("write_through");
+        if T::ENABLED {
+            tracer.record(now, TraceEvent::WriteThrough { cycles: lat.as_u64() });
+        }
         lat
     }
 
@@ -317,6 +407,32 @@ mod tests {
         let lat = m.write_through(b, Cycles::ZERO);
         assert!(lat.as_u64() > 0);
         assert!(m.bank_free_at(b) > Cycles::ZERO);
+    }
+
+    #[test]
+    fn traced_read_and_writes_emit_matching_events() {
+        use crate::trace::{MemRegion, RingTracer, TraceEvent};
+        let mut m = mc();
+        let mut t = RingTracer::new(256);
+        let r = m.read_traced(BlockAddr::new(3), Cycles::ZERO, MemRegion::Counter, &mut t);
+        m.enqueue_write_traced(BlockAddr::new(3), Cycles::ZERO, &mut t);
+        m.enqueue_write_traced(BlockAddr::new(3), Cycles::ZERO, &mut t); // merge
+        let fwd = m.read_traced(BlockAddr::new(3), Cycles::ZERO, MemRegion::Data, &mut t);
+        m.flush_writes_traced(Cycles::ZERO, &mut t);
+        assert!(fwd.forwarded);
+        let log = t.into_log();
+        assert_eq!(log.counters.get("mem_read"), 2);
+        assert_eq!(log.counters.get("wq_enqueue"), 1);
+        assert_eq!(log.counters.get("wq_merge"), 1);
+        assert_eq!(log.counters.get("wq_drain"), 1);
+        match log.events[0].event {
+            TraceEvent::MemRead { region, forwarded, cycles, .. } => {
+                assert_eq!(region, MemRegion::Counter);
+                assert!(!forwarded);
+                assert_eq!(cycles, r.latency.as_u64());
+            }
+            ref other => panic!("unexpected first event {other:?}"),
+        }
     }
 
     #[test]

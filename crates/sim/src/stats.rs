@@ -65,8 +65,49 @@ impl fmt::Display for Counters {
     }
 }
 
+/// Error returned by [`LatencyHistogram::try_merge`] when two
+/// histograms cannot be combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two histograms use different bucket widths, so their bucket
+    /// boundaries do not line up and a merge would silently misbin.
+    BucketWidthMismatch {
+        /// Bucket width of the destination histogram.
+        ours: u64,
+        /// Bucket width of the histogram being merged in.
+        theirs: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::BucketWidthMismatch { ours, theirs } => write!(
+                f,
+                "bucket widths must match to merge (ours = {ours} cycles, theirs = {theirs})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A latency histogram with fixed-width buckets, used to render the
 /// latency-distribution figures (Figures 6–8 of the paper).
+///
+/// # Examples
+/// ```
+/// use metaleak_sim::clock::Cycles;
+/// use metaleak_sim::stats::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new(10);
+/// for v in [5, 15, 15, 95] {
+///     h.record(Cycles::new(v));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.percentile(0.5).unwrap().as_u64(), 10);
+/// assert!((h.mass_between(10, 20) - 0.5).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     bucket_width: u64,
@@ -200,9 +241,39 @@ impl LatencyHistogram {
     /// result.
     ///
     /// # Panics
-    /// Panics if the bucket widths differ.
+    /// Panics if the bucket widths differ. Use [`Self::try_merge`] to
+    /// handle the mismatch instead of aborting.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(self.bucket_width, other.bucket_width, "bucket widths must match to merge");
+        self.try_merge(other).expect("bucket widths must match to merge");
+    }
+
+    /// Fallible variant of [`Self::merge`]: refuses (without modifying
+    /// `self`) to combine histograms whose bucket widths differ, since
+    /// their bucket boundaries would misbin every sample.
+    ///
+    /// # Examples
+    /// ```
+    /// use metaleak_sim::clock::Cycles;
+    /// use metaleak_sim::stats::{LatencyHistogram, MergeError};
+    ///
+    /// let mut a = LatencyHistogram::new(10);
+    /// let mut b = LatencyHistogram::new(10);
+    /// b.record(Cycles::new(25));
+    /// assert!(a.try_merge(&b).is_ok());
+    /// assert_eq!(a.count(), 1);
+    ///
+    /// let coarse = LatencyHistogram::new(20);
+    /// let err = a.try_merge(&coarse).unwrap_err();
+    /// assert_eq!(err, MergeError::BucketWidthMismatch { ours: 10, theirs: 20 });
+    /// assert_eq!(a.count(), 1); // untouched on error
+    /// ```
+    pub fn try_merge(&mut self, other: &LatencyHistogram) -> Result<(), MergeError> {
+        if self.bucket_width != other.bucket_width {
+            return Err(MergeError::BucketWidthMismatch {
+                ours: self.bucket_width,
+                theirs: other.bucket_width,
+            });
+        }
         for (&b, &n) in &other.buckets {
             *self.buckets.entry(b).or_insert(0) += n;
         }
@@ -212,6 +283,7 @@ impl LatencyHistogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
+        Ok(())
     }
 
     /// Fraction of samples in `[lo, hi)` cycles (bucket-granular).
@@ -326,6 +398,32 @@ mod tests {
     fn histogram_merge_rejects_mismatched_widths() {
         let mut a = LatencyHistogram::new(10);
         a.merge(&LatencyHistogram::new(20));
+    }
+
+    #[test]
+    fn histogram_try_merge_reports_widths_and_leaves_dest_untouched() {
+        let mut a = LatencyHistogram::new(10);
+        a.record(Cycles::new(15));
+        let mut b = LatencyHistogram::new(25);
+        b.record(Cycles::new(30));
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(err, MergeError::BucketWidthMismatch { ours: 10, theirs: 25 });
+        let msg = err.to_string();
+        assert!(msg.contains("ours = 10") && msg.contains("theirs = 25"), "message: {msg}");
+        // Destination must be untouched after a refused merge.
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(10, 1)]);
+    }
+
+    #[test]
+    fn histogram_try_merge_matches_merge_on_equal_widths() {
+        let mut a = LatencyHistogram::new(10);
+        let mut b = LatencyHistogram::new(10);
+        a.record(Cycles::new(5));
+        b.record(Cycles::new(95));
+        assert_eq!(a.try_merge(&b), Ok(()));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max().unwrap().as_u64(), 95);
     }
 
     #[test]

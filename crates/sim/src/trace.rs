@@ -1,0 +1,492 @@
+//! Structured, deterministic event tracing with zero cost when disabled.
+//!
+//! The simulator's components accept a [`Tracer`] type parameter. The
+//! default, [`NullTracer`], has `ENABLED = false` and an empty inline
+//! `record`, so every instrumentation site compiles down to nothing —
+//! monomorphization removes both the branch and the event construction.
+//! Swapping in a [`RingTracer`] turns the same build into a cycle-level
+//! probe: every hot-path event (cache lookup, DRAM read, tree-walk
+//! level, crypto op, write-queue activity, interference) is timestamped
+//! with the simulated clock and appended to a bounded ring buffer,
+//! alongside a typed counter and latency-histogram registry.
+//!
+//! Determinism: events carry only simulated time ([`Cycles`]) and are
+//! recorded in program order by the single-threaded per-trial
+//! simulation, so a traced trial produces an identical event stream
+//! regardless of wall-clock scheduling or harness thread count.
+//!
+//! ```
+//! use metaleak_sim::clock::Cycles;
+//! use metaleak_sim::trace::{RingTracer, TraceEvent, Tracer};
+//!
+//! let mut t = RingTracer::new(16);
+//! t.record(Cycles::new(5), TraceEvent::WriteDone { cycles: 40 });
+//! let log = t.into_log();
+//! assert_eq!(log.events.len(), 1);
+//! assert_eq!(log.counters.get("write_done"), 1);
+//! ```
+
+use crate::clock::Cycles;
+use crate::dram::RowOutcome;
+use crate::stats::{Counters, LatencyHistogram};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default ring capacity for [`RingTracer::with_default_capacity`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Bucket width (cycles) of the per-category latency histograms kept by
+/// [`RingTracer`].
+pub const TRACE_HIST_BUCKET_WIDTH: u64 = 10;
+
+/// Which memory region a DRAM access targeted. Metadata regions let the
+/// attribution pass split DRAM time between data, counters and
+/// individual integrity-tree levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRegion {
+    /// A protected-data cache block.
+    Data,
+    /// A counter block (tree leaf storage).
+    Counter,
+    /// An integrity-tree node at `level` (1 = leaf parents' level in
+    /// the engine's numbering; see `metaleak-meta`).
+    TreeNode {
+        /// Tree level of the node being fetched.
+        level: u8,
+    },
+}
+
+/// Which MAC was verified in a [`TraceEvent::MacCheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacScope {
+    /// The per-block data MAC checked after decryption.
+    Data,
+    /// The MAC covering a counter block, checked after a tree walk.
+    CounterBlock,
+}
+
+/// Which cryptographic primitive a [`TraceEvent::Crypto`] ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoKind {
+    /// AES counter-mode pad generation (decryption OTP).
+    Pad,
+    /// Carter–Wegman MAC computation/verification.
+    Mac,
+    /// Integrity-tree node hashing.
+    Hash,
+}
+
+/// How a completed read was served; mirrors the engine's `AccessPath`
+/// without depending on the engine crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// Served by an on-core cache at this level (1–3).
+    CacheHit(u8),
+    /// Forwarded from the memory controller's write queue.
+    StoreForward,
+    /// DRAM read whose counter was resident in the counter cache.
+    CounterHit,
+    /// DRAM read requiring an integrity-tree walk.
+    TreeWalk {
+        /// Number of tree nodes fetched from DRAM.
+        loaded: u8,
+        /// Whether the walk went all the way to the root.
+        to_root: bool,
+    },
+}
+
+/// One timestamped simulation event.
+///
+/// Duration-bearing variants carry the cycles the modeled step
+/// contributed to the access latency; instant variants (e.g.
+/// [`TraceEvent::WriteMerged`]) mark state transitions. The component
+/// events emitted during a read are constructed to exactly partition
+/// the matching [`TraceEvent::ReadDone`] latency, which is what lets
+/// `tracescan` attribute 100% of victim latency to concrete hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A lookup at one cache level of the on-core hierarchy.
+    CacheLookup {
+        /// Cache level consulted (1–3).
+        level: u8,
+        /// Whether the block was resident.
+        hit: bool,
+        /// Set index the block maps to at this level.
+        set: u32,
+        /// Lookup latency charged at this level.
+        cycles: u64,
+    },
+    /// A memory-controller read (DRAM access or store-forward).
+    MemRead {
+        /// Region class of the target block.
+        region: MemRegion,
+        /// DRAM row outcome (`None` when forwarded from the write queue).
+        row: Option<RowOutcome>,
+        /// Whether the read was served from the write queue.
+        forwarded: bool,
+        /// Cycles stalled waiting for a busy bank.
+        waited: u64,
+        /// Total latency charged for the read.
+        cycles: u64,
+    },
+    /// MEE pipeline overhead charged on metadata reads.
+    Mee {
+        /// Number of metadata reads the overhead covers.
+        reads: u32,
+        /// Total pipeline cycles charged.
+        cycles: u64,
+    },
+    /// A write entered the memory controller's write queue.
+    WriteEnqueued {
+        /// Queue occupancy after the enqueue.
+        queue_len: u32,
+    },
+    /// A write coalesced with a pending queue entry.
+    WriteMerged,
+    /// The write queue drained to its low watermark.
+    WriteDrain {
+        /// Number of writes serviced by the drain.
+        serviced: u32,
+        /// Busy cycles consumed by the drain.
+        cycles: u64,
+    },
+    /// A synchronous (non-queued) write to DRAM.
+    WriteThrough {
+        /// Latency of the DRAM write.
+        cycles: u64,
+    },
+    /// One level of an integrity-tree walk was visited.
+    TreeWalkLevel {
+        /// Tree level visited.
+        level: u8,
+        /// True if the node missed the tree cache and was fetched.
+        loaded: bool,
+    },
+    /// A MAC verification finished.
+    MacCheck {
+        /// Which MAC was checked.
+        scope: MacScope,
+        /// Whether verification succeeded.
+        ok: bool,
+    },
+    /// A crypto-engine operation completed.
+    Crypto {
+        /// Primitive that ran.
+        kind: CryptoKind,
+        /// Number of primitive invocations batched in this event.
+        ops: u32,
+        /// Total cycles charged.
+        cycles: u64,
+    },
+    /// A minor counter overflowed, forcing re-encryption.
+    CounterOverflow {
+        /// Whether the overflow escalated to a full key rotation.
+        rekey: bool,
+        /// Blocks re-encrypted in the overflow group.
+        group_blocks: u64,
+        /// Bank-busy cycles the re-encryption occupied.
+        busy_cycles: u64,
+    },
+    /// A tree-node counter overflowed, resetting a subtree.
+    TreeOverflow {
+        /// Nodes rehashed/reset by the overflow.
+        nodes_reset: u64,
+        /// Bank-busy cycles the reset occupied.
+        busy_cycles: u64,
+    },
+    /// The interference layer perturbed this access.
+    Interference {
+        /// Extra latency added to the access.
+        extra_cycles: u64,
+        /// Scheduling-gap cycles advanced on the clock (not part of
+        /// the access latency).
+        gap_cycles: u64,
+    },
+    /// An attack primitive issued a timed probe.
+    ProbeIssued {
+        /// Block index probed.
+        block: u64,
+    },
+    /// An attack primitive classified a timing sample.
+    SampleClassified {
+        /// Decoded class (e.g. covert-channel symbol).
+        class: u64,
+        /// Raw latency value that was classified.
+        value: u64,
+    },
+    /// A secure-memory read completed.
+    ReadDone {
+        /// Path the read took.
+        path: PathClass,
+        /// End-to-end latency returned to the core.
+        cycles: u64,
+    },
+    /// A secure-memory write completed.
+    WriteDone {
+        /// End-to-end latency charged for the write.
+        cycles: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event kind (counter key and
+    /// export `ev` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::CacheLookup { .. } => "cache_lookup",
+            TraceEvent::MemRead { .. } => "mem_read",
+            TraceEvent::Mee { .. } => "mee",
+            TraceEvent::WriteEnqueued { .. } => "wq_enqueue",
+            TraceEvent::WriteMerged => "wq_merge",
+            TraceEvent::WriteDrain { .. } => "wq_drain",
+            TraceEvent::WriteThrough { .. } => "write_through",
+            TraceEvent::TreeWalkLevel { .. } => "tree_walk_level",
+            TraceEvent::MacCheck { .. } => "mac_check",
+            TraceEvent::Crypto { .. } => "crypto",
+            TraceEvent::CounterOverflow { .. } => "counter_overflow",
+            TraceEvent::TreeOverflow { .. } => "tree_overflow",
+            TraceEvent::Interference { .. } => "interference",
+            TraceEvent::ProbeIssued { .. } => "probe",
+            TraceEvent::SampleClassified { .. } => "sample",
+            TraceEvent::ReadDone { .. } => "read_done",
+            TraceEvent::WriteDone { .. } => "write_done",
+        }
+    }
+
+    /// Duration carried by the event, if it is duration-bearing.
+    /// Background work ([`TraceEvent::WriteDrain`], overflow busy time)
+    /// reports its busy cycles here even though those cycles are not
+    /// part of any single access latency.
+    pub fn cycles(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::CacheLookup { cycles, .. }
+            | TraceEvent::MemRead { cycles, .. }
+            | TraceEvent::Mee { cycles, .. }
+            | TraceEvent::WriteDrain { cycles, .. }
+            | TraceEvent::WriteThrough { cycles }
+            | TraceEvent::Crypto { cycles, .. }
+            | TraceEvent::ReadDone { cycles, .. }
+            | TraceEvent::WriteDone { cycles } => Some(cycles),
+            TraceEvent::CounterOverflow { busy_cycles, .. }
+            | TraceEvent::TreeOverflow { busy_cycles, .. } => Some(busy_cycles),
+            TraceEvent::Interference { extra_cycles, .. } => Some(extra_cycles),
+            _ => None,
+        }
+    }
+}
+
+/// A recorded event with its sequence number and simulated timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonic per-tracer sequence number (0-based, counts drops).
+    pub seq: u64,
+    /// Simulated time at which the event was recorded.
+    pub at: Cycles,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Sink for simulation events, resolved at compile time.
+///
+/// Instrumentation sites are written `if T::ENABLED { tracer.record(..) }`;
+/// with [`NullTracer`] the constant folds to `false` and the whole site
+/// — including event construction — is eliminated by monomorphization.
+pub trait Tracer {
+    /// Whether instrumentation sites should emit events at all.
+    const ENABLED: bool;
+    /// Records one event at simulated time `at`.
+    fn record(&mut self, at: Cycles, event: TraceEvent);
+}
+
+/// The zero-cost default tracer: records nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn record(&mut self, _at: Cycles, _event: TraceEvent) {}
+}
+
+/// A bounded-ring tracer with a typed counter/histogram registry.
+///
+/// Keeps the most recent `capacity` events (older events are dropped
+/// and counted, never silently lost) and aggregates every event into
+/// per-kind [`Counters`] and, for duration-bearing events, per-kind
+/// [`LatencyHistogram`]s.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    capacity: usize,
+    next_seq: u64,
+    ring: VecDeque<TraceRecord>,
+    counters: Counters,
+    histograms: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl RingTracer {
+    /// Creates a tracer retaining at most `capacity` events
+    /// (`capacity` must be nonzero).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        RingTracer {
+            capacity,
+            next_seq: 0,
+            ring: VecDeque::new(),
+            counters: Counters::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a tracer with [`DEFAULT_RING_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events dropped from the front of the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.next_seq - self.ring.len() as u64
+    }
+
+    /// The aggregated per-kind counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The latency histogram for an event kind, if any duration-bearing
+    /// event of that kind was recorded.
+    pub fn histogram(&self, kind: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(kind)
+    }
+
+    /// Consumes the tracer into an immutable [`TraceLog`] snapshot.
+    pub fn into_log(self) -> TraceLog {
+        let dropped = self.dropped();
+        TraceLog {
+            events: self.ring.into_iter().collect(),
+            dropped,
+            counters: self.counters,
+            histograms: self.histograms,
+        }
+    }
+}
+
+impl Tracer for RingTracer {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, at: Cycles, event: TraceEvent) {
+        let name = event.name();
+        self.counters.bump(name);
+        if let Some(cycles) = event.cycles() {
+            self.histograms
+                .entry(name)
+                .or_insert_with(|| LatencyHistogram::new(TRACE_HIST_BUCKET_WIDTH))
+                .record(Cycles::new(cycles));
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceRecord { seq: self.next_seq, at, event });
+        self.next_seq += 1;
+    }
+}
+
+/// Immutable snapshot of a finished [`RingTracer`].
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// Retained events in recording order.
+    pub events: Vec<TraceRecord>,
+    /// Events dropped because the ring was full.
+    pub dropped: u64,
+    /// Per-kind event counts (count drops too).
+    pub counters: Counters,
+    /// Per-kind latency histograms for duration-bearing events.
+    pub histograms: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl TraceLog {
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycles: u64) -> TraceEvent {
+        TraceEvent::WriteDone { cycles }
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        // Compile-time: the null tracer's gate is the constant `false`.
+        const _: () = assert!(!NullTracer::ENABLED);
+        let mut t = NullTracer;
+        t.record(Cycles::new(1), ev(10));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let mut t = RingTracer::new(4);
+        for i in 0..10 {
+            t.record(Cycles::new(i), ev(i));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let log = t.into_log();
+        assert_eq!(log.recorded(), 10);
+        let seqs: Vec<u64> = log.events.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Counters aggregate across drops.
+        assert_eq!(log.counters.get("write_done"), 10);
+    }
+
+    #[test]
+    fn histogram_registry_tracks_duration_events() {
+        let mut t = RingTracer::new(16);
+        t.record(Cycles::new(0), ev(5));
+        t.record(Cycles::new(1), ev(25));
+        t.record(
+            Cycles::new(2),
+            TraceEvent::WriteMerged, // instant: no histogram entry
+        );
+        let h = t.histogram("write_done").expect("histogram exists");
+        assert_eq!(h.count(), 2);
+        assert!(t.histogram("wq_merge").is_none());
+        assert_eq!(t.counters().get("wq_merge"), 1);
+    }
+
+    #[test]
+    fn event_names_are_stable_and_cycles_extracted() {
+        let e = TraceEvent::MemRead {
+            region: MemRegion::TreeNode { level: 2 },
+            row: Some(RowOutcome::Hit),
+            forwarded: false,
+            waited: 3,
+            cycles: 40,
+        };
+        assert_eq!(e.name(), "mem_read");
+        assert_eq!(e.cycles(), Some(40));
+        assert_eq!(TraceEvent::WriteMerged.cycles(), None);
+        assert_eq!(TraceEvent::Interference { extra_cycles: 7, gap_cycles: 100 }.cycles(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_ring_panics() {
+        RingTracer::new(0);
+    }
+}
