@@ -13,7 +13,7 @@ use metaleak_crypto::aes::Aes128;
 use metaleak_crypto::engine::CryptoEngine;
 use metaleak_crypto::ghash::Ghash;
 use metaleak_crypto::sha256::Sha256;
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::tree::IntegrityTree;
 use metaleak_sim::addr::{BlockAddr, CoreId};
@@ -94,12 +94,12 @@ fn bench_tree() {
 
 fn bench_secure_memory() {
     println!("-- secure_memory --");
-    let mut mem = SecureMemory::new(SecureConfig::sct(1024));
+    let mut mem = SecureMemory::new(SecureConfigBuilder::sct(1024).build());
     mem.read(CoreId(0), 0).unwrap();
     bench("read_cache_hit", 20_000, || {
         black_box(mem.read(CoreId(0), black_box(0)).unwrap());
     });
-    let mut mem = SecureMemory::new(SecureConfig::sct(16384));
+    let mut mem = SecureMemory::new(SecureConfigBuilder::sct(16384).build());
     let mut i = 0u64;
     bench("read_full_walk", 2_000, || {
         i = (i + 64) % (16384 * 64);
@@ -108,7 +108,7 @@ fn bench_secure_memory() {
         mem.force_counter_writeback(cb);
         black_box(mem.read(CoreId(0), black_box(i)).unwrap());
     });
-    let mut mem = SecureMemory::new(SecureConfig::sct(1024));
+    let mut mem = SecureMemory::new(SecureConfigBuilder::sct(1024).build());
     bench("write_back_fence", 10_000, || {
         mem.write_back(CoreId(0), black_box(5), [1u8; 64]).unwrap();
         mem.fence();

@@ -13,21 +13,25 @@
 
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::{CounterScheme, CounterWidths};
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
 
-fn run(scheme: CounterScheme, writes: usize, rng: &mut SimRng) -> (u64, u64, u64) {
-    let mut cfg = SecureConfig::sct(64);
-    cfg.sim = metaleak_sim::config::SimConfig::small();
-    cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
-    cfg.scheme = scheme;
+fn scheme_memory(scheme: CounterScheme) -> SecureMemory {
     // Narrow counters so the design-space differences show within the
     // write budget (4-bit shared/per-block, 3-bit minors).
-    cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits: 6 };
-    let mut mem = SecureMemory::new(cfg);
+    let cfg = SecureConfigBuilder::sct(64)
+        .sim(metaleak_sim::config::SimConfig::small())
+        .mcache(metaleak_meta::mcache::MetaCacheConfig::small())
+        .scheme(scheme)
+        .enc_widths(CounterWidths { minor_bits: 3, mono_bits: 6 })
+        .build();
+    SecureMemory::new(cfg)
+}
+
+fn run(mut mem: SecureMemory, writes: usize, rng: &mut SimRng) -> (u64, u64, u64) {
     let core = CoreId(0);
     for i in 0..writes {
         // A skewed workload: 80% of writes hit an 8-block hot set.
@@ -48,12 +52,16 @@ fn main() {
         ("Split (SC)", CounterScheme::Split),
     ];
     let exp = Experiment::new("ablation_counters", 0xAC).config("writes", writes);
-    let results = exp.run_trials(schemes.len(), |_rng, i| {
-        // Controlled comparison: every scheme replays the identical
-        // workload from aux stream 0.
-        let mut workload = exp.aux_stream(0);
-        run(schemes[i].1, writes, &mut workload)
-    });
+    // One warmed memory per scheme (sweep point); the scheme's trial
+    // forks it instead of re-simulating construction.
+    let results = exp
+        .with_warmup(schemes.len(), |_wrng, i| scheme_memory(schemes[i].1).into_snapshot())
+        .run_trials(1, |snap, _rng, _i| {
+            // Controlled comparison: every scheme replays the identical
+            // workload from aux stream 0.
+            let mut workload = exp.aux_stream(0);
+            run(snap.fork(), writes, &mut workload)
+        });
 
     let mut table =
         TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);

@@ -25,6 +25,7 @@ use metaleak_attacks::resilience::FrameCodec;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
+use metaleak_engine::snapshot::Snapshot;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::interference::FaultPlan;
 
@@ -49,15 +50,21 @@ fn main() {
         .config("payload_bits", payload_n)
         .config("hamming_repeats", repeats as u64);
 
-    let results = exp.run_trials(sweep.len(), |rng, i| {
+    // Each intensity is one warmup point: the faulty memory (plan seed
+    // drawn from the point's warmup stream) is built once and both the
+    // raw and the framed paths fork the same snapshot, so they compare
+    // against the identical machine state as well as the same plan.
+    let warm = exp.with_warmup(sweep.len(), |wrng, i| {
+        faulty_memory(sweep[i], wrng.next_u64()).into_snapshot()
+    });
+    let results = warm.run_trials(1, |snap, rng, i| {
         let intensity = sweep[i];
-        // Sub-streams of the trial stream: payload bits and plan seed.
+        // Sub-stream of the trial stream: payload bits.
         let mut payload_rng = rng.split(0);
         let payload: Vec<bool> = (0..payload_n).map(|_| payload_rng.chance(0.5)).collect();
-        let plan_seed = rng.split(1).next_u64();
-        let raw_ber = raw_error_rate(&channel, &payload, intensity, plan_seed);
+        let raw_ber = raw_error_rate(&channel, &payload, snap);
         let (ecc_ber, erasures, corrected, lost) =
-            framed_error_rate(&channel, &payload, &codec, intensity, plan_seed);
+            framed_error_rate(&channel, &payload, &codec, snap);
         if intensity > 0.0 {
             assert!(
                 ecc_ber < raw_ber,
@@ -127,13 +134,8 @@ fn faulty_memory(intensity: f64, plan_seed: u64) -> SecureMemory {
 /// Raw path: one window per payload bit, no redundancy. An invalidated
 /// window loses the bit; a misclassified window flips it. Either way
 /// the payload bit is wrong.
-fn raw_error_rate(
-    channel: &CovertChannelT,
-    payload: &[bool],
-    intensity: f64,
-    plan_seed: u64,
-) -> f64 {
-    let mut mem = faulty_memory(intensity, plan_seed);
+fn raw_error_rate(channel: &CovertChannelT, payload: &[bool], snap: &Snapshot) -> f64 {
+    let mut mem = snap.fork();
     let mut errors = 0usize;
     for &bit in payload {
         match channel.transmit(&mut mem, &[bit]) {
@@ -144,15 +146,15 @@ fn raw_error_rate(
     errors as f64 / payload.len() as f64
 }
 
-/// Framed path: the same payload through the ECC framing.
+/// Framed path: the same payload through the ECC framing, forked from
+/// the same warmed faulty state the raw path started from.
 fn framed_error_rate(
     channel: &CovertChannelT,
     payload: &[bool],
     codec: &FrameCodec,
-    intensity: f64,
-    plan_seed: u64,
+    snap: &Snapshot,
 ) -> (f64, usize, usize, usize) {
-    let mut mem = faulty_memory(intensity, plan_seed);
+    let mut mem = snap.fork();
     let out = channel
         .transmit_framed(&mut mem, payload, codec)
         .expect("framed transfer only fails on permanent errors");

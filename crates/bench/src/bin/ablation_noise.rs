@@ -28,15 +28,25 @@ fn main() {
     let sweep = [0.0f64, 2.0, 10.0, 30.0, 60.0, 100.0, 150.0];
     let exp = Experiment::new("ablation_noise", 0xA0).config("bits_per_point", bits_n);
 
-    let results = exp.run_trials(sweep.len(), |rng, i| {
-        let sd = sweep[i];
+    // Each noise level is one warmup point: memory construction and
+    // channel planning happen once, and the level's trial forks the
+    // warmed snapshot before transmitting.
+    let warm = exp.with_warmup(sweep.len(), |_wrng, i| {
         let mut cfg = configs::sct_experiment();
-        cfg.sim.noise_sd = sd;
+        cfg.sim.noise_sd = sweep[i];
         let mut mem = SecureMemory::new(cfg);
-        let ch = match CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100) {
-            Ok(ch) => ch,
-            Err(e) => return (sd, Err(format!("setup failed ({e})"))),
+        match CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100) {
+            Ok(ch) => Ok((mem.into_snapshot(), ch)),
+            Err(e) => Err(format!("setup failed ({e})")),
+        }
+    });
+    let results = warm.run_trials(1, |state, rng, i| {
+        let sd = sweep[i];
+        let (snap, ch) = match state {
+            Ok(warmed) => warmed,
+            Err(e) => return (sd, Err(e.clone())),
         };
+        let mut mem = snap.fork();
         let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
         match ch.transmit(&mut mem, &bits) {
             Ok(out) => (sd, Ok(out.accuracy(&bits))),

@@ -8,7 +8,7 @@
 
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{characterize_paths, scaled, write_csv, TextTable};
+use metaleak_bench::{characterize_path_on, scaled, write_csv, TextTable};
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
 
@@ -30,14 +30,22 @@ fn main() {
     ];
     let exp = Experiment::new("ablation_trees", 0xA7).config("samples_per_path", samples);
 
-    let results = exp.run_trials(designs.len(), |_rng, i| {
+    // One warmed memory per design; its trial forks the snapshot for
+    // every access-path characterization instead of rebuilding the
+    // memory per path.
+    let warm = exp.with_warmup(designs.len(), |_wrng, i| {
+        SecureMemory::new(designs[i].1.clone()).into_snapshot()
+    });
+    let results = warm.run_trials(1, |snap, _rng, i| {
         let (_, cfg) = &designs[i];
-        let mem = SecureMemory::new(cfg.clone());
+        let mem = snap.fork();
         let levels = mem.tree().geometry().levels();
         let nodes = mem.tree().geometry().total_nodes();
         let overflowable = matches!(cfg.tree_kind, metaleak_meta::tree::TreeKind::SplitCounter);
         drop(mem);
-        let histograms = characterize_paths(cfg.clone(), samples);
+        let histograms: Vec<_> = (0..2 + levels as usize)
+            .map(|p| characterize_path_on(&mut snap.fork(), p, samples))
+            .collect();
         let mean_of = |label: &str| {
             histograms.iter().find(|(l, _)| l == label).and_then(|(_, h)| h.mean()).unwrap_or(0.0)
         };

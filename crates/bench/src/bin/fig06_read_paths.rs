@@ -12,8 +12,9 @@
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{
-    characterize_path, histogram_rows, path_count, print_histogram, scaled, write_csv,
+    characterize_path_on, histogram_rows, path_count, print_histogram, scaled, write_csv,
 };
+use metaleak_engine::secmem::SecureMemory;
 
 fn main() {
     let samples = scaled(1000, 10_000);
@@ -23,8 +24,13 @@ fn main() {
     let exp = Experiment::new("fig06_read_paths", 0x06)
         .config("arch", "sct")
         .config("samples_per_path", samples);
-    let histograms =
-        exp.run_trials(path_count(&cfg), |_rng, p| characterize_path(&cfg, p, samples));
+    // One warmed memory per run; every path trial forks the snapshot
+    // instead of re-simulating construction.
+    let histograms = exp
+        .with_warmup(1, |_wrng, _| SecureMemory::new(cfg.clone()).into_snapshot())
+        .run_trials(path_count(&cfg), |snap, _rng, p| {
+            characterize_path_on(&mut snap.fork(), p, samples)
+        });
 
     let mut rows = Vec::new();
     let mut trials = Vec::new();

@@ -13,8 +13,9 @@
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{
-    characterize_path, histogram_rows, path_count, print_histogram, scaled, write_csv,
+    characterize_path_on, histogram_rows, path_count, print_histogram, scaled, write_csv,
 };
+use metaleak_engine::secmem::SecureMemory;
 
 fn main() {
     let samples = scaled(1000, 10_000);
@@ -24,8 +25,13 @@ fn main() {
     let exp = Experiment::new("fig07_sgx_paths", 0x07)
         .config("arch", "sgx-sit")
         .config("samples_per_path", samples);
-    let histograms =
-        exp.run_trials(path_count(&cfg), |_rng, p| characterize_path(&cfg, p, samples));
+    // SIT construction is the most expensive in the suite (~16 ms);
+    // warm it once and fork per path trial.
+    let histograms = exp
+        .with_warmup(1, |_wrng, _| SecureMemory::new(cfg.clone()).into_snapshot())
+        .run_trials(path_count(&cfg), |snap, _rng, p| {
+            characterize_path_on(&mut snap.fork(), p, samples)
+        });
 
     let mut rows = Vec::new();
     let mut trials = Vec::new();

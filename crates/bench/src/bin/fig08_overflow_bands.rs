@@ -54,18 +54,31 @@ fn main() {
         .config("samples_per_case", samples)
         .config("chunks", CHUNKS);
 
-    // Each trial owns chunk `t` of the global sample index range and a
-    // fresh memory it saturates itself; global indices keep the far
-    // blocks rotating exactly as a serial run would.
-    let chunk_results = exp.run_trials(CHUNKS, |_rng, t| {
-        let start = t * samples / CHUNKS;
-        let end = (t + 1) * samples / CHUNKS;
+    // The saturated counter: the leaf minor versioning page 100's
+    // counter block (every write to page 100 bumps it on writeback).
+    let hot_block = 100 * 64;
+
+    // Each trial owns chunk `t` of the global sample index range and
+    // forks a shared memory already driven to its first overflow (the
+    // common known state every chunk previously re-established itself);
+    // global indices keep the far blocks rotating exactly as a serial
+    // run would.
+    let warm = exp.with_warmup(1, |_wrng, _| {
         let mut mem = SecureMemory::new(cfg.clone());
         let core = CoreId(0);
         let max = mem.tree().widths().minor_max();
-        // The saturated counter: the leaf minor versioning page 100's
-        // counter block (every write to page 100 bumps it on writeback).
-        let hot_block = 100 * 64;
+        // Establish a known state: drive to the first overflow.
+        for i in 0..=max {
+            write_through_counter(&mut mem, core, hot_block, i as u8);
+        }
+        mem.into_snapshot()
+    });
+    let chunk_results = warm.run_trials(CHUNKS, |snap, _rng, t| {
+        let start = t * samples / CHUNKS;
+        let end = (t + 1) * samples / CHUNKS;
+        let mut mem = snap.fork();
+        let core = CoreId(0);
+        let max = mem.tree().widths().minor_max();
         // The timed read's target: a block in the same bank
         // neighbourhood (the reset storm occupies the banks of the
         // covered counter blocks and node blocks).
@@ -73,10 +86,6 @@ fn main() {
         let mut with_overflow = LatencyHistogram::new(200);
         let mut without_overflow = LatencyHistogram::new(200);
 
-        // Establish a known state: drive to the first overflow.
-        for i in 0..=max {
-            write_through_counter(&mut mem, core, hot_block, i as u8);
-        }
         for s in start as u64..end as u64 {
             // Saturate: counter sits at 1 post-overflow; max - 1 writes.
             for i in 0..(max - 1) {

@@ -2,100 +2,136 @@
 //! accuracy over 1000-bit transmissions, on both the SCT (academic)
 //! and SIT (SGX) configurations.
 //!
-//! Each configuration is one harness trial; the transmitted bit
-//! pattern comes from the trial's own split RNG stream, so the two
-//! configurations no longer share one literal seed (and therefore no
-//! longer see identical payloads).
+//! Each configuration is one warmup point: the secure memory is built,
+//! the channel is planned, and a short priming preamble is transmitted
+//! once; the resulting [`metaleak_engine::snapshot::Snapshot`] is then
+//! forked by every chunk trial of that configuration, which transmits
+//! its own slice of the payload. Chunk payloads come from each trial's
+//! split RNG stream and the preamble from the point's warmup stream,
+//! so the artifacts are byte-identical whether the warmup runs once
+//! per configuration (the default) or is re-simulated inside every
+//! chunk (`METALEAK_SNAPSHOT=0`).
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig11_covert_t`
 
 use metaleak::configs;
-use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_attacks::covert_t::{CovertChannelT, CovertOutcome};
 use metaleak_attacks::timing::effective_bits_per_second;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, trace_enabled, write_csv, TextTable};
 use metaleak_engine::secmem::SecureMemory;
+use metaleak_engine::snapshot::Snapshot;
 use metaleak_sim::addr::CoreId;
-use metaleak_sim::rng::SimRng;
-use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog, Tracer};
+use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog};
 
-struct RunOutcome {
-    accuracy: f64,
-    bits_per_mcycle: f64,
-    kbps: f64,
-    cycles_per_bit: f64,
+/// Chunk trials per configuration. Fixed (not thread-count dependent)
+/// so the output never changes with the worker count.
+const CHUNKS: usize = 8;
+
+/// Priming preamble transmitted during warmup: long enough to pull the
+/// channel's metadata blocks, eviction sets and DRAM rows into their
+/// steady mid-transmission state before the snapshot is taken.
+const PREAMBLE_BITS: usize = 64;
+
+/// A configuration's warmed state: the post-preamble memory image and
+/// the planned channel that drives it.
+enum Warm {
+    Plain { snap: Snapshot<NullTracer>, channel: CovertChannelT },
+    Traced { snap: Snapshot<RingTracer>, channel: CovertChannelT },
+}
+
+struct ChunkOutcome {
+    correct: usize,
+    bits: usize,
+    cycles: u64,
     sample_classes: Vec<u64>,
     sample_values: Vec<u64>,
     rows: Vec<String>,
 }
 
-fn run<Tr: Tracer>(
-    name: &str,
-    mut mem: SecureMemory<Tr>,
-    level: u8,
-    bits_n: usize,
-    rng: &mut SimRng,
-) -> (RunOutcome, Tr) {
-    let channel =
-        CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), level, 100).expect("channel setup");
-    let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
-    let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
+fn chunk_outcome(name: &str, chunk: usize, bits: &[bool], out: CovertOutcome) -> ChunkOutcome {
+    let base = chunk * bits.len();
     let rows = out
         .records
         .iter()
         .enumerate()
-        .map(|(i, r)| {
+        .map(|(j, r)| {
             format!(
-                "{name},{i},{},{},{},{}",
-                bits[i] as u8,
+                "{name},{},{},{},{},{}",
+                base + j,
+                bits[j] as u8,
                 r.bit as u8,
                 r.tx_latency.as_u64(),
                 r.boundary_latency.as_u64()
             )
         })
         .collect();
-    let accuracy = out.accuracy(&bits);
-    let cycles_per_bit = out.cycles.as_u64() as f64 / bits_n as f64;
-    // Shannon-corrected throughput at a 3 GHz clock.
-    let kbps = effective_bits_per_second(cycles_per_bit, 1.0, accuracy, 3e9) / 1e3;
-    // Per-bit (secret class, tx latency) pairs for leakscan's TVLA/MI.
-    let samples = out.labelled_samples(&bits);
-    let outcome = RunOutcome {
-        accuracy,
-        bits_per_mcycle: out.bits_per_mcycle(),
-        kbps,
-        cycles_per_bit,
+    let samples = out.labelled_samples(bits);
+    ChunkOutcome {
+        correct: (out.accuracy(bits) * bits.len() as f64).round() as usize,
+        bits: bits.len(),
+        cycles: out.cycles.as_u64(),
         sample_classes: samples.iter().map(|s| s.class).collect(),
         sample_values: samples.iter().map(|s| s.value).collect(),
         rows,
-    };
-    (outcome, mem.into_tracer())
+    }
 }
 
 fn main() {
     let bits_n = scaled(200, 1000);
+    let chunk_bits = bits_n / CHUNKS;
     println!("== Figure 11: MetaLeak-T covert channel ({bits_n}-bit transmissions) ==\n");
-    let exp = Experiment::new("fig11_covert_t", 0x11).config("bits_per_config", bits_n);
+    let exp = Experiment::new("fig11_covert_t", 0x11)
+        .config("bits_per_config", bits_n)
+        .config("chunks", CHUNKS)
+        .config("preamble_bits", PREAMBLE_BITS);
 
     let setups = [
         ("SCT", configs::sct_experiment(), 0u8, "Fig. 11a", "99.3%"),
         ("SIT", configs::sgx_experiment(), 1u8, "Fig. 11b", "94.3%"),
     ];
-    // With METALEAK_TRACE set, each trial runs on its own RingTracer
-    // and its event log lands in the fig11_covert_t.trace.jsonl
-    // sidecar; otherwise the NullTracer build records nothing and the
-    // artifacts stay byte-identical to an untraced binary.
+    // With METALEAK_TRACE set, each chunk runs on a fork of the warmup
+    // RingTracer and its event log lands in the
+    // fig11_covert_t.trace.jsonl sidecar; otherwise the NullTracer
+    // build records nothing and the artifacts stay byte-identical to
+    // an untraced binary.
     let traced = trace_enabled();
     let ring_capacity = scaled(1 << 18, 1 << 20);
-    let results: Vec<(RunOutcome, Option<TraceLog>)> = exp.run_trials(setups.len(), |rng, i| {
-        let (name, cfg, level, _, _) = &setups[i];
+
+    let warm = exp.with_warmup(setups.len(), |wrng, p| {
+        let (_, cfg, level, _, _) = &setups[p];
+        let preamble: Vec<bool> = (0..PREAMBLE_BITS).map(|_| wrng.chance(0.5)).collect();
         if traced {
-            let mem = SecureMemory::with_tracer(cfg.clone(), RingTracer::new(ring_capacity));
-            let (out, tracer) = run(name, mem, *level, bits_n, rng);
-            (out, Some(tracer.into_log()))
+            let mut mem =
+                SecureMemory::builder(cfg.clone()).tracer(RingTracer::new(ring_capacity)).build();
+            let channel = CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), *level, 100)
+                .expect("channel setup");
+            channel.transmit(&mut mem, &preamble).expect("preamble transmission");
+            Warm::Traced { snap: mem.into_snapshot(), channel }
         } else {
-            let (out, NullTracer) = run(name, SecureMemory::new(cfg.clone()), *level, bits_n, rng);
-            (out, None)
+            let mut mem = SecureMemory::new(cfg.clone());
+            let channel = CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), *level, 100)
+                .expect("channel setup");
+            channel.transmit(&mut mem, &preamble).expect("preamble transmission");
+            Warm::Plain { snap: mem.into_snapshot(), channel }
+        }
+    });
+    let results: Vec<(ChunkOutcome, Option<TraceLog>)> = warm.run_trials(CHUNKS, |warm, rng, i| {
+        let (name, _, _, _, _) = &setups[i / CHUNKS];
+        let chunk = i % CHUNKS;
+        let bits: Vec<bool> = (0..chunk_bits).map(|_| rng.chance(0.5)).collect();
+        match warm {
+            Warm::Plain { snap, channel } => {
+                let mut mem = snap.fork();
+                let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
+                (chunk_outcome(name, chunk, &bits, out), None)
+            }
+            Warm::Traced { snap, channel } => {
+                let mut mem = snap.fork();
+                let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
+                let log = mem.into_tracer().into_log();
+                (chunk_outcome(name, chunk, &bits, out), Some(log))
+            }
         }
     });
 
@@ -103,30 +139,42 @@ fn main() {
         TextTable::new(vec!["config", "bit accuracy", "paper", "bits/Mcycle", "kbit/s @3GHz"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, (out, log)) in results.into_iter().enumerate() {
-        let (name, _, level, figure, paper) = &setups[i];
+    for (p, (name, _, level, figure, paper)) in setups.iter().enumerate() {
+        let chunks = &results[p * CHUNKS..(p + 1) * CHUNKS];
+        let bits: usize = chunks.iter().map(|(c, _)| c.bits).sum();
+        let correct: usize = chunks.iter().map(|(c, _)| c.correct).sum();
+        let cycles: u64 = chunks.iter().map(|(c, _)| c.cycles).sum();
+        let accuracy = correct as f64 / bits as f64;
+        let cycles_per_bit = cycles as f64 / bits as f64;
+        let bits_per_mcycle = bits as f64 / (cycles as f64 / 1e6);
+        // Shannon-corrected throughput at a 3 GHz clock.
+        let kbps = effective_bits_per_second(cycles_per_bit, 1.0, accuracy, 3e9) / 1e3;
         table.row(vec![
             format!("{name} ({figure})"),
-            format!("{:.1}%", out.accuracy * 100.0),
+            format!("{:.1}%", accuracy * 100.0),
             (*paper).to_owned(),
-            format!("{:.1}", out.bits_per_mcycle),
-            format!("{:.0}", out.kbps),
+            format!("{bits_per_mcycle:.1}"),
+            format!("{kbps:.0}"),
         ]);
-        rows.extend(out.rows.iter().cloned());
-        let mut trial = Trial::new(i)
-            .field("config", *name)
-            .field("level", *level)
-            .field("bits", bits_n)
-            .field("bit_accuracy", out.accuracy)
-            .field("bits_per_mcycle", out.bits_per_mcycle)
-            .field("kbps_at_3ghz", out.kbps)
-            .field("alphabet", 2u64)
-            .field("cycles_per_symbol", out.cycles_per_bit)
-            .labelled_samples(&out.sample_classes, &out.sample_values);
-        if let Some(log) = log {
-            trial = trial.with_trace(log);
+        for (chunk, (out, log)) in chunks.iter().enumerate() {
+            rows.extend(out.rows.iter().cloned());
+            let chunk_accuracy = out.correct as f64 / out.bits as f64;
+            let mut trial = Trial::new(p * CHUNKS + chunk)
+                .field("config", *name)
+                .field("level", *level)
+                .field("chunk", chunk)
+                .field("bits", out.bits)
+                .field("bit_accuracy", chunk_accuracy)
+                .field("bits_per_mcycle", out.bits as f64 / (out.cycles as f64 / 1e6))
+                .field("kbps_at_3ghz", kbps)
+                .field("alphabet", 2u64)
+                .field("cycles_per_symbol", out.cycles as f64 / out.bits as f64)
+                .labelled_samples(&out.sample_classes, &out.sample_values);
+            if let Some(log) = log {
+                trial = trial.with_trace(log.clone());
+            }
+            trials.push(trial);
         }
-        trials.push(trial);
     }
     println!("{}", table.render());
 

@@ -24,8 +24,12 @@ fn main() {
         .config("rounds_per_level", rounds)
         .config("victim_block", victim_block);
 
-    let results = exp.run_trials(3, |_rng, level| {
-        let mut mem = SecureMemory::new(configs::sct_experiment());
+    // One warmed memory; each level trial forks it rather than paying
+    // construction three times.
+    let warm =
+        exp.with_warmup(1, |_wrng, _| SecureMemory::new(configs::sct_experiment()).into_snapshot());
+    let results = warm.run_trials(3, |snap, _rng, level| {
+        let mut mem = snap.fork();
         match MetaLeakT::new(&mut mem, core, victim_block, level as u8, 4) {
             Ok(atk) => {
                 let interval =

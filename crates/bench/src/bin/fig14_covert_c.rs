@@ -39,11 +39,19 @@ fn main() {
         .config("symbols", symbols_n)
         .config("chunks", CHUNKS);
 
-    let chunk_results = exp.run_trials(CHUNKS, |rng, t| {
+    // The memory and planned channel are warmed once; every chunk
+    // forks the snapshot and clones the channel, then transmits its
+    // own slice of the symbol budget.
+    let warm = exp.with_warmup(1, |_wrng, _| {
+        let mem = SecureMemory::new(cfg.clone());
+        let channel = CovertChannelC::new(&mem, CoreId(0), CoreId(1), 1, 100).expect("setup");
+        (mem.into_snapshot(), channel)
+    });
+    let chunk_results = warm.run_trials(CHUNKS, |(snap, channel), rng, t| {
         let start = t * symbols_n / CHUNKS;
         let end = (t + 1) * symbols_n / CHUNKS;
-        let mut mem = SecureMemory::new(cfg.clone());
-        let mut channel = CovertChannelC::new(&mem, CoreId(0), CoreId(1), 1, 100).expect("setup");
+        let mut mem = snap.fork();
+        let mut channel = channel.clone();
         let cap = channel.max_symbol() + 1;
         let symbols: Vec<u64> = (start..end).map(|_| rng.below(cap)).collect();
         let out = channel.transmit(&mut mem, &symbols).expect("transmit");

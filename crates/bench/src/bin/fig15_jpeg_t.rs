@@ -5,10 +5,11 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig15_jpeg_t`
 
-use metaleak::casestudy::run_jpeg_t;
+use metaleak::casestudy::run_jpeg_t_on;
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{out_dir, scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::jpeg::GrayImage;
 
 fn main() {
@@ -21,10 +22,14 @@ fn main() {
     ];
 
     let exp = Experiment::new("fig15_jpeg_t", 0x15).config("image_size", size);
-    let results = exp.run_trials(images.len(), |_rng, i| {
-        let (_, image) = &images[i];
-        run_jpeg_t(configs::sct_experiment(), image, 100, 0).expect("attack")
-    });
+    // One warmed memory; each image's reconstruction forks the
+    // snapshot instead of re-simulating construction.
+    let results = exp
+        .with_warmup(1, |_wrng, _| SecureMemory::new(configs::sct_experiment()).into_snapshot())
+        .run_trials(images.len(), |snap, _rng, i| {
+            let (_, image) = &images[i];
+            run_jpeg_t_on(&mut snap.fork(), image, 100, 0).expect("attack")
+        });
 
     let mut table =
         TextTable::new(vec!["image", "stealing accuracy", "PSNR vs oracle (dB)", "windows"]);

@@ -5,10 +5,11 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig16_rsa`
 
-use metaleak::casestudy::run_rsa_t;
+use metaleak::casestudy::run_rsa_t_on;
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::rsa::RsaKey;
 
 fn main() {
@@ -23,10 +24,16 @@ fn main() {
         ("SGX / SIT (L1)", configs::sgx_experiment(), 1u8, "91.2%"),
     ];
     let exp = Experiment::new("fig16_rsa", 0x16).config("prime_bits", prime_bits);
-    let results = exp.run_trials(setups.len(), |_rng, i| {
-        let (_, cfg, level, _) = &setups[i];
-        run_rsa_t(cfg.clone(), &key, 100, *level).expect("attack")
-    });
+    // One warmed memory per configuration; its trial forks the
+    // snapshot instead of re-simulating construction.
+    let results = exp
+        .with_warmup(setups.len(), |_wrng, i| {
+            SecureMemory::new(setups[i].1.clone()).into_snapshot()
+        })
+        .run_trials(1, |snap, _rng, i| {
+            let (_, _, level, _) = &setups[i];
+            run_rsa_t_on(&mut snap.fork(), &key, 100, *level).expect("attack")
+        });
 
     let mut table = TextTable::new(vec!["config", "bit accuracy", "paper", "iterations"]);
     let mut rows = Vec::new();

@@ -4,10 +4,11 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig17_modinv`
 
-use metaleak::casestudy::run_modinv_t;
+use metaleak::casestudy::run_modinv_t_on;
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::bignum::BigUint;
 use metaleak_victims::modinv::InvOp;
 use metaleak_victims::rsa::RsaKey;
@@ -25,10 +26,16 @@ fn main() {
         ("SGX / SIT (L1, 600-cy threshold regime)", configs::sgx_experiment(), 1u8, "90.7%"),
     ];
     let exp = Experiment::new("fig17_modinv", 0x17).config("prime_bits", prime_bits);
-    let results = exp.run_trials(setups.len(), |_rng, i| {
-        let (_, cfg, level, _) = &setups[i];
-        run_modinv_t(cfg.clone(), &e, &phi, 100, *level).expect("attack")
-    });
+    // One warmed memory per configuration; its trial forks the
+    // snapshot instead of re-simulating construction.
+    let results = exp
+        .with_warmup(setups.len(), |_wrng, i| {
+            SecureMemory::new(setups[i].1.clone()).into_snapshot()
+        })
+        .run_trials(1, |snap, _rng, i| {
+            let (_, _, level, _) = &setups[i];
+            run_modinv_t_on(&mut snap.fork(), &e, &phi, 100, *level).expect("attack")
+        });
 
     let mut table = TextTable::new(vec!["config", "op detection accuracy", "paper", "ops"]);
     let mut rows = Vec::new();

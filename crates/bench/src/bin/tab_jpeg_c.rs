@@ -8,10 +8,11 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin tab_jpeg_c`
 
-use metaleak::casestudy::run_jpeg_c;
+use metaleak::casestudy::run_jpeg_c_on;
 use metaleak::configs;
 use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_bench::{quick_mode, scaled, write_csv, TextTable};
+use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::jpeg::GrayImage;
 
 fn main() {
@@ -27,10 +28,14 @@ fn main() {
         .config("events_per_image", events)
         .config("images", images_n);
 
-    let results = exp.run_trials(images_n, |rng, _| {
-        let image = GrayImage::glyphs(32, 32, rng.next_u64());
-        run_jpeg_c(cfg.clone(), &image, 100, 1, events).expect("attack")
-    });
+    // One warmed memory; each image trial forks the snapshot instead
+    // of re-simulating construction.
+    let results = exp
+        .with_warmup(1, |_wrng, _| SecureMemory::new(cfg.clone()).into_snapshot())
+        .run_trials(images_n, |snap, rng, _| {
+            let image = GrayImage::glyphs(32, 32, rng.next_u64());
+            run_jpeg_c_on(&mut snap.fork(), &image, 100, 1, events).expect("attack")
+        });
 
     let mean_acc =
         results.iter().map(|o| o.zero_recovery_accuracy).sum::<f64>() / results.len().max(1) as f64;

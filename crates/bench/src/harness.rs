@@ -38,6 +38,13 @@ use std::time::{Duration, Instant};
 /// Trial ids occupy `0..n`, which in practice stays far below this.
 pub const AUX_STREAM_BASE: u64 = 1 << 32;
 
+/// First stream id reserved for per-sweep-point warmup streams
+/// ([`Experiment::with_warmup`]). Disjoint from both trial ids and
+/// [`AUX_STREAM_BASE`] streams, so the warmup of point `p` draws the
+/// same randomness whether it runs once (snapshot sharing) or is
+/// re-run inside every trial of the point.
+pub const WARMUP_STREAM_BASE: u64 = 1 << 33;
+
 /// Worker-thread count used by [`Experiment::new`]: the value of
 /// `METALEAK_THREADS` when set (minimum 1), otherwise the machine's
 /// available parallelism.
@@ -224,6 +231,31 @@ impl Experiment {
         run_trials(n, self.seed, self.threads, f)
     }
 
+    /// The RNG stream feeding sweep point `point`'s warmup closure (see
+    /// the module docs; ids live above [`WARMUP_STREAM_BASE`]).
+    pub fn warmup_stream(&self, point: u64) -> SimRng {
+        SimRng::seed_from(self.seed).split(WARMUP_STREAM_BASE + point)
+    }
+
+    /// Stages a warmup-sharing trial plan: `points` sweep points, each
+    /// warmed once by `warmup` (typically: build a `SecureMemory`,
+    /// prime the channel, take a
+    /// [`metaleak_engine::snapshot::Snapshot`]), with every trial of a
+    /// point receiving a shared reference to that point's warmup state.
+    ///
+    /// Whether the warmup actually runs once per point (snapshot
+    /// sharing, the default) or is recomputed inside every trial
+    /// (`METALEAK_SNAPSHOT=0`) is invisible to the results: the warmup
+    /// always draws from [`Experiment::warmup_stream`]`(point)` — never
+    /// from a trial stream — and trials fork the warmed state instead
+    /// of mutating it, so both modes produce byte-identical rows.
+    pub fn with_warmup<S, W>(&self, points: usize, warmup: W) -> Warmup<'_, W>
+    where
+        W: Fn(&mut SimRng, usize) -> S + Sync,
+    {
+        Warmup { exp: self, points, warmup, sharing: crate::snapshot_sharing() }
+    }
+
     /// Writes the result sink: `<name>.jsonl` (one deterministic row
     /// per trial) and `<name>.meta.json` (seed, config, thread count,
     /// row count, wall-clock in milliseconds), both under
@@ -283,7 +315,8 @@ impl Experiment {
             .field("trials", trials.len())
             .field("rows", trials.len())
             .field("complete", true)
-            .field("quick_mode", quick_mode());
+            .field("quick_mode", quick_mode())
+            .field("snapshot_sharing", crate::snapshot_sharing());
         if let Some(rows) = trace_rows {
             // Commit record for the trace sidecar: `tracescan` refuses
             // traces whose row count disagrees (a torn write).
@@ -312,6 +345,62 @@ impl Experiment {
             );
         }
         ExperimentReport { jsonl, meta, trace_jsonl, wall_clock }
+    }
+}
+
+/// A staged warmup-sharing trial plan (see
+/// [`Experiment::with_warmup`]).
+#[derive(Debug)]
+pub struct Warmup<'a, W> {
+    exp: &'a Experiment,
+    points: usize,
+    warmup: W,
+    sharing: bool,
+}
+
+impl<W> Warmup<'_, W> {
+    /// Overrides the `METALEAK_SNAPSHOT` environment decision —
+    /// determinism tests use this to run both modes in one process.
+    pub fn with_sharing(mut self, sharing: bool) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Number of sweep points in the plan.
+    pub fn points(&self) -> usize {
+        self.points
+    }
+
+    /// Runs `points × trials_per_point` trials. Trial `i` belongs to
+    /// point `i / trials_per_point`, receives a shared reference to
+    /// that point's warmup state and its own trial stream
+    /// `SimRng::seed_from(seed).split(i)` — exactly the stream the same
+    /// trial would get from [`Experiment::run_trials`].
+    pub fn run_trials<S, T, F>(&self, trials_per_point: usize, f: F) -> Vec<T>
+    where
+        W: Fn(&mut SimRng, usize) -> S + Sync,
+        S: Send + Sync,
+        T: Send,
+        F: Fn(&S, &mut SimRng, usize) -> T + Sync,
+    {
+        assert!(trials_per_point > 0, "with_warmup needs at least one trial per point");
+        let n = self.points * trials_per_point;
+        if self.sharing {
+            // Warm every point once (itself fanned out over the worker
+            // pool), then fan the trials out against the shared states.
+            let states: Vec<S> = self.exp.run_trials(self.points, |_, p| {
+                let mut wrng = self.exp.warmup_stream(p as u64);
+                (self.warmup)(&mut wrng, p)
+            });
+            self.exp.run_trials(n, |rng, i| f(&states[i / trials_per_point], rng, i))
+        } else {
+            self.exp.run_trials(n, |rng, i| {
+                let p = i / trials_per_point;
+                let mut wrng = self.exp.warmup_stream(p as u64);
+                let state = (self.warmup)(&mut wrng, p);
+                f(&state, rng, i)
+            })
+        }
     }
 }
 
@@ -437,5 +526,47 @@ mod tests {
         let mut aux = exp.aux_stream(0);
         let trial0 = run_trials(1, 5, 1, |rng, _| rng.next_u64());
         assert_ne!(aux.next_u64(), trial0[0]);
+    }
+
+    #[test]
+    fn warmup_streams_avoid_trial_and_aux_streams() {
+        let exp = Experiment::new("warm_test", 5).with_threads(1);
+        let w = exp.warmup_stream(0).next_u64();
+        assert_ne!(w, exp.aux_stream(0).next_u64());
+        assert_ne!(w, run_trials(1, 5, 1, |rng, _| rng.next_u64())[0]);
+    }
+
+    #[test]
+    fn warmup_sharing_modes_are_byte_identical() {
+        // The warmup draws from its own stream and trials only read the
+        // shared state, so shared and per-trial warmup must agree for
+        // any thread count.
+        let run = |sharing: bool, threads: usize| {
+            let exp = Experiment::new("warm_eq", 0xAB).with_threads(threads);
+            exp.with_warmup(3, |wrng, p| (p as u64, wrng.next_u64()))
+                .with_sharing(sharing)
+                .run_trials(4, |state, rng, i| (state.0, state.1, rng.next_u64(), i))
+        };
+        let baseline = run(false, 1);
+        assert_eq!(baseline.len(), 12);
+        for (sharing, threads) in [(false, 8), (true, 1), (true, 8)] {
+            assert_eq!(run(sharing, threads), baseline, "sharing={sharing} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn warmup_runs_once_per_point_when_sharing() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let exp = Experiment::new("warm_count", 1).with_threads(2);
+        let out = exp
+            .with_warmup(2, |_, p| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                p
+            })
+            .with_sharing(true)
+            .run_trials(5, |&p, _, i| (p, i));
+        assert_eq!(out.len(), 10);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one warmup per point");
     }
 }

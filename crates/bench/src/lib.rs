@@ -40,6 +40,7 @@ use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::stats::LatencyHistogram;
+use metaleak_sim::trace::Tracer;
 use std::fs;
 use std::path::PathBuf;
 
@@ -62,6 +63,18 @@ pub fn characterize_path(
     samples: usize,
 ) -> (String, LatencyHistogram) {
     let mut mem = SecureMemory::new(config.clone());
+    characterize_path_on(&mut mem, path, samples)
+}
+
+/// [`characterize_path`] against a caller-provided memory — the
+/// snapshot-sharing form: warm one `SecureMemory` per sweep point, then
+/// run each path trial on a [`metaleak_engine::snapshot::Snapshot`]
+/// fork instead of re-simulating construction.
+pub fn characterize_path_on<Tr: Tracer>(
+    mem: &mut SecureMemory<Tr>,
+    path: usize,
+    samples: usize,
+) -> (String, LatencyHistogram) {
     let core = CoreId(0);
     let mut h = LatencyHistogram::new(10);
     match path {
@@ -197,6 +210,27 @@ pub fn trace_requested(value: Option<&str>) -> bool {
     full_requested(value)
 }
 
+/// Whether sweep points share one warmed snapshot across their trials
+/// ([`harness::Experiment::with_warmup`]). On by default; set
+/// `METALEAK_SNAPSHOT` to `0`, `false` or `no` to rebuild the warmup
+/// state inside every trial instead (the pre-snapshot behaviour, kept
+/// for perf comparisons and determinism cross-checks — both modes emit
+/// byte-identical JSONL/trace artifacts).
+pub fn snapshot_sharing() -> bool {
+    sharing_requested(std::env::var("METALEAK_SNAPSHOT").ok().as_deref())
+}
+
+/// Pure interpretation of the `METALEAK_SNAPSHOT` environment value
+/// (separated from [`snapshot_sharing`] so it can be tested without
+/// touching process-global environment state). Everything but an
+/// explicit falsy spelling keeps sharing on.
+pub fn sharing_requested(value: Option<&str>) -> bool {
+    !matches!(
+        value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+        Some("0") | Some("false") | Some("no")
+    )
+}
+
 /// Picks `quick` or `full` depending on [`quick_mode`].
 pub fn scaled(quick: usize, full: usize) -> usize {
     if quick_mode() {
@@ -316,6 +350,16 @@ mod tests {
     fn quick_mode_for_everything_else() {
         for v in [None, Some(""), Some("0"), Some("false"), Some("no"), Some("2"), Some("full")] {
             assert!(!full_requested(v), "{v:?} must stay quick");
+        }
+    }
+
+    #[test]
+    fn snapshot_sharing_is_on_unless_explicitly_disabled() {
+        for v in [None, Some(""), Some("1"), Some("true"), Some("yes"), Some("share")] {
+            assert!(sharing_requested(v), "{v:?} must keep sharing on");
+        }
+        for v in [Some("0"), Some("false"), Some("NO"), Some(" no ")] {
+            assert!(!sharing_requested(v), "{v:?} must disable sharing");
         }
     }
 }

@@ -4,7 +4,7 @@
 //! to differ (it records thread count and wall-clock).
 
 use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
@@ -16,7 +16,7 @@ const TRIALS: usize = 8;
 /// with a trial-stream-derived access pattern and summarize what the
 /// simulator observed.
 fn trial_body(rng: &mut SimRng, idx: usize) -> (usize, u64, u64, f64) {
-    let mut cfg = SecureConfig::sct(64);
+    let mut cfg = SecureConfigBuilder::sct(64).build();
     cfg.sim = metaleak_sim::config::SimConfig::small();
     cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
     let mut mem = SecureMemory::new(cfg);

@@ -1,0 +1,176 @@
+//! Snapshot determinism suite: fork-then-run must be byte-identical to
+//! run-from-scratch. The fig08/fig11/fig14 binaries are executed for
+//! real (quick mode, debug profile) under every combination of
+//! `METALEAK_SNAPSHOT` and `METALEAK_THREADS=1/8`, and their JSONL and
+//! CSV artifacts compared byte for byte. Traced sidecars are covered
+//! in-process: a fig11-shaped traced experiment (warmup primes a
+//! `CovertChannelT`, every trial forks the `RingTracer` snapshot) must
+//! emit identical `.trace.jsonl` bytes across both sharing modes and
+//! both thread counts. (Tracing a full fig11 run is minutes of
+//! debug-profile serialization per run, so the real-binary matrix runs
+//! untraced; the traced path through `Warmup::run_trials` and
+//! `Experiment::finish` is exactly the one exercised here.)
+
+use std::process::Command;
+
+use metaleak_attacks::covert_t::CovertChannelT;
+use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_engine::config::SecureConfigBuilder;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::trace::{RingTracer, TraceLog};
+
+/// One real-binary run's comparable artifacts.
+struct BinRun {
+    jsonl: String,
+    csv: String,
+    meta: String,
+}
+
+fn run_bin(exe: &str, name: &str, sharing: bool, threads: usize) -> BinRun {
+    let dir = std::env::temp_dir().join(format!(
+        "metaleak_snapdet_{name}_s{}_t{threads}_{}",
+        sharing as u8,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch out dir");
+    let status = Command::new(exe)
+        .env("METALEAK_OUT_DIR", &dir)
+        .env("METALEAK_SNAPSHOT", if sharing { "1" } else { "0" })
+        .env("METALEAK_THREADS", threads.to_string())
+        .env_remove("METALEAK_FULL")
+        .env_remove("METALEAK_TRACE")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    assert!(status.success(), "{name} (sharing={sharing}, threads={threads}) exited {status}");
+    let read = |suffix: &str| {
+        std::fs::read_to_string(dir.join(format!("{name}{suffix}")))
+            .unwrap_or_else(|e| panic!("read {name}{suffix}: {e}"))
+    };
+    let run = BinRun { jsonl: read(".jsonl"), csv: read(".csv"), meta: read(".meta.json") };
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+/// Runs `exe` under every (sharing, threads) combination and asserts
+/// the JSONL and CSV artifacts are byte-identical to the first combo;
+/// the meta record must admit which mode produced it.
+fn assert_bin_deterministic(exe: &str, name: &str, combos: &[(bool, usize)]) {
+    let (sharing0, threads0) = combos[0];
+    let baseline = run_bin(exe, name, sharing0, threads0);
+    assert!(!baseline.jsonl.is_empty(), "{name} produced an empty JSONL");
+    for &(sharing, threads) in &combos[1..] {
+        let run = run_bin(exe, name, sharing, threads);
+        assert_eq!(
+            baseline.jsonl, run.jsonl,
+            "{name} JSONL diverged at sharing={sharing}, threads={threads}"
+        );
+        assert_eq!(
+            baseline.csv, run.csv,
+            "{name} CSV diverged at sharing={sharing}, threads={threads}"
+        );
+        let field = format!("\"snapshot_sharing\":{sharing}");
+        assert!(run.meta.contains(&field), "{name} meta must record {field}: {}", run.meta);
+    }
+}
+
+#[test]
+fn fig08_artifacts_survive_sharing_and_thread_count() {
+    assert_bin_deterministic(
+        env!("CARGO_BIN_EXE_fig08_overflow_bands"),
+        "fig08_overflow_bands",
+        &[(true, 1), (true, 8), (false, 1), (false, 8)],
+    );
+}
+
+#[test]
+fn fig11_artifacts_survive_sharing_and_thread_count() {
+    // The non-shared fig11 re-simulates every chunk's preamble, which
+    // costs ~40 s per debug run: one scratch run (at the higher thread
+    // count, the harder case) suffices for fork-vs-scratch identity.
+    assert_bin_deterministic(
+        env!("CARGO_BIN_EXE_fig11_covert_t"),
+        "fig11_covert_t",
+        &[(true, 1), (true, 8), (false, 8)],
+    );
+}
+
+#[test]
+fn fig14_artifacts_survive_sharing_and_thread_count() {
+    assert_bin_deterministic(
+        env!("CARGO_BIN_EXE_fig14_covert_c"),
+        "fig14_covert_c",
+        &[(true, 1), (true, 8), (false, 1), (false, 8)],
+    );
+}
+
+/// A fig11-shaped traced experiment, small enough to run four times in
+/// a debug test: warmup builds a traced memory, plans the channel and
+/// transmits a priming preamble; each trial forks the snapshot and
+/// transmits its own bits, returning the fork's trace log.
+fn traced_run(name: &str, sharing: bool, threads: usize) -> (String, String) {
+    let exp = Experiment::new(name, 0xF16).with_threads(threads);
+    let results: Vec<(f64, TraceLog)> = exp
+        .with_warmup(1, |wrng, _| {
+            let mut cfg = SecureConfigBuilder::sct(16384).build();
+            cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
+                counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+                tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+            };
+            let mut mem = SecureMemory::builder(cfg).tracer(RingTracer::new(1 << 14)).build();
+            let channel =
+                CovertChannelT::new(&mut mem, CoreId(0), CoreId(1), 0, 100).expect("channel");
+            let preamble: Vec<bool> = (0..8).map(|_| wrng.chance(0.5)).collect();
+            channel.transmit(&mut mem, &preamble).expect("preamble");
+            (mem.into_snapshot(), channel)
+        })
+        .with_sharing(sharing)
+        .run_trials(4, |(snap, channel), rng, _| {
+            let bits: Vec<bool> = (0..8).map(|_| rng.chance(0.5)).collect();
+            let mut mem = snap.fork();
+            let out = channel.transmit(&mut mem, &bits).expect("transmit");
+            (out.accuracy(&bits), mem.into_tracer().into_log())
+        });
+    let trials: Vec<Trial> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (acc, log))| Trial::new(i).field("bit_accuracy", acc).with_trace(log))
+        .collect();
+    let report = exp.finish(&trials);
+    let jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
+    let trace = std::fs::read_to_string(report.trace_jsonl.expect("trace sidecar"))
+        .expect("read trace jsonl");
+    (jsonl, trace)
+}
+
+#[test]
+fn traced_sidecars_survive_sharing_and_thread_count() {
+    // Pin the sink before the first run; restore afterwards (set_var is
+    // process-global, same save/restore idiom as the harness tests).
+    let dir = std::env::temp_dir().join(format!("metaleak_snapdet_traced_{}", std::process::id()));
+    let old = std::env::var("METALEAK_OUT_DIR").ok();
+    std::env::set_var("METALEAK_OUT_DIR", &dir);
+
+    let (jsonl_base, trace_base) = traced_run("snapdet_traced_s1_t1", true, 1);
+    assert!(!trace_base.is_empty(), "warmed forks must record trace events");
+    for (name, sharing, threads) in [
+        ("snapdet_traced_s1_t8", true, 8),
+        ("snapdet_traced_s0_t1", false, 1),
+        ("snapdet_traced_s0_t8", false, 8),
+    ] {
+        let (jsonl, trace) = traced_run(name, sharing, threads);
+        assert_eq!(jsonl_base, jsonl, "JSONL diverged at sharing={sharing}, threads={threads}");
+        assert_eq!(
+            trace_base, trace,
+            "trace sidecar diverged at sharing={sharing}, threads={threads}"
+        );
+    }
+
+    match old {
+        Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
+        None => std::env::remove_var("METALEAK_OUT_DIR"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,7 +4,7 @@
 //! and an untraced run must leave no trace artifacts behind.
 
 use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
@@ -31,7 +31,7 @@ fn trial_body<T: Tracer>(rng: &mut SimRng, mut mem: SecureMemory<T>) -> (u64, T)
 }
 
 fn small_config() -> SecureConfig {
-    let mut cfg = SecureConfig::sct(64);
+    let mut cfg = SecureConfigBuilder::sct(64).build();
     cfg.sim = metaleak_sim::config::SimConfig::small();
     cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
     cfg
@@ -40,7 +40,7 @@ fn small_config() -> SecureConfig {
 fn run_traced(name: &str, threads: usize) -> (String, String, Vec<u64>) {
     let exp = Experiment::new(name, SEED).with_threads(threads);
     let results: Vec<(u64, TraceLog)> = exp.run_trials(TRIALS, |rng, _| {
-        let mem = SecureMemory::with_tracer(small_config(), RingTracer::new(4096));
+        let mem = SecureMemory::builder(small_config()).tracer(RingTracer::new(4096)).build();
         let (latency, tracer) = trial_body(rng, mem);
         (latency, tracer.into_log())
     });

@@ -1,0 +1,235 @@
+//! The channel-agnostic covert-transmission interface.
+//!
+//! MetaLeak-T ([`crate::covert_t::CovertChannelT`]) and MetaLeak-C
+//! ([`crate::covert_c::CovertChannelC`]) grew structurally identical
+//! `transmit`/`transmit_framed` pairs that differed only in symbol
+//! type (bits vs counter symbols) and observable (reload latency vs
+//! spy write count). The [`CovertChannel`] trait unifies them so the
+//! harness and leakage-assessment plumbing can drive *a* covert
+//! channel without matching on the concrete type.
+//!
+//! The trait speaks symbols (`u64` values below
+//! [`CovertChannel::alphabet`]); a binary channel is simply one with
+//! alphabet 2, and [`CovertChannel::transmit_bits`] adapts a bit
+//! payload for any channel.
+
+use crate::error::AttackError;
+use crate::resilience::{DecodeReport, FrameCodec, RetryPolicy};
+use crate::timing::LabelledSample;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::Tracer;
+
+/// Result of a raw (unframed) covert transmission, channel-agnostic:
+/// decoded symbols plus the labelled per-window observations that feed
+/// the leakage-assessment layer.
+#[derive(Debug, Clone)]
+pub struct SymbolsOutcome {
+    /// Symbols as decoded by the spy.
+    pub decoded: Vec<u64>,
+    /// One labelled observation per window: the *sent* symbol as the
+    /// secret class, the channel observable (spy reload latency for
+    /// MetaLeak-T, spy write count for MetaLeak-C) as the value.
+    pub samples: Vec<LabelledSample>,
+    /// Total simulated cycles consumed.
+    pub cycles: Cycles,
+}
+
+impl SymbolsOutcome {
+    /// Symbol accuracy against the transmitted ground truth.
+    pub fn accuracy(&self, truth: &[u64]) -> f64 {
+        crate::timing::accuracy(&self.decoded, truth)
+    }
+
+    /// Average cycles consumed per transmitted symbol.
+    pub fn cycles_per_symbol(&self) -> f64 {
+        if self.decoded.is_empty() {
+            return 0.0;
+        }
+        self.cycles.as_u64() as f64 / self.decoded.len() as f64
+    }
+
+    /// Raw rate: transmitted symbols per million cycles.
+    pub fn symbols_per_mcycle(&self) -> f64 {
+        self.decoded.len() as f64 / (self.cycles.as_u64() as f64 / 1e6)
+    }
+}
+
+/// Result of an ECC-framed covert transmission (either channel).
+#[derive(Debug, Clone)]
+pub struct FramedOutcome {
+    /// The receiver-side decode report (payload, corrections, losses).
+    pub report: DecodeReport,
+    /// Wire bits actually pushed through the channel.
+    pub wire_bits: usize,
+    /// Wire bits the spy failed to observe (erasures after per-window
+    /// failure — these abstain from the majority vote).
+    pub erasures: usize,
+    /// Labelled per-window observations (sent wire bit → channel
+    /// observable) for the windows that survived; erased windows are
+    /// omitted. Feeds the leakage-assessment layer.
+    pub wire_samples: Vec<LabelledSample>,
+    /// Total simulated cycles consumed.
+    pub cycles: Cycles,
+}
+
+impl FramedOutcome {
+    /// Payload-bit accuracy against the transmitted ground truth.
+    pub fn accuracy(&self, truth: &[bool]) -> f64 {
+        crate::timing::accuracy(&self.report.payload, truth)
+    }
+}
+
+/// A configured covert channel, abstracted over the transmission
+/// mechanism.
+///
+/// Both method families take the secure memory separately (the channel
+/// holds plans and classifiers, never the simulator), so one warm
+/// engine — or a fork of a warm snapshot — can serve many
+/// transmissions.
+pub trait CovertChannel {
+    /// Number of distinct symbol values one channel window can carry
+    /// (2 for a binary channel; `max_symbol + 1` for MetaLeak-C).
+    fn alphabet(&self) -> u64;
+
+    /// Transmits `symbols` (each `< alphabet()`) without redundancy.
+    ///
+    /// # Errors
+    /// [`AttackError::InvalidParameter`] for out-of-alphabet symbols;
+    /// the raw channel aborts on the first disturbed window (see
+    /// [`CovertChannel::transmit_payload`] for the fault-tolerant
+    /// path).
+    fn transmit_symbols<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        symbols: &[u64],
+    ) -> Result<SymbolsOutcome, AttackError>;
+
+    /// Transmits `payload` bits inside ECC frames: windows lost to
+    /// interference become erasures that abstain from the majority
+    /// vote; `policy` bounds any channel re-arming retries (ignored by
+    /// channels that need no re-arming).
+    ///
+    /// # Errors
+    /// Only permanent errors abort (planning, parameters, exhausted
+    /// retries); transient window failures are absorbed.
+    fn transmit_payload<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        payload: &[bool],
+        codec: &FrameCodec,
+        policy: &RetryPolicy,
+    ) -> Result<FramedOutcome, AttackError>;
+
+    /// Adapts a bit payload onto the channel: each bit becomes the
+    /// symbol 0 or 1 (valid for every channel, since alphabets are at
+    /// least binary).
+    ///
+    /// # Errors
+    /// As [`CovertChannel::transmit_symbols`].
+    fn transmit_bits<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        bits: &[bool],
+    ) -> Result<SymbolsOutcome, AttackError> {
+        let symbols: Vec<u64> = bits.iter().map(|&b| b as u64).collect();
+        self.transmit_symbols(mem, &symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covert_c::CovertChannelC;
+    use crate::covert_t::CovertChannelT;
+    use metaleak_engine::config::SecureConfigBuilder;
+    use metaleak_sim::addr::CoreId;
+
+    fn mem_t() -> SecureMemory {
+        let cfg = SecureConfigBuilder::sct(16384)
+            .mcache(metaleak_meta::mcache::MetaCacheConfig {
+                counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+                tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+            })
+            .build();
+        SecureMemory::new(cfg)
+    }
+
+    fn mem_c() -> SecureMemory {
+        SecureMemory::new(SecureConfigBuilder::sct(16384).tree_minor_bits(3).build())
+    }
+
+    /// The point of the trait: one generic driver for both channels.
+    fn drive<C: CovertChannel, Tr: Tracer>(
+        ch: &mut C,
+        mem: &mut SecureMemory<Tr>,
+        bits: &[bool],
+    ) -> SymbolsOutcome {
+        ch.transmit_bits(mem, bits).expect("clean transmission")
+    }
+
+    #[test]
+    fn both_channels_drive_through_one_generic_function() {
+        let bits: Vec<bool> = [1u8, 0, 1, 1, 0, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        let truth: Vec<u64> = bits.iter().map(|&b| b as u64).collect();
+
+        let mut mt = mem_t();
+        let mut t = CovertChannelT::new(&mut mt, CoreId(0), CoreId(1), 0, 100).unwrap();
+        assert_eq!(t.alphabet(), 2);
+        let out_t = drive(&mut t, &mut mt, &bits);
+        assert_eq!(out_t.decoded, truth);
+        assert_eq!(out_t.samples.len(), bits.len());
+        assert!(out_t.cycles_per_symbol() > 0.0);
+
+        let mut mc = mem_c();
+        let mut c = CovertChannelC::new(&mc, CoreId(0), CoreId(1), 1, 100).unwrap();
+        assert_eq!(c.alphabet(), 7);
+        let out_c = drive(&mut c, &mut mc, &bits);
+        assert_eq!(out_c.decoded, truth);
+        assert_eq!(out_c.samples.len(), bits.len());
+    }
+
+    #[test]
+    fn trait_samples_label_sent_symbols_not_decoded_ones() {
+        let mut mc = mem_c();
+        let mut c = CovertChannelC::new(&mc, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let symbols = vec![3, 0, 6, 1];
+        let out = c.transmit_symbols(&mut mc, &symbols).unwrap();
+        for (s, &sent) in out.samples.iter().zip(&symbols) {
+            assert_eq!(s.class, sent);
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_are_rejected_by_both() {
+        let mut mt = mem_t();
+        let mut t = CovertChannelT::new(&mut mt, CoreId(0), CoreId(1), 0, 100).unwrap();
+        assert!(matches!(
+            t.transmit_symbols(&mut mt, &[2]),
+            Err(AttackError::InvalidParameter { .. })
+        ));
+        let mut mc = mem_c();
+        let mut c = CovertChannelC::new(&mc, CoreId(0), CoreId(1), 1, 100).unwrap();
+        assert!(matches!(
+            c.transmit_symbols(&mut mc, &[7]),
+            Err(AttackError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn framed_payloads_round_trip_through_the_trait() {
+        let payload: Vec<bool> = [1u8, 0, 0, 1, 1, 0, 1, 0].iter().map(|&b| b == 1).collect();
+        let codec = FrameCodec::new(3);
+        let policy = RetryPolicy::default();
+
+        let mut mt = mem_t();
+        let mut t = CovertChannelT::new(&mut mt, CoreId(0), CoreId(1), 0, 100).unwrap();
+        let out_t = t.transmit_payload(&mut mt, &payload, &codec, &policy).unwrap();
+        assert_eq!(out_t.report.payload, payload);
+
+        let mut mc = mem_c();
+        let mut c = CovertChannelC::new(&mc, CoreId(0), CoreId(1), 1, 100).unwrap();
+        let out_c = c.transmit_payload(&mut mc, &payload, &codec, &policy).unwrap();
+        assert_eq!(out_c.report.payload, payload);
+    }
+}

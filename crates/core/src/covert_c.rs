@@ -2,9 +2,10 @@
 //! 7-bit symbol as the number of writes modulating a shared tree
 //! counter; the spy decodes it from the extra writes needed to overflow.
 
+use crate::channel::{CovertChannel, FramedOutcome, SymbolsOutcome};
 use crate::error::AttackError;
 use crate::metaleak_c::{Bumper, MetaLeakC};
-use crate::resilience::{DecodeReport, FrameCodec, RetryPolicy};
+use crate::resilience::{FrameCodec, RetryPolicy};
 use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
@@ -64,34 +65,15 @@ impl CovertOutcomeC {
     }
 }
 
-/// Result of an ECC-framed covert-C transmission.
-#[derive(Debug, Clone)]
-pub struct FramedOutcomeC {
-    /// The receiver-side decode report (payload, corrections, losses).
-    pub report: DecodeReport,
-    /// Wire bits pushed through the channel (one binary symbol each).
-    pub wire_bits: usize,
-    /// Wire bits lost to interference (erasure slots in the vote).
-    pub erasures: usize,
-    /// Labelled per-window observations (sent wire bit → spy writes to
-    /// the overflow spike) for the windows that survived; erased
-    /// windows are omitted. Feeds the leakage-assessment layer.
-    pub wire_samples: Vec<LabelledSample>,
-    /// Total simulated cycles consumed.
-    pub cycles: Cycles,
-}
-
-impl FramedOutcomeC {
-    /// Payload-bit accuracy against the transmitted ground truth.
-    pub fn accuracy(&self, truth: &[bool]) -> f64 {
-        crate::timing::accuracy(&self.report.payload, truth)
-    }
-}
+/// Former covert-C-specific framed outcome, now structurally unified
+/// with MetaLeak-T's under [`crate::channel::FramedOutcome`].
+#[deprecated(since = "0.1.0", note = "use `metaleak_attacks::channel::FramedOutcome`")]
+pub type FramedOutcomeC = FramedOutcome;
 
 /// A configured MetaLeak-C covert channel. Trojan and spy both own
 /// write pools under the same child subtree; the shared counter is the
 /// child's version slot in its parent node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CovertChannelC {
     spy: MetaLeakC,
     trojan: Bumper,
@@ -210,7 +192,7 @@ impl CovertChannelC {
         payload: &[bool],
         codec: &FrameCodec,
         policy: &RetryPolicy,
-    ) -> Result<FramedOutcomeC, AttackError> {
+    ) -> Result<FramedOutcome, AttackError> {
         let start = mem.now();
         let wire = codec.encode(payload);
         policy.run(mem, |m| self.spy.reset(m, self.spy_core).map(|_| ()))?;
@@ -234,7 +216,7 @@ impl CovertChannelC {
             }
         }
         let report = codec.decode(&received, payload.len())?;
-        Ok(FramedOutcomeC {
+        Ok(FramedOutcome {
             report,
             wire_bits: wire.len(),
             erasures,
@@ -244,15 +226,44 @@ impl CovertChannelC {
     }
 }
 
+impl CovertChannel for CovertChannelC {
+    fn alphabet(&self) -> u64 {
+        self.max_symbol() + 1
+    }
+
+    fn transmit_symbols<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        symbols: &[u64],
+    ) -> Result<SymbolsOutcome, AttackError> {
+        let out = self.transmit(mem, symbols)?;
+        Ok(SymbolsOutcome {
+            samples: out.labelled_samples(symbols),
+            decoded: out.decoded,
+            cycles: out.cycles,
+        })
+    }
+
+    fn transmit_payload<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        payload: &[bool],
+        codec: &FrameCodec,
+        policy: &RetryPolicy,
+    ) -> Result<FramedOutcome, AttackError> {
+        self.transmit_framed(mem, payload, codec, policy)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
     use metaleak_meta::enc_counter::CounterWidths;
     use metaleak_sim::rng::SimRng;
 
     fn mem(minor_bits: u8) -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.tree_widths = CounterWidths { minor_bits, mono_bits: 56 };
         SecureMemory::new(cfg)
     }

@@ -3,14 +3,17 @@
 //! different metadata-cache sets — one *transmission* set (access = bit
 //! '1') and one *boundary* set delimiting bit windows.
 
+use crate::channel::{CovertChannel, SymbolsOutcome};
 use crate::error::AttackError;
 use crate::metaleak_t::MetaLeakT;
-use crate::resilience::{DecodeReport, FrameCodec};
+use crate::resilience::{FrameCodec, RetryPolicy};
 use crate::timing::LabelledSample;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::clock::Cycles;
 use metaleak_sim::trace::{TraceEvent, Tracer};
+
+pub use crate::channel::FramedOutcome;
 
 /// Per-bit observation for trace rendering (Figure 11).
 #[derive(Debug, Clone, Copy)]
@@ -23,31 +26,6 @@ pub struct BitRecord {
     pub boundary_latency: Cycles,
     /// Whether the boundary access was detected (window validity).
     pub boundary_ok: bool,
-}
-
-/// Result of an ECC-framed covert transmission.
-#[derive(Debug, Clone)]
-pub struct FramedOutcome {
-    /// The receiver-side decode report (payload, corrections, losses).
-    pub report: DecodeReport,
-    /// Wire bits actually pushed through the channel.
-    pub wire_bits: usize,
-    /// Wire bits the spy failed to observe (erasures after per-bit
-    /// failure — these abstain from the majority vote).
-    pub erasures: usize,
-    /// Labelled per-window observations (sent wire bit → spy reload
-    /// latency) for the windows that survived; erased windows are
-    /// omitted. Feeds the leakage-assessment layer.
-    pub wire_samples: Vec<LabelledSample>,
-    /// Total simulated cycles consumed.
-    pub cycles: Cycles,
-}
-
-impl FramedOutcome {
-    /// Payload-bit accuracy against the transmitted ground truth.
-    pub fn accuracy(&self, truth: &[bool]) -> f64 {
-        crate::timing::accuracy(&self.report.payload, truth)
-    }
 }
 
 /// Result of a covert transmission.
@@ -291,14 +269,49 @@ impl CovertChannelT {
     }
 }
 
+impl CovertChannel for CovertChannelT {
+    fn alphabet(&self) -> u64 {
+        2
+    }
+
+    fn transmit_symbols<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        symbols: &[u64],
+    ) -> Result<SymbolsOutcome, AttackError> {
+        if symbols.iter().any(|&s| s > 1) {
+            return Err(AttackError::InvalidParameter { what: "symbol exceeds channel capacity" });
+        }
+        let bits: Vec<bool> = symbols.iter().map(|&s| s == 1).collect();
+        let out = self.transmit(mem, &bits)?;
+        Ok(SymbolsOutcome {
+            decoded: out.decoded.iter().map(|&b| b as u64).collect(),
+            samples: out.labelled_samples(&bits),
+            cycles: out.cycles,
+        })
+    }
+
+    /// MetaLeak-T windows are self-framing (the boundary set marks
+    /// them), so no re-arming is needed and `_policy` is unused.
+    fn transmit_payload<Tr: Tracer>(
+        &mut self,
+        mem: &mut SecureMemory<Tr>,
+        payload: &[bool],
+        codec: &FrameCodec,
+        _policy: &RetryPolicy,
+    ) -> Result<FramedOutcome, AttackError> {
+        self.transmit_framed(mem, payload, codec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
     use metaleak_sim::rng::SimRng;
 
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
             tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
@@ -320,7 +333,7 @@ mod tests {
     #[test]
     fn framed_transfer_survives_sample_drops() {
         use metaleak_sim::interference::{FaultKind, FaultPlan};
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
             tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),

@@ -149,10 +149,10 @@ pub fn victim_touch<Tr: Tracer>(mem: &mut SecureMemory<Tr>, core: CoreId, block:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
 
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
             tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),

@@ -12,9 +12,11 @@
 //! - supporting primitives: latency classification ([`timing`]),
 //!   implicit-sharing arithmetic ([`sharing`]), indirect metadata
 //!   eviction ([`mevict`]), timed reloads ([`mreload`]),
-//!   SGX-Step-style victim stepping ([`step`]) and the self-healing
+//!   SGX-Step-style victim stepping ([`step`]), the self-healing
 //!   runtime ([`resilience`]: bounded retries, drift-aware
-//!   recalibration, ECC framing).
+//!   recalibration, ECC framing) and the channel-agnostic
+//!   [`channel::CovertChannel`] interface both covert channels
+//!   implement.
 //!
 //! ```
 //! use metaleak_attacks::MetaLeakT;
@@ -22,11 +24,12 @@
 //!
 //! // 64 MiB protected region; a small tree cache keeps eviction sets
 //! // cheap to build for the example.
-//! let mut cfg = SecureConfig::sct(16384);
-//! cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
-//!     counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
-//!     tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
-//! };
+//! let cfg = SecureConfigBuilder::sct(16384)
+//!     .mcache(metaleak_meta::mcache::MetaCacheConfig {
+//!         counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+//!         tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
+//!     })
+//!     .build();
 //! let mut mem = SecureMemory::new(cfg);
 //! let victim_block = 100 * 64;
 //! let monitor = MetaLeakT::new(&mut mem, CoreId(0), victim_block, 0, 4)?;
@@ -40,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod covert_c;
 pub mod covert_t;
 pub mod dual;
@@ -54,6 +58,7 @@ pub mod step;
 pub mod timing;
 pub mod wqflush;
 
+pub use channel::{CovertChannel, FramedOutcome, SymbolsOutcome};
 pub use covert_c::{CovertChannelC, CovertOutcomeC};
 pub use covert_t::{CovertChannelT, CovertOutcome};
 pub use dual::{find_partner_block, victim_touch, DualPageMonitor, WindowSample};

@@ -382,12 +382,12 @@ pub fn victim_write<Tr: Tracer>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
     use metaleak_meta::enc_counter::CounterWidths;
 
     /// SCT with 3-bit tree minors so overflow needs only 8 bumps.
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.tree_widths = CounterWidths { minor_bits: 3, mono_bits: 56 };
         SecureMemory::new(cfg)
     }
@@ -513,7 +513,7 @@ mod tests {
 
     #[test]
     fn sgx_counters_are_impractical() {
-        let m = SecureMemory::new(SecureConfig::sgx(4096));
+        let m = SecureMemory::new(SecureConfigBuilder::sit(4096).build());
         assert!(matches!(MetaLeakC::new(&m, 0, 1), Err(AttackError::OverflowImpractical { .. })));
     }
 

@@ -312,11 +312,11 @@ impl MetaLeakT {
 mod tests {
     use super::*;
     use crate::timing::accuracy;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
     use metaleak_sim::rng::SimRng;
 
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
             tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
@@ -386,7 +386,7 @@ mod tests {
 
     #[test]
     fn sgx_rejects_leaf_level() {
-        let mut m = SecureMemory::new(SecureConfig::sgx(4096));
+        let mut m = SecureMemory::new(SecureConfigBuilder::sit(4096).build());
         let err = MetaLeakT::new(&mut m, CoreId(0), 0, 0, 2).unwrap_err();
         assert_eq!(err, AttackError::LevelNotShareable { level: 0 });
     }
@@ -405,7 +405,7 @@ mod tests {
     #[test]
     fn resilient_monitor_survives_sample_drops() {
         use metaleak_sim::interference::{FaultKind, FaultPlan};
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
             tree: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),

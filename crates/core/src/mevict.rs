@@ -384,12 +384,12 @@ fn mem_counter_sets<Tr: Tracer>(mem: &SecureMemory<Tr>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
 
     /// A mid-sized SCT memory: 64 MiB protected (16384 pages), enough
     /// leaves (512) relative to a shrunken tree cache for eviction sets.
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
             counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),
@@ -507,7 +507,7 @@ mod tests {
 
     #[test]
     fn planning_fails_on_tiny_regions() {
-        let m = SecureMemory::new(SecureConfig::sct(64));
+        let m = SecureMemory::new(SecureConfigBuilder::sct(64).build());
         let target = m.tree().geometry().leaf_of(0);
         assert!(matches!(
             TreeSetEvictor::plan(&m, target),

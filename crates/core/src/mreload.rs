@@ -105,11 +105,11 @@ impl Probe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
     use metaleak_sim::interference::{FaultKind, FaultPlan};
 
     fn mem() -> SecureMemory {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         SecureMemory::new(cfg)
     }
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn dropped_samples_surface_as_transient_errors() {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         cfg.faults = FaultPlan::clean().seeded(7).with(FaultKind::SampleDrop { rate: 1.0 });
         let mut m = SecureMemory::new(cfg);
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn duplicated_samples_are_marked_stale() {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         cfg.faults = FaultPlan::clean().seeded(7).with(FaultKind::SampleDuplicate { rate: 1.0 });
         let mut m = SecureMemory::new(cfg);
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn retry_outlasts_intermittent_preemption() {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         cfg.faults = FaultPlan::clean().seeded(11).with(FaultKind::SampleDrop { rate: 0.5 });
         let mut m = SecureMemory::new(cfg);

@@ -79,10 +79,10 @@ pub fn pick_probe_block<Tr: Tracer>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
 
     fn mem() -> SecureMemory {
-        SecureMemory::new(SecureConfig::sct(2048))
+        SecureMemory::new(SecureConfigBuilder::sct(2048).build())
     }
 
     #[test]
@@ -136,7 +136,7 @@ mod tests {
         // they all belong to the same page — tree co-location at L0 is
         // useless across domains. The helper still returns a block; the
         // attack layer rejects L0 for SGX (see metaleak_t).
-        let m = SecureMemory::new(SecureConfig::sgx(512));
+        let m = SecureMemory::new(SecureConfigBuilder::sit(512).build());
         let probe = pick_probe_block(&m, 0, 0);
         assert!(probe.is_some());
         // At L1 the probe lands in a different page, as the attack needs.

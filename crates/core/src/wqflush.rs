@@ -71,11 +71,11 @@ impl WriteQueueFlusher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metaleak_engine::config::SecureConfig;
+    use metaleak_engine::config::SecureConfigBuilder;
 
     #[test]
     fn redundant_writes_force_pending_writes_to_service() {
-        let mut cfg = SecureConfig::sct(16384);
+        let mut cfg = SecureConfigBuilder::sct(16384).build();
         cfg.sim.noise_sd = 0.0;
         let mut mem = SecureMemory::new(cfg);
         let core = CoreId(0);
@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn flusher_avoids_the_monitored_subtree() {
-        let mem = SecureMemory::new(SecureConfig::sct(16384));
+        let mem = SecureMemory::new(SecureConfigBuilder::sct(16384).build());
         let cb = mem.counter_block_of(100 * 64);
         let target = mem.tree().geometry().ancestor_at(cb, 1);
         let flusher = WriteQueueFlusher::plan(&mem, Some(target), 64);

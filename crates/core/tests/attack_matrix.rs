@@ -6,7 +6,7 @@ use metaleak_attacks::dual::{find_partner_block, victim_touch, DualPageMonitor};
 use metaleak_attacks::error::AttackError;
 use metaleak_attacks::metaleak_c::{victim_write, MetaLeakC};
 use metaleak_attacks::metaleak_t::MetaLeakT;
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::CounterWidths;
 use metaleak_meta::mcache::MetaCacheConfig;
@@ -26,9 +26,9 @@ const VICTIM: u64 = 100 * 64;
 #[test]
 fn metaleak_t_works_on_every_design_at_its_usable_levels() {
     let cases: Vec<(&str, SecureConfig, Vec<u8>)> = vec![
-        ("SCT", experiment(SecureConfig::sct(16384)), vec![0, 1]),
-        ("HT", experiment(SecureConfig::ht(16384)), vec![0, 1]),
-        ("SGX", experiment(SecureConfig::sgx(16384)), vec![1]),
+        ("SCT", experiment(SecureConfigBuilder::sct(16384).build()), vec![0, 1]),
+        ("HT", experiment(SecureConfigBuilder::ht(16384).build()), vec![0, 1]),
+        ("SGX", experiment(SecureConfigBuilder::sit(16384).build()), vec![1]),
     ];
     for (name, cfg, levels) in cases {
         for level in levels {
@@ -47,9 +47,9 @@ fn metaleak_t_works_on_every_design_at_its_usable_levels() {
 #[test]
 fn dual_monitoring_works_on_every_design() {
     for (name, cfg, level) in [
-        ("SCT", experiment(SecureConfig::sct(16384)), 0u8),
-        ("HT", experiment(SecureConfig::ht(16384)), 0),
-        ("SGX", experiment(SecureConfig::sgx(16384)), 1),
+        ("SCT", experiment(SecureConfigBuilder::sct(16384).build()), 0u8),
+        ("HT", experiment(SecureConfigBuilder::ht(16384).build()), 0),
+        ("SGX", experiment(SecureConfigBuilder::sit(16384).build()), 1),
     ] {
         let mut mem = SecureMemory::new(cfg);
         let core = CoreId(0);
@@ -66,7 +66,7 @@ fn dual_monitoring_works_on_every_design() {
 fn metaleak_c_viability_tracks_counter_width() {
     // Narrow minors: practical.
     for bits in [3u8, 4, 5] {
-        let mut cfg = experiment(SecureConfig::sct(16384));
+        let mut cfg = experiment(SecureConfigBuilder::sct(16384).build());
         cfg.tree_widths = CounterWidths { minor_bits: bits, mono_bits: 56 };
         let mut mem = SecureMemory::new(cfg);
         let mut atk = MetaLeakC::new(&mem, VICTIM, 1).unwrap_or_else(|e| panic!("{bits}-bit: {e}"));
@@ -76,7 +76,7 @@ fn metaleak_c_viability_tracks_counter_width() {
         assert!(wrote, "{bits}-bit minors: victim write missed");
     }
     // Wide counters: rejected as impractical (§VIII-B: SGX's 56-bit).
-    let mut cfg = experiment(SecureConfig::sct(16384));
+    let mut cfg = experiment(SecureConfigBuilder::sct(16384).build());
     cfg.tree_widths = CounterWidths { minor_bits: 32, mono_bits: 56 };
     let mem = SecureMemory::new(cfg);
     assert!(matches!(
@@ -89,7 +89,7 @@ fn metaleak_c_viability_tracks_counter_width() {
 fn metaleak_t_round_cost_grows_with_level() {
     // The Figure-12 trend as an assertion: monitoring a higher level
     // costs at least as much per round (more path sets to evict).
-    let mut mem = SecureMemory::new(experiment(SecureConfig::sct(16384)));
+    let mut mem = SecureMemory::new(experiment(SecureConfigBuilder::sct(16384).build()));
     let core = CoreId(0);
     let atk0 = MetaLeakT::new(&mut mem, core, VICTIM, 0, 2).unwrap();
     let i0 = atk0.measure_interval(&mut mem, core, 10).unwrap();

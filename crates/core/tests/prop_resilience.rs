@@ -6,7 +6,7 @@
 use metaleak_attacks::covert_t::CovertChannelT;
 use metaleak_attacks::error::AttackError;
 use metaleak_attacks::resilience::FrameCodec;
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::interference::{FaultKind, FaultPlan};
@@ -94,7 +94,7 @@ fn truncated_frames_are_an_error_for_every_length() {
 }
 
 fn channel_memory(plan: FaultPlan) -> SecureMemory {
-    let mut cfg = SecureConfig::sct(16384);
+    let mut cfg = SecureConfigBuilder::sct(16384).build();
     cfg.sim.noise_sd = 0.0;
     cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
         counter: metaleak_sim::config::CacheConfig::new(8 * 1024, 4, 2),

@@ -41,35 +41,87 @@ pub struct SecureConfig {
 impl SecureConfig {
     /// The paper's primary simulated design: split counters + split
     /// counter tree (VAULT-style; Table I).
+    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::sct(pages).build()`")]
     pub fn sct(data_pages: u64) -> Self {
-        SecureConfig {
-            sim: SimConfig::default(),
-            mcache: MetaCacheConfig::default(),
-            scheme: CounterScheme::Split,
-            enc_widths: CounterWidths { minor_bits: 7, mono_bits: 64 },
-            tree_kind: TreeKind::SplitCounter,
-            tree_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
-            data_pages,
-            data_base: BlockAddr::new(0x10000),
-            mee_extra: 0,
-            key: *b"metaleak-sct-key",
-            faults: FaultPlan::clean(),
+        SecureConfigBuilder::sct(data_pages).build()
+    }
+
+    /// The hash-tree design (Bonsai Merkle Tree over counters \[12\]).
+    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::ht(pages).build()`")]
+    pub fn ht(data_pages: u64) -> Self {
+        SecureConfigBuilder::ht(data_pages).build()
+    }
+
+    /// The SGX-like configuration (monolithic counters, SGX integrity
+    /// tree, MEE latency profile).
+    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::sit(pages).build()`")]
+    pub fn sgx(data_pages: u64) -> Self {
+        SecureConfigBuilder::sit(data_pages).build()
+    }
+
+    /// A small, noise-free configuration for fast unit tests, with
+    /// narrow counters so overflow is cheap to trigger.
+    pub fn test_tiny() -> Self {
+        SecureConfigBuilder::test_tiny().build()
+    }
+
+    /// Number of protected data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_pages * metaleak_sim::addr::BLOCKS_PER_PAGE as u64
+    }
+}
+
+/// Chainable constructor for [`SecureConfig`]: start from one of the
+/// Table-I preset designs ([`SecureConfigBuilder::sct`],
+/// [`SecureConfigBuilder::ht`], [`SecureConfigBuilder::sit`]), override
+/// the knobs that differ, and [`SecureConfigBuilder::build`].
+///
+/// ```
+/// use metaleak_engine::config::SecureConfigBuilder;
+/// use metaleak_sim::interference::FaultPlan;
+///
+/// let cfg = SecureConfigBuilder::sct(1024)
+///     .tree_minor_bits(5)
+///     .noise_sd(12.0)
+///     .faults(FaultPlan::clean().seeded(7))
+///     .build();
+/// assert_eq!(cfg.tree_widths.minor_bits, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureConfigBuilder {
+    cfg: SecureConfig,
+}
+
+impl SecureConfigBuilder {
+    /// The paper's primary simulated design: split counters + split
+    /// counter tree (VAULT-style; Table I).
+    pub fn sct(data_pages: u64) -> Self {
+        SecureConfigBuilder {
+            cfg: SecureConfig {
+                sim: SimConfig::default(),
+                mcache: MetaCacheConfig::default(),
+                scheme: CounterScheme::Split,
+                enc_widths: CounterWidths { minor_bits: 7, mono_bits: 64 },
+                tree_kind: TreeKind::SplitCounter,
+                tree_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
+                data_pages,
+                data_base: BlockAddr::new(0x10000),
+                mee_extra: 0,
+                key: *b"metaleak-sct-key",
+                faults: FaultPlan::clean(),
+            },
         }
     }
 
     /// The hash-tree design (Bonsai Merkle Tree over counters \[12\]).
     pub fn ht(data_pages: u64) -> Self {
-        SecureConfig {
-            tree_kind: TreeKind::Hash,
-            key: *b"metaleak-ht-key!",
-            ..Self::sct(data_pages)
-        }
+        Self::sct(data_pages).tree_kind(TreeKind::Hash).key(*b"metaleak-ht-key!")
     }
 
-    /// The SGX-like configuration: monolithic 56-bit encryption
-    /// counters, the 8-ary SGX integrity tree, and the slower MEE
-    /// latency profile of Figure 7 (150–700 cycles).
-    pub fn sgx(data_pages: u64) -> Self {
+    /// The SGX-like design (the paper's SIT configuration): monolithic
+    /// 56-bit encryption counters, the 8-ary SGX integrity tree, and
+    /// the slower MEE latency profile of Figure 7 (150–700 cycles).
+    pub fn sit(data_pages: u64) -> Self {
         let mut sim = SimConfig::default();
         // SGX memory reads inside the EPC are markedly slower; Figure 7
         // shows ~150 cy for a counter-cached read and ~650 cy when the
@@ -77,35 +129,121 @@ impl SecureConfig {
         sim.dram.row_hit = 80.into();
         sim.dram.row_closed = 110.into();
         sim.dram.row_conflict = 150.into();
-        SecureConfig {
-            sim,
-            mcache: MetaCacheConfig::default(),
-            scheme: CounterScheme::Monolithic,
-            enc_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
-            tree_kind: TreeKind::Sgx,
-            tree_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
-            data_pages,
-            data_base: BlockAddr::new(0x10000),
-            mee_extra: 40,
-            key: *b"metaleak-sgx-key",
-            faults: FaultPlan::clean(),
+        SecureConfigBuilder {
+            cfg: SecureConfig {
+                sim,
+                mcache: MetaCacheConfig::default(),
+                scheme: CounterScheme::Monolithic,
+                enc_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
+                tree_kind: TreeKind::Sgx,
+                tree_widths: CounterWidths { minor_bits: 7, mono_bits: 56 },
+                data_pages,
+                data_base: BlockAddr::new(0x10000),
+                mee_extra: 40,
+                key: *b"metaleak-sgx-key",
+                faults: FaultPlan::clean(),
+            },
         }
     }
 
     /// A small, noise-free configuration for fast unit tests, with
     /// narrow counters so overflow is cheap to trigger.
     pub fn test_tiny() -> Self {
-        let mut cfg = Self::sct(64);
-        cfg.sim = SimConfig::small();
-        cfg.mcache = MetaCacheConfig::small();
-        cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
-        cfg.tree_widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
-        cfg
+        Self::sct(64)
+            .sim(SimConfig::small())
+            .mcache(MetaCacheConfig::small())
+            .enc_widths(CounterWidths { minor_bits: 3, mono_bits: 16 })
+            .tree_widths(CounterWidths { minor_bits: 3, mono_bits: 16 })
     }
 
-    /// Number of protected data blocks.
-    pub fn data_blocks(&self) -> u64 {
-        self.data_pages * metaleak_sim::addr::BLOCKS_PER_PAGE as u64
+    /// Resumes building from an existing configuration.
+    pub fn from_config(cfg: SecureConfig) -> Self {
+        SecureConfigBuilder { cfg }
+    }
+
+    /// Overrides the cache-hierarchy / DRAM / memory-controller model.
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.cfg.sim = sim;
+        self
+    }
+
+    /// Overrides the metadata-cache geometry.
+    pub fn mcache(mut self, mcache: MetaCacheConfig) -> Self {
+        self.cfg.mcache = mcache;
+        self
+    }
+
+    /// Overrides the encryption-counter scheme.
+    pub fn scheme(mut self, scheme: CounterScheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Overrides the encryption-counter widths.
+    pub fn enc_widths(mut self, widths: CounterWidths) -> Self {
+        self.cfg.enc_widths = widths;
+        self
+    }
+
+    /// Overrides the integrity-tree design.
+    pub fn tree_kind(mut self, kind: TreeKind) -> Self {
+        self.cfg.tree_kind = kind;
+        self
+    }
+
+    /// Overrides the integrity-tree counter widths.
+    pub fn tree_widths(mut self, widths: CounterWidths) -> Self {
+        self.cfg.tree_widths = widths;
+        self
+    }
+
+    /// Overrides only the tree minor-counter width (the Figure-14
+    /// symbol-capacity knob), keeping the monotonic width.
+    pub fn tree_minor_bits(mut self, minor_bits: u8) -> Self {
+        self.cfg.tree_widths.minor_bits = minor_bits;
+        self
+    }
+
+    /// Overrides the protected-region size in pages.
+    pub fn data_pages(mut self, pages: u64) -> Self {
+        self.cfg.data_pages = pages;
+        self
+    }
+
+    /// Overrides the first block of the protected region.
+    pub fn data_base(mut self, base: BlockAddr) -> Self {
+        self.cfg.data_base = base;
+        self
+    }
+
+    /// Overrides the extra per-metadata-access MEE latency.
+    pub fn mee_extra(mut self, cycles: u64) -> Self {
+        self.cfg.mee_extra = cycles;
+        self
+    }
+
+    /// Overrides the AES key.
+    pub fn key(mut self, key: [u8; 16]) -> Self {
+        self.cfg.key = key;
+        self
+    }
+
+    /// Overrides the adversarial-interference fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Overrides the legacy Gaussian latency-jitter knob (folded into
+    /// the fault plan at engine construction).
+    pub fn noise_sd(mut self, sd: f64) -> Self {
+        self.cfg.sim.noise_sd = sd;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> SecureConfig {
+        self.cfg
     }
 }
 
@@ -115,20 +253,46 @@ mod tests {
 
     #[test]
     fn presets_differ_where_expected() {
-        let sct = SecureConfig::sct(1024);
-        let ht = SecureConfig::ht(1024);
-        let sgx = SecureConfig::sgx(1024);
+        let sct = SecureConfigBuilder::sct(1024).build();
+        let ht = SecureConfigBuilder::ht(1024).build();
+        let sit = SecureConfigBuilder::sit(1024).build();
         assert_eq!(sct.scheme, CounterScheme::Split);
         assert_eq!(ht.tree_kind, TreeKind::Hash);
         assert_eq!(ht.scheme, CounterScheme::Split);
-        assert_eq!(sgx.scheme, CounterScheme::Monolithic);
-        assert_eq!(sgx.tree_kind, TreeKind::Sgx);
-        assert!(sgx.mee_extra > 0);
-        assert!(sgx.sim.dram.row_hit > sct.sim.dram.row_hit);
+        assert_eq!(sit.scheme, CounterScheme::Monolithic);
+        assert_eq!(sit.tree_kind, TreeKind::Sgx);
+        assert!(sit.mee_extra > 0);
+        assert!(sit.sim.dram.row_hit > sct.sim.dram.row_hit);
     }
 
     #[test]
     fn data_blocks_math() {
-        assert_eq!(SecureConfig::sct(4).data_blocks(), 256);
+        assert_eq!(SecureConfigBuilder::sct(4).build().data_blocks(), 256);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_preset_shims_match_the_builder() {
+        assert_eq!(SecureConfig::sct(256), SecureConfigBuilder::sct(256).build());
+        assert_eq!(SecureConfig::ht(256), SecureConfigBuilder::ht(256).build());
+        assert_eq!(SecureConfig::sgx(256), SecureConfigBuilder::sit(256).build());
+    }
+
+    #[test]
+    fn builder_overrides_compose() {
+        let cfg = SecureConfigBuilder::sct(128)
+            .tree_minor_bits(4)
+            .mee_extra(13)
+            .noise_sd(5.0)
+            .data_base(BlockAddr::new(0x20000))
+            .build();
+        assert_eq!(cfg.tree_widths.minor_bits, 4);
+        assert_eq!(cfg.tree_widths.mono_bits, 56);
+        assert_eq!(cfg.mee_extra, 13);
+        assert_eq!(cfg.sim.noise_sd, 5.0);
+        assert_eq!(cfg.data_base, BlockAddr::new(0x20000));
+        let resumed = SecureConfigBuilder::from_config(cfg.clone()).data_pages(64).build();
+        assert_eq!(resumed.tree_widths.minor_bits, 4);
+        assert_eq!(resumed.data_pages, 64);
     }
 }

@@ -28,17 +28,25 @@
 
 pub mod config;
 pub mod secmem;
+pub mod snapshot;
 
-pub use config::SecureConfig;
-pub use secmem::{AccessPath, ReadResult, SecureMemError, SecureMemory, TamperKind, WriteResult};
+pub use config::{SecureConfig, SecureConfigBuilder};
+pub use secmem::{
+    AccessPath, ReadResult, SecureMemError, SecureMemory, SecureMemoryBuilder, TamperKind,
+    WriteResult,
+};
+pub use snapshot::Snapshot;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::config::SecureConfig;
+    pub use crate::config::{SecureConfig, SecureConfigBuilder};
     pub use crate::secmem::{
-        AccessPath, ReadResult, SecureMemError, SecureMemory, TamperKind, WriteResult,
+        AccessPath, ReadResult, SecureMemError, SecureMemory, SecureMemoryBuilder, TamperKind,
+        WriteResult,
     };
+    pub use crate::snapshot::Snapshot;
     pub use metaleak_sim::addr::CoreId;
     pub use metaleak_sim::clock::Cycles;
     pub use metaleak_sim::interference::{FaultKind, FaultPlan, SampleFate};
+    pub use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog, Tracer};
 }

@@ -127,8 +127,13 @@ impl std::error::Error for SecureMemError {}
 ///
 /// Generic over a [`Tracer`]: the default [`NullTracer`] compiles every
 /// instrumentation site away, while
-/// [`SecureMemory::with_tracer`] + `metaleak_sim::trace::RingTracer`
+/// [`SecureMemoryBuilder::tracer`] + `metaleak_sim::trace::RingTracer`
 /// records a cycle-level event stream for `tracescan`.
+///
+/// Construct through [`SecureMemory::builder`] (tracer, fault plan and
+/// initial contents as chained options) or the [`SecureMemory::new`]
+/// shorthand; capture warm state with [`SecureMemory::snapshot`] and
+/// restore it with [`crate::snapshot::Snapshot::fork`].
 ///
 /// ```
 /// use metaleak_engine::config::SecureConfig;
@@ -166,17 +171,91 @@ pub struct SecureMemory<T: Tracer = NullTracer> {
     pub stats: Counters,
 }
 
+/// Chainable constructor for [`SecureMemory`], the single entry point
+/// behind which the historical `new`/`with_tracer`/per-attack setup
+/// variants collapse: an optional [`Tracer`], an optional fault-plan
+/// override, and optional initial memory contents, all as chained
+/// options.
+///
+/// ```
+/// use metaleak_engine::config::SecureConfig;
+/// use metaleak_engine::secmem::SecureMemory;
+/// use metaleak_sim::addr::CoreId;
+///
+/// let mut mem = SecureMemory::builder(SecureConfig::test_tiny())
+///     .contents(7, [0xAB; 64])
+///     .build();
+/// assert_eq!(mem.read(CoreId(0), 7).unwrap().data, [0xAB; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecureMemoryBuilder<T: Tracer = NullTracer> {
+    config: SecureConfig,
+    tracer: T,
+    contents: Vec<(u64, Block)>,
+}
+
+impl SecureMemoryBuilder<NullTracer> {
+    fn new(config: SecureConfig) -> Self {
+        SecureMemoryBuilder { config, tracer: NullTracer, contents: Vec::new() }
+    }
+}
+
+impl<T: Tracer> SecureMemoryBuilder<T> {
+    /// Attaches a tracer (e.g. `metaleak_sim::trace::RingTracer`); the
+    /// engine records its cycle-level event stream into it. Replaces
+    /// any previously attached tracer.
+    pub fn tracer<U: Tracer>(self, tracer: U) -> SecureMemoryBuilder<U> {
+        SecureMemoryBuilder { config: self.config, tracer, contents: self.contents }
+    }
+
+    /// Overrides the configuration's adversarial-interference fault
+    /// plan.
+    pub fn faults(mut self, plan: metaleak_sim::interference::FaultPlan) -> Self {
+        self.config.faults = plan;
+        self
+    }
+
+    /// Preloads data block `index` with `data` before the clock starts:
+    /// the block is encrypted and MACed under its current (initial)
+    /// counter, exactly as if it had been written and drained before
+    /// the measurement window — with no timing side effects.
+    pub fn contents(mut self, index: u64, data: Block) -> Self {
+        self.contents.push((index, data));
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> SecureMemory<T> {
+        let mut mem = SecureMemory::construct(self.config, self.tracer);
+        for (index, data) in self.contents {
+            mem.preload_block(index, data);
+        }
+        mem
+    }
+}
+
 impl SecureMemory<NullTracer> {
-    /// Builds a secure memory from `config` with tracing compiled out.
+    /// Starts a [`SecureMemoryBuilder`] for `config`.
+    pub fn builder(config: SecureConfig) -> SecureMemoryBuilder<NullTracer> {
+        SecureMemoryBuilder::new(config)
+    }
+
+    /// Builds a secure memory from `config` with tracing compiled out
+    /// (shorthand for `SecureMemory::builder(config).build()`).
     pub fn new(config: SecureConfig) -> Self {
-        Self::with_tracer(config, NullTracer)
+        Self::builder(config).build()
     }
 }
 
 impl<T: Tracer> SecureMemory<T> {
     /// Builds a secure memory from `config` that records events into
     /// `tracer` (recover it with [`SecureMemory::into_tracer`]).
+    #[deprecated(since = "0.1.0", note = "use `SecureMemory::builder(config).tracer(t).build()`")]
     pub fn with_tracer(config: SecureConfig, tracer: T) -> Self {
+        Self::construct(config, tracer)
+    }
+
+    fn construct(config: SecureConfig, tracer: T) -> Self {
         let data_blocks = config.data_blocks();
         let enc = EncCounters::new(config.scheme, config.enc_widths, data_blocks);
         let counter_blocks = enc.counter_blocks();
@@ -285,6 +364,36 @@ impl<T: Tracer> SecureMemory<T> {
         &mut self.interference
     }
 
+    /// Restarts the interference fault schedule from `seed` (see
+    /// [`InterferenceEngine::reseed`]). Forked snapshots use this so
+    /// each fork draws an independent fault stream instead of
+    /// replaying the parent's schedule.
+    pub fn reseed_interference(&mut self, seed: u64) {
+        self.interference.reseed(seed);
+    }
+
+    /// Captures the full simulator state — caches, metadata caches,
+    /// integrity tree, counters, DRAM row/bank state, memory-controller
+    /// queues, cycle clock and tracer ring — as an immutable
+    /// [`crate::snapshot::Snapshot`] in one O(state) copy. Forks of the
+    /// snapshot resume from this exact point with no re-simulation.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot<T>
+    where
+        T: Clone,
+    {
+        crate::snapshot::Snapshot::of(self.clone())
+    }
+
+    /// Like [`SecureMemory::snapshot`], but consumes the engine,
+    /// saving one deep copy when the warm state is only needed as a
+    /// fork source from here on.
+    pub fn into_snapshot(self) -> crate::snapshot::Snapshot<T>
+    where
+        T: Clone,
+    {
+        crate::snapshot::Snapshot::of(self)
+    }
+
     /// The DRAM model (bank math for same-bank probes).
     pub fn dram(&self) -> &Dram {
         self.mc.dram()
@@ -326,6 +435,20 @@ impl<T: Tracer> SecureMemory<T> {
         let mac = self.crypto.mac_block(&ct, ctr, addr);
         self.cipher.insert(index, ct);
         self.plain.insert(index, pt);
+        self.macs.insert(index, mac);
+    }
+
+    /// Sets data block `index` to `data` with no timing side effects:
+    /// the ciphertext and MAC are recomputed under the block's current
+    /// counter, as if the write had drained before the clock started.
+    /// Used by [`SecureMemoryBuilder::contents`].
+    fn preload_block(&mut self, index: u64, data: Block) {
+        let addr = self.layout.data_addr(index).index();
+        let ctr = self.enc.value(index);
+        let ct = self.crypto.encrypt_block(&data, addr, ctr);
+        let mac = self.crypto.mac_block(&ct, ctr, addr);
+        self.cipher.insert(index, ct);
+        self.plain.insert(index, data);
         self.macs.insert(index, mac);
     }
 
@@ -1234,14 +1357,14 @@ mod tests {
 
     #[test]
     fn sgx_config_builds_and_round_trips() {
-        let mut m = SecureMemory::new(SecureConfig::sgx(64));
+        let mut m = SecureMemory::new(crate::config::SecureConfigBuilder::sit(64).build());
         m.write(CoreId(0), 0, [3u8; 64]).unwrap();
         assert_eq!(m.read(CoreId(0), 0).unwrap().data, [3u8; 64]);
     }
 
     #[test]
     fn ht_config_builds_and_detects_tamper() {
-        let mut cfg = SecureConfig::ht(64);
+        let mut cfg = crate::config::SecureConfigBuilder::ht(64).build();
         cfg.sim = metaleak_sim::config::SimConfig::small();
         cfg.mcache = metaleak_meta::mcache::MetaCacheConfig::small();
         let mut m = SecureMemory::new(cfg);

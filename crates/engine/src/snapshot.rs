@@ -1,0 +1,194 @@
+//! Warm-state snapshot/fork execution.
+//!
+//! Every MetaLeak experiment spends most of its wall-clock re-running
+//! the same deterministic warmup — tree/counter-cache priming, DRAM
+//! row-state setup, channel calibration — once per trial. A
+//! [`Snapshot`] captures the *entire* simulator state after that
+//! warmup in one O(state) copy; each trial then [`Snapshot::fork`]s
+//! the warm state and continues independently, typically with its own
+//! `SimRng::split` stream and (when interference is active) its own
+//! [`Snapshot::fork_seeded`] fault stream.
+//!
+//! A fork is byte-for-byte the state the warmup left behind: caches,
+//! metadata caches, integrity tree, encryption counters, DRAM row/bank
+//! state, memory-controller queues, the cycle clock and the tracer
+//! ring all resume exactly — no re-simulation, no drift. Two forks of
+//! one snapshot driven by the same inputs therefore produce identical
+//! observations, which is what lets the experiment harness swap
+//! re-warmed trials for forked trials without changing a single output
+//! byte (see `metaleak-bench`'s `Experiment::with_warmup`).
+//!
+//! ```
+//! use metaleak_engine::config::SecureConfig;
+//! use metaleak_engine::secmem::SecureMemory;
+//! use metaleak_sim::addr::CoreId;
+//!
+//! let mut mem = SecureMemory::new(SecureConfig::test_tiny());
+//! mem.write(CoreId(0), 5, [3u8; 64]).unwrap(); // warmup
+//! let snap = mem.into_snapshot();
+//! let mut a = snap.fork();
+//! let mut b = snap.fork();
+//! assert_eq!(a.read(CoreId(0), 5).unwrap().latency, b.read(CoreId(0), 5).unwrap().latency);
+//! ```
+
+use crate::config::SecureConfig;
+use crate::secmem::SecureMemory;
+use metaleak_sim::clock::Cycles;
+use metaleak_sim::trace::{NullTracer, Tracer};
+
+/// An immutable capture of a [`SecureMemory`]'s full state, taken with
+/// [`SecureMemory::snapshot`] / [`SecureMemory::into_snapshot`].
+///
+/// The snapshot itself is inert: it only hands out forks. Keeping it
+/// immutable is what makes fork order irrelevant — the fifth fork is
+/// identical to the first, so parallel trials can fork in any order on
+/// any worker thread.
+#[derive(Debug, Clone)]
+pub struct Snapshot<T: Tracer = NullTracer> {
+    image: SecureMemory<T>,
+}
+
+impl<T: Tracer + Clone> Snapshot<T> {
+    pub(crate) fn of(image: SecureMemory<T>) -> Self {
+        Snapshot { image }
+    }
+
+    /// Restores the captured state as a fresh, independent engine in
+    /// one O(state) copy. The fork shares nothing with the snapshot or
+    /// with other forks; mutating it cannot disturb either.
+    ///
+    /// The fork resumes the interference fault schedule exactly where
+    /// the warmup left it. When forks must instead draw *independent*
+    /// fault streams, use [`Snapshot::fork_seeded`].
+    pub fn fork(&self) -> SecureMemory<T> {
+        self.image.clone()
+    }
+
+    /// A [`Snapshot::fork`] whose interference fault schedule restarts
+    /// from `seed`, so sibling forks experience independent fault
+    /// streams (the warm state itself is still shared byte-for-byte).
+    pub fn fork_seeded(&self, seed: u64) -> SecureMemory<T> {
+        let mut mem = self.image.clone();
+        mem.reseed_interference(seed);
+        mem
+    }
+
+    /// The captured configuration.
+    pub fn config(&self) -> &SecureConfig {
+        self.image.config()
+    }
+
+    /// The simulated time at which the state was captured (every fork
+    /// resumes from this clock value).
+    pub fn now(&self) -> Cycles {
+        self.image.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SecureConfig;
+    use crate::secmem::SecureMemory;
+    use metaleak_sim::addr::CoreId;
+    use metaleak_sim::interference::{FaultKind, FaultPlan};
+    use metaleak_sim::trace::RingTracer;
+
+    fn warmed() -> SecureMemory {
+        let mut mem = SecureMemory::new(SecureConfig::test_tiny());
+        let core = CoreId(0);
+        for b in 0..48u64 {
+            mem.write(core, b, [b as u8; 64]).unwrap();
+        }
+        mem.fence();
+        for b in 0..16u64 {
+            mem.read(core, b).unwrap();
+        }
+        mem
+    }
+
+    /// A deterministic post-fork workload whose observations depend on
+    /// the warm state (cache contents, DRAM rows, clock).
+    fn drive(mem: &mut SecureMemory) -> Vec<u64> {
+        let core = CoreId(0);
+        (0..32u64)
+            .map(|i| {
+                let b = (i * 7) % 48;
+                if i % 5 == 0 {
+                    mem.flush_block(b);
+                }
+                mem.read(core, b).unwrap().latency.as_u64()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forks_resume_identically_and_independently() {
+        let mem = warmed();
+        let before = mem.now();
+        let snap = mem.into_snapshot();
+        assert_eq!(snap.now(), before);
+        let mut a = snap.fork();
+        let mut b = snap.fork();
+        assert_eq!(a.now(), before, "fork resumes the captured clock");
+        let obs_a = drive(&mut a);
+        // Mutating fork `a` must not disturb the snapshot: a later fork
+        // still reproduces the same observations.
+        let obs_b = drive(&mut b);
+        let obs_c = drive(&mut snap.fork());
+        assert_eq!(obs_a, obs_b);
+        assert_eq!(obs_a, obs_c);
+    }
+
+    #[test]
+    fn fork_matches_continuing_the_original() {
+        let mem = warmed();
+        let mut forked = mem.snapshot().fork();
+        let mut original = mem;
+        assert_eq!(drive(&mut forked), drive(&mut original));
+    }
+
+    #[test]
+    fn fork_seeded_diverges_only_under_interference() {
+        // Clean plan: the interference RNG is never consulted, so
+        // reseeding cannot change anything.
+        let snap = warmed().into_snapshot();
+        assert_eq!(drive(&mut snap.fork_seeded(1)), drive(&mut snap.fork_seeded(2)));
+
+        // Gaussian jitter: sibling forks with different seeds draw
+        // different fault streams; the same seed reproduces exactly.
+        let cfg = SecureConfig::test_tiny();
+        let mut mem = SecureMemory::builder(cfg)
+            .faults(FaultPlan::clean().with(FaultKind::GaussianNoise { sd: 40.0 }))
+            .build();
+        for b in 0..48u64 {
+            mem.write(CoreId(0), b, [b as u8; 64]).unwrap();
+        }
+        mem.fence();
+        let snap = mem.into_snapshot();
+        let x = drive(&mut snap.fork_seeded(11));
+        let y = drive(&mut snap.fork_seeded(12));
+        let x2 = drive(&mut snap.fork_seeded(11));
+        assert_eq!(x, x2, "same fork seed must reproduce the fault schedule");
+        assert_ne!(x, y, "different fork seeds must draw independent fault streams");
+    }
+
+    #[test]
+    fn traced_forks_carry_the_warmup_ring() {
+        let mut mem =
+            SecureMemory::builder(SecureConfig::test_tiny()).tracer(RingTracer::new(4096)).build();
+        mem.write(CoreId(0), 3, [1u8; 64]).unwrap();
+        mem.fence();
+        let warm_events = mem.tracer().clone().into_log().recorded();
+        assert!(warm_events > 0);
+        let snap = mem.into_snapshot();
+        let mut fork = snap.fork();
+        fork.read(CoreId(0), 3).unwrap();
+        let log = fork.into_tracer().into_log();
+        assert!(
+            log.recorded() > warm_events,
+            "fork must extend the captured ring ({} events), got {}",
+            warm_events,
+            log.recorded()
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! Figure 3 / Algorithm 1 inside the full engine, including the
 //! whole-memory re-keying path of GC/MoC overflow.
 
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::{CounterScheme, CounterWidths};
 use metaleak_meta::mcache::MetaCacheConfig;
@@ -10,12 +10,12 @@ use metaleak_sim::addr::CoreId;
 use metaleak_sim::config::SimConfig;
 
 fn config_with(scheme: CounterScheme, mono_bits: u8) -> SecureConfig {
-    let mut cfg = SecureConfig::sct(64);
-    cfg.sim = SimConfig::small();
-    cfg.mcache = MetaCacheConfig::small();
-    cfg.scheme = scheme;
-    cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits };
-    cfg
+    SecureConfigBuilder::sct(64)
+        .sim(SimConfig::small())
+        .mcache(MetaCacheConfig::small())
+        .scheme(scheme)
+        .enc_widths(CounterWidths { minor_bits: 3, mono_bits })
+        .build()
 }
 
 #[test]

@@ -1,0 +1,34 @@
+//! Regression harness for the deprecated constructor shims: they must
+//! keep compiling (warnings only) and behave exactly like the builder
+//! APIs that replaced them. This file is the single allowed call site
+//! of `SecureMemory::with_tracer` and the `SecureConfig` preset
+//! constructors outside the shims themselves.
+#![allow(deprecated)]
+
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::trace::RingTracer;
+
+#[test]
+fn deprecated_config_presets_match_the_builder() {
+    assert_eq!(SecureConfig::sct(512), SecureConfigBuilder::sct(512).build());
+    assert_eq!(SecureConfig::ht(512), SecureConfigBuilder::ht(512).build());
+    assert_eq!(SecureConfig::sgx(512), SecureConfigBuilder::sit(512).build());
+}
+
+#[test]
+fn deprecated_with_tracer_matches_the_builder() {
+    let drive = |mut mem: SecureMemory<RingTracer>| {
+        let core = CoreId(0);
+        mem.write(core, 2, [7u8; 64]).unwrap();
+        mem.fence();
+        let lat = mem.read(core, 2).unwrap().latency;
+        (lat, mem.into_tracer().into_log().recorded())
+    };
+    let old = drive(SecureMemory::with_tracer(SecureConfig::test_tiny(), RingTracer::new(1024)));
+    let new = drive(
+        SecureMemory::builder(SecureConfig::test_tiny()).tracer(RingTracer::new(1024)).build(),
+    );
+    assert_eq!(old, new);
+}

@@ -4,7 +4,7 @@
 //! Randomized op soups come from seeded [`SimRng`] loops so failures
 //! reproduce deterministically.
 
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::CounterWidths;
 use metaleak_meta::mcache::MetaCacheConfig;
@@ -14,16 +14,16 @@ use metaleak_sim::config::SimConfig;
 use metaleak_sim::rng::SimRng;
 
 fn tiny(kind: TreeKind) -> SecureConfig {
-    let mut cfg = match kind {
-        TreeKind::SplitCounter => SecureConfig::sct(64),
-        TreeKind::Hash => SecureConfig::ht(64),
-        TreeKind::Sgx => SecureConfig::sgx(64),
+    let base = match kind {
+        TreeKind::SplitCounter => SecureConfigBuilder::sct(64),
+        TreeKind::Hash => SecureConfigBuilder::ht(64),
+        TreeKind::Sgx => SecureConfigBuilder::sit(64),
     };
-    cfg.sim = SimConfig::small();
-    cfg.mcache = MetaCacheConfig::small();
-    cfg.enc_widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
-    cfg.tree_widths = CounterWidths { minor_bits: 3, mono_bits: 16 };
-    cfg
+    base.sim(SimConfig::small())
+        .mcache(MetaCacheConfig::small())
+        .enc_widths(CounterWidths { minor_bits: 3, mono_bits: 16 })
+        .tree_widths(CounterWidths { minor_bits: 3, mono_bits: 16 })
+        .build()
 }
 
 const KINDS: [TreeKind; 3] = [TreeKind::SplitCounter, TreeKind::Hash, TreeKind::Sgx];

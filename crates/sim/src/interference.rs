@@ -219,6 +219,15 @@ impl InterferenceEngine {
         &mut self.rng
     }
 
+    /// Restarts the fault schedule from `seed`, keeping the plan and
+    /// the injection counters. Forked simulator snapshots use this to
+    /// give each fork an independent interference stream: without a
+    /// reseed every fork would replay the parent's exact fault
+    /// schedule.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SimRng::seed_from(seed);
+    }
+
     /// Latency perturbation for one access of base latency `base`
     /// issued at time `now`.
     pub fn perturb(&mut self, now: Cycles, base: Cycles) -> Perturbation {

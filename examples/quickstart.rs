@@ -8,7 +8,7 @@ use metaleak::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A VAULT-style secure processor: split encryption counters, a
     // split-counter integrity tree, 256 KB metadata caches (Table I).
-    let mut mem = SecureMemory::new(SecureConfig::sct(4096));
+    let mut mem = SecureMemory::new(SecureConfigBuilder::sct(4096).build());
     let core = CoreId(0);
 
     println!("== Secure memory quickstart ==\n");

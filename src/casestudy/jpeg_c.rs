@@ -40,11 +40,26 @@ pub fn run_jpeg_c(
     level: u8,
     max_events: usize,
 ) -> Result<JpegCOutcome, AttackError> {
-    let mut mem = SecureMemory::new(config);
+    run_jpeg_c_on(&mut SecureMemory::new(config), image, victim_r_page, level, max_events)
+}
+
+/// [`run_jpeg_c`] against a caller-provided memory — the
+/// snapshot-sharing form used by the table binaries.
+///
+/// # Errors
+/// Propagates attack-planning failures (including
+/// [`AttackError::OverflowImpractical`] for wide counters).
+pub fn run_jpeg_c_on(
+    mem: &mut SecureMemory,
+    image: &GrayImage,
+    victim_r_page: u64,
+    level: u8,
+    max_events: usize,
+) -> Result<JpegCOutcome, AttackError> {
     let spy = CoreId(0);
     let victim = CoreId(1);
     let r_block = victim_r_page * 64;
-    let mut attack = MetaLeakC::new(&mem, r_block, level)?;
+    let mut attack = MetaLeakC::new(mem, r_block, level)?;
 
     let encodings = encode_image(image);
     let events: Vec<bool> =
@@ -59,7 +74,7 @@ pub fn run_jpeg_c(
     let mut true_zeros = 0usize;
     for (i, &is_zero) in events.iter().enumerate() {
         true_zeros += is_zero as usize;
-        let detected = attack.detect_write(&mut mem, spy, |m| {
+        let detected = attack.detect_write(mem, spy, |m| {
             if is_zero {
                 // Listing 1 line 6: the victim writes `r`.
                 victim_write(m, victim, r_block, level, i as u8);

@@ -48,14 +48,28 @@ pub fn run_jpeg_t(
     victim_r_page: u64,
     level: u8,
 ) -> Result<JpegTOutcome, AttackError> {
-    let mut mem = SecureMemory::new(config);
+    run_jpeg_t_on(&mut SecureMemory::new(config), image, victim_r_page, level)
+}
+
+/// [`run_jpeg_t`] against a caller-provided memory — the
+/// snapshot-sharing form: warm one `SecureMemory` per configuration,
+/// fork it per image instead of re-simulating construction.
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_jpeg_t_on(
+    mem: &mut SecureMemory,
+    image: &GrayImage,
+    victim_r_page: u64,
+    level: u8,
+) -> Result<JpegTOutcome, AttackError> {
     let spy = CoreId(0);
     let victim = CoreId(1);
     // Victim variable placement (the attacker steered this via the
     // per-core free-list technique; see `examples/page_steering.rs`).
     let r_block = victim_r_page * 64;
-    let nbits_block = find_partner_block(&mem, r_block, level).ok_or(AttackError::NoProbeBlock)?;
-    let dual = DualPageMonitor::new(&mut mem, spy, r_block, nbits_block, level)?;
+    let nbits_block = find_partner_block(mem, r_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(mem, spy, r_block, nbits_block, level)?;
 
     // Ground truth: the victim's real encoding pass.
     let encodings = encode_image(image);
@@ -66,7 +80,7 @@ pub fn run_jpeg_t(
     let mut windows = 0;
     for (bi, enc) in encodings.iter().enumerate() {
         for ev in &enc.events {
-            let sample = dual.window(&mut mem, spy, |m| {
+            let sample = dual.window(mem, spy, |m| {
                 if ev.nonzero {
                     victim_touch(m, victim, nbits_block); // Listing 1 line 10
                 } else {

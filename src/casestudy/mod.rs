@@ -7,7 +7,7 @@ pub mod jpeg_t;
 pub mod modinv_t;
 pub mod rsa_t;
 
-pub use jpeg_c::{run_jpeg_c, JpegCOutcome};
-pub use jpeg_t::{run_jpeg_t, JpegTOutcome};
-pub use modinv_t::{run_modinv_t, ModInvTOutcome};
-pub use rsa_t::{run_rsa_t, RsaTOutcome};
+pub use jpeg_c::{run_jpeg_c, run_jpeg_c_on, JpegCOutcome};
+pub use jpeg_t::{run_jpeg_t, run_jpeg_t_on, JpegTOutcome};
+pub use modinv_t::{run_modinv_t, run_modinv_t_on, ModInvTOutcome};
+pub use rsa_t::{run_rsa_t, run_rsa_t_on, RsaTOutcome};

@@ -41,18 +41,31 @@ pub fn run_modinv_t(
     shift_page: u64,
     level: u8,
 ) -> Result<ModInvTOutcome, AttackError> {
-    let mut mem = SecureMemory::new(config);
+    run_modinv_t_on(&mut SecureMemory::new(config), e, phi, shift_page, level)
+}
+
+/// [`run_modinv_t`] against a caller-provided memory — the
+/// snapshot-sharing form used by the figure binaries.
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_modinv_t_on(
+    mem: &mut SecureMemory,
+    e: &BigUint,
+    phi: &BigUint,
+    shift_page: u64,
+    level: u8,
+) -> Result<ModInvTOutcome, AttackError> {
     let spy = CoreId(0);
     let victim = CoreId(1);
     let shift_block = shift_page * 64;
-    let sub_block =
-        find_partner_block(&mem, shift_block, level).ok_or(AttackError::NoProbeBlock)?;
-    let dual = DualPageMonitor::new(&mut mem, spy, shift_block, sub_block, level)?;
+    let sub_block = find_partner_block(mem, shift_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(mem, spy, shift_block, sub_block, level)?;
 
     let truth = inversion_trace(e, phi);
     let mut observed = Vec::with_capacity(truth.len());
     for &op in &truth {
-        let sample = dual.window(&mut mem, spy, |m| match op {
+        let sample = dual.window(mem, spy, |m| match op {
             InvOp::ShiftR => victim_touch(m, victim, shift_block),
             InvOp::Sub => victim_touch(m, victim, sub_block),
         })?;

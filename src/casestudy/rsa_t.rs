@@ -45,13 +45,26 @@ pub fn run_rsa_t(
     square_page: u64,
     level: u8,
 ) -> Result<RsaTOutcome, AttackError> {
-    let mut mem = SecureMemory::new(config);
+    run_rsa_t_on(&mut SecureMemory::new(config), key, square_page, level)
+}
+
+/// [`run_rsa_t`] against a caller-provided memory — the
+/// snapshot-sharing form used by the figure binaries.
+///
+/// # Errors
+/// Propagates attack-planning failures.
+pub fn run_rsa_t_on(
+    mem: &mut SecureMemory,
+    key: &RsaKey,
+    square_page: u64,
+    level: u8,
+) -> Result<RsaTOutcome, AttackError> {
     let spy = CoreId(0);
     let victim = CoreId(1);
     let square_block = square_page * 64;
     let multiply_block =
-        find_partner_block(&mem, square_block, level).ok_or(AttackError::NoProbeBlock)?;
-    let dual = DualPageMonitor::new(&mut mem, spy, square_block, multiply_block, level)?;
+        find_partner_block(mem, square_block, level).ok_or(AttackError::NoProbeBlock)?;
+    let dual = DualPageMonitor::new(mem, spy, square_block, multiply_block, level)?;
 
     // The victim decrypts; its real op trace drives the simulated
     // instruction fetches, one exponent-bit iteration per window
@@ -69,7 +82,7 @@ pub fn run_rsa_t(
 
     let mut observations = Vec::with_capacity(iterations.len());
     for &bit in &iterations {
-        let sample = dual.window(&mut mem, spy, |m| {
+        let sample = dual.window(mem, spy, |m| {
             victim_touch(m, victim, square_block); // square always runs
             if bit {
                 victim_touch(m, victim, multiply_block);

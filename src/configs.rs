@@ -8,7 +8,7 @@
 //! the number of conflicting tree nodes per cache set that the
 //! attacks' eviction sets rely on.
 
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_meta::enc_counter::CounterWidths;
 use metaleak_meta::mcache::MetaCacheConfig;
 use metaleak_sim::config::CacheConfig;
@@ -26,14 +26,14 @@ fn scaled_mcache() -> MetaCacheConfig {
 /// The primary simulated design: split counters + split-counter tree
 /// (VAULT-style, Table I), experiment-scaled metadata caches.
 pub fn sct_experiment() -> SecureConfig {
-    let mut cfg = SecureConfig::sct(EXPERIMENT_PAGES);
+    let mut cfg = SecureConfigBuilder::sct(EXPERIMENT_PAGES).build();
     cfg.mcache = scaled_mcache();
     cfg
 }
 
 /// The hash-tree design (Bonsai Merkle Tree \[12\]).
 pub fn ht_experiment() -> SecureConfig {
-    let mut cfg = SecureConfig::ht(EXPERIMENT_PAGES);
+    let mut cfg = SecureConfigBuilder::ht(EXPERIMENT_PAGES).build();
     cfg.mcache = scaled_mcache();
     cfg
 }
@@ -41,7 +41,7 @@ pub fn ht_experiment() -> SecureConfig {
 /// The SGX-like design: monolithic 56-bit counters, 8-ary SIT, MEE
 /// latency profile (Figure 7).
 pub fn sgx_experiment() -> SecureConfig {
-    let mut cfg = SecureConfig::sgx(EXPERIMENT_PAGES);
+    let mut cfg = SecureConfigBuilder::sit(EXPERIMENT_PAGES).build();
     cfg.mcache = scaled_mcache();
     cfg
 }

@@ -3,7 +3,7 @@
 //! round trips) checked against randomized operation sequences drawn
 //! from seeded [`SimRng`] loops.
 
-use metaleak_engine::config::SecureConfig;
+use metaleak_engine::config::{SecureConfig, SecureConfigBuilder};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::{CounterScheme, CounterWidths, EncCounters, ReencryptScope};
 use metaleak_meta::geometry::TreeGeometry;
@@ -144,7 +144,7 @@ fn cold_reads_are_slower_than_warm() {
     let mut rng = SimRng::seed_from(0x14BA_0400);
     for _ in 0..24 {
         let block = rng.below(4096);
-        let mut cfg = SecureConfig::sct(64);
+        let mut cfg = SecureConfigBuilder::sct(64).build();
         cfg.sim.noise_sd = 0.0;
         let mut mem = SecureMemory::new(cfg);
         let core = CoreId(0);
