@@ -30,6 +30,9 @@ pub struct TraceData {
     pub name: String,
     /// Parsed event rows.
     pub rows: Vec<Json>,
+    /// Failed trials the parent commit record admits — a degraded run
+    /// when nonzero (failed trials contribute no trace events).
+    pub failed: usize,
 }
 
 /// Loads and validates one trace sidecar given its `.trace.jsonl`
@@ -79,7 +82,8 @@ pub fn load_trace(trace_jsonl: &Path) -> Result<TraceData, IngestError> {
             found: rows.len(),
         });
     }
-    Ok(TraceData { name, rows })
+    let failed = meta.get("failed").and_then(Json::as_u64).unwrap_or(0) as usize;
+    Ok(TraceData { name, rows, failed })
 }
 
 /// Cycle attribution of one experiment's trace: which hardware
@@ -90,6 +94,9 @@ pub struct Attribution {
     pub name: String,
     /// Number of trials contributing events.
     pub trials: usize,
+    /// Failed trials the parent commit record admits (they contribute
+    /// no events).
+    pub failed: usize,
     /// Total events analyzed (after any truncation repair).
     pub events: usize,
     /// Whether any trial's ring dropped its oldest events; when true,
@@ -248,6 +255,7 @@ pub fn attribute(data: &TraceData) -> Attribution {
     Attribution {
         name: data.name.clone(),
         trials: by_trial.len(),
+        failed: data.failed,
         events,
         truncated,
         accesses,
@@ -356,6 +364,7 @@ impl TraceScanReport {
                 JsonObj::new()
                     .field("name", a.name.as_str())
                     .field("trials", a.trials)
+                    .field("failed_trials", a.failed)
                     .field("events", a.events)
                     .field("truncated", a.truncated)
                     .field("accesses", a.accesses)
@@ -388,6 +397,7 @@ impl TraceScanReport {
                 "summary",
                 JsonObj::new()
                     .field("analyzed", self.attributions.len())
+                    .field("degraded", self.attributions.iter().filter(|a| a.failed > 0).count())
                     .field("refused", self.refused.len())
                     .build(),
             )
@@ -407,6 +417,9 @@ impl TraceScanReport {
                 "\n## {}\n\n{} trial(s), {} events, {} accesses, total latency {} cycles",
                 a.name, a.trials, a.events, a.accesses, a.total_latency
             ));
+            if a.failed > 0 {
+                out.push_str(&format!(" ({} failed trial(s) contributed no events)", a.failed));
+            }
             match a.coverage() {
                 Some(c) => out.push_str(&format!(", coverage {:.2}%\n", c * 100.0)),
                 None => out.push_str(", no completed accesses\n"),

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! leakscan [DIR] [--out-json PATH] [--out-md PATH]
-//!          [--require-leak NAME]... [--require-clean NAME]... [--strict]
+//!          [--require-leak NAME]... [--require-clean NAME]...
+//!          [--allow-degraded] [--max-failed-trials N] [--strict]
 //! ```
 //!
 //! Scans `DIR` (default `target/experiments`, honoring
@@ -12,11 +13,19 @@
 //! (unless redirected with `--out-json` / `--out-md`). The markdown
 //! summary is also printed to stdout.
 //!
+//! Degraded artifacts (commit records admitting failed trials) are
+//! refused unless `--allow-degraded` is passed, in which case the
+//! surviving rows are analyzed and the failure count surfaced.
+//! `--max-failed-trials N` implies `--allow-degraded` but fails the
+//! scan when any experiment lost more than `N` trials.
+//!
 //! Exit codes: 0 success; 1 usage or I/O error; 2 a `--require-leak`
 //! experiment is missing, refused, or scored |t| <= 4.5; 3 a
 //! `--require-clean` experiment leaks; 4 `--strict` and at least one
-//! artifact was refused.
+//! artifact was refused; 5 an experiment exceeded
+//! `--max-failed-trials`.
 
+use metaleak_analysis::ingest::{IngestError, ScanEntry};
 use metaleak_analysis::report::LeakReport;
 use metaleak_analysis::{ingest, TVLA_THRESHOLD};
 use std::path::PathBuf;
@@ -28,13 +37,16 @@ struct Cli {
     out_md: Option<PathBuf>,
     require_leak: Vec<String>,
     require_clean: Vec<String>,
+    allow_degraded: bool,
+    max_failed_trials: Option<usize>,
     strict: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: leakscan [DIR] [--out-json PATH] [--out-md PATH] \
-         [--require-leak NAME]... [--require-clean NAME]... [--strict]"
+         [--require-leak NAME]... [--require-clean NAME]... \
+         [--allow-degraded] [--max-failed-trials N] [--strict]"
     );
     std::process::exit(1);
 }
@@ -46,6 +58,8 @@ fn parse_cli() -> Cli {
         out_md: None,
         require_leak: Vec::new(),
         require_clean: Vec::new(),
+        allow_degraded: false,
+        max_failed_trials: None,
         strict: false,
     };
     let mut args = std::env::args().skip(1);
@@ -62,6 +76,14 @@ fn parse_cli() -> Cli {
             "--out-md" => cli.out_md = Some(PathBuf::from(value("--out-md"))),
             "--require-leak" => cli.require_leak.push(value("--require-leak")),
             "--require-clean" => cli.require_clean.push(value("--require-clean")),
+            "--allow-degraded" => cli.allow_degraded = true,
+            "--max-failed-trials" => {
+                cli.max_failed_trials =
+                    Some(value("--max-failed-trials").parse().unwrap_or_else(|_| {
+                        eprintln!("leakscan: --max-failed-trials needs an integer");
+                        usage()
+                    }))
+            }
             "--strict" => cli.strict = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && !dir_set => {
@@ -90,6 +112,19 @@ fn main() -> ExitCode {
         eprintln!("leakscan: no experiment artifacts in {}", cli.dir.display());
         return ExitCode::from(1);
     }
+    // Degraded artifacts carry failure rows; without the opt-in they
+    // are refused like any other suspect input.
+    let allow_degraded = cli.allow_degraded || cli.max_failed_trials.is_some();
+    let entries: Vec<ScanEntry> = entries
+        .into_iter()
+        .map(|entry| match entry {
+            ScanEntry::Loaded(data) if data.degraded() && !allow_degraded => ScanEntry::Refused {
+                name: data.name.clone(),
+                error: IngestError::Degraded { experiment: data.name, failed: data.failed },
+            },
+            other => other,
+        })
+        .collect();
     let report = LeakReport::from_entries(&entries);
 
     let json_path = cli.out_json.unwrap_or_else(|| cli.dir.join("leakscan_report.json"));
@@ -139,6 +174,17 @@ fn main() -> ExitCode {
     if cli.strict && !report.refused.is_empty() {
         eprintln!("leakscan: FAIL (--strict): {} artifact(s) refused", report.refused.len());
         return ExitCode::from(4);
+    }
+    if let Some(max) = cli.max_failed_trials {
+        for a in &report.assessments {
+            if a.failed > max {
+                eprintln!(
+                    "leakscan: FAIL: {} lost {} trial(s), more than --max-failed-trials {max}",
+                    a.name, a.failed
+                );
+                return ExitCode::from(5);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

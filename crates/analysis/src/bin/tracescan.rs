@@ -3,7 +3,8 @@
 //! ```text
 //! tracescan [DIR] [--out-json PATH] [--out-md PATH]
 //!           [--require-trace NAME]... [--min-coverage FRACTION]
-//!           [--top N] [--strict]
+//!           [--top N] [--allow-degraded] [--max-failed-trials N]
+//!           [--strict]
 //! ```
 //!
 //! Scans `DIR` (default `target/experiments`, honoring
@@ -17,12 +18,20 @@
 //! `tracescan_report.json` and `tracescan_report.md` next to the
 //! artifacts (unless redirected) and prints the markdown to stdout.
 //!
+//! Traces of degraded runs (commit records admitting failed trials)
+//! are refused unless `--allow-degraded` is passed; the failed trials
+//! contribute no events, so the surviving trials' attribution is still
+//! exact. `--max-failed-trials N` implies `--allow-degraded` but fails
+//! the scan when any experiment lost more than `N` trials.
+//!
 //! Exit codes: 0 success; 1 usage or I/O error (including no trace
 //! sidecars found); 2 a `--require-trace` experiment is missing,
 //! refused, or its attribution coverage falls below `--min-coverage`
-//! (default 0.99); 4 `--strict` and at least one trace was refused.
+//! (default 0.99); 4 `--strict` and at least one trace was refused;
+//! 5 an experiment exceeded `--max-failed-trials`.
 
-use metaleak_analysis::attribution::{self, TraceScanReport};
+use metaleak_analysis::attribution::{self, TraceScanEntry, TraceScanReport};
+use metaleak_analysis::ingest::IngestError;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,13 +42,16 @@ struct Cli {
     require_trace: Vec<String>,
     min_coverage: f64,
     top: usize,
+    allow_degraded: bool,
+    max_failed_trials: Option<usize>,
     strict: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tracescan [DIR] [--out-json PATH] [--out-md PATH] \
-         [--require-trace NAME]... [--min-coverage FRACTION] [--top N] [--strict]"
+         [--require-trace NAME]... [--min-coverage FRACTION] [--top N] \
+         [--allow-degraded] [--max-failed-trials N] [--strict]"
     );
     std::process::exit(1);
 }
@@ -52,6 +64,8 @@ fn parse_cli() -> Cli {
         require_trace: Vec::new(),
         min_coverage: 0.99,
         top: 10,
+        allow_degraded: false,
+        max_failed_trials: None,
         strict: false,
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +92,14 @@ fn parse_cli() -> Cli {
                     eprintln!("tracescan: --top needs an integer");
                     usage()
                 })
+            }
+            "--allow-degraded" => cli.allow_degraded = true,
+            "--max-failed-trials" => {
+                cli.max_failed_trials =
+                    Some(value("--max-failed-trials").parse().unwrap_or_else(|_| {
+                        eprintln!("tracescan: --max-failed-trials needs an integer");
+                        usage()
+                    }))
             }
             "--strict" => cli.strict = true,
             "--help" | "-h" => usage(),
@@ -110,6 +132,19 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
+    let allow_degraded = cli.allow_degraded || cli.max_failed_trials.is_some();
+    let entries: Vec<TraceScanEntry> = entries
+        .into_iter()
+        .map(|entry| match entry {
+            TraceScanEntry::Analyzed(a) if a.failed > 0 && !allow_degraded => {
+                TraceScanEntry::Refused {
+                    name: a.name.clone(),
+                    error: IngestError::Degraded { experiment: a.name, failed: a.failed },
+                }
+            }
+            other => other,
+        })
+        .collect();
     let report = TraceScanReport::from_entries(&entries);
 
     let json_path = cli.out_json.unwrap_or_else(|| cli.dir.join("tracescan_report.json"));
@@ -156,6 +191,17 @@ fn main() -> ExitCode {
     if cli.strict && !report.refused.is_empty() {
         eprintln!("tracescan: FAIL (--strict): {} trace(s) refused", report.refused.len());
         return ExitCode::from(4);
+    }
+    if let Some(max) = cli.max_failed_trials {
+        for a in &report.attributions {
+            if a.failed > max {
+                eprintln!(
+                    "tracescan: FAIL: {} lost {} trial(s), more than --max-failed-trials {max}",
+                    a.name, a.failed
+                );
+                return ExitCode::from(5);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -56,6 +56,24 @@ pub enum IngestError {
         /// The experiment name.
         experiment: String,
     },
+    /// The sidecar's `failed` count disagrees with the number of
+    /// `"failed":true` rows in the JSONL.
+    FailureCountMismatch {
+        /// The experiment name.
+        experiment: String,
+        /// Failed trials the sidecar advertised.
+        expected: usize,
+        /// Failure rows the JSONL actually holds.
+        found: usize,
+    },
+    /// The artifact is committed but degraded (some trials failed) and
+    /// the caller did not opt into degraded data.
+    Degraded {
+        /// The experiment name.
+        experiment: String,
+        /// The number of failed trials the commit record admits.
+        failed: usize,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -78,6 +96,16 @@ impl fmt::Display for IngestError {
             IngestError::NotTraced { experiment } => {
                 write!(f, "{experiment}: commit record has no trace_rows (stale trace sidecar?)")
             }
+            IngestError::FailureCountMismatch { experiment, expected, found } => write!(
+                f,
+                "{experiment}: sidecar admits {expected} failed trial(s) but JSONL holds {found} \
+                 failure row(s)"
+            ),
+            IngestError::Degraded { experiment, failed } => write!(
+                f,
+                "{experiment}: degraded run ({failed} failed trial(s); pass --allow-degraded to \
+                 analyze the surviving rows)"
+            ),
         }
     }
 }
@@ -91,18 +119,34 @@ pub struct ExperimentData {
     pub name: String,
     /// Root seed recorded by the harness.
     pub seed: u64,
-    /// Parsed JSONL rows in trial order.
+    /// Parsed JSONL rows in trial order (including failure rows).
     pub rows: Vec<Json>,
+    /// Number of `"failed":true` rows — trials the producing run gave
+    /// up on after exhausting its retry budget.
+    pub failed: usize,
     /// The full sidecar object (config, thread count, wall clock...).
     pub meta: Json,
 }
 
 impl ExperimentData {
-    /// Pools the `sample_class`/`sample_value` arrays of every row into
-    /// one labelled-sample list (empty when no row carries them).
+    /// Whether the producing run was degraded: some trials ended as
+    /// failure rows rather than data.
+    pub fn degraded(&self) -> bool {
+        self.failed > 0 || self.meta.get("degraded").and_then(Json::as_bool) == Some(true)
+    }
+
+    /// The rows that carry trial data — every row except the
+    /// `"failed":true` failure records.
+    pub fn ok_rows(&self) -> impl Iterator<Item = &Json> {
+        self.rows.iter().filter(|r| r.get("failed").and_then(Json::as_bool) != Some(true))
+    }
+
+    /// Pools the `sample_class`/`sample_value` arrays of every
+    /// successful row into one labelled-sample list (empty when no row
+    /// carries them).
     pub fn labelled_samples(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        for row in &self.rows {
+        for row in self.ok_rows() {
             let (Some(classes), Some(values)) = (
                 row.get("sample_class").and_then(Json::as_arr),
                 row.get("sample_value").and_then(Json::as_arr),
@@ -118,17 +162,18 @@ impl ExperimentData {
         out
     }
 
-    /// Mean of a numeric per-row field over the rows that carry it
-    /// (e.g. `bit_accuracy`), or `None` when absent everywhere.
+    /// Mean of a numeric per-row field over the successful rows that
+    /// carry it (e.g. `bit_accuracy`), or `None` when absent
+    /// everywhere.
     pub fn mean_field(&self, key: &str) -> Option<f64> {
-        let vals: Vec<f64> =
-            self.rows.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).collect();
+        let vals = self.field_values(key);
         (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
-    /// All finite values of a numeric per-row field.
+    /// All finite values of a numeric per-row field over the
+    /// successful rows.
     pub fn field_values(&self, key: &str) -> Vec<f64> {
-        self.rows.iter().filter_map(|r| r.get(key).and_then(Json::as_f64)).collect()
+        self.ok_rows().filter_map(|r| r.get(key).and_then(Json::as_f64)).collect()
     }
 }
 
@@ -173,8 +218,19 @@ pub fn load_experiment(jsonl: &Path) -> Result<ExperimentData, IngestError> {
         // protocol; treat it as uncommitted.
         return Err(IngestError::Incomplete { experiment: name });
     }
+    let failed =
+        rows.iter().filter(|r| r.get("failed").and_then(Json::as_bool) == Some(true)).count();
+    if let Some(expected) = meta.get("failed").and_then(Json::as_u64) {
+        if expected as usize != failed {
+            return Err(IngestError::FailureCountMismatch {
+                experiment: name,
+                expected: expected as usize,
+                found: failed,
+            });
+        }
+    }
     let seed = meta.get("seed").and_then(Json::as_u64).unwrap_or(0);
-    Ok(ExperimentData { name, seed, rows, meta })
+    Ok(ExperimentData { name, seed, rows, failed, meta })
 }
 
 /// The outcome of scanning one `.jsonl` file in a directory.

@@ -37,8 +37,10 @@ pub struct Assessment {
     pub name: String,
     /// Root seed the harness recorded (drives the bootstrap streams).
     pub seed: u64,
-    /// Number of JSONL rows.
+    /// Number of JSONL rows (including failure rows).
     pub rows: usize,
+    /// Number of `"failed":true` rows — a degraded run when nonzero.
+    pub failed: usize,
     /// Number of pooled labelled samples.
     pub samples: usize,
     /// TVLA verdict, when labelled samples were available.
@@ -105,7 +107,7 @@ pub fn assess(data: &ExperimentData) -> Assessment {
     let roc = {
         let mut pos = Vec::new();
         let mut neg = Vec::new();
-        for row in &data.rows {
+        for row in data.ok_rows() {
             if let (Some(score), Some(label)) = (
                 row.get("det_score").and_then(Json::as_f64),
                 row.get("det_label").and_then(Json::as_u64),
@@ -120,6 +122,7 @@ pub fn assess(data: &ExperimentData) -> Assessment {
         name: data.name.clone(),
         seed: data.seed,
         rows: data.rows.len(),
+        failed: data.failed,
         samples: labelled.len(),
         tvla,
         effect_ci,
@@ -183,6 +186,7 @@ impl LeakReport {
             })
             .collect();
         let leaking = self.assessments.iter().filter(|a| a.leaks() == Some(true)).count();
+        let degraded = self.assessments.iter().filter(|a| a.failed > 0).count();
         JsonObj::new()
             .field("leakscan_version", 1u64)
             .field("tvla_threshold", TVLA_THRESHOLD)
@@ -193,6 +197,7 @@ impl LeakReport {
                 JsonObj::new()
                     .field("analyzed", self.assessments.len())
                     .field("leaking", leaking)
+                    .field("degraded", degraded)
                     .field("refused", self.refused.len())
                     .build(),
             )
@@ -206,8 +211,8 @@ impl LeakReport {
             "TVLA fixed-vs-random verdict at |t| > {TVLA_THRESHOLD}; \
              MI in bits per observation; capacity via symmetric-channel formula at 3 GHz.\n\n"
         ));
-        out.push_str("| experiment | verdict | |t| | MI (bits) | capacity (bits/sym) | kbit/s | AUC | samples |\n");
-        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        out.push_str("| experiment | verdict | |t| | MI (bits) | capacity (bits/sym) | kbit/s | AUC | samples | failed |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|\n");
         for a in &self.assessments {
             let verdict = match a.leaks() {
                 Some(true) => "**LEAKS**",
@@ -219,7 +224,7 @@ impl LeakReport {
                 None => "-".to_owned(),
             };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
                 a.name,
                 verdict,
                 match a.tvla {
@@ -231,6 +236,7 @@ impl LeakReport {
                 fmt_opt(a.capacity.map(|c| c.bits_per_second / 1e3)),
                 fmt_opt(a.roc.as_ref().map(|r| r.auc)),
                 a.samples,
+                if a.failed > 0 { format!("**{}**", a.failed) } else { "0".to_owned() },
             ));
         }
         if !self.refused.is_empty() {
@@ -257,6 +263,7 @@ fn assessment_json(a: &Assessment) -> Json {
         .field("name", a.name.as_str())
         .field("seed", a.seed)
         .field("rows", a.rows)
+        .field("failed_trials", a.failed)
         .field("samples", a.samples)
         .field(
             "verdict",

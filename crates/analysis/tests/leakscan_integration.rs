@@ -60,22 +60,23 @@ fn run_covert_t(name: &str, threads: usize, bits_n: usize) {
         let bits: Vec<bool> = (0..bits_n).map(|_| rng.chance(0.5)).collect();
         let out = channel.transmit(&mut mem, &bits).expect("transmission");
         let samples = out.labelled_samples(&bits);
-        (out.accuracy(&bits), out.cycles_per_bit(), samples)
+        let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
+        let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
+        (out.accuracy(&bits), out.cycles_per_bit(), classes, values)
     });
     let trials: Vec<Trial> = results
         .iter()
         .enumerate()
-        .map(|(i, (acc, cpb, samples))| {
-            let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
-            let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
+        .map(|(i, outcome)| {
+            let (acc, cpb, classes, values) = outcome.as_ok().expect("trial succeeded");
             Trial::new(i)
                 .field("bit_accuracy", *acc)
                 .field("alphabet", 2u64)
                 .field("cycles_per_symbol", *cpb)
-                .labelled_samples(&classes, &values)
+                .labelled_samples(classes, values)
         })
         .collect();
-    exp.finish(&trials);
+    exp.finish(&trials).expect("finish");
 }
 
 /// A compact fig14-style covert-C experiment.
@@ -89,22 +90,23 @@ fn run_covert_c(name: &str, threads: usize, symbols_n: usize) {
         let symbols: Vec<u64> = (0..symbols_n).map(|_| rng.below(cap)).collect();
         let out = channel.transmit(&mut mem, &symbols).expect("transmit");
         let samples = out.labelled_samples(&symbols);
-        (out.accuracy(&symbols), out.cycles_per_symbol(), cap, samples)
+        let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
+        let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
+        (out.accuracy(&symbols), out.cycles_per_symbol(), cap, classes, values)
     });
     let trials: Vec<Trial> = results
         .iter()
         .enumerate()
-        .map(|(i, (acc, cps, cap, samples))| {
-            let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
-            let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
+        .map(|(i, outcome)| {
+            let (acc, cps, cap, classes, values) = outcome.as_ok().expect("trial succeeded");
             Trial::new(i)
                 .field("symbol_accuracy", *acc)
                 .field("alphabet", *cap)
                 .field("cycles_per_symbol", *cps)
-                .labelled_samples(&classes, &values)
+                .labelled_samples(classes, values)
         })
         .collect();
-    exp.finish(&trials);
+    exp.finish(&trials).expect("finish");
 }
 
 fn render_report(dir: &Path) -> String {
@@ -192,12 +194,12 @@ fn run_mirage_mitigated(name: &str, windows: usize) {
         }
         (classes, values)
     });
-    let (classes, values) = &results[0];
+    let (classes, values) = results[0].as_ok().expect("trial succeeded");
     let trial = Trial::new(0)
         .field("bit_accuracy", 0.5f64)
         .field("alphabet", 2u64)
         .labelled_samples(classes, values);
-    exp.finish(&[trial]);
+    exp.finish(&[trial]).expect("finish");
 }
 
 #[test]
@@ -232,6 +234,114 @@ fn tvla_separates_leaky_sct_from_mirage_mitigated() {
     let fail = run(&["--require-leak", "mirage_mitigated"]);
     assert_eq!(fail.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&fail.stderr));
     assert!(run(&["--require-clean", "mirage_mitigated"]).status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A deliberately degraded sweep: synthetic two-class latency data
+/// with one trial failing every attempt via the harness's injection
+/// hook, exactly as `METALEAK_FAIL_TRIAL` would.
+fn run_degraded(name: &str, trials_n: usize, fail: usize) {
+    let exp = Experiment::new(name, 0xDE6)
+        .with_threads(1)
+        .with_retries(0)
+        .with_injected_failures(vec![fail]);
+    let results = exp.run_trials(trials_n, |rng, _i| {
+        let mut classes = Vec::with_capacity(64);
+        let mut values = Vec::with_capacity(64);
+        for _ in 0..64 {
+            let bit = u64::from(rng.chance(0.5));
+            classes.push(bit);
+            values.push(if bit == 1 { 300 + rng.below(4) } else { 40 + rng.below(4) });
+        }
+        (classes, values)
+    });
+    let trials: Vec<Trial> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, outcome)| {
+            let (classes, values) = outcome.as_ok()?;
+            Some(
+                Trial::new(i)
+                    .field("bit_accuracy", 1.0f64)
+                    .field("alphabet", 2u64)
+                    .labelled_samples(classes, values),
+            )
+        })
+        .collect();
+    exp.finish(&trials).expect("finish");
+}
+
+#[test]
+fn degraded_artifacts_gate_behind_allow_degraded() {
+    let _guard = env_lock().lock().unwrap();
+    let dir = scratch("degraded_gate");
+    with_out_dir(&dir, || run_degraded("degraded_t", 3, 1));
+    // A torn mid-sweep state next to it: the journal of a run that was
+    // killed before its commit record. scan_dir sees an orphan JSONL
+    // with no sidecar, so leakscan must refuse it.
+    std::fs::write(
+        dir.join("killed.journal.jsonl"),
+        "{\"journal\":\"killed\",\"seed\":1}\n{\"trial\":0,\"value\":1}\n",
+    )
+    .unwrap();
+
+    // The ingest layer agrees on the shape before the CLI gates run:
+    // the failure row is skipped by accessors, not averaged in.
+    let data = ingest::load_experiment(&dir.join("degraded_t.jsonl")).unwrap();
+    assert!(data.degraded());
+    assert_eq!(data.failed, 1);
+    assert_eq!(data.rows.len(), 3);
+    assert_eq!(data.ok_rows().count(), 2);
+
+    let leakscan = env!("CARGO_BIN_EXE_leakscan");
+    let run = |extra: &[&str]| {
+        Command::new(leakscan).arg(&dir).args(extra).output().expect("leakscan must run")
+    };
+
+    // Default: the degraded experiment is refused (alongside the torn
+    // journal), but refusals alone exit 0.
+    let default = run(&[]);
+    assert!(default.status.success(), "{}", String::from_utf8_lossy(&default.stderr));
+    let report =
+        Json::parse(&std::fs::read_to_string(dir.join("leakscan_report.json")).unwrap()).unwrap();
+    let refused: Vec<String> = report
+        .get("refused")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.get("name").and_then(Json::as_str).map(str::to_owned))
+        .collect();
+    assert_eq!(refused, vec!["degraded_t", "killed.journal"]);
+    let reason = report.get("refused").and_then(Json::as_arr).unwrap()[0]
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+    assert!(reason.contains("--allow-degraded"), "reason must name the escape hatch: {reason}");
+    // --strict turns those refusals into exit 4.
+    assert_eq!(run(&["--strict"]).status.code(), Some(4));
+
+    // --allow-degraded analyzes the surviving rows; the verdict is
+    // real (the synthetic data leaks hard) and the report admits the
+    // degradation.
+    let allowed = run(&["--allow-degraded"]);
+    assert!(allowed.status.success(), "{}", String::from_utf8_lossy(&allowed.stderr));
+    let report =
+        Json::parse(&std::fs::read_to_string(dir.join("leakscan_report.json")).unwrap()).unwrap();
+    let exp = report.get("experiments").and_then(Json::as_arr).unwrap()[0].clone();
+    assert_eq!(exp.get("name").and_then(Json::as_str), Some("degraded_t"));
+    assert_eq!(exp.get("verdict").and_then(Json::as_str), Some("leaks"));
+    assert_eq!(exp.get("failed_trials").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        report.get("summary").and_then(|s| s.get("degraded")).and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // --max-failed-trials implies --allow-degraded and draws the line:
+    // one failure is within a budget of 1, over a budget of 0.
+    assert!(run(&["--max-failed-trials", "1"]).status.success());
+    let over = run(&["--max-failed-trials", "0"]);
+    assert_eq!(over.status.code(), Some(5), "{}", String::from_utf8_lossy(&over.stderr));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -11,13 +11,14 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_counters`
 
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_meta::enc_counter::{CounterScheme, CounterWidths};
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::rng::SimRng;
+use std::process::ExitCode;
 
 fn scheme_memory(scheme: CounterScheme) -> SecureMemory {
     // Narrow counters so the design-space differences show within the
@@ -42,7 +43,11 @@ fn run(mut mem: SecureMemory, writes: usize, rng: &mut SimRng) -> (u64, u64, u64
     (mem.stats.get("enc_overflows"), mem.stats.get("reencrypt_blocks"), mem.stats.get("rekeys"))
 }
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run_experiment())
+}
+
+fn run_experiment() -> Result<ExperimentReport, ArtifactError> {
     let writes = scaled(400, 4000);
     println!("== Ablation: encryption-counter schemes (Figure 3 / Algorithm 1) ==");
     println!("workload: {writes} writes, 80% to an 8-block hot set; 6-bit shared / 3-bit minor counters\n");
@@ -67,7 +72,8 @@ fn main() {
         TextTable::new(vec!["scheme", "overflows", "blocks re-encrypted", "key rotations"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, &(overflows, reencrypted, rekeys)) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(&(overflows, reencrypted, rekeys)) = outcome.as_ok() else { continue };
         let (name, _) = schemes[i];
         table.row(vec![
             name.to_owned(),
@@ -93,7 +99,7 @@ fn main() {
          only the 64-block page group — the design modern secure processors pick, and\n\
          the one whose small, frequent, page-local overflows make VUL-1 observable."
     );
-    let path = write_csv("ablation_counters.csv", "scheme,overflows,reencrypted,rekeys", &rows);
+    let path = write_csv("ablation_counters.csv", "scheme,overflows,reencrypted,rekeys", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

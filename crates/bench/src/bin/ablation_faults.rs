@@ -22,14 +22,19 @@
 use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
 use metaleak_attacks::resilience::FrameCodec;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_engine::snapshot::Snapshot;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::interference::FaultPlan;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let payload_n = scaled(64, 160);
     let repeats = 5;
     println!("== Ablation: MetaLeak-T channel error rate vs fault intensity ==");
@@ -79,8 +84,11 @@ fn main() {
         TextTable::new(vec!["intensity", "raw BER", "ECC BER", "erasures", "corrected", "lost"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, &(intensity, raw_ber, ecc_ber, erasures, corrected, lost)) in results.iter().enumerate()
-    {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(&(intensity, raw_ber, ecc_ber, erasures, corrected, lost)) = outcome.as_ok()
+        else {
+            continue;
+        };
         table.row(vec![
             format!("{intensity:.2}"),
             format!("{:.1}%", raw_ber * 100.0),
@@ -112,9 +120,9 @@ fn main() {
         "ablation_faults.csv",
         "intensity,raw_ber,ecc_ber,erasures,corrected_codewords,lost_codewords",
         &rows,
-    );
+    )?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }
 
 fn clean_config() -> metaleak_engine::config::SecureConfig {

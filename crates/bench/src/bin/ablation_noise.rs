@@ -14,12 +14,17 @@
 
 use metaleak::configs;
 use metaleak_attacks::covert_t::CovertChannelT;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let bits_n = scaled(100, 500);
     println!("== Ablation: MetaLeak-T covert-channel accuracy vs timing noise ==");
     println!(
@@ -57,7 +62,8 @@ fn main() {
     let mut table = TextTable::new(vec!["noise sd (cycles)", "bit accuracy"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, (sd, result)) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some((sd, result)) = outcome.as_ok() else { continue };
         match result {
             Ok(acc) => {
                 table.row(vec![format!("{sd:.0}"), format!("{:.1}%", acc * 100.0)]);
@@ -76,7 +82,7 @@ fn main() {
          ~200-cycle band gap and degrades toward coin-flipping as it swamps the gap —\n\
          the paper's 94–99% hardware numbers correspond to the intermediate regime."
     );
-    let path = write_csv("ablation_noise.csv", "noise_sd,bit_accuracy", &rows);
+    let path = write_csv("ablation_noise.csv", "noise_sd,bit_accuracy", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

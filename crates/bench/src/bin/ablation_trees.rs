@@ -7,10 +7,13 @@
 //! Run: `cargo run --release -p metaleak-bench --bin ablation_trees`
 
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{characterize_path_on, scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{
+    characterize_path_on, journal_fields, scaled, write_csv, ArtifactError, TextTable,
+};
 use metaleak_engine::config::SecureConfig;
 use metaleak_engine::secmem::SecureMemory;
+use std::process::ExitCode;
 
 struct DesignOutcome {
     levels: u8,
@@ -20,7 +23,19 @@ struct DesignOutcome {
     deepest: f64,
 }
 
-fn main() {
+journal_fields!(DesignOutcome {
+    levels: u8,
+    nodes: u64,
+    overflowable: bool,
+    leaf_hit: f64,
+    deepest: f64,
+});
+
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let samples = scaled(400, 4000);
     println!("== Ablation: integrity-tree designs (Figure 4) ==\n");
     let designs: Vec<(&str, SecureConfig)> = vec![
@@ -68,7 +83,8 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(out) = outcome.as_ok() else { continue };
         let (name, _) = &designs[i];
         table.row(vec![
             (*name).to_owned(),
@@ -104,7 +120,7 @@ fn main() {
         "ablation_trees.csv",
         "design,levels,node_blocks,leaf_hit_cy,full_walk_cy,metaleak_c_viable",
         &rows,
-    );
+    )?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -10,13 +10,19 @@
 //! Run: `cargo run --release -p metaleak-bench --bin fig06_read_paths`
 
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
 use metaleak_bench::{
     characterize_path_on, histogram_rows, path_count, print_histogram, scaled, write_csv,
+    ArtifactError,
 };
 use metaleak_engine::secmem::SecureMemory;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let samples = scaled(1000, 10_000);
     println!("== Figure 6: read-path latency distributions (SCT simulation) ==");
     println!("samples per path: {samples}\n");
@@ -34,7 +40,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, (label, h)) in histograms.iter().enumerate() {
+    for (i, outcome) in histograms.iter().enumerate() {
+        let Some((label, h)) = outcome.as_ok() else { continue };
         print_histogram(label, h);
         println!();
         rows.extend(histogram_rows(label, h));
@@ -47,7 +54,7 @@ fn main() {
                 .field("max_cycles", h.max().map(|c| c.as_u64()).unwrap_or(0)),
         );
     }
-    let path = write_csv("fig06_read_paths.csv", "path,latency_bucket,count", &rows);
+    let path = write_csv("fig06_read_paths.csv", "path,latency_bucket,count", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -11,13 +11,19 @@
 //! Run: `cargo run --release -p metaleak-bench --bin fig07_sgx_paths`
 
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
 use metaleak_bench::{
     characterize_path_on, histogram_rows, path_count, print_histogram, scaled, write_csv,
+    ArtifactError,
 };
 use metaleak_engine::secmem::SecureMemory;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let samples = scaled(1000, 10_000);
     println!("== Figure 7: read-path latency distributions (SGX / SIT) ==");
     println!("samples per path: {samples}\n");
@@ -35,7 +41,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, (label, h)) in histograms.iter().enumerate() {
+    for (i, outcome) in histograms.iter().enumerate() {
+        let Some((label, h)) = outcome.as_ok() else { continue };
         print_histogram(label, h);
         println!();
         rows.extend(histogram_rows(label, h));
@@ -48,11 +55,11 @@ fn main() {
                 .field("max_cycles", h.max().map(|c| c.as_u64()).unwrap_or(0)),
         );
     }
-    let path = write_csv("fig07_sgx_paths.csv", "path,latency_bucket,count", &rows);
+    let path = write_csv("fig07_sgx_paths.csv", "path,latency_bucket,count", &rows)?;
     println!("CSV written to {}", path.display());
     println!(
         "\npaper reference: ~150 cy counter-cached read, ~250 cy with tree leaf cached,\n\
          ~650 cy when node blocks miss at every level (Fig. 7)."
     );
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -16,11 +16,12 @@
 //! Run: `cargo run --release -p metaleak-bench --bin fig08_overflow_bands`
 
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{histogram_rows, print_histogram, scaled, write_csv};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{histogram_rows, print_histogram, scaled, write_csv, ArtifactError};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::stats::LatencyHistogram;
+use std::process::ExitCode;
 
 /// Number of independent chunks the sample budget is split into. Fixed
 /// (not thread-count dependent) so the output never changes with the
@@ -41,7 +42,11 @@ fn timed_read(mem: &mut SecureMemory, core: CoreId, block: u64) -> u64 {
     mem.read(core, block).expect("in range").latency.as_u64()
 }
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     // 4-bit tree minors: the same overflow machinery as the hardware's
     // 7-bit counters, saturating in 15 writebacks instead of 127.
     let cfg = configs::sct_experiment_with_tree_bits(4);
@@ -116,7 +121,8 @@ fn main() {
     let mut with_overflow = LatencyHistogram::new(200);
     let mut without_overflow = LatencyHistogram::new(200);
     let mut trials = Vec::new();
-    for (t, (w, wo)) in chunk_results.iter().enumerate() {
+    for (t, outcome) in chunk_results.iter().enumerate() {
+        let Some((w, wo)) = outcome.as_ok() else { continue };
         with_overflow.merge(w);
         without_overflow.merge(wo);
         trials.push(
@@ -137,7 +143,7 @@ fn main() {
 
     let mut rows = histogram_rows("no_overflow", &without_overflow);
     rows.extend(histogram_rows("overflow", &with_overflow));
-    let path = write_csv("fig08_overflow_bands.csv", "case,latency_bucket,count", &rows);
+    let path = write_csv("fig08_overflow_bands.csv", "case,latency_bucket,count", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

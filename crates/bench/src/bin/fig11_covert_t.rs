@@ -17,12 +17,14 @@
 use metaleak::configs;
 use metaleak_attacks::covert_t::{CovertChannelT, CovertOutcome};
 use metaleak_attacks::timing::effective_bits_per_second;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, trace_enabled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::supervisor::TrialOutcome;
+use metaleak_bench::{journal_fields, scaled, trace_enabled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_engine::snapshot::Snapshot;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog};
+use std::process::ExitCode;
 
 /// Chunk trials per configuration. Fixed (not thread-count dependent)
 /// so the output never changes with the worker count.
@@ -48,6 +50,15 @@ struct ChunkOutcome {
     sample_values: Vec<u64>,
     rows: Vec<String>,
 }
+
+journal_fields!(ChunkOutcome {
+    correct: usize,
+    bits: usize,
+    cycles: u64,
+    sample_classes: Vec<u64>,
+    sample_values: Vec<u64>,
+    rows: Vec<String>,
+});
 
 fn chunk_outcome(name: &str, chunk: usize, bits: &[bool], out: CovertOutcome) -> ChunkOutcome {
     let base = chunk * bits.len();
@@ -77,7 +88,11 @@ fn chunk_outcome(name: &str, chunk: usize, bits: &[bool], out: CovertOutcome) ->
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let bits_n = scaled(200, 1000);
     let chunk_bits = bits_n / CHUNKS;
     println!("== Figure 11: MetaLeak-T covert channel ({bits_n}-bit transmissions) ==\n");
@@ -116,24 +131,25 @@ fn main() {
             Warm::Plain { snap: mem.into_snapshot(), channel }
         }
     });
-    let results: Vec<(ChunkOutcome, Option<TraceLog>)> = warm.run_trials(CHUNKS, |warm, rng, i| {
-        let (name, _, _, _, _) = &setups[i / CHUNKS];
-        let chunk = i % CHUNKS;
-        let bits: Vec<bool> = (0..chunk_bits).map(|_| rng.chance(0.5)).collect();
-        match warm {
-            Warm::Plain { snap, channel } => {
-                let mut mem = snap.fork();
-                let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
-                (chunk_outcome(name, chunk, &bits, out), None)
+    let results: Vec<TrialOutcome<(ChunkOutcome, Option<TraceLog>)>> =
+        warm.run_trials(CHUNKS, |warm, rng, i| {
+            let (name, _, _, _, _) = &setups[i / CHUNKS];
+            let chunk = i % CHUNKS;
+            let bits: Vec<bool> = (0..chunk_bits).map(|_| rng.chance(0.5)).collect();
+            match warm {
+                Warm::Plain { snap, channel } => {
+                    let mut mem = snap.fork();
+                    let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
+                    (chunk_outcome(name, chunk, &bits, out), None)
+                }
+                Warm::Traced { snap, channel } => {
+                    let mut mem = snap.fork();
+                    let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
+                    let log = mem.into_tracer().into_log();
+                    (chunk_outcome(name, chunk, &bits, out), Some(log))
+                }
             }
-            Warm::Traced { snap, channel } => {
-                let mut mem = snap.fork();
-                let out = channel.transmit(&mut mem, &bits).expect("clean-plan transmission");
-                let log = mem.into_tracer().into_log();
-                (chunk_outcome(name, chunk, &bits, out), Some(log))
-            }
-        }
-    });
+        });
 
     let mut table =
         TextTable::new(vec!["config", "bit accuracy", "paper", "bits/Mcycle", "kbit/s @3GHz"]);
@@ -141,9 +157,17 @@ fn main() {
     let mut trials = Vec::new();
     for (p, (name, _, level, figure, paper)) in setups.iter().enumerate() {
         let chunks = &results[p * CHUNKS..(p + 1) * CHUNKS];
-        let bits: usize = chunks.iter().map(|(c, _)| c.bits).sum();
-        let correct: usize = chunks.iter().map(|(c, _)| c.correct).sum();
-        let cycles: u64 = chunks.iter().map(|(c, _)| c.cycles).sum();
+        let ok: Vec<&(ChunkOutcome, Option<TraceLog>)> =
+            chunks.iter().filter_map(TrialOutcome::as_ok).collect();
+        let bits: usize = ok.iter().map(|(c, _)| c.bits).sum();
+        if bits == 0 {
+            // Every chunk of this configuration failed; the failure
+            // rows in the JSONL carry the details.
+            table.row(vec![format!("{name} ({figure})"), "n/a".into(), (*paper).to_owned()]);
+            continue;
+        }
+        let correct: usize = ok.iter().map(|(c, _)| c.correct).sum();
+        let cycles: u64 = ok.iter().map(|(c, _)| c.cycles).sum();
         let accuracy = correct as f64 / bits as f64;
         let cycles_per_bit = cycles as f64 / bits as f64;
         let bits_per_mcycle = bits as f64 / (cycles as f64 / 1e6);
@@ -156,7 +180,8 @@ fn main() {
             format!("{bits_per_mcycle:.1}"),
             format!("{kbps:.0}"),
         ]);
-        for (chunk, (out, log)) in chunks.iter().enumerate() {
+        for (chunk, outcome) in chunks.iter().enumerate() {
+            let Some((out, log)) = outcome.as_ok() else { continue };
             rows.extend(out.rows.iter().cloned());
             let chunk_accuracy = out.correct as f64 / out.bits as f64;
             let mut trial = Trial::new(p * CHUNKS + chunk)
@@ -182,7 +207,7 @@ fn main() {
         "fig11_covert_t.csv",
         "config,bit,sent,decoded,tx_latency,boundary_latency",
         &rows,
-    );
+    )?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

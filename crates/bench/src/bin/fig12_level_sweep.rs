@@ -10,12 +10,17 @@
 
 use metaleak::configs;
 use metaleak_attacks::metaleak_t::MetaLeakT;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let rounds = scaled(50, 500);
     println!("== Figure 12: mEvict+mReload interval & coverage by tree level ==\n");
     let core = CoreId(0);
@@ -44,7 +49,8 @@ fn main() {
     let mut table = TextTable::new(vec!["level", "interval (cycles/round)", "coverage (KB)"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (level, result) in results.iter().enumerate() {
+    for (level, outcome) in results.iter().enumerate() {
+        let Some(result) = outcome.as_ok() else { continue };
         match result {
             Ok((interval, coverage_kb)) => {
                 table.row(vec![
@@ -71,7 +77,7 @@ fn main() {
         "paper reference: resolution decreases with level while coverage grows\n\
          exponentially (leaf nodes cover tens of KB; each level multiplies by the arity)."
     );
-    let path = write_csv("fig12_level_sweep.csv", "level,interval_cycles,coverage_kb", &rows);
+    let path = write_csv("fig12_level_sweep.csv", "level,interval_cycles,coverage_kb", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

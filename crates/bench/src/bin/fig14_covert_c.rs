@@ -16,15 +16,43 @@
 
 use metaleak::configs;
 use metaleak_attacks::covert_c::CovertChannelC;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{quick_mode, scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::supervisor::TrialOutcome;
+use metaleak_bench::{journal_fields, quick_mode, scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
+use std::process::ExitCode;
 
 /// Fixed number of transmission chunks (independent of thread count).
 const CHUNKS: usize = 4;
 
-fn main() {
+struct ChunkOutcome {
+    symbols: usize,
+    accuracy: f64,
+    cap: u64,
+    cycles_per_symbol: f64,
+    rows: Vec<String>,
+    sample_classes: Vec<u64>,
+    sample_values: Vec<u64>,
+    snippet: Vec<String>,
+}
+
+journal_fields!(ChunkOutcome {
+    symbols: usize,
+    accuracy: f64,
+    cap: u64,
+    cycles_per_symbol: f64,
+    rows: Vec<String>,
+    sample_classes: Vec<u64>,
+    sample_values: Vec<u64>,
+    snippet: Vec<String>,
+});
+
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     // Quick mode narrows the minors (same mechanism, fewer writes per
     // symbol); full mode uses the hardware's 7-bit width.
     let minor_bits = if quick_mode() { 4 } else { 7 };
@@ -55,65 +83,83 @@ fn main() {
         let cap = channel.max_symbol() + 1;
         let symbols: Vec<u64> = (start..end).map(|_| rng.below(cap)).collect();
         let out = channel.transmit(&mut mem, &symbols).expect("transmit");
-        (symbols, out, cap)
+        let rows = out
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| format!("{},{},{},{}", start + i, symbols[i], r.symbol, r.spy_writes))
+            .collect();
+        let snippet = out
+            .records
+            .iter()
+            .take(4)
+            .enumerate()
+            .map(|(i, rec)| {
+                let lat: Vec<u64> = rec.latencies.iter().map(|c| c.as_u64()).collect();
+                format!(
+                    "  window {i}: sent {:>3}  spy writes {:>3}  probe latencies {lat:?}",
+                    symbols[i], rec.spy_writes
+                )
+            })
+            .collect();
+        let samples = out.labelled_samples(&symbols);
+        ChunkOutcome {
+            symbols: symbols.len(),
+            accuracy: out.accuracy(&symbols),
+            cap,
+            cycles_per_symbol: out.cycles_per_symbol(),
+            rows,
+            sample_classes: samples.iter().map(|s| s.class).collect(),
+            sample_values: samples.iter().map(|s| s.value).collect(),
+            snippet,
+        }
     });
 
     // Figure 14's snippet: four consecutive transmission windows.
-    println!("trace snippet (4 transmission windows):");
-    let (first_symbols, first_out, cap) = &chunk_results[0];
-    for (i, rec) in first_out.records.iter().take(4).enumerate() {
-        let lat: Vec<u64> = rec.latencies.iter().map(|c| c.as_u64()).collect();
-        println!(
-            "  window {i}: sent {:>3}  spy writes {:>3}  probe latencies {:?}",
-            first_symbols[i], rec.spy_writes, lat
-        );
+    if let Some(first) = chunk_results[0].as_ok() {
+        println!("trace snippet (4 transmission windows):");
+        for line in &first.snippet {
+            println!("{line}");
+        }
     }
 
     let mut correct = 0usize;
     let mut total = 0usize;
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (t, (symbols, out, cap)) in chunk_results.iter().enumerate() {
-        let chunk_acc = out.accuracy(symbols);
-        correct += (chunk_acc * symbols.len() as f64).round() as usize;
-        total += symbols.len();
-        let base = t * symbols_n / CHUNKS;
-        rows.extend(
-            out.records
-                .iter()
-                .enumerate()
-                .map(|(i, r)| format!("{},{},{},{}", base + i, symbols[i], r.symbol, r.spy_writes)),
-        );
-        // Per-window (sent symbol, spy writes) pairs for leakscan.
-        let samples = out.labelled_samples(symbols);
-        let classes: Vec<u64> = samples.iter().map(|s| s.class).collect();
-        let values: Vec<u64> = samples.iter().map(|s| s.value).collect();
+    for (t, outcome) in chunk_results.iter().enumerate() {
+        let Some(out) = outcome.as_ok() else { continue };
+        correct += (out.accuracy * out.symbols as f64).round() as usize;
+        total += out.symbols;
+        rows.extend(out.rows.iter().cloned());
         trials.push(
             Trial::new(t)
-                .field("symbols", symbols.len())
-                .field("symbol_accuracy", chunk_acc)
-                .field("first_window", base)
-                .field("alphabet", *cap)
-                .field("cycles_per_symbol", out.cycles_per_symbol())
-                .labelled_samples(&classes, &values),
+                .field("symbols", out.symbols)
+                .field("symbol_accuracy", out.accuracy)
+                .field("first_window", t * symbols_n / CHUNKS)
+                .field("alphabet", out.cap)
+                .field("cycles_per_symbol", out.cycles_per_symbol)
+                .labelled_samples(&out.sample_classes, &out.sample_values),
         );
     }
     let accuracy = correct as f64 / total.max(1) as f64;
 
-    let mut table = TextTable::new(vec!["metric", "measured", "paper"]);
-    table.row(vec![
-        "symbol accuracy".to_owned(),
-        format!("{:.1}%", accuracy * 100.0),
-        "99.7%".to_owned(),
-    ]);
-    table.row(vec![
-        "bits per symbol".to_owned(),
-        format!("{}", 64 - cap.leading_zeros()),
-        "7".to_owned(),
-    ]);
-    println!("\n{}", table.render());
+    if let Some(cap) = chunk_results.iter().filter_map(TrialOutcome::as_ok).map(|c| c.cap).next() {
+        let mut table = TextTable::new(vec!["metric", "measured", "paper"]);
+        table.row(vec![
+            "symbol accuracy".to_owned(),
+            format!("{:.1}%", accuracy * 100.0),
+            "99.7%".to_owned(),
+        ]);
+        table.row(vec![
+            "bits per symbol".to_owned(),
+            format!("{}", 64 - cap.leading_zeros()),
+            "7".to_owned(),
+        ]);
+        println!("\n{}", table.render());
+    }
 
-    let path = write_csv("fig14_covert_c.csv", "window,sent,decoded,spy_writes", &rows);
+    let path = write_csv("fig14_covert_c.csv", "window,sent,decoded,spy_writes", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -7,12 +7,35 @@
 
 use metaleak::casestudy::run_jpeg_t_on;
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{out_dir, scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{journal_fields, scaled, try_out_dir, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::jpeg::GrayImage;
+use std::process::ExitCode;
 
-fn main() {
+struct ImageOutcome {
+    mask_accuracy: f64,
+    psnr_vs_oracle: f64,
+    windows: usize,
+    stolen_ascii: String,
+    stolen_pgm: Vec<u8>,
+    oracle_pgm: Vec<u8>,
+}
+
+journal_fields!(ImageOutcome {
+    mask_accuracy: f64,
+    psnr_vs_oracle: f64,
+    windows: usize,
+    stolen_ascii: String,
+    stolen_pgm: Vec<u8>,
+    oracle_pgm: Vec<u8>,
+});
+
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let size = scaled(32, 64);
     println!("== Figure 15: libjpeg image reconstruction (MetaLeak-T, SCT) ==\n");
     let images: Vec<(&str, GrayImage)> = vec![
@@ -28,19 +51,29 @@ fn main() {
         .with_warmup(1, |_wrng, _| SecureMemory::new(configs::sct_experiment()).into_snapshot())
         .run_trials(images.len(), |snap, _rng, i| {
             let (_, image) = &images[i];
-            run_jpeg_t_on(&mut snap.fork(), image, 100, 0).expect("attack")
+            let out = run_jpeg_t_on(&mut snap.fork(), image, 100, 0).expect("attack");
+            ImageOutcome {
+                mask_accuracy: out.mask_accuracy,
+                psnr_vs_oracle: out.psnr_vs_oracle,
+                windows: out.windows,
+                stolen_ascii: out.stolen.to_ascii(size),
+                stolen_pgm: out.stolen.to_pgm(),
+                oracle_pgm: out.oracle.to_pgm(),
+            }
         });
 
+    let out_dir = try_out_dir()?;
     let mut table =
         TextTable::new(vec!["image", "stealing accuracy", "PSNR vs oracle (dB)", "windows"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(out) = outcome.as_ok() else { continue };
         let (name, image) = &images[i];
         println!("[{name}] original:");
         println!("{}", image.to_ascii(size));
         println!("[{name}] stolen via MetaLeak-T:");
-        println!("{}", out.stolen.to_ascii(size));
+        println!("{}", out.stolen_ascii);
         table.row(vec![
             (*name).to_owned(),
             format!("{:.1}%", out.mask_accuracy * 100.0),
@@ -58,15 +91,13 @@ fn main() {
                 .field("psnr_vs_oracle_db", out.psnr_vs_oracle)
                 .field("windows", out.windows),
         );
-        std::fs::write(out_dir().join(format!("fig15_{name}_original.pgm")), image.to_pgm()).ok();
-        std::fs::write(out_dir().join(format!("fig15_{name}_stolen.pgm")), out.stolen.to_pgm())
-            .ok();
-        std::fs::write(out_dir().join(format!("fig15_{name}_oracle.pgm")), out.oracle.to_pgm())
-            .ok();
+        std::fs::write(out_dir.join(format!("fig15_{name}_original.pgm")), image.to_pgm()).ok();
+        std::fs::write(out_dir.join(format!("fig15_{name}_stolen.pgm")), &out.stolen_pgm).ok();
+        std::fs::write(out_dir.join(format!("fig15_{name}_oracle.pgm")), &out.oracle_pgm).ok();
     }
     println!("{}", table.render());
     println!("paper reference: up to 97% stealing accuracy; reconstructions close to the oracle (Fig. 15).");
-    let path = write_csv("fig15_jpeg_t.csv", "image,mask_accuracy,psnr_vs_oracle,windows", &rows);
+    let path = write_csv("fig15_jpeg_t.csv", "image,mask_accuracy,psnr_vs_oracle,windows", &rows)?;
     println!("CSV + PGM files written under {}", path.parent().unwrap().display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -7,12 +7,25 @@
 
 use metaleak::casestudy::run_rsa_t_on;
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{journal_fields, scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::rsa::RsaKey;
+use std::process::ExitCode;
 
-fn main() {
+struct RsaOutcome {
+    trace: String,
+    bit_accuracy: f64,
+    windows: usize,
+}
+
+journal_fields!(RsaOutcome { trace: String, bit_accuracy: f64, windows: usize });
+
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let prime_bits = scaled(40, 128);
     println!("== Figure 16: libgcrypt modular exponentiation (MetaLeak-T) ==");
     println!("victim key: {prime_bits}-bit primes\n");
@@ -32,18 +45,20 @@ fn main() {
         })
         .run_trials(1, |snap, _rng, i| {
             let (_, _, level, _) = &setups[i];
-            run_rsa_t_on(&mut snap.fork(), &key, 100, *level).expect("attack")
+            let out = run_rsa_t_on(&mut snap.fork(), &key, 100, *level).expect("attack");
+            // The Figure 16-style trace for the first iterations.
+            let trace: String =
+                out.observations.iter().take(32).map(|&(_, m)| if m { 'M' } else { 'S' }).collect();
+            RsaOutcome { trace, bit_accuracy: out.bit_accuracy, windows: out.windows }
         });
 
     let mut table = TextTable::new(vec!["config", "bit accuracy", "paper", "iterations"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(out) = outcome.as_ok() else { continue };
         let (name, _, level, paper) = &setups[i];
-        // Render the Figure 16-style trace for the first iterations.
-        let trace: String =
-            out.observations.iter().take(32).map(|&(_, m)| if m { 'M' } else { 'S' }).collect();
-        println!("[{name}] observed trace (first 32 iters): {trace}");
+        println!("[{name}] observed trace (first 32 iters): {}", out.trace);
         table.row(vec![
             (*name).to_owned(),
             format!("{:.1}%", out.bit_accuracy * 100.0),
@@ -60,7 +75,7 @@ fn main() {
         );
     }
     println!("\n{}", table.render());
-    let path = write_csv("fig16_rsa.csv", "config,bit_accuracy,iterations", &rows);
+    let path = write_csv("fig16_rsa.csv", "config,bit_accuracy,iterations", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -6,14 +6,35 @@
 
 use metaleak::casestudy::run_modinv_t_on;
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{journal_fields, scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::bignum::BigUint;
 use metaleak_victims::modinv::InvOp;
 use metaleak_victims::rsa::RsaKey;
+use std::process::ExitCode;
 
-fn main() {
+struct ModInvOutcome {
+    render: String,
+    true_shifts: usize,
+    true_subs: usize,
+    detection_accuracy: f64,
+    windows: usize,
+}
+
+journal_fields!(ModInvOutcome {
+    render: String,
+    true_shifts: usize,
+    true_subs: usize,
+    detection_accuracy: f64,
+    windows: usize,
+});
+
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let prime_bits = scaled(32, 96);
     println!("== Figure 17: mbedTLS modular inversion (MetaLeak-T) ==\n");
     // The victim loads a private key: d = e^{-1} mod (p-1)(q-1).
@@ -34,24 +55,32 @@ fn main() {
         })
         .run_trials(1, |snap, _rng, i| {
             let (_, _, level, _) = &setups[i];
-            run_modinv_t_on(&mut snap.fork(), &e, &phi, 100, *level).expect("attack")
+            let out = run_modinv_t_on(&mut snap.fork(), &e, &phi, 100, *level).expect("attack");
+            let true_shifts = out.truth.iter().filter(|o| **o == InvOp::ShiftR).count();
+            let render: String = out
+                .observed
+                .iter()
+                .take(48)
+                .map(|o| if *o == InvOp::ShiftR { 'R' } else { 'S' })
+                .collect();
+            ModInvOutcome {
+                render,
+                true_shifts,
+                true_subs: out.truth.len() - true_shifts,
+                detection_accuracy: out.detection_accuracy,
+                windows: out.windows,
+            }
         });
 
     let mut table = TextTable::new(vec!["config", "op detection accuracy", "paper", "ops"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(out) = outcome.as_ok() else { continue };
         let (name, _, level, paper) = &setups[i];
-        let shifts = out.truth.iter().filter(|o| **o == InvOp::ShiftR).count();
-        let render: String = out
-            .observed
-            .iter()
-            .take(48)
-            .map(|o| if *o == InvOp::ShiftR { 'R' } else { 'S' })
-            .collect();
         println!("[{name}]");
-        println!("  observed ops (first 48, R=shift S=sub): {render}");
-        println!("  ground truth: {shifts} shifts / {} subs", out.truth.len() - shifts);
+        println!("  observed ops (first 48, R=shift S=sub): {}", out.render);
+        println!("  ground truth: {} shifts / {} subs", out.true_shifts, out.true_subs);
         table.row(vec![
             (*name).to_owned(),
             format!("{:.1}%", out.detection_accuracy * 100.0),
@@ -65,11 +94,11 @@ fn main() {
                 .field("level", *level)
                 .field("detection_accuracy", out.detection_accuracy)
                 .field("windows", out.windows)
-                .field("true_shifts", shifts),
+                .field("true_shifts", out.true_shifts),
         );
     }
     println!("\n{}", table.render());
-    let path = write_csv("fig17_modinv.csv", "config,detection_accuracy,ops", &rows);
+    let path = write_csv("fig17_modinv.csv", "config,detection_accuracy,ops", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -13,11 +13,16 @@
 //!
 //! Run: `cargo run --release -p metaleak-bench --bin fig18_mirage`
 
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{scaled, write_csv, ArtifactError, TextTable};
 use metaleak_mitigations::mirage::{eviction_probability, MirageConfig};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let trials_per_point = scaled(40, 200);
     println!("== Figure 18: eviction accuracy under MIRAGE cache randomization ==");
     println!(
@@ -41,7 +46,8 @@ fn main() {
         TextTable::new(vec!["random accesses", "eviction accuracy", "analytic 1-(1-1/N)^k"]);
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, &(k, p, model)) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(&(k, p, model)) = outcome.as_ok() else { continue };
         table.row(vec![
             k.to_string(),
             format!("{:.1}%", p * 100.0),
@@ -59,7 +65,7 @@ fn main() {
     println!(
         "paper reference: ~7000 random accesses evict the target with >90% accuracy (Fig. 18)."
     );
-    let path = write_csv("fig18_mirage.csv", "accesses,eviction_probability,analytic", &rows);
+    let path = write_csv("fig18_mirage.csv", "accesses,eviction_probability,analytic", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

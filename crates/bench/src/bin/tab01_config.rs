@@ -6,12 +6,13 @@
 //! Run: `cargo run -p metaleak-bench --bin tab01_config`
 
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::TextTable;
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::{ArtifactError, TextTable};
 use metaleak_engine::config::SecureConfig;
+use std::process::ExitCode;
 
-fn describe_rows(cfg: &SecureConfig) -> Vec<(&'static str, String)> {
-    vec![
+fn describe_rows(cfg: &SecureConfig) -> Vec<(String, String)> {
+    let rows: Vec<(&str, String)> = vec![
         ("cores", cfg.sim.cores.to_string()),
         (
             "L1 D-cache",
@@ -84,10 +85,15 @@ fn describe_rows(cfg: &SecureConfig) -> Vec<(&'static str, String)> {
             format!("{:?} ({}-bit tree minors)", cfg.tree_kind, cfg.tree_widths.minor_bits),
         ),
         ("MEE extra latency", format!("{} cycles/metadata fetch", cfg.mee_extra)),
-    ]
+    ];
+    rows.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()
 }
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     println!("== Table I: architecture configurations (as reproduced) ==\n");
     let setups: Vec<(&str, SecureConfig)> = vec![
         ("Simulated secure processor — SCT (VAULT-style)", configs::sct_experiment()),
@@ -98,13 +104,14 @@ fn main() {
     let results = exp.run_trials(setups.len(), |_rng, i| describe_rows(&setups[i].1));
 
     let mut trials = Vec::new();
-    for (i, rows) in results.iter().enumerate() {
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(rows) = outcome.as_ok() else { continue };
         let (name, _) = &setups[i];
         println!("== {name} ==");
         let mut t = TextTable::new(vec!["parameter", "value"]);
         let mut trial = Trial::new(i).field("config", *name);
         for (param, value) in rows {
-            t.row(vec![(*param).to_owned(), value.clone()]);
+            t.row(vec![param.clone(), value.clone()]);
             trial = trial.field(param, value.as_str());
         }
         println!("{}", t.render());
@@ -115,5 +122,5 @@ fn main() {
          (8192:1 footprint-to-cache ratio) relative to the paper's 64 GB / 256 KB;\n\
          see DESIGN.md for the substitution argument."
     );
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

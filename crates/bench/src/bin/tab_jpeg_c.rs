@@ -10,12 +10,18 @@
 
 use metaleak::casestudy::run_jpeg_c_on;
 use metaleak::configs;
-use metaleak_bench::harness::{Experiment, Trial};
-use metaleak_bench::{quick_mode, scaled, write_csv, TextTable};
+use metaleak_bench::harness::{Experiment, ExperimentReport, Trial};
+use metaleak_bench::supervisor::TrialOutcome;
+use metaleak_bench::{quick_mode, scaled, write_csv, ArtifactError, TextTable};
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_victims::jpeg::GrayImage;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    metaleak_bench::conclude(run())
+}
+
+fn run() -> Result<ExperimentReport, ArtifactError> {
     let minor_bits = if quick_mode() { 3 } else { 7 };
     let events = scaled(120, 2000);
     let images_n = scaled(2, 4);
@@ -34,13 +40,14 @@ fn main() {
         .with_warmup(1, |_wrng, _| SecureMemory::new(cfg.clone()).into_snapshot())
         .run_trials(images_n, |snap, rng, _| {
             let image = GrayImage::glyphs(32, 32, rng.next_u64());
-            run_jpeg_c_on(&mut snap.fork(), &image, 100, 1, events).expect("attack")
+            let out = run_jpeg_c_on(&mut snap.fork(), &image, 100, 1, events).expect("attack");
+            (out.zero_recovery_accuracy, out.windows, out.true_zeros)
         });
 
-    let mean_acc =
-        results.iter().map(|o| o.zero_recovery_accuracy).sum::<f64>() / results.len().max(1) as f64;
-    let windows: u64 = results.iter().map(|o| o.windows as u64).sum();
-    let true_zeros: u64 = results.iter().map(|o| o.true_zeros as u64).sum();
+    let done: Vec<&(f64, usize, usize)> = results.iter().filter_map(TrialOutcome::as_ok).collect();
+    let mean_acc = done.iter().map(|o| o.0).sum::<f64>() / done.len().max(1) as f64;
+    let windows: u64 = done.iter().map(|o| o.1 as u64).sum();
+    let true_zeros: u64 = done.iter().map(|o| o.2 as u64).sum();
 
     let mut table = TextTable::new(vec!["metric", "measured", "paper"]);
     table.row(vec![
@@ -54,20 +61,18 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut trials = Vec::new();
-    for (i, out) in results.iter().enumerate() {
-        rows.push(format!(
-            "{i},{:.4},{},{}",
-            out.zero_recovery_accuracy, out.windows, out.true_zeros
-        ));
+    for (i, outcome) in results.iter().enumerate() {
+        let Some(&(acc, windows, true_zeros)) = outcome.as_ok() else { continue };
+        rows.push(format!("{i},{acc:.4},{windows},{true_zeros}"));
         trials.push(
             Trial::new(i)
-                .field("zero_recovery_accuracy", out.zero_recovery_accuracy)
-                .field("windows", out.windows)
-                .field("true_zeros", out.true_zeros),
+                .field("zero_recovery_accuracy", acc)
+                .field("windows", windows)
+                .field("true_zeros", true_zeros),
         );
     }
     let path =
-        write_csv("tab_jpeg_c.csv", "image,zero_recovery_accuracy,windows,true_zeros", &rows);
+        write_csv("tab_jpeg_c.csv", "image,zero_recovery_accuracy,windows,true_zeros", &rows)?;
     println!("CSV written to {}", path.display());
-    exp.finish(&trials);
+    exp.finish(&trials)
 }

@@ -1,4 +1,4 @@
-//! The parallel, deterministic experiment harness.
+//! The parallel, deterministic, fault-tolerant experiment harness.
 //!
 //! Every figure/table binary builds an [`Experiment`], fans its
 //! independent trials (sweep points, repetitions, configurations) out
@@ -16,6 +16,19 @@
 //! `<name>.meta.json` file records timing-dependent facts (thread
 //! count, wall-clock).
 //!
+//! # Supervision
+//!
+//! Trials run under the [`crate::supervisor`]: a panicking or
+//! deadline-blown trial is retried on its *original* RNG stream and,
+//! if it keeps failing, becomes a structured
+//! [`TrialFailure`] row
+//! (`{"trial":i,"failed":true,...}`) instead of killing the sweep —
+//! the bin exits with code 2 ([`crate::conclude`]) and `leakscan
+//! --allow-degraded` can still assess the surviving trials. Completed
+//! trials checkpoint to a fsynced `<name>.journal.jsonl`; an
+//! interrupted run replays the journal on restart and executes only
+//! the missing trials, producing byte-identical final artifacts.
+//!
 //! # Seeding convention
 //!
 //! - each binary owns one literal experiment seed;
@@ -26,12 +39,16 @@
 //!   never collide with a trial id.
 
 use crate::json::{Json, JsonObj};
-use crate::{out_dir, quick_mode};
+use crate::supervisor::{
+    self, Journal, JournalValue, SupervisorPolicy, TrialFailure, TrialOutcome,
+};
+use crate::{quick_mode, ArtifactError};
 use metaleak_sim::rng::SimRng;
 use metaleak_sim::trace::TraceLog;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// First stream id reserved for auxiliary (non-trial) RNG streams.
@@ -45,13 +62,28 @@ pub const AUX_STREAM_BASE: u64 = 1 << 32;
 /// re-run inside every trial of the point.
 pub const WARMUP_STREAM_BASE: u64 = 1 << 33;
 
+/// Locks a mutex, recovering the guard from a poisoned lock instead of
+/// panicking: trial bodies are isolated by `catch_unwind`, so a poison
+/// marker only means some earlier holder panicked — the protected data
+/// (index-addressed result slots, append-only sinks) stays valid.
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Worker-thread count used by [`Experiment::new`]: the value of
 /// `METALEAK_THREADS` when set (minimum 1), otherwise the machine's
-/// available parallelism.
+/// available parallelism. An unparsable or zero value warns on stderr
+/// and falls back to 1.
 pub fn default_threads() -> usize {
     match std::env::var("METALEAK_THREADS") {
-        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                crate::warn_env_once("METALEAK_THREADS", &v, "a positive integer", "1");
+                1
+            }
+        },
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     }
 }
 
@@ -61,6 +93,11 @@ pub fn default_threads() -> usize {
 /// Trial `i` receives the RNG stream `SimRng::seed_from(seed).split(i)`
 /// and its index; the output vector is ordered by index regardless of
 /// completion order, so results are bit-identical for any `threads`.
+///
+/// This is the *unsupervised* primitive: a panicking trial propagates
+/// (after all workers finish their current trial). Experiment sweeps
+/// go through [`Experiment::run_trials`], which adds isolation, retry
+/// and journaling.
 pub fn run_trials<T, F>(n: usize, seed: u64, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -87,16 +124,80 @@ where
                 }
                 let mut rng = root.split(i as u64);
                 let out = f(&mut rng, i);
-                results.lock().expect("results lock")[i] = Some(out);
+                lock_ignoring_poison(&results)[i] = Some(out);
             });
         }
     });
     results
         .into_inner()
-        .expect("results lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every trial completed"))
         .collect()
+}
+
+/// The supervised fan-out primitive behind [`Experiment::run_trials`]:
+/// trials absent from `prefill` run under the supervisor (isolation,
+/// deadlines, retry) and report through `on_fresh` (the journal hook)
+/// as they complete; prefilled outcomes (journal replays, warmup
+/// fan-outs) are returned as-is. Output is ordered by trial index.
+fn run_supervised<T, F>(
+    n: usize,
+    seed: u64,
+    threads: usize,
+    policy: &SupervisorPolicy,
+    prefill: BTreeMap<usize, TrialOutcome<T>>,
+    on_fresh: &(dyn Fn(usize, &TrialOutcome<T>) + Sync),
+    f: F,
+) -> Vec<TrialOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut SimRng, usize) -> T + Sync,
+{
+    let root = SimRng::seed_from(seed);
+    let mut slots: Vec<Option<TrialOutcome<T>>> = (0..n).map(|_| None).collect();
+    for (i, outcome) in prefill {
+        if i < n {
+            slots[i] = Some(outcome);
+        }
+    }
+    let missing: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+    let run_one = |i: usize| {
+        // Every attempt re-splits the trial's original stream, so a
+        // retry replays exactly the randomness of the first try.
+        let out = supervisor::supervise(policy, i, || {
+            let mut rng = root.split(i as u64);
+            f(&mut rng, i)
+        });
+        on_fresh(i, &out);
+        out
+    };
+    let threads = threads.max(1).min(missing.len().max(1));
+    if threads == 1 {
+        for &i in &missing {
+            slots[i] = Some(run_one(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, TrialOutcome<T>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= missing.len() {
+                        break;
+                    }
+                    let i = missing[k];
+                    let out = run_one(i);
+                    lock_ignoring_poison(&done).push((i, out));
+                });
+            }
+        });
+        for (i, out) in done.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            slots[i] = Some(out);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every trial has an outcome")).collect()
 }
 
 /// One JSONL row of an experiment: a trial index plus named stats.
@@ -111,6 +212,11 @@ impl Trial {
     /// Starts a row for trial `idx`.
     pub fn new(idx: usize) -> Self {
         Trial { idx, fields: Vec::new(), trace: None }
+    }
+
+    /// The trial index this row belongs to.
+    pub fn idx(&self) -> usize {
+        self.idx
     }
 
     /// Appends a named stat (field order is preserved in the output).
@@ -169,6 +275,11 @@ pub struct ExperimentReport {
     pub trace_jsonl: Option<PathBuf>,
     /// Wall-clock from [`Experiment::new`] to [`Experiment::finish`].
     pub wall_clock: Duration,
+    /// Trials that failed every attempt (sorted by index). Non-empty
+    /// means the sweep is *degraded*: artifacts are complete, failure
+    /// rows stand in for the lost trials, and [`crate::conclude`]
+    /// turns this into exit code 2.
+    pub failures: Vec<TrialFailure>,
 }
 
 /// A named, seeded, parallel experiment.
@@ -179,10 +290,17 @@ pub struct Experiment {
     threads: usize,
     config: Vec<(String, Json)>,
     started: Instant,
+    policy: SupervisorPolicy,
+    journal: bool,
+    failures: Mutex<Vec<TrialFailure>>,
+    journal_paths: Mutex<Vec<PathBuf>>,
+    stage: AtomicUsize,
 }
 
 impl Experiment {
-    /// Creates an experiment with [`default_threads`] workers.
+    /// Creates an experiment with [`default_threads`] workers, the
+    /// `METALEAK_TRIAL_*` supervision policy and journaling per
+    /// `METALEAK_JOURNAL`.
     pub fn new(name: &str, seed: u64) -> Self {
         Experiment {
             name: name.to_owned(),
@@ -190,12 +308,60 @@ impl Experiment {
             threads: default_threads(),
             config: Vec::new(),
             started: Instant::now(),
+            policy: SupervisorPolicy::from_env(),
+            journal: crate::journal_enabled(),
+            failures: Mutex::new(Vec::new()),
+            journal_paths: Mutex::new(Vec::new()),
+            stage: AtomicUsize::new(0),
         }
     }
 
     /// Overrides the worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the `METALEAK_JOURNAL` decision. Tests that re-run
+    /// one experiment name in-process disable journaling so a replay
+    /// cannot stand in for the execution under test.
+    pub fn with_journal(mut self, journal: bool) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Overrides the deterministic per-attempt cycle budget
+    /// (`METALEAK_TRIAL_DEADLINE`); 0 disables it.
+    pub fn with_trial_deadline(mut self, cycles: u64) -> Self {
+        self.policy.deadline_cycles = (cycles > 0).then_some(cycles);
+        self
+    }
+
+    /// Overrides the wall-clock backstop (`METALEAK_TRIAL_WALL_MS`);
+    /// 0 disables it.
+    pub fn with_wall_deadline_ms(mut self, ms: u64) -> Self {
+        self.policy.wall_ms = (ms > 0).then_some(ms);
+        self
+    }
+
+    /// Overrides the retry count (`METALEAK_TRIAL_RETRIES`): retries
+    /// *after* the first attempt.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.policy.retries = retries;
+        self
+    }
+
+    /// Overrides the initial wall-clock retry backoff in milliseconds
+    /// (tests set 0 to retry immediately).
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.policy.backoff_ms = ms;
+        self
+    }
+
+    /// Injects deterministic failures into the listed trial indices
+    /// (`METALEAK_FAIL_TRIAL`) — every attempt of those trials panics.
+    pub fn with_injected_failures(mut self, trials: Vec<usize>) -> Self {
+        self.policy.inject = trials;
         self
     }
 
@@ -222,13 +388,104 @@ impl Experiment {
         SimRng::seed_from(self.seed).split(AUX_STREAM_BASE + k)
     }
 
-    /// Runs `n` trials of `f` in parallel; see the free [`run_trials`].
-    pub fn run_trials<T, F>(&self, n: usize, f: F) -> Vec<T>
+    /// Runs `n` supervised trials of `f` in parallel, returning one
+    /// [`TrialOutcome`] per trial in index order: the result, or the
+    /// [`TrialFailure`] standing in for a trial that failed every
+    /// attempt. With journaling on, completed trials checkpoint to
+    /// `<name>.journal.jsonl` and a restarted run replays them instead
+    /// of re-executing.
+    pub fn run_trials<T, F>(&self, n: usize, f: F) -> Vec<TrialOutcome<T>>
     where
-        T: Send,
+        T: Send + JournalValue,
         F: Fn(&mut SimRng, usize) -> T + Sync,
     {
-        run_trials(n, self.seed, self.threads, f)
+        let stage = self.stage.fetch_add(1, Ordering::SeqCst);
+        let (journal, prefill) = self.open_journal::<T>(stage, n);
+        let on_fresh = journal_hook(&journal);
+        let outcomes =
+            run_supervised(n, self.seed, self.threads, &self.policy, prefill, &on_fresh, f);
+        self.record_failures(&outcomes);
+        outcomes
+    }
+
+    /// Opens this experiment's journal for fan-out stage `stage`
+    /// (`run_trials` calls are numbered in program order, which is
+    /// deterministic, so a restarted bin maps stages back correctly)
+    /// and converts any replayable rows of an interrupted previous run
+    /// into prefilled outcomes.
+    fn open_journal<T: JournalValue>(
+        &self,
+        stage: usize,
+        n: usize,
+    ) -> (Option<Journal>, BTreeMap<usize, TrialOutcome<T>>) {
+        if !self.journal {
+            return (None, BTreeMap::new());
+        }
+        let dir = match crate::try_out_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("warning: {e}; checkpointing disabled");
+                return (None, BTreeMap::new());
+            }
+        };
+        let file = if stage == 0 {
+            format!("{}.journal.jsonl", self.name)
+        } else {
+            format!("{}.stage{stage}.journal.jsonl", self.name)
+        };
+        let path = dir.join(file);
+        let header = JsonObj::new()
+            .field("journal", self.name.as_str())
+            .field("version", 1u64)
+            .field("stage", stage)
+            .field("seed", self.seed)
+            .field("trials", n)
+            .field("quick", quick_mode())
+            .field("sharing", crate::snapshot_sharing())
+            .field("traced", crate::trace_enabled())
+            .build();
+        match Journal::open(&path, &header) {
+            Ok((journal, rows)) => {
+                let mut prefill = BTreeMap::new();
+                for (i, row) in &rows {
+                    if *i >= n {
+                        continue;
+                    }
+                    if let Some(outcome) = Journal::replay_row::<T>(row) {
+                        prefill.insert(*i, outcome);
+                    }
+                }
+                if !prefill.is_empty() {
+                    println!(
+                        "experiment '{}': resuming — replayed {} of {} trial(s) from {}",
+                        self.name,
+                        prefill.len(),
+                        n,
+                        path.display()
+                    );
+                }
+                lock_ignoring_poison(&self.journal_paths).push(path);
+                (Some(journal), prefill)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open journal {}: {e}; checkpointing disabled",
+                    path.display()
+                );
+                (None, BTreeMap::new())
+            }
+        }
+    }
+
+    /// Copies the failures out of `outcomes` into the experiment's
+    /// sink, which [`Experiment::finish`] merges into the artifacts.
+    fn record_failures<T>(&self, outcomes: &[TrialOutcome<T>]) {
+        let mut sink = lock_ignoring_poison(&self.failures);
+        for outcome in outcomes {
+            if let TrialOutcome::Failed(f) = outcome {
+                sink.push(f.clone());
+            }
+        }
     }
 
     /// The RNG stream feeding sweep point `point`'s warmup closure (see
@@ -248,7 +505,11 @@ impl Experiment {
     /// (`METALEAK_SNAPSHOT=0`) is invisible to the results: the warmup
     /// always draws from [`Experiment::warmup_stream`]`(point)` — never
     /// from a trial stream — and trials fork the warmed state instead
-    /// of mutating it, so both modes produce byte-identical rows.
+    /// of mutating it, so both modes produce byte-identical rows. The
+    /// same symmetry holds for failures: a warmup that panics or blows
+    /// its budget yields the same failure rows for the point's trials
+    /// in both modes (the cycle budget is re-armed between warmup and
+    /// trial body in the per-trial mode to keep the accounting equal).
     pub fn with_warmup<S, W>(&self, points: usize, warmup: W) -> Warmup<'_, W>
     where
         W: Fn(&mut SimRng, usize) -> S + Sync,
@@ -259,7 +520,10 @@ impl Experiment {
     /// Writes the result sink: `<name>.jsonl` (one deterministic row
     /// per trial) and `<name>.meta.json` (seed, config, thread count,
     /// row count, wall-clock in milliseconds), both under
-    /// `target/experiments/`.
+    /// `target/experiments/`. Trials that failed supervision
+    /// contribute `{"trial":i,"failed":true,...}` rows, merged into
+    /// index order with the caller's rows; the sidecar then records
+    /// `failed`, `degraded` and the `failed_trials` details.
     ///
     /// The sidecar is the **commit record** and is written strictly
     /// last: any stale `<name>.meta.json` from a previous run is
@@ -267,10 +531,19 @@ impl Experiment {
     /// between the two writes can never leave a sidecar sitting next
     /// to a truncated or mismatched `.jsonl`. `leakscan` refuses
     /// experiments whose sidecar is missing, lacks `complete: true`,
-    /// or whose `rows` count disagrees with the JSONL line count.
-    pub fn finish(self, trials: &[Trial]) -> ExperimentReport {
+    /// or whose `rows` count disagrees with the JSONL line count. The
+    /// trial journal is deleted after the sidecar lands — the sidecar
+    /// supersedes it as the commit record.
+    ///
+    /// # Errors
+    /// [`ArtifactError`] when an output file cannot be removed or
+    /// written; bins surface it and exit 1 via [`crate::conclude`].
+    pub fn finish(self, trials: &[Trial]) -> Result<ExperimentReport, ArtifactError> {
         let wall_clock = self.started.elapsed();
-        let dir = out_dir();
+        let dir = crate::try_out_dir()?;
+
+        let mut failures = self.failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+        failures.sort_by_key(|f| f.trial);
 
         // Invalidate first: from here until the final write, the
         // experiment has no commit record. Stale trace sidecars from a
@@ -283,55 +556,79 @@ impl Experiment {
             match std::fs::remove_file(stale) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => panic!("remove stale experiment artifact {}: {e}", stale.display()),
+                Err(e) => return Err(ArtifactError::new("remove stale artifact", stale, e)),
             }
         }
 
+        // Merge the caller's rows with the failure stand-in rows into
+        // one index-ordered stream.
+        let mut rows: Vec<(usize, String)> = trials
+            .iter()
+            .map(|t| (t.idx, t.render()))
+            .chain(failures.iter().map(|f| (f.trial, f.row_json().render())))
+            .collect();
+        rows.sort_by_key(|&(i, _)| i);
         let mut body = String::new();
-        for t in trials {
-            body.push_str(&t.render());
+        for (_, row) in &rows {
+            body.push_str(row);
             body.push('\n');
         }
         let jsonl = dir.join(format!("{}.jsonl", self.name));
-        std::fs::write(&jsonl, body).expect("write experiment jsonl");
+        std::fs::write(&jsonl, body).map_err(|e| ArtifactError::new("write", &jsonl, e))?;
 
         let traces: Vec<(usize, &TraceLog)> =
             trials.iter().filter_map(|t| t.trace.as_ref().map(|log| (t.idx, log))).collect();
         let (trace_jsonl, trace_rows) = if traces.is_empty() {
             (None, None)
         } else {
-            let (trace_body, rows) = crate::trace::trace_jsonl(&traces);
-            std::fs::write(&trace_path, trace_body).expect("write experiment trace jsonl");
+            let (trace_body, trows) = crate::trace::trace_jsonl(&traces);
+            std::fs::write(&trace_path, trace_body)
+                .map_err(|e| ArtifactError::new("write", &trace_path, e))?;
             let chrome = crate::trace::chrome_trace(&traces);
             std::fs::write(&chrome_path, chrome.render() + "\n")
-                .expect("write experiment chrome trace");
-            (Some(trace_path), Some(rows))
+                .map_err(|e| ArtifactError::new("write", &chrome_path, e))?;
+            (Some(trace_path), Some(trows))
         };
 
         let mut meta_obj = JsonObj::new()
             .field("experiment", self.name.as_str())
             .field("seed", self.seed)
             .field("threads", self.threads)
-            .field("trials", trials.len())
-            .field("rows", trials.len())
+            .field("trials", rows.len())
+            .field("rows", rows.len())
+            .field("failed", failures.len())
             .field("complete", true)
             .field("quick_mode", quick_mode())
             .field("snapshot_sharing", crate::snapshot_sharing());
-        if let Some(rows) = trace_rows {
+        if !failures.is_empty() {
+            meta_obj = meta_obj.field("degraded", true).field(
+                "failed_trials",
+                Json::Arr(failures.iter().map(TrialFailure::meta_json).collect()),
+            );
+        }
+        if let Some(trows) = trace_rows {
             // Commit record for the trace sidecar: `tracescan` refuses
             // traces whose row count disagrees (a torn write).
-            meta_obj = meta_obj.field("trace_rows", rows);
+            meta_obj = meta_obj.field("trace_rows", trows);
         }
         let meta_json = meta_obj
             .field("wall_clock_ms", wall_clock.as_millis() as u64)
             .field("config", Json::Obj(self.config.clone()))
             .build();
-        std::fs::write(&meta, meta_json.render() + "\n").expect("write experiment meta");
+        std::fs::write(&meta, meta_json.render() + "\n")
+            .map_err(|e| ArtifactError::new("write", &meta, e))?;
+
+        // The sidecar is committed; the journal is now redundant.
+        // Best-effort removal — a leftover journal only costs a replay.
+        for path in self.journal_paths.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            let _ = std::fs::remove_file(path);
+        }
 
         println!(
-            "experiment '{}': {} trials on {} thread(s) in {} ms; JSONL -> {}",
+            "experiment '{}': {} trials ({} failed) on {} thread(s) in {} ms; JSONL -> {}",
             self.name,
-            trials.len(),
+            rows.len(),
+            failures.len(),
             self.threads,
             wall_clock.as_millis(),
             jsonl.display()
@@ -344,7 +641,23 @@ impl Experiment {
                 chrome_path.display()
             );
         }
-        ExperimentReport { jsonl, meta, trace_jsonl, wall_clock }
+        Ok(ExperimentReport { jsonl, meta, trace_jsonl, wall_clock, failures })
+    }
+}
+
+/// The journal-append hook handed to [`run_supervised`]: freshly
+/// completed outcomes (successes and failures alike) checkpoint as
+/// they land; replayed outcomes never re-append.
+fn journal_hook<T: JournalValue>(
+    journal: &Option<Journal>,
+) -> impl Fn(usize, &TrialOutcome<T>) + Sync + '_ {
+    move |i, outcome| {
+        if let Some(j) = journal {
+            match outcome {
+                TrialOutcome::Done(v) => j.append(&Journal::success_entry(i, v)),
+                TrialOutcome::Failed(f) => j.append(&Journal::failure_entry(f)),
+            }
+        }
     }
 }
 
@@ -371,42 +684,143 @@ impl<W> Warmup<'_, W> {
         self.points
     }
 
-    /// Runs `points × trials_per_point` trials. Trial `i` belongs to
-    /// point `i / trials_per_point`, receives a shared reference to
-    /// that point's warmup state and its own trial stream
+    /// Runs `points × trials_per_point` supervised trials. Trial `i`
+    /// belongs to point `i / trials_per_point`, receives a shared
+    /// reference to that point's warmup state and its own trial stream
     /// `SimRng::seed_from(seed).split(i)` — exactly the stream the same
     /// trial would get from [`Experiment::run_trials`].
-    pub fn run_trials<S, T, F>(&self, trials_per_point: usize, f: F) -> Vec<T>
+    ///
+    /// A warmup that fails supervision fans out to one [`TrialFailure`]
+    /// per (not-yet-journaled) trial of its point, carrying the
+    /// warmup's own kind and error — byte-identical to what the
+    /// per-trial warmup mode produces when the same warmup fails
+    /// inside each trial. On resume, only points that still have
+    /// missing trials are re-warmed.
+    pub fn run_trials<S, T, F>(&self, trials_per_point: usize, f: F) -> Vec<TrialOutcome<T>>
     where
         W: Fn(&mut SimRng, usize) -> S + Sync,
         S: Send + Sync,
-        T: Send,
+        T: Send + JournalValue,
         F: Fn(&S, &mut SimRng, usize) -> T + Sync,
     {
         assert!(trials_per_point > 0, "with_warmup needs at least one trial per point");
+        let exp = self.exp;
         let n = self.points * trials_per_point;
-        if self.sharing {
-            // Warm every point once (itself fanned out over the worker
-            // pool), then fan the trials out against the shared states.
-            let states: Vec<S> = self.exp.run_trials(self.points, |_, p| {
-                let mut wrng = self.exp.warmup_stream(p as u64);
-                (self.warmup)(&mut wrng, p)
-            });
-            self.exp.run_trials(n, |rng, i| f(&states[i / trials_per_point], rng, i))
-        } else {
-            self.exp.run_trials(n, |rng, i| {
+        let stage = exp.stage.fetch_add(1, Ordering::SeqCst);
+        let (journal, mut prefill) = exp.open_journal::<T>(stage, n);
+
+        let outcomes = if self.sharing {
+            // Only points with at least one missing trial need warm
+            // state on this (possibly resumed) run.
+            let needed: Vec<bool> = (0..self.points)
+                .map(|p| {
+                    (0..trials_per_point)
+                        .any(|t| !prefill.contains_key(&(p * trials_per_point + t)))
+                })
+                .collect();
+            let skip: BTreeMap<usize, TrialOutcome<Option<S>>> = needed
+                .iter()
+                .enumerate()
+                .filter(|&(_, &need)| !need)
+                .map(|(p, _)| (p, TrialOutcome::Done(None)))
+                .collect();
+            // Warm every needed point once (itself fanned out over the
+            // worker pool, each warmup under its own supervised cycle
+            // budget). Warmups are never journaled: the journal's unit
+            // is the trial.
+            let silent = |_: usize, _: &TrialOutcome<Option<S>>| {};
+            let warm_outcomes = run_supervised(
+                self.points,
+                exp.seed,
+                exp.threads,
+                &exp.policy,
+                skip,
+                &silent,
+                |_, p| {
+                    let mut wrng = exp.warmup_stream(p as u64);
+                    Some((self.warmup)(&mut wrng, p))
+                },
+            );
+            let mut states: Vec<Option<S>> = Vec::with_capacity(self.points);
+            let mut warm_failures: Vec<Option<TrialFailure>> = Vec::with_capacity(self.points);
+            for outcome in warm_outcomes {
+                match outcome {
+                    TrialOutcome::Done(s) => {
+                        states.push(s);
+                        warm_failures.push(None);
+                    }
+                    TrialOutcome::Failed(wf) => {
+                        states.push(None);
+                        warm_failures.push(Some(wf));
+                    }
+                }
+            }
+            // A failed warmup fails the point's remaining trials with
+            // the warmup's own kind/error — the same rows the
+            // per-trial mode produces.
+            for (p, warm_failure) in warm_failures.iter().enumerate() {
+                let Some(wf) = warm_failure else { continue };
+                for t in 0..trials_per_point {
+                    let i = p * trials_per_point + t;
+                    if prefill.contains_key(&i) {
+                        continue;
+                    }
+                    let failure = TrialFailure { trial: i, ..wf.clone() };
+                    if let Some(j) = &journal {
+                        j.append(&Journal::failure_entry(&failure));
+                    }
+                    prefill.insert(i, TrialOutcome::Failed(failure));
+                }
+            }
+            let on_fresh = journal_hook(&journal);
+            run_supervised(n, exp.seed, exp.threads, &exp.policy, prefill, &on_fresh, |rng, i| {
                 let p = i / trials_per_point;
-                let mut wrng = self.exp.warmup_stream(p as u64);
+                let state = states[p].as_ref().expect("missing trial implies a warmed point");
+                f(state, rng, i)
+            })
+        } else {
+            let on_fresh = journal_hook(&journal);
+            run_supervised(n, exp.seed, exp.threads, &exp.policy, prefill, &on_fresh, |rng, i| {
+                let p = i / trials_per_point;
+                let mut wrng = exp.warmup_stream(p as u64);
                 let state = (self.warmup)(&mut wrng, p);
+                // Give the trial body the same fresh cycle budget it
+                // gets in sharing mode (where warmup and trial run as
+                // separate supervised attempts).
+                metaleak_sim::watchdog::rearm();
                 f(&state, rng, i)
             })
-        }
+        };
+        exp.record_failures(&outcomes);
+        outcomes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::FailureKind;
+
+    /// Scratch `METALEAK_OUT_DIR` guard for tests that touch the sink.
+    /// Process-global, so journal/finish tests share one lock.
+    fn with_scratch_dir<R>(tag: &str, f: impl FnOnce() -> R) -> R {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = lock_ignoring_poison(&ENV_LOCK);
+        let dir = std::env::temp_dir().join(format!("metaleak_{tag}_{}", std::process::id()));
+        let old = std::env::var("METALEAK_OUT_DIR").ok();
+        std::env::set_var("METALEAK_OUT_DIR", &dir);
+        let out = f();
+        match old {
+            Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
+            None => std::env::remove_var("METALEAK_OUT_DIR"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    fn values<T>(outcomes: Vec<TrialOutcome<T>>) -> Vec<T> {
+        outcomes.into_iter().map(TrialOutcome::unwrap).collect()
+    }
 
     #[test]
     fn trials_return_in_index_order() {
@@ -439,6 +853,7 @@ mod tests {
     fn trial_rows_render_deterministically() {
         let row = Trial::new(2).field("accuracy", 0.5f64).field("windows", 10usize);
         assert_eq!(row.render(), "{\"trial\":2,\"accuracy\":0.5,\"windows\":10}");
+        assert_eq!(row.idx(), 2);
     }
 
     #[test]
@@ -458,66 +873,56 @@ mod tests {
 
     #[test]
     fn finish_writes_sidecar_last_with_commit_record() {
-        // Run in a scratch sink so the shared target/experiments dir is
-        // untouched (out_dir re-reads the env var on every call, but
-        // set_var is process-global: restore it afterwards).
-        let dir = std::env::temp_dir().join(format!("metaleak_sidecar_{}", std::process::id()));
-        let old = std::env::var("METALEAK_OUT_DIR").ok();
-        std::env::set_var("METALEAK_OUT_DIR", &dir);
-        let exp = Experiment::new("sidecar_order", 3).with_threads(1);
-        let report = exp.finish(&[Trial::new(0).field("x", 1u64), Trial::new(1).field("x", 2u64)]);
-        let meta = std::fs::read_to_string(&report.meta).expect("meta");
-        assert!(meta.contains("\"rows\":2"), "{meta}");
-        assert!(meta.contains("\"complete\":true"), "{meta}");
-        // A second run replaces both files cleanly (stale sidecar is
-        // removed before the new JSONL lands).
-        let exp = Experiment::new("sidecar_order", 3).with_threads(1);
-        let report = exp.finish(&[Trial::new(0).field("x", 9u64)]);
-        assert!(std::fs::read_to_string(&report.meta).expect("meta").contains("\"rows\":1"));
-        assert_eq!(std::fs::read_to_string(&report.jsonl).expect("jsonl").lines().count(), 1);
-        match old {
-            Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
-            None => std::env::remove_var("METALEAK_OUT_DIR"),
-        }
-        let _ = std::fs::remove_dir_all(&dir);
+        with_scratch_dir("sidecar", || {
+            let exp = Experiment::new("sidecar_order", 3).with_threads(1);
+            let report = exp
+                .finish(&[Trial::new(0).field("x", 1u64), Trial::new(1).field("x", 2u64)])
+                .expect("finish");
+            let meta = std::fs::read_to_string(&report.meta).expect("meta");
+            assert!(meta.contains("\"rows\":2"), "{meta}");
+            assert!(meta.contains("\"complete\":true"), "{meta}");
+            assert!(meta.contains("\"failed\":0"), "{meta}");
+            assert!(!meta.contains("degraded"), "{meta}");
+            // A second run replaces both files cleanly (stale sidecar
+            // is removed before the new JSONL lands).
+            let exp = Experiment::new("sidecar_order", 3).with_threads(1);
+            let report = exp.finish(&[Trial::new(0).field("x", 9u64)]).expect("finish");
+            assert!(std::fs::read_to_string(&report.meta).expect("meta").contains("\"rows\":1"));
+            assert_eq!(std::fs::read_to_string(&report.jsonl).expect("jsonl").lines().count(), 1);
+        });
     }
 
     #[test]
     fn traced_finish_writes_sidecars_and_untraced_rerun_removes_them() {
         use metaleak_sim::clock::Cycles;
         use metaleak_sim::trace::{RingTracer, TraceEvent, Tracer};
-        let dir = std::env::temp_dir().join(format!("metaleak_tracerun_{}", std::process::id()));
-        let old = std::env::var("METALEAK_OUT_DIR").ok();
-        std::env::set_var("METALEAK_OUT_DIR", &dir);
+        with_scratch_dir("tracerun", || {
+            let mut t = RingTracer::new(8);
+            t.record(Cycles::new(10), TraceEvent::WriteDone { cycles: 40 });
+            t.record(Cycles::new(20), TraceEvent::ProbeIssued { block: 7 });
+            let exp = Experiment::new("trace_run", 9).with_threads(1);
+            let report = exp
+                .finish(&[Trial::new(0).field("x", 1u64).with_trace(t.into_log())])
+                .expect("finish");
+            let trace_path = report.trace_jsonl.clone().expect("trace sidecar written");
+            assert_eq!(std::fs::read_to_string(&trace_path).expect("trace").lines().count(), 2);
+            let meta = std::fs::read_to_string(&report.meta).expect("meta");
+            assert!(meta.contains("\"trace_rows\":2"), "{meta}");
+            // Row summary fields landed on the main JSONL row.
+            let row = std::fs::read_to_string(&report.jsonl).expect("jsonl");
+            assert!(row.contains("\"trace_events\":2"), "{row}");
+            assert!(row.contains("\"trace_dropped\":0"), "{row}");
 
-        let mut t = RingTracer::new(8);
-        t.record(Cycles::new(10), TraceEvent::WriteDone { cycles: 40 });
-        t.record(Cycles::new(20), TraceEvent::ProbeIssued { block: 7 });
-        let exp = Experiment::new("trace_run", 9).with_threads(1);
-        let report = exp.finish(&[Trial::new(0).field("x", 1u64).with_trace(t.into_log())]);
-        let trace_path = report.trace_jsonl.clone().expect("trace sidecar written");
-        assert_eq!(std::fs::read_to_string(&trace_path).expect("trace").lines().count(), 2);
-        let meta = std::fs::read_to_string(&report.meta).expect("meta");
-        assert!(meta.contains("\"trace_rows\":2"), "{meta}");
-        // Row summary fields landed on the main JSONL row.
-        let row = std::fs::read_to_string(&report.jsonl).expect("jsonl");
-        assert!(row.contains("\"trace_events\":2"), "{row}");
-        assert!(row.contains("\"trace_dropped\":0"), "{row}");
-
-        // An untraced re-run removes the stale trace sidecars and drops
-        // trace_rows from the commit record.
-        let exp = Experiment::new("trace_run", 9).with_threads(1);
-        let report = exp.finish(&[Trial::new(0).field("x", 1u64)]);
-        assert!(report.trace_jsonl.is_none());
-        assert!(!trace_path.exists(), "stale trace sidecar must be removed");
-        assert!(!dir.join("trace_run.trace.chrome.json").exists());
-        assert!(!std::fs::read_to_string(&report.meta).expect("meta").contains("trace_rows"));
-
-        match old {
-            Some(v) => std::env::set_var("METALEAK_OUT_DIR", v),
-            None => std::env::remove_var("METALEAK_OUT_DIR"),
-        }
-        let _ = std::fs::remove_dir_all(&dir);
+            // An untraced re-run removes the stale trace sidecars and
+            // drops trace_rows from the commit record.
+            let exp = Experiment::new("trace_run", 9).with_threads(1);
+            let report = exp.finish(&[Trial::new(0).field("x", 1u64)]).expect("finish");
+            assert!(report.trace_jsonl.is_none());
+            assert!(!trace_path.exists(), "stale trace sidecar must be removed");
+            let dir = crate::out_dir();
+            assert!(!dir.join("trace_run.trace.chrome.json").exists());
+            assert!(!std::fs::read_to_string(&report.meta).expect("meta").contains("trace_rows"));
+        });
     }
 
     #[test]
@@ -540,12 +945,15 @@ mod tests {
     fn warmup_sharing_modes_are_byte_identical() {
         // The warmup draws from its own stream and trials only read the
         // shared state, so shared and per-trial warmup must agree for
-        // any thread count.
+        // any thread count. Journaling is off: each run must actually
+        // execute, not replay its predecessor.
         let run = |sharing: bool, threads: usize| {
-            let exp = Experiment::new("warm_eq", 0xAB).with_threads(threads);
-            exp.with_warmup(3, |wrng, p| (p as u64, wrng.next_u64()))
-                .with_sharing(sharing)
-                .run_trials(4, |state, rng, i| (state.0, state.1, rng.next_u64(), i))
+            let exp = Experiment::new("warm_eq", 0xAB).with_threads(threads).with_journal(false);
+            values(
+                exp.with_warmup(3, |wrng, p| (p as u64, wrng.next_u64()))
+                    .with_sharing(sharing)
+                    .run_trials(4, |state, rng, i| (state.0, state.1, rng.next_u64(), i)),
+            )
         };
         let baseline = run(false, 1);
         assert_eq!(baseline.len(), 12);
@@ -558,15 +966,195 @@ mod tests {
     fn warmup_runs_once_per_point_when_sharing() {
         use std::sync::atomic::AtomicUsize;
         let calls = AtomicUsize::new(0);
-        let exp = Experiment::new("warm_count", 1).with_threads(2);
-        let out = exp
-            .with_warmup(2, |_, p| {
+        let exp = Experiment::new("warm_count", 1).with_threads(2).with_journal(false);
+        let out = values(
+            exp.with_warmup(2, |_, p| {
                 calls.fetch_add(1, Ordering::SeqCst);
                 p
             })
             .with_sharing(true)
-            .run_trials(5, |&p, _, i| (p, i));
+            .run_trials(5, |&p, _, i| (p, i)),
+        );
         assert_eq!(out.len(), 10);
         assert_eq!(calls.load(Ordering::SeqCst), 2, "one warmup per point");
+    }
+
+    #[test]
+    fn panicking_trial_becomes_failure_row_and_degraded_meta() {
+        with_scratch_dir("degraded", || {
+            let exp = Experiment::new("degraded_sweep", 7)
+                .with_threads(2)
+                .with_retries(1)
+                .with_retry_backoff_ms(0);
+            let outcomes = exp.run_trials(4, |rng, i| {
+                if i == 2 {
+                    panic!("deliberate failure in trial {i}");
+                }
+                rng.next_u64()
+            });
+            assert_eq!(outcomes.len(), 4);
+            assert!(outcomes[2].is_failed());
+            let failure = outcomes[2].as_failed().unwrap();
+            assert_eq!(failure.kind, FailureKind::Panic);
+            assert_eq!(failure.attempts, 2, "one retry on the original stream");
+            // The surviving trials become normal rows; finish merges
+            // the failure row into index order.
+            let trials: Vec<Trial> = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| o.as_ok().map(|v| Trial::new(i).field("v", *v)))
+                .collect();
+            let report = exp.finish(&trials).expect("finish");
+            assert_eq!(report.failures.len(), 1);
+            let body = std::fs::read_to_string(&report.jsonl).expect("jsonl");
+            let lines: Vec<&str> = body.lines().collect();
+            assert_eq!(lines.len(), 4);
+            assert!(
+                lines[2].starts_with(
+                    "{\"trial\":2,\"failed\":true,\"kind\":\"panic\",\"error\":\"deliberate"
+                ),
+                "{}",
+                lines[2]
+            );
+            let meta = std::fs::read_to_string(&report.meta).expect("meta");
+            assert!(meta.contains("\"failed\":1"), "{meta}");
+            assert!(meta.contains("\"degraded\":true"), "{meta}");
+            assert!(meta.contains("\"failed_trials\":[{\"trial\":2"), "{meta}");
+            assert!(meta.contains("\"rows\":4"), "{meta}");
+        });
+    }
+
+    #[test]
+    fn failure_rows_are_identical_across_threads_and_sharing_modes() {
+        // A warmup that panics for one point must produce the same
+        // failure rows whether it runs once (sharing) or per trial.
+        let run = |sharing: bool, threads: usize| {
+            let exp = Experiment::new("warm_fail_eq", 3)
+                .with_threads(threads)
+                .with_journal(false)
+                .with_retries(0);
+            let outcomes = exp
+                .with_warmup(3, |wrng, p| {
+                    if p == 1 {
+                        panic!("warmup failed for point {p}");
+                    }
+                    wrng.next_u64()
+                })
+                .with_sharing(sharing)
+                .run_trials(2, |state, rng, _| state ^ rng.next_u64());
+            outcomes
+                .iter()
+                .map(|o| match o {
+                    TrialOutcome::Done(v) => format!("ok:{v}"),
+                    TrialOutcome::Failed(f) => f.row_json().render(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let baseline = run(true, 1);
+        assert_eq!(baseline.len(), 6);
+        assert!(baseline[2].contains("\"failed\":true"), "{}", baseline[2]);
+        assert!(baseline[3].contains("warmup failed for point 1"), "{}", baseline[3]);
+        for (sharing, threads) in [(true, 8), (false, 1), (false, 8)] {
+            assert_eq!(run(sharing, threads), baseline, "sharing={sharing} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn journal_replay_skips_completed_trials() {
+        use std::sync::atomic::AtomicUsize;
+        with_scratch_dir("resume", || {
+            let executed = AtomicUsize::new(0);
+            let body = |rng: &mut SimRng, _i: usize| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                rng.next_u64()
+            };
+            // First run journals all four trials but never commits
+            // (no finish) — the crash scenario.
+            let exp = Experiment::new("resume_unit", 5).with_threads(1);
+            let first = values(exp.run_trials(4, body));
+            assert_eq!(executed.load(Ordering::SeqCst), 4);
+
+            // The restarted run replays everything from the journal.
+            let exp = Experiment::new("resume_unit", 5).with_threads(1);
+            let second = values(exp.run_trials(4, body));
+            assert_eq!(executed.load(Ordering::SeqCst), 4, "no trial may re-run");
+            assert_eq!(first, second);
+
+            // finish commits and removes the journal; the next run
+            // executes for real again.
+            let journal = crate::out_dir().join("resume_unit.journal.jsonl");
+            assert!(journal.exists());
+            exp.finish(&[]).expect("finish");
+            assert!(!journal.exists(), "commit must clear the journal");
+            let exp = Experiment::new("resume_unit", 5).with_threads(1);
+            let third = values(exp.run_trials(4, body));
+            assert_eq!(executed.load(Ordering::SeqCst), 8);
+            assert_eq!(first, third);
+        });
+    }
+
+    #[test]
+    fn journal_replay_preserves_failures_without_rerunning() {
+        with_scratch_dir("resume_fail", || {
+            let exp = Experiment::new("resume_fail", 6)
+                .with_threads(1)
+                .with_retries(0)
+                .with_injected_failures(vec![1]);
+            let first = exp.run_trials(3, |rng, _| rng.next_u64());
+            assert!(first[1].is_failed());
+
+            // The resumed run replays the failure row too — without
+            // injection configured, so a re-run would "succeed" and
+            // change the artifacts.
+            let exp = Experiment::new("resume_fail", 6).with_threads(1).with_retries(0);
+            let second = exp.run_trials(3, |rng, _| rng.next_u64());
+            let failure = second[1].as_failed().expect("failure must replay");
+            assert_eq!(failure.error, "injected failure for trial 1 (METALEAK_FAIL_TRIAL)");
+            assert_eq!(first[0].as_ok(), second[0].as_ok(), "successes replay to identical values");
+            // And the replayed failure reaches the artifacts.
+            let report = exp.finish(&[]).expect("finish");
+            assert_eq!(report.failures.len(), 1);
+        });
+    }
+
+    #[test]
+    fn resumed_warmup_only_rewarms_points_with_missing_trials() {
+        use std::sync::atomic::AtomicUsize;
+        with_scratch_dir("resume_warm", || {
+            let warmups = AtomicUsize::new(0);
+            // Complete a full run, then forge the crash by deleting
+            // point 1's rows from the journal: the resumed run still
+            // has all of point 0's trials and must not re-warm it.
+            let exp = Experiment::new("resume_warm", 8).with_threads(1);
+            let _ = exp
+                .with_warmup(2, |wrng, _p| {
+                    warmups.fetch_add(1, Ordering::SeqCst);
+                    wrng.next_u64()
+                })
+                .run_trials(2, |state, rng, _| state ^ rng.next_u64());
+            assert_eq!(warmups.load(Ordering::SeqCst), 2);
+            let journal = crate::out_dir().join("resume_warm.journal.jsonl");
+            let body = std::fs::read_to_string(&journal).expect("journal");
+            let kept: String = body
+                .lines()
+                .filter(|l| !l.contains("\"trial\":2") && !l.contains("\"trial\":3"))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            std::fs::write(&journal, kept).expect("truncate journal");
+
+            let exp = Experiment::new("resume_warm", 8).with_threads(1);
+            let out = exp
+                .with_warmup(2, |wrng, _p| {
+                    warmups.fetch_add(1, Ordering::SeqCst);
+                    wrng.next_u64()
+                })
+                .run_trials(2, |state, rng, _| state ^ rng.next_u64());
+            assert_eq!(out.len(), 4);
+            assert_eq!(
+                warmups.load(Ordering::SeqCst),
+                3,
+                "only the point with missing trials re-warms"
+            );
+        });
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod supervisor;
 pub mod trace;
 
 use metaleak_engine::config::SecureConfig;
@@ -41,8 +42,77 @@ use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
 use metaleak_sim::stats::LatencyHistogram;
 use metaleak_sim::trace::Tracer;
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+
+/// A typed artifact-layer failure: an output directory or experiment
+/// file could not be created or written. Bins report it and exit
+/// non-zero instead of panicking mid-sweep.
+#[derive(Debug)]
+pub struct ArtifactError {
+    /// The path the operation targeted.
+    pub path: PathBuf,
+    /// What the harness was doing (`"create"`, `"write"`, `"remove"`...).
+    pub action: &'static str,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl ArtifactError {
+    pub(crate) fn new(
+        action: &'static str,
+        path: impl Into<PathBuf>,
+        source: std::io::Error,
+    ) -> Self {
+        ArtifactError { path: path.into(), action, source }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to {} {}: {}", self.action, self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Turns an experiment bin's result into its exit code:
+///
+/// - `Err` (artifact-layer failure) → message on stderr, exit 1;
+/// - `Ok` with failed trials (a degraded sweep: artifacts complete,
+///   some rows are `TrialFailure` stand-ins) → failure summary on
+///   stderr, exit 2 — so CI notices while `leakscan --allow-degraded`
+///   can still assess the surviving trials;
+/// - `Ok` with no failures → exit 0.
+pub fn conclude(
+    result: Result<harness::ExperimentReport, ArtifactError>,
+) -> std::process::ExitCode {
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(1)
+        }
+        Ok(report) if !report.failures.is_empty() => {
+            for f in &report.failures {
+                eprintln!("error: {f}");
+                if let Some(bt) = &f.backtrace {
+                    eprintln!("{bt}");
+                }
+            }
+            eprintln!(
+                "error: sweep degraded: {} trial(s) failed; artifacts are complete but flagged",
+                report.failures.len()
+            );
+            std::process::ExitCode::from(2)
+        }
+        Ok(_) => std::process::ExitCode::SUCCESS,
+    }
+}
 
 /// Number of distinct access paths characterized for `config`: Path-1
 /// (cache hit), Path-2 (counter hit), Path-3 (tree-leaf hit), plus one
@@ -150,17 +220,28 @@ pub fn characterize_paths(config: SecureConfig, samples: usize) -> Vec<(String, 
 /// override lets tests and CI steps redirect the sink to a scratch
 /// directory without racing on the shared default.
 pub fn out_dir() -> PathBuf {
+    try_out_dir().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`out_dir`]: resolves and creates the output
+/// directory, returning a typed [`ArtifactError`] instead of
+/// panicking.
+pub fn try_out_dir() -> Result<PathBuf, ArtifactError> {
     let dir = match std::env::var("METALEAK_OUT_DIR") {
         Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
         _ => PathBuf::from("target/experiments"),
     };
-    fs::create_dir_all(&dir).expect("create experiment output dir");
-    dir
+    fs::create_dir_all(&dir).map_err(|e| ArtifactError::new("create", &dir, e))?;
+    Ok(dir)
 }
 
 /// Writes a CSV file under [`out_dir`]; returns the path.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
-    let path = out_dir().join(name);
+///
+/// # Errors
+/// [`ArtifactError`] when the output directory or the file cannot be
+/// written.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Result<PathBuf, ArtifactError> {
+    let path = try_out_dir()?.join(name);
     let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
     body.push_str(header);
     body.push('\n');
@@ -168,8 +249,68 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
         body.push_str(r);
         body.push('\n');
     }
-    fs::write(&path, body).expect("write csv");
-    path
+    fs::write(&path, body).map_err(|e| ArtifactError::new("write", &path, e))?;
+    Ok(path)
+}
+
+/// Emits a one-line stderr warning for an unparsable environment
+/// value, naming the variable, the offending value and the fallback —
+/// once per variable per process, so hot helpers like [`scaled`] don't
+/// spam.
+pub(crate) fn warn_env_once(name: &str, value: &str, expected: &str, fallback: &str) {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if warned.insert(name.to_owned()) {
+        eprintln!("warning: ignoring {name}={value:?} (expected {expected}); using {fallback}");
+    }
+}
+
+/// Reads an unsigned-integer environment knob. Unset or empty →
+/// `fallback`; unparsable → one-line stderr warning (variable, value,
+/// fallback) and `fallback`.
+pub fn env_u64(name: &str, fallback: Option<u64>) -> Option<u64> {
+    let fallback_desc = || fallback.map_or_else(|| "unset".to_owned(), |v| v.to_string());
+    match std::env::var(name) {
+        Err(_) => fallback,
+        Ok(v) if v.trim().is_empty() => fallback,
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                warn_env_once(name, &v, "a non-negative integer", &fallback_desc());
+                fallback
+            }
+        },
+    }
+}
+
+/// Reads a comma-separated list of trial indices from the environment
+/// (`METALEAK_FAIL_TRIAL`-style). Malformed entries are skipped with
+/// one stderr warning naming the variable and value.
+pub fn env_index_list(name: &str) -> Vec<usize> {
+    let Ok(raw) = std::env::var(name) else { return Vec::new() };
+    if raw.trim().is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut bad = false;
+    for part in raw.split(',') {
+        match part.trim().parse::<usize>() {
+            Ok(i) => out.push(i),
+            Err(_) if part.trim().is_empty() => {}
+            Err(_) => bad = true,
+        }
+    }
+    if bad {
+        warn_env_once(name, &raw, "comma-separated trial indices", "the parseable entries");
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Whether a quick (CI-sized) run was requested. Set `METALEAK_FULL`
@@ -177,7 +318,22 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
 /// ignored) for paper-scale sample counts; any other value — including
 /// unset — keeps the quick sizes.
 pub fn quick_mode() -> bool {
-    !full_requested(std::env::var("METALEAK_FULL").ok().as_deref())
+    let value = std::env::var("METALEAK_FULL").ok();
+    warn_unrecognized_bool("METALEAK_FULL", value.as_deref(), "quick mode");
+    !full_requested(value.as_deref())
+}
+
+/// Warns (once per variable) when a boolean-style `METALEAK_*` value
+/// is neither a recognized truthy (`1`/`true`/`yes`) nor falsy
+/// (`0`/`false`/`no`) spelling, naming the fallback behaviour.
+fn warn_unrecognized_bool(name: &str, value: Option<&str>, fallback: &str) {
+    if let Some(v) = value {
+        let norm = v.trim().to_ascii_lowercase();
+        if !norm.is_empty() && !matches!(norm.as_str(), "1" | "true" | "yes" | "0" | "false" | "no")
+        {
+            warn_env_once(name, v, "1/true/yes or 0/false/no", fallback);
+        }
+    }
 }
 
 /// Pure interpretation of the `METALEAK_FULL` environment value
@@ -199,7 +355,9 @@ pub fn full_requested(value: Option<&str>) -> bool {
 /// unset — keeps the zero-cost `NullTracer` build and leaves every
 /// existing artifact byte-identical.
 pub fn trace_enabled() -> bool {
-    trace_requested(std::env::var("METALEAK_TRACE").ok().as_deref())
+    let value = std::env::var("METALEAK_TRACE").ok();
+    warn_unrecognized_bool("METALEAK_TRACE", value.as_deref(), "tracing off");
+    trace_requested(value.as_deref())
 }
 
 /// Pure interpretation of the `METALEAK_TRACE` environment value
@@ -217,7 +375,9 @@ pub fn trace_requested(value: Option<&str>) -> bool {
 /// for perf comparisons and determinism cross-checks — both modes emit
 /// byte-identical JSONL/trace artifacts).
 pub fn snapshot_sharing() -> bool {
-    sharing_requested(std::env::var("METALEAK_SNAPSHOT").ok().as_deref())
+    let value = std::env::var("METALEAK_SNAPSHOT").ok();
+    warn_unrecognized_bool("METALEAK_SNAPSHOT", value.as_deref(), "snapshot sharing on");
+    sharing_requested(value.as_deref())
 }
 
 /// Pure interpretation of the `METALEAK_SNAPSHOT` environment value
@@ -229,6 +389,24 @@ pub fn sharing_requested(value: Option<&str>) -> bool {
         value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
         Some("0") | Some("false") | Some("no")
     )
+}
+
+/// Whether crash-safe trial journaling is enabled (default on). Set
+/// `METALEAK_JOURNAL` to `0`, `false` or `no` to skip the per-trial
+/// fsynced checkpoint writes (an uninterruptible throwaway run saves
+/// the I/O; an interrupted one restarts from scratch).
+pub fn journal_enabled() -> bool {
+    let value = std::env::var("METALEAK_JOURNAL").ok();
+    warn_unrecognized_bool("METALEAK_JOURNAL", value.as_deref(), "journaling on");
+    journal_requested(value.as_deref())
+}
+
+/// Pure interpretation of the `METALEAK_JOURNAL` environment value
+/// (separated from [`journal_enabled`] so it can be tested without
+/// touching process-global environment state). Everything but an
+/// explicit falsy spelling keeps journaling on.
+pub fn journal_requested(value: Option<&str>) -> bool {
+    sharing_requested(value)
 }
 
 /// Picks `quick` or `full` depending on [`quick_mode`].

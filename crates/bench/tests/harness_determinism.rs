@@ -40,7 +40,8 @@ fn run(name: &str, threads: usize) -> (String, String, String) {
     let results = exp.run_trials(TRIALS, trial_body);
     let mut csv = String::new();
     let mut trials = Vec::new();
-    for &(idx, latency, sub, frac) in &results {
+    for outcome in &results {
+        let &(idx, latency, sub, frac) = outcome.as_ok().expect("trial succeeded");
         csv.push_str(&format!("{idx},{latency},{sub},{frac:.6}\n"));
         trials.push(
             Trial::new(idx)
@@ -49,7 +50,7 @@ fn run(name: &str, threads: usize) -> (String, String, String) {
                 .field("fraction", frac),
         );
     }
-    let report = exp.finish(&trials);
+    let report = exp.finish(&trials).expect("finish");
     let jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
     let meta = std::fs::read_to_string(&report.meta).expect("read meta");
     (jsonl, csv, meta)

@@ -1,0 +1,174 @@
+//! Crash-safe checkpoint/resume, tested against the real binaries: a
+//! SIGKILLed fig11 run leaves only its append-only journal behind;
+//! re-running the binary replays the journaled trials and executes the
+//! missing ones on their original RNG streams, so the final artifacts
+//! are byte-identical to an uninterrupted run — for any thread count,
+//! and even when the kill tears the journal's last line.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metaleak_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fig11(dir: &Path, threads: usize) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig11_covert_t"));
+    cmd.env("METALEAK_OUT_DIR", dir)
+        .env("METALEAK_THREADS", threads.to_string())
+        .env_remove("METALEAK_FULL")
+        .env_remove("METALEAK_TRACE")
+        .env_remove("METALEAK_SNAPSHOT")
+        .env_remove("METALEAK_JOURNAL")
+        .env_remove("METALEAK_FAIL_TRIAL")
+        .stdout(Stdio::null());
+    cmd
+}
+
+/// The comparable artifact bytes of one completed run. The meta record
+/// legitimately differs per run in wall clock and in the thread count
+/// it admits, so those two fields are masked; every data artifact is
+/// compared byte for byte.
+fn artifacts(dir: &Path) -> (String, String, String) {
+    let read = |suffix: &str| {
+        std::fs::read_to_string(dir.join(format!("fig11_covert_t{suffix}")))
+            .unwrap_or_else(|e| panic!("read fig11_covert_t{suffix}: {e}"))
+    };
+    let mut meta = read(".meta.json");
+    for field in ["\"wall_clock_ms\":", "\"threads\":"] {
+        let start = meta.find(field).unwrap_or_else(|| panic!("meta records {field}"));
+        let end = start + meta[start..].find(',').expect("field is not the last one");
+        meta = format!("{}{}", &meta[..start], &meta[end..]);
+    }
+    (read(".jsonl"), read(".csv"), meta)
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("fig11_covert_t.journal.jsonl")
+}
+
+/// Polls until the run's journal holds at least one trial entry (one
+/// line past the header), then SIGKILLs the child mid-sweep. Panics if
+/// the child finishes first — the workload is many trials long, so a
+/// completed-row journal implies more trials were still pending.
+fn kill_mid_run(dir: &Path, child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if let Ok(body) = std::fs::read_to_string(journal_path(dir)) {
+            if body.lines().count() >= 2 {
+                child.kill().expect("SIGKILL fig11");
+                child.wait().expect("reap fig11");
+                return;
+            }
+        }
+        if child.try_wait().expect("poll fig11").is_some() {
+            panic!("fig11 finished before any journal entry appeared");
+        }
+        assert!(Instant::now() < deadline, "fig11 wrote no journal entry within 300s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn sigkilled_run_resumes_to_byte_identical_artifacts() {
+    // The uninterrupted reference run.
+    let ref_dir = scratch("reference");
+    assert!(fig11(&ref_dir, 1).status().expect("run fig11").success());
+    let reference = artifacts(&ref_dir);
+    assert!(!journal_path(&ref_dir).exists(), "finish must clear the journal");
+
+    for threads in [1usize, 8] {
+        let dir = scratch(&format!("kill_t{threads}"));
+        let mut child = fig11(&dir, threads).spawn().expect("spawn fig11");
+        kill_mid_run(&dir, &mut child);
+
+        // The kill left a mid-sweep state: journal present, no commit
+        // record — exactly what downstream tooling must refuse.
+        assert!(journal_path(&dir).exists(), "t{threads}: journal must survive the kill");
+        assert!(
+            !dir.join("fig11_covert_t.meta.json").exists(),
+            "t{threads}: no commit record may exist mid-run"
+        );
+
+        // Tear the journal's tail the way a crash mid-append would:
+        // a partial record with no trailing newline. Resume must
+        // discard it and re-run that trial.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal_path(&dir))
+            .expect("open journal for tearing");
+        f.write_all(b"{\"trial\":3,\"value\":{\"corr").expect("append torn tail");
+        drop(f);
+
+        let resumed = fig11(&dir, threads).output().expect("resume fig11");
+        assert!(resumed.status.success(), "t{threads}: resume exited {}", resumed.status);
+        assert_eq!(
+            artifacts(&dir),
+            reference,
+            "t{threads}: resumed artifacts must be byte-identical to an uninterrupted run"
+        );
+        assert!(!journal_path(&dir).exists(), "t{threads}: finish must clear the journal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn injected_failure_yields_degraded_artifacts_and_exit_2() {
+    let dir = scratch("inject");
+    let out = fig11(&dir, 2)
+        .env("METALEAK_FAIL_TRIAL", "2")
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run fig11 with injection");
+    assert_eq!(out.status.code(), Some(2), "failed trials must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected failure"), "stderr was: {stderr}");
+
+    let (jsonl, _, meta) = artifacts(&dir);
+    let failure_row = jsonl
+        .lines()
+        .find(|l| l.starts_with("{\"trial\":2,"))
+        .expect("trial 2 must still produce a row");
+    assert!(
+        failure_row.starts_with("{\"trial\":2,\"failed\":true,\"kind\":\"panic\""),
+        "row was: {failure_row}"
+    );
+    assert!(meta.contains("\"failed\":1"), "meta was: {meta}");
+    assert!(meta.contains("\"degraded\":true"), "meta was: {meta}");
+    assert!(meta.contains("\"complete\":true"), "a degraded sweep still commits: {meta}");
+
+    // The surviving trials' rows are unaffected: re-running without
+    // the injection and diffing the JSONL shows exactly one changed
+    // row. (The per-config `kbps_at_3ghz` field is an aggregate over
+    // the surviving chunks, so it legitimately shifts when a chunk
+    // drops out; the per-trial measurements must not.)
+    let clean_dir = scratch("inject_clean");
+    assert!(fig11(&clean_dir, 2).status().expect("clean run").success());
+    let (clean_jsonl, _, _) = artifacts(&clean_dir);
+    let strip_aggregate = |line: &str| -> String {
+        match line.find("\"kbps_at_3ghz\":") {
+            Some(start) => {
+                let end = start + line[start..].find(",\"alphabet\"").expect("field order");
+                format!("{}{}", &line[..start], &line[end..])
+            }
+            None => line.to_owned(),
+        }
+    };
+    assert_eq!(clean_jsonl.lines().count(), jsonl.lines().count());
+    let differing: Vec<usize> = clean_jsonl
+        .lines()
+        .zip(jsonl.lines())
+        .enumerate()
+        .filter(|(_, (a, b))| strip_aggregate(a) != strip_aggregate(b))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(differing, vec![2], "only trial 2's row may differ from a clean run");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}

@@ -18,7 +18,7 @@ use metaleak_bench::harness::{Experiment, Trial};
 use metaleak_engine::config::SecureConfigBuilder;
 use metaleak_engine::secmem::SecureMemory;
 use metaleak_sim::addr::CoreId;
-use metaleak_sim::trace::{RingTracer, TraceLog};
+use metaleak_sim::trace::RingTracer;
 
 /// One real-binary run's comparable artifacts.
 struct BinRun {
@@ -112,7 +112,7 @@ fn fig14_artifacts_survive_sharing_and_thread_count() {
 /// transmits its own bits, returning the fork's trace log.
 fn traced_run(name: &str, sharing: bool, threads: usize) -> (String, String) {
     let exp = Experiment::new(name, 0xF16).with_threads(threads);
-    let results: Vec<(f64, TraceLog)> = exp
+    let results = exp
         .with_warmup(1, |wrng, _| {
             let mut cfg = SecureConfigBuilder::sct(16384).build();
             cfg.mcache = metaleak_meta::mcache::MetaCacheConfig {
@@ -136,9 +136,12 @@ fn traced_run(name: &str, sharing: bool, threads: usize) -> (String, String) {
     let trials: Vec<Trial> = results
         .into_iter()
         .enumerate()
-        .map(|(i, (acc, log))| Trial::new(i).field("bit_accuracy", acc).with_trace(log))
+        .map(|(i, outcome)| {
+            let (acc, log) = outcome.unwrap();
+            Trial::new(i).field("bit_accuracy", acc).with_trace(log)
+        })
         .collect();
-    let report = exp.finish(&trials);
+    let report = exp.finish(&trials).expect("finish");
     let jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
     let trace = std::fs::read_to_string(report.trace_jsonl.expect("trace sidecar"))
         .expect("read trace jsonl");

@@ -39,18 +39,22 @@ fn small_config() -> SecureConfig {
 
 fn run_traced(name: &str, threads: usize) -> (String, String, Vec<u64>) {
     let exp = Experiment::new(name, SEED).with_threads(threads);
-    let results: Vec<(u64, TraceLog)> = exp.run_trials(TRIALS, |rng, _| {
-        let mem = SecureMemory::builder(small_config()).tracer(RingTracer::new(4096)).build();
-        let (latency, tracer) = trial_body(rng, mem);
-        (latency, tracer.into_log())
-    });
+    let results: Vec<(u64, TraceLog)> = exp
+        .run_trials(TRIALS, |rng, _| {
+            let mem = SecureMemory::builder(small_config()).tracer(RingTracer::new(4096)).build();
+            let (latency, tracer) = trial_body(rng, mem);
+            (latency, tracer.into_log())
+        })
+        .into_iter()
+        .map(|outcome| outcome.unwrap())
+        .collect();
     let latencies: Vec<u64> = results.iter().map(|(l, _)| *l).collect();
     let trials: Vec<Trial> = results
         .into_iter()
         .enumerate()
         .map(|(i, (latency, log))| Trial::new(i).field("total_latency", latency).with_trace(log))
         .collect();
-    let report = exp.finish(&trials);
+    let report = exp.finish(&trials).expect("finish");
     let trace = std::fs::read_to_string(report.trace_jsonl.expect("trace sidecar"))
         .expect("read trace jsonl");
     let jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
@@ -59,17 +63,21 @@ fn run_traced(name: &str, threads: usize) -> (String, String, Vec<u64>) {
 
 fn run_untraced(name: &str) -> (Option<std::path::PathBuf>, Vec<u64>) {
     let exp = Experiment::new(name, SEED).with_threads(4);
-    let results: Vec<u64> = exp.run_trials(TRIALS, |rng, _| {
-        let mem = SecureMemory::new(small_config());
-        let (latency, NullTracer) = trial_body(rng, mem);
-        latency
-    });
+    let results: Vec<u64> = exp
+        .run_trials(TRIALS, |rng, _| {
+            let mem = SecureMemory::new(small_config());
+            let (latency, NullTracer) = trial_body(rng, mem);
+            latency
+        })
+        .into_iter()
+        .map(|outcome| outcome.unwrap())
+        .collect();
     let trials: Vec<Trial> = results
         .iter()
         .enumerate()
         .map(|(i, &latency)| Trial::new(i).field("total_latency", latency))
         .collect();
-    let report = exp.finish(&trials);
+    let report = exp.finish(&trials).expect("finish");
     (report.trace_jsonl, results)
 }
 
@@ -102,16 +110,20 @@ fn tracing_does_not_perturb_the_simulation() {
 fn untraced_rows_match_traced_rows_minus_trace_fields() {
     let (_, traced_jsonl, _) = run_traced("trace_det_rows_t", 2);
     let exp = Experiment::new("trace_det_rows_u", SEED).with_threads(2);
-    let results: Vec<u64> = exp.run_trials(TRIALS, |rng, _| {
-        let (latency, NullTracer) = trial_body(rng, SecureMemory::new(small_config()));
-        latency
-    });
+    let results: Vec<u64> = exp
+        .run_trials(TRIALS, |rng, _| {
+            let (latency, NullTracer) = trial_body(rng, SecureMemory::new(small_config()));
+            latency
+        })
+        .into_iter()
+        .map(|outcome| outcome.unwrap())
+        .collect();
     let trials: Vec<Trial> = results
         .iter()
         .enumerate()
         .map(|(i, &latency)| Trial::new(i).field("total_latency", latency))
         .collect();
-    let report = exp.finish(&trials);
+    let report = exp.finish(&trials).expect("finish");
     let untraced_jsonl = std::fs::read_to_string(&report.jsonl).expect("read jsonl");
     // Stripping the two trace summary fields from the traced rows must
     // recover the untraced rows byte for byte: tracing adds, never

@@ -22,6 +22,42 @@ use metaleak_sim::trace::Tracer;
 // Bounded retry with backoff.
 // ---------------------------------------------------------------------
 
+/// A unit-agnostic doubling backoff sequence: `initial`, `2*initial`,
+/// `4*initial`, ... with saturating arithmetic.
+///
+/// [`RetryPolicy`] interprets the steps as simulated [`Cycles`] spent
+/// via [`SecureMemory::advance_time`]; the bench supervisor reuses the
+/// same schedule with the steps interpreted as wall-clock milliseconds
+/// between trial re-runs. A zero `initial` yields an all-zero schedule
+/// (retry immediately).
+///
+/// ```
+/// use metaleak_attacks::resilience::BackoffSchedule;
+/// let mut waits = BackoffSchedule::new(100);
+/// assert_eq!(waits.next_wait(), 100);
+/// assert_eq!(waits.next_wait(), 200);
+/// assert_eq!(waits.next_wait(), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    next: u64,
+}
+
+impl BackoffSchedule {
+    /// A schedule starting at `initial` units.
+    pub fn new(initial: u64) -> Self {
+        BackoffSchedule { next: initial }
+    }
+
+    /// Returns the next wait and doubles the following one
+    /// (saturating).
+    pub fn next_wait(&mut self) -> u64 {
+        let wait = self.next;
+        self.next = self.next.saturating_mul(2);
+        wait
+    }
+}
+
 /// A bounded retry loop with exponential backoff in simulated time.
 /// Only transient errors ([`AttackError::is_transient`]) are retried;
 /// permanent errors propagate immediately.
@@ -61,14 +97,13 @@ impl RetryPolicy {
         mut op: impl FnMut(&mut SecureMemory<Tr>) -> Result<T, AttackError>,
     ) -> Result<T, AttackError> {
         let attempts = self.max_attempts.max(1);
-        let mut wait = self.backoff;
+        let mut waits = BackoffSchedule::new(self.backoff.as_u64());
         for attempt in 1..=attempts {
             match op(mem) {
                 Ok(v) => return Ok(v),
                 Err(e) if !e.is_transient() => return Err(e),
                 Err(_) if attempt < attempts => {
-                    mem.advance_time(wait);
-                    wait = Cycles::new(wait.as_u64().saturating_mul(2));
+                    mem.advance_time(Cycles::new(waits.next_wait()));
                 }
                 Err(_) => {}
             }
@@ -398,6 +433,18 @@ mod tests {
                 what: "received frame shorter than the encoded payload"
             })
         );
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_saturates() {
+        let mut s = BackoffSchedule::new(3);
+        assert_eq!([s.next_wait(), s.next_wait(), s.next_wait()], [3, 6, 12]);
+        let mut near_max = BackoffSchedule::new(u64::MAX / 2 + 1);
+        assert_eq!(near_max.next_wait(), u64::MAX / 2 + 1);
+        assert_eq!(near_max.next_wait(), u64::MAX, "doubling saturates");
+        assert_eq!(near_max.next_wait(), u64::MAX);
+        let mut zero = BackoffSchedule::new(0);
+        assert_eq!([zero.next_wait(), zero.next_wait()], [0, 0], "zero schedule never waits");
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl From<u64> for Cycles {
 ///
 /// The simulator is cycle-accounting rather than event-driven: components
 /// return latencies, and drivers advance a shared [`Clock`].
+///
+/// Every advance reports its delta to the per-thread
+/// [`watchdog`](crate::watchdog), which is how supervised trials get
+/// deterministic cycle-budget deadlines; when no budget is armed the
+/// report is a single thread-local flag read.
 #[derive(Debug, Clone, Default)]
 pub struct Clock {
     now: Cycles,
@@ -101,14 +106,24 @@ impl Clock {
     }
 
     /// Advances the clock by `d` and returns the new timestamp.
+    ///
+    /// # Panics
+    /// Panics with a [`DeadlineExceeded`](crate::watchdog::DeadlineExceeded)
+    /// payload when an armed watchdog budget is exhausted by this step.
     pub fn advance(&mut self, d: Cycles) -> Cycles {
+        crate::watchdog::spend(d.as_u64());
         self.now += d;
         self.now
     }
 
     /// Advances the clock to at least `t` (no-op if already past).
+    ///
+    /// # Panics
+    /// Panics with a [`DeadlineExceeded`](crate::watchdog::DeadlineExceeded)
+    /// payload when an armed watchdog budget is exhausted by this step.
     pub fn advance_to(&mut self, t: Cycles) {
         if t > self.now {
+            crate::watchdog::spend((t - self.now).as_u64());
             self.now = t;
         }
     }

@@ -39,6 +39,7 @@ pub mod pages;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod watchdog;
 
 /// Convenient glob import of the common types.
 pub mod prelude {

@@ -146,6 +146,39 @@ impl LatencyHistogram {
         self.max = self.max.max(v);
     }
 
+    /// Reconstructs a histogram from its exact internal state, as
+    /// produced by [`Self::parts`]. Used by the bench journal to
+    /// round-trip histograms through crash-safe checkpoints without
+    /// losing a single sample.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width` is zero.
+    pub fn from_parts(
+        bucket_width: u64,
+        buckets: impl IntoIterator<Item = (u64, u64)>,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        let buckets: BTreeMap<u64, u64> = buckets.into_iter().collect();
+        let count = buckets.values().sum();
+        LatencyHistogram { bucket_width, buckets, count, sum, min, max }
+    }
+
+    /// Exact internal state `(bucket_width, buckets, sum, min, max)`
+    /// for serialization; inverse of [`Self::from_parts`]. The raw
+    /// `min`/`max` sentinels of an empty histogram (`u64::MAX`/`0`) are
+    /// exposed as-is so the round-trip is the identity.
+    pub fn parts(&self) -> (u64, Vec<(u64, u64)>, u64, u64, u64) {
+        (self.bucket_width, self.iter().collect(), self.sum, self.min, self.max)
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -440,6 +473,30 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_bucket_width_panics() {
         let _ = LatencyHistogram::new(0);
+    }
+
+    #[test]
+    fn parts_round_trip_is_identity() {
+        let mut h = LatencyHistogram::new(10);
+        for v in [5u64, 15, 15, 25, 95] {
+            h.record(Cycles::new(v));
+        }
+        let (w, buckets, sum, min, max) = h.parts();
+        let back = LatencyHistogram::from_parts(w, buckets, sum, min, max);
+        assert_eq!(back.bucket_width(), h.bucket_width());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.iter().collect::<Vec<_>>(), h.iter().collect::<Vec<_>>());
+
+        // Empty histograms keep their raw sentinels through the trip.
+        let empty = LatencyHistogram::new(7);
+        let (w, buckets, sum, min, max) = empty.parts();
+        assert_eq!((sum, min, max), (0, u64::MAX, 0));
+        let back = LatencyHistogram::from_parts(w, buckets, sum, min, max);
+        assert_eq!(back.count(), 0);
+        assert!(back.min().is_none());
     }
 
     #[test]

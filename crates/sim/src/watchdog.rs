@@ -1,0 +1,261 @@
+//! Deterministic trial watchdog: cycle-count deadlines for supervised
+//! trial execution.
+//!
+//! The bench harness arms a per-thread budget before running a trial
+//! body; every [`Clock`](crate::clock::Clock) advance reports its delta
+//! here via [`spend`]. When the accumulated simulated time crosses the
+//! armed limit, the watchdog panics with a [`DeadlineExceeded`] payload
+//! that the supervisor catches and converts into a structured trial
+//! failure. Because the budget is measured in *simulated* cycles, the
+//! same trial exceeds (or meets) its deadline identically on every
+//! host, every thread count and every re-run — the deadline is part of
+//! the deterministic experiment contract, not a flaky timeout.
+//!
+//! A wall-clock backstop rides along: the supervisor may hand [`arm`] a
+//! shared abort flag that its timer thread sets once real time runs
+//! out. The flag is only observed at clock advances, so a trial that
+//! spins without advancing simulated time cannot be interrupted — that
+//! limitation is deliberate (there is no portable way to kill a thread)
+//! and documented in `DESIGN.md` §10.
+//!
+//! When no budget is armed — the default, and the state restored after
+//! every supervised trial — the hot-path cost of [`spend`] is a single
+//! thread-local flag read.
+//!
+//! ```
+//! use metaleak_sim::clock::{Clock, Cycles};
+//! use metaleak_sim::watchdog::{self, DeadlineExceeded};
+//!
+//! watchdog::arm(100, None);
+//! let mut clock = Clock::new();
+//! clock.advance(Cycles::new(60)); // fine: 60 of 100 spent
+//! let err = std::panic::catch_unwind(move || {
+//!     clock.advance(Cycles::new(60)); // 120 > 100: deadline
+//! })
+//! .unwrap_err();
+//! let deadline = err.downcast::<DeadlineExceeded>().unwrap();
+//! assert_eq!(deadline.limit, 100);
+//! assert!(!watchdog::is_armed(), "exceeding the budget disarms");
+//! watchdog::disarm();
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Panic payload thrown when a trial exhausts its watchdog budget.
+///
+/// Thrown via [`std::panic::panic_any`] so supervisors can downcast the
+/// payload and distinguish deadline failures from ordinary panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// Simulated cycles spent when the budget check fired.
+    pub spent: u64,
+    /// The armed cycle budget.
+    pub limit: u64,
+    /// True when the wall-clock backstop (not the cycle budget)
+    /// triggered the abort.
+    pub wall: bool,
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.wall {
+            write!(f, "trial aborted by wall-clock backstop after {} simulated cycles", self.spent)
+        } else {
+            write!(f, "trial exceeded its cycle budget: {} > {} cycles", self.spent, self.limit)
+        }
+    }
+}
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static LIMIT: Cell<u64> = const { Cell::new(u64::MAX) };
+    static SPENT: Cell<u64> = const { Cell::new(0) };
+    static WALL_ABORT: std::cell::RefCell<Option<Arc<AtomicBool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Arms the current thread's watchdog with a cycle budget and an
+/// optional wall-clock abort flag, resetting the spent counter.
+///
+/// The previous armed state (if any) is overwritten; supervisors arm
+/// immediately before a trial attempt and [`disarm`] in all exit paths.
+pub fn arm(limit_cycles: u64, wall_abort: Option<Arc<AtomicBool>>) {
+    LIMIT.with(|l| l.set(limit_cycles));
+    SPENT.with(|s| s.set(0));
+    WALL_ABORT.with(|w| *w.borrow_mut() = wall_abort);
+    ARMED.with(|a| a.set(true));
+}
+
+/// Disarms the watchdog on the current thread; [`spend`] becomes a
+/// no-op flag check again.
+pub fn disarm() {
+    ARMED.with(|a| a.set(false));
+    WALL_ABORT.with(|w| *w.borrow_mut() = None);
+}
+
+/// Resets the spent counter while keeping the current limit and abort
+/// flag armed.
+///
+/// Used at the warmup/trial boundary in non-shared snapshot mode so the
+/// trial body gets the same fresh budget it would have received had the
+/// warmup run separately under snapshot sharing — keeping deadline
+/// failures byte-identical across `METALEAK_SNAPSHOT` modes.
+pub fn rearm() {
+    SPENT.with(|s| s.set(0));
+}
+
+/// True when a budget is currently armed on this thread.
+pub fn is_armed() -> bool {
+    ARMED.with(Cell::get)
+}
+
+/// Simulated cycles spent since the watchdog was last armed (0 when
+/// disarmed).
+pub fn spent() -> u64 {
+    SPENT.with(Cell::get)
+}
+
+/// Reports `delta` simulated cycles of progress; called by
+/// [`Clock`](crate::clock::Clock) on every advance.
+///
+/// # Panics
+/// Panics with a [`DeadlineExceeded`] payload when the accumulated
+/// spend crosses the armed limit or the wall-clock abort flag is set.
+/// The watchdog disarms itself first so the unwinding destructors (and
+/// the supervisor's cleanup path) do not re-trigger it.
+#[inline]
+pub fn spend(delta: u64) {
+    if !ARMED.with(Cell::get) {
+        return;
+    }
+    let spent = SPENT.with(|s| {
+        let v = s.get().saturating_add(delta);
+        s.set(v);
+        v
+    });
+    let limit = LIMIT.with(Cell::get);
+    let wall =
+        WALL_ABORT.with(|w| w.borrow().as_ref().is_some_and(|flag| flag.load(Ordering::Relaxed)));
+    if spent > limit || wall {
+        disarm();
+        std::panic::panic_any(DeadlineExceeded { spent, limit, wall });
+    }
+}
+
+/// Runs `f` with the watchdog suspended, restoring the armed state
+/// afterwards (spent cycles are preserved, not reset).
+///
+/// Supervisors use this around bookkeeping that advances a clock but is
+/// not part of the trial body being budgeted.
+pub fn suspended<T>(f: impl FnOnce() -> T) -> T {
+    let was_armed = ARMED.with(Cell::get);
+    ARMED.with(|a| a.set(false));
+    let out = f();
+    ARMED.with(|a| a.set(was_armed));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, Cycles};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Restores a clean disarmed state even if an assertion fails.
+    struct DisarmOnDrop;
+    impl Drop for DisarmOnDrop {
+        fn drop(&mut self) {
+            disarm();
+        }
+    }
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let _guard = DisarmOnDrop;
+        disarm();
+        let mut clock = Clock::new();
+        clock.advance(Cycles::new(u64::MAX / 2));
+        assert_eq!(spent(), 0);
+        assert!(!is_armed());
+    }
+
+    #[test]
+    fn cycle_budget_fires_deterministically() {
+        let _guard = DisarmOnDrop;
+        arm(100, None);
+        let mut clock = Clock::new();
+        clock.advance(Cycles::new(40));
+        clock.advance(Cycles::new(60)); // exactly at the limit: allowed
+        assert_eq!(spent(), 100);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            clock.advance(Cycles::new(1));
+        }))
+        .unwrap_err();
+        let deadline = err.downcast::<DeadlineExceeded>().expect("typed payload");
+        assert_eq!(*deadline, DeadlineExceeded { spent: 101, limit: 100, wall: false });
+        assert!(!is_armed(), "firing disarms the watchdog");
+        assert!(deadline.to_string().contains("101 > 100"));
+    }
+
+    #[test]
+    fn advance_to_counts_only_forward_progress() {
+        let _guard = DisarmOnDrop;
+        arm(50, None);
+        let mut clock = Clock::new();
+        clock.advance_to(Cycles::new(30));
+        clock.advance_to(Cycles::new(10)); // no-op: no spend
+        assert_eq!(spent(), 30);
+        clock.advance_to(Cycles::new(50));
+        assert_eq!(spent(), 50);
+        disarm();
+    }
+
+    #[test]
+    fn rearm_resets_spend_but_keeps_limit() {
+        let _guard = DisarmOnDrop;
+        arm(100, None);
+        let mut clock = Clock::new();
+        clock.advance(Cycles::new(90));
+        rearm();
+        assert_eq!(spent(), 0);
+        // The same 90-cycle warmup would now fit again.
+        clock.advance(Cycles::new(90));
+        assert_eq!(spent(), 90);
+        assert!(is_armed());
+        disarm();
+    }
+
+    #[test]
+    fn wall_abort_flag_fires_at_next_advance() {
+        let _guard = DisarmOnDrop;
+        let flag = Arc::new(AtomicBool::new(false));
+        arm(u64::MAX, Some(Arc::clone(&flag)));
+        let mut clock = Clock::new();
+        clock.advance(Cycles::new(10));
+        flag.store(true, Ordering::Relaxed);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            clock.advance(Cycles::new(1));
+        }))
+        .unwrap_err();
+        let deadline = err.downcast::<DeadlineExceeded>().expect("typed payload");
+        assert!(deadline.wall);
+        assert!(deadline.to_string().contains("wall-clock backstop"));
+    }
+
+    #[test]
+    fn suspended_sections_do_not_spend() {
+        let _guard = DisarmOnDrop;
+        arm(100, None);
+        let mut clock = Clock::new();
+        clock.advance(Cycles::new(40));
+        suspended(|| {
+            clock.advance(Cycles::new(1_000_000));
+        });
+        assert_eq!(spent(), 40, "suspended advances must not count");
+        assert!(is_armed());
+        disarm();
+    }
+}
