@@ -1,0 +1,179 @@
+//! `fork_cost`: micro-benchmark of [`Snapshot::fork`] under the
+//! copy-on-write state model.
+//!
+//! A fork is a handful of `Arc` clones: it structurally shares the
+//! warm engine's data blocks, counters, tree nodes and cache arrays,
+//! and pays a copy only for the chunks it later dirties. This bench
+//! pins that down with three numbers, at the default experiment scale
+//! (the fig11 SCT configuration) and at 4x its memory size:
+//!
+//! - `fork_ns` — median wall time of `snap.fork()`;
+//! - `deep_ns` — median time of a fork followed by
+//!   [`SecureMemory::unshare`], which materializes every shared chunk
+//!   and is therefore the old deep-copy cost;
+//! - `size_ratio` — large-config fork time over default fork time,
+//!   which must stay near 1: fork cost is independent of memory size.
+//!
+//! The bench fails (exit 1) if forking is not at least 10x cheaper
+//! than deep-copying or if fork time scales with memory size. With
+//! `METALEAK_FORK_BASELINE=<path>` it also compares `fork_ns` against
+//! a committed baseline JSON and fails on a >2x regression (the CI
+//! bench-regression gate).
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin fork_cost`
+
+use metaleak::configs;
+use metaleak_bench::json::{Json, JsonObj};
+use metaleak_bench::{try_out_dir, TextTable};
+use metaleak_engine::config::SecureConfigBuilder;
+use metaleak_engine::secmem::SecureMemory;
+use metaleak_engine::snapshot::Snapshot;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::rng::SimRng;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Timed fork iterations (cheap: pointer bumps).
+const FORKS: usize = 256;
+/// Timed deep-copy iterations (expensive: full materialization).
+const DEEP_COPIES: usize = 8;
+/// Warmup writes before the snapshot is taken, so the shared image
+/// holds substantial materialized state in every component.
+const WARM_WRITES: usize = 4096;
+
+/// Builds, warms and freezes an engine of `data_pages` pages, then
+/// returns `(median fork ns, median deep-copy ns)`.
+fn measure(data_pages: u64, seed: u64) -> (u64, u64) {
+    let cfg = if data_pages == configs::EXPERIMENT_PAGES {
+        configs::sct_experiment()
+    } else {
+        SecureConfigBuilder::sct(data_pages).build()
+    };
+    let blocks = cfg.data_blocks();
+    let mut mem = SecureMemory::new(cfg);
+    let mut rng = SimRng::seed_from(seed);
+    let core = CoreId(0);
+    for _ in 0..WARM_WRITES {
+        let block = rng.below(blocks);
+        mem.write_back(core, block, [rng.next_u64() as u8; 64]).expect("warmup write");
+    }
+    mem.fence();
+    mem.drain_metadata();
+    let snap: Snapshot = mem.into_snapshot();
+
+    let fork_ns = median_ns(FORKS, || {
+        black_box(snap.fork());
+    });
+    let deep_ns = median_ns(DEEP_COPIES, || {
+        let mut fork = snap.fork();
+        fork.unshare();
+        black_box(fork);
+    });
+    (fork_ns, deep_ns)
+}
+
+/// Median wall time of `n` runs of `f`, in nanoseconds.
+fn median_ns(n: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[n / 2]
+}
+
+fn run() -> Result<(), String> {
+    println!("== fork_cost: snapshot fork vs deep copy ==\n");
+    let default_pages = configs::EXPERIMENT_PAGES;
+    let big_pages = default_pages * 4;
+    let mib = |pages: u64| pages * 64 * 64 / (1024 * 1024);
+
+    let (fork_ns, deep_ns) = measure(default_pages, 0xF07C);
+    let (big_fork_ns, big_deep_ns) = measure(big_pages, 0xF07C);
+    let deep_over_fork = deep_ns as f64 / fork_ns.max(1) as f64;
+    let size_ratio = big_fork_ns as f64 / fork_ns.max(1) as f64;
+
+    let mut table = TextTable::new(vec!["config", "data (MiB)", "fork (ns)", "deep copy (ns)"]);
+    table.row(vec![
+        "sct_experiment".to_owned(),
+        mib(default_pages).to_string(),
+        fork_ns.to_string(),
+        deep_ns.to_string(),
+    ]);
+    table.row(vec![
+        "sct 4x".to_owned(),
+        mib(big_pages).to_string(),
+        big_fork_ns.to_string(),
+        big_deep_ns.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("deep/fork: {deep_over_fork:.1}x   4x-size fork ratio: {size_ratio:.2}x");
+
+    let report = JsonObj::new()
+        .field("experiment", "fork_cost")
+        .field("forks", FORKS)
+        .field("deep_copies", DEEP_COPIES)
+        .field("data_mib", mib(default_pages))
+        .field("fork_ns", fork_ns)
+        .field("deep_ns", deep_ns)
+        .field("deep_over_fork", deep_over_fork)
+        .field("big_data_mib", mib(big_pages))
+        .field("big_fork_ns", big_fork_ns)
+        .field("big_deep_ns", big_deep_ns)
+        .field("size_ratio", size_ratio)
+        .build();
+    let dir = try_out_dir().map_err(|e| e.to_string())?;
+    let path = dir.join("fork_cost.json");
+    std::fs::write(&path, format!("{}\n", report.render()))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("report written to {}", path.display());
+
+    if deep_over_fork < 10.0 {
+        return Err(format!(
+            "fork ({fork_ns} ns) is only {deep_over_fork:.1}x cheaper than a deep copy \
+             ({deep_ns} ns); the copy-on-write contract requires >=10x"
+        ));
+    }
+    // Generous bound: fork cost must not track memory size. A 4x
+    // larger memory sharing 3x slower forks would mean O(state) work
+    // crept back into the fork path.
+    if size_ratio > 3.0 {
+        return Err(format!(
+            "fork time scales with memory size ({fork_ns} ns at {} MiB vs {big_fork_ns} ns \
+             at {} MiB); forks must be O(1)",
+            mib(default_pages),
+            mib(big_pages)
+        ));
+    }
+    if let Ok(baseline_path) = std::env::var("METALEAK_FORK_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+        let baseline_ns = baseline
+            .get("fork_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{baseline_path} has no \"fork_ns\" field"))?;
+        println!("baseline fork_ns: {baseline_ns} (from {baseline_path})");
+        if fork_ns > baseline_ns * 2 {
+            return Err(format!(
+                "fork regressed: {fork_ns} ns is more than 2x the committed baseline \
+                 ({baseline_ns} ns); update {baseline_path} only if the slowdown is intended"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fork_cost: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -437,6 +437,7 @@ impl Experiment {
         let header = JsonObj::new()
             .field("journal", self.name.as_str())
             .field("version", 1u64)
+            .field("state_shape", metaleak_engine::STATE_SHAPE)
             .field("stage", stage)
             .field("seed", self.seed)
             .field("trials", n)

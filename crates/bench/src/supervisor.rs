@@ -730,14 +730,21 @@ impl Journal {
     /// identity `header`. Returns the journal and the replayable rows
     /// of a previous interrupted run, keyed by trial index. A header
     /// mismatch (different seed, trial count or mode) discards the
-    /// stale journal and starts fresh.
+    /// stale journal and starts fresh — except when the *only*
+    /// difference is the engine's `state_shape` tag, which means the
+    /// journal was written by a binary with a different in-memory
+    /// state representation (e.g. pre-copy-on-write): that journal is
+    /// refused with a hard error rather than silently discarded, since
+    /// the identity the user cares about *does* match and dropping it
+    /// quietly would mask the incompatibility.
     pub fn open(path: &Path, header: &Json) -> std::io::Result<(Journal, BTreeMap<usize, Json>)> {
         let header_line = header.render();
         let mut rows = BTreeMap::new();
         let mut good_lines = vec![header_line.clone()];
         if let Ok(existing) = std::fs::read_to_string(path) {
             let mut lines = existing.lines();
-            if lines.next() == Some(header_line.as_str()) {
+            let first = lines.next();
+            if first == Some(header_line.as_str()) {
                 for line in lines {
                     // The first malformed line is the torn tail; every
                     // entry after it is untrusted.
@@ -747,6 +754,9 @@ impl Journal {
                     good_lines.push(line.to_owned());
                 }
             } else {
+                if let Some(old) = first.and_then(|l| Json::parse(l).ok()) {
+                    Self::check_state_shape(path, &old, header)?;
+                }
                 eprintln!(
                     "warning: {} belongs to a different run configuration; starting fresh",
                     path.display()
@@ -761,6 +771,46 @@ impl Journal {
         let file = std::fs::OpenOptions::new().append(true).open(path)?;
         file.sync_data()?;
         Ok((Journal { file: Mutex::new(Some(file)), path: path.to_owned() }, rows))
+    }
+
+    /// Errors when `old` (a journal's recorded identity header) agrees
+    /// with `ours` on every field *except* the `state_shape` tag. Such
+    /// a journal belongs to this exact run but was written by a binary
+    /// with a different in-memory state representation; its rows may
+    /// encode state-dependent values that no longer mean the same
+    /// thing, so replaying it is unsafe and discarding it silently
+    /// would hide the incompatibility. Any other difference returns
+    /// `Ok(())` and the caller starts fresh as before.
+    fn check_state_shape(path: &Path, old: &Json, ours: &Json) -> std::io::Result<()> {
+        fn identity_fields(v: &Json) -> Option<Vec<(&String, &Json)>> {
+            match v {
+                Json::Obj(fields) => Some(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| k != "state_shape")
+                        .map(|(k, v)| (k, v))
+                        .collect(),
+                ),
+                _ => None,
+            }
+        }
+        let (Some(a), Some(b)) = (identity_fields(old), identity_fields(ours)) else {
+            return Ok(());
+        };
+        let render = |v: &Json| v.get("state_shape").map_or("absent".to_owned(), Json::render);
+        let (old_shape, our_shape) = (render(old), render(ours));
+        if a != b || old_shape == our_shape {
+            return Ok(());
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "journal {} matches this run's identity but was written by an engine with a \
+                 different state representation (journal state_shape: {old_shape}, this build: \
+                 {our_shape}); refusing to replay it — delete the file to start over",
+                path.display()
+            ),
+        ))
     }
 
     /// Appends one entry and fsyncs it. A write error disables the
@@ -979,6 +1029,43 @@ mod tests {
         let other = JsonObj::new().field("journal", "unit").field("seed", 10u64).build();
         let (_, rows) = Journal::open(&path, &other).unwrap();
         assert!(rows.is_empty(), "mismatched header must not replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_with_stale_state_shape_is_refused() {
+        let dir = std::env::temp_dir().join(format!("metaleak_shape_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.journal.jsonl");
+        let ours = JsonObj::new()
+            .field("journal", "unit")
+            .field("seed", 9u64)
+            .field("state_shape", metaleak_engine::STATE_SHAPE)
+            .build();
+
+        // A journal written before the state_shape tag existed: same
+        // identity, no tag. Replaying it must be refused loudly.
+        let pre_tag = JsonObj::new().field("journal", "unit").field("seed", 9u64).build();
+        std::fs::write(&path, format!("{}\n{{\"trial\":0,\"value\":1}}\n", pre_tag.render()))
+            .unwrap();
+        let Err(err) = Journal::open(&path, &ours) else { panic!("pre-tag journal accepted") };
+        assert!(err.to_string().contains("state_shape"), "unhelpful error: {err}");
+
+        // Same identity but a *different* tag: refused as well.
+        let other_shape = JsonObj::new()
+            .field("journal", "unit")
+            .field("seed", 9u64)
+            .field("state_shape", "pre-cow")
+            .build();
+        std::fs::write(&path, format!("{}\n", other_shape.render())).unwrap();
+        assert!(Journal::open(&path, &ours).is_err());
+
+        // A genuinely different identity (other seed) still silently
+        // starts fresh, whatever its tag says.
+        let other_seed = JsonObj::new().field("journal", "unit").field("seed", 10u64).build();
+        std::fs::write(&path, format!("{}\n", other_seed.render())).unwrap();
+        let (_, rows) = Journal::open(&path, &ours).unwrap();
+        assert!(rows.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -37,6 +37,16 @@ pub use secmem::{
 };
 pub use snapshot::Snapshot;
 
+/// Version tag of the engine's in-memory state representation.
+///
+/// Bumped whenever the layout of [`SecureMemory`]'s state containers
+/// changes in a way that alters what a snapshot or a journaled trial
+/// value means — most recently the move to structurally-shared
+/// copy-on-write state. The supervisor records this tag in each
+/// journal's identity header so a resumed run never replays trials
+/// journaled by a binary with a different state shape.
+pub const STATE_SHAPE: &str = "cow-v1";
+
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::config::{SecureConfig, SecureConfigBuilder};

@@ -14,6 +14,7 @@ use metaleak_meta::mcache::MetadataCaches;
 use metaleak_meta::tree::{IntegrityTree, TreeKind, TreeOverflowEvent};
 use metaleak_sim::addr::{BlockAddr, CoreId};
 use metaleak_sim::clock::{Clock, Cycles};
+use metaleak_sim::cow::CowMap;
 use metaleak_sim::dram::Dram;
 use metaleak_sim::hierarchy::{CacheHierarchy, HitLevel};
 use metaleak_sim::interference::{FaultKind, InterferenceEngine, Perturbation};
@@ -22,7 +23,6 @@ use metaleak_sim::stats::Counters;
 use metaleak_sim::trace::{
     CryptoKind, MacScope, MemRegion, NullTracer, PathClass, TraceEvent, Tracer,
 };
-use std::collections::HashMap;
 
 /// Which of the Figure-5 access paths a memory operation took.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,13 +159,13 @@ pub struct SecureMemory<T: Tracer = NullTracer> {
     layout: SecureLayout,
     /// Ciphertexts as stored in memory (lazy; absent = encryption of
     /// zeros under the block's current counter).
-    cipher: HashMap<u64, Block>,
+    cipher: CowMap<Block>,
     /// Ground-truth plaintext (what on-chip caches hold).
-    plain: HashMap<u64, Block>,
+    plain: CowMap<Block>,
     /// Per-data-block MACs.
-    macs: HashMap<u64, Tag>,
+    macs: CowMap<Tag>,
     /// Per-counter-block MACs (bound to the tree leaf version).
-    cb_macs: HashMap<u64, Tag>,
+    cb_macs: CowMap<Tag>,
     interference: InterferenceEngine,
     /// Engine event counters.
     pub stats: Counters,
@@ -288,10 +288,10 @@ impl<T: Tracer> SecureMemory<T> {
             enc,
             tree,
             layout,
-            cipher: HashMap::new(),
-            plain: HashMap::new(),
-            macs: HashMap::new(),
-            cb_macs: HashMap::new(),
+            cipher: CowMap::new(data_blocks.max(1)),
+            plain: CowMap::new(data_blocks.max(1)),
+            macs: CowMap::new(data_blocks.max(1)),
+            cb_macs: CowMap::new(counter_blocks.max(1)),
             stats: Counters::new(),
             clock: Clock::new(),
             config,
@@ -372,11 +372,36 @@ impl<T: Tracer> SecureMemory<T> {
         self.interference.reseed(seed);
     }
 
+    /// Seals the attached tracer's history into an immutable shared
+    /// segment (see [`Tracer::seal`]); called when a snapshot is taken
+    /// so forks share the warmup event log instead of copying it.
+    pub(crate) fn seal_tracer(&mut self) {
+        self.tracer.seal();
+    }
+
+    /// Forces every copy-on-write state component fully private,
+    /// materializing all chunks still shared with a snapshot or fork.
+    /// This is exactly the work a pre-copy-on-write `fork()` deep copy
+    /// performed, which makes it the honest baseline for the
+    /// `fork_cost` benchmark. Never needed for correctness.
+    pub fn unshare(&mut self) {
+        self.hier.unshare();
+        self.mcaches.unshare();
+        self.enc.unshare();
+        self.tree.unshare();
+        self.cipher.unshare();
+        self.plain.unshare();
+        self.macs.unshare();
+        self.cb_macs.unshare();
+    }
+
     /// Captures the full simulator state — caches, metadata caches,
     /// integrity tree, counters, DRAM row/bank state, memory-controller
     /// queues, cycle clock and tracer ring — as an immutable
-    /// [`crate::snapshot::Snapshot`] in one O(state) copy. Forks of the
-    /// snapshot resume from this exact point with no re-simulation.
+    /// [`crate::snapshot::Snapshot`]. The large components are
+    /// structurally shared (copy-on-write), so the capture and every
+    /// subsequent fork are O(1) in the simulated memory size. Forks of
+    /// the snapshot resume from this exact point with no re-simulation.
     pub fn snapshot(&self) -> crate::snapshot::Snapshot<T>
     where
         T: Clone,
@@ -384,9 +409,9 @@ impl<T: Tracer> SecureMemory<T> {
         crate::snapshot::Snapshot::of(self.clone())
     }
 
-    /// Like [`SecureMemory::snapshot`], but consumes the engine,
-    /// saving one deep copy when the warm state is only needed as a
-    /// fork source from here on.
+    /// Like [`SecureMemory::snapshot`], but consumes the engine —
+    /// handy when the warm state is only needed as a fork source from
+    /// here on.
     pub fn into_snapshot(self) -> crate::snapshot::Snapshot<T>
     where
         T: Clone,
@@ -425,7 +450,7 @@ impl<T: Tracer> SecureMemory<T> {
     // ------------------------------------------------------------------
 
     fn materialize_data(&mut self, index: u64) {
-        if self.cipher.contains_key(&index) {
+        if self.cipher.contains_key(index) {
             return;
         }
         let addr = self.layout.data_addr(index).index();
@@ -460,7 +485,7 @@ impl<T: Tracer> SecureMemory<T> {
     }
 
     fn materialize_cb_mac(&mut self, cb: u64) {
-        if !self.cb_macs.contains_key(&cb) {
+        if !self.cb_macs.contains_key(cb) {
             let mac = self.current_cb_mac(cb);
             self.cb_macs.insert(cb, mac);
         }
@@ -580,7 +605,7 @@ impl<T: Tracer> SecureMemory<T> {
             // counter-block MAC sealed under the old key is now stale
             // and would falsely trip tamper detection on its next
             // verification; re-seal them all.
-            let cbs: Vec<u64> = self.cb_macs.keys().copied().collect();
+            let cbs: Vec<u64> = self.cb_macs.keys().collect();
             for cb in cbs {
                 let mac = self.current_cb_mac(cb);
                 self.cb_macs.insert(cb, mac);
@@ -593,7 +618,7 @@ impl<T: Tracer> SecureMemory<T> {
                 // have materialized (unmaterialized blocks re-derive
                 // lazily under the new key/counters) and charge the
                 // full-region cost.
-                let all: Vec<u64> = self.cipher.keys().copied().filter(|&b| b != written).collect();
+                let all: Vec<u64> = self.cipher.keys().filter(|&b| b != written).collect();
                 let full_cost = Cycles::new(self.layout.data_blocks() * per_block);
                 let until = now + full_cost;
                 for b in 0..self.layout.data_blocks().min(64) {
@@ -608,7 +633,7 @@ impl<T: Tracer> SecureMemory<T> {
         for &b in &group {
             // Old ciphertexts become stale; refresh from ground truth
             // under the block's (already reset) counter.
-            if let Some(pt) = self.plain.get(&b).copied() {
+            if let Some(pt) = self.plain.get(b).copied() {
                 let addr = self.layout.data_addr(b).index();
                 let ctr = self.enc.value(b);
                 let ct = self.crypto.encrypt_block(&pt, addr, ctr);
@@ -616,8 +641,8 @@ impl<T: Tracer> SecureMemory<T> {
                 self.cipher.insert(b, ct);
                 self.macs.insert(b, mac);
             } else {
-                self.cipher.remove(&b);
-                self.macs.remove(&b);
+                self.cipher.remove(b);
+                self.macs.remove(b);
             }
             self.mc.occupy_bank_of(self.layout.data_addr(b), until);
         }
@@ -657,7 +682,7 @@ impl<T: Tracer> SecureMemory<T> {
         if let Some(ev) = out.overflow {
             self.handle_enc_overflow(index, ev);
         }
-        let pt = self.plain[&index];
+        let pt = *self.plain.get(index).expect("materialized");
         let addr = self.layout.data_addr(index).index();
         let ct = self.crypto.encrypt_block(&pt, addr, out.counter);
         let mac = self.crypto.mac_block(&ct, out.counter, addr);
@@ -782,7 +807,7 @@ impl<T: Tracer> SecureMemory<T> {
             // Counter-block MAC check (freshness bound to leaf version).
             self.materialize_cb_mac(cb);
             latency += Cycles::new(self.crypto.mac_latency());
-            let cb_mac_ok = self.cb_macs[&cb] == self.current_cb_mac(cb);
+            let cb_mac_ok = *self.cb_macs.get(cb).expect("materialized") == self.current_cb_mac(cb);
             if T::ENABLED {
                 self.tracer.record(
                     now + latency,
@@ -830,9 +855,9 @@ impl<T: Tracer> SecureMemory<T> {
         // 3. Decrypt + authenticate the data block.
         let ctr = self.enc.value(index);
         let a = addr.index();
-        let ct = self.cipher[&index];
+        let ct = *self.cipher.get(index).expect("materialized");
         let expected_mac = self.crypto.mac_block(&ct, ctr, a);
-        let data_mac_ok = self.macs[&index] == expected_mac;
+        let data_mac_ok = *self.macs.get(index).expect("materialized") == expected_mac;
         if T::ENABLED {
             self.tracer.record(
                 now + latency,
@@ -843,7 +868,7 @@ impl<T: Tracer> SecureMemory<T> {
             return Err(SecureMemError::TamperDetected(TamperKind::DataMac));
         }
         let pt = self.crypto.decrypt_block(&ct, a, ctr);
-        debug_assert_eq!(&pt, self.plain.get(&index).expect("materialized"));
+        debug_assert_eq!(&pt, self.plain.get(index).expect("materialized"));
 
         Ok((latency, path))
     }
@@ -916,7 +941,7 @@ impl<T: Tracer> SecureMemory<T> {
         latency += p.extra_latency;
         self.clock.advance(latency);
         self.materialize_data(index);
-        let data = self.plain[&index];
+        let data = *self.plain.get(index).expect("materialized");
         if T::ENABLED {
             if p.extra_latency > Cycles::ZERO || p.gap.is_some() {
                 self.tracer.record(
@@ -1122,7 +1147,7 @@ impl<T: Tracer> SecureMemory<T> {
     pub fn tamper_data(&mut self, index: u64) {
         self.materialize_data(index);
         self.hier.flush_block(self.layout.data_addr(index));
-        if let Some(ct) = self.cipher.get_mut(&index) {
+        if let Some(ct) = self.cipher.get_mut(index) {
             ct[0] ^= 0xff;
         }
     }
@@ -1133,10 +1158,14 @@ impl<T: Tracer> SecureMemory<T> {
         self.materialize_data(b);
         self.hier.flush_block(self.layout.data_addr(a));
         self.hier.flush_block(self.layout.data_addr(b));
-        let (ca, cb) = (self.cipher[&a], self.cipher[&b]);
+        let (ca, cb) = (
+            *self.cipher.get(a).expect("materialized"),
+            *self.cipher.get(b).expect("materialized"),
+        );
         self.cipher.insert(a, cb);
         self.cipher.insert(b, ca);
-        let (ma, mb) = (self.macs[&a], self.macs[&b]);
+        let (ma, mb) =
+            (*self.macs.get(a).expect("materialized"), *self.macs.get(b).expect("materialized"));
         self.macs.insert(a, mb);
         self.macs.insert(b, ma);
     }
@@ -1145,7 +1174,10 @@ impl<T: Tracer> SecureMemory<T> {
     /// snapshot so tests can stage the replay explicitly.
     pub fn snapshot_data(&mut self, index: u64) -> (Block, Tag) {
         self.materialize_data(index);
-        (self.cipher[&index], self.macs[&index])
+        (
+            *self.cipher.get(index).expect("materialized"),
+            *self.macs.get(index).expect("materialized"),
+        )
     }
 
     /// Restores a previously snapshotted `(ciphertext, MAC)` pair

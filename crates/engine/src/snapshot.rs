@@ -4,19 +4,32 @@
 //! the same deterministic warmup — tree/counter-cache priming, DRAM
 //! row-state setup, channel calibration — once per trial. A
 //! [`Snapshot`] captures the *entire* simulator state after that
-//! warmup in one O(state) copy; each trial then [`Snapshot::fork`]s
-//! the warm state and continues independently, typically with its own
-//! `SimRng::split` stream and (when interference is active) its own
+//! warmup; each trial then [`Snapshot::fork`]s the warm state and
+//! continues independently, typically with its own `SimRng::split`
+//! stream and (when interference is active) its own
 //! [`Snapshot::fork_seeded`] fault stream.
 //!
-//! A fork is byte-for-byte the state the warmup left behind: caches,
-//! metadata caches, integrity tree, encryption counters, DRAM row/bank
-//! state, memory-controller queues, the cycle clock and the tracer
-//! ring all resume exactly — no re-simulation, no drift. Two forks of
-//! one snapshot driven by the same inputs therefore produce identical
-//! observations, which is what lets the experiment harness swap
-//! re-warmed trials for forked trials without changing a single output
-//! byte (see `metaleak-bench`'s `Experiment::with_warmup`).
+//! Forking is O(1), not O(state): the large state components — the
+//! integrity tree, the lazily materialized ciphertext/MAC/counter
+//! stores, and every set-associative cache — live in persistent
+//! chunked arrays (`metaleak_sim::cow`) whose clone is an `Arc`
+//! reference bump. A fork therefore *shares* the warm image
+//! structurally and path-copies only the chunks it actually dirties,
+//! so a trial's cost scales with what it touches, never with the
+//! simulated memory size. Capturing the snapshot also seals the
+//! attached tracer ([`metaleak_sim::trace::Tracer::seal`]), so traced
+//! forks share one immutable copy of the warmup event log and append
+//! privately instead of each carrying a deep-copied ring.
+//!
+//! A fork still *observes* byte-for-byte the state the warmup left
+//! behind: caches, metadata caches, integrity tree, encryption
+//! counters, DRAM row/bank state, memory-controller queues, the cycle
+//! clock and the tracer ring all resume exactly — no re-simulation, no
+//! drift. Two forks of one snapshot driven by the same inputs
+//! therefore produce identical observations, which is what lets the
+//! experiment harness swap re-warmed trials for forked trials without
+//! changing a single output byte (see `metaleak-bench`'s
+//! `Experiment::with_warmup`).
 //!
 //! ```
 //! use metaleak_engine::config::SecureConfig;
@@ -49,13 +62,19 @@ pub struct Snapshot<T: Tracer = NullTracer> {
 }
 
 impl<T: Tracer + Clone> Snapshot<T> {
-    pub(crate) fn of(image: SecureMemory<T>) -> Self {
+    pub(crate) fn of(mut image: SecureMemory<T>) -> Self {
+        // Freeze the warmup's trace history into a shared immutable
+        // segment so forks Arc-share it instead of deep-copying the
+        // ring (and so warmup events are never double-counted into a
+        // trial's private accounting).
+        image.seal_tracer();
         Snapshot { image }
     }
 
     /// Restores the captured state as a fresh, independent engine in
-    /// one O(state) copy. The fork shares nothing with the snapshot or
-    /// with other forks; mutating it cannot disturb either.
+    /// O(1): the fork structurally shares the snapshot's chunked state
+    /// behind copy-on-write and pays only for what it later dirties.
+    /// Mutating a fork cannot disturb the snapshot or sibling forks.
     ///
     /// The fork resumes the interference fault schedule exactly where
     /// the warmup left it. When forks must instead draw *independent*

@@ -6,7 +6,7 @@
 //! the engine maps indices to physical addresses.
 
 use metaleak_sim::addr::BLOCKS_PER_PAGE;
-use std::collections::HashMap;
+use metaleak_sim::cow::CowMap;
 
 /// Which counter organization the engine uses (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,9 +121,9 @@ pub struct EncCounters {
     global: u64,
     /// GC: per-block snapshot; MoC: per-block counter (lazy: absent =>
     /// zero, so multi-GiB protected regions stay cheap to model).
-    per_block: HashMap<u64, u64>,
+    per_block: CowMap<u64>,
     /// SC: per-page split counter blocks (lazy: absent => zeroed).
-    pages: HashMap<u64, SplitCounterBlock>,
+    pages: CowMap<SplitCounterBlock>,
 }
 
 impl EncCounters {
@@ -138,9 +138,17 @@ impl EncCounters {
             widths,
             blocks,
             global: 0,
-            per_block: HashMap::new(),
-            pages: HashMap::new(),
+            per_block: CowMap::new(blocks.max(1)),
+            pages: CowMap::new(blocks.max(1)),
         }
+    }
+
+    /// Forces the counter stores fully private, materializing chunks
+    /// still shared with a snapshot fork (the deep-copy cost baseline
+    /// of the `fork_cost` benchmark).
+    pub fn unshare(&mut self) {
+        self.per_block.unshare();
+        self.pages.unshare();
     }
 
     /// The scheme in use.
@@ -182,9 +190,9 @@ impl EncCounters {
         self.check(block);
         match self.scheme {
             CounterScheme::Global | CounterScheme::Monolithic => {
-                self.per_block.get(&block).copied().unwrap_or(0)
+                self.per_block.get(block).copied().unwrap_or(0)
             }
-            CounterScheme::Split => match self.pages.get(&(block / BLOCKS_PER_PAGE as u64)) {
+            CounterScheme::Split => match self.pages.get(block / BLOCKS_PER_PAGE as u64) {
                 Some(page) => Self::fuse(
                     page.major,
                     page.minors[block as usize % BLOCKS_PER_PAGE],
@@ -203,7 +211,7 @@ impl EncCounters {
         assert_eq!(self.scheme, CounterScheme::Split, "minor counters exist only in SC");
         self.check(block);
         self.pages
-            .get(&(block / BLOCKS_PER_PAGE as u64))
+            .get(block / BLOCKS_PER_PAGE as u64)
             .map(|p| p.minors[block as usize % BLOCKS_PER_PAGE])
             .unwrap_or(0)
     }
@@ -251,7 +259,7 @@ impl EncCounters {
                 IncrementOutcome { counter: self.global, overflow: None }
             }
             CounterScheme::Monolithic => {
-                let c = self.per_block.entry(block).or_insert(0);
+                let c = self.per_block.get_or_insert_with(block, || 0);
                 if *c == self.widths.mono_max() {
                     self.per_block.clear();
                     self.per_block.insert(block, 1);
@@ -270,7 +278,7 @@ impl EncCounters {
                 let widths = self.widths;
                 let page_idx = block / BLOCKS_PER_PAGE as u64;
                 let slot = block as usize % BLOCKS_PER_PAGE;
-                let page = self.pages.entry(page_idx).or_insert_with(SplitCounterBlock::new);
+                let page = self.pages.get_or_insert_with(page_idx, SplitCounterBlock::new);
                 if page.minors[slot] as u64 == widths.minor_max() {
                     // Overflow: bump major, reset every minor in the
                     // group, re-encrypt the group (Algorithm 1).
@@ -308,7 +316,7 @@ impl EncCounters {
         assert!(value as u64 <= self.widths.minor_max(), "value exceeds minor width");
         self.check(block);
         let page =
-            self.pages.entry(block / BLOCKS_PER_PAGE as u64).or_insert_with(SplitCounterBlock::new);
+            self.pages.get_or_insert_with(block / BLOCKS_PER_PAGE as u64, SplitCounterBlock::new);
         page.minors[block as usize % BLOCKS_PER_PAGE] = value;
     }
 
@@ -318,7 +326,7 @@ impl EncCounters {
         match self.scheme {
             CounterScheme::Split => {
                 let zero = SplitCounterBlock::new();
-                let page = self.pages.get(&counter_block).unwrap_or(&zero);
+                let page = self.pages.get(counter_block).unwrap_or(&zero);
                 let mut out = Vec::with_capacity(8 + page.minors.len());
                 out.extend_from_slice(&page.major.to_le_bytes());
                 for m in &page.minors {
@@ -331,7 +339,7 @@ impl EncCounters {
                 let end = (start + 8).min(self.blocks);
                 let mut out = Vec::with_capacity(64);
                 for b in start..end {
-                    let c = self.per_block.get(&b).copied().unwrap_or(0);
+                    let c = self.per_block.get(b).copied().unwrap_or(0);
                     out.extend_from_slice(&c.to_le_bytes());
                 }
                 out

@@ -163,6 +163,13 @@ impl MetadataCaches {
     pub fn counter_ways(&self) -> usize {
         self.counter.ways()
     }
+
+    /// Forces both metadata caches fully private (see
+    /// [`SetAssocCache::unshare`]).
+    pub fn unshare(&mut self) {
+        self.counter.unshare();
+        self.tree.unshare();
+    }
 }
 
 impl Default for MetadataCaches {

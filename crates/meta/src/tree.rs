@@ -10,6 +10,7 @@
 use crate::enc_counter::CounterWidths;
 use crate::geometry::{NodeId, TreeGeometry};
 use metaleak_crypto::sha256::digest64;
+use metaleak_sim::cow::CowVec;
 
 /// Which integrity-tree design is in use (Figure 4 / Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,8 +121,10 @@ pub struct IntegrityTree {
     kind: TreeKind,
     geometry: TreeGeometry,
     widths: CounterWidths,
-    /// nodes[level][index].
-    nodes: Vec<Vec<NodePayload>>,
+    /// nodes[level][index]. Each level is a copy-on-write chunked
+    /// array, so cloning the tree for a snapshot fork is O(levels) Arc
+    /// bumps and a fork re-copies only the node chunks it dirties.
+    nodes: Vec<CowVec<NodePayload>>,
 }
 
 impl IntegrityTree {
@@ -138,7 +141,7 @@ impl IntegrityTree {
                 }
                 TreeKind::Sgx => NodePayload::Mono { counters: vec![0; arity], hash: 0 },
             };
-            nodes.push(vec![proto; count]);
+            nodes.push(CowVec::new(count, proto));
         }
         let mut tree = IntegrityTree { kind, geometry, widths, nodes };
         tree.rehash_all();
@@ -183,12 +186,21 @@ impl IntegrityTree {
         self.widths
     }
 
+    /// Forces every level's node array fully private, materializing
+    /// chunks still shared with a snapshot fork (the deep-copy cost
+    /// baseline of the `fork_cost` benchmark).
+    pub fn unshare(&mut self) {
+        for level in &mut self.nodes {
+            level.unshare();
+        }
+    }
+
     fn node(&self, id: NodeId) -> &NodePayload {
-        &self.nodes[id.level as usize][id.index as usize]
+        self.nodes[id.level as usize].get(id.index as usize)
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut NodePayload {
-        &mut self.nodes[id.level as usize][id.index as usize]
+        self.nodes[id.level as usize].get_mut(id.index as usize)
     }
 
     /// Serialized node content (what would live in the 64-byte node

@@ -5,8 +5,8 @@
 //! integrity-tree cache), keyed by whatever identifier the owner uses.
 
 use crate::config::CacheConfig;
+use crate::cow::CowVec;
 use crate::rng::SimRng;
-use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -75,15 +75,19 @@ pub struct AccessResult<K> {
 /// assert!(!c.access(10, false).hit);
 /// assert!(c.access(10, false).hit);
 /// ```
+/// The set array is a [`CowVec`], so cloning a cache (for a snapshot
+/// fork) is O(1) and a fork pays only for the sets it actually
+/// touches. Membership tests scan the key's set — at most `ways`
+/// comparisons, no side index to keep in sync.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<K: CacheKey> {
-    sets: Vec<Vec<Line<K>>>,
+    sets: CowVec<Vec<Line<K>>>,
     ways: usize,
     policy: Replacement,
     tick: u64,
     rng: SimRng,
-    /// Reverse index for O(1) membership tests.
-    resident: HashMap<K, usize>,
+    /// Total resident lines (maintained incrementally).
+    len: usize,
 }
 
 impl<K: CacheKey> SetAssocCache<K> {
@@ -98,12 +102,12 @@ impl<K: CacheKey> SetAssocCache<K> {
         let sets = config.sets();
         assert!(sets > 0, "cache must have at least one set");
         SetAssocCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(config.ways)).collect(),
+            sets: CowVec::from_fn(sets, |_| Vec::with_capacity(config.ways)),
             ways: config.ways,
             policy,
             tick: 0,
             rng: SimRng::seed_from(seed ^ 0xC0FF_EE11),
-            resident: HashMap::new(),
+            len: 0,
         }
     }
 
@@ -124,39 +128,45 @@ impl<K: CacheKey> SetAssocCache<K> {
 
     /// Whether `key` is resident (does not update LRU state).
     pub fn contains(&self, key: K) -> bool {
-        self.resident.contains_key(&key)
+        let set_idx = self.set_index(key);
+        self.sets.get(set_idx).iter().any(|l| l.key == key)
     }
 
     /// Accesses `key`, filling it on a miss. `write` marks the line dirty.
     /// Returns hit status and any evicted victim.
     pub fn access(&mut self, key: K, write: bool) -> AccessResult<K> {
         self.tick += 1;
+        let tick = self.tick;
         let set_idx = self.set_index(key);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.key == key) {
-            line.stamp = self.tick;
+        if self.contains(key) {
+            let line = self.sets.get_mut(set_idx).iter_mut().find(|l| l.key == key);
+            let line = line.expect("residency checked above");
+            line.stamp = tick;
             line.dirty |= write;
             return AccessResult { hit: true, evicted: None };
         }
         // Miss: fill.
-        let evicted = if set.len() < self.ways {
+        let set_len = self.sets.get(set_idx).len();
+        let evicted = if set_len < self.ways {
             None
         } else {
             let victim_idx = match self.policy {
-                Replacement::Lru => set
+                Replacement::Lru => self
+                    .sets
+                    .get(set_idx)
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, l)| l.stamp)
                     .map(|(i, _)| i)
                     .expect("nonempty set"),
-                Replacement::Random => self.rng.index(set.len()),
+                Replacement::Random => self.rng.index(set_len),
             };
-            let victim = set.swap_remove(victim_idx);
-            self.resident.remove(&victim.key);
+            let victim = self.sets.get_mut(set_idx).swap_remove(victim_idx);
+            self.len -= 1;
             Some(Evicted { key: victim.key, dirty: victim.dirty })
         };
-        set.push(Line { key, dirty: write, stamp: self.tick });
-        self.resident.insert(key, set_idx);
+        self.sets.get_mut(set_idx).push(Line { key, dirty: write, stamp: tick });
+        self.len += 1;
         AccessResult { hit: false, evicted }
     }
 
@@ -164,53 +174,56 @@ impl<K: CacheKey> SetAssocCache<K> {
     /// Returns whether it hit.
     pub fn touch(&mut self, key: K) -> bool {
         self.tick += 1;
-        let set_idx = self.set_index(key);
-        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.key == key) {
-            line.stamp = self.tick;
-            true
-        } else {
-            false
+        if !self.contains(key) {
+            return false;
         }
+        let tick = self.tick;
+        let set_idx = self.set_index(key);
+        let line = self.sets.get_mut(set_idx).iter_mut().find(|l| l.key == key);
+        line.expect("residency checked above").stamp = tick;
+        true
     }
 
     /// Marks `key` dirty if resident. Returns whether it was resident.
     pub fn mark_dirty(&mut self, key: K) -> bool {
-        let set_idx = self.set_index(key);
-        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.key == key) {
-            line.dirty = true;
-            true
-        } else {
-            false
+        if !self.contains(key) {
+            return false;
         }
+        let set_idx = self.set_index(key);
+        let line = self.sets.get_mut(set_idx).iter_mut().find(|l| l.key == key);
+        line.expect("residency checked above").dirty = true;
+        true
     }
 
     /// Whether a resident `key` is dirty (false if absent).
     pub fn is_dirty(&self, key: K) -> bool {
         let set_idx = self.set_index(key);
-        self.sets[set_idx].iter().find(|l| l.key == key).map(|l| l.dirty).unwrap_or(false)
+        self.sets.get(set_idx).iter().find(|l| l.key == key).map(|l| l.dirty).unwrap_or(false)
     }
 
     /// Removes `key`; returns its dirty flag if it was resident.
     pub fn invalidate(&mut self, key: K) -> Option<bool> {
         let set_idx = self.set_index(key);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.key == key)?;
-        let line = set.swap_remove(pos);
-        self.resident.remove(&key);
+        let pos = self.sets.get(set_idx).iter().position(|l| l.key == key)?;
+        let line = self.sets.get_mut(set_idx).swap_remove(pos);
+        self.len -= 1;
         Some(line.dirty)
     }
 
     /// Removes every line, returning the dirty keys (writebacks).
     pub fn flush_all(&mut self) -> Vec<K> {
         let mut dirty = Vec::new();
-        for set in &mut self.sets {
-            for line in set.drain(..) {
+        for set_idx in 0..self.sets.len() {
+            if self.sets.get(set_idx).is_empty() {
+                continue;
+            }
+            for line in self.sets.get_mut(set_idx).drain(..) {
                 if line.dirty {
                     dirty.push(line.key);
                 }
             }
         }
-        self.resident.clear();
+        self.len = 0;
         dirty
     }
 
@@ -219,18 +232,18 @@ impl<K: CacheKey> SetAssocCache<K> {
     /// the caller's `rng` so fault schedules stay reproducible. Returns
     /// the displaced line, or `None` if the cache is empty.
     pub fn evict_random(&mut self, rng: &mut SimRng) -> Option<Evicted<K>> {
-        let total = self.resident.len();
-        if total == 0 {
+        if self.len == 0 {
             return None;
         }
-        let mut nth = rng.index(total);
-        for set in &mut self.sets {
-            if nth < set.len() {
-                let line = set.swap_remove(nth);
-                self.resident.remove(&line.key);
+        let mut nth = rng.index(self.len);
+        for set_idx in 0..self.sets.len() {
+            let set_len = self.sets.get(set_idx).len();
+            if nth < set_len {
+                let line = self.sets.get_mut(set_idx).swap_remove(nth);
+                self.len -= 1;
                 return Some(Evicted { key: line.key, dirty: line.dirty });
             }
-            nth -= set.len();
+            nth -= set_len;
         }
         unreachable!("residency count is consistent with set contents")
     }
@@ -238,17 +251,25 @@ impl<K: CacheKey> SetAssocCache<K> {
     /// Keys currently resident in the same set as `key`.
     pub fn set_occupants(&self, key: K) -> Vec<K> {
         let set_idx = self.set_index(key);
-        self.sets[set_idx].iter().map(|l| l.key).collect()
+        self.sets.get(set_idx).iter().map(|l| l.key).collect()
     }
 
     /// Total resident lines.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.len
     }
 
     /// Whether the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.len == 0
+    }
+
+    /// Forces the set array fully private, materializing every chunk
+    /// still shared with a clone. This reproduces the cost profile of a
+    /// pre-copy-on-write deep copy; the `fork_cost` benchmark uses it
+    /// as its baseline.
+    pub fn unshare(&mut self) {
+        self.sets.unshare();
     }
 }
 
@@ -373,6 +394,19 @@ mod tests {
         assert_eq!(c.len(), before - 1);
         assert!(!c.contains(ev.key));
         assert_eq!(ev.dirty, ev.key == 0, "only key 0 was written dirty");
+    }
+
+    #[test]
+    fn cloned_cache_is_isolated() {
+        let mut a = tiny();
+        a.access(0, true);
+        let b = a.clone();
+        a.access(2, false);
+        a.invalidate(0);
+        assert!(!a.contains(0));
+        assert!(b.contains(0) && !b.contains(2));
+        assert!(b.is_dirty(0));
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Persistent (structurally shared) containers for snapshot/fork.
+//!
+//! The experiment harness forks one warmed simulator state into
+//! thousands of trials that each dirty only a handful of blocks,
+//! counters and tree nodes. Deep-copying the whole image per fork made
+//! `fork()` O(state); these containers make it O(1): state lives in
+//! chunked arrays behind [`Arc`] spines, a clone is two reference-count
+//! bumps, and the first mutation after a fork path-copies the spine
+//! once and then only the chunks it actually touches
+//! ([`Arc::make_mut`]). While a container is unshared (no live fork),
+//! `make_mut` never copies, so the pre-snapshot warmup pays nothing.
+//!
+//! Two shapes cover every large state component:
+//!
+//! * [`CowVec`] — a dense fixed-length array (integrity-tree levels,
+//!   cache set arrays).
+//! * [`CowMap`] — a sparse map over a bounded `u64` key space (lazily
+//!   materialized ciphertext/MAC/counter stores, where absent means
+//!   "never touched"). Unlike a hash map its iteration order is the
+//!   key order, so replacing one with the other cannot perturb any
+//!   artifact bytes.
+//!
+//! Chunk size is chosen near `sqrt(capacity)` so both the spine copy
+//! (paid once per forked writer) and each chunk copy (paid per dirtied
+//! chunk) stay O(√n) rather than O(n).
+
+use std::sync::Arc;
+
+/// Picks a chunk size (log2) near `sqrt(capacity)`, clamped so tiny
+/// containers stay a single chunk and huge ones keep chunks cacheable.
+fn balanced_chunk_pow(capacity: usize) -> u32 {
+    let bits = usize::BITS - capacity.next_power_of_two().leading_zeros();
+    (bits / 2).clamp(4, 12)
+}
+
+/// A dense fixed-length array with O(1) clone and chunk-granular
+/// copy-on-write.
+///
+/// ```
+/// use metaleak_sim::cow::CowVec;
+/// let mut a: CowVec<u64> = CowVec::new(1000, 0);
+/// *a.get_mut(7) = 99;
+/// let mut b = a.clone(); // O(1): shares every chunk
+/// *b.get_mut(7) = 11;    // copies only chunk 0 of `b`
+/// assert_eq!((*a.get(7), *b.get(7)), (99, 11));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CowVec<T> {
+    chunk_pow: u32,
+    len: usize,
+    spine: Arc<Vec<Arc<Vec<T>>>>,
+}
+
+impl<T: Clone> CowVec<T> {
+    /// Creates a vector of `len` clones of `fill`.
+    pub fn new(len: usize, fill: T) -> Self {
+        Self::from_fn(len, |_| fill.clone())
+    }
+
+    /// Creates a vector of `len` elements produced by `f(index)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        let chunk_pow = balanced_chunk_pow(len);
+        let chunk = 1usize << chunk_pow;
+        let mut spine = Vec::with_capacity(len.div_ceil(chunk));
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            spine.push(Arc::new((start..end).map(&mut f).collect()));
+            start = end;
+        }
+        CowVec { chunk_pow, len, spine: Arc::new(spine) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shared reference to element `i`. Panics if out of bounds.
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "CowVec index {i} out of bounds ({})", self.len);
+        &self.spine[i >> self.chunk_pow][i & ((1 << self.chunk_pow) - 1)]
+    }
+
+    /// Mutable reference to element `i`, copying the spine and the
+    /// containing chunk first if they are shared with a fork. Panics if
+    /// out of bounds.
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "CowVec index {i} out of bounds ({})", self.len);
+        let spine = Arc::make_mut(&mut self.spine);
+        let chunk = Arc::make_mut(&mut spine[i >> self.chunk_pow]);
+        &mut chunk[i & ((1 << self.chunk_pow) - 1)]
+    }
+
+    /// Iterates the elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.spine.iter().flat_map(|c| c.iter())
+    }
+
+    /// Forces every chunk private (a full materialization), emulating
+    /// the cost of a deep copy. Used by the `fork_cost` benchmark to
+    /// measure what the pre-CoW `fork()` paid.
+    pub fn unshare(&mut self) {
+        let spine = Arc::make_mut(&mut self.spine);
+        for chunk in spine.iter_mut() {
+            Arc::make_mut(chunk);
+        }
+    }
+
+    /// Number of chunks currently shared with another clone (diagnostic
+    /// for sharing tests and the fork-cost report). A chunk is shared
+    /// either directly or through a still-shared spine.
+    pub fn shared_chunks(&self) -> usize {
+        if Arc::strong_count(&self.spine) > 1 {
+            return self.spine.len();
+        }
+        self.spine.iter().filter(|c| Arc::strong_count(c) > 1).count()
+    }
+}
+
+/// A sparse map over the bounded key space `0..capacity`, with O(1)
+/// clone and chunk-granular copy-on-write.
+///
+/// Absent keys are "never materialized" (the lazy-zero convention the
+/// engine's ciphertext/MAC/counter stores rely on); memory stays
+/// proportional to the touched chunks, not to `capacity`. Iteration
+/// ([`CowMap::keys`], [`CowMap::iter`]) is in ascending key order, so
+/// it is deterministic across runs, threads and forks.
+///
+/// ```
+/// use metaleak_sim::cow::CowMap;
+/// let mut m: CowMap<u64> = CowMap::new(1 << 20);
+/// m.insert(12, 34);
+/// let f = m.clone(); // O(1)
+/// assert_eq!(f.get(12), Some(&34));
+/// assert_eq!(m.keys().collect::<Vec<_>>(), vec![12]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CowMap<T> {
+    chunk_pow: u32,
+    capacity: u64,
+    len: usize,
+    spine: Arc<Vec<MapChunk<T>>>,
+}
+
+/// One spine slot of a [`CowMap`]: `None` until any key in the chunk's
+/// range is first written (the lazy-zero convention), then a shared,
+/// copy-on-write chunk of optional slots.
+type MapChunk<T> = Option<Arc<Vec<Option<T>>>>;
+
+impl<T: Clone> CowMap<T> {
+    /// Creates an empty map over keys `0..capacity`.
+    pub fn new(capacity: u64) -> Self {
+        let chunk_pow = balanced_chunk_pow(capacity as usize);
+        let chunks = (capacity as usize).div_ceil(1 << chunk_pow);
+        CowMap { chunk_pow, capacity, len: 0, spine: Arc::new(vec![None; chunks]) }
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn split(&self, key: u64) -> (usize, usize) {
+        assert!(key < self.capacity, "CowMap key {key} out of bounds ({})", self.capacity);
+        ((key >> self.chunk_pow) as usize, (key & ((1 << self.chunk_pow) - 1)) as usize)
+    }
+
+    /// Shared reference to the value at `key`, if present. Panics if
+    /// `key >= capacity`.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (c, o) = self.split(key);
+        self.spine[c].as_ref()?[o].as_ref()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Mutable reference to the value at `key`, if present (copy-on-
+    /// write on the spine and containing chunk).
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        if !self.contains_key(key) {
+            return None;
+        }
+        let (c, o) = self.split(key);
+        let spine = Arc::make_mut(&mut self.spine);
+        let chunk = Arc::make_mut(spine[c].as_mut().expect("presence checked above"));
+        chunk[o].as_mut()
+    }
+
+    /// Mutable slot for `key`, materializing its chunk if needed.
+    fn slot_mut(&mut self, key: u64) -> &mut Option<T> {
+        let (c, o) = self.split(key);
+        let spine = Arc::make_mut(&mut self.spine);
+        let chunk = spine[c].get_or_insert_with(|| Arc::new(vec![None; 1 << self.chunk_pow]));
+        &mut Arc::make_mut(chunk)[o]
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        let slot = self.slot_mut(key);
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        if !self.contains_key(key) {
+            return None;
+        }
+        let old = self.slot_mut(key).take();
+        self.len -= 1;
+        old
+    }
+
+    /// Mutable reference to the value at `key`, inserting `default()`
+    /// first if absent (the `entry(..).or_insert_with(..)` shape).
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> T) -> &mut T {
+        if !self.contains_key(key) {
+            self.insert(key, default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    /// Removes every entry. O(chunks), not O(capacity).
+    pub fn clear(&mut self) {
+        let chunks = self.spine.len();
+        self.spine = Arc::new(vec![None; chunks]);
+        self.len = 0;
+    }
+
+    /// Present keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Present `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        let chunk = 1u64 << self.chunk_pow;
+        self.spine.iter().enumerate().flat_map(move |(c, slot)| {
+            slot.iter().flat_map(move |arc| {
+                arc.iter()
+                    .enumerate()
+                    .filter_map(move |(o, v)| v.as_ref().map(|v| (c as u64 * chunk + o as u64, v)))
+            })
+        })
+    }
+
+    /// Forces every materialized chunk private (a full
+    /// materialization), emulating the cost of a deep copy for the
+    /// `fork_cost` benchmark.
+    pub fn unshare(&mut self) {
+        let spine = Arc::make_mut(&mut self.spine);
+        for chunk in spine.iter_mut().flatten() {
+            Arc::make_mut(chunk);
+        }
+    }
+
+    /// Number of materialized chunks currently shared with another
+    /// clone (diagnostic). A chunk is shared either directly or
+    /// through a still-shared spine.
+    pub fn shared_chunks(&self) -> usize {
+        if Arc::strong_count(&self.spine) > 1 {
+            return self.spine.iter().flatten().count();
+        }
+        self.spine.iter().flatten().filter(|c| Arc::strong_count(c) > 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cowvec_reads_back_from_fn() {
+        let v = CowVec::from_fn(100, |i| i * 2);
+        assert_eq!(v.len(), 100);
+        assert_eq!(*v.get(0), 0);
+        assert_eq!(*v.get(99), 198);
+        assert_eq!(v.iter().copied().sum::<usize>(), 99 * 100);
+    }
+
+    #[test]
+    fn cowvec_clone_shares_until_write() {
+        let mut a = CowVec::new(1000, 7u64);
+        let b = a.clone();
+        assert!(a.shared_chunks() > 0, "clone must share every chunk");
+        *a.get_mut(500) = 1;
+        assert_eq!(*b.get(500), 7, "sibling unaffected by write");
+        assert_eq!(*a.get(500), 1);
+        assert!(a.shared_chunks() < b.spine.len(), "only the written chunk unshared");
+    }
+
+    #[test]
+    fn cowvec_write_without_forks_keeps_chunks_private() {
+        let mut a = CowVec::new(64, 0u8);
+        *a.get_mut(3) = 1;
+        assert_eq!(a.shared_chunks(), 0);
+    }
+
+    #[test]
+    fn cowvec_unshare_detaches_every_chunk() {
+        let mut a = CowVec::new(1000, 7u64);
+        let b = a.clone();
+        a.unshare();
+        assert_eq!(a.shared_chunks(), 0);
+        assert_eq!(b.iter().filter(|&&x| x == 7).count(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cowvec_oob_panics() {
+        let v = CowVec::new(4, 0u8);
+        v.get(4);
+    }
+
+    #[test]
+    fn cowmap_insert_get_remove() {
+        let mut m: CowMap<String> = CowMap::new(1 << 16);
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.insert(5, "a".into()), None);
+        assert_eq!(m.insert(5, "b".into()), Some("a".into()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(5).map(String::as_str), Some("b"));
+        assert_eq!(m.remove(5), Some("b".into()));
+        assert_eq!(m.remove(5), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn cowmap_iterates_in_key_order() {
+        let mut m: CowMap<u64> = CowMap::new(1 << 20);
+        for k in [900_000, 3, 65_000, 12] {
+            m.insert(k, k + 1);
+        }
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![3, 12, 65_000, 900_000]);
+        assert_eq!(m.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>()[1], (12, 13));
+    }
+
+    #[test]
+    fn cowmap_clone_isolates_writes() {
+        let mut m: CowMap<u64> = CowMap::new(4096);
+        m.insert(100, 1);
+        m.insert(2000, 2);
+        let f = m.clone();
+        m.insert(100, 99);
+        m.remove(2000);
+        *m.get_or_insert_with(300, || 0) += 5;
+        assert_eq!(f.get(100), Some(&1));
+        assert_eq!(f.get(2000), Some(&2));
+        assert_eq!(f.get(300), None);
+        assert_eq!(m.get(300), Some(&5));
+    }
+
+    #[test]
+    fn cowmap_clear_is_isolated_and_cheap() {
+        let mut m: CowMap<u64> = CowMap::new(1 << 20);
+        m.insert(7, 7);
+        let f = m.clone();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(f.get(7), Some(&7));
+    }
+
+    #[test]
+    fn cowmap_get_or_insert_with_matches_entry_semantics() {
+        let mut m: CowMap<u64> = CowMap::new(64);
+        *m.get_or_insert_with(9, || 40) += 2;
+        *m.get_or_insert_with(9, || 1000) += 0;
+        assert_eq!(m.get(9), Some(&42));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cowmap_oob_panics() {
+        let m: CowMap<u8> = CowMap::new(16);
+        m.get(16);
+    }
+
+    #[test]
+    fn tiny_capacities_work() {
+        let v = CowVec::new(1, 5u8);
+        assert_eq!(*v.get(0), 5);
+        let mut m: CowMap<u8> = CowMap::new(1);
+        m.insert(0, 1);
+        assert_eq!(m.get(0), Some(&1));
+        let empty = CowVec::<u8>::from_fn(0, |_| 0);
+        assert!(empty.is_empty());
+    }
+}

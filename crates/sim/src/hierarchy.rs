@@ -64,6 +64,15 @@ impl CacheHierarchy {
         self.l1.len()
     }
 
+    /// Forces every cache level fully private (see
+    /// [`SetAssocCache::unshare`]).
+    pub fn unshare(&mut self) {
+        for c in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            c.unshare();
+        }
+        self.l3.unshare();
+    }
+
     /// Performs a load/store lookup from `core`. On a miss at all levels
     /// the caller must fetch the block from memory and then call
     /// [`CacheHierarchy::fill`].

@@ -219,13 +219,25 @@ impl InterferenceEngine {
         &mut self.rng
     }
 
-    /// Restarts the fault schedule from `seed`, keeping the plan and
-    /// the injection counters. Forked simulator snapshots use this to
-    /// give each fork an independent interference stream: without a
-    /// reseed every fork would replay the parent's exact fault
-    /// schedule.
+    /// Restarts the fault schedule from `seed`, keeping the fault
+    /// processes. Forked simulator snapshots use this to give each fork
+    /// an independent interference stream: without a reseed every fork
+    /// would replay the parent's exact fault schedule.
+    ///
+    /// The restart is complete: the stream RNG, the plan's recorded
+    /// seed and the schedule's position cursor (the injection counters)
+    /// all reset, exactly as if the engine had been constructed from
+    /// the reseeded plan. Previously only the RNG was replaced, so a
+    /// reseeded fork resumed mid-schedule — its fault draws stayed
+    /// silently correlated with its siblings' — and its sidecar
+    /// accounting inherited the warmup's injection counts.
     pub fn reseed(&mut self, seed: u64) {
+        self.plan.seed = seed;
         self.rng = SimRng::seed_from(seed);
+        self.gaps_injected = 0;
+        self.bursts_injected = 0;
+        self.samples_dropped = 0;
+        self.samples_duplicated = 0;
     }
 
     /// Latency perturbation for one access of base latency `base`
@@ -407,6 +419,54 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(plan.clone()), run(plan));
+    }
+
+    #[test]
+    fn reseed_restarts_the_schedule_from_scratch() {
+        let plan = FaultPlan::at_intensity(1.0, 0xBEEF);
+        let mut warmed = InterferenceEngine::new(plan.clone());
+        for t in 0..500u64 {
+            warmed.perturb(Cycles::new(t * 13), Cycles::new(120));
+            warmed.co_runner_evictions();
+            warmed.sample_fate();
+        }
+        assert!(warmed.gaps_injected() > 0, "warmup must advance the schedule");
+        warmed.reseed(0xBEEF);
+        // A reseeded engine is indistinguishable from a freshly
+        // constructed one: same recorded seed, zeroed position cursor,
+        // identical subsequent draws.
+        assert_eq!(warmed.plan().seed, 0xBEEF);
+        assert_eq!(warmed.gaps_injected(), 0);
+        assert_eq!(warmed.bursts_injected(), 0);
+        assert_eq!(warmed.samples_dropped(), 0);
+        assert_eq!(warmed.samples_duplicated(), 0);
+        let mut fresh = InterferenceEngine::new(plan);
+        for t in 0..200u64 {
+            assert_eq!(
+                warmed.perturb(Cycles::new(t * 31), Cycles::new(150)),
+                fresh.perturb(Cycles::new(t * 31), Cycles::new(150)),
+            );
+            assert_eq!(warmed.co_runner_evictions(), fresh.co_runner_evictions());
+            assert_eq!(warmed.sample_fate(), fresh.sample_fate());
+        }
+    }
+
+    #[test]
+    fn forks_reseeded_differently_draw_independent_schedules() {
+        let mut parent = InterferenceEngine::new(FaultPlan::at_intensity(1.0, 1));
+        for t in 0..100u64 {
+            parent.perturb(Cycles::new(t), Cycles::new(100));
+        }
+        let run = |mut engine: InterferenceEngine| {
+            (0..100u64)
+                .map(|t| engine.perturb(Cycles::new(t * 7), Cycles::new(100)))
+                .collect::<Vec<_>>()
+        };
+        let mut a = parent.clone();
+        let mut b = parent.clone();
+        a.reseed(11);
+        b.reseed(12);
+        assert_ne!(run(a), run(b), "different fork seeds must decorrelate the streams");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod addr;
 pub mod cache;
 pub mod clock;
 pub mod config;
+pub mod cow;
 pub mod dram;
 pub mod hierarchy;
 pub mod interference;
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::cache::{AccessResult, CacheKey, Evicted, Replacement, SetAssocCache};
     pub use crate::clock::{Clock, Cycles};
     pub use crate::config::{CacheConfig, DramConfig, MemCtlConfig, SimConfig};
+    pub use crate::cow::{CowMap, CowVec};
     pub use crate::dram::{BankId, Dram, RowOutcome};
     pub use crate::hierarchy::{CacheHierarchy, HierarchyAccess, HitLevel};
     pub use crate::interference::{

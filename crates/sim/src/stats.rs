@@ -50,6 +50,15 @@ impl Counters {
         self.map.iter().map(|(&k, v)| (k, *v))
     }
 
+    /// Adds every count in `other` into `self`. Merging is
+    /// order-independent, so aggregating a warmup segment with a
+    /// per-trial segment reproduces one continuous run's counts.
+    pub fn merge(&mut self, other: &Counters) {
+        for (&k, &v) in &other.map {
+            *self.map.entry(k).or_insert(0) += v;
+        }
+    }
+
     /// Clears all counters.
     pub fn reset(&mut self) {
         self.map.clear();

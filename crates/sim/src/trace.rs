@@ -30,6 +30,7 @@ use crate::clock::Cycles;
 use crate::dram::RowOutcome;
 use crate::stats::{Counters, LatencyHistogram};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Default ring capacity for [`RingTracer::with_default_capacity`].
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
@@ -295,6 +296,12 @@ pub trait Tracer {
     const ENABLED: bool;
     /// Records one event at simulated time `at`.
     fn record(&mut self, at: Cycles, event: TraceEvent);
+    /// Freezes everything recorded so far into an immutable shared
+    /// segment, so that cloning the tracer (a snapshot fork) shares the
+    /// warmup history instead of copying it. Recording continues into a
+    /// fresh private segment; [`RingTracer::into_log`] merges the two
+    /// back into one continuous stream. No-op by default.
+    fn seal(&mut self) {}
 }
 
 /// The zero-cost default tracer: records nothing.
@@ -313,10 +320,19 @@ impl Tracer for NullTracer {
 /// and counted, never silently lost) and aggregates every event into
 /// per-kind [`Counters`] and, for duration-bearing events, per-kind
 /// [`LatencyHistogram`]s.
+/// A tracer that has been [`Tracer::seal`]ed (at snapshot time) keeps
+/// its history in an immutable [`Arc`]'d segment: cloning the tracer
+/// for a fork is then an O(1) pointer bump, every fork shares one copy
+/// of the warmup events, and each fork appends privately. `into_log`
+/// splices base and private segments back into the stream one
+/// continuous ring would have retained — byte-identically, drops
+/// included.
 #[derive(Debug, Clone)]
 pub struct RingTracer {
     capacity: usize,
     next_seq: u64,
+    /// Sealed history shared by every clone (fork) of this tracer.
+    base: Option<Arc<TraceLog>>,
     ring: VecDeque<TraceRecord>,
     counters: Counters,
     histograms: BTreeMap<&'static str, LatencyHistogram>,
@@ -333,6 +349,7 @@ impl RingTracer {
         RingTracer {
             capacity,
             next_seq: 0,
+            base: None,
             ring: VecDeque::new(),
             counters: Counters::new(),
             histograms: BTreeMap::new(),
@@ -344,41 +361,60 @@ impl RingTracer {
         Self::new(DEFAULT_RING_CAPACITY)
     }
 
-    /// Number of events currently retained in the ring.
+    /// Number of events currently retained (sealed base + private
+    /// segment, capped at the ring capacity).
     pub fn len(&self) -> usize {
-        self.ring.len()
+        let base = self.base.as_ref().map(|b| b.events.len()).unwrap_or(0);
+        (base + self.ring.len()).min(self.capacity)
     }
 
     /// Whether no events have been retained.
     pub fn is_empty(&self) -> bool {
-        self.ring.is_empty()
+        self.len() == 0
     }
 
-    /// Events dropped from the front of the ring so far.
+    /// Events dropped (no longer retained) so far.
     pub fn dropped(&self) -> u64 {
-        self.next_seq - self.ring.len() as u64
+        self.next_seq - self.len() as u64
     }
 
-    /// The aggregated per-kind counters.
+    /// The aggregated per-kind counters of the private (post-seal)
+    /// segment; [`RingTracer::into_log`] folds the sealed base back in.
     pub fn counters(&self) -> &Counters {
         &self.counters
     }
 
-    /// The latency histogram for an event kind, if any duration-bearing
-    /// event of that kind was recorded.
+    /// The private segment's latency histogram for an event kind, if
+    /// any duration-bearing event of that kind was recorded post-seal.
     pub fn histogram(&self, kind: &str) -> Option<&LatencyHistogram> {
         self.histograms.get(kind)
     }
 
-    /// Consumes the tracer into an immutable [`TraceLog`] snapshot.
+    /// Consumes the tracer into an immutable [`TraceLog`] snapshot,
+    /// splicing the sealed base segment (if any) and the private
+    /// segment into the exact stream one continuous ring would retain:
+    /// the last `capacity` events, with earlier ones counted as
+    /// dropped, and counters/histograms aggregated across the seal.
     pub fn into_log(self) -> TraceLog {
-        let dropped = self.dropped();
-        TraceLog {
-            events: self.ring.into_iter().collect(),
-            dropped,
-            counters: self.counters,
-            histograms: self.histograms,
+        let mut counters = self.counters;
+        let mut histograms = self.histograms;
+        let mut events: Vec<TraceRecord> = match self.base {
+            Some(base) => {
+                counters.merge(&base.counters);
+                for (kind, hist) in &base.histograms {
+                    histograms
+                        .entry(kind)
+                        .and_modify(|h| h.merge(hist))
+                        .or_insert_with(|| hist.clone());
+                }
+                base.events.iter().copied().chain(self.ring).collect()
+            }
+            None => self.ring.into_iter().collect(),
+        };
+        if events.len() > self.capacity {
+            events.drain(..events.len() - self.capacity);
         }
+        TraceLog { dropped: self.next_seq - events.len() as u64, events, counters, histograms }
     }
 }
 
@@ -394,11 +430,25 @@ impl Tracer for RingTracer {
                 .or_insert_with(|| LatencyHistogram::new(TRACE_HIST_BUCKET_WIDTH))
                 .record(Cycles::new(cycles));
         }
+        // Bound only the private segment: anything older than the last
+        // `capacity` private events can never appear in the merged
+        // window `into_log` retains, and the sealed base is immutable.
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
         self.ring.push_back(TraceRecord { seq: self.next_seq, at, event });
         self.next_seq += 1;
+    }
+
+    fn seal(&mut self) {
+        // Fold everything recorded so far — including any previously
+        // sealed segment — into one immutable, cheaply shareable
+        // segment; recording continues privately with the sequence
+        // numbering intact.
+        let next_seq = self.next_seq;
+        let sealed = std::mem::replace(self, RingTracer::new(self.capacity));
+        self.base = Some(Arc::new(sealed.into_log()));
+        self.next_seq = next_seq;
     }
 }
 
@@ -488,5 +538,79 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_capacity_ring_panics() {
         RingTracer::new(0);
+    }
+
+    /// Records `warm` warmup events, then seals/forks (or not), then
+    /// records `post` more, and returns the final log.
+    fn run(capacity: usize, warm: u64, post: u64, sealed: bool) -> TraceLog {
+        let mut t = RingTracer::new(capacity);
+        for i in 0..warm {
+            t.record(Cycles::new(i), ev(i));
+        }
+        let mut t = if sealed {
+            t.seal();
+            t.clone() // the fork
+        } else {
+            t
+        };
+        for i in 0..post {
+            t.record(Cycles::new(warm + i), ev(warm + i));
+        }
+        t.into_log()
+    }
+
+    #[test]
+    fn sealed_fork_matches_a_continuous_ring_exactly() {
+        // Every drop regime: no drops, drops in warmup only, drops in
+        // the trial only, drops in both, and an empty trial segment.
+        for (warm, post) in [(2, 3), (10, 2), (2, 10), (9, 9), (5, 0), (0, 4)] {
+            let plain = run(6, warm, post, false);
+            let forked = run(6, warm, post, true);
+            assert_eq!(plain.events, forked.events, "warm={warm} post={post}");
+            assert_eq!(plain.dropped, forked.dropped, "warm={warm} post={post}");
+            assert_eq!(plain.recorded(), forked.recorded());
+            assert_eq!(
+                plain.counters.get("write_done"),
+                forked.counters.get("write_done"),
+                "counters must aggregate across the seal"
+            );
+            assert_eq!(
+                plain.histograms.get("write_done").map(|h| h.count()),
+                forked.histograms.get("write_done").map(|h| h.count()),
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_clone_is_cheap_and_isolated() {
+        let mut t = RingTracer::new(1 << 10);
+        for i in 0..100 {
+            t.record(Cycles::new(i), ev(i));
+        }
+        t.seal();
+        let mut fork_a = t.clone();
+        let fork_b = t.clone();
+        assert!(fork_a.ring.is_empty(), "forks start with an empty private ring");
+        fork_a.record(Cycles::new(200), ev(200));
+        assert_eq!(fork_b.len(), 100, "sibling unaffected");
+        let a = fork_a.into_log();
+        let b = fork_b.into_log();
+        assert_eq!(a.recorded(), 101);
+        assert_eq!(b.recorded(), 100);
+        assert_eq!(a.events[100].seq, 100, "sequence numbering continues across the seal");
+    }
+
+    #[test]
+    fn double_seal_folds_cumulatively() {
+        let mut t = RingTracer::new(8);
+        t.record(Cycles::new(0), ev(0));
+        t.seal();
+        t.record(Cycles::new(1), ev(1));
+        t.seal();
+        t.record(Cycles::new(2), ev(2));
+        let log = t.into_log();
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.events.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(log.counters.get("write_done"), 3);
     }
 }
