@@ -25,9 +25,9 @@
 //! artifact was refused; 5 an experiment exceeded
 //! `--max-failed-trials`.
 
-use metaleak_analysis::ingest::{IngestError, ScanEntry};
+use metaleak_analysis::gates::{self, GatePolicy};
+use metaleak_analysis::ingest::{self, ScanEntry};
 use metaleak_analysis::report::LeakReport;
-use metaleak_analysis::{ingest, TVLA_THRESHOLD};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -112,19 +112,16 @@ fn main() -> ExitCode {
         eprintln!("leakscan: no experiment artifacts in {}", cli.dir.display());
         return ExitCode::from(1);
     }
+    let policy = GatePolicy {
+        require_leak: cli.require_leak,
+        require_clean: cli.require_clean,
+        strict: cli.strict,
+        max_failed_trials: cli.max_failed_trials,
+    };
     // Degraded artifacts carry failure rows; without the opt-in they
     // are refused like any other suspect input.
-    let allow_degraded = cli.allow_degraded || cli.max_failed_trials.is_some();
-    let entries: Vec<ScanEntry> = entries
-        .into_iter()
-        .map(|entry| match entry {
-            ScanEntry::Loaded(data) if data.degraded() && !allow_degraded => ScanEntry::Refused {
-                name: data.name.clone(),
-                error: IngestError::Degraded { experiment: data.name, failed: data.failed },
-            },
-            other => other,
-        })
-        .collect();
+    let allow_degraded = cli.allow_degraded || policy.admits_degraded();
+    let entries: Vec<ScanEntry> = gates::apply_degraded_policy(entries, allow_degraded);
     let report = LeakReport::from_entries(&entries);
 
     let json_path = cli.out_json.unwrap_or_else(|| cli.dir.join("leakscan_report.json"));
@@ -141,50 +138,16 @@ fn main() -> ExitCode {
     print!("{markdown}");
     println!("\nreport: {}", json_path.display());
 
-    // CI gates.
-    for name in &cli.require_leak {
-        match report.assessment(name) {
-            Some(a) if a.leaks() == Some(true) => {}
-            Some(a) => {
-                eprintln!(
-                    "leakscan: FAIL: {name} expected to leak but |t| = {} (threshold {TVLA_THRESHOLD})",
-                    a.tvla.map(|t| t.t.abs()).unwrap_or(0.0)
-                );
-                return ExitCode::from(2);
+    // CI gates — evaluated by the library; the CLI just renders the
+    // verdict and maps it back to the historical exit codes.
+    let verdict = gates::evaluate(&report, &policy);
+    for failure in &verdict.failures {
+        match failure {
+            metaleak_analysis::GateFailure::ArtifactsRefused { .. } => {
+                eprintln!("leakscan: FAIL (--strict): {failure}")
             }
-            None => {
-                eprintln!("leakscan: FAIL: required experiment {name} missing or refused");
-                return ExitCode::from(2);
-            }
+            _ => eprintln!("leakscan: FAIL: {failure}"),
         }
     }
-    for name in &cli.require_clean {
-        match report.assessment(name) {
-            Some(a) if a.leaks() != Some(true) => {}
-            Some(_) => {
-                eprintln!("leakscan: FAIL: {name} expected clean but leaks");
-                return ExitCode::from(3);
-            }
-            None => {
-                eprintln!("leakscan: FAIL: required experiment {name} missing or refused");
-                return ExitCode::from(3);
-            }
-        }
-    }
-    if cli.strict && !report.refused.is_empty() {
-        eprintln!("leakscan: FAIL (--strict): {} artifact(s) refused", report.refused.len());
-        return ExitCode::from(4);
-    }
-    if let Some(max) = cli.max_failed_trials {
-        for a in &report.assessments {
-            if a.failed > max {
-                eprintln!(
-                    "leakscan: FAIL: {} lost {} trial(s), more than --max-failed-trials {max}",
-                    a.name, a.failed
-                );
-                return ExitCode::from(5);
-            }
-        }
-    }
-    ExitCode::SUCCESS
+    ExitCode::from(verdict.exit_code())
 }

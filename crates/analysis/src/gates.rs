@@ -1,0 +1,435 @@
+//! Pass/fail gate evaluation over a [`LeakReport`] — the library form
+//! of `leakscan`'s `--require-leak` / `--require-clean` /
+//! `--max-failed-trials` CI gates.
+//!
+//! The CLI applies a [`GatePolicy`] and turns the resulting
+//! [`GateVerdict`] into its historical exit codes; in-process callers
+//! (the `metaleak-serve` report endpoint) embed the typed verdict
+//! directly instead of shelling out and parsing stderr.
+//!
+//! Evaluation order matches the CLI's historical short-circuit order —
+//! require-leak, require-clean, strict, failure budget — so
+//! [`GateVerdict::exit_code`] (the first failure's code) agrees with
+//! what `leakscan` exited with before the extraction. Unlike the CLI,
+//! [`evaluate`] collects *every* failure rather than stopping at the
+//! first, which costs nothing and lets a report list all violated
+//! gates at once.
+
+use crate::ingest::{IngestError, ScanEntry};
+use crate::report::LeakReport;
+use crate::welch::TVLA_THRESHOLD;
+use metaleak_bench::json::{Json, JsonObj};
+use std::fmt;
+
+/// Which gates to apply to a report (all off by default).
+#[derive(Debug, Clone, Default)]
+pub struct GatePolicy {
+    /// Experiments that must be present, assessed and leaking
+    /// (`--require-leak`).
+    pub require_leak: Vec<String>,
+    /// Experiments that must be present and *not* leaking
+    /// (`--require-clean`).
+    pub require_clean: Vec<String>,
+    /// Fail when any artifact was refused (`--strict`).
+    pub strict: bool,
+    /// Per-experiment failed-trial budget (`--max-failed-trials`).
+    /// `Some(n)` implies degraded artifacts are admitted for
+    /// assessment (see [`apply_degraded_policy`]).
+    pub max_failed_trials: Option<usize>,
+}
+
+/// One violated gate. [`fmt::Display`] renders exactly the message the
+/// CLI has always printed after its `leakscan: FAIL` prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateFailure {
+    /// A `--require-leak` experiment was assessed but scored below the
+    /// TVLA threshold.
+    ExpectedLeakClean {
+        /// The experiment name.
+        name: String,
+        /// Its |t| statistic (0 when no TVLA result existed).
+        t_abs: f64,
+    },
+    /// A `--require-leak` experiment is missing or was refused.
+    ExpectedLeakMissing {
+        /// The experiment name.
+        name: String,
+    },
+    /// A `--require-clean` experiment leaks.
+    ExpectedCleanLeaks {
+        /// The experiment name.
+        name: String,
+    },
+    /// A `--require-clean` experiment is missing or was refused.
+    ExpectedCleanMissing {
+        /// The experiment name.
+        name: String,
+    },
+    /// `--strict` and at least one artifact was refused.
+    ArtifactsRefused {
+        /// How many artifacts the scan refused.
+        count: usize,
+    },
+    /// An experiment lost more trials than `--max-failed-trials`
+    /// allows.
+    FailureBudgetExceeded {
+        /// The experiment name.
+        name: String,
+        /// How many trials it lost.
+        failed: usize,
+        /// The configured budget.
+        max: usize,
+    },
+}
+
+impl GateFailure {
+    /// The process exit code the CLI maps this failure to (2/3/4/5 —
+    /// the historical `leakscan` contract).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            GateFailure::ExpectedLeakClean { .. } | GateFailure::ExpectedLeakMissing { .. } => 2,
+            GateFailure::ExpectedCleanLeaks { .. } | GateFailure::ExpectedCleanMissing { .. } => 3,
+            GateFailure::ArtifactsRefused { .. } => 4,
+            GateFailure::FailureBudgetExceeded { .. } => 5,
+        }
+    }
+
+    /// Stable machine-readable label for JSON embedding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GateFailure::ExpectedLeakClean { .. } => "expected-leak-clean",
+            GateFailure::ExpectedLeakMissing { .. } => "expected-leak-missing",
+            GateFailure::ExpectedCleanLeaks { .. } => "expected-clean-leaks",
+            GateFailure::ExpectedCleanMissing { .. } => "expected-clean-missing",
+            GateFailure::ArtifactsRefused { .. } => "artifacts-refused",
+            GateFailure::FailureBudgetExceeded { .. } => "failure-budget-exceeded",
+        }
+    }
+
+    /// JSON form: label, exit code, message, plus the experiment name
+    /// when one is implicated.
+    pub fn to_json(&self) -> Json {
+        let mut obj = JsonObj::new()
+            .field("gate", self.label())
+            .field("exit_code", self.exit_code() as u64)
+            .field("message", self.to_string());
+        let name = match self {
+            GateFailure::ExpectedLeakClean { name, .. }
+            | GateFailure::ExpectedLeakMissing { name }
+            | GateFailure::ExpectedCleanLeaks { name }
+            | GateFailure::ExpectedCleanMissing { name }
+            | GateFailure::FailureBudgetExceeded { name, .. } => Some(name.as_str()),
+            GateFailure::ArtifactsRefused { .. } => None,
+        };
+        if let Some(name) = name {
+            obj = obj.field("experiment", name);
+        }
+        obj.build()
+    }
+}
+
+impl fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateFailure::ExpectedLeakClean { name, t_abs } => {
+                write!(f, "{name} expected to leak but |t| = {t_abs} (threshold {TVLA_THRESHOLD})")
+            }
+            GateFailure::ExpectedLeakMissing { name }
+            | GateFailure::ExpectedCleanMissing { name } => {
+                write!(f, "required experiment {name} missing or refused")
+            }
+            GateFailure::ExpectedCleanLeaks { name } => {
+                write!(f, "{name} expected clean but leaks")
+            }
+            GateFailure::ArtifactsRefused { count } => {
+                write!(f, "{count} artifact(s) refused")
+            }
+            GateFailure::FailureBudgetExceeded { name, failed, max } => {
+                write!(f, "{name} lost {failed} trial(s), more than --max-failed-trials {max}")
+            }
+        }
+    }
+}
+
+/// The outcome of applying a [`GatePolicy`]: every violated gate, in
+/// the CLI's historical evaluation order.
+#[derive(Debug, Clone, Default)]
+pub struct GateVerdict {
+    /// Violated gates (empty = all gates passed).
+    pub failures: Vec<GateFailure>,
+}
+
+impl GateVerdict {
+    /// True when every gate passed.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The process exit code: 0 on pass, else the first failure's code
+    /// — which, by evaluation order, is the code the pre-library CLI
+    /// exited with.
+    pub fn exit_code(&self) -> u8 {
+        self.failures.first().map_or(0, GateFailure::exit_code)
+    }
+
+    /// JSON form: `{"pass":bool,"exit_code":n,"failures":[...]}`.
+    pub fn to_json(&self) -> Json {
+        JsonObj::new()
+            .field("pass", self.pass())
+            .field("exit_code", self.exit_code() as u64)
+            .field("failures", Json::Arr(self.failures.iter().map(GateFailure::to_json).collect()))
+            .build()
+    }
+}
+
+/// Applies `policy` to `report`, collecting every violated gate.
+pub fn evaluate(report: &LeakReport, policy: &GatePolicy) -> GateVerdict {
+    let mut failures = Vec::new();
+    for name in &policy.require_leak {
+        match report.assessment(name) {
+            Some(a) if a.leaks() == Some(true) => {}
+            Some(a) => failures.push(GateFailure::ExpectedLeakClean {
+                name: name.clone(),
+                t_abs: a.tvla.as_ref().map(|t| t.t.abs()).unwrap_or(0.0),
+            }),
+            None => failures.push(GateFailure::ExpectedLeakMissing { name: name.clone() }),
+        }
+    }
+    for name in &policy.require_clean {
+        match report.assessment(name) {
+            Some(a) if a.leaks() != Some(true) => {}
+            Some(_) => failures.push(GateFailure::ExpectedCleanLeaks { name: name.clone() }),
+            None => failures.push(GateFailure::ExpectedCleanMissing { name: name.clone() }),
+        }
+    }
+    if policy.strict && !report.refused.is_empty() {
+        failures.push(GateFailure::ArtifactsRefused { count: report.refused.len() });
+    }
+    if let Some(max) = policy.max_failed_trials {
+        for a in &report.assessments {
+            if a.failed > max {
+                failures.push(GateFailure::FailureBudgetExceeded {
+                    name: a.name.clone(),
+                    failed: a.failed,
+                    max,
+                });
+            }
+        }
+    }
+    GateVerdict { failures }
+}
+
+/// The degraded-artifact admission rule shared by the CLI and the
+/// server: degraded experiments (commit records with failed trials)
+/// are refused unless `allow_degraded`, converting each to a
+/// [`ScanEntry::Refused`] with [`IngestError::Degraded`]. A policy
+/// with a failure budget implies admission
+/// ([`GatePolicy::admits_degraded`]).
+pub fn apply_degraded_policy(entries: Vec<ScanEntry>, allow_degraded: bool) -> Vec<ScanEntry> {
+    entries
+        .into_iter()
+        .map(|entry| match entry {
+            ScanEntry::Loaded(data) if data.degraded() && !allow_degraded => ScanEntry::Refused {
+                name: data.name.clone(),
+                error: IngestError::Degraded { experiment: data.name, failed: data.failed },
+            },
+            other => other,
+        })
+        .collect()
+}
+
+impl GatePolicy {
+    /// Whether this policy admits degraded artifacts for assessment: a
+    /// failure budget implies admission (`--max-failed-trials` implies
+    /// `--allow-degraded`).
+    pub fn admits_degraded(&self) -> bool {
+        self.max_failed_trials.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::LeakReport;
+
+    /// Builds a report by scanning a scratch directory holding one
+    /// synthetic experiment with the given labelled samples.
+    fn report_with(name: &str, classes: &[u64], values: &[u64], failed_rows: usize) -> LeakReport {
+        let dir =
+            std::env::temp_dir().join(format!("metaleak_gates_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let classes_s: Vec<String> = classes.iter().map(u64::to_string).collect();
+        let values_s: Vec<String> = values.iter().map(u64::to_string).collect();
+        let mut rows = format!(
+            "{{\"trial\":0,\"sample_class\":[{}],\"sample_value\":[{}]}}\n",
+            classes_s.join(","),
+            values_s.join(",")
+        );
+        for i in 0..failed_rows {
+            rows.push_str(&format!(
+                "{{\"trial\":{},\"failed\":true,\"kind\":\"panic\",\"error\":\"x\"}}\n",
+                i + 1
+            ));
+        }
+        std::fs::write(dir.join(format!("{name}.jsonl")), &rows).unwrap();
+        let meta = format!(
+            "{{\"experiment\":\"{name}\",\"seed\":1,\"trials\":{n},\"rows\":{n},\
+             \"failed\":{failed_rows},\"complete\":true{degraded}}}\n",
+            n = 1 + failed_rows,
+            degraded = if failed_rows > 0 { ",\"degraded\":true" } else { "" },
+        );
+        std::fs::write(dir.join(format!("{name}.meta.json")), meta).unwrap();
+        let entries = crate::ingest::scan_dir(&dir).unwrap();
+        let entries = apply_degraded_policy(entries, true);
+        let report = LeakReport::from_entries(&entries);
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    }
+
+    fn leaking_report(name: &str) -> LeakReport {
+        // Two well-separated classes: |t| far above 4.5.
+        let classes: Vec<u64> = (0..200).map(|i| i % 2).collect();
+        let values: Vec<u64> = classes.iter().map(|&c| 40 + c * 300).collect();
+        report_with(name, &classes, &values, 0)
+    }
+
+    fn clean_report(name: &str) -> LeakReport {
+        // Identical distributions: |t| ~ 0.
+        let classes: Vec<u64> = (0..200).map(|i| i % 2).collect();
+        let values: Vec<u64> = (0..200).map(|i| 40 + (i % 7)).collect();
+        report_with(name, &classes, &values, 0)
+    }
+
+    #[test]
+    fn require_leak_passes_on_a_leaking_experiment() {
+        let report = leaking_report("rl_pass");
+        let policy =
+            GatePolicy { require_leak: vec!["rl_pass".to_owned()], ..GatePolicy::default() };
+        let verdict = evaluate(&report, &policy);
+        assert!(verdict.pass(), "{:?}", verdict.failures);
+        assert_eq!(verdict.exit_code(), 0);
+    }
+
+    #[test]
+    fn require_leak_fails_clean_and_missing_with_exit_2() {
+        let report = clean_report("rl_clean");
+        let policy =
+            GatePolicy { require_leak: vec!["rl_clean".to_owned()], ..GatePolicy::default() };
+        let verdict = evaluate(&report, &policy);
+        assert_eq!(verdict.exit_code(), 2);
+        assert!(matches!(verdict.failures[0], GateFailure::ExpectedLeakClean { .. }));
+        assert!(verdict.failures[0].to_string().contains("expected to leak but |t| ="));
+
+        let policy =
+            GatePolicy { require_leak: vec!["nonexistent".to_owned()], ..GatePolicy::default() };
+        let verdict = evaluate(&report, &policy);
+        assert_eq!(verdict.exit_code(), 2);
+        assert_eq!(
+            verdict.failures[0].to_string(),
+            "required experiment nonexistent missing or refused"
+        );
+    }
+
+    #[test]
+    fn require_clean_fails_leaky_with_exit_3() {
+        let report = leaking_report("rc_leaky");
+        let policy =
+            GatePolicy { require_clean: vec!["rc_leaky".to_owned()], ..GatePolicy::default() };
+        let verdict = evaluate(&report, &policy);
+        assert_eq!(verdict.exit_code(), 3);
+        assert_eq!(verdict.failures[0].to_string(), "rc_leaky expected clean but leaks");
+
+        let report = clean_report("rc_clean");
+        let policy =
+            GatePolicy { require_clean: vec!["rc_clean".to_owned()], ..GatePolicy::default() };
+        assert!(evaluate(&report, &policy).pass());
+    }
+
+    #[test]
+    fn strict_fails_on_refusals_with_exit_4() {
+        let report = LeakReport {
+            assessments: Vec::new(),
+            refused: vec![("torn".to_owned(), "torn artifact".to_owned())],
+        };
+        let verdict = evaluate(&report, &GatePolicy { strict: true, ..GatePolicy::default() });
+        assert_eq!(verdict.exit_code(), 4);
+        assert_eq!(verdict.failures[0].to_string(), "1 artifact(s) refused");
+        // Without --strict the refusal is tolerated.
+        assert!(evaluate(&report, &GatePolicy::default()).pass());
+    }
+
+    #[test]
+    fn failure_budget_gates_degraded_runs_with_exit_5() {
+        let classes: Vec<u64> = (0..100).map(|i| i % 2).collect();
+        let values: Vec<u64> = classes.iter().map(|&c| 40 + c * 300).collect();
+        let report = report_with("budget", &classes, &values, 2);
+        let policy = GatePolicy { max_failed_trials: Some(1), ..GatePolicy::default() };
+        assert!(policy.admits_degraded());
+        let verdict = evaluate(&report, &policy);
+        assert_eq!(verdict.exit_code(), 5);
+        assert_eq!(
+            verdict.failures[0].to_string(),
+            "budget lost 2 trial(s), more than --max-failed-trials 1"
+        );
+        // A budget of 2 accepts the run.
+        let policy = GatePolicy { max_failed_trials: Some(2), ..GatePolicy::default() };
+        assert!(evaluate(&report, &policy).pass());
+    }
+
+    #[test]
+    fn first_failure_sets_the_exit_code_and_all_are_collected() {
+        let report = clean_report("multi");
+        let policy = GatePolicy {
+            require_leak: vec!["multi".to_owned()],
+            require_clean: vec!["gone".to_owned()],
+            strict: false,
+            max_failed_trials: None,
+        };
+        let verdict = evaluate(&report, &policy);
+        assert_eq!(verdict.failures.len(), 2);
+        assert_eq!(verdict.exit_code(), 2, "require-leak evaluates first");
+    }
+
+    #[test]
+    fn degraded_policy_refuses_without_admission() {
+        let classes: Vec<u64> = (0..100).map(|i| i % 2).collect();
+        let values: Vec<u64> = classes.iter().map(|&c| 40 + c * 300).collect();
+        let dir = std::env::temp_dir().join(format!("metaleak_gates_adm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let classes_s: Vec<String> = classes.iter().map(u64::to_string).collect();
+        let values_s: Vec<String> = values.iter().map(u64::to_string).collect();
+        let rows = format!(
+            "{{\"trial\":0,\"sample_class\":[{}],\"sample_value\":[{}]}}\n\
+             {{\"trial\":1,\"failed\":true,\"kind\":\"panic\",\"error\":\"x\"}}\n",
+            classes_s.join(","),
+            values_s.join(",")
+        );
+        std::fs::write(dir.join("adm.jsonl"), rows).unwrap();
+        std::fs::write(
+            dir.join("adm.meta.json"),
+            "{\"experiment\":\"adm\",\"seed\":1,\"trials\":2,\"rows\":2,\"failed\":1,\
+             \"complete\":true,\"degraded\":true}\n",
+        )
+        .unwrap();
+        let entries = crate::ingest::scan_dir(&dir).unwrap();
+        let refused = apply_degraded_policy(entries.clone(), false);
+        assert!(matches!(refused[0], ScanEntry::Refused { .. }));
+        let admitted = apply_degraded_policy(entries, true);
+        assert!(matches!(admitted[0], ScanEntry::Loaded(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verdict_json_shape() {
+        let verdict = GateVerdict {
+            failures: vec![GateFailure::ExpectedLeakMissing { name: "x".to_owned() }],
+        };
+        let rendered = verdict.to_json().render();
+        assert!(rendered.contains("\"pass\":false"), "{rendered}");
+        assert!(rendered.contains("\"exit_code\":2"), "{rendered}");
+        assert!(rendered.contains("\"gate\":\"expected-leak-missing\""), "{rendered}");
+        assert!(rendered.contains("\"experiment\":\"x\""), "{rendered}");
+        let pass = GateVerdict::default().to_json().render();
+        assert!(pass.contains("\"pass\":true"), "{pass}");
+    }
+}

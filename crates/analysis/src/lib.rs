@@ -32,6 +32,7 @@
 pub mod attribution;
 pub mod bootstrap;
 pub mod capacity;
+pub mod gates;
 pub mod ingest;
 pub mod mi;
 pub mod report;
@@ -41,6 +42,7 @@ pub mod welch;
 pub use attribution::{Attribution, TraceScanReport};
 pub use bootstrap::BootstrapCi;
 pub use capacity::CapacityEstimate;
+pub use gates::{GateFailure, GatePolicy, GateVerdict};
 pub use ingest::{ExperimentData, IngestError, ScanEntry};
 pub use mi::MiEstimate;
 pub use report::{Assessment, LeakReport};

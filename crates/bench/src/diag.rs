@@ -1,0 +1,177 @@
+//! Injectable diagnostics sink for harness warnings.
+//!
+//! The harness emits non-fatal warnings — lenient environment parses,
+//! a journal that cannot be opened, a checkpoint write that failed.
+//! Historically those went straight to stderr, which is fine for a
+//! one-shot experiment binary but useless for a long-lived multi-tenant
+//! server: a warning caused by one job's sweep must be attributed to
+//! *that job*, not interleaved anonymously with every other tenant's
+//! output.
+//!
+//! This module decouples emission from delivery:
+//!
+//! - [`warn`] / [`warn_once`] are what the harness calls;
+//! - the innermost [`with_sink`] scope on the *current thread* receives
+//!   the message; without one, the message falls through to stderr
+//!   (prefixed `warning:`), preserving the historical CLI behaviour;
+//! - [`with_context`] pushes a label (`job 17`, an experiment name...)
+//!   that is prepended to every message emitted inside the scope, so a
+//!   sink shared by many jobs can still attribute each warning.
+//!
+//! Sinks and contexts are thread-local by design: a worker runs one
+//! job's task at a time, so scoping the sink to the thread attributes
+//! warnings without any global registry, and two servers (or two
+//! tests) in one process can never clobber each other's sink.
+//!
+//! The once-per-key deduplication of [`warn_once`] is keyed on
+//! `(context, key)`: a misconfigured variable warns once per *job*
+//! rather than once per process, so every tenant that triggers it sees
+//! the warning in their own log.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A diagnostics sink: receives fully formatted warning messages
+/// (context prefix included, no trailing newline). `Arc` so a server
+/// can install the same sink around many tasks of one job.
+pub type Sink = Arc<dyn Fn(&str) + Send + Sync>;
+
+thread_local! {
+    static SINK: RefCell<Vec<Sink>> = const { RefCell::new(Vec::new()) };
+    static CONTEXT: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with `sink` installed as this thread's diagnostics sink.
+/// Nested scopes shadow outer ones; the sink is removed when the scope
+/// exits, panic or not.
+pub fn with_sink<R>(sink: Sink, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SINK.with(|s| s.borrow_mut().pop());
+        }
+    }
+    SINK.with(|s| s.borrow_mut().push(sink));
+    let _guard = Guard;
+    f()
+}
+
+/// Runs `f` with `label` pushed onto this thread's context stack.
+/// Warnings emitted inside the scope are prefixed `[label] `; nested
+/// labels join as `[outer/inner]`.
+pub fn with_context<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CONTEXT.with(|c| c.borrow_mut().pop());
+        }
+    }
+    CONTEXT.with(|c| c.borrow_mut().push(label.to_owned()));
+    let _guard = Guard;
+    f()
+}
+
+/// The current thread's joined context label (`outer/inner`), if any.
+pub fn context() -> Option<String> {
+    CONTEXT.with(|c| {
+        let stack = c.borrow();
+        (!stack.is_empty()).then(|| stack.join("/"))
+    })
+}
+
+/// Emits one warning through the innermost sink of the current thread,
+/// or to stderr (`warning: ...`) when no sink is installed. The
+/// context label, when present, is prepended as `[label] `.
+pub fn warn(message: &str) {
+    let full = match context() {
+        Some(ctx) => format!("[{ctx}] {message}"),
+        None => message.to_owned(),
+    };
+    // Clone out of the TLS slot before calling: a sink that itself
+    // warns (or installs a nested scope) must not hold the borrow.
+    let sink = SINK.with(|s| s.borrow().last().cloned());
+    match sink {
+        Some(sink) => sink(&full),
+        None => eprintln!("warning: {full}"),
+    }
+}
+
+/// [`warn`], deduplicated per `(context, key)` for the lifetime of the
+/// process: the first call in a given context emits, repeats are
+/// dropped. Hot helpers (lenient env parsing, per-trial paths) use
+/// this so a misconfiguration warns once per job instead of spamming.
+pub fn warn_once(key: &str, message: &str) {
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let scoped = format!("{}\u{1f}{key}", context().unwrap_or_default());
+    let mut warned = WARNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if warned.insert(scoped) {
+        drop(warned);
+        warn(message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> (Sink, Arc<Mutex<Vec<String>>>) {
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sunk = Arc::clone(&seen);
+        let sink: Sink = Arc::new(move |m: &str| sunk.lock().unwrap().push(m.to_owned()));
+        (sink, seen)
+    }
+
+    #[test]
+    fn sink_receives_messages_with_context_prefix() {
+        let (sink, seen) = capture();
+        with_sink(sink, || {
+            warn("plain");
+            with_context("job 3", || {
+                warn("inside");
+                with_context("point 1", || warn("deep"));
+            });
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, vec!["plain", "[job 3] inside", "[job 3/point 1] deep"]);
+    }
+
+    #[test]
+    fn nested_sinks_shadow_and_unwind() {
+        let (outer_sink, outer) = capture();
+        let (inner_sink, inner) = capture();
+        with_sink(outer_sink, || {
+            warn("to outer");
+            with_sink(inner_sink, || warn("to inner"));
+            warn("to outer again");
+        });
+        assert_eq!(outer.lock().unwrap().len(), 2);
+        assert_eq!(inner.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn warn_once_dedups_per_context() {
+        let (sink, seen) = capture();
+        with_sink(sink, || {
+            with_context("job A", || {
+                warn_once("VAR_X", "bad VAR_X");
+                warn_once("VAR_X", "bad VAR_X");
+            });
+            with_context("job B", || warn_once("VAR_X", "bad VAR_X"));
+        });
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, vec!["[job A] bad VAR_X", "[job B] bad VAR_X"]);
+    }
+
+    #[test]
+    fn context_unwinds_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_context("doomed", || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(context(), None, "context stack must unwind");
+    }
+}

@@ -70,10 +70,77 @@ fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Worker-thread count used by [`Experiment::new`]: the value of
+/// Explicit run configuration for an [`Experiment`] — everything the
+/// harness used to read from process-global `METALEAK_*` environment
+/// variables, as one plain struct a caller can construct and thread
+/// through in-process. The environment path survives as the
+/// [`RunSettings::from_env`] shim (what [`Experiment::new`] uses); a
+/// multi-tenant server builds its own `RunSettings` per job instead,
+/// since env vars cannot configure two concurrent jobs differently.
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// Worker-thread count for trial fan-out (minimum 1).
+    pub threads: usize,
+    /// Artifact sink directory. `None` falls back to the process-wide
+    /// resolution ([`crate::try_out_dir`]: `METALEAK_OUT_DIR`, then
+    /// `target/experiments`); `Some` pins this experiment's outputs —
+    /// the server points each job at its own cache directory.
+    pub out_dir: Option<PathBuf>,
+    /// Quick (CI-sized) mode flag recorded in journal headers and
+    /// commit records (`METALEAK_FULL` inverted).
+    pub quick: bool,
+    /// Whether sweep points share one warmed snapshot across trials
+    /// (`METALEAK_SNAPSHOT`).
+    pub sharing: bool,
+    /// Whether completed trials checkpoint to the crash-safe journal
+    /// (`METALEAK_JOURNAL`).
+    pub journal: bool,
+    /// Whether per-trial event tracing was requested (`METALEAK_TRACE`)
+    /// — recorded in journal headers so a traced and an untraced run
+    /// never replay each other's checkpoints.
+    pub trace: bool,
+    /// Trial supervision: deadlines, retries, injected failures
+    /// (`METALEAK_TRIAL_*`).
+    pub policy: SupervisorPolicy,
+}
+
+impl Default for RunSettings {
+    /// Environment-free defaults: single-threaded, default sink,
+    /// quick mode, sharing and journaling on, tracing off, default
+    /// supervision. What a hermetic in-process caller starts from.
+    fn default() -> Self {
+        RunSettings {
+            threads: 1,
+            out_dir: None,
+            quick: true,
+            sharing: true,
+            journal: true,
+            trace: false,
+            policy: SupervisorPolicy::default(),
+        }
+    }
+}
+
+impl RunSettings {
+    /// The historical behaviour: every knob read from its `METALEAK_*`
+    /// environment variable (with the usual lenient-parse warnings).
+    pub fn from_env() -> Self {
+        RunSettings {
+            threads: default_threads(),
+            out_dir: None,
+            quick: quick_mode(),
+            sharing: crate::snapshot_sharing(),
+            journal: crate::journal_enabled(),
+            trace: crate::trace_enabled(),
+            policy: SupervisorPolicy::from_env(),
+        }
+    }
+}
+
+/// Worker-thread count used by [`RunSettings::from_env`]: the value of
 /// `METALEAK_THREADS` when set (minimum 1), otherwise the machine's
-/// available parallelism. An unparsable or zero value warns on stderr
-/// and falls back to 1.
+/// available parallelism. An unparsable or zero value warns (through
+/// the [`crate::diag`] sink) and falls back to 1.
 pub fn default_threads() -> usize {
     match std::env::var("METALEAK_THREADS") {
         Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
@@ -287,29 +354,34 @@ pub struct ExperimentReport {
 pub struct Experiment {
     name: String,
     seed: u64,
-    threads: usize,
+    settings: RunSettings,
     config: Vec<(String, Json)>,
     started: Instant,
-    policy: SupervisorPolicy,
-    journal: bool,
     failures: Mutex<Vec<TrialFailure>>,
     journal_paths: Mutex<Vec<PathBuf>>,
     stage: AtomicUsize,
 }
 
 impl Experiment {
-    /// Creates an experiment with [`default_threads`] workers, the
+    /// Creates an experiment configured from the environment
+    /// ([`RunSettings::from_env`]): [`default_threads`] workers, the
     /// `METALEAK_TRIAL_*` supervision policy and journaling per
     /// `METALEAK_JOURNAL`.
     pub fn new(name: &str, seed: u64) -> Self {
+        Self::with_settings(name, seed, RunSettings::from_env())
+    }
+
+    /// Creates an experiment from explicit settings, reading nothing
+    /// from the environment except the output-directory fallback when
+    /// `settings.out_dir` is `None`. The in-process entry point for
+    /// callers (servers, tests) that configure each run individually.
+    pub fn with_settings(name: &str, seed: u64, settings: RunSettings) -> Self {
         Experiment {
             name: name.to_owned(),
             seed,
-            threads: default_threads(),
+            settings,
             config: Vec::new(),
             started: Instant::now(),
-            policy: SupervisorPolicy::from_env(),
-            journal: crate::journal_enabled(),
             failures: Mutex::new(Vec::new()),
             journal_paths: Mutex::new(Vec::new()),
             stage: AtomicUsize::new(0),
@@ -318,7 +390,14 @@ impl Experiment {
 
     /// Overrides the worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.settings.threads = threads.max(1);
+        self
+    }
+
+    /// Pins the artifact sink to `dir` instead of the process-wide
+    /// `METALEAK_OUT_DIR` / `target/experiments` resolution.
+    pub fn with_out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.settings.out_dir = Some(dir.into());
         self
     }
 
@@ -326,42 +405,42 @@ impl Experiment {
     /// one experiment name in-process disable journaling so a replay
     /// cannot stand in for the execution under test.
     pub fn with_journal(mut self, journal: bool) -> Self {
-        self.journal = journal;
+        self.settings.journal = journal;
         self
     }
 
     /// Overrides the deterministic per-attempt cycle budget
     /// (`METALEAK_TRIAL_DEADLINE`); 0 disables it.
     pub fn with_trial_deadline(mut self, cycles: u64) -> Self {
-        self.policy.deadline_cycles = (cycles > 0).then_some(cycles);
+        self.settings.policy.deadline_cycles = (cycles > 0).then_some(cycles);
         self
     }
 
     /// Overrides the wall-clock backstop (`METALEAK_TRIAL_WALL_MS`);
     /// 0 disables it.
     pub fn with_wall_deadline_ms(mut self, ms: u64) -> Self {
-        self.policy.wall_ms = (ms > 0).then_some(ms);
+        self.settings.policy.wall_ms = (ms > 0).then_some(ms);
         self
     }
 
     /// Overrides the retry count (`METALEAK_TRIAL_RETRIES`): retries
     /// *after* the first attempt.
     pub fn with_retries(mut self, retries: u32) -> Self {
-        self.policy.retries = retries;
+        self.settings.policy.retries = retries;
         self
     }
 
     /// Overrides the initial wall-clock retry backoff in milliseconds
     /// (tests set 0 to retry immediately).
     pub fn with_retry_backoff_ms(mut self, ms: u64) -> Self {
-        self.policy.backoff_ms = ms;
+        self.settings.policy.backoff_ms = ms;
         self
     }
 
     /// Injects deterministic failures into the listed trial indices
     /// (`METALEAK_FAIL_TRIAL`) — every attempt of those trials panics.
     pub fn with_injected_failures(mut self, trials: Vec<usize>) -> Self {
-        self.policy.inject = trials;
+        self.settings.policy.inject = trials;
         self
     }
 
@@ -378,7 +457,25 @@ impl Experiment {
 
     /// The worker-thread count trials will fan out over.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.settings.threads
+    }
+
+    /// The run settings this experiment executes under.
+    pub fn settings(&self) -> &RunSettings {
+        &self.settings
+    }
+
+    /// Resolves the artifact sink directory (creating it):
+    /// `settings.out_dir` when pinned, otherwise the process-wide
+    /// [`crate::try_out_dir`] resolution.
+    fn resolve_out_dir(&self) -> Result<PathBuf, ArtifactError> {
+        match &self.settings.out_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| ArtifactError::new("create", dir, e))?;
+                Ok(dir.clone())
+            }
+            None => crate::try_out_dir(),
+        }
     }
 
     /// An auxiliary RNG stream shared by all trials (see the module
@@ -402,8 +499,15 @@ impl Experiment {
         let stage = self.stage.fetch_add(1, Ordering::SeqCst);
         let (journal, prefill) = self.open_journal::<T>(stage, n);
         let on_fresh = journal_hook(&journal);
-        let outcomes =
-            run_supervised(n, self.seed, self.threads, &self.policy, prefill, &on_fresh, f);
+        let outcomes = run_supervised(
+            n,
+            self.seed,
+            self.settings.threads,
+            &self.settings.policy,
+            prefill,
+            &on_fresh,
+            f,
+        );
         self.record_failures(&outcomes);
         outcomes
     }
@@ -418,13 +522,13 @@ impl Experiment {
         stage: usize,
         n: usize,
     ) -> (Option<Journal>, BTreeMap<usize, TrialOutcome<T>>) {
-        if !self.journal {
+        if !self.settings.journal {
             return (None, BTreeMap::new());
         }
-        let dir = match crate::try_out_dir() {
+        let dir = match self.resolve_out_dir() {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("warning: {e}; checkpointing disabled");
+                crate::diag::warn(&format!("{e}; checkpointing disabled"));
                 return (None, BTreeMap::new());
             }
         };
@@ -441,9 +545,9 @@ impl Experiment {
             .field("stage", stage)
             .field("seed", self.seed)
             .field("trials", n)
-            .field("quick", quick_mode())
-            .field("sharing", crate::snapshot_sharing())
-            .field("traced", crate::trace_enabled())
+            .field("quick", self.settings.quick)
+            .field("sharing", self.settings.sharing)
+            .field("traced", self.settings.trace)
             .build();
         match Journal::open(&path, &header) {
             Ok((journal, rows)) => {
@@ -469,10 +573,10 @@ impl Experiment {
                 (Some(journal), prefill)
             }
             Err(e) => {
-                eprintln!(
-                    "warning: cannot open journal {}: {e}; checkpointing disabled",
+                crate::diag::warn(&format!(
+                    "cannot open journal {}: {e}; checkpointing disabled",
                     path.display()
-                );
+                ));
                 (None, BTreeMap::new())
             }
         }
@@ -487,6 +591,16 @@ impl Experiment {
                 sink.push(f.clone());
             }
         }
+    }
+
+    /// Registers one trial failure directly — for callers that run
+    /// trials through [`crate::supervisor::supervise`] on their own
+    /// scheduler (e.g. a work-stealing pool sharing workers across
+    /// experiments) rather than [`Experiment::run_trials`].
+    /// [`Experiment::finish`] merges it into the artifacts exactly
+    /// like a harness-recorded failure.
+    pub fn note_failure(&self, failure: TrialFailure) {
+        lock_ignoring_poison(&self.failures).push(failure);
     }
 
     /// The RNG stream feeding sweep point `point`'s warmup closure (see
@@ -515,7 +629,7 @@ impl Experiment {
     where
         W: Fn(&mut SimRng, usize) -> S + Sync,
     {
-        Warmup { exp: self, points, warmup, sharing: crate::snapshot_sharing() }
+        Warmup { exp: self, points, warmup, sharing: self.settings.sharing }
     }
 
     /// Writes the result sink: `<name>.jsonl` (one deterministic row
@@ -541,7 +655,7 @@ impl Experiment {
     /// written; bins surface it and exit 1 via [`crate::conclude`].
     pub fn finish(self, trials: &[Trial]) -> Result<ExperimentReport, ArtifactError> {
         let wall_clock = self.started.elapsed();
-        let dir = crate::try_out_dir()?;
+        let dir = self.resolve_out_dir()?;
 
         let mut failures = self.failures.into_inner().unwrap_or_else(PoisonError::into_inner);
         failures.sort_by_key(|f| f.trial);
@@ -594,13 +708,13 @@ impl Experiment {
         let mut meta_obj = JsonObj::new()
             .field("experiment", self.name.as_str())
             .field("seed", self.seed)
-            .field("threads", self.threads)
+            .field("threads", self.settings.threads)
             .field("trials", rows.len())
             .field("rows", rows.len())
             .field("failed", failures.len())
             .field("complete", true)
-            .field("quick_mode", quick_mode())
-            .field("snapshot_sharing", crate::snapshot_sharing());
+            .field("quick_mode", self.settings.quick)
+            .field("snapshot_sharing", self.settings.sharing);
         if !failures.is_empty() {
             meta_obj = meta_obj.field("degraded", true).field(
                 "failed_trials",
@@ -630,7 +744,7 @@ impl Experiment {
             self.name,
             rows.len(),
             failures.len(),
-            self.threads,
+            self.settings.threads,
             wall_clock.as_millis(),
             jsonl.display()
         );
@@ -733,8 +847,8 @@ impl<W> Warmup<'_, W> {
             let warm_outcomes = run_supervised(
                 self.points,
                 exp.seed,
-                exp.threads,
-                &exp.policy,
+                exp.settings.threads,
+                &exp.settings.policy,
                 skip,
                 &silent,
                 |_, p| {
@@ -774,23 +888,39 @@ impl<W> Warmup<'_, W> {
                 }
             }
             let on_fresh = journal_hook(&journal);
-            run_supervised(n, exp.seed, exp.threads, &exp.policy, prefill, &on_fresh, |rng, i| {
-                let p = i / trials_per_point;
-                let state = states[p].as_ref().expect("missing trial implies a warmed point");
-                f(state, rng, i)
-            })
+            run_supervised(
+                n,
+                exp.seed,
+                exp.settings.threads,
+                &exp.settings.policy,
+                prefill,
+                &on_fresh,
+                |rng, i| {
+                    let p = i / trials_per_point;
+                    let state = states[p].as_ref().expect("missing trial implies a warmed point");
+                    f(state, rng, i)
+                },
+            )
         } else {
             let on_fresh = journal_hook(&journal);
-            run_supervised(n, exp.seed, exp.threads, &exp.policy, prefill, &on_fresh, |rng, i| {
-                let p = i / trials_per_point;
-                let mut wrng = exp.warmup_stream(p as u64);
-                let state = (self.warmup)(&mut wrng, p);
-                // Give the trial body the same fresh cycle budget it
-                // gets in sharing mode (where warmup and trial run as
-                // separate supervised attempts).
-                metaleak_sim::watchdog::rearm();
-                f(&state, rng, i)
-            })
+            run_supervised(
+                n,
+                exp.seed,
+                exp.settings.threads,
+                &exp.settings.policy,
+                prefill,
+                &on_fresh,
+                |rng, i| {
+                    let p = i / trials_per_point;
+                    let mut wrng = exp.warmup_stream(p as u64);
+                    let state = (self.warmup)(&mut wrng, p);
+                    // Give the trial body the same fresh cycle budget it
+                    // gets in sharing mode (where warmup and trial run as
+                    // separate supervised attempts).
+                    metaleak_sim::watchdog::rearm();
+                    f(&state, rng, i)
+                },
+            )
         };
         exp.record_failures(&outcomes);
         outcomes
@@ -827,6 +957,63 @@ mod tests {
     fn trials_return_in_index_order() {
         let out = run_trials(16, 7, 4, |_, i| i * 10);
         assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_settings_pin_the_sink_and_stamp_the_commit_record() {
+        // The in-process path: no environment reads, artifacts land in
+        // the pinned directory, and the commit record reflects the
+        // injected settings rather than any METALEAK_* value.
+        let dir = std::env::temp_dir().join(format!("metaleak_settings_{}", std::process::id()));
+        let settings = RunSettings {
+            threads: 2,
+            out_dir: Some(dir.clone()),
+            quick: false,
+            sharing: false,
+            journal: false,
+            ..RunSettings::default()
+        };
+        let exp = Experiment::with_settings("settings_unit", 11, settings);
+        assert_eq!(exp.threads(), 2);
+        assert!(!exp.settings().sharing);
+        let out = values(exp.run_trials(3, |rng, _| rng.next_u64()));
+        assert_eq!(out.len(), 3);
+        let report =
+            exp.finish(&[Trial::new(0).field("x", 1u64)]).expect("finish into pinned directory");
+        assert!(report.jsonl.starts_with(&dir), "{:?}", report.jsonl);
+        let meta = std::fs::read_to_string(&report.meta).expect("meta");
+        assert!(meta.contains("\"quick_mode\":false"), "{meta}");
+        assert!(meta.contains("\"snapshot_sharing\":false"), "{meta}");
+        assert!(meta.contains("\"threads\":2"), "{meta}");
+        assert!(
+            !dir.join("settings_unit.journal.jsonl").exists(),
+            "journal=false must skip checkpointing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn note_failure_reaches_the_artifacts() {
+        // External schedulers (the serve worker pool) run trials via
+        // supervisor::supervise directly and register failures here.
+        let dir = std::env::temp_dir().join(format!("metaleak_notef_{}", std::process::id()));
+        let settings =
+            RunSettings { out_dir: Some(dir.clone()), journal: false, ..RunSettings::default() };
+        let exp = Experiment::with_settings("note_failure_unit", 4, settings);
+        exp.note_failure(TrialFailure {
+            trial: 1,
+            attempts: 1,
+            kind: FailureKind::Panic,
+            error: "poolside panic".to_owned(),
+            backtrace: None,
+        });
+        let report = exp.finish(&[Trial::new(0).field("x", 7u64)]).expect("finish");
+        assert_eq!(report.failures.len(), 1);
+        let body = std::fs::read_to_string(&report.jsonl).expect("jsonl");
+        assert!(body.lines().nth(1).unwrap().contains("\"failed\":true"), "{body}");
+        let meta = std::fs::read_to_string(&report.meta).expect("meta");
+        assert!(meta.contains("\"degraded\":true"), "{meta}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod harness;
 pub mod json;
 pub mod supervisor;
@@ -253,21 +254,17 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Result<PathBuf, A
     Ok(path)
 }
 
-/// Emits a one-line stderr warning for an unparsable environment
-/// value, naming the variable, the offending value and the fallback —
-/// once per variable per process, so hot helpers like [`scaled`] don't
-/// spam.
+/// Emits a one-line warning for an unparsable environment value
+/// through the [`diag`] sink (stderr when none is installed), naming
+/// the variable, the offending value and the fallback — once per
+/// variable per diagnostics context, so hot helpers like [`scaled`]
+/// don't spam while every server job still gets its own attributed
+/// copy.
 pub(crate) fn warn_env_once(name: &str, value: &str, expected: &str, fallback: &str) {
-    use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock, PoisonError};
-    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
-    let mut warned = WARNED
-        .get_or_init(|| Mutex::new(HashSet::new()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    if warned.insert(name.to_owned()) {
-        eprintln!("warning: ignoring {name}={value:?} (expected {expected}); using {fallback}");
-    }
+    diag::warn_once(
+        name,
+        &format!("ignoring {name}={value:?} (expected {expected}); using {fallback}"),
+    );
 }
 
 /// Reads an unsigned-integer environment knob. Unset or empty →

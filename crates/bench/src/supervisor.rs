@@ -757,10 +757,10 @@ impl Journal {
                 if let Some(old) = first.and_then(|l| Json::parse(l).ok()) {
                     Self::check_state_shape(path, &old, header)?;
                 }
-                eprintln!(
-                    "warning: {} belongs to a different run configuration; starting fresh",
+                crate::diag::warn(&format!(
+                    "{} belongs to a different run configuration; starting fresh",
                     path.display()
-                );
+                ));
             }
         }
         // Rewrite the recovered prefix so the append handle never
@@ -822,10 +822,10 @@ impl Journal {
         let Some(file) = guard.as_mut() else { return };
         let ok = writeln!(file, "{}", entry.render()).and_then(|()| file.sync_data());
         if let Err(e) = ok {
-            eprintln!(
-                "warning: journal write to {} failed ({e}); disabling checkpointing for this run",
+            crate::diag::warn(&format!(
+                "journal write to {} failed ({e}); disabling checkpointing for this run",
                 self.path.display()
-            );
+            ));
             *guard = None;
         }
     }

@@ -1,0 +1,86 @@
+//! `metaleak-serve` — the leakage-assessment service binary.
+//!
+//! ```text
+//! metaleak-serve [--addr HOST:PORT] [--workers N]
+//!                [--queue-capacity N] [--tenant-quota N]
+//!                [--cache-dir DIR]
+//! ```
+//!
+//! Starts the sweep farm and serves the job API until killed. See the
+//! crate docs ([`metaleak_serve`]) for the endpoints and
+//! `DESIGN.md` §11 for the architecture.
+
+use metaleak_serve::http::HttpServer;
+use metaleak_serve::service::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: metaleak-serve [--addr HOST:PORT] [--workers N] \
+         [--queue-capacity N] [--tenant-quota N] [--cache-dir DIR]"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:8991".to_owned();
+    let mut cfg = ServerConfig::new(PathBuf::from("target/serve-cache"));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("metaleak-serve: {flag} needs a value");
+                usage()
+            })
+        };
+        let parsed = |flag: &str, v: String| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("metaleak-serve: {flag} needs an integer");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => cfg.workers = parsed("--workers", value("--workers")),
+            "--queue-capacity" => {
+                cfg.queue_capacity = parsed("--queue-capacity", value("--queue-capacity"))
+            }
+            "--tenant-quota" => {
+                cfg.tenant_quota = parsed("--tenant-quota", value("--tenant-quota"))
+            }
+            "--cache-dir" => cfg.cache_dir = PathBuf::from(value("--cache-dir")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("metaleak-serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(cfg.clone()) {
+        Ok(server) => Arc::new(server),
+        Err(e) => {
+            eprintln!("metaleak-serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let http = match HttpServer::bind(&addr, Arc::clone(&server)) {
+        Ok(http) => http,
+        Err(e) => {
+            eprintln!("metaleak-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "metaleak-serve: listening on http://{} ({} worker(s), queue {}, quota {}/tenant, cache {})",
+        http.addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.tenant_quota,
+        cfg.cache_dir.display()
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,241 @@
+//! The content-addressed artifact cache.
+//!
+//! One directory per content key (`<root>/<digest>/`) holding the
+//! experiment's `<name>.jsonl`, `<name>.meta.json` and the server's
+//! `report.json`. `report.json` doubles as the cache's own commit
+//! record: it is written strictly after the experiment artifacts, so
+//! a directory containing it is complete by construction — the same
+//! write-last discipline the harness uses for its meta sidecar.
+//! [`ArtifactCache::open`] rescans the root on startup, readmitting
+//! committed entries and sweeping partial ones, which makes the cache
+//! durable across server restarts.
+//!
+//! In-flight deduplication happens in the in-memory index: the first
+//! reservation for a key becomes the *leader* (it executes the
+//! sweep); identical reservations arriving before the leader commits
+//! *attach* as waiters and are completed or failed together with it.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
+
+/// What a reservation attempt resolved to.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Reservation {
+    /// The artifacts are committed on disk; serve them from this
+    /// directory without executing anything.
+    Hit(PathBuf),
+    /// The caller is the leader: it must run the sweep into
+    /// [`ArtifactCache::dir`] and then [`ArtifactCache::commit`] or
+    /// [`ArtifactCache::fail`] the key.
+    Lead(PathBuf),
+    /// An identical execution is in flight; the caller was attached
+    /// as a waiter and will be resolved by the leader's commit/fail.
+    Wait,
+}
+
+enum Entry {
+    Building { waiters: Vec<u64> },
+    Ready,
+}
+
+/// A content-addressed, restart-durable artifact store with in-flight
+/// request coalescing.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    index: Mutex<HashMap<String, Entry>>,
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Entry::Building { waiters } => write!(f, "Building({} waiters)", waiters.len()),
+            Entry::Ready => write!(f, "Ready"),
+        }
+    }
+}
+
+fn valid_digest(digest: &str) -> bool {
+    digest.len() == 64 && digest.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl ArtifactCache {
+    /// Opens (creating) the cache root and rescans it: subdirectories
+    /// with a committed `report.json` become ready entries, partial
+    /// ones (a crash between artifact and commit writes) are removed.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let mut index = HashMap::new();
+        for entry in std::fs::read_dir(&root)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !entry.file_type()?.is_dir() || !valid_digest(&name) {
+                continue;
+            }
+            if entry.path().join("report.json").is_file() {
+                index.insert(name, Entry::Ready);
+            } else {
+                // No commit record: sweep the torn leftovers so a
+                // future lease starts from an empty directory.
+                let _ = std::fs::remove_dir_all(entry.path());
+            }
+        }
+        Ok(ArtifactCache { root, index: Mutex::new(index) })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Entry>> {
+        self.index.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The artifact directory for a content key.
+    pub fn dir(&self, digest: &str) -> PathBuf {
+        self.root.join(digest)
+    }
+
+    /// Number of committed entries.
+    pub fn ready_entries(&self) -> usize {
+        self.lock().values().filter(|e| matches!(e, Entry::Ready)).count()
+    }
+
+    /// A non-reserving lookup: the committed directory, when `digest`
+    /// is ready. The fast path for serving cache hits without
+    /// touching admission.
+    pub fn peek(&self, digest: &str) -> Option<PathBuf> {
+        match self.lock().get(digest) {
+            Some(Entry::Ready) => Some(self.dir(digest)),
+            _ => None,
+        }
+    }
+
+    /// Resolves `digest` for job `job_id`: a committed entry is a
+    /// [`Reservation::Hit`], an in-flight one attaches the job as a
+    /// waiter ([`Reservation::Wait`]), and a vacant one makes the job
+    /// the leader ([`Reservation::Lead`]).
+    pub fn reserve(&self, digest: &str, job_id: u64) -> Reservation {
+        let mut index = self.lock();
+        match index.get_mut(digest) {
+            Some(Entry::Ready) => Reservation::Hit(self.dir(digest)),
+            Some(Entry::Building { waiters }) => {
+                waiters.push(job_id);
+                Reservation::Wait
+            }
+            None => {
+                index.insert(digest.to_owned(), Entry::Building { waiters: Vec::new() });
+                Reservation::Lead(self.dir(digest))
+            }
+        }
+    }
+
+    /// Commits a led entry: the artifacts (including `report.json`)
+    /// are on disk. Returns the attached waiter job ids, which the
+    /// caller completes against the same directory.
+    pub fn commit(&self, digest: &str) -> Vec<u64> {
+        let mut index = self.lock();
+        match index.insert(digest.to_owned(), Entry::Ready) {
+            Some(Entry::Building { waiters }) => waiters,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Abandons a led entry (execution or admission failure): the key
+    /// is vacated so a later submission can lead again, the partial
+    /// directory is swept, and the attached waiters are returned for
+    /// the caller to fail.
+    pub fn fail(&self, digest: &str) -> Vec<u64> {
+        let waiters = {
+            let mut index = self.lock();
+            match index.get(digest) {
+                // Failing a committed key would be a caller bug; keep
+                // the committed artifacts.
+                Some(Entry::Ready) => return Vec::new(),
+                Some(Entry::Building { .. }) => match index.remove(digest) {
+                    Some(Entry::Building { waiters }) => waiters,
+                    _ => unreachable!("entry kind checked under the same lock"),
+                },
+                None => Vec::new(),
+            }
+        };
+        let _ = std::fs::remove_dir_all(self.dir(digest));
+        waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> String {
+        let mut s = String::new();
+        for _ in 0..32 {
+            s.push_str(&format!("{tag:02x}"));
+        }
+        s
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaleak_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lead_commit_hit_lifecycle() {
+        let root = scratch("lifecycle");
+        let cache = ArtifactCache::open(&root).unwrap();
+        let d = digest(0xaa);
+        let Reservation::Lead(dir) = cache.reserve(&d, 1) else {
+            panic!("first reservation must lead");
+        };
+        // Two identical submissions attach while the leader runs.
+        assert_eq!(cache.reserve(&d, 2), Reservation::Wait);
+        assert_eq!(cache.reserve(&d, 3), Reservation::Wait);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("report.json"), "{}").unwrap();
+        assert_eq!(cache.commit(&d), vec![2, 3]);
+        assert_eq!(cache.reserve(&d, 4), Reservation::Hit(dir));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fail_vacates_and_returns_waiters() {
+        let root = scratch("fail");
+        let cache = ArtifactCache::open(&root).unwrap();
+        let d = digest(0xbb);
+        let Reservation::Lead(dir) = cache.reserve(&d, 1) else { panic!("lead") };
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("partial.jsonl"), "torn").unwrap();
+        assert_eq!(cache.reserve(&d, 2), Reservation::Wait);
+        assert_eq!(cache.fail(&d), vec![2]);
+        assert!(!dir.exists(), "failed lease must sweep its partial directory");
+        // The key is leasable again.
+        assert!(matches!(cache.reserve(&d, 3), Reservation::Lead(_)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_readmits_committed_and_sweeps_partial_entries() {
+        let root = scratch("reopen");
+        let committed = digest(0xcc);
+        let torn = digest(0xdd);
+        {
+            let cache = ArtifactCache::open(&root).unwrap();
+            for (d, commit) in [(&committed, true), (&torn, false)] {
+                let Reservation::Lead(dir) = cache.reserve(d, 1) else { panic!("lead") };
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(dir.join("x.jsonl"), "rows").unwrap();
+                if commit {
+                    std::fs::write(dir.join("report.json"), "{}").unwrap();
+                    cache.commit(d);
+                }
+            }
+        }
+        let cache = ArtifactCache::open(&root).unwrap();
+        assert_eq!(cache.ready_entries(), 1);
+        assert!(matches!(cache.reserve(&committed, 9), Reservation::Hit(_)));
+        assert!(matches!(cache.reserve(&torn, 9), Reservation::Lead(_)));
+        assert!(!root.join(&torn).join("x.jsonl").exists(), "torn entry must be swept");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

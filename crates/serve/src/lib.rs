@@ -1,0 +1,53 @@
+//! `metaleak-serve` — leakage assessment as a service.
+//!
+//! A self-contained sweep farm: clients POST covert-channel sweep
+//! specifications as JSON, a work-stealing worker pool shards the
+//! sweep points across threads (each point warms one
+//! [`metaleak_engine::snapshot::Snapshot`] and forks it per trial),
+//! trials run under the [`metaleak_bench::supervisor`] so a panicking
+//! trial degrades its job instead of the server, and the finished
+//! artifacts — the same `<name>.jsonl` / `<name>.meta.json` commit
+//! records the figure binaries emit — land in a content-addressed
+//! cache keyed on the canonical spec, its seed streams and the
+//! engine's [`metaleak_engine::STATE_SHAPE`] tag. Resubmitting an
+//! identical spec (any tenant) is served from the cache with zero
+//! trials executed and byte-identical artifacts; submitting while the
+//! identical job is still running attaches to the in-flight execution
+//! instead of duplicating it.
+//!
+//! The front end is a hand-rolled HTTP/1.1 server on
+//! [`std::net::TcpListener`] (the workspace has no external
+//! dependencies):
+//!
+//! | endpoint | behaviour |
+//! |---|---|
+//! | `POST /jobs` | submit a sweep spec; `202` with the job id, `400` on an invalid spec, `429` under backpressure |
+//! | `GET /jobs/:id` | job status (queued/running/done/degraded/failed, trial counts, warnings) |
+//! | `GET /jobs/:id/report` | the in-process `leakscan` report plus the typed gate verdict |
+//! | `GET /jobs/:id/artifact/:kind` | raw cached artifact bytes (`jsonl`, `meta`, `report`) |
+//! | `GET /metrics` | service counters (submissions, cache hits, trials run, rejections) |
+//!
+//! Backpressure is explicit: a bounded admission queue (`429` with
+//! `"reason":"queue-full"`) and per-tenant in-flight quotas (`429`
+//! with `"reason":"tenant-quota"`, keyed on the `X-Tenant` header).
+//!
+//! Layering: [`spec`] parses and canonicalizes sweep specifications,
+//! [`pool`] is the work-stealing thread pool, [`cache`] the
+//! content-addressed artifact store, [`service`] the job registry and
+//! execution engine tying them together, [`http`] the wire front end,
+//! and [`metrics`] the counters. Everything except [`http`] is usable
+//! in-process — the integration tests drive [`service::Server`]
+//! directly as well as over a socket.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+pub mod spec;
+
+pub use service::{Server, ServerConfig, SubmitError};
+pub use spec::SweepSpec;

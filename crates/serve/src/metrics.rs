@@ -1,0 +1,84 @@
+//! Service counters, exposed on `GET /metrics`.
+//!
+//! Plain relaxed atomics: every counter is monotonic and independent,
+//! so readers tolerate slight skew between fields — the endpoint is a
+//! monitoring surface, not a consistency protocol.
+
+use metaleak_bench::json::{Json, JsonObj};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing everything the server has done.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted by `POST /jobs` (after validation, including
+    /// cache hits and dedup attaches).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that reached `done` or `degraded`.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed outright (artifact or scan errors).
+    pub jobs_failed: AtomicU64,
+    /// Submissions served entirely from the completed artifact cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions attached to an identical in-flight execution.
+    pub dedup_attached: AtomicU64,
+    /// Supervised trial executions (attempts that ran a trial body;
+    /// zero for cached or attached submissions).
+    pub trials_run: AtomicU64,
+    /// Sweep points executed (warmup + trial fan-out).
+    pub points_run: AtomicU64,
+    /// Submissions rejected because the admission queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Submissions rejected by the per-tenant in-flight quota.
+    pub rejected_tenant_quota: AtomicU64,
+    /// Submissions rejected as invalid (unparsable or out-of-bounds
+    /// specs).
+    pub rejected_invalid: AtomicU64,
+    /// HTTP requests handled (any route, any status).
+    pub http_requests: AtomicU64,
+}
+
+impl Metrics {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as one flat JSON object.
+    pub fn to_json(&self) -> Json {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        JsonObj::new()
+            .field("jobs_submitted", get(&self.jobs_submitted))
+            .field("jobs_completed", get(&self.jobs_completed))
+            .field("jobs_failed", get(&self.jobs_failed))
+            .field("cache_hits", get(&self.cache_hits))
+            .field("dedup_attached", get(&self.dedup_attached))
+            .field("trials_run", get(&self.trials_run))
+            .field("points_run", get(&self.points_run))
+            .field("rejected_queue_full", get(&self.rejected_queue_full))
+            .field("rejected_tenant_quota", get(&self.rejected_tenant_quota))
+            .field("rejected_invalid", get(&self.rejected_invalid))
+            .field("http_requests", get(&self.http_requests))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_flat() {
+        let m = Metrics::default();
+        Metrics::bump(&m.jobs_submitted);
+        Metrics::add(&m.trials_run, 5);
+        let json = m.to_json();
+        assert_eq!(json.get("jobs_submitted").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("trials_run").and_then(Json::as_u64), Some(5));
+        assert_eq!(json.get("cache_hits").and_then(Json::as_u64), Some(0));
+    }
+}

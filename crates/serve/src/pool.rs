@@ -1,0 +1,256 @@
+//! A work-stealing worker pool on plain `std::thread`.
+//!
+//! One double-ended queue per worker: [`WorkerPool::submit`] deals
+//! tasks round-robin across the shards, each worker pops from the
+//! front of its own shard and, when empty, steals from the *back* of
+//! the other shards — so a worker stuck on a slow sweep point cannot
+//! strand the tasks queued behind it while its peers idle.
+//!
+//! Tasks run under `catch_unwind`: a panicking task (the supervisor
+//! already isolates trial bodies, so this is a second fence around
+//! the job glue itself) is counted and dropped, and the worker keeps
+//! serving. A pool built with zero workers accepts tasks but never
+//! runs them — the backpressure tests use this to fill the admission
+//! queue deterministically.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Shared {
+    /// One deque per worker; a zero-worker pool keeps a single shard
+    /// so submissions still have somewhere to queue.
+    shards: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks submitted but not yet started.
+    pending: AtomicUsize,
+    /// Pool is shutting down; workers drain their shards and exit.
+    shutdown: AtomicBool,
+    /// Round-robin dealing cursor.
+    next: AtomicUsize,
+    /// Tasks whose closure panicked through the `catch_unwind` fence.
+    panicked: AtomicU64,
+    /// Sleep/wake signal for idle workers.
+    signal: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("pending", &self.shared.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads. Zero is allowed: tasks queue forever
+    /// (until the pool is dropped), which tests use to hold the
+    /// admission queue full.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            shards: (0..workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            next: AtomicUsize::new(0),
+            panicked: AtomicU64::new(0),
+            signal: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Tasks submitted but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that panicked through the worker fence.
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Queues a task on the next shard (round-robin).
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        let shard = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        self.submit_to(shard, task);
+    }
+
+    /// Queues a task on a specific shard — exposed so tests can force
+    /// an imbalance and observe stealing.
+    pub fn submit_to(&self, shard: usize, task: impl FnOnce() + Send + 'static) {
+        let shard = shard % self.shared.shards.len();
+        lock(&self.shared.shards[shard]).push_back(Box::new(task));
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        let _guard = lock(&self.shared.signal);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains: workers finish every queued task, then exit.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = lock(&self.shared.signal);
+            self.shared.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    loop {
+        match take_task(shared, w) {
+            Some(task) => {
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    shared.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Timed wait bounds any lost-wakeup window; the
+                // condvar is the fast path, the timeout the backstop.
+                let guard = lock(&shared.signal);
+                let _ = shared.cv.wait_timeout(guard, Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Pops from the worker's own shard front, else steals from the back
+/// of the other shards (oldest-first victims).
+fn take_task(shared: &Shared, w: usize) -> Option<Task> {
+    if let Some(task) = lock(&shared.shards[w]).pop_front() {
+        return Some(task);
+    }
+    let n = shared.shards.len();
+    for off in 1..n {
+        if let Some(task) = lock(&shared.shards[(w + off) % n]).pop_back() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_tasks_run_and_drop_drains() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(3);
+            for _ in 0..50 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins after draining
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_shard() {
+        // Every task is pinned to shard 0 of a two-worker pool. The
+        // blocker parks whichever worker grabs it until all probes
+        // are done, so worker 0 cannot run all 13 tasks by itself —
+        // at least one task must execute on worker 1, and any shard-0
+        // task on worker 1 is by definition a steal.
+        let pool = WorkerPool::new(2);
+        let ran_on: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(AtomicBool::new(false));
+        let (g, names) = (gate.clone(), ran_on.clone());
+        pool.submit_to(0, move || {
+            names.lock().unwrap().push(std::thread::current().name().unwrap_or("?").to_owned());
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        for _ in 0..12 {
+            let names = ran_on.clone();
+            pool.submit_to(0, move || {
+                names.lock().unwrap().push(std::thread::current().name().unwrap_or("?").to_owned());
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ran_on.lock().unwrap().len() < 13 {
+            assert!(std::time::Instant::now() < deadline, "steals never happened");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        gate.store(true, Ordering::SeqCst);
+        let names = ran_on.lock().unwrap();
+        assert!(
+            names.iter().any(|n| n != "serve-worker-0"),
+            "shard 0's tasks all ran on its owner: {names:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_task_is_counted_and_worker_survives() {
+        let pool = WorkerPool::new(1);
+        let after = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("task panic"));
+        let a = after.clone();
+        pool.submit(move || {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while after.load(Ordering::SeqCst) == 0 {
+            assert!(std::time::Instant::now() < deadline, "worker died after panic");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    #[test]
+    fn zero_worker_pool_queues_without_running() {
+        let pool = WorkerPool::new(0);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        pool.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.pending(), 1);
+    }
+}
