@@ -9,6 +9,13 @@
 //! for `K` occupied joint cells and `Kc`/`Kv` occupied marginals
 //! (Miller 1955); we subtract that correction and clamp at zero.
 
+/// The cross-check floor used when MI corroborates a TVLA verdict:
+/// below this many bias-corrected bits per observation, a large |t| is
+/// treated as a distribution-shape artifact rather than an exploitable
+/// channel. `leakfuzz` requires `|t| > 4.5` *and* `bits >= MI_FLOOR`
+/// before a candidate enters the corpus.
+pub const MI_FLOOR: f64 = 0.01;
+
 /// A mutual-information estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MiEstimate {

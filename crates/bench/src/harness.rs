@@ -165,6 +165,20 @@ pub fn default_threads() -> usize {
 /// (after all workers finish their current trial). Experiment sweeps
 /// go through [`Experiment::run_trials`], which adds isolation, retry
 /// and journaling.
+///
+/// # Example
+///
+/// ```
+/// use metaleak_bench::harness::run_trials;
+///
+/// // Each trial draws from its own pre-split stream, so the results
+/// // are bit-identical for any worker-thread count.
+/// let body = |rng: &mut metaleak_sim::rng::SimRng, i: usize| (i, rng.next_u64());
+/// let serial = run_trials(4, 0xC0FFEE, 1, body);
+/// let parallel = run_trials(4, 0xC0FFEE, 4, body);
+/// assert_eq!(serial, parallel);
+/// assert_eq!(serial.len(), 4);
+/// ```
 pub fn run_trials<T, F>(n: usize, seed: u64, threads: usize, f: F) -> Vec<T>
 where
     T: Send,

@@ -30,7 +30,7 @@
 //!   ids live above [`harness::AUX_STREAM_BASE`] and cannot collide
 //!   with trial ids.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod diag;
 pub mod harness;

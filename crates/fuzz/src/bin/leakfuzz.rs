@@ -1,0 +1,219 @@
+//! `leakfuzz` — automated channel discovery over the configuration ×
+//! victim × interference space.
+//!
+//! ```text
+//! leakfuzz campaign [--seed N] [--candidates N] [--batch N] [--trials N]
+//!                   [--space full|sct-counter|mirage] [--out DIR]
+//!                   [--threads N] [--min-findings N] [--fail-candidate I]...
+//! leakfuzz replay <file.repro.json> [--out DIR] [--threads N] [--require-leak]
+//! ```
+//!
+//! Exit codes: 0 — done; 1 — usage or I/O error; 2 — a required
+//! condition failed (`--min-findings` unmet, or `--require-leak` on a
+//! replay whose verdict came back clean).
+
+use metaleak_bench::supervisor::SupervisorPolicy;
+use metaleak_fuzz::campaign::{self, CampaignSettings};
+use metaleak_fuzz::emit::{self, Reproducer};
+use metaleak_fuzz::mutate::{self, SPACE_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Default campaign seed: an arbitrary fixed constant so bare
+/// `leakfuzz campaign` runs are reproducible across hosts.
+const DEFAULT_SEED: u64 = 0xF022_0001;
+const DEFAULT_CANDIDATES: usize = 48;
+const DEFAULT_BATCH: usize = 8;
+const DEFAULT_TRIALS: usize = 4;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: leakfuzz campaign [--seed N] [--candidates N] [--batch N] [--trials N]\n\
+         \x20                        [--space {}] [--out DIR] [--threads N]\n\
+         \x20                        [--min-findings N] [--fail-candidate I]...\n\
+         \x20      leakfuzz replay <file.repro.json> [--out DIR] [--threads N] [--require-leak]",
+        SPACE_NAMES.join("|")
+    );
+    std::process::exit(1);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a valid value, got {value:?}");
+        std::process::exit(1);
+    })
+}
+
+/// Campaign seeds read naturally in hex (`0xF0220001`) or decimal.
+fn parse_seed(value: &str) -> u64 {
+    let parsed = match value.strip_prefix("0x").or_else(|| value.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("error: --seed expects a u64 (decimal or 0x-hex), got {value:?}");
+        std::process::exit(1);
+    })
+}
+
+fn run_campaign(args: &[String]) -> ExitCode {
+    let mut seed = DEFAULT_SEED;
+    let mut candidates = DEFAULT_CANDIDATES;
+    let mut batch = DEFAULT_BATCH;
+    let mut trials = DEFAULT_TRIALS;
+    let mut space_name = "full".to_owned();
+    let mut out: Option<PathBuf> = None;
+    let mut threads = metaleak_bench::harness::default_threads();
+    let mut min_findings = 0usize;
+    let mut fail_candidates: Vec<usize> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} expects a value");
+                std::process::exit(1);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => seed = parse_seed(&value("--seed")),
+            "--candidates" => candidates = parse("--candidates", &value("--candidates")),
+            "--batch" => batch = parse::<usize>("--batch", &value("--batch")).max(1),
+            "--trials" => trials = parse::<usize>("--trials", &value("--trials")).max(1),
+            "--space" => space_name = value("--space"),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--threads" => threads = parse::<usize>("--threads", &value("--threads")).max(1),
+            "--min-findings" => min_findings = parse("--min-findings", &value("--min-findings")),
+            "--fail-candidate" => {
+                fail_candidates.push(parse("--fail-candidate", &value("--fail-candidate")));
+            }
+            _ => usage(),
+        }
+    }
+
+    let Some(space) = mutate::space(&space_name) else {
+        eprintln!("error: unknown space {space_name:?} (expected {})", SPACE_NAMES.join(" | "));
+        return ExitCode::from(1);
+    };
+    let out_dir = match out {
+        Some(dir) => dir,
+        None => match metaleak_bench::try_out_dir() {
+            Ok(dir) => dir.join("leakfuzz"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+
+    let settings = CampaignSettings {
+        seed,
+        candidates,
+        batch,
+        trials,
+        threads,
+        out_dir,
+        space,
+        policy: SupervisorPolicy::from_env(),
+        fail_candidates,
+    };
+    let report = match campaign::run(&settings) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "campaign seed {:#x} over {:?}: {} candidates ({} evaluated, {} replayed), \
+         {} degraded, {} fresh hits, {} findings",
+        settings.seed,
+        settings.space.name,
+        report.candidates,
+        report.evaluated,
+        report.replayed,
+        report.degraded,
+        report.hits,
+        report.findings,
+    );
+    println!("findings: {}", report.findings_path.display());
+    if report.findings < min_findings {
+        eprintln!(
+            "error: campaign found {} finding(s), --min-findings requires {}",
+            report.findings, min_findings
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_replay(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut threads = metaleak_bench::harness::default_threads();
+    let mut require_leak = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} expects a value");
+                std::process::exit(1);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--threads" => threads = parse::<usize>("--threads", &value("--threads")).max(1),
+            "--require-leak" => require_leak = true,
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let rep = match Reproducer::load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot load {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    };
+    let out_dir = match out {
+        Some(dir) => dir,
+        None => path.parent().map(PathBuf::from).unwrap_or_else(|| PathBuf::from(".")),
+    };
+    let outcome = match emit::replay(&rep, &out_dir, threads, &SupervisorPolicy::from_env()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "{}: t = {:.2}, mi = {:.4} bits, {} samples, {} failed trial(s) -> {}",
+        outcome.name,
+        outcome.verdict.t,
+        outcome.verdict.mi_bits,
+        outcome.samples,
+        outcome.failed_trials,
+        if outcome.verdict.leak { "LEAK" } else { "clean" },
+    );
+    for (category, cycles) in outcome.attribution.iter().take(8) {
+        println!("  {category}: {cycles} cycles");
+    }
+    if require_leak && !outcome.verdict.leak {
+        eprintln!("error: --require-leak but the replayed verdict is clean");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("campaign") => run_campaign(&args[1..]),
+        Some("replay") => run_replay(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,51 @@
+//! `leakfuzz` — automated channel discovery over the configuration ×
+//! victim × interference space.
+//!
+//! The paper hand-catalogues metadata channels per design (SCT / HT /
+//! SIT). This crate turns the repository's existing ingredients —
+//! [`metaleak_engine::config::SecureConfigBuilder`] arbitrary
+//! overrides, seeded [`metaleak_sim::interference::FaultPlan`]
+//! interference, the supervised deterministic harness
+//! ([`metaleak_bench::supervisor`]) and the TVLA / mutual-information
+//! oracles ([`metaleak_analysis`]) — into a search loop that looks for
+//! *uncatalogued* leaks:
+//!
+//! 1. a seeded SplitMix64-driven mutation engine ([`mutate`]) walks a
+//!    bounded [`spec::FuzzSpec`] space (config knobs, parameterized
+//!    victim programs including the MIRAGE and SIT configurations the
+//!    paper's attacks don't reach, `FaultKind` interference plans);
+//! 2. each candidate runs paired secret-dependent trial groups through
+//!    the supervisor, forking one warm snapshot copy-on-write
+//!    ([`exec`]) — a panicking or deadline-blown trial degrades the
+//!    *candidate*, never the campaign;
+//! 3. an in-process oracle ([`oracle`]) judges the pooled labelled
+//!    samples: |t| > 4.5 Welch (zero-variance sentinel included) with
+//!    a mutual-information cross-check;
+//! 4. hits enter a coverage-style corpus keyed by the serve-layer
+//!    content-key convention ([`corpus`], dedupe plus crash-safe
+//!    resume via a campaign journal), are auto-minimized by
+//!    delta-debugging the spec back toward its preset ([`minimize`]),
+//!    and each minimized finding is emitted as a standalone reproducer
+//!    ([`emit`]): a harness-runnable experiment artifact that
+//!    `leakscan --require-leak` independently confirms, plus a
+//!    `findings.jsonl` record with the config delta, t / MI values and
+//!    tracescan cycle attribution.
+//!
+//! Determinism: the same campaign seed produces byte-identical
+//! `findings.jsonl` for any worker-thread count and across
+//! kill-and-resume, because candidate generation, trial seeding,
+//! minimization and emission all derive from
+//! `(campaign seed, candidate index)` — never from wall-clock, thread
+//! schedule or partial results of the same batch.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod emit;
+pub mod exec;
+pub mod minimize;
+pub mod mutate;
+pub mod oracle;
+pub mod spec;

@@ -1,0 +1,86 @@
+//! The in-process leak oracle: TVLA Welch t-test with a
+//! mutual-information cross-check.
+//!
+//! The thresholds deliberately match `leakscan`'s gates so a corpus
+//! hit and its emitted reproducer are judged by the same standard:
+//! `|t| >` [`TVLA_THRESHOLD`] (4.5, the conventional TVLA bar, with
+//! the ±[`metaleak_analysis::welch::T_SATURATED`] sentinel standing
+//! in for disjoint zero-variance populations), cross-checked against
+//! [`MI_FLOOR`] bias-corrected bits so a shape artifact with a huge t
+//! but no extractable information does not pollute the corpus.
+
+use metaleak_analysis::mi::{default_bins, mutual_information, MI_FLOOR};
+use metaleak_analysis::welch::{tvla_from_labelled, TVLA_THRESHOLD};
+
+/// The oracle's judgement of one candidate's pooled labelled samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Welch t-statistic over the median-split classes (0.0 when there
+    /// were too few samples per class to test).
+    pub t: f64,
+    /// Bias-corrected mutual information in bits per observation (0.0
+    /// when inestimable).
+    pub mi_bits: f64,
+    /// `true` iff `|t| > 4.5` **and** `mi_bits >= MI_FLOOR`.
+    pub leak: bool,
+}
+
+/// Judges pooled `(class, value)` samples from one candidate's paired
+/// secret-dependent trial groups.
+///
+/// Too few samples (fewer than two per class, or a single class) is a
+/// *clean* verdict, not an error: an undersized candidate simply never
+/// enters the corpus.
+pub fn judge(samples: &[(u64, u64)]) -> Verdict {
+    let floats: Vec<(u64, f64)> = samples.iter().map(|&(c, v)| (c, v as f64)).collect();
+    let t = tvla_from_labelled(&floats).map(|w| w.t).unwrap_or(0.0);
+    let mi_bits =
+        mutual_information(samples, default_bins(samples.len())).map(|m| m.bits).unwrap_or(0.0);
+    Verdict { t, mi_bits, leak: t.abs() > TVLA_THRESHOLD && mi_bits >= MI_FLOOR }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaleak_analysis::welch::T_SATURATED;
+
+    #[test]
+    fn disjoint_zero_variance_groups_saturate_and_leak() {
+        // Both populations constant but different: the paper's
+        // clearest channel shape (e.g. hit = 40 cycles, miss = 400).
+        let samples: Vec<(u64, u64)> =
+            (0..32).map(|i| if i % 2 == 0 { (0, 40) } else { (1, 400) }).collect();
+        let v = judge(&samples);
+        assert_eq!(v.t.abs(), T_SATURATED, "zero-variance sentinel");
+        assert!(v.mi_bits > 0.9, "one full bit per observation, got {}", v.mi_bits);
+        assert!(v.leak);
+    }
+
+    #[test]
+    fn identical_zero_variance_groups_are_clean() {
+        let samples: Vec<(u64, u64)> = (0..32).map(|i| (i % 2, 40)).collect();
+        let v = judge(&samples);
+        assert_eq!(v.t, 0.0);
+        assert_eq!(v.mi_bits, 0.0, "constant measurement carries no information");
+        assert!(!v.leak);
+    }
+
+    #[test]
+    fn undersized_or_single_class_input_is_clean() {
+        assert!(!judge(&[]).leak);
+        assert!(!judge(&[(0, 40), (1, 400)]).leak, "one sample per class: untestable");
+        let one_class: Vec<(u64, u64)> = (0..16).map(|i| (0, 40 + i)).collect();
+        assert!(!judge(&one_class).leak);
+    }
+
+    #[test]
+    fn noisy_but_separated_populations_leak() {
+        // Interleave two clearly separated noisy populations.
+        let samples: Vec<(u64, u64)> = (0..200)
+            .map(|i| if i % 2 == 0 { (0, 100 + (i % 7)) } else { (1, 300 + (i % 5)) })
+            .collect();
+        let v = judge(&samples);
+        assert!(v.t.abs() > TVLA_THRESHOLD, "t = {}", v.t);
+        assert!(v.leak);
+    }
+}

@@ -39,7 +39,7 @@
 //! in-process — the integration tests drive [`service::Server`]
 //! directly as well as over a socket.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;

@@ -160,6 +160,31 @@ fn err(msg: impl Into<String>) -> SpecError {
 }
 
 /// A validated sweep specification.
+///
+/// # Example
+///
+/// Parse the same JSON a client would `POST /jobs`; the canonical
+/// render (and hence the content key) is independent of field order
+/// and whitespace in the submission:
+///
+/// ```
+/// use metaleak_serve::spec::SweepSpec;
+///
+/// let spec = SweepSpec::parse(
+///     r#"{"experiment":"demo","victim":"covert_t","configs":["sct"],
+///         "seeds":[7],"trials_per_point":2,"payload_per_trial":16,
+///         "preamble_bits":8,"require":"leak"}"#,
+/// ).expect("valid spec");
+/// assert_eq!(spec.experiment, "demo");
+/// assert_eq!(spec.points(), 1); // 1 config x 1 seed
+///
+/// let shuffled = SweepSpec::parse(
+///     r#"{ "require":"leak", "preamble_bits":8, "payload_per_trial":16,
+///          "trials_per_point":2, "seeds":[7], "configs":["sct"],
+///          "victim":"covert_t", "experiment":"demo" }"#,
+/// ).expect("valid spec");
+/// assert_eq!(spec.canonical().render(), shuffled.canonical().render());
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
     /// Artifact base name (`<experiment>.jsonl` / `.meta.json`).
