@@ -1,0 +1,249 @@
+//! `batch_cost`: micro-benchmark of lane-batched trial execution
+//! ([`LaneBatch`]) against the scalar one-lane-at-a-time path.
+//!
+//! Both modes fork the same K lanes copy-on-write from one warm
+//! snapshot (the fig11-scale SIT hash-tree configuration) and run the
+//! same flush-read probe workload over a scattered working set — the
+//! access pattern of a covert-channel probe loop, where every read is
+//! a DRAM fill with full metadata verification. The scalar mode runs
+//! with the lane width pinned to 1, so the engine's verification memo
+//! is off and every lane recomputes every MAC and hash; the batched
+//! mode runs the identical work through [`LaneBatch`] at width K,
+//! where the lanes share the memo and repeated checks collapse to set
+//! lookups.
+//!
+//! The two modes must produce identical observations (latencies are
+//! modeled constants, so memoization cannot change them) — the bench
+//! asserts this before it times anything. Timed rounds interleave the
+//! modes to cancel machine noise and report medians:
+//!
+//! - `scalar_ns` — median wall time of the K-lane workload, scalar;
+//! - `batched_ns` — median wall time of the same workload, batched
+//!   (including the per-round memo reset, so the first lane's misses
+//!   are paid inside the measurement);
+//! - `speedup` — `scalar_ns / batched_ns`, which must exceed 1: if
+//!   batching is not faster than the scalar path, the memo has
+//!   regressed into overhead and the bench fails (exit 1).
+//!
+//! With `METALEAK_BATCH_BASELINE=<path>` it also compares `batched_ns`
+//! against a committed baseline JSON and fails on a >2x regression
+//! (the CI bench-regression gate).
+//!
+//! Run: `cargo run --release -p metaleak-bench --bin batch_cost`
+
+use metaleak::configs;
+use metaleak_bench::json::{Json, JsonObj};
+use metaleak_bench::{try_out_dir, TextTable};
+use metaleak_engine::batch::{clear_memo, memo_stats, set_lane_count};
+use metaleak_engine::prelude::*;
+use metaleak_engine::snapshot::Snapshot;
+use metaleak_sim::rng::SimRng;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Lane width under test (the `METALEAK_LANES` regime the acceptance
+/// gate cares about).
+const LANES: usize = 8;
+/// Blocks in the probed working set.
+const WORKING_SET: usize = 1024;
+/// Flush-read passes over the working set, per lane.
+const PASSES: usize = 2;
+/// Timed rounds per mode (interleaved; medians reported).
+const ROUNDS: usize = 5;
+
+/// The probed blocks: scattered across the whole physical range with a
+/// coprime stride, so the working set spans far more counter blocks and
+/// tree paths than the metadata cache holds — every probe read re-fills
+/// and re-verifies its metadata chain, the workload the memo targets.
+fn probe_blocks(data_blocks: u64) -> Vec<u64> {
+    (0..WORKING_SET as u64).map(|i| (i * 1031) % data_blocks).collect()
+}
+
+/// Builds, warms and freezes the fig11-scale SIT (SGX-style hash tree)
+/// engine: the configuration whose fills verify a digest chain, the
+/// most crypto-heavy read path the engine has.
+fn warm_snapshot() -> Snapshot {
+    let cfg = configs::sgx_experiment();
+    let blocks = probe_blocks(cfg.data_blocks());
+    let mut mem = SecureMemory::new(cfg);
+    let mut rng = SimRng::seed_from(0xBA7C);
+    let core = CoreId(0);
+    // Write every probed block so its counters, MACs and tree path
+    // hold materialized (non-default) state worth verifying.
+    for &b in &blocks {
+        mem.write_back(core, b, [rng.next_u64() as u8; 64]).expect("warmup write");
+    }
+    mem.fence();
+    mem.drain_metadata();
+    mem.into_snapshot()
+}
+
+/// The probe workload on one lane: flush then re-read each block of
+/// the working set, `PASSES` times. Every read misses the hierarchy
+/// and fills from DRAM under full metadata verification; the blocks
+/// are clean (never written by the probe), so no fence is needed.
+/// Observations append to `obs` in operation order.
+fn probe_lane(lane: &mut SecureMemory, blocks: &[u64], obs: &mut LaneObservations) {
+    let core = CoreId(0);
+    for _ in 0..PASSES {
+        for &b in blocks {
+            lane.flush_block(b);
+            let r = lane.read(core, b).expect("probe read");
+            obs.push(r.latency.as_u64(), r.path.class(), r.invalidated);
+        }
+    }
+}
+
+/// Runs the workload scalar: lane width 1 (memo off), K forks probed
+/// one after another. Returns per-lane observations.
+fn run_scalar(snap: &Snapshot, blocks: &[u64]) -> Vec<LaneObservations> {
+    set_lane_count(1);
+    clear_memo();
+    let mut per_lane = Vec::with_capacity(LANES);
+    for _ in 0..LANES {
+        let mut lane = snap.fork();
+        let mut obs = LaneObservations::new();
+        probe_lane(&mut lane, blocks, &mut obs);
+        per_lane.push(obs);
+    }
+    per_lane
+}
+
+/// Runs the workload batched: lane width K, all lanes advanced in
+/// lockstep through [`LaneBatch`] sharing the verification memo.
+fn run_batched(snap: &Snapshot, blocks: &[u64]) -> LaneObservations {
+    set_lane_count(LANES);
+    clear_memo();
+    let mut batch = LaneBatch::builder(snap).lanes(LANES).build();
+    let mut obs = LaneObservations::new();
+    let core = CoreId(0);
+    for _ in 0..PASSES {
+        for &b in blocks {
+            batch.flush_each(b);
+            batch.read_each(core, b, &mut obs).expect("probe read");
+        }
+    }
+    obs
+}
+
+/// Interleaves per-lane scalar observations into the batched
+/// struct-of-arrays layout (operation-major: op `i`, lane `k` at
+/// `i * LANES + k`) so the two modes compare element-for-element.
+fn interleave(per_lane: &[LaneObservations]) -> LaneObservations {
+    let ops = per_lane[0].len();
+    let mut out = LaneObservations::new();
+    for i in 0..ops {
+        for lane in per_lane {
+            out.push(lane.latencies[i], lane.paths[i], lane.invalidated[i]);
+        }
+    }
+    out
+}
+
+/// Median wall time of `n` runs of `f`, in nanoseconds.
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run() -> Result<(), String> {
+    println!("== batch_cost: lane-batched vs scalar trial execution ==\n");
+    let snap = warm_snapshot();
+    let blocks = probe_blocks(snap.config().data_blocks());
+
+    // Correctness first: batching must not change a single observation.
+    let scalar_obs = interleave(&run_scalar(&snap, &blocks));
+    let batched_obs = run_batched(&snap, &blocks);
+    if scalar_obs.latencies != batched_obs.latencies
+        || scalar_obs.paths != batched_obs.paths
+        || scalar_obs.invalidated != batched_obs.invalidated
+    {
+        return Err("batched observations diverge from the scalar path".to_owned());
+    }
+    let (hits, misses) = memo_stats();
+    if hits == 0 {
+        return Err("batched run recorded zero memo hits; batching is not engaging".to_owned());
+    }
+
+    // Timed rounds, interleaved so machine noise hits both modes alike.
+    let mut scalar_ns_samples = Vec::with_capacity(ROUNDS);
+    let mut batched_ns_samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        std::hint::black_box(run_scalar(&snap, &blocks));
+        scalar_ns_samples.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        std::hint::black_box(run_batched(&snap, &blocks));
+        batched_ns_samples.push(t.elapsed().as_nanos() as u64);
+    }
+    set_lane_count(1);
+    let scalar_ns = median_ns(&mut scalar_ns_samples);
+    let batched_ns = median_ns(&mut batched_ns_samples);
+    let speedup = scalar_ns as f64 / batched_ns.max(1) as f64;
+    let ops = LANES * PASSES * WORKING_SET;
+
+    let mut table = TextTable::new(vec!["mode", "lanes", "verified reads", "wall (ns, median)"]);
+    table.row(vec!["scalar".to_owned(), "1".to_owned(), ops.to_string(), scalar_ns.to_string()]);
+    table.row(vec![
+        "batched".to_owned(),
+        LANES.to_string(),
+        ops.to_string(),
+        batched_ns.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("speedup: {speedup:.2}x   memo: {hits} hits / {misses} misses");
+
+    let report = JsonObj::new()
+        .field("experiment", "batch_cost")
+        .field("lanes", LANES)
+        .field("passes", PASSES)
+        .field("working_set_blocks", WORKING_SET)
+        .field("verified_reads", ops)
+        .field("rounds", ROUNDS)
+        .field("scalar_ns", scalar_ns)
+        .field("batched_ns", batched_ns)
+        .field("speedup", speedup)
+        .field("memo_hits", hits)
+        .field("memo_misses", misses)
+        .build();
+    let dir = try_out_dir().map_err(|e| e.to_string())?;
+    let path = dir.join("batch_cost.json");
+    std::fs::write(&path, format!("{}\n", report.render()))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("report written to {}", path.display());
+
+    if speedup <= 1.0 {
+        return Err(format!(
+            "batched execution ({batched_ns} ns) is not faster than the scalar path \
+             ({scalar_ns} ns); the lane memo has regressed into pure overhead"
+        ));
+    }
+    if let Ok(baseline_path) = std::env::var("METALEAK_BATCH_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("parsing {baseline_path}: {e}"))?;
+        let baseline_ns = baseline
+            .get("batched_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{baseline_path} has no \"batched_ns\" field"))?;
+        println!("baseline batched_ns: {baseline_ns} (from {baseline_path})");
+        if batched_ns > baseline_ns * 2 {
+            return Err(format!(
+                "batched execution regressed: {batched_ns} ns is more than 2x the committed \
+                 baseline ({baseline_ns} ns); update {baseline_path} only if the slowdown \
+                 is intended"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("batch_cost: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

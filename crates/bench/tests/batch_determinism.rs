@@ -1,0 +1,121 @@
+//! Batch determinism suite: lane-batched execution must be
+//! byte-identical to the scalar path. The fig08/fig11 binaries are
+//! executed for real (quick mode, debug profile) under every
+//! combination of `METALEAK_LANES=1/4/16`, `METALEAK_THREADS=1/8` and
+//! `METALEAK_SNAPSHOT` on/off, and their JSONL and CSV artifacts
+//! compared byte for byte against the scalar single-threaded shared
+//! reference. Latencies are modeled constants, so the engine's
+//! lane-shared verification memo (active at lanes ≥ 2) must not change
+//! a single observable byte — only the wall clock.
+//!
+//! The companion guarantee one level down — batched AES/GHASH entry
+//! points producing exactly the scalar keystreams and tags — is pinned
+//! by the `metaleak-crypto` unit suites.
+
+use std::process::Command;
+
+/// One real-binary run's comparable artifacts.
+struct BinRun {
+    jsonl: String,
+    csv: String,
+    meta: String,
+}
+
+fn run_bin(exe: &str, name: &str, lanes: usize, sharing: bool, threads: usize) -> BinRun {
+    let dir = std::env::temp_dir().join(format!(
+        "metaleak_batchdet_{name}_l{lanes}_s{}_t{threads}_{}",
+        sharing as u8,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch out dir");
+    let status = Command::new(exe)
+        .env("METALEAK_OUT_DIR", &dir)
+        .env("METALEAK_LANES", lanes.to_string())
+        .env("METALEAK_SNAPSHOT", if sharing { "1" } else { "0" })
+        .env("METALEAK_THREADS", threads.to_string())
+        .env_remove("METALEAK_FULL")
+        .env_remove("METALEAK_TRACE")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {name}: {e}"));
+    assert!(
+        status.success(),
+        "{name} (lanes={lanes}, sharing={sharing}, threads={threads}) exited {status}"
+    );
+    let read = |suffix: &str| {
+        std::fs::read_to_string(dir.join(format!("{name}{suffix}")))
+            .unwrap_or_else(|e| panic!("read {name}{suffix}: {e}"))
+    };
+    let run = BinRun { jsonl: read(".jsonl"), csv: read(".csv"), meta: read(".meta.json") };
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+/// Runs `exe` under every (lanes, sharing, threads) combination and
+/// asserts the JSONL and CSV artifacts are byte-identical to the first
+/// combo; the meta record must admit which lane width produced it.
+fn assert_bin_lane_deterministic(exe: &str, name: &str, combos: &[(usize, bool, usize)]) {
+    let (lanes0, sharing0, threads0) = combos[0];
+    let baseline = run_bin(exe, name, lanes0, sharing0, threads0);
+    assert!(!baseline.jsonl.is_empty(), "{name} produced an empty JSONL");
+    for &(lanes, sharing, threads) in &combos[1..] {
+        let run = run_bin(exe, name, lanes, sharing, threads);
+        assert_eq!(
+            baseline.jsonl, run.jsonl,
+            "{name} JSONL diverged at lanes={lanes}, sharing={sharing}, threads={threads}"
+        );
+        assert_eq!(
+            baseline.csv, run.csv,
+            "{name} CSV diverged at lanes={lanes}, sharing={sharing}, threads={threads}"
+        );
+        let field = format!("\"lanes\":{lanes}");
+        assert!(run.meta.contains(&field), "{name} meta must record {field}: {}", run.meta);
+    }
+}
+
+#[test]
+fn fig08_artifacts_survive_lane_width() {
+    // The full matrix: 3 lane widths x 2 thread counts x both sharing
+    // modes, all against the scalar single-threaded shared reference.
+    assert_bin_lane_deterministic(
+        env!("CARGO_BIN_EXE_fig08_overflow_bands"),
+        "fig08_overflow_bands",
+        &[
+            (1, true, 1),
+            (1, true, 8),
+            (1, false, 1),
+            (1, false, 8),
+            (4, true, 1),
+            (4, true, 8),
+            (4, false, 1),
+            (4, false, 8),
+            (16, true, 1),
+            (16, true, 8),
+            (16, false, 1),
+            (16, false, 8),
+        ],
+    );
+}
+
+#[test]
+fn fig11_artifacts_survive_lane_width() {
+    // The non-shared fig11 re-simulates every chunk's preamble, which
+    // costs ~40 s per debug run (see snapshot_determinism); the shared
+    // runs cover the full lanes x threads grid and one scratch run at
+    // the widest/most-parallel corner covers fork-vs-scratch identity
+    // under batching.
+    assert_bin_lane_deterministic(
+        env!("CARGO_BIN_EXE_fig11_covert_t"),
+        "fig11_covert_t",
+        &[
+            (1, true, 1),
+            (1, true, 8),
+            (4, true, 1),
+            (4, true, 8),
+            (16, true, 1),
+            (16, true, 8),
+            (16, false, 8),
+        ],
+    );
+}

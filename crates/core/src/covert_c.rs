@@ -65,11 +65,6 @@ impl CovertOutcomeC {
     }
 }
 
-/// Former covert-C-specific framed outcome, now structurally unified
-/// with MetaLeak-T's under [`crate::channel::FramedOutcome`].
-#[deprecated(since = "0.1.0", note = "use `metaleak_attacks::channel::FramedOutcome`")]
-pub type FramedOutcomeC = FramedOutcome;
-
 /// A configured MetaLeak-C covert channel. Trojan and spy both own
 /// write pools under the same child subtree; the shared counter is the
 /// child's version slot in its parent node.

@@ -45,6 +45,14 @@ pub struct CryptoEngine {
     /// Key epoch: bumped on whole-memory re-keying (global/monolithic
     /// counter overflow, Algorithm 1).
     epoch: u64,
+    /// The epoch-0 key, kept so [`CryptoEngine::engine_for_epoch`] can
+    /// rebuild the key schedule of any past epoch (rotation derives
+    /// every later key as a pure function of the epoch number).
+    key0: [u8; 16],
+    /// Digest of the construction key: a compact identity for
+    /// memoization keys, so verification results cached under one key
+    /// can never be confused with another engine's.
+    key_id: u64,
 }
 
 impl CryptoEngine {
@@ -55,7 +63,14 @@ impl CryptoEngine {
 
     /// Creates an engine with an explicit latency model.
     pub fn with_latency(key: [u8; 16], latency: CryptoLatency) -> Self {
-        CryptoEngine { aes: Aes128::new(&key), ghash: Ghash::new(&key), latency, epoch: 0 }
+        CryptoEngine {
+            aes: Aes128::new(&key),
+            ghash: Ghash::new(&key),
+            latency,
+            epoch: 0,
+            key0: key,
+            key_id: digest64(&key),
+        }
     }
 
     /// The latency model in use.
@@ -68,37 +83,110 @@ impl CryptoEngine {
         self.epoch
     }
 
+    /// Compact identity of the construction key (digest of `key0`).
+    /// Together with [`CryptoEngine::epoch`] it uniquely identifies the
+    /// active key schedule, which is what value-keyed verification
+    /// memoization must include so entries never cross engines.
+    pub fn key_id(&self) -> u64 {
+        self.key_id
+    }
+
     /// Re-keys the engine (key change after global counter overflow).
     /// The caller must re-encrypt all covered data.
     pub fn rotate_key(&mut self) {
         self.epoch += 1;
-        // Derive the new key from the old one; a real engine would use a
-        // hardware RNG, determinism keeps experiments reproducible.
-        let seed = Sha256::digest(&self.epoch.to_le_bytes());
-        let mut key = [0u8; 16];
-        key.copy_from_slice(&seed[..16]);
+        let key = Self::key_for_epoch(self.key0, self.epoch);
         self.aes = Aes128::new(&key);
         self.ghash = Ghash::new(&key);
+    }
+
+    /// The key of `epoch`: the construction key for epoch 0, otherwise
+    /// a deterministic derivation from the epoch number (a real engine
+    /// would use a hardware RNG; determinism keeps experiments
+    /// reproducible and makes past epochs recomputable).
+    fn key_for_epoch(key0: [u8; 16], epoch: u64) -> [u8; 16] {
+        if epoch == 0 {
+            return key0;
+        }
+        let seed = Sha256::digest(&epoch.to_le_bytes());
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&seed[..16]);
+        key
+    }
+
+    /// An engine keyed as this one was at `epoch`, for verifying
+    /// material captured before a re-key. Returns `self`'s key schedule
+    /// (cheap `Arc`-backed clone) when the epoch already matches;
+    /// otherwise rebuilds the historical schedule.
+    pub fn engine_for_epoch(&self, epoch: u64) -> CryptoEngine {
+        if epoch == self.epoch {
+            return self.clone();
+        }
+        let key = Self::key_for_epoch(self.key0, epoch);
+        CryptoEngine {
+            aes: Aes128::new(&key),
+            ghash: Ghash::new(&key),
+            latency: self.latency,
+            epoch,
+            key0: self.key0,
+            key_id: self.key_id,
+        }
     }
 
     /// Generates the one-time pad for a 64-byte block: four AES blocks
     /// over seeds `addr_chunk || ctr || epoch` (chunk-level seed
     /// uniqueness, §IV-A).
     fn pad(&self, block_addr: u64, counter: u64) -> Block {
+        let mut seeds = [[0u8; 16]; 4];
+        self.pad_seeds(block_addr, counter, &mut seeds);
+        // One batched AES call for the block's four chunk pads (the
+        // hardware computes them in parallel; here it shares the key
+        // schedule and round loop across the chunks).
+        self.aes.encrypt_blocks(&mut seeds);
         let mut pad = [0u8; 64];
-        for chunk in 0..4u64 {
-            let mut seed = [0u8; 16];
+        for (chunk, ks) in seeds.iter().enumerate() {
+            pad[chunk * 16..(chunk + 1) * 16].copy_from_slice(ks);
+        }
+        pad
+    }
+
+    /// Writes the four chunk-pad AES seeds of `(block_addr, counter)`
+    /// into `seeds`.
+    fn pad_seeds(&self, block_addr: u64, counter: u64, seeds: &mut [[u8; 16]; 4]) {
+        for (chunk, seed) in seeds.iter_mut().enumerate() {
             // Chunk address = block address * 4 + chunk offset; wrapping
             // keeps uniqueness for any physically meaningful address
             // (< 2^62) while tolerating adversarial inputs in tests.
-            seed[..8]
-                .copy_from_slice(&block_addr.wrapping_mul(4).wrapping_add(chunk).to_le_bytes());
+            seed[..8].copy_from_slice(
+                &block_addr.wrapping_mul(4).wrapping_add(chunk as u64).to_le_bytes(),
+            );
             seed[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
             seed[15] = self.epoch as u8;
-            let ks = self.aes.encrypt_block(&seed);
-            pad[(chunk as usize) * 16..(chunk as usize + 1) * 16].copy_from_slice(&ks);
         }
-        pad
+    }
+
+    /// Batched pad generation: the one-time pads of `reqs` (block
+    /// address, counter) computed through a single [`Aes128`] batch
+    /// call — 4·N blocks under one key schedule. Equivalent to (and
+    /// pinned against) N scalar [`CryptoEngine::encrypt_block`] pads.
+    pub fn pads(&self, reqs: &[(u64, u64)]) -> Vec<Block> {
+        let mut seeds = vec![[0u8; 16]; reqs.len() * 4];
+        for (i, &(addr, ctr)) in reqs.iter().enumerate() {
+            let chunk: &mut [[u8; 16]; 4] =
+                (&mut seeds[i * 4..i * 4 + 4]).try_into().expect("4 seeds per request");
+            self.pad_seeds(addr, ctr, chunk);
+        }
+        self.aes.encrypt_blocks(&mut seeds);
+        reqs.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut pad = [0u8; 64];
+                for c in 0..4 {
+                    pad[c * 16..(c + 1) * 16].copy_from_slice(&seeds[i * 4 + c]);
+                }
+                pad
+            })
+            .collect()
     }
 
     /// Counter-mode encryption of one block.
@@ -127,6 +215,14 @@ impl CryptoEngine {
         self.ghash.mac_with_counter(ct, counter, block_addr)
     }
 
+    /// Batched block MACs: one tag per `(ciphertext, counter, address)`
+    /// item, all under this engine's shared GHASH subkey tables.
+    /// Equivalent to (and pinned against) N scalar
+    /// [`CryptoEngine::mac_block`] calls.
+    pub fn mac_blocks(&self, items: &[(&Block, u64, u64)]) -> Vec<Tag> {
+        items.iter().map(|&(ct, ctr, addr)| self.ghash.mac_with_counter(ct, ctr, addr)).collect()
+    }
+
     /// Cycle cost of one MAC computation.
     pub fn mac_latency(&self) -> u64 {
         self.latency.mac
@@ -136,11 +232,11 @@ impl CryptoEngine {
     /// (used for counter blocks, whose freshness is pinned by the
     /// integrity-tree leaf version).
     pub fn mac_bytes(&self, bytes: &[u8], version: u64, addr: u64) -> Tag {
-        let mut buf = Vec::with_capacity(bytes.len() + 16);
-        buf.extend_from_slice(bytes);
-        buf.extend_from_slice(&version.to_le_bytes());
-        buf.extend_from_slice(&addr.to_le_bytes());
-        self.ghash.hash(&buf)
+        let mut st = self.ghash.stream();
+        st.update(bytes);
+        st.update(&version.to_le_bytes());
+        st.update(&addr.to_le_bytes());
+        st.finalize()
     }
 
     /// Full-width tree hash of a node's serialized content.
@@ -236,6 +332,44 @@ mod tests {
         let mut ct2 = ct;
         ct2[0] ^= 1;
         assert_ne!(e.mac_block(&ct2, 1, 0x40), base);
+    }
+
+    /// Pins the batched entry points to the scalar path block for
+    /// block: `pads` against per-call pads (via zero-plaintext
+    /// encryption) and `mac_blocks` against per-call `mac_block`.
+    #[test]
+    fn batched_entry_points_match_scalar() {
+        let e = engine();
+        let reqs: Vec<(u64, u64)> = (0..9u64).map(|i| (i * 3 + 1, i * 7)).collect();
+        let batched = e.pads(&reqs);
+        for (i, &(addr, ctr)) in reqs.iter().enumerate() {
+            // encrypt_block(0) == pad, so the scalar pad is observable.
+            assert_eq!(batched[i], e.encrypt_block(&[0u8; 64], addr, ctr), "pad {i}");
+        }
+        let blocks: Vec<Block> = (0..9).map(|i| [i as u8 * 17 + 1; 64]).collect();
+        let items: Vec<(&Block, u64, u64)> =
+            blocks.iter().zip(&reqs).map(|(b, &(addr, ctr))| (b, ctr, addr)).collect();
+        let tags = e.mac_blocks(&items);
+        for (i, &(ct, ctr, addr)) in items.iter().enumerate() {
+            assert_eq!(tags[i], e.mac_block(ct, ctr, addr), "mac {i}");
+        }
+    }
+
+    #[test]
+    fn engine_for_epoch_recovers_past_keys() {
+        let mut e = engine();
+        let ct0 = e.encrypt_block(&[5u8; 64], 9, 2);
+        let mac0 = e.mac_block(&ct0, 2, 9);
+        e.rotate_key();
+        e.rotate_key();
+        assert_eq!(e.epoch(), 2);
+        let past = e.engine_for_epoch(0);
+        assert_eq!(past.epoch(), 0);
+        assert_eq!(past.encrypt_block(&[5u8; 64], 9, 2), ct0);
+        assert_eq!(past.mac_block(&ct0, 2, 9), mac0);
+        // Present epoch: same schedule as the engine itself.
+        let now = e.engine_for_epoch(2);
+        assert_eq!(now.encrypt_block(&[5u8; 64], 9, 2), e.encrypt_block(&[5u8; 64], 9, 2));
     }
 
     #[test]

@@ -5,15 +5,28 @@
 //! hash such as GHASH (§IV, "Data authentication"); the MAC is computed
 //! over the ciphertext block, the block address and (in Bonsai-style
 //! designs) the encryption counter.
+//!
+//! Multiplication by the hash subkey `H` is the hot operation — every
+//! data-block fetch verifies a MAC, and a 80-byte MAC message costs six
+//! of them. [`Ghash`] therefore precomputes Shoup-style 8-bit lookup
+//! tables for `H` once per key (64 KiB behind an `Arc`, so cloning an
+//! engine — and thus forking a snapshot — stays O(1)) and multiplies
+//! with 16 table lookups instead of a 128-iteration bit loop. The
+//! reference bit-loop multiplier is kept as the table generator and as
+//! the test oracle pinning both paths to identical outputs.
+
+use std::sync::Arc;
 
 use crate::aes::Aes128;
 
 /// A 128-bit GHASH tag.
 pub type Tag = [u8; 16];
 
+/// Reference GF(2^128) multiply: GCM's field with the
+/// x^128 + x^7 + x^2 + x + 1 polynomial, bit-reflected convention as in
+/// NIST SP 800-38D. Used to build the per-key tables and as the test
+/// oracle for the table path.
 fn gf128_mul(x: u128, y: u128) -> u128 {
-    // GCM's GF(2^128) with the x^128 + x^7 + x^2 + x + 1 polynomial,
-    // bit-reflected convention as in NIST SP 800-38D.
     const R: u128 = 0xe100_0000_0000_0000_0000_0000_0000_0000;
     let mut z = 0u128;
     let mut v = x;
@@ -30,6 +43,34 @@ fn gf128_mul(x: u128, y: u128) -> u128 {
     z
 }
 
+/// Per-key multiplication tables: `tables[j][b]` is the field product
+/// of `H` with the block whose `j`-th byte (big-endian order) is `b`
+/// and whose other bytes are zero. By linearity of carry-less
+/// multiplication, `X * H` is then the XOR of 16 lookups.
+type MulTables = [[u128; 256]; 16];
+
+fn build_tables(h: u128) -> Box<MulTables> {
+    let mut tables: Box<MulTables> = Box::new([[0u128; 256]; 16]);
+    for (j, table) in tables.iter_mut().enumerate() {
+        // Basis products for the 8 bits of byte position j, via the
+        // reference multiplier; the 256 entries follow by linearity.
+        let mut basis = [0u128; 8];
+        for (k, b) in basis.iter_mut().enumerate() {
+            *b = gf128_mul(1u128 << (120 - 8 * j + k), h);
+        }
+        for (v, slot) in table.iter_mut().enumerate() {
+            let mut acc = 0u128;
+            for (k, b) in basis.iter().enumerate() {
+                if (v >> k) & 1 != 0 {
+                    acc ^= *b;
+                }
+            }
+            *slot = acc;
+        }
+    }
+    tables
+}
+
 /// A keyed GHASH MAC. The hash subkey `H = AES_k(0^128)` is derived from
 /// an AES-128 key exactly as in GCM.
 ///
@@ -42,48 +83,149 @@ fn gf128_mul(x: u128, y: u128) -> u128 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ghash {
+    /// Hash subkey (read only by the test oracle's bit-loop multiplier).
+    #[cfg_attr(not(test), allow(dead_code))]
     h: u128,
+    /// Shared per-key lookup tables: `Arc` keeps `Ghash` (and every
+    /// engine state embedding it) cheap to clone, which the O(1)
+    /// snapshot-fork model depends on.
+    tables: Arc<MulTables>,
+}
+
+/// Process-global table cache keyed by hash subkey. The tables are a
+/// pure function of `H`, and sweeps that construct many engines under
+/// the same key (every trial with `METALEAK_SNAPSHOT=0`, every serve
+/// job, every fuzz campaign round) would otherwise rebuild the same
+/// 64 KiB table set each time. Bounded: a pathological run cycling
+/// through more keys than the cap just drops the cache and rebuilds.
+fn tables_for(h: u128) -> Arc<MulTables> {
+    use std::sync::{Mutex, OnceLock};
+    type TableCache = Mutex<Vec<(u128, Arc<MulTables>)>>;
+    static CACHE: OnceLock<TableCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut guard = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some((_, t)) = guard.iter().find(|(k, _)| *k == h) {
+        return Arc::clone(t);
+    }
+    let t: Arc<MulTables> = Arc::from(build_tables(h));
+    if guard.len() >= 64 {
+        guard.clear();
+    }
+    guard.push((h, Arc::clone(&t)));
+    t
 }
 
 impl Ghash {
     /// Derives the hash subkey from an AES-128 key.
     pub fn new(key: &[u8; 16]) -> Self {
         let aes = Aes128::new(key);
-        let h = aes.encrypt_block(&[0u8; 16]);
-        Ghash { h: u128::from_be_bytes(h) }
+        let h = u128::from_be_bytes(aes.encrypt_block(&[0u8; 16]));
+        Ghash { h, tables: tables_for(h) }
+    }
+
+    /// Multiplies `x` by the hash subkey via the 8-bit tables.
+    #[inline]
+    fn mul_h(&self, x: u128) -> u128 {
+        let bytes = x.to_be_bytes();
+        let t = &*self.tables;
+        let mut z = t[0][bytes[0] as usize];
+        for j in 1..16 {
+            z ^= t[j][bytes[j] as usize];
+        }
+        z
+    }
+
+    /// Reference multiply by `H` using the bit-loop field multiplier
+    /// (test oracle for the table path).
+    #[cfg(test)]
+    fn mul_h_ref(&self, x: u128) -> u128 {
+        gf128_mul(x, self.h)
     }
 
     /// GHASH over `data` padded to 16-byte blocks, with a final length
     /// block.
     pub fn hash(&self, data: &[u8]) -> Tag {
-        let mut y = 0u128;
-        for chunk in data.chunks(16) {
-            let mut block = [0u8; 16];
-            block[..chunk.len()].copy_from_slice(chunk);
-            y = gf128_mul(y ^ u128::from_be_bytes(block), self.h);
-        }
-        let len_block = (data.len() as u128) * 8;
-        y = gf128_mul(y ^ len_block, self.h);
-        y.to_be_bytes()
+        let mut st = self.stream();
+        st.update(data);
+        st.finalize()
+    }
+
+    /// Starts an incremental hash over a logical concatenation of byte
+    /// slices — the allocation-free path behind every MAC variant
+    /// (`hash(a ++ b ++ c)` without materializing the concatenation).
+    pub fn stream(&self) -> GhashStream<'_> {
+        GhashStream { g: self, y: 0, buf: [0u8; 16], fill: 0, len: 0 }
     }
 
     /// Authenticates a memory block: `MAC_k(data || addr)`, binding the
     /// block address to defeat splicing (§IV-B).
     pub fn mac(&self, data: &[u8], addr: u64) -> Tag {
-        let mut buf = Vec::with_capacity(data.len() + 8);
-        buf.extend_from_slice(data);
-        buf.extend_from_slice(&addr.to_le_bytes());
-        self.hash(&buf)
+        let mut st = self.stream();
+        st.update(data);
+        st.update(&addr.to_le_bytes());
+        st.finalize()
     }
 
     /// Authenticates a block together with its encryption counter
     /// (`MAC_k(C, ctr, addr)` as in Bonsai Merkle Tree designs \[12\]).
     pub fn mac_with_counter(&self, data: &[u8], counter: u64, addr: u64) -> Tag {
-        let mut buf = Vec::with_capacity(data.len() + 16);
-        buf.extend_from_slice(data);
-        buf.extend_from_slice(&counter.to_le_bytes());
-        buf.extend_from_slice(&addr.to_le_bytes());
-        self.hash(&buf)
+        let mut st = self.stream();
+        st.update(data);
+        st.update(&counter.to_le_bytes());
+        st.update(&addr.to_le_bytes());
+        st.finalize()
+    }
+}
+
+/// Incremental GHASH state from [`Ghash::stream`]: feeds an arbitrary
+/// concatenation of byte slices through the hash without allocating.
+/// Byte-equivalent to hashing the concatenated message in one call.
+#[derive(Debug)]
+pub struct GhashStream<'a> {
+    g: &'a Ghash,
+    y: u128,
+    buf: [u8; 16],
+    fill: usize,
+    len: usize,
+}
+
+impl GhashStream<'_> {
+    /// Appends `data` to the logical message.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        self.len += data.len();
+        if self.fill > 0 {
+            let take = rest.len().min(16 - self.fill);
+            self.buf[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill < 16 {
+                // `data` fit entirely into the partial block.
+                return;
+            }
+            self.y = self.g.mul_h(self.y ^ u128::from_be_bytes(self.buf));
+            self.fill = 0;
+        }
+        let mut chunks = rest.chunks_exact(16);
+        for chunk in &mut chunks {
+            let block = u128::from_be_bytes(chunk.try_into().expect("exact 16-byte chunk"));
+            self.y = self.g.mul_h(self.y ^ block);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.fill = tail.len();
+    }
+
+    /// Pads the final partial block, absorbs the length block and
+    /// returns the tag.
+    pub fn finalize(mut self) -> Tag {
+        if self.fill > 0 {
+            self.buf[self.fill..].fill(0);
+            self.y = self.g.mul_h(self.y ^ u128::from_be_bytes(self.buf));
+        }
+        let len_block = (self.len as u128) * 8;
+        self.y = self.g.mul_h(self.y ^ len_block);
+        self.y.to_be_bytes()
     }
 }
 
@@ -102,6 +244,45 @@ mod tests {
         // Commutativity.
         let y = 0xdead_beef_dead_beef_dead_beef_dead_beefu128;
         assert_eq!(gf128_mul(x, y), gf128_mul(y, x));
+    }
+
+    #[test]
+    fn table_multiply_matches_the_bit_loop() {
+        let g = Ghash::new(b"0123456789abcdef");
+        let mut x = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        for _ in 0..256 {
+            assert_eq!(g.mul_h(x), g.mul_h_ref(x));
+            // Deterministic pseudo-random walk over inputs.
+            x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ 0xa5a5;
+        }
+        assert_eq!(g.mul_h(0), 0);
+        assert_eq!(g.mul_h(u128::MAX), g.mul_h_ref(u128::MAX));
+    }
+
+    #[test]
+    fn stream_matches_one_shot_for_any_split() {
+        let g = Ghash::new(b"0123456789abcdef");
+        let msg: Vec<u8> = (0..80u8).collect();
+        let whole = g.hash(&msg);
+        for split in [0usize, 1, 7, 15, 16, 17, 33, 64, 79, 80] {
+            let mut st = g.stream();
+            st.update(&msg[..split]);
+            st.update(&msg[split..]);
+            assert_eq!(st.finalize(), whole, "split at {split}");
+        }
+        // Three-way split with a straddling middle piece.
+        let mut st = g.stream();
+        st.update(&msg[..5]);
+        st.update(&msg[5..37]);
+        st.update(&msg[37..]);
+        assert_eq!(st.finalize(), whole);
+        // Short updates that never fill one block (the MAC-over-short-
+        // data shape: 3 bytes of data then an 8-byte address).
+        let short = &msg[..11];
+        let mut st = g.stream();
+        st.update(&short[..3]);
+        st.update(&short[3..]);
+        assert_eq!(st.finalize(), g.hash(short));
     }
 
     #[test]
@@ -146,5 +327,26 @@ mod tests {
         // Same padded content but different lengths must differ thanks to
         // the length block.
         assert_ne!(k.hash(&[0u8; 15]), k.hash(&[0u8; 16]));
+    }
+
+    /// Pins the table-based `hash`/`mac` to a straight reimplementation
+    /// over the reference bit-loop multiplier, byte for byte.
+    #[test]
+    fn table_hash_matches_reference_hash() {
+        let g = Ghash::new(b"fedcba9876543210");
+        let hash_ref = |data: &[u8]| -> Tag {
+            let mut y = 0u128;
+            for chunk in data.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                y = gf128_mul(y ^ u128::from_be_bytes(block), g.h);
+            }
+            y = gf128_mul(y ^ ((data.len() as u128) * 8), g.h);
+            y.to_be_bytes()
+        };
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 80, 100] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(g.hash(&msg), hash_ref(&msg), "len {len}");
+        }
     }
 }

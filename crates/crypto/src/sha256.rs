@@ -87,13 +87,17 @@ impl Sha256 {
     /// Finishes and returns the digest.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len * 8;
-        self.update(&[0x80]);
-        // update() adjusted total_len; that is fine, we captured bit_len.
-        while self.buffered != 56 {
-            self.update(&[0]);
-        }
-        self.total_len = 0; // silence further accounting; we pad manually
+        // Pad in place: 0x80, zeros to byte 56 of the final block, then
+        // the 64-bit message length. One extra compression only when
+        // the 9 padding-plus-length bytes don't fit the current block.
         let mut block = self.buffer;
+        let n = self.buffered;
+        block[n] = 0x80;
+        block[n + 1..].fill(0);
+        if n + 1 > 56 {
+            self.compress(&block);
+            block = [0u8; 64];
+        }
         block[56..64].copy_from_slice(&bit_len.to_be_bytes());
         self.compress(&block);
         let mut out = [0u8; 32];
@@ -104,6 +108,18 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if sha_ni::available() {
+            // SAFETY: `available()` confirmed the sha/ssse3/sse4.1 CPU
+            // features at runtime; the intrinsics path is bit-identical
+            // to the portable loop below (see `ni_matches_soft`).
+            unsafe { sha_ni::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -142,6 +158,128 @@ impl Sha256 {
     }
 }
 
+/// SHA-NI accelerated compression (x86-64 only, runtime detected).
+///
+/// The four-round groups follow the canonical two-lane ABEF/CDGH
+/// layout used by the `sha256rnds2` instruction; message-schedule
+/// words are produced with `sha256msg1`/`sha256msg2`.
+#[cfg(target_arch = "x86_64")]
+mod sha_ni {
+    use super::K;
+    use core::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Whether the running CPU supports the instructions we need.
+    pub(super) fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            is_x86_feature_detected!("sha")
+                && is_x86_feature_detected!("ssse3")
+                && is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    #[inline(always)]
+    unsafe fn k4(i: usize) -> __m128i {
+        _mm_loadu_si128(K.as_ptr().add(i).cast())
+    }
+
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub(super) unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning each big-endian 32-bit word little-endian.
+        let bswap = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x04050607_00010203u64 as i64);
+
+        // Repack (a..h) into the ABEF/CDGH lane order the instruction wants.
+        let mut tmp = _mm_loadu_si128(state.as_ptr().cast());
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        tmp = _mm_shuffle_epi32(tmp, 0xB1);
+        state1 = _mm_shuffle_epi32(state1, 0x1B);
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8);
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        macro_rules! quad {
+            ($k:expr) => {{
+                let msg: __m128i = $k;
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+            }};
+        }
+        // Middle groups: feed rounds from m0, extend the schedule into m1,
+        // and start the next extension from m3.
+        macro_rules! sched_quad {
+            ($i:expr, $m0:ident, $m1:ident, $m3:ident) => {{
+                let msg = _mm_add_epi32($m0, k4($i));
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                $m1 = _mm_add_epi32($m1, _mm_alignr_epi8($m0, $m3, 4));
+                $m1 = _mm_sha256msg2_epu32($m1, $m0);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+                $m3 = _mm_sha256msg1_epu32($m3, $m0);
+            }};
+        }
+
+        // Rounds 0-15: load the message, prime the schedule registers.
+        let mut m0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), bswap);
+        quad!(_mm_add_epi32(m0, k4(0)));
+        let mut m1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), bswap);
+        quad!(_mm_add_epi32(m1, k4(4)));
+        m0 = _mm_sha256msg1_epu32(m0, m1);
+        let mut m2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), bswap);
+        quad!(_mm_add_epi32(m2, k4(8)));
+        m1 = _mm_sha256msg1_epu32(m1, m2);
+        let mut m3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), bswap);
+        {
+            let msg = _mm_add_epi32(m3, k4(12));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            m0 = _mm_add_epi32(m0, _mm_alignr_epi8(m3, m2, 4));
+            m0 = _mm_sha256msg2_epu32(m0, m3);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+            m2 = _mm_sha256msg1_epu32(m2, m3);
+        }
+
+        // Rounds 16-51, rotating the schedule registers each group.
+        sched_quad!(16, m0, m1, m3);
+        sched_quad!(20, m1, m2, m0);
+        sched_quad!(24, m2, m3, m1);
+        sched_quad!(28, m3, m0, m2);
+        sched_quad!(32, m0, m1, m3);
+        sched_quad!(36, m1, m2, m0);
+        sched_quad!(40, m2, m3, m1);
+        sched_quad!(44, m3, m0, m2);
+        sched_quad!(48, m0, m1, m3);
+
+        // Rounds 52-59: the schedule still extends but no longer seeds msg1.
+        {
+            let msg = _mm_add_epi32(m1, k4(52));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            m2 = _mm_add_epi32(m2, _mm_alignr_epi8(m1, m0, 4));
+            m2 = _mm_sha256msg2_epu32(m2, m1);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+        }
+        {
+            let msg = _mm_add_epi32(m2, k4(56));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            m3 = _mm_add_epi32(m3, _mm_alignr_epi8(m2, m1, 4));
+            m3 = _mm_sha256msg2_epu32(m3, m2);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+        }
+        // Rounds 60-63.
+        quad!(_mm_add_epi32(m3, k4(60)));
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+
+        // Unpack ABEF/CDGH back to (a..h).
+        tmp = _mm_shuffle_epi32(state0, 0x1B);
+        state1 = _mm_shuffle_epi32(state1, 0xB1);
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+        state1 = _mm_alignr_epi8(state1, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), state1);
+    }
+}
+
 /// Lowercase hex rendering of a digest (test vectors, logging).
 pub fn hex(d: &Digest) -> String {
     d.iter().map(|b| format!("{b:02x}")).collect()
@@ -151,7 +289,7 @@ pub fn hex(d: &Digest) -> String {
 /// SGX/SCT tree node blocks).
 pub fn digest64(data: &[u8]) -> u64 {
     let d = Sha256::digest(data);
-    u64::from_le_bytes(d[..8].try_into().expect("8 bytes"))
+    u64::from_le_bytes(d[..8].try_into().unwrap())
 }
 
 #[cfg(test)]
@@ -185,6 +323,28 @@ mod tests {
             hex(&h.finalize()),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
         );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn ni_matches_soft() {
+        if !sha_ni::available() {
+            return;
+        }
+        let mut state = H0;
+        let mut block = [0u8; 64];
+        for round in 0u32..64 {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = (round as u8).wrapping_mul(31).wrapping_add(i as u8).wrapping_mul(197);
+            }
+            let mut hw = Sha256::new();
+            hw.state = state;
+            let mut soft = hw.clone();
+            unsafe { sha_ni::compress(&mut hw.state, &block) };
+            soft.compress_soft(&block);
+            assert_eq!(hw.state, soft.state, "round {round}");
+            state = hw.state;
+        }
     }
 
     #[test]

@@ -1,0 +1,662 @@
+//! Lane-batched trial execution: struct-of-arrays observation
+//! collection over K copy-on-write lanes forked from one warm
+//! [`Snapshot`], plus the process-wide verification memo that makes
+//! batched runs skip redundant integrity-check recomputation.
+//!
+//! # The lanes knob
+//!
+//! `METALEAK_LANES` (or [`set_lane_count`]) selects the lane width.
+//! `1` — the default — is the exact scalar path the engine has always
+//! taken. Any value ≥ 2 enables the verification memo: a global,
+//! sharded set of integrity checks that have already been computed and
+//! passed, keyed by a 128-bit fingerprint of the *complete* value
+//! content of the check (hash input bytes and expected digest;
+//! ciphertext, counter, address, stored tag and key identity for MACs
+//! — see `Fingerprint` for the collision rationale). On a memo hit
+//! the engine
+//! skips recomputing the SHA-256 digest or GHASH tag — the outcome is
+//! forced: identical inputs were verified identical moments ago. On a
+//! miss the check is computed inline exactly as the scalar path does,
+//! so novel (including tampered) values take the same code path, fail
+//! at the same operation, and produce the same error and trace events
+//! as a scalar run.
+//!
+//! Because the memo changes only *whether a pure recomputation happens*
+//! — never a latency (latencies are modeled constants), an event, a
+//! data value or an error site — artifacts are byte-identical across
+//! lane settings by construction. The `batch_determinism` suite pins
+//! this.
+//!
+//! # Where the speedup comes from
+//!
+//! Warm trials re-verify the same metadata over and over: an eviction
+//! set's blocks keep their (counter, ciphertext, MAC) triple between
+//! writes, tree nodes re-verify with unchanged serialized content, and
+//! K lanes forked from one snapshot repeat each other's checks almost
+//! exactly. All of those collapse to one computation plus set lookups.
+
+use crate::secmem::{ReadResult, SecureMemError, SecureMemory, WriteResult};
+use crate::snapshot::Snapshot;
+use metaleak_crypto::engine::{Block, CryptoEngine};
+use metaleak_crypto::ghash::Tag;
+use metaleak_crypto::sha256::digest64;
+use metaleak_sim::addr::CoreId;
+use metaleak_sim::trace::{PathClass, Tracer};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+// ----------------------------------------------------------------------
+// Lane-count knob.
+// ----------------------------------------------------------------------
+
+/// 0 = not yet resolved (next read consults `METALEAK_LANES`).
+static LANES: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the lane width programmatically, overriding `METALEAK_LANES`.
+/// The bench harness calls this with its (leniently parsed) settings;
+/// benches and tests use it to switch modes within one process.
+pub fn set_lane_count(k: usize) {
+    LANES.store(k.max(1), Ordering::Relaxed);
+}
+
+/// The active lane width: the last [`set_lane_count`] value, or on
+/// first use the `METALEAK_LANES` environment variable. Unset, empty or
+/// unparsable values fall back to 1 (the scalar path); the bench
+/// layer's lenient-env convention additionally warns once on bad
+/// values.
+pub fn lane_count() -> usize {
+    let k = LANES.load(Ordering::Relaxed);
+    if k != 0 {
+        return k;
+    }
+    let resolved = std::env::var("METALEAK_LANES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1);
+    // Racing first reads resolve the same env value; storing twice is
+    // harmless.
+    LANES.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Whether the verification memo is active (lane width ≥ 2).
+pub fn memo_enabled() -> bool {
+    lane_count() > 1
+}
+
+// ----------------------------------------------------------------------
+// The verification memo.
+// ----------------------------------------------------------------------
+
+/// A 128-bit content fingerprint of one fully-evaluated integrity
+/// check: two independently-seeded FxHash lanes over a domain tag plus
+/// the complete value content of the check (hash input bytes and
+/// expected digest; ciphertext, counter, address, stored tag and key
+/// identity for MACs). Two checks with equal fingerprints are treated
+/// as the same pure computation.
+///
+/// Fingerprints replace full content keys so the hot path hashes the
+/// borrowed inputs exactly once — no key-sized copy into the probe, no
+/// second hash inside the set, no content compare on a hit. The memo's
+/// population is bounded (≤ `MEMO_SHARDS * MEMO_SHARD_CAP` ≈ 2^18
+/// distinct passing checks), so an accidental 128-bit collision
+/// between two *distinct* checks is vanishingly unlikely, and check
+/// values arise from simulated metadata — nothing is searching for
+/// FxHash collisions.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Hash for Fingerprint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The fingerprint already is a hash; feed lane `a` straight to
+        // the identity hasher backing the memo sets.
+        state.write_u64(self.a);
+    }
+}
+
+/// Streaming dual-lane FxHash accumulator producing a [`Fingerprint`].
+struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FpHasher {
+    const SEED_A: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    const SEED_B: u64 = 0x9e_37_79_b9_7f_4a_7c_15;
+
+    /// Starts a fingerprint in the domain `tag` (one tag per check
+    /// kind, so a digest check can never alias a MAC check).
+    fn new(tag: u8) -> Self {
+        let mut h = FpHasher { a: 0, b: !0 };
+        h.word(tag as u64);
+        h
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.a = (self.a.rotate_left(5) ^ w).wrapping_mul(Self::SEED_A);
+        self.b = (self.b.rotate_left(9) ^ w).wrapping_mul(Self::SEED_B);
+    }
+
+    #[inline]
+    fn bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            // Length tag in the top byte keeps short tails of different
+            // lengths from colliding after zero-padding.
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint { a: self.a, b: self.b }
+    }
+}
+
+/// Hasher that passes a [`Fingerprint`]'s already-mixed lane through
+/// unchanged — the set must not pay a second hash per probe.
+#[derive(Default)]
+struct FpIdentityHasher {
+    hash: u64,
+}
+
+impl Hasher for FpIdentityHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprints hash via write_u64 only");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = v;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[derive(Default, Clone)]
+struct BuildFpIdentityHasher;
+
+impl std::hash::BuildHasher for BuildFpIdentityHasher {
+    type Hasher = FpIdentityHasher;
+
+    fn build_hasher(&self) -> FpIdentityHasher {
+        FpIdentityHasher::default()
+    }
+}
+
+const MEMO_SHARDS: usize = 16;
+
+type MemoSet = HashSet<Fingerprint, BuildFpIdentityHasher>;
+
+/// Per-shard entry cap: bounds the memo at a few tens of MiB even in
+/// day-long fuzz campaigns. Once a shard is full, new checks simply
+/// compute inline (correctness is never affected, only reuse).
+const MEMO_SHARD_CAP: usize = 1 << 14;
+
+struct Memo {
+    shards: [RwLock<MemoSet>; MEMO_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn memo() -> &'static Memo {
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    MEMO.get_or_init(|| Memo {
+        shards: std::array::from_fn(|_| RwLock::new(MemoSet::default())),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+fn shard_of(fp: Fingerprint) -> usize {
+    // Top bits pick the shard; the set's buckets consume the low bits,
+    // so the two selections stay independent.
+    (fp.a >> 60) as usize % MEMO_SHARDS
+}
+
+/// Looks `fp` up; on a miss evaluates `compute` and memoizes a passing
+/// result. Returns whether the check holds.
+fn check_memo(fp: Fingerprint, compute: impl FnOnce() -> bool) -> bool {
+    let m = memo();
+    let shard = &m.shards[shard_of(fp)];
+    if shard.read().expect("memo shard poisoned").contains(&fp) {
+        m.hits.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    m.misses.fetch_add(1, Ordering::Relaxed);
+    let ok = compute();
+    if ok {
+        let mut w = shard.write().expect("memo shard poisoned");
+        if w.len() < MEMO_SHARD_CAP {
+            w.insert(fp);
+        }
+    }
+    // Failed checks are not memoized: they surface as errors and the
+    // simulation stops anyway.
+    ok
+}
+
+/// Memo-aware `digest64(input) == expected`, the check callback handed
+/// to [`metaleak_meta::tree::IntegrityTree::verify_counter_block_with`].
+/// Falls back to plain computation when the memo is disabled.
+pub(crate) fn check_digest64(input: &[u8], expected: u64) -> bool {
+    if !memo_enabled() {
+        return digest64(input) == expected;
+    }
+    let mut h = FpHasher::new(0);
+    h.bytes(input);
+    h.word(expected);
+    check_memo(h.finish(), || digest64(input) == expected)
+}
+
+/// Memo-aware data-block MAC verification.
+pub(crate) fn check_data_mac(
+    crypto: &CryptoEngine,
+    ct: &Block,
+    ctr: u64,
+    addr: u64,
+    stored: &Tag,
+) -> bool {
+    if !memo_enabled() {
+        return crypto.mac_block(ct, ctr, addr) == *stored;
+    }
+    let mut h = FpHasher::new(1);
+    h.word(crypto.key_id());
+    h.word(crypto.epoch());
+    h.word(addr);
+    h.word(ctr);
+    h.bytes(ct);
+    h.bytes(stored);
+    check_memo(h.finish(), || crypto.mac_block(ct, ctr, addr) == *stored)
+}
+
+/// Memo-aware counter-block MAC verification.
+pub(crate) fn check_cb_mac(
+    crypto: &CryptoEngine,
+    bytes: &[u8],
+    version: u64,
+    addr: u64,
+    stored: &Tag,
+) -> bool {
+    if !memo_enabled() {
+        return crypto.mac_bytes(bytes, version, addr) == *stored;
+    }
+    let mut h = FpHasher::new(2);
+    h.word(crypto.key_id());
+    h.word(crypto.epoch());
+    h.word(addr);
+    h.word(version);
+    h.bytes(bytes);
+    h.bytes(stored);
+    check_memo(h.finish(), || crypto.mac_bytes(bytes, version, addr) == *stored)
+}
+
+/// Empties the verification memo and resets its counters (benchmarks
+/// and determinism tests use this to compare modes fairly within one
+/// process).
+pub fn clear_memo() {
+    let m = memo();
+    for shard in &m.shards {
+        shard.write().expect("memo shard poisoned").clear();
+    }
+    m.hits.store(0, Ordering::Relaxed);
+    m.misses.store(0, Ordering::Relaxed);
+}
+
+/// `(hits, misses)` of the verification memo since process start (or
+/// the last [`clear_memo`]).
+pub fn memo_stats() -> (u64, u64) {
+    let m = memo();
+    (m.hits.load(Ordering::Relaxed), m.misses.load(Ordering::Relaxed))
+}
+
+// ----------------------------------------------------------------------
+// Lane-batched execution.
+// ----------------------------------------------------------------------
+
+/// Struct-of-arrays observations collected across lanes: each call to
+/// [`LaneBatch::read_each`] / [`LaneBatch::write_each`] appends one
+/// entry per lane to every array, so lane `k`'s `i`-th operation lands
+/// at `i * lanes + k` — contiguous per-operation groups that the
+/// compare/reduce loops of analysis code (and the autovectorizer) can
+/// stream over without pointer chasing.
+#[derive(Debug, Clone, Default)]
+pub struct LaneObservations {
+    /// Observed latency of each operation, in cycles.
+    pub latencies: Vec<u64>,
+    /// Access-path classification of each operation.
+    pub paths: Vec<PathClass>,
+    /// Whether a preemption gap invalidated the sample.
+    pub invalidated: Vec<bool>,
+}
+
+impl LaneObservations {
+    /// An empty observation set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded operations (across all lanes).
+    pub fn len(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.latencies.is_empty()
+    }
+
+    /// Appends one observation. [`LaneBatch::read_each`] and
+    /// [`LaneBatch::write_each`] call this per lane; drivers with
+    /// per-lane control flow ([`LaneBatch::run`]) call it themselves to
+    /// keep their samples in the same struct-of-arrays layout.
+    pub fn push(&mut self, latency: u64, path: PathClass, invalidated: bool) {
+        self.latencies.push(latency);
+        self.paths.push(path);
+        self.invalidated.push(invalidated);
+    }
+}
+
+/// Error from a lane-batched operation: which lane failed, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneError {
+    /// The failing lane.
+    pub lane: usize,
+    /// The engine error it hit.
+    pub error: SecureMemError,
+}
+
+impl core::fmt::Display for LaneError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "lane {}: {}", self.lane, self.error)
+    }
+}
+
+impl std::error::Error for LaneError {}
+
+/// Chainable constructor for [`LaneBatch`], mirroring
+/// [`SecureMemory::builder`]: lane width and per-lane interference
+/// seeds as chained options, then [`LaneBatchBuilder::build`].
+#[derive(Debug)]
+pub struct LaneBatchBuilder<'s, T: Tracer> {
+    snapshot: &'s Snapshot<T>,
+    lanes: usize,
+    seeds: Vec<u64>,
+}
+
+impl<'s, T: Tracer + Clone> LaneBatchBuilder<'s, T> {
+    fn new(snapshot: &'s Snapshot<T>) -> Self {
+        LaneBatchBuilder { snapshot, lanes: lane_count(), seeds: Vec::new() }
+    }
+
+    /// Sets the lane width (defaults to [`lane_count`], the
+    /// `METALEAK_LANES` setting).
+    pub fn lanes(mut self, k: usize) -> Self {
+        self.lanes = k.max(1);
+        self
+    }
+
+    /// Reseeds lane `k`'s interference stream with `seeds[k]` (see
+    /// [`Snapshot::fork_seeded`]); lanes beyond the slice keep the
+    /// parent's schedule.
+    pub fn seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = seeds.into();
+        self
+    }
+
+    /// Forks the lanes and builds the batch.
+    pub fn build(self) -> LaneBatch<T> {
+        let lanes = (0..self.lanes)
+            .map(|k| match self.seeds.get(k) {
+                Some(&seed) => self.snapshot.fork_seeded(seed),
+                None => self.snapshot.fork(),
+            })
+            .collect();
+        LaneBatch { lanes }
+    }
+}
+
+/// K independent trial lanes forked copy-on-write from one warm
+/// [`Snapshot`] and advanced together.
+///
+/// Each lane is a full [`SecureMemory`]; the batch steps them in
+/// lockstep ([`LaneBatch::read_each`], [`LaneBatch::write_each`]) and
+/// gathers observations into contiguous struct-of-arrays form
+/// ([`LaneObservations`]). Driver code with per-lane control flow uses
+/// [`LaneBatch::run`] to advance one lane at a time instead; either
+/// way, the lanes share the global verification memo, so work one lane
+/// does is never recomputed by its siblings.
+///
+/// ```
+/// use metaleak_engine::prelude::*;
+///
+/// let mut warm = SecureMemory::new(SecureConfig::test_tiny());
+/// warm.write(CoreId(0), 3, [7u8; 64])?;
+/// let snap = warm.into_snapshot();
+///
+/// let mut batch = LaneBatch::builder(&snap).lanes(4).build();
+/// let mut obs = LaneObservations::new();
+/// batch.read_each(CoreId(0), 3, &mut obs).map_err(|e| e.error)?;
+/// assert_eq!(obs.latencies.len(), 4);
+/// # Ok::<(), metaleak_engine::secmem::SecureMemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneBatch<T: Tracer> {
+    lanes: Vec<SecureMemory<T>>,
+}
+
+impl<T: Tracer + Clone> LaneBatch<T> {
+    /// Starts a [`LaneBatchBuilder`] forking from `snapshot`.
+    pub fn builder(snapshot: &Snapshot<T>) -> LaneBatchBuilder<'_, T> {
+        LaneBatchBuilder::new(snapshot)
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lane `k` (read-only).
+    pub fn lane(&self, k: usize) -> &SecureMemory<T> {
+        &self.lanes[k]
+    }
+
+    /// Lane `k` (mutable, for per-lane driver code).
+    pub fn lane_mut(&mut self, k: usize) -> &mut SecureMemory<T> {
+        &mut self.lanes[k]
+    }
+
+    /// Reads block `index` on every lane, appending one observation per
+    /// lane to `obs`.
+    ///
+    /// # Errors
+    /// Stops at the first lane whose verification fails.
+    pub fn read_each(
+        &mut self,
+        core: CoreId,
+        index: u64,
+        obs: &mut LaneObservations,
+    ) -> Result<Vec<ReadResult>, LaneError> {
+        let mut results = Vec::with_capacity(self.lanes.len());
+        for (k, lane) in self.lanes.iter_mut().enumerate() {
+            let r = lane.read(core, index).map_err(|error| LaneError { lane: k, error })?;
+            obs.push(r.latency.as_u64(), r.path.class(), r.invalidated);
+            results.push(r);
+        }
+        Ok(results)
+    }
+
+    /// Writes `data` to block `index` on every lane, appending one
+    /// observation per lane to `obs`.
+    ///
+    /// # Errors
+    /// Stops at the first lane whose write-allocate fill fails
+    /// verification.
+    pub fn write_each(
+        &mut self,
+        core: CoreId,
+        index: u64,
+        data: Block,
+        obs: &mut LaneObservations,
+    ) -> Result<Vec<WriteResult>, LaneError> {
+        let mut results = Vec::with_capacity(self.lanes.len());
+        for (k, lane) in self.lanes.iter_mut().enumerate() {
+            let r = lane.write(core, index, data).map_err(|error| LaneError { lane: k, error })?;
+            obs.push(r.latency.as_u64(), r.path.class(), r.invalidated);
+            results.push(r);
+        }
+        Ok(results)
+    }
+
+    /// Flushes block `index` out of every lane's cache hierarchy.
+    pub fn flush_each(&mut self, index: u64) {
+        for lane in &mut self.lanes {
+            lane.flush_block(index);
+        }
+    }
+
+    /// Drains every lane's memory-controller write queue.
+    pub fn fence_each(&mut self) {
+        for lane in &mut self.lanes {
+            lane.fence();
+        }
+    }
+
+    /// Runs `f` once per lane (lane index and exclusive lane access),
+    /// collecting the per-lane results. This is the entry point for
+    /// drivers whose control flow depends on per-lane state (covert
+    /// channels, attack runtimes): lanes advance sequentially, but the
+    /// shared verification memo still collapses their repeated checks.
+    pub fn run<R>(&mut self, mut f: impl FnMut(usize, &mut SecureMemory<T>) -> R) -> Vec<R> {
+        self.lanes.iter_mut().enumerate().map(|(k, lane)| f(k, lane)).collect()
+    }
+
+    /// Consumes the batch, returning the lanes.
+    pub fn into_lanes(self) -> Vec<SecureMemory<T>> {
+        self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SecureConfig;
+    use std::sync::Mutex;
+
+    /// Lane count and memo are process globals; tests that touch them
+    /// must not interleave.
+    static GLOBALS: Mutex<()> = Mutex::new(());
+
+    fn lock_globals() -> std::sync::MutexGuard<'static, ()> {
+        GLOBALS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn lane_count_floor_is_one() {
+        let _g = lock_globals();
+        set_lane_count(0);
+        assert_eq!(lane_count(), 1);
+        set_lane_count(1);
+    }
+
+    #[test]
+    fn memo_hits_after_first_computation() {
+        let _g = lock_globals();
+        set_lane_count(4);
+        clear_memo();
+        let input = [7u8; 32];
+        let expected = digest64(&input);
+        assert!(check_digest64(&input, expected));
+        assert!(check_digest64(&input, expected));
+        let (hits, misses) = memo_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // A failing check is never memoized as passing.
+        assert!(!check_digest64(&input, expected ^ 1));
+        assert!(!check_digest64(&input, expected ^ 1));
+        let (_, misses) = memo_stats();
+        assert_eq!(misses, 3);
+        clear_memo();
+        set_lane_count(1);
+    }
+
+    #[test]
+    fn memo_keys_distinguish_engines() {
+        let _g = lock_globals();
+        set_lane_count(4);
+        clear_memo();
+        let e1 = CryptoEngine::new([1u8; 16]);
+        let e2 = CryptoEngine::new([2u8; 16]);
+        let ct = [5u8; 64];
+        let tag = e1.mac_block(&ct, 9, 40);
+        assert!(check_data_mac(&e1, &ct, 9, 40, &tag));
+        // Same values under a different key must not hit e1's entry.
+        assert!(!check_data_mac(&e2, &ct, 9, 40, &tag));
+        clear_memo();
+        set_lane_count(1);
+    }
+
+    #[test]
+    fn lanes_match_scalar_forks() {
+        let _g = lock_globals();
+        let mut warm = SecureMemory::new(SecureConfig::test_tiny());
+        for i in 0..8 {
+            warm.write(CoreId(0), i, [i as u8; 64]).unwrap();
+        }
+        warm.fence();
+        let snap = warm.into_snapshot();
+
+        // Scalar reference: fork each lane by hand at lanes=1.
+        set_lane_count(1);
+        let scalar: Vec<(u64, PathClass)> = (0..4)
+            .map(|_| {
+                let mut mem = snap.fork();
+                mem.flush_block(3);
+                mem.fence();
+                let r = mem.read(CoreId(0), 3).unwrap();
+                (r.latency.as_u64(), r.path.class())
+            })
+            .collect();
+
+        // Batched: same trials through LaneBatch at lanes=4.
+        set_lane_count(4);
+        clear_memo();
+        let mut batch = LaneBatch::builder(&snap).lanes(4).build();
+        batch.flush_each(3);
+        batch.fence_each();
+        let mut obs = LaneObservations::new();
+        batch.read_each(CoreId(0), 3, &mut obs).unwrap();
+        set_lane_count(1);
+
+        assert_eq!(obs.len(), 4);
+        for (k, &(latency, path)) in scalar.iter().enumerate() {
+            assert_eq!(obs.latencies[k], latency, "lane {k} latency");
+            assert_eq!(obs.paths[k], path, "lane {k} path");
+        }
+        let (hits, _) = memo_stats();
+        assert!(hits > 0, "sibling lanes must reuse each other's checks");
+        clear_memo();
+    }
+
+    #[test]
+    fn builder_seeds_reseed_interference() {
+        let warm = SecureMemory::new(SecureConfig::test_tiny());
+        let snap = warm.into_snapshot();
+        let batch = LaneBatch::builder(&snap).lanes(3).seeds(vec![11, 22]).build();
+        assert_eq!(batch.lane_count(), 3);
+    }
+}

@@ -39,26 +39,6 @@ pub struct SecureConfig {
 }
 
 impl SecureConfig {
-    /// The paper's primary simulated design: split counters + split
-    /// counter tree (VAULT-style; Table I).
-    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::sct(pages).build()`")]
-    pub fn sct(data_pages: u64) -> Self {
-        SecureConfigBuilder::sct(data_pages).build()
-    }
-
-    /// The hash-tree design (Bonsai Merkle Tree over counters \[12\]).
-    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::ht(pages).build()`")]
-    pub fn ht(data_pages: u64) -> Self {
-        SecureConfigBuilder::ht(data_pages).build()
-    }
-
-    /// The SGX-like configuration (monolithic counters, SGX integrity
-    /// tree, MEE latency profile).
-    #[deprecated(since = "0.1.0", note = "use `SecureConfigBuilder::sit(pages).build()`")]
-    pub fn sgx(data_pages: u64) -> Self {
-        SecureConfigBuilder::sit(data_pages).build()
-    }
-
     /// A small, noise-free configuration for fast unit tests, with
     /// narrow counters so overflow is cheap to trigger.
     pub fn test_tiny() -> Self {
@@ -268,14 +248,6 @@ mod tests {
     #[test]
     fn data_blocks_math() {
         assert_eq!(SecureConfigBuilder::sct(4).build().data_blocks(), 256);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_preset_shims_match_the_builder() {
-        assert_eq!(SecureConfig::sct(256), SecureConfigBuilder::sct(256).build());
-        assert_eq!(SecureConfig::ht(256), SecureConfigBuilder::ht(256).build());
-        assert_eq!(SecureConfig::sgx(256), SecureConfigBuilder::sit(256).build());
     }
 
     #[test]

@@ -26,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod secmem;
 pub mod snapshot;
 
+pub use batch::{LaneBatch, LaneBatchBuilder, LaneError, LaneObservations};
 pub use config::{SecureConfig, SecureConfigBuilder};
 pub use secmem::{
     AccessPath, ReadResult, SecureMemError, SecureMemory, SecureMemoryBuilder, TamperKind,
@@ -47,8 +49,17 @@ pub use snapshot::Snapshot;
 /// journaled by a binary with a different state shape.
 pub const STATE_SHAPE: &str = "cow-v1";
 
-/// Convenient glob import.
+/// Convenient glob import: the blessed import surface of the engine.
+///
+/// Downstream crates and bins should reach for `use
+/// metaleak_engine::prelude::*;` rather than deep module paths — every
+/// type needed to configure, build, run, snapshot and lane-batch the
+/// engine is re-exported here, and additions to this list are the
+/// engine's API-stability commitment.
 pub mod prelude {
+    pub use crate::batch::{
+        lane_count, set_lane_count, LaneBatch, LaneBatchBuilder, LaneError, LaneObservations,
+    };
     pub use crate::config::{SecureConfig, SecureConfigBuilder};
     pub use crate::secmem::{
         AccessPath, ReadResult, SecureMemError, SecureMemory, SecureMemoryBuilder, TamperKind,
@@ -58,5 +69,5 @@ pub mod prelude {
     pub use metaleak_sim::addr::CoreId;
     pub use metaleak_sim::clock::Cycles;
     pub use metaleak_sim::interference::{FaultKind, FaultPlan, SampleFate};
-    pub use metaleak_sim::trace::{NullTracer, RingTracer, TraceLog, Tracer};
+    pub use metaleak_sim::trace::{NullTracer, PathClass, RingTracer, TraceLog, Tracer};
 }

@@ -9,6 +9,7 @@ use metaleak_crypto::engine::{Block, CryptoEngine};
 use metaleak_crypto::ghash::Tag;
 use metaleak_meta::enc_counter::{EncCounters, OverflowEvent, ReencryptScope};
 use metaleak_meta::geometry::NodeId;
+use metaleak_meta::hashbuf::HashBuf;
 use metaleak_meta::layout::SecureLayout;
 use metaleak_meta::mcache::MetadataCaches;
 use metaleak_meta::tree::{IntegrityTree, TreeKind, TreeOverflowEvent};
@@ -172,10 +173,9 @@ pub struct SecureMemory<T: Tracer = NullTracer> {
 }
 
 /// Chainable constructor for [`SecureMemory`], the single entry point
-/// behind which the historical `new`/`with_tracer`/per-attack setup
-/// variants collapse: an optional [`Tracer`], an optional fault-plan
-/// override, and optional initial memory contents, all as chained
-/// options.
+/// behind which the historical per-attack setup variants collapse: an
+/// optional [`Tracer`], an optional fault-plan override, and optional
+/// initial memory contents, all as chained options.
 ///
 /// ```
 /// use metaleak_engine::config::SecureConfig;
@@ -248,13 +248,6 @@ impl SecureMemory<NullTracer> {
 }
 
 impl<T: Tracer> SecureMemory<T> {
-    /// Builds a secure memory from `config` that records events into
-    /// `tracer` (recover it with [`SecureMemory::into_tracer`]).
-    #[deprecated(since = "0.1.0", note = "use `SecureMemory::builder(config).tracer(t).build()`")]
-    pub fn with_tracer(config: SecureConfig, tracer: T) -> Self {
-        Self::construct(config, tracer)
-    }
-
     fn construct(config: SecureConfig, tracer: T) -> Self {
         let data_blocks = config.data_blocks();
         let enc = EncCounters::new(config.scheme, config.enc_widths, data_blocks);
@@ -478,7 +471,8 @@ impl<T: Tracer> SecureMemory<T> {
     }
 
     fn current_cb_mac(&self, cb: u64) -> Tag {
-        let bytes = self.enc.counter_block_bytes(cb);
+        let mut bytes = HashBuf::new();
+        self.enc.fill_counter_block_bytes(cb, &mut bytes);
         let version = self.tree.leaf_version(cb);
         let addr = self.layout.counter_addr(cb).index();
         self.crypto.mac_bytes(&bytes, version, addr)
@@ -502,7 +496,8 @@ impl<T: Tracer> SecureMemory<T> {
         let now = self.clock.now();
         let addr = self.layout.counter_addr(cb);
         self.mc.write_through_traced(addr, now, &mut self.tracer);
-        let bytes = self.enc.counter_block_bytes(cb);
+        let mut bytes = HashBuf::new();
+        self.enc.fill_counter_block_bytes(cb, &mut bytes);
         let update = self.tree.record_counter_writeback(cb, &bytes);
         let mac = self.current_cb_mac(cb);
         self.cb_macs.insert(cb, mac);
@@ -630,21 +625,39 @@ impl<T: Tracer> SecureMemory<T> {
         };
         let duration = Cycles::new(group.len() as u64 * per_block);
         let until = now + duration;
+        // Old ciphertexts become stale; refresh materialized blocks
+        // from ground truth under their (already reset) counters. The
+        // pads for the whole group go through one batched AES call.
+        let mut reseal: Vec<(u64, u64, u64)> = Vec::with_capacity(group.len());
         for &b in &group {
-            // Old ciphertexts become stale; refresh from ground truth
-            // under the block's (already reset) counter.
-            if let Some(pt) = self.plain.get(b).copied() {
-                let addr = self.layout.data_addr(b).index();
-                let ctr = self.enc.value(b);
-                let ct = self.crypto.encrypt_block(&pt, addr, ctr);
-                let mac = self.crypto.mac_block(&ct, ctr, addr);
-                self.cipher.insert(b, ct);
-                self.macs.insert(b, mac);
+            if self.plain.contains_key(b) {
+                reseal.push((b, self.layout.data_addr(b).index(), self.enc.value(b)));
             } else {
                 self.cipher.remove(b);
                 self.macs.remove(b);
             }
             self.mc.occupy_bank_of(self.layout.data_addr(b), until);
+        }
+        let pad_reqs: Vec<(u64, u64)> = reseal.iter().map(|&(_, a, c)| (a, c)).collect();
+        let pads = self.crypto.pads(&pad_reqs);
+        let cts: Vec<Block> = reseal
+            .iter()
+            .zip(&pads)
+            .map(|(&(b, _, _), pad)| {
+                let pt = self.plain.get(b).expect("materialized");
+                let mut ct = [0u8; 64];
+                for (o, (p, k)) in ct.iter_mut().zip(pt.iter().zip(pad.iter())) {
+                    *o = p ^ k;
+                }
+                ct
+            })
+            .collect();
+        let mac_items: Vec<(&Block, u64, u64)> =
+            cts.iter().zip(&reseal).map(|(ct, &(_, a, c))| (ct, c, a)).collect();
+        let macs = self.crypto.mac_blocks(&mac_items);
+        for ((&(b, _, _), ct), mac) in reseal.iter().zip(&cts).zip(macs) {
+            self.cipher.insert(b, *ct);
+            self.macs.insert(b, mac);
         }
         self.stats.add("reencrypt_blocks", group.len() as u64);
         self.stats.add("reencrypt_busy_cycles", duration.as_u64());
@@ -750,15 +763,26 @@ impl<T: Tracer> SecureMemory<T> {
                 self.mc.read_traced(cb_addr, now + latency, MemRegion::Counter, &mut self.tracer);
             latency += cb_read.latency + Cycles::new(self.config.mee_extra);
 
-            // Verification walk (Algorithm 2) against cached tree state.
-            let bytes = self.enc.counter_block_bytes(cb);
+            // Verification walk (Algorithm 2) against cached tree
+            // state. Digest checks route through the verification memo
+            // so lane-batched runs skip recomputing hashes over node
+            // content already verified (the walk's structure, latencies
+            // and outcome are value-determined either way).
+            let mut bytes = HashBuf::new();
+            self.enc.fill_counter_block_bytes(cb, &mut bytes);
             let walk = {
                 let tree = &self.tree;
                 let layout = &self.layout;
                 let mcaches = &self.mcaches;
-                tree.verify_counter_block(cb, &bytes, |n| {
-                    tree.geometry().is_root(n) || mcaches.tree_cached(layout.node_addr(n).index())
-                })
+                tree.verify_counter_block_with(
+                    cb,
+                    &bytes,
+                    |n| {
+                        tree.geometry().is_root(n)
+                            || mcaches.tree_cached(layout.node_addr(n).index())
+                    },
+                    &mut crate::batch::check_digest64,
+                )
             };
             let loaded_levels = walk.loaded.len() as u8;
             let to_root = loaded_levels == self.tree.geometry().levels() - 1;
@@ -804,10 +828,20 @@ impl<T: Tracer> SecureMemory<T> {
             if !walk.ok {
                 return Err(SecureMemError::TamperDetected(TamperKind::TreeNode));
             }
-            // Counter-block MAC check (freshness bound to leaf version).
+            // Counter-block MAC check (freshness bound to leaf
+            // version), memo-aware: `check_cb_mac` recomputes the tag
+            // exactly like [`Self::current_cb_mac`] on a memo miss.
             self.materialize_cb_mac(cb);
             latency += Cycles::new(self.crypto.mac_latency());
-            let cb_mac_ok = *self.cb_macs.get(cb).expect("materialized") == self.current_cb_mac(cb);
+            let stored = *self.cb_macs.get(cb).expect("materialized");
+            let version = self.tree.leaf_version(cb);
+            let cb_mac_ok = crate::batch::check_cb_mac(
+                &self.crypto,
+                &bytes,
+                version,
+                self.layout.counter_addr(cb).index(),
+                &stored,
+            );
             if T::ENABLED {
                 self.tracer.record(
                     now + latency,
@@ -852,12 +886,16 @@ impl<T: Tracer> SecureMemory<T> {
             AccessPath::TreeWalk { loaded_levels, to_root }
         };
 
-        // 3. Decrypt + authenticate the data block.
+        // 3. Authenticate (and in debug builds decrypt-check) the data
+        // block. The MAC verification is memo-aware: a batched sibling
+        // lane that already authenticated this exact (ciphertext,
+        // counter, address, tag) tuple lets us skip the GHASH
+        // recomputation.
         let ctr = self.enc.value(index);
         let a = addr.index();
         let ct = *self.cipher.get(index).expect("materialized");
-        let expected_mac = self.crypto.mac_block(&ct, ctr, a);
-        let data_mac_ok = *self.macs.get(index).expect("materialized") == expected_mac;
+        let stored_mac = *self.macs.get(index).expect("materialized");
+        let data_mac_ok = crate::batch::check_data_mac(&self.crypto, &ct, ctr, a, &stored_mac);
         if T::ENABLED {
             self.tracer.record(
                 now + latency,
@@ -867,9 +905,14 @@ impl<T: Tracer> SecureMemory<T> {
         if !data_mac_ok {
             return Err(SecureMemError::TamperDetected(TamperKind::DataMac));
         }
-        let pt = self.crypto.decrypt_block(&ct, a, ctr);
-        debug_assert_eq!(&pt, self.plain.get(index).expect("materialized"));
-
+        // Reads serve plaintext from the shadow `plain` map (the model
+        // keeps both sides); the actual decryption is a consistency
+        // check, so only debug builds pay for it.
+        #[cfg(debug_assertions)]
+        {
+            let pt = self.crypto.decrypt_block(&ct, a, ctr);
+            debug_assert_eq!(&pt, self.plain.get(index).expect("materialized"));
+        }
         Ok((latency, path))
     }
 

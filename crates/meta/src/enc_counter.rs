@@ -5,6 +5,7 @@
 //! Blocks are identified by their index within the protected region;
 //! the engine maps indices to physical addresses.
 
+use crate::hashbuf::HashBuf;
 use metaleak_sim::addr::BLOCKS_PER_PAGE;
 use metaleak_sim::cow::CowMap;
 
@@ -323,26 +324,31 @@ impl EncCounters {
     /// Serializes the counter metadata block containing `block`'s
     /// counter (the bytes the engine MACs and the tree protects).
     pub fn counter_block_bytes(&self, counter_block: u64) -> Vec<u8> {
+        let mut buf = HashBuf::new();
+        self.fill_counter_block_bytes(counter_block, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Serializes a counter block into a stack buffer (the
+    /// allocation-free form of [`EncCounters::counter_block_bytes`],
+    /// used on the MAC/verification hot paths).
+    pub fn fill_counter_block_bytes(&self, counter_block: u64, out: &mut HashBuf) {
+        out.clear();
         match self.scheme {
             CounterScheme::Split => {
                 let zero = SplitCounterBlock::new();
                 let page = self.pages.get(counter_block).unwrap_or(&zero);
-                let mut out = Vec::with_capacity(8 + page.minors.len());
-                out.extend_from_slice(&page.major.to_le_bytes());
+                out.push_u64_le(page.major);
                 for m in &page.minors {
-                    out.push(*m as u8);
+                    out.push_u8(*m as u8);
                 }
-                out
             }
             CounterScheme::Global | CounterScheme::Monolithic => {
                 let start = counter_block * 8;
                 let end = (start + 8).min(self.blocks);
-                let mut out = Vec::with_capacity(64);
                 for b in start..end {
-                    let c = self.per_block.get(b).copied().unwrap_or(0);
-                    out.extend_from_slice(&c.to_le_bytes());
+                    out.push_u64_le(self.per_block.get(b).copied().unwrap_or(0));
                 }
-                out
             }
         }
     }

@@ -27,6 +27,7 @@
 
 pub mod enc_counter;
 pub mod geometry;
+pub mod hashbuf;
 pub mod layout;
 pub mod mcache;
 pub mod tree;

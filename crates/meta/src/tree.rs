@@ -9,6 +9,7 @@
 
 use crate::enc_counter::CounterWidths;
 use crate::geometry::{NodeId, TreeGeometry};
+use crate::hashbuf::HashBuf;
 use metaleak_crypto::sha256::digest64;
 use metaleak_sim::cow::CowVec;
 
@@ -206,28 +207,35 @@ impl IntegrityTree {
     /// Serialized node content (what would live in the 64-byte node
     /// block in memory).
     pub fn node_bytes(&self, id: NodeId) -> Vec<u8> {
-        let mut out = Vec::with_capacity(72);
+        let mut buf = HashBuf::new();
+        self.fill_node_bytes(id, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Serializes node content into a stack buffer (the allocation-free
+    /// form of [`IntegrityTree::node_bytes`], used on the hash paths).
+    pub fn fill_node_bytes(&self, id: NodeId, out: &mut HashBuf) {
+        out.clear();
         match self.node(id) {
             NodePayload::Hashes(hs) => {
                 for h in hs {
-                    out.extend_from_slice(&h.to_le_bytes());
+                    out.push_u64_le(*h);
                 }
             }
             NodePayload::Split { major, minors, hash } => {
-                out.extend_from_slice(&major.to_le_bytes());
+                out.push_u64_le(*major);
                 for m in minors {
-                    out.extend_from_slice(&m.to_le_bytes());
+                    out.push_u16_le(*m);
                 }
-                out.extend_from_slice(&hash.to_le_bytes());
+                out.push_u64_le(*hash);
             }
             NodePayload::Mono { counters, hash } => {
                 for c in counters {
-                    out.extend_from_slice(&c.to_le_bytes());
+                    out.push_u64_le(*c);
                 }
-                out.extend_from_slice(&hash.to_le_bytes());
+                out.push_u64_le(*hash);
             }
         }
-        out
     }
 
     /// The version value the parent keeps for child slot `slot` of
@@ -307,39 +315,40 @@ impl IntegrityTree {
 
     /// Embedded-hash input: payload counters plus the parent's version
     /// of *this* node (binding the node to its parent's state).
-    fn embedded_hash_input(&self, id: NodeId) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(96);
-        buf.extend_from_slice(&(id.level as u64).to_le_bytes());
-        buf.extend_from_slice(&id.index.to_le_bytes());
+    fn fill_embedded_hash_input(&self, id: NodeId, buf: &mut HashBuf) {
+        buf.clear();
+        buf.push_u64_le(id.level as u64);
+        buf.push_u64_le(id.index);
         match self.node(id) {
             NodePayload::Hashes(hs) => {
                 for h in hs {
-                    buf.extend_from_slice(&h.to_le_bytes());
+                    buf.push_u64_le(*h);
                 }
             }
             NodePayload::Split { major, minors, .. } => {
-                buf.extend_from_slice(&major.to_le_bytes());
+                buf.push_u64_le(*major);
                 for m in minors {
-                    buf.extend_from_slice(&m.to_le_bytes());
+                    buf.push_u16_le(*m);
                 }
             }
             NodePayload::Mono { counters, .. } => {
                 for c in counters {
-                    buf.extend_from_slice(&c.to_le_bytes());
+                    buf.push_u64_le(*c);
                 }
             }
         }
         if let Some(parent) = self.geometry.parent(id) {
             let slot = self.geometry.child_slot(id).expect("non-root");
-            buf.extend_from_slice(&self.parent_slot_version(parent, slot).to_le_bytes());
+            buf.push_u64_le(self.parent_slot_version(parent, slot));
         }
-        buf
     }
 
     /// Recomputes and stores the embedded hash of `id` (counter trees;
     /// no-op for HT whose integrity lives in the parent).
     fn reseal(&mut self, id: NodeId) {
-        let h = digest64(&self.embedded_hash_input(id));
+        let mut buf = HashBuf::new();
+        self.fill_embedded_hash_input(id, &mut buf);
+        let h = digest64(&buf);
         match self.node_mut(id) {
             NodePayload::Hashes(_) => {}
             NodePayload::Split { hash, .. } => *hash = h,
@@ -380,10 +389,12 @@ impl IntegrityTree {
                 hs[slot] = h;
             }
         }
+        let mut buf = HashBuf::new();
         for level in 0..self.geometry.levels() - 1 {
             for index in 0..self.geometry.nodes_at(level) {
                 let node = NodeId::new(level, index);
-                let h = digest64(&self.node_bytes(node));
+                self.fill_node_bytes(node, &mut buf);
+                let h = digest64(&buf);
                 let parent = self.geometry.parent(node).expect("non-root");
                 let slot = self.geometry.child_slot(node).expect("non-root");
                 if let NodePayload::Hashes(hs) = self.node_mut(parent) {
@@ -506,8 +517,11 @@ impl IntegrityTree {
     pub fn propagate_writeback(&mut self, node: NodeId) -> TreeUpdate {
         let parent = self.geometry.parent(node).expect("root is pinned on-chip");
         let slot = self.geometry.child_slot(node).expect("non-root");
-        let child_hash =
-            matches!(self.kind, TreeKind::Hash).then(|| digest64(&self.node_bytes(node)));
+        let child_hash = matches!(self.kind, TreeKind::Hash).then(|| {
+            let mut buf = HashBuf::new();
+            self.fill_node_bytes(node, &mut buf);
+            digest64(&buf)
+        });
         let overflowed = self.bump_slot(parent, slot, child_hash);
         if overflowed {
             let ev = self.overflow_reset(parent, slot);
@@ -530,16 +544,36 @@ impl IntegrityTree {
         cb_bytes: &[u8],
         is_cached: impl Fn(NodeId) -> bool,
     ) -> VerifyWalk {
+        self.verify_counter_block_with(cb, cb_bytes, is_cached, &mut |input, expected| {
+            digest64(input) == expected
+        })
+    }
+
+    /// [`IntegrityTree::verify_counter_block`] with the digest check
+    /// routed through `check(input, expected)`, so callers can memoize
+    /// repeated verifications of identical node content (the engine's
+    /// lane-batched execution). `check` must be equivalent to
+    /// `digest64(input) == expected`; the walk itself (nodes loaded,
+    /// modeled hash operations) is independent of how the check is
+    /// evaluated.
+    pub fn verify_counter_block_with(
+        &self,
+        cb: u64,
+        cb_bytes: &[u8],
+        is_cached: impl Fn(NodeId) -> bool,
+        check: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> VerifyWalk {
         let mut loaded = Vec::new();
         let mut hash_ops = 0u64;
         let mut ok = true;
+        let mut buf = HashBuf::new();
 
         // Check the counter block against its leaf version.
         let leaf = self.geometry.leaf_of(cb);
         let slot = self.geometry.leaf_slot_of(cb);
         if matches!(self.kind, TreeKind::Hash) {
             hash_ops += 1;
-            ok &= digest64(cb_bytes) == self.parent_slot_version(leaf, slot);
+            ok &= check(cb_bytes, self.parent_slot_version(leaf, slot));
         }
         // (Counter trees bind cb freshness via the engine's MAC keyed by
         // leaf_version; nothing to check here.)
@@ -557,12 +591,16 @@ impl IntegrityTree {
                     let parent = self.geometry.parent(cur).expect("non-root");
                     let pslot = self.geometry.child_slot(cur).expect("non-root");
                     hash_ops += 1;
-                    ok &=
-                        digest64(&self.node_bytes(cur)) == self.parent_slot_version(parent, pslot);
+                    self.fill_node_bytes(cur, &mut buf);
+                    ok &= check(&buf, self.parent_slot_version(parent, pslot));
                 }
                 TreeKind::SplitCounter | TreeKind::Sgx => {
                     hash_ops += 1;
-                    ok &= self.embedded_hash(cur) == Some(digest64(&self.embedded_hash_input(cur)));
+                    self.fill_embedded_hash_input(cur, &mut buf);
+                    ok &= match self.embedded_hash(cur) {
+                        Some(h) => check(&buf, h),
+                        None => false,
+                    };
                 }
             }
             cur = self.geometry.parent(cur).expect("non-root");

@@ -73,6 +73,18 @@ impl Dram {
         ((b.channel * self.config.ranks) + b.rank) * self.config.banks + b.bank
     }
 
+    /// Total number of banks across all channels and ranks.
+    pub fn num_banks(&self) -> usize {
+        self.open_rows.len()
+    }
+
+    /// Dense index in `0..num_banks()` of the bank holding `block`,
+    /// stable for a given configuration. Lets callers keep per-bank
+    /// state in a flat vector instead of a [`BankId`]-keyed map.
+    pub fn bank_slot_of(&self, block: BlockAddr) -> usize {
+        self.linear_bank(self.bank_of(block))
+    }
+
     /// Services one block access, updating the bank's row buffer.
     /// Returns the access latency and the row outcome.
     pub fn access(&mut self, block: BlockAddr) -> (Cycles, RowOutcome) {

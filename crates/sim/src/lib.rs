@@ -33,6 +33,7 @@ pub mod clock;
 pub mod config;
 pub mod cow;
 pub mod dram;
+pub mod fxhash;
 pub mod hierarchy;
 pub mod interference;
 pub mod memctl;

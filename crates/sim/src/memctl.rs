@@ -14,10 +14,11 @@
 use crate::addr::BlockAddr;
 use crate::clock::Cycles;
 use crate::config::MemCtlConfig;
-use crate::dram::{BankId, Dram, RowOutcome};
+use crate::dram::{Dram, RowOutcome};
+use crate::fxhash::FxHashMap;
 use crate::stats::Counters;
 use crate::trace::{MemRegion, NullTracer, TraceEvent, Tracer};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of a memory-controller read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +59,13 @@ pub struct MemoryController {
     /// Occupancy index over `write_queue`: how many queued entries
     /// target each block. Keeps `write_pending` and store-to-load
     /// forwarding O(1) instead of scanning the queue on every read.
-    write_occupancy: HashMap<BlockAddr, usize>,
-    bank_busy: HashMap<BankId, Cycles>,
+    /// FxHash-keyed: probed once per read on the hot path.
+    write_occupancy: FxHashMap<BlockAddr, usize>,
+    /// Busy-until timestamp per bank, indexed by [`Dram::bank_slot_of`]
+    /// (`Cycles::ZERO` = idle). A flat vector: every read consults and
+    /// updates it, and a `BankId`-keyed hash map cost two SipHash
+    /// probes per access.
+    bank_busy: Vec<Cycles>,
     /// Event counters (forwards, merges, drains...).
     pub stats: Counters,
 }
@@ -67,12 +73,13 @@ pub struct MemoryController {
 impl MemoryController {
     /// Creates a controller over `dram`.
     pub fn new(config: MemCtlConfig, dram: Dram) -> Self {
+        let bank_busy = vec![Cycles::ZERO; dram.num_banks()];
         MemoryController {
             config,
             dram,
             write_queue: VecDeque::new(),
-            write_occupancy: HashMap::new(),
-            bank_busy: HashMap::new(),
+            write_occupancy: FxHashMap::default(),
+            bank_busy,
             stats: Counters::new(),
         }
     }
@@ -96,7 +103,7 @@ impl MemoryController {
     /// (every queued block counted once per entry, no stale keys).
     /// Exposed so tests can assert the two structures never drift.
     pub fn occupancy_consistent(&self) -> bool {
-        let mut counts: HashMap<BlockAddr, usize> = HashMap::new();
+        let mut counts: FxHashMap<BlockAddr, usize> = FxHashMap::default();
         for &b in &self.write_queue {
             *counts.entry(b).or_insert(0) += 1;
         }
@@ -173,8 +180,8 @@ impl MemoryController {
             }
             let (lat, _row) = self.dram.access(block);
             t += lat;
-            let bank = self.dram.bank_of(block);
-            self.bank_busy.insert(bank, t);
+            let slot = self.dram.bank_slot_of(block);
+            self.bank_busy[slot] = t;
             serviced.push(block);
             self.stats.bump("write_serviced");
         }
@@ -227,19 +234,14 @@ impl MemoryController {
             }
             return ReadOutcome { latency, row: None, forwarded: true, waited: Cycles::ZERO };
         }
-        let bank = self.dram.bank_of(block);
-        let waited = self
-            .bank_busy
-            .get(&bank)
-            .copied()
-            .map(|until| until.saturating_sub(now))
-            .unwrap_or(Cycles::ZERO);
+        let slot = self.dram.bank_slot_of(block);
+        let waited = self.bank_busy[slot].saturating_sub(now);
         let (dram_lat, row) = self.dram.access(block);
         // FR-FCFS approximation: pending buffered writes contend for the
         // command bus; charge a small per-8-entries penalty.
         let contention = self.config.queue_penalty.times((self.write_queue.len() / 8) as u64);
         let latency = waited + dram_lat + contention + self.config.queue_penalty;
-        self.bank_busy.insert(bank, now + latency);
+        self.bank_busy[slot] = now + latency;
         self.stats.bump("read_serviced");
         if T::ENABLED {
             tracer.record(
@@ -271,8 +273,8 @@ impl MemoryController {
         tracer: &mut T,
     ) -> Cycles {
         let (lat, _row) = self.dram.access(block);
-        let bank = self.dram.bank_of(block);
-        self.bank_busy.insert(bank, now + lat);
+        let slot = self.dram.bank_slot_of(block);
+        self.bank_busy[slot] = now + lat;
         self.stats.bump("write_through");
         if T::ENABLED {
             tracer.record(now, TraceEvent::WriteThrough { cycles: lat.as_u64() });
@@ -283,17 +285,15 @@ impl MemoryController {
     /// Marks the bank containing `block` busy until `until` (used while
     /// the engine re-encrypts a counter-sharing group).
     pub fn occupy_bank_of(&mut self, block: BlockAddr, until: Cycles) {
-        let bank = self.dram.bank_of(block);
-        let entry = self.bank_busy.entry(bank).or_insert(Cycles::ZERO);
-        if until > *entry {
-            *entry = until;
+        let slot = self.dram.bank_slot_of(block);
+        if until > self.bank_busy[slot] {
+            self.bank_busy[slot] = until;
         }
     }
 
     /// When the bank containing `block` becomes free (now if idle).
     pub fn bank_free_at(&self, block: BlockAddr) -> Cycles {
-        let bank = self.dram.bank_of(block);
-        self.bank_busy.get(&bank).copied().unwrap_or(Cycles::ZERO)
+        self.bank_busy[self.dram.bank_slot_of(block)]
     }
 }
 

@@ -6,6 +6,14 @@ use std::fmt;
 
 /// A named event counter set.
 ///
+/// Counters are bumped several times per simulated memory access, so
+/// storage is a flat `Vec` scanned linearly: the live key population is
+/// a dozen-odd interned `&'static str` literals, and the scan resolves
+/// almost every probe with a pointer-identity compare (same literal →
+/// same address) before falling back to a content compare. This beats
+/// both the original `String`-keyed map (allocation per bump) and the
+/// intermediate `BTreeMap` (string-compare tree descent per bump).
+///
 /// ```
 /// use metaleak_sim::stats::Counters;
 /// let mut c = Counters::new();
@@ -16,7 +24,7 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    map: BTreeMap<&'static str, u64>,
+    entries: Vec<(&'static str, u64)>,
 }
 
 impl Counters {
@@ -31,43 +39,49 @@ impl Counters {
     }
 
     /// Increments `key` by `n`.
-    ///
-    /// Keys are interned `&'static str` literals, so bumping a counter
-    /// never allocates — neither on first use nor on the per-access hot
-    /// path (the previous `String`-keyed map cloned the key on every
-    /// call).
     pub fn add(&mut self, key: &'static str, n: u64) {
-        *self.map.entry(key).or_insert(0) += n;
+        // Pointer identity first (cheap, hits for repeated literals);
+        // content equality as the correctness backstop so two distinct
+        // literals with equal text still share one entry.
+        for (k, v) in &mut self.entries {
+            if std::ptr::eq(*k, key) || *k == key {
+                *v += n;
+                return;
+            }
+        }
+        self.entries.push((key, n));
     }
 
     /// Current value of `key` (0 if never bumped).
     pub fn get(&self, key: &str) -> u64 {
-        self.map.get(key).copied().unwrap_or(0)
+        self.entries.iter().find(|(k, _)| *k == key).map(|&(_, v)| v).unwrap_or(0)
     }
 
     /// Iterates over `(name, count)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.map.iter().map(|(&k, v)| (k, *v))
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        sorted.into_iter()
     }
 
     /// Adds every count in `other` into `self`. Merging is
     /// order-independent, so aggregating a warmup segment with a
     /// per-trial segment reproduces one continuous run's counts.
     pub fn merge(&mut self, other: &Counters) {
-        for (&k, &v) in &other.map {
-            *self.map.entry(k).or_insert(0) += v;
+        for &(k, v) in &other.entries {
+            self.add(k, v);
         }
     }
 
     /// Clears all counters.
     pub fn reset(&mut self) {
-        self.map.clear();
+        self.entries.clear();
     }
 }
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.map {
+        for (k, v) in self.iter() {
             writeln!(f, "{k:32} {v}")?;
         }
         Ok(())
